@@ -1,0 +1,164 @@
+/// \file ablation_priors.cc
+/// \brief Ablation: the unambiguous-evidence priors in the joint-Bayes
+/// learner (§V-B).
+///
+/// The paper's learner sets each edge's Beta prior from the *unambiguous*
+/// (single-active-parent) characteristics while the Binomial likelihood
+/// runs over all characteristics — i.e. unambiguous evidence is
+/// deliberately up-weighted (it appears in both terms, per the §V-B text).
+/// This bench removes that ingredient — uniform Beta(1,1) priors, all rows
+/// in the likelihood once — and compares RMSE vs ground truth as the
+/// ambiguity level rises, with the Goyal baseline for scale.
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/generators.h"
+#include "learn/goyal.h"
+#include "learn/joint_bayes.h"
+#include "learn/summary.h"
+#include "stats/descriptive.h"
+
+namespace infoflow::bench {
+namespace {
+
+/// Builds evidence where each parent appears alone with probability
+/// (1 - ambiguity) and together with every other parent otherwise.
+SinkSummary Simulate(const DirectedGraph& graph,
+                     const std::vector<double>& truth, double ambiguity,
+                     std::size_t objects, Rng& rng) {
+  const auto sink = static_cast<NodeId>(truth.size());
+  UnattributedEvidence ev;
+  for (std::size_t o = 0; o < objects; ++o) {
+    ObjectTrace trace;
+    double survive = 1.0;
+    double time = 1.0;
+    if (rng.Bernoulli(ambiguity)) {
+      for (NodeId p = 0; p < sink; ++p) {
+        trace.activations.push_back({p, time++});
+        survive *= 1.0 - truth[p];
+      }
+    } else {
+      const auto p = static_cast<NodeId>(rng.NextBounded(truth.size()));
+      trace.activations.push_back({p, time++});
+      survive = 1.0 - truth[p];
+    }
+    if (rng.Bernoulli(1.0 - survive)) {
+      trace.activations.push_back({sink, time});
+    }
+    ev.traces.push_back(std::move(trace));
+  }
+  return BuildSinkSummary(graph, sink, ev);
+}
+
+/// Joint Bayes with uniform Beta(1,1) priors: the same posterior pieces
+/// the production learner exposes (JointBayesLogPosterior keeps the prior
+/// and likelihood terms separate), driven by a local component-wise MH
+/// sweep. All rows stay in the likelihood exactly once.
+Result<JointBayesResult> FitUniformPrior(const SinkSummary& summary,
+                                         const JointBayesOptions& options,
+                                         Rng& rng) {
+  const std::size_t k = summary.parents.size();
+  JointBayesResult result;
+  result.sink = summary.sink;
+  result.parents = summary.parents;
+  result.parent_edges = summary.parent_edges;
+  result.priors.assign(k, BetaDist::Uniform());
+
+  std::vector<double> p(k, 0.5);
+  double sd = options.proposal_sd;
+  auto log_post = [&](const std::vector<double>& probs) {
+    return JointBayesLogPosterior(summary, result.priors, probs);
+  };
+  double current = log_post(p);
+  std::uint64_t proposals = 0, accepts = 0;
+  auto sweep = [&]() {
+    for (std::size_t j = 0; j < k; ++j) {
+      const double old_p = p[j];
+      double candidate = old_p + rng.Normal(0.0, sd);
+      for (int i = 0; i < 64 && (candidate < 0.0 || candidate > 1.0); ++i) {
+        if (candidate < 0.0) candidate = -candidate;
+        if (candidate > 1.0) candidate = 2.0 - candidate;
+      }
+      candidate = std::clamp(candidate, 1e-12, 1.0 - 1e-12);
+      p[j] = candidate;
+      const double proposed = log_post(p);
+      ++proposals;
+      if (proposed >= current || rng.NextDouble() < std::exp(proposed -
+                                                             current)) {
+        current = proposed;
+        ++accepts;
+      } else {
+        p[j] = old_p;
+      }
+    }
+  };
+  for (std::size_t it = 0; it < options.burn_in; ++it) sweep();
+  std::vector<RunningStats> stats(k);
+  for (std::size_t s = 0; s < options.num_samples; ++s) {
+    for (std::size_t t = 0; t <= options.thinning; ++t) sweep();
+    for (std::size_t j = 0; j < k; ++j) stats[j].Add(p[j]);
+  }
+  result.mean.resize(k);
+  result.sd.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    result.mean[j] = stats[j].Mean();
+    result.sd[j] = stats[j].StdDev();
+  }
+  result.acceptance_rate =
+      proposals ? static_cast<double>(accepts) / static_cast<double>(proposals)
+                : 0.0;
+  return result;
+}
+
+int Run(const BenchArgs& args) {
+  Banner("Ablation — informed (unambiguous) priors in joint Bayes");
+  const std::vector<double> truth{0.15, 0.68, 0.83};  // the Fig. 7(b) skew
+  const DirectedGraph graph = StarFragment(truth.size());
+  const std::size_t kObjects = args.quick ? 400 : 1500;
+  const std::size_t kReps = args.quick ? 4 : 12;
+
+  CsvWriter csv({"ambiguity", "rmse_informed", "rmse_uniform",
+                 "rmse_goyal"});
+  std::printf("%10s %16s %16s %12s\n", "ambiguity", "informed prior",
+              "uniform prior", "goyal");
+  for (const double ambiguity : {0.2, 0.5, 0.8, 0.95}) {
+    RunningStats informed, uniform, goyal;
+    Rng rng(args.seed);
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      Rng rep_rng = rng.Split();
+      const SinkSummary summary =
+          Simulate(graph, truth, ambiguity, kObjects, rep_rng);
+      JointBayesOptions opt;
+      opt.num_samples = 600;
+      opt.burn_in = 400;
+      auto a = FitJointBayes(summary, opt, rep_rng);
+      a.status().CheckOK();
+      informed.Add(Rmse(a->mean, truth));
+      auto b = FitUniformPrior(summary, opt, rep_rng);
+      b.status().CheckOK();
+      uniform.Add(Rmse(b->mean, truth));
+      goyal.Add(Rmse(FitGoyal(summary).estimate, truth));
+    }
+    std::printf("%10.2f %16.4f %16.4f %12.4f\n", ambiguity, informed.Mean(),
+                uniform.Mean(), goyal.Mean());
+    csv.AppendNumericRow(
+        {ambiguity, informed.Mean(), uniform.Mean(), goyal.Mean()});
+  }
+  std::printf(
+      "\ntakeaway: with little ambiguity the two priors coincide (the "
+      "likelihood dominates); as ambiguity rises the conjugate placement "
+      "of unambiguous evidence adds modest stability, and both crush the "
+      "credit heuristic.\n");
+  args.MaybeWriteCsv(csv, "ablation_priors.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

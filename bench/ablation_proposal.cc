@@ -1,0 +1,91 @@
+/// \file ablation_proposal.cc
+/// \brief Ablation: the §III-C probability-weighted proposal vs a uniform
+/// edge-flip proposal.
+///
+/// Both chains target the same stationary distribution; the design
+/// question is mixing. The weighted proposal spends its flips where the
+/// state distribution has mass (and its acceptance collapses to Z/Z' ≈ 1),
+/// while the uniform proposal wastes flips on near-deterministic edges and
+/// rejects heavily. We measure, at equal *sample* budgets across several
+/// edge-probability regimes, the RMSE of flow estimates against exact
+/// enumeration, plus acceptance rates.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/exact_flow.h"
+#include "core/mh_sampler.h"
+#include "graph/generators.h"
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace infoflow::bench {
+namespace {
+
+struct Regime {
+  const char* name;
+  double lo;
+  double hi;
+};
+
+int Run(const BenchArgs& args) {
+  Banner("Ablation — weighted (paper) vs uniform MH proposal");
+  const Regime regimes[] = {
+      {"moderate p ~ U(0.2,0.8)", 0.2, 0.8},
+      {"sparse   p ~ U(0.01,0.15)", 0.01, 0.15},
+      {"extreme  p ~ U(0.001,0.999) mixed", 0.001, 0.999},
+  };
+  const std::size_t kReps = args.quick ? 10 : 40;
+  const std::size_t kSamples = 4000;
+
+  CsvWriter csv({"regime", "proposal", "rmse", "accept_rate"});
+  std::printf("%-34s %-10s %10s %12s\n", "regime", "proposal", "RMSE",
+              "accept");
+  for (const Regime& regime : regimes) {
+    for (const bool uniform : {false, true}) {
+      RunningStats err;
+      RunningStats accept;
+      Rng rng(args.seed);
+      for (std::size_t rep = 0; rep < kReps; ++rep) {
+        Rng rep_rng = rng.Split();
+        auto graph = std::make_shared<const DirectedGraph>(
+            UniformRandomGraph(8, 16, rep_rng));
+        std::vector<double> probs(graph->num_edges());
+        for (double& p : probs) p = rep_rng.Uniform(regime.lo, regime.hi);
+        PointIcm model(graph, probs);
+        const double exact = ExactFlowByEnumeration(model, 0, 7);
+        MhOptions opt;
+        opt.burn_in = 800;
+        opt.thinning = 4;
+        opt.uniform_proposal = uniform;
+        auto sampler = MhSampler::Create(model, {}, opt, rep_rng.Split());
+        sampler.status().CheckOK();
+        const double estimate =
+            sampler->EstimateFlowProbability(0, 7, kSamples);
+        err.Add((estimate - exact) * (estimate - exact));
+        accept.Add(static_cast<double>(sampler->steps_accepted()) /
+                   static_cast<double>(sampler->steps_taken()));
+      }
+      const double rmse = std::sqrt(err.Mean());
+      std::printf("%-34s %-10s %10.5f %12.3f\n", regime.name,
+                  uniform ? "uniform" : "weighted", rmse, accept.Mean());
+      csv.AppendRow({regime.name, uniform ? "uniform" : "weighted",
+                     FormatDouble(rmse, 9), FormatDouble(accept.Mean(), 9)});
+    }
+  }
+  std::printf(
+      "\ntakeaway: both proposals are unbiased, but the weighted proposal "
+      "keeps acceptance near 1 and mixes fastest exactly where edge "
+      "probabilities are extreme — the regime real trained models live "
+      "in.\n");
+  args.MaybeWriteCsv(csv, "ablation_proposal.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

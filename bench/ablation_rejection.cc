@@ -1,0 +1,100 @@
+/// \file ablation_rejection.cc
+/// \brief The §I claim "naive sampling can also be expensive", quantified:
+/// iid rejection sampling vs the Metropolis–Hastings chain for
+/// *conditional* flow queries.
+///
+/// We condition on k simultaneous known flows for growing k. Rejection
+/// pays 1 / Pr[C | M] marginal draws per retained sample, so its cost
+/// explodes as the conditions become informative; the MH chain's cost per
+/// retained sample is a constant (δ′+1 flips + one reachability test).
+/// Both estimates stay unbiased (checked against exact enumeration).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/exact_flow.h"
+#include "core/mh_sampler.h"
+#include "core/rejection_sampler.h"
+#include "graph/generators.h"
+#include "stats/descriptive.h"
+#include "util/timer.h"
+
+namespace infoflow::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  Banner("Ablation — conditional queries: rejection sampling vs MH");
+  const std::size_t kReps = args.quick ? 6 : 20;
+  const std::size_t kSamples = 3000;
+
+  CsvWriter csv({"num_conditions", "pr_conditions", "rejection_proposals",
+                 "rejection_time_s", "mh_time_s", "rejection_err",
+                 "mh_err"});
+  std::printf("%6s %12s %18s %14s %10s %12s %10s\n", "k", "Pr[C]",
+              "proposals/sample", "rejection s", "MH s", "rej err",
+              "MH err");
+  for (const std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{3}, std::size_t{4}}) {
+    RunningStats pr_c, proposals, rej_time, mh_time, rej_err, mh_err;
+    Rng rng(args.seed);
+    for (std::size_t rep = 0; rep < kReps; ++rep) {
+      Rng rep_rng = rng.Split();
+      auto graph = std::make_shared<const DirectedGraph>(
+          UniformRandomGraph(10, 20, rep_rng));
+      std::vector<double> probs(graph->num_edges());
+      for (double& p : probs) p = rep_rng.Uniform(0.05, 0.4);
+      PointIcm model(graph, probs);
+
+      // Conditions: the first k odd nodes must have received flow from 0.
+      FlowConditions conditions;
+      for (NodeId v = 1; conditions.size() < k && v < 10; v += 2) {
+        conditions.push_back({0, v, true});
+      }
+      auto exact =
+          ExactConditionalFlowByEnumeration(model, 0, 9, conditions);
+      if (!exact.ok()) continue;  // zero-probability conditions; skip rep
+      pr_c.Add(ExactConditionsProbability(model, conditions));
+
+      WallTimer timer;
+      Rng rej_rng = rep_rng.Split();
+      const RejectionEstimate rejection = RejectionSampleFlow(
+          model, 0, 9, conditions, kSamples, 200'000'000, rej_rng);
+      rej_time.Add(timer.Seconds());
+      proposals.Add(static_cast<double>(rejection.proposed) /
+                    static_cast<double>(rejection.accepted));
+      rej_err.Add(std::fabs(rejection.probability - *exact));
+
+      timer.Restart();
+      MhOptions opt;
+      opt.burn_in = 1000;
+      opt.thinning = 5;
+      auto sampler =
+          MhSampler::Create(model, conditions, opt, rep_rng.Split());
+      sampler.status().CheckOK();
+      const double mh_estimate =
+          sampler->EstimateFlowProbability(0, 9, kSamples);
+      mh_time.Add(timer.Seconds());
+      mh_err.Add(std::fabs(mh_estimate - *exact));
+    }
+    std::printf("%6zu %12.6f %18.1f %14.4f %10.4f %12.4f %10.4f\n", k,
+                pr_c.Mean(), proposals.Mean(), rej_time.Mean(),
+                mh_time.Mean(), rej_err.Mean(), mh_err.Mean());
+    csv.AppendNumericRow({static_cast<double>(k), pr_c.Mean(),
+                          proposals.Mean(), rej_time.Mean(), mh_time.Mean(),
+                          rej_err.Mean(), mh_err.Mean()});
+  }
+  std::printf(
+      "\ntakeaway: rejection needs ~1/Pr[C] marginal draws per retained "
+      "sample and its wall time blows up with informative conditions; the "
+      "MH chain's cost stays flat — the reason §III exists.\n");
+  args.MaybeWriteCsv(csv, "ablation_rejection.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

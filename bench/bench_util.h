@@ -1,0 +1,72 @@
+/// \file bench_util.h
+/// \brief Shared plumbing for the figure-reproduction harnesses.
+///
+/// Every bench binary accepts:
+///   --csv <dir>   dump the figure's underlying series as CSV files
+///   --quick       reduced trial counts (used by CI smoke runs)
+///   --seed <n>    master seed (default 20120401 — ICDE 2012)
+///
+/// Binaries print the same rows/series the paper reports plus a compact
+/// ASCII rendering of the figure.
+
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "util/csv.h"
+
+namespace infoflow::bench {
+
+/// Parsed command line for a bench binary.
+struct BenchArgs {
+  std::string csv_dir;  // empty: no CSV output
+  bool quick = false;
+  std::uint64_t seed = 20120401;
+
+  /// True when --csv was given.
+  bool WantCsv() const { return !csv_dir.empty(); }
+
+  /// Writes `writer` to "<csv_dir>/<name>" when --csv was given.
+  void MaybeWriteCsv(const CsvWriter& writer, const std::string& name) const {
+    if (!WantCsv()) return;
+    const std::string path = csv_dir + "/" + name;
+    const Status status = writer.WriteFile(path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSV write failed: %s\n",
+                   status.ToString().c_str());
+    } else {
+      std::printf("wrote %s\n", path.c_str());
+    }
+  }
+};
+
+/// Parses the common flags; exits with usage on errors.
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      args.quick = true;
+    } else if (arg == "--csv" && i + 1 < argc) {
+      args.csv_dir = argv[++i];
+    } else if (arg == "--seed" && i + 1 < argc) {
+      args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--quick] [--csv <dir>] [--seed <n>]\n",
+                   argv[0]);
+      std::exit(2);
+    }
+  }
+  return args;
+}
+
+/// Prints a section banner.
+inline void Banner(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace infoflow::bench

@@ -1,0 +1,126 @@
+/// \file fig11_multimodal.cc
+/// \brief Figure 11 + Table II (Appendix): EM finds only local maxima /
+/// points on the likelihood ridge; the joint-Bayes MCMC posterior shows
+/// the full spread.
+///
+/// Evidence (Table II): sink k with parents A, B, C;
+///   {A,B}:   count 100, leaks 50
+///   {B,C}:   count 100, leaks 50
+///   {A,B,C}: count 100, leaks 75
+/// Saito et al.'s EM is restarted 1000 times, fixed at 200 iterations (the
+/// paper's protocol); our joint Bayes runs one chain and keeps 1000
+/// samples. The scatter of (B vs A) and (B vs C) shows EM's point cloud
+/// hugging the ridge while the posterior spreads over it.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/ascii_plot.h"
+#include "graph/generators.h"
+#include "learn/joint_bayes.h"
+#include "learn/saito_em.h"
+#include "stats/descriptive.h"
+#include "util/string_util.h"
+
+namespace infoflow::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  Banner("Fig. 11 / Table II — EM local maxima vs joint-Bayes posterior");
+  const DirectedGraph graph = StarFragment(3);
+  SinkSummary summary;
+  summary.sink = 3;
+  for (EdgeId e : graph.InEdges(3)) {
+    summary.parents.push_back(graph.edge(e).src);
+    summary.parent_edges.push_back(e);
+  }
+  auto row = [&summary](std::vector<std::uint8_t> mask, std::uint64_t count,
+                        std::uint64_t leaks) {
+    SummaryRow r;
+    r.mask = std::move(mask);
+    r.count = count;
+    r.leaks = leaks;
+    summary.rows.push_back(std::move(r));
+  };
+  row({1, 1, 0}, 100, 50);
+  row({0, 1, 1}, 100, 50);
+  row({1, 1, 1}, 100, 75);
+  std::printf("Table II evidence:\n%s\n", summary.ToString().c_str());
+
+  const std::size_t kRestarts = args.quick ? 200 : 1000;
+  const std::size_t kSamples = args.quick ? 200 : 1000;
+
+  Rng rng(args.seed);
+  SaitoEmOptions em;
+  em.max_iterations = 200;  // the paper's "Fixing Saito at 200 iterations"
+  em.tolerance = 0.0;
+  const auto em_runs = FitSaitoEmRestarts(summary, em, kRestarts, rng);
+
+  JointBayesOptions jb;
+  jb.num_samples = kSamples;
+  jb.burn_in = 1000;
+  jb.thinning = 4;
+  jb.keep_samples = true;
+  auto bayes = FitJointBayes(summary, jb, rng);
+  bayes.status().CheckOK();
+
+  // Scatter: x = A (resp. C), y = B — the paper's two panels per method.
+  Series em_ab{"EM restarts", 'e', {}, {}}, mc_ab{"MCMC samples", 'm', {}, {}};
+  Series em_cb = em_ab, mc_cb = mc_ab;
+  RunningStats em_a, em_b, mc_a, mc_b;
+  for (const SaitoEmResult& run : em_runs) {
+    em_ab.x.push_back(run.estimate[0]);
+    em_ab.y.push_back(run.estimate[1]);
+    em_cb.x.push_back(run.estimate[2]);
+    em_cb.y.push_back(run.estimate[1]);
+    em_a.Add(run.estimate[0]);
+    em_b.Add(run.estimate[1]);
+  }
+  for (const auto& sample : bayes->samples) {
+    mc_ab.x.push_back(sample[0]);
+    mc_ab.y.push_back(sample[1]);
+    mc_cb.x.push_back(sample[2]);
+    mc_cb.y.push_back(sample[1]);
+    mc_a.Add(sample[0]);
+    mc_b.Add(sample[1]);
+  }
+  std::printf("(a) Saito et al. EM, %zu restarts @200 iterations — B (y) vs "
+              "A (x) and B vs C:\n",
+              kRestarts);
+  std::printf("%s", RenderSeries({em_ab}, 50, 14).c_str());
+  std::printf("%s", RenderSeries({em_cb}, 50, 14).c_str());
+  std::printf("(b) our joint Bayes MCMC, %zu samples — B vs A and B vs C:\n",
+              kSamples);
+  std::printf("%s", RenderSeries({mc_ab}, 50, 14).c_str());
+  std::printf("%s", RenderSeries({mc_cb}, 50, 14).c_str());
+
+  std::printf("\nspread comparison (std dev): EM A=%.4f B=%.4f | "
+              "MCMC A=%.4f B=%.4f\n",
+              em_a.StdDev(), em_b.StdDev(), mc_a.StdDev(), mc_b.StdDev());
+  std::printf("EM points are single modes/ridge points per restart; the "
+              "posterior exposes the full ridge (A anti-correlated with B: "
+              "corr=%.3f).\n",
+              bayes->SampleCorrelation(0, 1));
+
+  CsvWriter csv({"method", "A", "B", "C"});
+  for (const SaitoEmResult& run : em_runs) {
+    csv.AppendRow({"em", FormatDouble(run.estimate[0], 9),
+                   FormatDouble(run.estimate[1], 9),
+                   FormatDouble(run.estimate[2], 9)});
+  }
+  for (const auto& sample : bayes->samples) {
+    csv.AppendRow({"mcmc", FormatDouble(sample[0], 9),
+                   FormatDouble(sample[1], 9), FormatDouble(sample[2], 9)});
+  }
+  args.MaybeWriteCsv(csv, "fig11_multimodal.csv");
+
+  // Shape check: the posterior must show materially more spread than EM.
+  return mc_b.StdDev() > 2.0 * em_b.StdDev() ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

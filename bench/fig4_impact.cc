@@ -1,0 +1,115 @@
+/// \file fig4_impact.cc
+/// \brief Figure 4: predicted vs actual impact — the distribution of the
+/// number of users who retweet a message (§IV-D).
+///
+/// Train a betaICM on one half of a user's cascades, simulate the
+/// betaICM's impact distribution for that user, and compare against the
+/// actual retweet counts in the held-out half. The paper reports a similar
+/// *range* with an over-estimated mean (their crawl truncated cascades; our
+/// simulator lets us verify the range claim cleanly).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/impact.h"
+#include "graph/generators.h"
+#include "learn/attributed.h"
+#include "twitter/interesting_users.h"
+
+namespace infoflow::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  const NodeId kUsers = args.quick ? 120 : 300;
+  const std::size_t kMessages = args.quick ? 3000 : 10000;
+
+  Banner("Fig. 4 — predicted vs actual impact (retweet counts)");
+  Rng rng(args.seed);
+  auto graph = std::make_shared<const DirectedGraph>(
+      PreferentialAttachmentGraph(kUsers, 4, 0.25, rng));
+  std::vector<double> probs(graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.02, 0.4);
+  const PointIcm truth(graph, probs);
+
+  // Simulate cascades; split into train/test halves.
+  std::vector<double> author_weight(kUsers);
+  for (NodeId v = 0; v < kUsers; ++v) {
+    author_weight[v] = static_cast<double>(graph->OutDegree(v)) + 1.0;
+  }
+  AttributedEvidence train, test;
+  Rng gen_rng = rng.Split();
+  for (std::size_t m = 0; m < kMessages; ++m) {
+    const auto author =
+        static_cast<NodeId>(gen_rng.Categorical(author_weight));
+    const ActiveState s = truth.SampleCascade({author}, gen_rng);
+    AttributedObject obj;
+    obj.sources = s.sources;
+    obj.active_nodes = s.active_nodes;
+    for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+      if (s.edge_active[e]) obj.active_edges.push_back(e);
+    }
+    (m % 2 == 0 ? train : test).objects.push_back(std::move(obj));
+  }
+  auto model = TrainBetaIcmFromAttributed(graph, train);
+  model.status().CheckOK();
+
+  // A user with many held-out tweets.
+  const auto interesting = SelectInterestingUsers(kUsers, test, 1);
+  const NodeId focus = interesting.empty() ? 0 : interesting[0];
+
+  // Actual: held-out retweet counts of the focus.
+  ImpactDistribution actual;
+  for (const AttributedObject& obj : test.objects) {
+    if (obj.sources.size() == 1 && obj.sources[0] == focus) {
+      actual.Record(
+          static_cast<std::uint32_t>(obj.active_nodes.size() - 1));
+    }
+  }
+  // Predicted: cascades from the trained betaICM (parameter uncertainty
+  // included — a fresh ICM per cascade, §III-E style).
+  Rng sim_rng = rng.Split();
+  const std::size_t kSimulated = args.quick ? 2000 : 10000;
+  const ImpactDistribution predicted =
+      SimulateImpact(*model, focus, kSimulated, sim_rng);
+
+  std::printf("focus user %u: %llu held-out tweets\n", focus,
+              static_cast<unsigned long long>(actual.Total()));
+  const std::size_t width =
+      std::max(predicted.counts.size(), actual.counts.size());
+  std::printf("%-10s %-22s %-22s\n", "#retweets", "predicted freq",
+              "actual freq");
+  CsvWriter csv({"retweets", "predicted_freq", "actual_freq"});
+  for (std::size_t k = 0; k < width && k <= 24; ++k) {
+    const double p =
+        k < predicted.counts.size()
+            ? static_cast<double>(predicted.counts[k]) /
+                  static_cast<double>(predicted.Total())
+            : 0.0;
+    const double a = k < actual.counts.size() && actual.Total() > 0
+                         ? static_cast<double>(actual.counts[k]) /
+                               static_cast<double>(actual.Total())
+                         : 0.0;
+    std::string pb(static_cast<std::size_t>(p * 40), '#');
+    std::string ab(static_cast<std::size_t>(a * 40), '*');
+    std::printf("%-10zu %-22s %-22s (%.3f vs %.3f)\n", k, pb.c_str(),
+                ab.c_str(), p, a);
+    csv.AppendNumericRow({static_cast<double>(k), p, a});
+  }
+  std::printf("mean impact: predicted %.3f vs actual %.3f\n",
+              predicted.Mean(), actual.Mean());
+  std::printf("paper shape: similar range of impact; the paper's model "
+              "over-estimated the mean against its truncated crawl.\n");
+  args.MaybeWriteCsv(csv, "fig4_impact.csv");
+
+  // Ranges should overlap substantially.
+  const double ratio =
+      actual.Mean() > 0 ? predicted.Mean() / actual.Mean() : 1.0;
+  return (ratio > 0.5 && ratio < 2.0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

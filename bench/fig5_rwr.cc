@@ -1,0 +1,86 @@
+/// \file fig5_rwr.cc
+/// \brief Figure 5: the bucket experiment with Random Walk with Restart
+/// (§IV-E) — the same synthetic setting as Fig. 1, but predictions come
+/// from RWR similarity scores read as probabilities. The paper's point:
+/// RWR is badly calibrated compared to the MH flow estimates.
+
+#include <cstdio>
+
+#include "baselines/rwr.h"
+#include "bench_util.h"
+#include "core/beta_icm.h"
+#include "eval/ascii_plot.h"
+#include "eval/bucket.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace infoflow::bench {
+namespace {
+
+int Run(const BenchArgs& args) {
+  const std::size_t kTrials = args.quick ? 200 : 2000;
+  const NodeId kNodes = 50;
+  const EdgeId kEdges = 200;
+
+  Banner("Fig. 5 — bucket experiment with Random Walk with Restart");
+  std::printf("trials=%zu nodes=%u edges=%u (same data process as Fig. 1)\n",
+              kTrials, kNodes, kEdges);
+
+  Rng rng(args.seed);
+  BucketExperiment bucket;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    Rng trial_rng = rng.Split();
+    auto graph = std::make_shared<const DirectedGraph>(
+        UniformRandomGraph(kNodes, kEdges, trial_rng));
+    const BetaIcm model = BetaIcm::RandomSynthetic(graph, trial_rng);
+    const PointIcm sampled = model.SampleIcm(trial_rng);
+    const PseudoState test_state = sampled.SamplePseudoState(trial_rng);
+    const auto u = static_cast<NodeId>(trial_rng.NextBounded(kNodes));
+    auto v = static_cast<NodeId>(trial_rng.NextBounded(kNodes - 1));
+    if (v >= u) ++v;
+    const bool outcome = FlowExists(*graph, u, v, test_state);
+    const auto scores = RwrFlowScores(model.ExpectedIcm(), u);
+    bucket.Add(scores[v], outcome);
+  }
+
+  const BucketReport report = bucket.Analyze(30);
+  std::printf("%s", RenderCalibration(report).c_str());
+  const auto chi2 = ChiSquareCalibration(report);
+  std::printf("chi-square calibration: stat=%.2f over %llu bins, p=%.4f\n",
+              chi2.statistic,
+              static_cast<unsigned long long>(chi2.bins_used),
+              chi2.p_value);
+  const AccuracyReport all = ComputeAccuracy(bucket.pairs());
+  const AccuracyReport middle = ComputeMiddleAccuracy(bucket.pairs());
+  std::printf(
+      "Table III row 'RWR — Fig. 5': NL(all)=%.4f Brier(all)=%.4f "
+      "NL(mid)=%.4f Brier(mid)=%.4f\n",
+      all.normalized_likelihood, all.brier, middle.normalized_likelihood,
+      middle.brier);
+  std::printf(
+      "paper shape: RWR coverage/accuracy clearly below Fig. 1's MH "
+      "estimates (paper NL 0.351 vs 0.599, Brier 0.385 vs 0.174); measured "
+      "coverage %.1f%%\n",
+      100.0 * report.coverage);
+
+  CsvWriter csv({"bin_lo", "bin_hi", "count", "positives", "mean_estimate",
+                 "empirical_mean", "ci_lo", "ci_hi", "covered"});
+  for (const BucketBin& bin : report.bins) {
+    if (bin.count == 0) continue;
+    csv.AppendNumericRow({bin.lo, bin.hi, static_cast<double>(bin.count),
+                          static_cast<double>(bin.positives),
+                          bin.mean_estimate, bin.empirical_mean, bin.ci_lo,
+                          bin.ci_hi, bin.covered ? 1.0 : 0.0});
+  }
+  args.MaybeWriteCsv(csv, "fig5_rwr_bucket.csv");
+  // Success for this harness means demonstrating *mis*-calibration.
+  return report.coverage <= 0.6 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

@@ -1,0 +1,182 @@
+/// \file fig6_timing.cc
+/// \brief Figure 6: cost of drawing one training sample, our joint-Bayes
+/// method vs Goyal et al.'s credit rule (§V-C).
+///
+/// (a) Core computation only: one joint-Bayes posterior sweep (n Beta
+///     log-densities + ω Binomial terms) vs one full Goyal pass (m + n
+///     divisions, mn additions over the raw object list).
+/// (b) Total cost including building the evidence summary, and the
+///     amortized per-sample cost once the summary is built.
+///
+/// The paper plots (ours, goyal) time pairs across problem sizes; absolute
+/// numbers are hardware-bound, the *shape* (both linear-ish, ours a small
+/// constant factor above Goyal per sample, summarization amortizing away)
+/// is what we reproduce.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "eval/ascii_plot.h"
+#include "graph/generators.h"
+#include "learn/goyal.h"
+#include "learn/joint_bayes.h"
+#include "learn/summary.h"
+#include "util/timer.h"
+
+namespace infoflow::bench {
+namespace {
+
+/// Generates raw unattributed traces over a k-parent star.
+UnattributedEvidence SimulateRaw(std::size_t num_parents,
+                                 std::size_t num_objects, Rng& rng) {
+  UnattributedEvidence ev;
+  const auto sink = static_cast<NodeId>(num_parents);
+  for (std::size_t o = 0; o < num_objects; ++o) {
+    ObjectTrace trace;
+    double survive = 1.0;
+    double time = 1.0;
+    for (NodeId p = 0; p < sink; ++p) {
+      if (rng.Bernoulli(0.6)) {
+        trace.activations.push_back({p, time++});
+        survive *= 0.5;
+      }
+    }
+    if (trace.activations.empty()) continue;
+    if (rng.Bernoulli(1.0 - survive)) {
+      trace.activations.push_back({sink, time});
+    }
+    ev.traces.push_back(std::move(trace));
+  }
+  return ev;
+}
+
+/// Direct Goyal implementation over raw traces (no summary) — the m·n cost
+/// the paper attributes to it.
+double TimeGoyalRaw(const DirectedGraph& graph,
+                    const UnattributedEvidence& ev, NodeId sink, int reps) {
+  WallTimer timer;
+  double sink_value = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<NodeId> parents;
+    for (EdgeId e : graph.InEdges(sink)) parents.push_back(graph.edge(e).src);
+    std::vector<double> credit(parents.size(), 0.0),
+        exposure(parents.size(), 0.0);
+    for (const ObjectTrace& trace : ev.traces) {
+      const double t_sink = trace.TimeOf(sink);
+      std::size_t active = 0;
+      std::vector<std::uint8_t> mask(parents.size(), 0);
+      for (std::size_t j = 0; j < parents.size(); ++j) {
+        if (trace.TimeOf(parents[j]) < t_sink) {
+          mask[j] = 1;
+          ++active;
+        }
+      }
+      if (active == 0) continue;
+      const bool leak = trace.IsActive(sink);
+      for (std::size_t j = 0; j < parents.size(); ++j) {
+        if (!mask[j]) continue;
+        exposure[j] += 1.0;
+        if (leak) credit[j] += 1.0 / static_cast<double>(active);
+      }
+    }
+    for (std::size_t j = 0; j < parents.size(); ++j) {
+      sink_value += exposure[j] > 0 ? credit[j] / exposure[j] : 0.0;
+    }
+  }
+  // Keep the optimizer from discarding the computation.
+  if (sink_value == -1.0) std::printf("impossible\n");
+  return timer.Seconds() / reps;
+}
+
+int Run(const BenchArgs& args) {
+  Banner("Fig. 6 — per-sample training cost, ours vs Goyal");
+  Rng rng(args.seed);
+  const std::vector<std::pair<std::size_t, std::size_t>> sizes =
+      args.quick ? std::vector<std::pair<std::size_t, std::size_t>>{
+                       {4, 2000}, {8, 10000}}
+                 : std::vector<std::pair<std::size_t, std::size_t>>{
+                       {4, 2000},  {4, 20000},  {8, 10000},
+                       {8, 60000}, {12, 30000}, {12, 120000}};
+
+  Series core{"core: ours vs goyal", 'c', {}, {}};
+  Series total{"one sample + summarization", 't', {}, {}};
+  Series amortized{"amortized over 1000 samples", 'a', {}, {}};
+  CsvWriter csv({"parents", "objects", "goyal_core_s", "ours_core_s",
+                 "summarize_s", "ours_total_one_sample_s",
+                 "ours_amortized_s"});
+  std::printf("%8s %8s | %12s %12s | %12s %14s %14s\n", "parents", "objects",
+              "goyal core", "ours core", "summarize", "ours 1-sample",
+              "ours amortized");
+  for (const auto& [parents, objects] : sizes) {
+    Rng case_rng = rng.Split();
+    const DirectedGraph graph = StarFragment(parents);
+    const auto sink = static_cast<NodeId>(parents);
+    const UnattributedEvidence raw = SimulateRaw(parents, objects, case_rng);
+
+    const double goyal_core = TimeGoyalRaw(graph, raw, sink, 3);
+
+    WallTimer timer;
+    const SinkSummary summary = BuildSinkSummary(graph, sink, raw);
+    const double summarize = timer.Seconds();
+
+    // Ours, core: one posterior sweep == one retained sample at thinning 0.
+    JointBayesOptions one;
+    one.num_samples = 1;
+    one.burn_in = 0;
+    one.thinning = 0;
+    one.adapt = false;
+    timer.Restart();
+    const int kCoreReps = 200;
+    for (int r = 0; r < kCoreReps; ++r) {
+      Rng sample_rng = case_rng.Split();
+      FitJointBayes(summary, one, sample_rng).status().CheckOK();
+    }
+    const double ours_core = timer.Seconds() / kCoreReps;
+
+    // Amortized: 1000 retained samples in one chain.
+    JointBayesOptions many;
+    many.num_samples = 1000;
+    many.burn_in = 0;
+    many.thinning = 0;
+    many.adapt = false;
+    timer.Restart();
+    {
+      Rng sample_rng = case_rng.Split();
+      FitJointBayes(summary, many, sample_rng).status().CheckOK();
+    }
+    const double ours_amortized = (timer.Seconds() + summarize) / 1000.0;
+    const double ours_total = ours_core + summarize;
+
+    std::printf("%8zu %8zu | %12.6f %12.6f | %12.6f %14.6f %14.6f\n",
+                parents, objects, goyal_core, ours_core, summarize,
+                ours_total, ours_amortized);
+    core.x.push_back(goyal_core);
+    core.y.push_back(ours_core);
+    total.x.push_back(goyal_core + summarize);
+    total.y.push_back(ours_total);
+    amortized.x.push_back(goyal_core + summarize);
+    amortized.y.push_back(ours_amortized);
+    csv.AppendNumericRow({static_cast<double>(parents),
+                          static_cast<double>(objects), goyal_core,
+                          ours_core, summarize, ours_total, ours_amortized});
+  }
+  std::printf("\n(a) core computation (x: goyal seconds, y: ours seconds)\n");
+  std::printf("%s", RenderSeries({core}, 50, 12).c_str());
+  std::printf("(b) including summarization: dots = one sample, crosses = "
+              "amortized\n");
+  std::printf("%s", RenderSeries({total, amortized}, 50, 12).c_str());
+  std::printf(
+      "paper shape: summarized per-sample cost is tiny once the summary is "
+      "built (amortized points fall far below the one-sample line); the "
+      "raw Goyal pass scales with objects, ours with unique "
+      "characteristics.\n");
+  args.MaybeWriteCsv(csv, "fig6_timing.csv");
+  return 0;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

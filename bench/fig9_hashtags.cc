@@ -1,0 +1,17 @@
+/// \file fig9_hashtags.cc
+/// \brief Figure 9: measuring the flow of hashtags (§V-D) — the negative
+/// result. Hashtags mix quiet tags with offline-event tags that users
+/// adopt independently at a high external rate; a single per-edge ICM
+/// cannot express the mixture, so both learners' flow predictions are
+/// substantially worse-calibrated than for URLs (compare with Fig. 8's
+/// output).
+
+#include "tag_flow_common.h"
+
+int main(int argc, char** argv) {
+  const auto args = infoflow::bench::ParseArgs(argc, argv);
+  infoflow::bench::TagFlowConfig config;
+  config.kind = infoflow::TagKind::kHashtag;
+  config.radii = {4, 5};
+  return infoflow::bench::RunTagFlowFigure(args, config, "Fig.9");
+}

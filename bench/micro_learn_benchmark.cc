@@ -1,0 +1,151 @@
+/// \file micro_learn_benchmark.cc
+/// \brief google-benchmark microbenchmarks for the learners: attributed
+/// counting, summary construction, and the four unattributed estimators
+/// (the constants behind the Fig. 6 / §V-C complexity discussion).
+
+#include <benchmark/benchmark.h>
+
+#include "graph/generators.h"
+#include "learn/attributed.h"
+#include "learn/filtered.h"
+#include "learn/goyal.h"
+#include "learn/joint_bayes.h"
+#include "learn/saito_em.h"
+#include "learn/summary.h"
+
+namespace infoflow {
+namespace {
+
+/// Raw star traces with the given parent count and object count.
+UnattributedEvidence MakeTraces(std::size_t parents, std::size_t objects,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  UnattributedEvidence ev;
+  const auto sink = static_cast<NodeId>(parents);
+  for (std::size_t o = 0; o < objects; ++o) {
+    ObjectTrace trace;
+    double survive = 1.0;
+    double time = 1.0;
+    for (NodeId p = 0; p < sink; ++p) {
+      if (rng.Bernoulli(0.6)) {
+        trace.activations.push_back({p, time++});
+        survive *= 0.5;
+      }
+    }
+    if (trace.activations.empty()) continue;
+    if (rng.Bernoulli(1.0 - survive)) {
+      trace.activations.push_back({sink, time});
+    }
+    ev.traces.push_back(std::move(trace));
+  }
+  return ev;
+}
+
+void BM_BuildSinkSummary(benchmark::State& state) {
+  const auto parents = static_cast<std::size_t>(state.range(0));
+  const auto objects = static_cast<std::size_t>(state.range(1));
+  const DirectedGraph graph = StarFragment(parents);
+  const UnattributedEvidence traces = MakeTraces(parents, objects, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        BuildSinkSummary(graph, static_cast<NodeId>(parents), traces));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(objects));
+}
+BENCHMARK(BM_BuildSinkSummary)
+    ->Args({4, 1000})
+    ->Args({4, 10000})
+    ->Args({10, 10000});
+
+void BM_GoyalFit(benchmark::State& state) {
+  const auto parents = static_cast<std::size_t>(state.range(0));
+  const DirectedGraph graph = StarFragment(parents);
+  const UnattributedEvidence traces = MakeTraces(parents, 10000, 2);
+  const SinkSummary summary =
+      BuildSinkSummary(graph, static_cast<NodeId>(parents), traces);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitGoyal(summary));
+  }
+}
+BENCHMARK(BM_GoyalFit)->Arg(4)->Arg(10);
+
+void BM_FilteredFit(benchmark::State& state) {
+  const DirectedGraph graph = StarFragment(6);
+  const UnattributedEvidence traces = MakeTraces(6, 10000, 3);
+  const SinkSummary summary = BuildSinkSummary(graph, 6, traces);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitFiltered(summary));
+  }
+}
+BENCHMARK(BM_FilteredFit);
+
+void BM_JointBayesSweep(benchmark::State& state) {
+  const auto parents = static_cast<std::size_t>(state.range(0));
+  const DirectedGraph graph = StarFragment(parents);
+  const UnattributedEvidence traces = MakeTraces(parents, 10000, 4);
+  const SinkSummary summary =
+      BuildSinkSummary(graph, static_cast<NodeId>(parents), traces);
+  JointBayesOptions opt;
+  opt.num_samples = 1;
+  opt.burn_in = 0;
+  opt.thinning = 0;
+  opt.adapt = false;
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitJointBayes(summary, opt, rng));
+  }
+}
+BENCHMARK(BM_JointBayesSweep)->Arg(4)->Arg(10);
+
+void BM_SaitoEmIteration(benchmark::State& state) {
+  const auto parents = static_cast<std::size_t>(state.range(0));
+  const DirectedGraph graph = StarFragment(parents);
+  const UnattributedEvidence traces = MakeTraces(parents, 10000, 6);
+  const SinkSummary summary =
+      BuildSinkSummary(graph, static_cast<NodeId>(parents), traces);
+  SaitoEmOptions opt;
+  opt.max_iterations = 1;
+  opt.tolerance = 0.0;
+  opt.random_init = false;
+  Rng rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FitSaitoEm(summary, opt, rng));
+  }
+}
+BENCHMARK(BM_SaitoEmIteration)->Arg(4)->Arg(10);
+
+void BM_AttributedTrainPerObject(benchmark::State& state) {
+  Rng rng(8);
+  auto graph = std::make_shared<const DirectedGraph>(
+      PreferentialAttachmentGraph(500, 4, 0.2, rng));
+  std::vector<double> probs(graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.05, 0.3);
+  const PointIcm truth(graph, probs);
+  // Pre-generate objects; the benchmark measures the counting update.
+  std::vector<AttributedObject> objects;
+  for (int i = 0; i < 200; ++i) {
+    const ActiveState s = truth.SampleCascade({0}, rng);
+    AttributedObject obj;
+    obj.sources = s.sources;
+    obj.active_nodes = s.active_nodes;
+    for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+      if (s.edge_active[e]) obj.active_edges.push_back(e);
+    }
+    objects.push_back(std::move(obj));
+  }
+  BetaIcm model = BetaIcm::Uninformed(graph);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    UpdateBetaIcmWithObject(model, objects[i % objects.size()]).CheckOK();
+    ++i;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_AttributedTrainPerObject);
+
+}  // namespace
+}  // namespace infoflow
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/// \file micro_mh_benchmark.cc
+/// \brief google-benchmark microbenchmarks for the Metropolis–Hastings
+/// sampler — the §IV-C timing claims.
+///
+/// The paper reports, on a 6K-user / 14K-edge Twitter sample, 0.13 ms per
+/// Markov-chain update and 27 ms per output sample. Absolute numbers are
+/// hardware-bound; the shapes to verify are (i) the per-update cost grows
+/// ~logarithmically with the edge count (Fenwick proposal + O(1) accept)
+/// and (ii) the per-output-sample cost is updates-per-sample × update cost
+/// plus one reachability test.
+
+#include <benchmark/benchmark.h>
+
+#include "core/beta_icm.h"
+#include "core/mh_sampler.h"
+#include "graph/generators.h"
+#include "graph/reachability.h"
+
+namespace infoflow {
+namespace {
+
+PointIcm MakeModel(NodeId nodes, EdgeId edges, std::uint64_t seed) {
+  Rng rng(seed);
+  auto graph =
+      std::make_shared<const DirectedGraph>(UniformRandomGraph(nodes, edges, rng));
+  std::vector<double> probs(graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.05, 0.95);
+  return PointIcm(graph, std::move(probs));
+}
+
+/// One chain update (Algorithm 1 step): the paper's 0.13 ms/update claim.
+void BM_ChainUpdate(benchmark::State& state) {
+  const auto edges = static_cast<EdgeId>(state.range(0));
+  const auto nodes = static_cast<NodeId>(state.range(0) / 2);
+  PointIcm model = MakeModel(nodes, edges, 42);
+  auto sampler = MhSampler::Create(model, {}, MhOptions{}, Rng(7));
+  sampler.status().CheckOK();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ChainUpdate)->RangeMultiplier(4)->Range(256, 16384);
+
+/// One *output* sample at the paper's scale (6K users, 14K edges),
+/// including thinning and the flow test: the 27 ms/sample claim.
+void BM_OutputSamplePaperScale(benchmark::State& state) {
+  PointIcm model = MakeModel(6000, 14000, 43);
+  MhOptions options;
+  options.burn_in = 0;
+  options.thinning = static_cast<std::size_t>(state.range(0));
+  auto sampler = MhSampler::Create(model, {}, options, Rng(7));
+  sampler.status().CheckOK();
+  sampler->NextSample();  // consume the (empty) burn-in phase
+  ReachabilityWorkspace ws(model.graph());
+  for (auto _ : state) {
+    const PseudoState& x = sampler->NextSample();
+    benchmark::DoNotOptimize(ws.RunUntil(model.graph(), {0}, x, 5999));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_OutputSamplePaperScale)->Arg(10)->Arg(50)->Arg(200);
+
+/// The flow-indicator reachability test alone (the O(m) term of the
+/// per-sample complexity).
+void BM_FlowIndicator(benchmark::State& state) {
+  const auto edges = static_cast<EdgeId>(state.range(0));
+  const auto nodes = static_cast<NodeId>(state.range(0) / 2);
+  PointIcm model = MakeModel(nodes, edges, 44);
+  Rng rng(9);
+  const PseudoState x = model.SamplePseudoState(rng);
+  ReachabilityWorkspace ws(model.graph());
+  NodeId sink = nodes - 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ws.RunUntil(model.graph(), {0}, x, sink));
+  }
+}
+BENCHMARK(BM_FlowIndicator)->RangeMultiplier(4)->Range(256, 16384);
+
+/// Conditional chains pay one reachability test per accepted flip.
+void BM_ConditionalChainUpdate(benchmark::State& state) {
+  PointIcm model = MakeModel(500, 2000, 45);
+  const FlowConditions conditions{{0, 100, true}, {1, 200, true}};
+  auto sampler = MhSampler::Create(model, conditions, MhOptions{}, Rng(7));
+  sampler.status().CheckOK();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler->Step());
+  }
+}
+BENCHMARK(BM_ConditionalChainUpdate);
+
+/// Pseudo-state sampling from a betaICM (the outer loop of nested MH).
+void BM_SampleIcmFromBeta(benchmark::State& state) {
+  Rng rng(46);
+  auto graph = std::make_shared<const DirectedGraph>(
+      UniformRandomGraph(1000, 4000, rng));
+  const BetaIcm model = BetaIcm::RandomSynthetic(graph, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.SampleIcm(rng).prob(0));
+  }
+}
+BENCHMARK(BM_SampleIcmFromBeta);
+
+}  // namespace
+}  // namespace infoflow
+
+BENCHMARK_MAIN();

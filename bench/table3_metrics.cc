@@ -1,0 +1,235 @@
+/// \file table3_metrics.cc
+/// \brief Table III: normalized likelihood and Brier score, over all values
+/// and over "middle values" (predictions strictly inside (0, 1)), for the
+/// main experiments:
+///   - the Fig. 1 MH test on synthetic betaICMs,
+///   - the Fig. 5 RWR baseline on the same process,
+///   - the Fig. 2-style attributed experiments (radius 1 and 2),
+///   - the Fig. 8-style URL experiments (our method and Goyal, radius 4/5).
+///
+/// Shape to reproduce: MH clearly beats RWR; the attributed experiments
+/// score near-certain on most pairs (NL ≈ 0.97–0.999 all-values in the
+/// paper) and drop when certain predictions are filtered out; our URL
+/// method beats Goyal's on middle values.
+
+#include <cstdio>
+
+#include "baselines/rwr.h"
+#include "bench_util.h"
+#include "core/beta_icm.h"
+#include "core/mh_sampler.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "learn/attributed.h"
+#include "learn/model_trainer.h"
+#include "tag_flow_common.h"
+#include "twitter/cascade_gen.h"
+#include "twitter/interesting_users.h"
+#include "twitter/retweet_parser.h"
+#include "twitter/tag_gen.h"
+#include "util/string_util.h"
+
+namespace infoflow::bench {
+namespace {
+
+struct TableRow {
+  std::string experiment;
+  AccuracyReport all;
+  AccuracyReport middle;
+};
+
+void PrintTable(const std::vector<TableRow>& rows, const BenchArgs& args) {
+  std::printf("\n%-34s | %12s %12s | %12s %12s\n", "experiment", "NL(all)",
+              "Brier(all)", "NL(middle)", "Brier(middle)");
+  std::printf("%s\n", std::string(92, '-').c_str());
+  CsvWriter csv({"experiment", "nl_all", "brier_all", "count_all",
+                 "nl_middle", "brier_middle", "count_middle"});
+  for (const TableRow& row : rows) {
+    std::printf("%-34s | %12.6f %12.6f | %12.6f %12.6f\n",
+                row.experiment.c_str(), row.all.normalized_likelihood,
+                row.all.brier, row.middle.normalized_likelihood,
+                row.middle.brier);
+    csv.AppendRow({row.experiment, FormatDouble(row.all.normalized_likelihood, 9),
+                   FormatDouble(row.all.brier, 9),
+                   std::to_string(row.all.count),
+                   FormatDouble(row.middle.normalized_likelihood, 9),
+                   FormatDouble(row.middle.brier, 9),
+                   std::to_string(row.middle.count)});
+  }
+  args.MaybeWriteCsv(csv, "table3_metrics.csv");
+}
+
+TableRow Score(std::string name, const std::vector<BucketPair>& pairs) {
+  return TableRow{std::move(name), ComputeAccuracy(pairs),
+                  ComputeMiddleAccuracy(pairs)};
+}
+
+/// Fig. 1 / Fig. 5 process at table scale: one pair per trial, estimated
+/// by MH or RWR.
+void SyntheticRows(const BenchArgs& args, std::vector<TableRow>* rows) {
+  const std::size_t kTrials = args.quick ? 150 : 1200;
+  Rng rng(args.seed);
+  std::vector<BucketPair> mh_pairs, rwr_pairs;
+  for (std::size_t trial = 0; trial < kTrials; ++trial) {
+    Rng trial_rng = rng.Split();
+    auto graph = std::make_shared<const DirectedGraph>(
+        UniformRandomGraph(50, 200, trial_rng));
+    const BetaIcm model = BetaIcm::RandomSynthetic(graph, trial_rng);
+    const PointIcm sampled = model.SampleIcm(trial_rng);
+    const PseudoState test_state = sampled.SamplePseudoState(trial_rng);
+    const auto u = static_cast<NodeId>(trial_rng.NextBounded(50));
+    auto v = static_cast<NodeId>(trial_rng.NextBounded(49));
+    if (v >= u) ++v;
+    const bool outcome = FlowExists(*graph, u, v, test_state);
+    MhOptions mh;
+    mh.burn_in = 1200;
+    mh.thinning = 5;
+    auto sampler =
+        MhSampler::Create(model.ExpectedIcm(), {}, mh, trial_rng.Split());
+    mh_pairs.push_back(
+        {sampler->EstimateFlowProbability(u, v, 400), outcome});
+    rwr_pairs.push_back({RwrFlowScores(model.ExpectedIcm(), u)[v], outcome});
+  }
+  rows->push_back(Score("MH Test - Fig. 1", mh_pairs));
+  rows->push_back(Score("RWR - Fig. 5", rwr_pairs));
+}
+
+/// Fig. 2-style attributed rows (radius 1 and 2).
+void AttributedRows(const BenchArgs& args, std::vector<TableRow>* rows) {
+  const NodeId kUsers = args.quick ? 120 : 250;
+  const std::size_t kMessages = args.quick ? 1500 : 4000;
+  Rng rng(args.seed + 1);
+  auto graph = std::make_shared<const DirectedGraph>(
+      PreferentialAttachmentGraph(kUsers, 4, 0.25, rng));
+  const UserRegistry registry = UserRegistry::Sequential(kUsers);
+  std::vector<double> probs(graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.02, 0.35);
+  const PointIcm truth(graph, probs);
+  CascadeGenOptions gen;
+  gen.num_messages = kMessages;
+  auto generated = GenerateCascades(truth, registry, gen, rng);
+  generated.status().CheckOK();
+  const AttributedEvidence evidence =
+      ParseRetweetLog(generated->log, registry).ToEvidence(*graph);
+  auto model = TrainBetaIcmFromAttributed(graph, evidence);
+  model.status().CheckOK();
+  const PointIcm expected = model->ExpectedIcm();
+  const auto interesting =
+      SelectInterestingUsers(kUsers, evidence, args.quick ? 4 : 12);
+
+  for (std::size_t radius : {std::size_t{1}, std::size_t{2}}) {
+    std::vector<BucketPair> pairs;
+    Rng panel_rng = rng.Split();
+    for (NodeId focus : interesting) {
+      const Subgraph ego = EgoSubgraph(*graph, focus, radius);
+      if (ego.graph.num_nodes() < 3) continue;
+      auto ego_graph = std::make_shared<const DirectedGraph>(ego.graph);
+      std::vector<double> learned(ego.graph.num_edges()),
+          true_probs(ego.graph.num_edges());
+      for (EdgeId e = 0; e < ego.graph.num_edges(); ++e) {
+        learned[e] = expected.prob(ego.edge_to_parent[e]);
+        true_probs[e] = truth.prob(ego.edge_to_parent[e]);
+      }
+      const PointIcm ego_model(ego_graph, learned);
+      const PointIcm ego_truth(ego_graph, true_probs);
+      const NodeId local_focus = ego.LocalNode(focus);
+      MhOptions mh;
+      mh.burn_in = 2000;
+      mh.thinning = 8;
+      auto sampler =
+          MhSampler::Create(ego_model, {}, mh, panel_rng.Split());
+      for (std::size_t t = 0; t < (args.quick ? 20u : 50u); ++t) {
+        const ActiveState state =
+            ego_truth.SampleCascade({local_focus}, panel_rng);
+        auto sink = static_cast<NodeId>(
+            panel_rng.NextBounded(ego.graph.num_nodes()));
+        if (sink == local_focus) continue;
+        pairs.push_back(
+            {sampler->EstimateFlowProbability(local_focus, sink, 500),
+             state.IsNodeActive(sink)});
+      }
+    }
+    rows->push_back(
+        Score("attributed radius " + std::to_string(radius) + " - Fig. 2",
+              pairs));
+  }
+}
+
+/// Fig. 8-style URL rows (ours and Goyal, radius 4/5) via the shared tag
+/// harness internals at table scale.
+void UrlRows(const BenchArgs& args, std::vector<TableRow>* rows) {
+  const NodeId kUsers = args.quick ? 100 : 200;
+  Rng rng(args.seed + 2);
+  auto base_graph = std::make_shared<const DirectedGraph>(
+      PreferentialAttachmentGraph(kUsers, 2, 0.2, rng));
+  std::vector<double> probs(base_graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.05, 0.45);
+  const TagNetwork network =
+      AugmentWithOmnipotent(PointIcm(base_graph, probs));
+  TagGenOptions gen;
+  gen.num_objects = args.quick ? 200 : 500;
+  Rng train_rng = rng.Split();
+  auto train = GenerateTagTraces(network, TagKind::kUrl, gen, train_rng);
+  train.status().CheckOK();
+  gen.num_objects = args.quick ? 50 : 120;
+  Rng test_rng = rng.Split();
+  auto test = GenerateTagTraces(network, TagKind::kUrl, gen, test_rng);
+  test.status().CheckOK();
+
+  UnattributedTrainOptions opt;
+  opt.joint_bayes.num_samples = 250;
+  opt.joint_bayes.burn_in = 200;
+  opt.no_evidence_mean = 0.0;
+  Rng fit_rng = rng.Split();
+  auto ours = TrainUnattributedModel(network.graph, *train, opt, fit_rng);
+  ours.status().CheckOK();
+  opt.method = UnattributedMethod::kGoyal;
+  auto goyal = TrainUnattributedModel(network.graph, *train, opt, fit_rng);
+  goyal.status().CheckOK();
+
+  const auto sources =
+      EarlyAdopters(*train, network.omnipotent, args.quick ? 2 : 3);
+  struct M {
+    const char* label;
+    const UnattributedModel* model;
+  };
+  for (const M& m : {M{"MC", &*ours}, M{"Goyal", &*goyal}}) {
+    for (std::size_t radius : {std::size_t{4}, std::size_t{5}}) {
+      Rng panel_rng = rng.Split();
+      const TagPanelResult panel = RunTagPanel(
+          network, *m.model, *test, sources, radius, 0, panel_rng);
+      TableRow row;
+      row.experiment = std::string(m.label) + " (radius " +
+                       std::to_string(radius) + ") - Fig. 8";
+      row.all = panel.all;
+      row.middle = panel.middle;
+      rows->push_back(std::move(row));
+    }
+  }
+}
+
+int Run(const BenchArgs& args) {
+  Banner("Table III — normalized likelihood and Brier probability score");
+  std::vector<TableRow> rows;
+  SyntheticRows(args, &rows);
+  AttributedRows(args, &rows);
+  UrlRows(args, &rows);
+  PrintTable(rows, args);
+  std::printf(
+      "\npaper shape: MH >> RWR on both measures; attributed rows score "
+      "near-certain on all values and drop on middle values; our URL rows "
+      "beat Goyal's on middle values.\n");
+  // Headline ordering check: MH beats RWR on both metrics.
+  const bool ok = rows[0].all.normalized_likelihood >
+                      rows[1].all.normalized_likelihood &&
+                  rows[0].all.brier < rows[1].all.brier;
+  return ok ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace infoflow::bench
+
+int main(int argc, char** argv) {
+  return infoflow::bench::Run(infoflow::bench::ParseArgs(argc, argv));
+}

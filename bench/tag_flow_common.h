@@ -1,0 +1,263 @@
+/// \file tag_flow_common.h
+/// \brief Shared harness for the unattributed-flow figures: Fig. 8 (URLs),
+/// Fig. 9 (hashtags), Fig. 10 (edge-uncertainty resampling).
+///
+/// Protocol (§V-D): simulate tag traces over the omnipotent-augmented
+/// network; train whole-graph edge models (ours and Goyal's); pick
+/// interesting early-adopter sources; on radius-r ego nets around each
+/// source, estimate Pr[{source, omnipotent} ⤳ sink] with the MH sampler
+/// and bucket against held-out adoption outcomes.
+
+#pragma once
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "bench_util.h"
+#include "core/mh_sampler.h"
+#include "eval/ascii_plot.h"
+#include "eval/bucket.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "learn/model_trainer.h"
+#include "twitter/tag_gen.h"
+
+namespace infoflow::bench {
+
+/// \brief Result of one panel (one method at one radius).
+struct TagPanelResult {
+  BucketReport report;
+  AccuracyReport all;
+  AccuracyReport middle;
+};
+
+/// \brief Configuration of a whole tag-flow figure run.
+struct TagFlowConfig {
+  TagKind kind = TagKind::kUrl;
+  /// Radii evaluated per method (the paper uses 4 and 5 hops).
+  std::vector<std::size_t> radii{4, 5};
+  /// When > 0, re-estimate with this many edge-uncertainty resamples
+  /// (Fig. 10: per resample, draw each edge from N(mean, sd) clamped).
+  std::size_t uncertainty_resamples = 0;
+};
+
+/// Picks the most frequent *early adopters* (first non-omnipotent node of
+/// a trace) as focus sources.
+inline std::vector<NodeId> EarlyAdopters(const UnattributedEvidence& traces,
+                                         NodeId omnipotent, std::size_t k) {
+  std::vector<std::uint64_t> counts(omnipotent, 0);
+  for (const ObjectTrace& trace : traces.traces) {
+    double best_time = 0.0;
+    NodeId best = kInvalidNode;
+    for (const Activation& a : trace.activations) {
+      if (a.node == omnipotent) continue;
+      if (best == kInvalidNode || a.time < best_time) {
+        best = a.node;
+        best_time = a.time;
+      }
+    }
+    if (best != kInvalidNode) ++counts[best];
+  }
+  std::vector<NodeId> order(omnipotent);
+  for (NodeId v = 0; v < omnipotent; ++v) order[v] = v;
+  std::stable_sort(order.begin(), order.end(), [&counts](NodeId a, NodeId b) {
+    return counts[a] > counts[b];
+  });
+  order.resize(std::min(k, order.size()));
+  return order;
+}
+
+/// Runs one method's panel at one radius and returns the bucket analysis.
+inline TagPanelResult RunTagPanel(const TagNetwork& network,
+                                  const UnattributedModel& model,
+                                  const UnattributedEvidence& test,
+                                  const std::vector<NodeId>& sources,
+                                  std::size_t radius,
+                                  std::size_t uncertainty_resamples,
+                                  Rng& rng) {
+  BucketExperiment bucket;
+  for (NodeId source : sources) {
+    // Ego ball in the augmented graph, following in-network edges only
+    // (the omnipotent node would otherwise make everything radius 1), then
+    // re-attach the omnipotent node.
+    std::vector<NodeId> ball{source};
+    {
+      std::vector<std::uint8_t> seen(network.graph->num_nodes(), 0);
+      seen[source] = 1;
+      std::size_t frontier = 0;
+      for (std::size_t depth = 0; depth < radius; ++depth) {
+        const std::size_t end = ball.size();
+        for (std::size_t i = frontier; i < end; ++i) {
+          for (EdgeId e : network.graph->OutEdges(ball[i])) {
+            const NodeId w = network.graph->edge(e).dst;
+            if (!seen[w]) {
+              seen[w] = 1;
+              ball.push_back(w);
+            }
+          }
+        }
+        frontier = end;
+      }
+    }
+    ball.push_back(network.omnipotent);
+    const Subgraph ego = InducedSubgraph(*network.graph, ball);
+    auto ego_graph = std::make_shared<const DirectedGraph>(ego.graph);
+    const NodeId local_source = ego.LocalNode(source);
+    const NodeId local_omni = ego.LocalNode(network.omnipotent);
+
+    std::vector<NodeId> sinks;
+    for (NodeId v = 0; v < ego.graph.num_nodes(); ++v) {
+      if (v != local_source && v != local_omni) sinks.push_back(v);
+    }
+    if (sinks.empty()) continue;
+
+    auto estimate_with = [&](const std::vector<double>& probs) {
+      PointIcm ego_model(ego_graph, probs);
+      MhOptions mh;
+      mh.burn_in = 2000;
+      mh.thinning = 8;
+      auto sampler = MhSampler::Create(ego_model, {}, mh, rng.Split());
+      sampler.status().CheckOK();
+      return sampler->EstimateCommunityFlowMulti({local_source, local_omni},
+                                                 sinks, 400);
+    };
+
+    std::vector<double> mean_probs(ego.graph.num_edges());
+    for (EdgeId e = 0; e < ego.graph.num_edges(); ++e) {
+      mean_probs[e] = model.mean[ego.edge_to_parent[e]];
+    }
+    std::vector<std::vector<double>> estimate_sets;
+    if (uncertainty_resamples == 0) {
+      estimate_sets.push_back(estimate_with(mean_probs));
+    } else {
+      // Fig. 10: resample each edge from its Gaussian approximation.
+      for (std::size_t r = 0; r < uncertainty_resamples; ++r) {
+        std::vector<double> noisy(ego.graph.num_edges());
+        for (EdgeId e = 0; e < ego.graph.num_edges(); ++e) {
+          const EdgeId pe = ego.edge_to_parent[e];
+          noisy[e] =
+              std::clamp(rng.Normal(model.mean[pe], model.sd[pe]), 0.0, 1.0);
+        }
+        estimate_sets.push_back(estimate_with(noisy));
+      }
+    }
+
+    // Pair estimates with held-out adoption outcomes: objects where the
+    // source adopted.
+    for (const ObjectTrace& trace : test.traces) {
+      if (!trace.IsActive(source)) continue;
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        const NodeId parent_sink = ego.node_to_parent[sinks[j]];
+        const bool outcome = trace.IsActive(parent_sink);
+        for (const auto& estimates : estimate_sets) {
+          bucket.Add(estimates[j], outcome);
+        }
+      }
+    }
+  }
+  TagPanelResult result;
+  result.report = bucket.Analyze(30);
+  result.all = ComputeAccuracy(bucket.pairs());
+  result.middle = ComputeMiddleAccuracy(bucket.pairs());
+  return result;
+}
+
+/// Full figure driver shared by fig8/fig9/fig10 binaries. Returns the
+/// per-(method, radius) coverage table.
+inline int RunTagFlowFigure(const BenchArgs& args, const TagFlowConfig& config,
+                            const std::string& figure_name) {
+  const NodeId kUsers = args.quick ? 120 : 250;
+  const std::size_t kTrainObjects = args.quick ? 250 : 700;
+  const std::size_t kTestObjects = args.quick ? 60 : 150;
+  const std::size_t kSources = args.quick ? 2 : 4;
+
+  Banner(figure_name + " — " +
+         (config.kind == TagKind::kUrl ? "URL" : "hashtag") + " flows");
+  std::printf("users=%u train_objects=%zu test_objects=%zu sources=%zu\n",
+              kUsers, kTrainObjects, kTestObjects, kSources);
+
+  Rng rng(args.seed);
+  auto base_graph = std::make_shared<const DirectedGraph>(
+      PreferentialAttachmentGraph(kUsers, 2, 0.2, rng));
+  std::vector<double> probs(base_graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.05, 0.45);
+  const PointIcm base(base_graph, probs);
+  const TagNetwork network = AugmentWithOmnipotent(base);
+
+  TagGenOptions gen;
+  gen.num_objects = kTrainObjects;
+  Rng train_rng = rng.Split();
+  auto train = GenerateTagTraces(network, config.kind, gen, train_rng);
+  train.status().CheckOK();
+  gen.num_objects = kTestObjects;
+  Rng test_rng = rng.Split();
+  auto test = GenerateTagTraces(network, config.kind, gen, test_rng);
+  test.status().CheckOK();
+
+  // Train both methods on the same traces.
+  UnattributedTrainOptions ours_opt;
+  ours_opt.method = UnattributedMethod::kJointBayes;
+  ours_opt.joint_bayes.num_samples = 300;
+  ours_opt.joint_bayes.burn_in = 200;
+  ours_opt.no_evidence_mean = 0.0;  // unseen edge: no predicted flow
+  Rng ours_rng = rng.Split();
+  auto ours = TrainUnattributedModel(network.graph, *train, ours_opt,
+                                     ours_rng);
+  ours.status().CheckOK();
+  UnattributedTrainOptions goyal_opt = ours_opt;
+  goyal_opt.method = UnattributedMethod::kGoyal;
+  Rng goyal_rng = rng.Split();
+  auto goyal = TrainUnattributedModel(network.graph, *train, goyal_opt,
+                                      goyal_rng);
+  goyal.status().CheckOK();
+
+  const auto sources =
+      EarlyAdopters(*train, network.omnipotent, kSources);
+
+  int exit_code = 0;
+  struct Method {
+    const char* name;
+    const UnattributedModel* model;
+  };
+  const Method methods[] = {{"our approach", &*ours},
+                            {"goyal approach", &*goyal}};
+  for (std::size_t radius : config.radii) {
+    for (const Method& method : methods) {
+      Banner(figure_name + " radius " + std::to_string(radius) + ": " +
+             method.name);
+      Rng panel_rng = rng.Split();
+      const TagPanelResult panel =
+          RunTagPanel(network, *method.model, *test, sources, radius,
+                      config.uncertainty_resamples, panel_rng);
+      std::printf("%s", RenderCalibration(panel.report).c_str());
+      std::printf(
+          "accuracy: NL(all)=%.4f Brier(all)=%.4f NL(mid)=%.4f "
+          "Brier(mid)=%.4f (%llu pairs)\n",
+          panel.all.normalized_likelihood, panel.all.brier,
+          panel.middle.normalized_likelihood, panel.middle.brier,
+          static_cast<unsigned long long>(panel.all.count));
+
+      CsvWriter csv({"bin_lo", "bin_hi", "count", "positives",
+                     "mean_estimate", "empirical_mean", "ci_lo", "ci_hi",
+                     "covered"});
+      for (const BucketBin& bin : panel.report.bins) {
+        if (bin.count == 0) continue;
+        csv.AppendNumericRow(
+            {bin.lo, bin.hi, static_cast<double>(bin.count),
+             static_cast<double>(bin.positives), bin.mean_estimate,
+             bin.empirical_mean, bin.ci_lo, bin.ci_hi,
+             bin.covered ? 1.0 : 0.0});
+      }
+      std::string file = figure_name;
+      for (char& c : file) c = c == '.' ? '_' : static_cast<char>(std::tolower(c));
+      args.MaybeWriteCsv(csv, file + "_r" + std::to_string(radius) + "_" +
+                                  (method.name[0] == 'o' ? "ours" : "goyal") +
+                                  ".csv");
+    }
+  }
+  return exit_code;
+}
+
+}  // namespace infoflow::bench

@@ -1,0 +1,138 @@
+/// \file outbreak_response.cpp
+/// \brief Example: timed flow for public-health announcements (§I's
+/// motivation; §VI's delay extension).
+///
+/// A health agency must warn a set of communities about contaminated
+/// supplies. Messages relay through a trust network where each hop takes
+/// time. Using a DelayedIcm (per-edge activation probability + forwarding
+/// delay) we answer the questions a deadline imposes:
+///   1. which seed reaches the most at-risk communities *within 24h* —
+///      not just eventually;
+///   2. the arrival-time distribution to the most remote community;
+///   3. how much a faster official channel (lower delays on the agency's
+///      own edges) buys, versus raising forwarding probability.
+///
+///   $ build/examples/outbreak_response
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "core/delay.h"
+#include "core/influence_max.h"
+#include "graph/generators.h"
+#include "stats/descriptive.h"
+
+using namespace infoflow;
+
+int main() {
+  // Trust network: 120 community hubs, heavy-tailed connectivity.
+  Rng rng(24601);
+  const NodeId kHubs = 120;
+  auto graph = std::make_shared<const DirectedGraph>(
+      PreferentialAttachmentGraph(kHubs, 3, 0.4, rng));
+  std::vector<double> probs(graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.2, 0.8);
+  const PointIcm model(graph, probs);
+
+  // Forwarding delays: most relays pass a warning on within hours, but the
+  // tail is long (someone reads it the next morning).
+  std::vector<EdgeDelay> delays(graph->num_edges());
+  for (auto& d : delays) {
+    d = EdgeDelay::ExponentialMean(rng.Uniform(2.0, 10.0));  // hours
+  }
+  auto timed = DelayedIcm::Create(model, delays);
+  timed.status().CheckOK();
+
+  // At-risk communities to warn.
+  const std::vector<NodeId> at_risk{17, 42, 63, 88, 101, 115};
+  const double kDeadline = 24.0;  // hours
+
+  // --- 1. seed choice under the deadline ---------------------------------
+  std::printf("expected at-risk communities warned within %.0fh, by seed:\n",
+              kDeadline);
+  std::printf("%-8s %18s %18s\n", "seed", "E[warned @24h]",
+              "E[warned ever]");
+  NodeId best_seed = kInvalidNode;
+  double best_within = -1.0;
+  Rng sim_rng(7);
+  for (NodeId seed : {0u, 1u, 2u, 5u, 9u}) {  // candidate agency liaisons
+    double within = 0.0, ever = 0.0;
+    const int kTrials = 3000;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto arrival = timed->SampleArrivalTimes({seed}, sim_rng);
+      for (NodeId c : at_risk) {
+        if (arrival[c] <= kDeadline) within += 1.0;
+        if (arrival[c] < 1e18) ever += 1.0;
+      }
+    }
+    within /= kTrials;
+    ever /= kTrials;
+    std::printf("hub%-5u %18.2f %18.2f\n", seed, within, ever);
+    if (within > best_within) {
+      best_within = within;
+      best_seed = seed;
+    }
+  }
+  std::printf("-> seed hub%u maximizes coverage under the deadline\n\n",
+              best_seed);
+
+  // --- 2. arrival profile to the most remote community -------------------
+  NodeId remote = at_risk[0];
+  double worst = -1.0;
+  for (NodeId c : at_risk) {
+    const ArrivalEstimate est = EstimateArrival(*timed, best_seed, c, 4000,
+                                                sim_rng);
+    if (est.FlowProbability() > 0 && est.MeanArrivalTime() > worst) {
+      worst = est.MeanArrivalTime();
+      remote = c;
+    }
+  }
+  const ArrivalEstimate est =
+      EstimateArrival(*timed, best_seed, remote, 8000, sim_rng);
+  std::vector<double> times = est.arrival_times;
+  std::printf("most remote at-risk community: hub%u\n", remote);
+  std::printf("  Pr[warned at all]      = %.3f\n", est.FlowProbability());
+  std::printf("  Pr[warned within 12h]  = %.3f\n",
+              est.FlowProbabilityWithin(12.0));
+  std::printf("  Pr[warned within 24h]  = %.3f\n",
+              est.FlowProbabilityWithin(24.0));
+  if (!times.empty()) {
+    std::printf("  arrival quantiles (h): p10=%.1f median=%.1f p90=%.1f\n",
+                Quantile(times, 0.1), Quantile(times, 0.5),
+                Quantile(times, 0.9));
+  }
+
+  // --- 3. intervention comparison ----------------------------------------
+  // (a) official fast channel: agency's own out-edges relay in 1h flat;
+  // (b) persuasion campaign: +0.15 forwarding probability network-wide.
+  std::vector<EdgeDelay> fast_delays = delays;
+  for (EdgeId e : graph->OutEdges(best_seed)) {
+    fast_delays[e] = EdgeDelay::Constant(1.0);
+  }
+  auto fast = DelayedIcm::Create(model, fast_delays);
+  fast.status().CheckOK();
+
+  std::vector<double> boosted = probs;
+  for (double& p : boosted) p = std::min(1.0, p + 0.15);
+  auto persuaded = DelayedIcm::Create(PointIcm(graph, boosted), delays);
+  persuaded.status().CheckOK();
+
+  auto coverage_at = [&](const DelayedIcm& m) {
+    double within = 0.0;
+    const int kTrials = 4000;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto arrival = m.SampleArrivalTimes({best_seed}, sim_rng);
+      for (NodeId c : at_risk) {
+        if (arrival[c] <= kDeadline) within += 1.0;
+      }
+    }
+    return within / kTrials;
+  };
+  std::printf("\nintervention comparison (E[warned @24h] from hub%u):\n",
+              best_seed);
+  std::printf("  baseline              %.2f\n", coverage_at(*timed));
+  std::printf("  fast official channel %.2f\n", coverage_at(*fast));
+  std::printf("  +0.15 forward prob    %.2f\n", coverage_at(*persuaded));
+  return 0;
+}

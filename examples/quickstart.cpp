@@ -1,0 +1,116 @@
+/// \file quickstart.cpp
+/// \brief Five-minute tour of the infoflow library.
+///
+/// Builds a small information network, trains a betaICM from attributed
+/// evidence, asks flow questions with exact evaluation and with the
+/// Metropolis–Hastings sampler, conditions on observed flows, and builds a
+/// Table-I-style evidence summary for the unattributed learner.
+///
+///   $ build/examples/quickstart
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "core/beta_icm.h"
+#include "core/exact_flow.h"
+#include "core/mh_sampler.h"
+#include "core/nested_mh.h"
+#include "learn/attributed.h"
+#include "learn/joint_bayes.h"
+#include "learn/summary.h"
+
+using namespace infoflow;
+
+int main() {
+  // ---------------------------------------------------------------- graph
+  // The paper's worked example (§II): v0 -> v1, v0 -> v2, v1 -> v2, plus
+  // the back edge v2 -> v1 that makes it cyclic.
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1).CheckOK();
+  builder.AddEdge(0, 2).CheckOK();
+  builder.AddEdge(1, 2).CheckOK();
+  builder.AddEdge(2, 1).CheckOK();
+  auto graph = std::make_shared<const DirectedGraph>(std::move(builder).Build());
+  std::printf("graph: %s\n", graph->ToString().c_str());
+
+  // ------------------------------------------------- attributed training
+  // Three observed cascades (objects): who started them, who got them, and
+  // which edge carried each copy.
+  AttributedEvidence evidence;
+  const EdgeId e01 = graph->FindEdge(0, 1);
+  const EdgeId e02 = graph->FindEdge(0, 2);
+  const EdgeId e12 = graph->FindEdge(1, 2);
+  evidence.objects.push_back({{0}, {0, 1, 2}, {e01, e12}});
+  evidence.objects.push_back({{0}, {0, 1}, {e01}});
+  evidence.objects.push_back({{0}, {0, 2}, {e02}});
+
+  auto model = TrainBetaIcmFromAttributed(graph, evidence);
+  model.status().CheckOK();
+  for (EdgeId e = 0; e < graph->num_edges(); ++e) {
+    const Edge& edge = graph->edge(e);
+    std::printf("edge %u->%u: %s  (mean %.3f)\n", edge.src, edge.dst,
+                model->EdgeBeta(e).ToString().c_str(),
+                model->EdgeBeta(e).Mean());
+  }
+
+  // ------------------------------------------------------ exact questions
+  const PointIcm expected = model->ExpectedIcm();
+  std::printf("\nexact Pr[0 ~> 2]              = %.4f\n",
+              ExactFlowByEnumeration(expected, 0, 2));
+  std::printf("exact Pr[0 ~> 2 | 0 ~> 1]     = %.4f\n",
+              ExactConditionalFlowByEnumeration(expected, 0, 2, {{0, 1, true}})
+                  .ValueOrDie());
+  std::printf("exact Pr[0 ~> 1 and 0 ~> 2]   = %.4f\n",
+              ExactJointFlowByEnumeration(expected,
+                                          {{0, 1, true}, {0, 2, true}}));
+
+  // -------------------------------------------- Metropolis–Hastings answers
+  MhOptions mh;
+  mh.burn_in = 2000;
+  mh.thinning = 4;
+  auto sampler = MhSampler::Create(expected, {}, mh, Rng(1));
+  sampler.status().CheckOK();
+  std::printf("MH    Pr[0 ~> 2]              = %.4f  (40k samples)\n",
+              sampler->EstimateFlowProbability(0, 2, 40000));
+  auto conditioned =
+      MhSampler::Create(expected, {{0, 1, true}}, mh, Rng(2));
+  conditioned.status().CheckOK();
+  std::printf("MH    Pr[0 ~> 2 | 0 ~> 1]     = %.4f\n",
+              conditioned->EstimateFlowProbability(0, 2, 40000));
+
+  // ------------------------------------------------ uncertainty (nested MH)
+  NestedMhOptions nested;
+  nested.num_models = 100;
+  nested.samples_per_model = 400;
+  nested.mh = mh;
+  Rng nested_rng(3);
+  auto dist = NestedMhFlowDistribution(*model, 0, 2, {}, nested, nested_rng);
+  dist.status().CheckOK();
+  std::printf("betaICM uncertainty over Pr[0 ~> 2]: mean %.4f sd %.4f "
+              "(fitted %s)\n",
+              dist->Mean(), std::sqrt(dist->Variance()),
+              dist->FittedBeta().ToString().c_str());
+
+  // -------------------------------------- unattributed evidence summaries
+  // Table I in miniature: traces with activation times only.
+  UnattributedEvidence traces;
+  traces.traces.push_back({{{0, 1.0}, {1, 2.0}, {2, 3.0}}});
+  traces.traces.push_back({{{0, 1.0}, {2, 2.0}}});
+  traces.traces.push_back({{{0, 1.0}, {1, 2.0}}});
+  const SinkSummary summary = BuildSinkSummary(*graph, 2, traces);
+  std::printf("\n%s", summary.ToString().c_str());
+
+  JointBayesOptions jb;
+  jb.num_samples = 2000;
+  jb.burn_in = 500;
+  Rng jb_rng(4);
+  auto posterior = FitJointBayes(summary, jb, jb_rng);
+  posterior.status().CheckOK();
+  for (std::size_t j = 0; j < posterior->parents.size(); ++j) {
+    std::printf("posterior p(%u->2): mean %.3f sd %.3f\n",
+                posterior->parents[j], posterior->mean[j],
+                posterior->sd[j]);
+  }
+  return 0;
+}

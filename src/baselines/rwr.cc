@@ -1,0 +1,88 @@
+#include "baselines/rwr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+Status RwrOptions::Validate() const {
+  if (restart_prob <= 0.0 || restart_prob >= 1.0) {
+    return Status::InvalidArgument("restart_prob must be in (0,1), got ",
+                                   restart_prob);
+  }
+  if (max_iterations == 0) {
+    return Status::InvalidArgument("max_iterations must be positive");
+  }
+  return Status::OK();
+}
+
+RwrResult RandomWalkWithRestart(const PointIcm& model, NodeId source,
+                                const RwrOptions& options) {
+  options.Validate().CheckOK();
+  const DirectedGraph& graph = model.graph();
+  IF_CHECK(source < graph.num_nodes()) << "source " << source
+                                       << " out of range";
+  const std::size_t n = graph.num_nodes();
+  const double c = options.restart_prob;
+
+  // Row-normalized transition weights.
+  std::vector<double> out_weight(n, 0.0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    out_weight[graph.edge(e).src] += model.prob(e);
+  }
+
+  std::vector<double> scores(n, 0.0);
+  scores[source] = 1.0;
+  std::vector<double> next(n, 0.0);
+
+  RwrResult result;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const double mass = scores[u];
+      if (mass == 0.0) continue;
+      if (out_weight[u] <= 0.0) {
+        dangling += mass;  // no exit: the walker restarts
+        continue;
+      }
+      const double step_mass = (1.0 - c) * mass / out_weight[u];
+      for (EdgeId e : graph.OutEdges(u)) {
+        next[graph.edge(e).dst] += step_mass * model.prob(e);
+      }
+    }
+    next[source] += c * (1.0 - dangling) + dangling;
+    double l1 = 0.0;
+    for (std::size_t v = 0; v < n; ++v) l1 += std::fabs(next[v] - scores[v]);
+    scores.swap(next);
+    if (l1 < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.scores = std::move(scores);
+  return result;
+}
+
+std::vector<double> RwrFlowScores(const PointIcm& model, NodeId source,
+                                  const RwrOptions& options) {
+  const RwrResult rwr = RandomWalkWithRestart(model, source, options);
+  std::vector<double> out(rwr.scores.size(), 0.0);
+  double max_other = 0.0;
+  for (std::size_t v = 0; v < rwr.scores.size(); ++v) {
+    if (v != source) max_other = std::max(max_other, rwr.scores[v]);
+  }
+  for (std::size_t v = 0; v < rwr.scores.size(); ++v) {
+    if (v == source) {
+      out[v] = 1.0;
+    } else if (max_other > 0.0) {
+      out[v] = rwr.scores[v] / max_other;
+    }
+  }
+  return out;
+}
+
+}  // namespace infoflow

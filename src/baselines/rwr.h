@@ -1,0 +1,60 @@
+/// \file rwr.h
+/// \brief Random Walk with Restart — the comparison baseline of §IV-E
+/// (Fig. 5).
+///
+/// RWR computes the stationary distribution of a walker that, at each step,
+/// follows an out-edge with probability (1 − c) — choosing among out-edges
+/// proportionally to their weight — or teleports back to the source with
+/// probability c. Prior work used the resulting visit scores as a proxy for
+/// information-flow likelihood. The paper's point (which Fig. 5
+/// demonstrates): RWR is a *similarity measure*, not a probability — it
+/// cannot express joint/conditional flow and its scores are poorly
+/// calibrated as flow probabilities. We implement it faithfully so the
+/// bucket experiment can show exactly that.
+
+#pragma once
+
+#include <vector>
+
+#include "core/icm.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief RWR parameters.
+struct RwrOptions {
+  /// Restart (teleport) probability c.
+  double restart_prob = 0.15;
+  /// Power-iteration cap.
+  std::size_t max_iterations = 500;
+  /// L1 convergence threshold.
+  double tolerance = 1e-12;
+
+  Status Validate() const;
+};
+
+/// \brief The RWR outcome: per-node stationary visit scores plus
+/// diagnostics.
+struct RwrResult {
+  /// scores[v] = stationary probability of the walker being at v; sums
+  /// to 1.
+  std::vector<double> scores;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs RWR from `source` on the model's graph, using the edge
+/// activation probabilities as transition weights (row-normalized). Nodes
+/// with no positive-weight out-edge teleport back to the source.
+RwrResult RandomWalkWithRestart(const PointIcm& model, NodeId source,
+                                const RwrOptions& options = {});
+
+/// \brief The Fig. 5 predictor: RWR visit scores rescaled into [0, 1] as a
+/// pseudo flow "probability" per sink — score divided by the maximum
+/// non-source score (1 for the source itself). This is the kind of
+/// similarity-as-probability reading the paper critiques.
+std::vector<double> RwrFlowScores(const PointIcm& model, NodeId source,
+                                  const RwrOptions& options = {});
+
+}  // namespace infoflow

@@ -1,0 +1,102 @@
+#include "core/beta_icm.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+BetaIcm::BetaIcm(std::shared_ptr<const DirectedGraph> graph,
+                 std::vector<double> alphas, std::vector<double> betas)
+    : graph_(std::move(graph)),
+      alphas_(std::move(alphas)),
+      betas_(std::move(betas)) {
+  IF_CHECK(graph_ != nullptr) << "BetaIcm requires a graph";
+  IF_CHECK_EQ(alphas_.size(), graph_->num_edges());
+  IF_CHECK_EQ(betas_.size(), graph_->num_edges());
+  for (std::size_t e = 0; e < alphas_.size(); ++e) {
+    IF_CHECK(alphas_[e] > 0.0 && betas_[e] > 0.0)
+        << "edge " << e << " has non-positive Beta parameters α=" << alphas_[e]
+        << " β=" << betas_[e];
+  }
+}
+
+BetaIcm BetaIcm::Uninformed(std::shared_ptr<const DirectedGraph> graph) {
+  IF_CHECK(graph != nullptr);
+  const std::size_t m = graph->num_edges();
+  return BetaIcm(std::move(graph), std::vector<double>(m, 1.0),
+                 std::vector<double>(m, 1.0));
+}
+
+BetaIcm BetaIcm::RandomSynthetic(std::shared_ptr<const DirectedGraph> graph,
+                                 Rng& rng, double alpha_lo, double alpha_hi,
+                                 double beta_lo, double beta_hi) {
+  IF_CHECK(graph != nullptr);
+  IF_CHECK(alpha_lo > 0.0 && beta_lo > 0.0)
+      << "Beta parameter ranges must stay positive";
+  const std::size_t m = graph->num_edges();
+  std::vector<double> alphas(m), betas(m);
+  for (std::size_t e = 0; e < m; ++e) {
+    alphas[e] = rng.Uniform(alpha_lo, alpha_hi);
+    betas[e] = rng.Uniform(beta_lo, beta_hi);
+  }
+  return BetaIcm(std::move(graph), std::move(alphas), std::move(betas));
+}
+
+double BetaIcm::alpha(EdgeId e) const {
+  IF_CHECK(e < alphas_.size()) << "edge id " << e << " out of range";
+  return alphas_[e];
+}
+
+double BetaIcm::beta(EdgeId e) const {
+  IF_CHECK(e < betas_.size()) << "edge id " << e << " out of range";
+  return betas_[e];
+}
+
+BetaDist BetaIcm::EdgeBeta(EdgeId e) const {
+  return BetaDist(alpha(e), beta(e));
+}
+
+void BetaIcm::BumpAlpha(EdgeId e, double amount) {
+  IF_CHECK(e < alphas_.size()) << "edge id " << e << " out of range";
+  IF_CHECK(amount >= 0.0) << "negative alpha bump " << amount;
+  alphas_[e] += amount;
+}
+
+void BetaIcm::BumpBeta(EdgeId e, double amount) {
+  IF_CHECK(e < betas_.size()) << "edge id " << e << " out of range";
+  IF_CHECK(amount >= 0.0) << "negative beta bump " << amount;
+  betas_[e] += amount;
+}
+
+PointIcm BetaIcm::ExpectedIcm() const {
+  std::vector<double> probs(alphas_.size());
+  for (std::size_t e = 0; e < probs.size(); ++e) {
+    probs[e] = alphas_[e] / (alphas_[e] + betas_[e]);
+  }
+  return PointIcm(graph_, std::move(probs));
+}
+
+PointIcm BetaIcm::SampleIcm(Rng& rng) const {
+  std::vector<double> probs(alphas_.size());
+  for (std::size_t e = 0; e < probs.size(); ++e) {
+    probs[e] = rng.Beta(alphas_[e], betas_[e]);
+  }
+  return PointIcm(graph_, std::move(probs));
+}
+
+PointIcm BetaIcm::SampleIcmGaussian(Rng& rng) const {
+  std::vector<double> probs(alphas_.size());
+  for (std::size_t e = 0; e < probs.size(); ++e) {
+    const BetaDist dist(alphas_[e], betas_[e]);
+    probs[e] = std::clamp(rng.Normal(dist.Mean(), dist.StdDev()), 0.0, 1.0);
+  }
+  return PointIcm(graph_, std::move(probs));
+}
+
+std::string BetaIcm::ToString() const {
+  return "BetaIcm(n=" + std::to_string(graph_->num_nodes()) +
+         ", m=" + std::to_string(graph_->num_edges()) + ")";
+}
+
+}  // namespace infoflow

@@ -1,0 +1,89 @@
+/// \file beta_icm.h
+/// \brief betaICM: an ICM whose edge activation probabilities are Beta
+/// distributions (§II-A) — a probability distribution over point ICMs.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/icm.h"
+#include "graph/graph.h"
+#include "stats/beta_dist.h"
+#include "stats/rng.h"
+
+namespace infoflow {
+
+/// \brief G = (V, E, B): each edge carries Beta(α, β) over its activation
+/// probability. α, β are stored densely by EdgeId.
+class BetaIcm {
+ public:
+  /// Builds from explicit per-edge parameters (αᵢ, βᵢ > 0).
+  BetaIcm(std::shared_ptr<const DirectedGraph> graph,
+          std::vector<double> alphas, std::vector<double> betas);
+
+  /// The untrained model: Beta(1, 1) (uniform) on every edge — the starting
+  /// point of the attributed trainer.
+  static BetaIcm Uninformed(std::shared_ptr<const DirectedGraph> graph);
+
+  /// \brief The synthetic-model generator of §IV-A: each edge draws
+  /// α ~ U(la, ua), β ~ U(lb, ub) (the experiments use U(1, 20) for both).
+  static BetaIcm RandomSynthetic(std::shared_ptr<const DirectedGraph> graph,
+                                 Rng& rng, double alpha_lo = 1.0,
+                                 double alpha_hi = 20.0, double beta_lo = 1.0,
+                                 double beta_hi = 20.0);
+
+  /// The underlying graph.
+  const DirectedGraph& graph() const { return *graph_; }
+
+  /// Shared handle to the graph.
+  const std::shared_ptr<const DirectedGraph>& graph_ptr() const {
+    return graph_;
+  }
+
+  /// α parameter of edge `e`.
+  double alpha(EdgeId e) const;
+
+  /// β parameter of edge `e`.
+  double beta(EdgeId e) const;
+
+  /// The Beta distribution on edge `e`.
+  BetaDist EdgeBeta(EdgeId e) const;
+
+  /// Records one positive observation (edge fired): α += 1.
+  void AddSuccess(EdgeId e) { BumpAlpha(e, 1.0); }
+
+  /// Records one negative observation (parent active, edge silent): β += 1.
+  void AddFailure(EdgeId e) { BumpBeta(e, 1.0); }
+
+  /// Adds `amount` to α of edge `e`.
+  void BumpAlpha(EdgeId e, double amount);
+
+  /// Adds `amount` to β of edge `e`.
+  void BumpBeta(EdgeId e, double amount);
+
+  /// \brief The expected point-probability ICM: pᵢ = αᵢ / (αᵢ + βᵢ)
+  /// (§II-A). This is the model the MH flow sampler usually runs on.
+  PointIcm ExpectedIcm() const;
+
+  /// \brief Draws a point ICM from the edge Betas (independently per edge)
+  /// — one step of nested MH (§III-E).
+  PointIcm SampleIcm(Rng& rng) const;
+
+  /// \brief Draws a point ICM from *Gaussian approximations* N(mean, sd) of
+  /// each edge Beta, clamped to [0, 1] — the cheap moment-matched
+  /// alternative of Fig. 10 (§V-D, storing only mean and standard
+  /// deviation).
+  PointIcm SampleIcmGaussian(Rng& rng) const;
+
+  /// "BetaIcm(n=..., m=...)".
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const DirectedGraph> graph_;
+  std::vector<double> alphas_;
+  std::vector<double> betas_;
+};
+
+}  // namespace infoflow

@@ -1,0 +1,149 @@
+#include "core/exact_flow.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "graph/reachability.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+namespace {
+
+/// Iterates every pseudo-state of an m-edge model, invoking
+/// `visit(state, prob)` with its exact probability under Eq. 3.
+template <typename Visitor>
+void ForEachPseudoState(const PointIcm& model, Visitor&& visit) {
+  const EdgeId m = model.graph().num_edges();
+  IF_CHECK(m <= kMaxEnumerationEdges)
+      << "enumeration over 2^" << m << " pseudo-states refused (max 2^"
+      << kMaxEnumerationEdges << ")";
+  PseudoState state(m, 0);
+  const std::uint64_t limit = 1ULL << m;
+  for (std::uint64_t bits = 0; bits < limit; ++bits) {
+    double prob = 1.0;
+    for (EdgeId e = 0; e < m; ++e) {
+      const bool active = (bits >> e) & 1ULL;
+      state[e] = active ? 1 : 0;
+      prob *= active ? model.prob(e) : 1.0 - model.prob(e);
+    }
+    if (prob > 0.0) visit(state, prob);
+  }
+}
+
+}  // namespace
+
+double ExactFlowByEnumeration(const PointIcm& model, NodeId source,
+                              NodeId sink) {
+  const DirectedGraph& graph = model.graph();
+  IF_CHECK(source < graph.num_nodes() && sink < graph.num_nodes());
+  ReachabilityWorkspace ws(graph);
+  double total = 0.0;
+  ForEachPseudoState(model, [&](const PseudoState& x, double prob) {
+    if (ws.RunUntil(graph, {source}, x, sink)) total += prob;
+  });
+  return total;
+}
+
+Result<double> ExactConditionalFlowByEnumeration(
+    const PointIcm& model, NodeId source, NodeId sink,
+    const FlowConditions& conditions) {
+  const DirectedGraph& graph = model.graph();
+  IF_RETURN_NOT_OK(ValidateConditions(graph, conditions));
+  IF_CHECK(source < graph.num_nodes() && sink < graph.num_nodes());
+  ReachabilityWorkspace ws(graph);
+  double numer = 0.0;
+  double denom = 0.0;
+  ForEachPseudoState(model, [&](const PseudoState& x, double prob) {
+    if (!SatisfiesConditions(graph, x, conditions, ws)) return;
+    denom += prob;
+    if (ws.RunUntil(graph, {source}, x, sink)) numer += prob;
+  });
+  if (denom <= 0.0) {
+    return Status::FailedPrecondition(
+        "conditions have probability zero under the model");
+  }
+  return numer / denom;
+}
+
+double ExactJointFlowByEnumeration(const PointIcm& model,
+                                   const FlowConditions& flows) {
+  const DirectedGraph& graph = model.graph();
+  ValidateConditions(graph, flows).CheckOK();
+  ReachabilityWorkspace ws(graph);
+  double total = 0.0;
+  ForEachPseudoState(model, [&](const PseudoState& x, double prob) {
+    if (SatisfiesConditions(graph, x, flows, ws)) total += prob;
+  });
+  return total;
+}
+
+double ExactConditionsProbability(const PointIcm& model,
+                                  const FlowConditions& conditions) {
+  return ExactJointFlowByEnumeration(model, conditions);
+}
+
+namespace {
+
+/// Memo key for the exclude recursion: (current target node, exclude set).
+struct ExcludeKey {
+  NodeId target;
+  std::uint32_t exclude_mask;
+  friend bool operator==(const ExcludeKey&, const ExcludeKey&) = default;
+};
+
+struct ExcludeKeyHash {
+  std::size_t operator()(const ExcludeKey& k) const {
+    return std::hash<std::uint64_t>{}(
+        (static_cast<std::uint64_t>(k.target) << 32) | k.exclude_mask);
+  }
+};
+
+class ExcludeRecursion {
+ public:
+  ExcludeRecursion(const PointIcm& model, NodeId source)
+      : model_(model), source_(source) {}
+
+  // Pr[source ⤳ target ex. exclude_mask] per Eq. 2.
+  double Eval(NodeId target, std::uint32_t exclude_mask) {
+    if (target == source_) return 1.0;
+    const ExcludeKey key{target, exclude_mask};
+    if (auto it = memo_.find(key); it != memo_.end()) return it->second;
+
+    // Excluding the target itself while recursing into its parents: the
+    // paper's X ∪ {v_k}.
+    const std::uint32_t child_mask = exclude_mask | (1u << target);
+    double product = 1.0;
+    for (EdgeId e : model_.graph().InEdges(target)) {
+      const NodeId parent = model_.graph().edge(e).src;
+      if ((exclude_mask >> parent) & 1u) continue;  // parent excluded
+      const double parent_flow =
+          parent == source_ ? 1.0 : Eval(parent, child_mask);
+      product *= 1.0 - parent_flow * model_.prob(e);
+    }
+    const double result = 1.0 - product;
+    memo_.emplace(key, result);
+    return result;
+  }
+
+ private:
+  const PointIcm& model_;
+  NodeId source_;
+  std::unordered_map<ExcludeKey, double, ExcludeKeyHash> memo_;
+};
+
+}  // namespace
+
+double FlowByExcludeRecursion(const PointIcm& model, NodeId source,
+                              NodeId sink) {
+  const DirectedGraph& graph = model.graph();
+  IF_CHECK(graph.num_nodes() <= 30)
+      << "exclude-set recursion limited to 30 nodes, graph has "
+      << graph.num_nodes();
+  IF_CHECK(source < graph.num_nodes() && sink < graph.num_nodes());
+  if (source == sink) return 1.0;
+  ExcludeRecursion recursion(model, source);
+  return recursion.Eval(sink, 0);
+}
+
+}  // namespace infoflow

@@ -1,0 +1,57 @@
+/// \file exact_flow.h
+/// \brief Exact flow-probability evaluation — exponential-time ground truth.
+///
+/// Two evaluators are provided:
+///
+///  1. *Enumeration*: sum Pr[x | M] · I(u ⤳ v; x) over all 2^m pseudo-states
+///     (Eq. 5 evaluated exactly). This is the definitional ground truth every
+///     approximation is tested against; it also answers joint, conditional
+///     and community queries. Limited to m <= 25 edges.
+///
+///  2. *Recursive rewriting* (Eq. 2): the paper's exclude-set recursion
+///     Pr[vj ⤳ vk ex. X] = 1 − Π_{(vl,vk)∈E∖X} (1 − Pr[vj ⤳ vl ex. X∪{vk}]·p_lk).
+///     Exact on trees and on the paper's worked 3-node examples; on general
+///     graphs the product treats sibling-parent flows as independent, which
+///     over-counts when paths share edges — our tests quantify this
+///     (documented in EXPERIMENTS.md). Limited to n <= 30 nodes (exclude
+///     sets are node bitmasks).
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/flow_query.h"
+#include "core/icm.h"
+
+namespace infoflow {
+
+/// Maximum edge count accepted by the enumeration evaluators.
+inline constexpr EdgeId kMaxEnumerationEdges = 25;
+
+/// \brief Exact Pr[source ⤳ sink | M] by pseudo-state enumeration.
+/// Requires m <= kMaxEnumerationEdges.
+double ExactFlowByEnumeration(const PointIcm& model, NodeId source,
+                              NodeId sink);
+
+/// \brief Exact conditional Pr[source ⤳ sink | M, C] by enumeration
+/// (Eq. 6). Returns Status::FailedPrecondition when Pr[C | M] = 0.
+Result<double> ExactConditionalFlowByEnumeration(
+    const PointIcm& model, NodeId source, NodeId sink,
+    const FlowConditions& conditions);
+
+/// \brief Exact joint probability that *all* listed flows hold
+/// simultaneously (source-to-community / joint flow), by enumeration.
+double ExactJointFlowByEnumeration(const PointIcm& model,
+                                   const FlowConditions& flows);
+
+/// \brief Exact Pr[C | M]: the probability a pseudo-state satisfies the
+/// condition set.
+double ExactConditionsProbability(const PointIcm& model,
+                                  const FlowConditions& conditions);
+
+/// \brief The paper's Eq. 2 recursion with memoized exclude sets.
+/// Requires n <= 30. See the file comment for its exactness caveat.
+double FlowByExcludeRecursion(const PointIcm& model, NodeId source,
+                              NodeId sink);
+
+}  // namespace infoflow

@@ -1,0 +1,50 @@
+#include "core/flow_query.h"
+
+#include "util/check.h"
+
+namespace infoflow {
+
+std::string FlowConstraint::ToString() const {
+  return std::to_string(source) + (must_flow ? " ~> " : " !~> ") +
+         std::to_string(sink);
+}
+
+bool SatisfiesConditions(const DirectedGraph& graph, const PseudoState& state,
+                         const FlowConditions& conditions,
+                         ReachabilityWorkspace& workspace) {
+  for (const FlowConstraint& c : conditions) {
+    const bool flows =
+        workspace.RunUntil(graph, {c.source}, state, c.sink);
+    if (flows != c.must_flow) return false;
+  }
+  return true;
+}
+
+Status ValidateConditions(const DirectedGraph& graph,
+                          const FlowConditions& conditions) {
+  for (std::size_t i = 0; i < conditions.size(); ++i) {
+    const FlowConstraint& c = conditions[i];
+    if (c.source >= graph.num_nodes() || c.sink >= graph.num_nodes()) {
+      return Status::OutOfRange("condition ", i, " (", c.ToString(),
+                                ") references a missing node; n=",
+                                graph.num_nodes());
+    }
+    if (c.source == c.sink && !c.must_flow) {
+      return Status::InvalidArgument("condition ", i, " forbids ", c.source,
+                                     " ~> ", c.sink,
+                                     " but u ~> u always holds");
+    }
+    for (std::size_t j = i + 1; j < conditions.size(); ++j) {
+      const FlowConstraint& d = conditions[j];
+      if (c.source == d.source && c.sink == d.sink &&
+          c.must_flow != d.must_flow) {
+        return Status::InvalidArgument("conditions ", i, " and ", j,
+                                       " contradict: ", c.ToString(), " vs ",
+                                       d.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace infoflow

@@ -1,0 +1,51 @@
+/// \file flow_query.h
+/// \brief Flow-condition types shared by the exact evaluator and the MH
+/// sampler (§III-A).
+///
+/// A condition set C ∈ P(V × V × B) constrains which pseudo-states are
+/// admissible: (u, v, 1) enforces u ⤳ v, (u, v, 0) enforces u ̸⤳ v. The
+/// combined indicator I(x, C) multiplies the state probability (Eq. 7),
+/// which is how conditional flow queries are answered (Eq. 6/8).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pseudo_state.h"
+#include "graph/graph.h"
+#include "graph/reachability.h"
+
+namespace infoflow {
+
+/// \brief One constrained flow (u, v, a).
+struct FlowConstraint {
+  NodeId source;
+  NodeId sink;
+  /// true: require source ⤳ sink; false: forbid it.
+  bool must_flow;
+
+  friend bool operator==(const FlowConstraint&, const FlowConstraint&) =
+      default;
+
+  /// "u ⤳ v" or "u !⤳ v".
+  std::string ToString() const;
+};
+
+/// The condition set C.
+using FlowConditions = std::vector<FlowConstraint>;
+
+/// \brief The combined indicator I(x, C): true iff the pseudo-state
+/// satisfies every constraint (reachability via active edges). `workspace`
+/// must be sized for `graph`.
+bool SatisfiesConditions(const DirectedGraph& graph, const PseudoState& state,
+                         const FlowConditions& conditions,
+                         ReachabilityWorkspace& workspace);
+
+/// Validates a condition set against a graph: endpoints in range, no
+/// directly contradictory pair, no self-constraint with must_flow=false
+/// (u ⤳ u always holds).
+Status ValidateConditions(const DirectedGraph& graph,
+                          const FlowConditions& conditions);
+
+}  // namespace infoflow

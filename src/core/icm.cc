@@ -1,0 +1,92 @@
+#include "core/icm.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+PointIcm::PointIcm(std::shared_ptr<const DirectedGraph> graph,
+                   std::vector<double> edge_probs)
+    : graph_(std::move(graph)), probs_(std::move(edge_probs)) {
+  IF_CHECK(graph_ != nullptr) << "PointIcm requires a graph";
+  IF_CHECK_EQ(probs_.size(), graph_->num_edges());
+  for (std::size_t e = 0; e < probs_.size(); ++e) {
+    IF_CHECK(probs_[e] >= 0.0 && probs_[e] <= 1.0)
+        << "edge " << e << " probability " << probs_[e] << " outside [0,1]";
+  }
+}
+
+PointIcm PointIcm::Constant(std::shared_ptr<const DirectedGraph> graph,
+                            double p) {
+  IF_CHECK(graph != nullptr);
+  const std::size_t m = graph->num_edges();
+  return PointIcm(std::move(graph), std::vector<double>(m, p));
+}
+
+double PointIcm::prob(EdgeId e) const {
+  IF_CHECK(e < probs_.size()) << "edge id " << e << " out of range";
+  return probs_[e];
+}
+
+PseudoState PointIcm::SamplePseudoState(Rng& rng) const {
+  PseudoState state(probs_.size());
+  for (std::size_t e = 0; e < probs_.size(); ++e) {
+    state[e] = rng.Bernoulli(probs_[e]) ? 1 : 0;
+  }
+  return state;
+}
+
+ActiveState PointIcm::SampleCascade(const std::vector<NodeId>& sources,
+                                    Rng& rng) const {
+  // Percolation: BFS from the sources, flipping each out-edge of a newly
+  // active node once. Edges whose parent never activates are never decided
+  // (left 0), matching the active-state definition.
+  ActiveState out;
+  out.sources = sources;
+  out.edge_active.assign(graph_->num_edges(), 0);
+  std::vector<std::uint8_t> node_active(graph_->num_nodes(), 0);
+
+  std::vector<NodeId> queue;
+  for (NodeId s : sources) {
+    IF_CHECK(s < graph_->num_nodes()) << "source " << s << " out of range";
+    if (node_active[s]) continue;
+    node_active[s] = 1;
+    queue.push_back(s);
+  }
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId u = queue[head++];
+    for (EdgeId e : graph_->OutEdges(u)) {
+      if (!rng.Bernoulli(probs_[e])) continue;
+      out.edge_active[e] = 1;
+      const NodeId v = graph_->edge(e).dst;
+      if (!node_active[v]) {
+        node_active[v] = 1;
+        queue.push_back(v);
+      }
+    }
+  }
+  out.active_nodes = std::move(queue);
+  return out;
+}
+
+double PointIcm::LogPseudoStateProb(const PseudoState& state) const {
+  IF_CHECK_EQ(state.size(), probs_.size());
+  double log_prob = 0.0;
+  for (std::size_t e = 0; e < probs_.size(); ++e) {
+    const double p = probs_[e];
+    const double factor = state[e] ? p : 1.0 - p;
+    if (factor <= 0.0) return -std::numeric_limits<double>::infinity();
+    log_prob += std::log(factor);
+  }
+  return log_prob;
+}
+
+std::string PointIcm::ToString() const {
+  return "PointIcm(n=" + std::to_string(graph_->num_nodes()) +
+         ", m=" + std::to_string(graph_->num_edges()) + ")";
+}
+
+}  // namespace infoflow

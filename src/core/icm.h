@@ -1,0 +1,81 @@
+/// \file icm.h
+/// \brief The point-probability Independent Cascade Model (§II).
+///
+/// An ICM is G = (V, E, P): a directed graph plus an activation probability
+/// per edge. An information object i starts at a set of source vertices; an
+/// outgoing edge of an i-active node becomes i-active independently with its
+/// edge probability, and any node with an i-active incoming edge is i-active.
+/// Flow u ⤳ v is reachability through i-active edges.
+///
+/// Two sampling views coexist (§III-A):
+///  - SampleCascade() simulates the generative percolation process and
+///    yields an *active-state* (only edges with active parents are decided);
+///  - SamplePseudoState() decides *every* edge independently (Eq. 3). Given
+///    the sources, the active-state derived from a pseudo-state has exactly
+///    the cascade distribution — the property the MH sampler relies on, and
+///    one of our property tests.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/pseudo_state.h"
+#include "graph/graph.h"
+#include "stats/rng.h"
+
+namespace infoflow {
+
+/// \brief An immutable point-probability ICM.
+///
+/// The graph is held by shared_ptr: a betaICM spawns many PointIcms over the
+/// same topology (nested MH, §III-E) without copying adjacency.
+class PointIcm {
+ public:
+  /// Builds a model over `graph` with one probability per edge (indexed by
+  /// EdgeId; all values must lie in [0, 1]).
+  PointIcm(std::shared_ptr<const DirectedGraph> graph,
+           std::vector<double> edge_probs);
+
+  /// Convenience: every edge gets the same probability.
+  static PointIcm Constant(std::shared_ptr<const DirectedGraph> graph,
+                           double p);
+
+  /// The underlying graph.
+  const DirectedGraph& graph() const { return *graph_; }
+
+  /// Shared handle to the graph (for building sibling models).
+  const std::shared_ptr<const DirectedGraph>& graph_ptr() const {
+    return graph_;
+  }
+
+  /// Activation probability of edge `e`.
+  double prob(EdgeId e) const;
+
+  /// All edge probabilities, indexed by EdgeId.
+  const std::vector<double>& probs() const { return probs_; }
+
+  /// \brief Draws a pseudo-state: each edge active independently with its
+  /// probability (Eq. 3).
+  PseudoState SamplePseudoState(Rng& rng) const;
+
+  /// \brief Simulates the cascade from `sources` and returns the resulting
+  /// active-state (percolation; edges without an active parent stay
+  /// undecided/inactive in the result).
+  ActiveState SampleCascade(const std::vector<NodeId>& sources,
+                            Rng& rng) const;
+
+  /// log Pr[x | M] under Eq. 3. -inf if an edge with p=0 is active or p=1
+  /// inactive.
+  double LogPseudoStateProb(const PseudoState& state) const;
+
+  /// "PointIcm(n=..., m=...)".
+  std::string ToString() const;
+
+ private:
+  std::shared_ptr<const DirectedGraph> graph_;
+  std::vector<double> probs_;
+};
+
+}  // namespace infoflow

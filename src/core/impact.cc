@@ -1,0 +1,55 @@
+#include "core/impact.h"
+
+#include "util/check.h"
+
+namespace infoflow {
+
+std::uint64_t ImpactDistribution::Total() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  return total;
+}
+
+double ImpactDistribution::Mean() const {
+  const std::uint64_t total = Total();
+  if (total == 0) return 0.0;
+  double weighted = 0.0;
+  for (std::size_t k = 0; k < counts.size(); ++k) {
+    weighted += static_cast<double>(k) * static_cast<double>(counts[k]);
+  }
+  return weighted / static_cast<double>(total);
+}
+
+void ImpactDistribution::Record(std::uint32_t impact) {
+  if (impact >= counts.size()) counts.resize(impact + 1, 0);
+  ++counts[impact];
+}
+
+ImpactDistribution SimulateImpact(const PointIcm& model, NodeId source,
+                                  std::size_t num_cascades, Rng& rng) {
+  IF_CHECK(source < model.graph().num_nodes())
+      << "source " << source << " out of range";
+  IF_CHECK(num_cascades > 0) << "need at least one cascade";
+  ImpactDistribution out;
+  for (std::size_t i = 0; i < num_cascades; ++i) {
+    const ActiveState s = model.SampleCascade({source}, rng);
+    out.Record(static_cast<std::uint32_t>(s.active_nodes.size() - 1));
+  }
+  return out;
+}
+
+ImpactDistribution SimulateImpact(const BetaIcm& model, NodeId source,
+                                  std::size_t num_cascades, Rng& rng) {
+  IF_CHECK(source < model.graph().num_nodes())
+      << "source " << source << " out of range";
+  IF_CHECK(num_cascades > 0) << "need at least one cascade";
+  ImpactDistribution out;
+  for (std::size_t i = 0; i < num_cascades; ++i) {
+    const PointIcm icm = model.SampleIcm(rng);
+    const ActiveState s = icm.SampleCascade({source}, rng);
+    out.Record(static_cast<std::uint32_t>(s.active_nodes.size() - 1));
+  }
+  return out;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,258 @@
+#include "core/mh_sampler.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+Status MhOptions::Validate() const {
+  if (burn_in > (1u << 26)) {
+    return Status::InvalidArgument("burn_in ", burn_in, " unreasonably large");
+  }
+  if (thinning > (1u << 20)) {
+    return Status::InvalidArgument("thinning ", thinning,
+                                   " unreasonably large");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// BFS over edges with p > 0, recording parent edges, then activates the
+/// path from `source` to `sink` in `state`. Returns false when no such path
+/// exists at all.
+bool ActivatePath(const PointIcm& model, NodeId source, NodeId sink,
+                  PseudoState& state) {
+  const DirectedGraph& graph = model.graph();
+  if (source == sink) return true;
+  std::vector<EdgeId> parent_edge(graph.num_nodes(), kInvalidEdge);
+  std::vector<std::uint8_t> seen(graph.num_nodes(), 0);
+  std::vector<NodeId> queue{source};
+  seen[source] = 1;
+  std::size_t head = 0;
+  while (head < queue.size()) {
+    const NodeId u = queue[head++];
+    for (EdgeId e : graph.OutEdges(u)) {
+      if (model.prob(e) <= 0.0) continue;  // cannot ever activate
+      const NodeId v = graph.edge(e).dst;
+      if (seen[v]) continue;
+      seen[v] = 1;
+      parent_edge[v] = e;
+      if (v == sink) {
+        // Walk back activating the path edges.
+        NodeId cur = sink;
+        while (cur != source) {
+          const EdgeId pe = parent_edge[cur];
+          state[pe] = 1;
+          cur = graph.edge(pe).src;
+        }
+        return true;
+      }
+      queue.push_back(v);
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<PseudoState> MhSampler::FindInitialState(
+    const PointIcm& model, const FlowConditions& conditions,
+    const MhOptions& options, Rng& rng) {
+  const DirectedGraph& graph = model.graph();
+  if (conditions.empty()) return model.SamplePseudoState(rng);
+
+  ReachabilityWorkspace ws(graph);
+  // Phase 1: rejection from the unconditioned marginal.
+  for (std::size_t attempt = 0; attempt < options.init_rejection_tries;
+       ++attempt) {
+    PseudoState candidate = model.SamplePseudoState(rng);
+    if (SatisfiesConditions(graph, candidate, conditions, ws)) {
+      return candidate;
+    }
+  }
+  // Phase 2: constructive repair. Start from the sparsest state consistent
+  // with deterministic edges (p = 1 must stay active), then switch on one
+  // path per positive constraint. Negative constraints are then re-checked:
+  // an all-off background maximizes the chance they hold.
+  PseudoState state(graph.num_edges(), 0);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (model.prob(e) >= 1.0) state[e] = 1;
+  }
+  for (const FlowConstraint& c : conditions) {
+    if (!c.must_flow) continue;
+    if (!ActivatePath(model, c.source, c.sink, state)) {
+      return Status::FailedPrecondition(
+          "condition ", c.ToString(),
+          " is unsatisfiable: no positive-probability path exists");
+    }
+  }
+  if (!SatisfiesConditions(graph, state, conditions, ws)) {
+    return Status::FailedPrecondition(
+        "could not construct an initial state satisfying the ",
+        conditions.size(),
+        " flow conditions (positive paths conflict with negative "
+        "constraints); conditions may have probability ~0");
+  }
+  return state;
+}
+
+Result<MhSampler> MhSampler::Create(PointIcm model, FlowConditions conditions,
+                                    MhOptions options, Rng rng) {
+  IF_RETURN_NOT_OK(options.Validate());
+  IF_RETURN_NOT_OK(ValidateConditions(model.graph(), conditions));
+  auto init = FindInitialState(model, conditions, options, rng);
+  if (!init.ok()) return init.status();
+  return MhSampler(std::move(model), std::move(conditions), options, rng,
+                   std::move(init).ValueOrDie());
+}
+
+MhSampler::MhSampler(PointIcm model, FlowConditions conditions,
+                     MhOptions options, Rng rng, PseudoState init)
+    : model_(std::move(model)),
+      conditions_(std::move(conditions)),
+      options_(options),
+      rng_(rng),
+      state_(std::move(init)),
+      // model_ (already moved into) must be used here, not the parameter.
+      weights_(model_.graph().num_edges()),
+      workspace_(model_.graph()) {
+  // Initialize the proposal multinomial: weight of flipping edge e is the
+  // probability of the activity the flip would *produce*.
+  for (EdgeId e = 0; e < model_.graph().num_edges(); ++e) {
+    weights_.Set(e, FlipWeight(e, state_[e] != 0));
+  }
+}
+
+double MhSampler::FlipWeight(EdgeId e, bool currently_active) const {
+  const double p = model_.prob(e);
+  // Proposing to flip e produces activity (1 - x_e): weight
+  // q_e = p^{x_e} (1-p)^{1-x_e} evaluated at the *current* activity per
+  // §III-C — an inactive edge is selected proportional to p (it would
+  // become active), an active one proportional to (1 - p).
+  return currently_active ? (1.0 - p) : p;
+}
+
+bool MhSampler::Step() {
+  ++steps_;
+  const double z_current = weights_.Total();
+  if (z_current <= 0.0) return false;  // frozen chain: all edges deterministic
+
+  const EdgeId e =
+      options_.uniform_proposal
+          ? static_cast<EdgeId>(rng_.NextBounded(model_.graph().num_edges()))
+          : static_cast<EdgeId>(weights_.Sample(rng_));
+  const bool was_active = state_[e] != 0;
+  const double p = model_.prob(e);
+
+  // Weights of this flip in the current state and of the reverse flip in
+  // the candidate state.
+  const double w_forward = was_active ? (1.0 - p) : p;
+  const double w_backward = was_active ? p : (1.0 - p);
+  // Z' = Z + (-1)^{x_e} (1 - 2 p_e): flipping e swaps its proposal weight.
+  const double z_candidate = z_current - w_forward + w_backward;
+
+  // Weighted proposal: p_ratio = w_fwd/w_bwd and q_ratio =
+  // (w_fwd/w_bwd)·(Z'/Z), so the acceptance ratio collapses to Z/Z' — see
+  // the header derivation. Uniform proposal: q_ratio = 1 and the density
+  // ratio stands alone.
+  const double ratio = options_.uniform_proposal
+                           ? w_forward / w_backward
+                           : z_current / z_candidate;
+  if (ratio < 1.0 && rng_.NextDouble() > ratio) return false;
+
+  // Candidate passes the Hastings test; enforce I(x', C) (Eq. 7): a
+  // violating candidate has zero posterior probability, so it is rejected.
+  state_[e] = was_active ? 0 : 1;
+  if (!conditions_.empty() &&
+      !SatisfiesConditions(model_.graph(), state_, conditions_, workspace_)) {
+    state_[e] = was_active ? 1 : 0;  // roll back
+    return false;
+  }
+  weights_.Set(e, w_backward);
+  ++accepted_;
+  return true;
+}
+
+const PseudoState& MhSampler::NextSample() {
+  if (!burned_in_) {
+    for (std::size_t i = 0; i < options_.burn_in; ++i) Step();
+    burned_in_ = true;
+  } else {
+    for (std::size_t i = 0; i <= options_.thinning; ++i) Step();
+  }
+  return state_;
+}
+
+double MhSampler::EstimateFlowProbability(NodeId source, NodeId sink,
+                                          std::size_t num_samples) {
+  IF_CHECK(num_samples > 0) << "need at least one sample";
+  const DirectedGraph& graph = model_.graph();
+  IF_CHECK(source < graph.num_nodes() && sink < graph.num_nodes());
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const PseudoState& x = NextSample();
+    if (workspace_.RunUntil(graph, {source}, x, sink)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_samples);
+}
+
+std::vector<double> MhSampler::EstimateCommunityFlow(
+    NodeId source, const std::vector<NodeId>& sinks,
+    std::size_t num_samples) {
+  return EstimateCommunityFlowMulti({source}, sinks, num_samples);
+}
+
+std::vector<double> MhSampler::EstimateCommunityFlowMulti(
+    const std::vector<NodeId>& sources, const std::vector<NodeId>& sinks,
+    std::size_t num_samples) {
+  IF_CHECK(num_samples > 0) << "need at least one sample";
+  IF_CHECK(!sources.empty()) << "need at least one source";
+  const DirectedGraph& graph = model_.graph();
+  std::vector<std::size_t> hits(sinks.size(), 0);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const PseudoState& x = NextSample();
+    workspace_.Run(graph, sources, x);
+    for (std::size_t j = 0; j < sinks.size(); ++j) {
+      if (workspace_.IsReached(sinks[j])) ++hits[j];
+    }
+  }
+  std::vector<double> out(sinks.size());
+  for (std::size_t j = 0; j < sinks.size(); ++j) {
+    out[j] =
+        static_cast<double>(hits[j]) / static_cast<double>(num_samples);
+  }
+  return out;
+}
+
+double MhSampler::EstimateJointFlowProbability(const FlowConditions& flows,
+                                               std::size_t num_samples) {
+  IF_CHECK(num_samples > 0) << "need at least one sample";
+  ValidateConditions(model_.graph(), flows).CheckOK();
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const PseudoState& x = NextSample();
+    if (SatisfiesConditions(model_.graph(), x, flows, workspace_)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_samples);
+}
+
+std::vector<std::uint32_t> MhSampler::SampleDispersion(
+    NodeId source, std::size_t num_samples) {
+  IF_CHECK(num_samples > 0) << "need at least one sample";
+  const DirectedGraph& graph = model_.graph();
+  IF_CHECK(source < graph.num_nodes());
+  std::vector<std::uint32_t> counts;
+  counts.reserve(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const PseudoState& x = NextSample();
+    workspace_.Run(graph, {source}, x);
+    // Reached nodes minus the source itself.
+    counts.push_back(
+        static_cast<std::uint32_t>(workspace_.ReachedNodes().size() - 1));
+  }
+  return counts;
+}
+
+}  // namespace infoflow

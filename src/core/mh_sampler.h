@@ -1,0 +1,156 @@
+/// \file mh_sampler.h
+/// \brief Metropolis–Hastings pseudo-state sampling (§III, Algorithm 1).
+///
+/// The chain walks the space X = {0,1}^m of pseudo-states. A proposal flips
+/// exactly one edge; the flipped edge is drawn from a multinomial whose
+/// weights are q_i = p_i^{x_i} (1 − p_i)^{1−x_i} — i.e. an edge is proposed
+/// with probability proportional to the probability of its *resulting*
+/// activity (§III-C). The weights live in a Fenwick tree, so drawing and
+/// re-weighing after an accepted flip are both O(log m), and the
+/// normalization constant Z is maintained incrementally (the paper's
+/// Z' = Z + (−1)^{x_i} (1 − 2 p_i) identity).
+///
+/// For a proposed flip of edge i, let w_fwd be i's proposal weight in x
+/// (the probability of the activity the flip produces) and w_bwd the weight
+/// of the reverse flip in x'. Flipping i changes exactly one factor of
+/// Eq. 3 from w_bwd to w_fwd, so
+///   p_ratio = Pr[x'|M] / Pr[x|M]          = w_fwd / w_bwd
+///   q_ratio = q(x'|x) / q(x|x')           = (w_fwd/Z) / (w_bwd/Z')
+///                                         = (w_fwd/w_bwd) · (Z'/Z)
+///   accept  = min(p_ratio / q_ratio, 1)   = min(Z / Z', 1)
+/// — the proposal's bias toward probable flips cancels the density ratio,
+/// leaving only the normalizer correction.
+///
+/// Flow conditions C enter through the indicator I(x, C) (Eq. 7/8): the
+/// chain is initialized inside the admissible set and any candidate that
+/// violates C has acceptance probability zero.
+///
+/// Burn-in discards the first δ states; thinning keeps every (δ′+1)-th
+/// state afterwards (§III-B).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/flow_query.h"
+#include "core/icm.h"
+#include "stats/fenwick_tree.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief Tuning knobs for the chain.
+struct MhOptions {
+  /// δ: states discarded before the first sample.
+  std::size_t burn_in = 1000;
+  /// δ′: states discarded between consecutive samples.
+  std::size_t thinning = 10;
+  /// Attempts at drawing an initial state satisfying the conditions from
+  /// the marginal before falling back to constructive repair.
+  std::size_t init_rejection_tries = 256;
+  /// Ablation switch: pick the flipped edge uniformly instead of from the
+  /// §III-C probability-weighted multinomial (the acceptance test then
+  /// carries the full density ratio). Same stationary distribution, poorer
+  /// mixing — bench/ablation_proposal quantifies the gap.
+  bool uniform_proposal = false;
+
+  /// Validates the option values.
+  Status Validate() const;
+};
+
+/// \brief A Metropolis–Hastings pseudo-state chain over one point ICM.
+///
+/// \code
+///   auto sampler = MhSampler::Create(model, /*conditions=*/{}, MhOptions{},
+///                                    Rng(42));
+///   double p = sampler->EstimateFlowProbability(u, v, 4000);
+/// \endcode
+///
+/// The sampler stores its own copy of the model (a PointIcm shares the
+/// graph and copies only the probability vector), so temporaries like
+/// `beta_icm.ExpectedIcm()` are safe to pass.
+class MhSampler {
+ public:
+  /// \brief Builds a sampler whose stationary distribution is
+  /// Pr[x | M, C]. Fails when the conditions are invalid or no admissible
+  /// initial state could be constructed (e.g. contradictory C).
+  static Result<MhSampler> Create(PointIcm model, FlowConditions conditions,
+                                  MhOptions options, Rng rng);
+
+  /// Performs one Markov-chain transition (Algorithm 1). Returns true when
+  /// the candidate was accepted.
+  bool Step();
+
+  /// \brief Advances the chain to the next retained sample: the first call
+  /// runs the burn-in, subsequent calls run δ′+1 steps. Returns the current
+  /// pseudo-state (valid until the next call).
+  const PseudoState& NextSample();
+
+  /// \brief Estimate Pr[source ⤳ sink | M, C] from `num_samples` retained
+  /// samples (Eq. 5).
+  double EstimateFlowProbability(NodeId source, NodeId sink,
+                                 std::size_t num_samples);
+
+  /// \brief Estimate, in one pass, Pr[source ⤳ sink_j | M, C] for every
+  /// sink (source-to-community flow).
+  std::vector<double> EstimateCommunityFlow(NodeId source,
+                                            const std::vector<NodeId>& sinks,
+                                            std::size_t num_samples);
+
+  /// \brief Multi-source variant: Pr[∃ s ∈ sources: s ⤳ sink_j | M, C] for
+  /// every sink. Used when the external world (omnipotent node, §V-D) is a
+  /// standing co-source alongside a user.
+  std::vector<double> EstimateCommunityFlowMulti(
+      const std::vector<NodeId>& sources, const std::vector<NodeId>& sinks,
+      std::size_t num_samples);
+
+  /// \brief Estimate the probability that *all* the given flows hold
+  /// jointly in one state.
+  double EstimateJointFlowProbability(const FlowConditions& flows,
+                                      std::size_t num_samples);
+
+  /// \brief Estimate the dispersion of a source: the distribution of the
+  /// number of non-source nodes its information reaches. Returns one count
+  /// per retained sample.
+  std::vector<std::uint32_t> SampleDispersion(NodeId source,
+                                              std::size_t num_samples);
+
+  /// Current pseudo-state (mostly for tests).
+  const PseudoState& state() const { return state_; }
+
+  /// Incremental normalizer Z of the proposal multinomial (for tests of the
+  /// Z-update identity).
+  double proposal_normalizer() const { return weights_.Total(); }
+
+  /// Chain diagnostics: transitions attempted / accepted so far.
+  std::uint64_t steps_taken() const { return steps_; }
+  std::uint64_t steps_accepted() const { return accepted_; }
+
+ private:
+  MhSampler(PointIcm model, FlowConditions conditions, MhOptions options,
+            Rng rng, PseudoState init);
+
+  /// Proposal weight of flipping edge e out of activity `active`.
+  double FlipWeight(EdgeId e, bool currently_active) const;
+
+  /// Finds an initial state with I(x, C) = 1 (rejection, then repair).
+  static Result<PseudoState> FindInitialState(const PointIcm& model,
+                                              const FlowConditions& conditions,
+                                              const MhOptions& options,
+                                              Rng& rng);
+
+  PointIcm model_;
+  FlowConditions conditions_;
+  MhOptions options_;
+  Rng rng_;
+  PseudoState state_;
+  FenwickTree weights_;
+  ReachabilityWorkspace workspace_;
+  bool burned_in_ = false;
+  std::uint64_t steps_ = 0;
+  std::uint64_t accepted_ = 0;
+};
+
+}  // namespace infoflow

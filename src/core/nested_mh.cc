@@ -1,0 +1,79 @@
+#include "core/nested_mh.h"
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+double FlowProbabilityDistribution::Mean() const {
+  return infoflow::Mean(probabilities);
+}
+
+double FlowProbabilityDistribution::Variance() const {
+  return infoflow::Variance(probabilities);
+}
+
+double FlowProbabilityDistribution::Quantile(double q) const {
+  IF_CHECK(!probabilities.empty()) << "no samples";
+  return infoflow::Quantile(probabilities, q);
+}
+
+double FlowProbabilityDistribution::ProbabilityAbove(double threshold) const {
+  IF_CHECK(!probabilities.empty()) << "no samples";
+  std::size_t above = 0;
+  for (double p : probabilities) {
+    if (p > threshold) ++above;
+  }
+  return static_cast<double>(above) /
+         static_cast<double>(probabilities.size());
+}
+
+double FlowProbabilityDistribution::TailMean(double level) const {
+  IF_CHECK(!probabilities.empty()) << "no samples";
+  IF_CHECK(level > 0.0 && level < 1.0) << "level must be in (0,1)";
+  std::vector<double> sorted = probabilities;
+  std::sort(sorted.begin(), sorted.end());
+  const auto tail_begin = static_cast<std::size_t>(
+      level * static_cast<double>(sorted.size()));
+  const std::size_t begin = std::min(tail_begin, sorted.size() - 1);
+  double total = 0.0;
+  for (std::size_t i = begin; i < sorted.size(); ++i) total += sorted[i];
+  return total / static_cast<double>(sorted.size() - begin);
+}
+
+BetaDist FlowProbabilityDistribution::FittedBeta() const {
+  IF_CHECK(!probabilities.empty()) << "no samples to fit";
+  // Clamp the mean into (0,1) and the variance into its feasible range so a
+  // degenerate sample set still yields a (tight) Beta.
+  const double raw_mean = Mean();
+  const double mean = std::clamp(raw_mean, 1e-6, 1.0 - 1e-6);
+  const double max_var = mean * (1.0 - mean);
+  double var = Variance();
+  var = std::clamp(var, max_var * 1e-6, max_var * (1.0 - 1e-9));
+  return BetaDist::FromMeanVar(mean, var);
+}
+
+Result<FlowProbabilityDistribution> NestedMhFlowDistribution(
+    const BetaIcm& model, NodeId source, NodeId sink,
+    const FlowConditions& conditions, const NestedMhOptions& options,
+    Rng& rng) {
+  IF_CHECK(options.num_models > 0 && options.samples_per_model > 0)
+      << "nested MH needs positive model and sample counts";
+  FlowProbabilityDistribution out;
+  out.probabilities.reserve(options.num_models);
+  for (std::size_t k = 0; k < options.num_models; ++k) {
+    const PointIcm icm = options.gaussian_edge_approximation
+                             ? model.SampleIcmGaussian(rng)
+                             : model.SampleIcm(rng);
+    auto sampler =
+        MhSampler::Create(icm, conditions, options.mh, rng.Split());
+    if (!sampler.ok()) return sampler.status();
+    out.probabilities.push_back(sampler->EstimateFlowProbability(
+        source, sink, options.samples_per_model));
+  }
+  return out;
+}
+
+}  // namespace infoflow

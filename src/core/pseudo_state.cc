@@ -1,0 +1,33 @@
+#include "core/pseudo_state.h"
+
+#include <algorithm>
+
+#include "graph/reachability.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+bool ActiveState::IsNodeActive(NodeId v) const {
+  return std::find(active_nodes.begin(), active_nodes.end(), v) !=
+         active_nodes.end();
+}
+
+ActiveState DeriveActiveState(const DirectedGraph& graph,
+                              const std::vector<NodeId>& sources,
+                              const PseudoState& state) {
+  IF_CHECK_EQ(state.size(), graph.num_edges());
+  ActiveState out;
+  out.sources = sources;
+  out.active_nodes = ActiveNodes(graph, sources, state);
+  out.edge_active.assign(graph.num_edges(), 0);
+  // An edge is i-active iff it fired in the pseudo-state AND its parent node
+  // is i-active.
+  std::vector<std::uint8_t> node_active(graph.num_nodes(), 0);
+  for (NodeId v : out.active_nodes) node_active[v] = 1;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    if (state[e] && node_active[graph.edge(e).src]) out.edge_active[e] = 1;
+  }
+  return out;
+}
+
+}  // namespace infoflow

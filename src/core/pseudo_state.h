@@ -1,0 +1,45 @@
+/// \file pseudo_state.h
+/// \brief Pseudo-states and active-states (§II, §III-A).
+///
+/// A *pseudo-state* assigns every edge active/inactive irrespective of
+/// whether its parent node is active — a plain bit vector indexed by EdgeId.
+/// An *active-state* records the i-active nodes and edges given a source
+/// set; a pseudo-state x "gives rise to" active-state s (x ⤳ s) when
+/// deriving reachability from the sources through x's active edges yields s.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace infoflow {
+
+/// One byte per edge (0 = inactive, 1 = active), indexed by EdgeId.
+/// uint8_t rather than vector<bool> keeps the MH inner loop branch-cheap.
+using PseudoState = std::vector<std::uint8_t>;
+
+/// \brief The observable outcome of a cascade: which nodes and edges ended
+/// up i-active.
+struct ActiveState {
+  /// Sources of the cascade (V_i^⊕), as given.
+  std::vector<NodeId> sources;
+  /// i-active nodes (V_i), including the sources, in BFS discovery order.
+  std::vector<NodeId> active_nodes;
+  /// edge_active[e] = 1 iff e is i-active: its parent is active AND the
+  /// edge fired.
+  std::vector<std::uint8_t> edge_active;
+
+  /// True when `v` appears in active_nodes. O(|V_i|).
+  bool IsNodeActive(NodeId v) const;
+};
+
+/// \brief Derives the active-state that pseudo-state `state` gives rise to
+/// for the given sources: reachability through active edges, then masking
+/// edge activity down to edges whose parent was reached.
+ActiveState DeriveActiveState(const DirectedGraph& graph,
+                              const std::vector<NodeId>& sources,
+                              const PseudoState& state);
+
+}  // namespace infoflow

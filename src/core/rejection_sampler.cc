@@ -1,0 +1,39 @@
+#include "core/rejection_sampler.h"
+
+#include "graph/reachability.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+RejectionEstimate RejectionSampleFlow(const PointIcm& model, NodeId source,
+                                      NodeId sink,
+                                      const FlowConditions& conditions,
+                                      std::size_t num_samples,
+                                      std::size_t max_proposals, Rng& rng) {
+  IF_CHECK(num_samples > 0) << "need at least one sample";
+  const DirectedGraph& graph = model.graph();
+  IF_CHECK(source < graph.num_nodes() && sink < graph.num_nodes());
+  ValidateConditions(graph, conditions).CheckOK();
+
+  ReachabilityWorkspace ws(graph);
+  RejectionEstimate estimate;
+  std::size_t hits = 0;
+  while (estimate.accepted < num_samples &&
+         estimate.proposed < max_proposals) {
+    const PseudoState x = model.SamplePseudoState(rng);
+    ++estimate.proposed;
+    if (!conditions.empty() &&
+        !SatisfiesConditions(graph, x, conditions, ws)) {
+      continue;
+    }
+    ++estimate.accepted;
+    if (ws.RunUntil(graph, {source}, x, sink)) ++hits;
+  }
+  if (estimate.accepted > 0) {
+    estimate.probability = static_cast<double>(hits) /
+                           static_cast<double>(estimate.accepted);
+  }
+  return estimate;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,53 @@
+/// \file rejection_sampler.h
+/// \brief The naive alternative to Metropolis–Hastings (§I: "naive
+/// sampling can also be expensive").
+///
+/// Unconditional pseudo-states are independent Bernoullis per edge, so iid
+/// sampling is trivial and exact. *Conditional* queries Pr[· | C] force the
+/// naive sampler into rejection: draw states from the marginal and discard
+/// those violating C — cost per retained sample scales as 1 / Pr[C | M],
+/// which explodes precisely when conditioning is informative. The MH chain
+/// (mh_sampler.h) pays a constant factor instead. bench/ablation_rejection
+/// measures the crossover.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/flow_query.h"
+#include "core/icm.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief Outcome of a rejection-sampled flow estimate.
+struct RejectionEstimate {
+  /// Estimated Pr[source ⤳ sink | M, C].
+  double probability = 0.0;
+  /// Retained (condition-satisfying) samples.
+  std::size_t accepted = 0;
+  /// Total marginal draws consumed.
+  std::size_t proposed = 0;
+
+  /// Empirical acceptance rate ≈ Pr[C | M].
+  double AcceptanceRate() const {
+    return proposed ? static_cast<double>(accepted) /
+                          static_cast<double>(proposed)
+                    : 0.0;
+  }
+};
+
+/// \brief iid rejection sampler over pseudo-states.
+///
+/// Draws marginal pseudo-states until `num_samples` satisfy `conditions`
+/// (or `max_proposals` draws are consumed — whichever first), then
+/// estimates the conditional flow from the retained set. With empty
+/// conditions this is plain exact Monte Carlo.
+RejectionEstimate RejectionSampleFlow(const PointIcm& model, NodeId source,
+                                      NodeId sink,
+                                      const FlowConditions& conditions,
+                                      std::size_t num_samples,
+                                      std::size_t max_proposals, Rng& rng);
+
+}  // namespace infoflow

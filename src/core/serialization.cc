@@ -1,0 +1,271 @@
+#include "core/serialization.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace infoflow {
+
+namespace {
+
+constexpr const char* kBetaHeader = "infoflow-beta-icm v1";
+constexpr const char* kPointHeader = "infoflow-point-icm v1";
+
+std::string FullPrecision(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+/// Common preamble parse: header, node count, edge count. Returns the
+/// remaining lines.
+struct Preamble {
+  NodeId nodes = 0;
+  EdgeId edges = 0;
+  std::vector<std::string> lines;
+};
+
+Result<Preamble> ParsePreamble(const std::string& text,
+                               const std::string& expected_header) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != expected_header) {
+    return Status::ParseError("missing header '", expected_header, "'");
+  }
+  Preamble pre;
+  auto read_count = [&in, &line](const char* key,
+                                 std::uint64_t* out) -> Status {
+    if (!std::getline(in, line)) {
+      return Status::ParseError("unexpected end of input before '", key, "'");
+    }
+    const auto fields = SplitWhitespace(line);
+    if (fields.size() != 2 || fields[0] != key) {
+      return Status::ParseError("expected '", key, " <count>', got '", line,
+                                "'");
+    }
+    std::uint64_t value = 0;
+    const auto [ptr, ec] = std::from_chars(
+        fields[1].data(), fields[1].data() + fields[1].size(), value);
+    if (ec != std::errc() || ptr != fields[1].data() + fields[1].size()) {
+      return Status::ParseError("bad count '", fields[1], "' for ", key);
+    }
+    *out = value;
+    return Status::OK();
+  };
+  std::uint64_t nodes = 0, edges = 0;
+  IF_RETURN_NOT_OK(read_count("nodes", &nodes));
+  IF_RETURN_NOT_OK(read_count("edges", &edges));
+  if (nodes > kInvalidNode || edges > kInvalidEdge) {
+    return Status::ParseError("counts overflow: nodes=", nodes,
+                              " edges=", edges);
+  }
+  pre.nodes = static_cast<NodeId>(nodes);
+  pre.edges = static_cast<EdgeId>(edges);
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) pre.lines.emplace_back(Trim(line));
+  }
+  if (pre.lines.size() != pre.edges) {
+    return Status::ParseError("expected ", pre.edges, " edge lines, found ",
+                              pre.lines.size());
+  }
+  return pre;
+}
+
+Result<double> ParseDouble(const std::string& field) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(field, &consumed);
+    if (consumed != field.size()) {
+      return Status::ParseError("trailing characters in number '", field,
+                                "'");
+    }
+    return value;
+  } catch (const std::exception&) {
+    return Status::ParseError("bad number '", field, "'");
+  }
+}
+
+Result<Edge> ParseEndpoints(const std::string& a, const std::string& b,
+                            NodeId num_nodes) {
+  std::uint64_t src = 0, dst = 0;
+  auto parse_id = [](const std::string& field,
+                     std::uint64_t* out) -> Status {
+    const auto [ptr, ec] =
+        std::from_chars(field.data(), field.data() + field.size(), *out);
+    if (ec != std::errc() || ptr != field.data() + field.size()) {
+      return Status::ParseError("bad node id '", field, "'");
+    }
+    return Status::OK();
+  };
+  IF_RETURN_NOT_OK(parse_id(a, &src));
+  IF_RETURN_NOT_OK(parse_id(b, &dst));
+  if (src >= num_nodes || dst >= num_nodes) {
+    return Status::ParseError("edge (", src, ",", dst,
+                              ") outside node range ", num_nodes);
+  }
+  return Edge{static_cast<NodeId>(src), static_cast<NodeId>(dst)};
+}
+
+}  // namespace
+
+std::string SerializeBetaIcm(const BetaIcm& model) {
+  const DirectedGraph& graph = model.graph();
+  std::string out = kBetaHeader;
+  out += "\nnodes " + std::to_string(graph.num_nodes());
+  out += "\nedges " + std::to_string(graph.num_edges());
+  out += '\n';
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    out += std::to_string(edge.src);
+    out += ' ';
+    out += std::to_string(edge.dst);
+    out += ' ';
+    out += FullPrecision(model.alpha(e));
+    out += ' ';
+    out += FullPrecision(model.beta(e));
+    out += '\n';
+  }
+  return out;
+}
+
+Result<BetaIcm> DeserializeBetaIcm(const std::string& text) {
+  auto pre = ParsePreamble(text, kBetaHeader);
+  if (!pre.ok()) return pre.status();
+  GraphBuilder builder(pre->nodes);
+  // Hold parsed rows aside and remap through FindEdge after Build(): the
+  // input need not be in canonical edge-id order (hand-edited files).
+  struct Row {
+    Edge edge;
+    double alpha;
+    double beta;
+  };
+  std::vector<Row> rows;
+  rows.reserve(pre->edges);
+  for (std::size_t i = 0; i < pre->lines.size(); ++i) {
+    const auto fields = SplitWhitespace(pre->lines[i]);
+    if (fields.size() != 4) {
+      return Status::ParseError("edge line ", i + 1,
+                                ": expected 'src dst alpha beta'");
+    }
+    auto edge = ParseEndpoints(fields[0], fields[1], pre->nodes);
+    if (!edge.ok()) return edge.status();
+    IF_RETURN_NOT_OK(builder.AddEdge(edge->src, edge->dst));
+    auto alpha = ParseDouble(fields[2]);
+    if (!alpha.ok()) return alpha.status();
+    auto beta = ParseDouble(fields[3]);
+    if (!beta.ok()) return beta.status();
+    if (*alpha <= 0.0 || *beta <= 0.0) {
+      return Status::ParseError("edge line ", i + 1,
+                                ": non-positive Beta parameters");
+    }
+    rows.push_back(Row{*edge, *alpha, *beta});
+  }
+  auto graph =
+      std::make_shared<const DirectedGraph>(std::move(builder).Build());
+  std::vector<double> alphas(graph->num_edges()), betas(graph->num_edges());
+  for (const Row& row : rows) {
+    const EdgeId e = graph->FindEdge(row.edge.src, row.edge.dst);
+    alphas[e] = row.alpha;
+    betas[e] = row.beta;
+  }
+  return BetaIcm(std::move(graph), std::move(alphas), std::move(betas));
+}
+
+std::string SerializePointIcm(const PointIcm& model) {
+  const DirectedGraph& graph = model.graph();
+  std::string out = kPointHeader;
+  out += "\nnodes " + std::to_string(graph.num_nodes());
+  out += "\nedges " + std::to_string(graph.num_edges());
+  out += '\n';
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    out += std::to_string(edge.src);
+    out += ' ';
+    out += std::to_string(edge.dst);
+    out += ' ';
+    out += FullPrecision(model.prob(e));
+    out += '\n';
+  }
+  return out;
+}
+
+Result<PointIcm> DeserializePointIcm(const std::string& text) {
+  auto pre = ParsePreamble(text, kPointHeader);
+  if (!pre.ok()) return pre.status();
+  GraphBuilder builder(pre->nodes);
+  struct Row {
+    Edge edge;
+    double prob;
+  };
+  std::vector<Row> rows;
+  rows.reserve(pre->edges);
+  for (std::size_t i = 0; i < pre->lines.size(); ++i) {
+    const auto fields = SplitWhitespace(pre->lines[i]);
+    if (fields.size() != 3) {
+      return Status::ParseError("edge line ", i + 1,
+                                ": expected 'src dst prob'");
+    }
+    auto edge = ParseEndpoints(fields[0], fields[1], pre->nodes);
+    if (!edge.ok()) return edge.status();
+    IF_RETURN_NOT_OK(builder.AddEdge(edge->src, edge->dst));
+    auto prob = ParseDouble(fields[2]);
+    if (!prob.ok()) return prob.status();
+    if (*prob < 0.0 || *prob > 1.0) {
+      return Status::ParseError("edge line ", i + 1, ": probability ",
+                                *prob, " outside [0,1]");
+    }
+    rows.push_back(Row{*edge, *prob});
+  }
+  auto graph =
+      std::make_shared<const DirectedGraph>(std::move(builder).Build());
+  std::vector<double> probs(graph->num_edges());
+  for (const Row& row : rows) {
+    probs[graph->FindEdge(row.edge.src, row.edge.dst)] = row.prob;
+  }
+  return PointIcm(std::move(graph), std::move(probs));
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& text, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '", path, "' for writing");
+  out << text;
+  if (!out) return Status::IOError("write failed for '", path, "'");
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '", path, "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+Status SaveBetaIcm(const BetaIcm& model, const std::string& path) {
+  return WriteTextFile(SerializeBetaIcm(model), path);
+}
+
+Status SavePointIcm(const PointIcm& model, const std::string& path) {
+  return WriteTextFile(SerializePointIcm(model), path);
+}
+
+Result<BetaIcm> LoadBetaIcm(const std::string& path) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return DeserializeBetaIcm(*text);
+}
+
+Result<PointIcm> LoadPointIcm(const std::string& path) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return DeserializePointIcm(*text);
+}
+
+}  // namespace infoflow

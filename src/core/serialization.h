@@ -1,0 +1,52 @@
+/// \file serialization.h
+/// \brief Text serialization for models — save a trained betaICM/PointIcm
+/// and reload it in another process (production plumbing: train offline,
+/// serve queries online; also how the bench CSVs can be re-scored later).
+///
+/// Format (line-based, UTF-8, '\n'):
+///
+///   infoflow-beta-icm v1
+///   nodes <n>
+///   edges <m>
+///   <src> <dst> <alpha> <beta>        × m, in edge-id order
+///
+///   infoflow-point-icm v1
+///   nodes <n>
+///   edges <m>
+///   <src> <dst> <prob>                × m
+///
+/// Doubles round-trip exactly (printed with max_digits10). Edge ids are
+/// reproducible because DirectedGraph canonicalizes edge order by
+/// (src, dst).
+
+#pragma once
+
+#include <string>
+
+#include "core/beta_icm.h"
+#include "core/icm.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// Serializes a betaICM.
+std::string SerializeBetaIcm(const BetaIcm& model);
+
+/// Parses a serialized betaICM.
+Result<BetaIcm> DeserializeBetaIcm(const std::string& text);
+
+/// Serializes a point ICM.
+std::string SerializePointIcm(const PointIcm& model);
+
+/// Parses a serialized point ICM.
+Result<PointIcm> DeserializePointIcm(const std::string& text);
+
+/// Writes a serialized model to a file.
+Status SaveBetaIcm(const BetaIcm& model, const std::string& path);
+Status SavePointIcm(const PointIcm& model, const std::string& path);
+
+/// Reads a model back from a file.
+Result<BetaIcm> LoadBetaIcm(const std::string& path);
+Result<PointIcm> LoadPointIcm(const std::string& path);
+
+}  // namespace infoflow

@@ -1,0 +1,142 @@
+#include "eval/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+namespace {
+
+/// Maps a value in [lo, hi] to a row/column index in [0, cells).
+std::size_t Cell(double value, double lo, double hi, std::size_t cells) {
+  if (hi <= lo) return 0;
+  const double frac = std::clamp((value - lo) / (hi - lo), 0.0, 1.0);
+  return std::min(static_cast<std::size_t>(frac * static_cast<double>(cells)),
+                  cells - 1);
+}
+
+}  // namespace
+
+std::string RenderCalibration(const BucketReport& report,
+                              std::size_t height) {
+  IF_CHECK(height >= 5) << "plot height too small";
+  const std::size_t width = std::max<std::size_t>(report.bins.size(), 30);
+  std::vector<std::string> grid(height, std::string(width, ' '));
+
+  // Diagonal (the ideal calibration).
+  for (std::size_t c = 0; c < width; ++c) {
+    const double x = (static_cast<double>(c) + 0.5) /
+                     static_cast<double>(width);
+    grid[height - 1 - Cell(x, 0.0, 1.0, height)][c] = '.';
+  }
+  // Bins: CI bars then means.
+  for (const BucketBin& bin : report.bins) {
+    if (bin.count == 0) continue;
+    const std::size_t c = Cell(0.5 * (bin.lo + bin.hi), 0.0, 1.0, width);
+    const std::size_t r_lo = Cell(bin.ci_lo, 0.0, 1.0, height);
+    const std::size_t r_hi = Cell(bin.ci_hi, 0.0, 1.0, height);
+    for (std::size_t r = r_lo; r <= r_hi && r < height; ++r) {
+      grid[height - 1 - r][c] = '|';
+    }
+    const std::size_t r_mean = Cell(bin.mean_estimate, 0.0, 1.0, height);
+    grid[height - 1 - r_mean][c] = bin.covered ? 'x' : 'o';
+  }
+
+  std::string out;
+  out += "empirical probability (y) vs estimated probability (x); "
+         "x=mean in CI, o=outside\n";
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y_top = 1.0 - static_cast<double>(r) /
+                                   static_cast<double>(height - 1);
+    char label[16];
+    std::snprintf(label, sizeof(label), "%4.2f |", y_top);
+    out += label;
+    out += grid[r];
+    out += '\n';
+  }
+  out += "     +";
+  out.append(width, '-');
+  out += "\n      0.0";
+  out.append(width > 16 ? width - 13 : 1, ' ');
+  out += "1.0\n";
+
+  out += "bin volumes (count/positives): ";
+  for (const BucketBin& bin : report.bins) {
+    if (bin.count == 0) continue;
+    char cell[48];
+    std::snprintf(cell, sizeof(cell), "[%.2f:%llu/%llu] ", bin.lo,
+                  static_cast<unsigned long long>(bin.count),
+                  static_cast<unsigned long long>(bin.positives));
+    out += cell;
+  }
+  out += '\n';
+  char tail[96];
+  std::snprintf(tail, sizeof(tail),
+                "coverage: %.1f%% of %llu occupied bins (total %llu trials)\n",
+                100.0 * report.coverage,
+                static_cast<unsigned long long>(report.occupied_bins),
+                static_cast<unsigned long long>(report.total));
+  out += tail;
+  return out;
+}
+
+std::string RenderSeries(const std::vector<Series>& series, std::size_t width,
+                         std::size_t height, bool log_x) {
+  IF_CHECK(width >= 10 && height >= 5) << "plot area too small";
+  double x_lo = std::numeric_limits<double>::infinity();
+  double x_hi = -x_lo, y_lo = x_lo, y_hi = -x_lo;
+  for (const Series& s : series) {
+    IF_CHECK_EQ(s.x.size(), s.y.size());
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double x = log_x ? std::log10(std::max(s.x[i], 1e-12)) : s.x[i];
+      x_lo = std::min(x_lo, x);
+      x_hi = std::max(x_hi, x);
+      y_lo = std::min(y_lo, s.y[i]);
+      y_hi = std::max(y_hi, s.y[i]);
+    }
+  }
+  if (!(x_lo < x_hi)) x_hi = x_lo + 1.0;
+  if (!(y_lo < y_hi)) y_hi = y_lo + 1.0;
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  // Paint in reverse order so the first-listed series wins overlaps.
+  for (auto it = series.rbegin(); it != series.rend(); ++it) {
+    const Series& s = *it;
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double x = log_x ? std::log10(std::max(s.x[i], 1e-12)) : s.x[i];
+      const std::size_t c = Cell(x, x_lo, x_hi, width);
+      const std::size_t r = Cell(s.y[i], y_lo, y_hi, height);
+      grid[height - 1 - r][c] = s.glyph;
+    }
+  }
+  std::string out;
+  char line[64];
+  for (std::size_t r = 0; r < height; ++r) {
+    const double y = y_hi - (y_hi - y_lo) * static_cast<double>(r) /
+                                static_cast<double>(height - 1);
+    std::snprintf(line, sizeof(line), "%9.3g |", y);
+    out += line;
+    out += grid[r];
+    out += '\n';
+  }
+  out += "          +";
+  out.append(width, '-');
+  std::snprintf(line, sizeof(line), "\n           x: %.3g .. %.3g%s\n",
+                log_x ? std::pow(10.0, x_lo) : x_lo,
+                log_x ? std::pow(10.0, x_hi) : x_hi,
+                log_x ? " (log scale)" : "");
+  out += line;
+  out += "legend: ";
+  for (const Series& s : series) {
+    out += s.glyph;
+    out += "=" + s.name + "  ";
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,34 @@
+/// \file ascii_plot.h
+/// \brief Terminal renderings of the paper's figures, so each bench binary
+/// shows its plot inline (the CSV dumps carry the exact series).
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "eval/bucket.h"
+
+namespace infoflow {
+
+/// \brief Renders a calibration plot in the style of Fig. 1 (left):
+/// x = estimated probability, y = empirical probability, '·' diagonal,
+/// '|' the per-bin empirical CI, 'x' bin means inside the CI, 'o' outside.
+/// Includes a per-bin volume table underneath (Fig. 1 right).
+std::string RenderCalibration(const BucketReport& report,
+                              std::size_t height = 21);
+
+/// \brief Renders an x-y line/point series on a simple grid (used for the
+/// RMSE curves of Fig. 7 and timing scatter of Fig. 6). Multiple series
+/// share axes; each uses its own glyph.
+struct Series {
+  std::string name;
+  char glyph = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+std::string RenderSeries(const std::vector<Series>& series,
+                         std::size_t width = 64, std::size_t height = 20,
+                         bool log_x = false);
+
+}  // namespace infoflow

@@ -1,0 +1,115 @@
+#include "eval/bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/special.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+void BucketExperiment::Add(double estimate, bool outcome) {
+  IF_CHECK(estimate >= 0.0 && estimate <= 1.0)
+      << "estimate " << estimate << " is not a probability";
+  pairs_.push_back(BucketPair{estimate, outcome});
+}
+
+BucketReport BucketExperiment::Analyze(std::size_t num_bins,
+                                       double level) const {
+  IF_CHECK(num_bins > 0) << "need at least one bin";
+  IF_CHECK(level > 0.0 && level < 1.0) << "bad credible level " << level;
+  BucketReport report;
+  report.bins.resize(num_bins);
+  report.total = pairs_.size();
+
+  const double width = 1.0 / static_cast<double>(num_bins);
+  for (std::size_t j = 0; j < num_bins; ++j) {
+    report.bins[j].lo = static_cast<double>(j) * width;
+    report.bins[j].hi = static_cast<double>(j + 1) * width;
+  }
+  std::vector<double> sum_estimate(num_bins, 0.0);
+  for (const BucketPair& pair : pairs_) {
+    auto j = static_cast<std::size_t>(pair.estimate *
+                                      static_cast<double>(num_bins));
+    j = std::min(j, num_bins - 1);  // estimate == 1.0 lands in the top bin
+    BucketBin& bin = report.bins[j];
+    ++bin.count;
+    if (pair.outcome) ++bin.positives;
+    sum_estimate[j] += pair.estimate;
+  }
+  std::uint64_t covered = 0;
+  for (std::size_t j = 0; j < num_bins; ++j) {
+    BucketBin& bin = report.bins[j];
+    if (bin.count == 0) continue;
+    ++report.occupied_bins;
+    bin.mean_estimate = sum_estimate[j] / static_cast<double>(bin.count);
+    // §IV-C: α = 1 + Σz, β = |bin| − α + 2 = |bin| − Σz + 1.
+    bin.alpha = 1.0 + static_cast<double>(bin.positives);
+    bin.beta = static_cast<double>(bin.count - bin.positives) + 1.0;
+    const BetaDist empirical(bin.alpha, bin.beta);
+    bin.empirical_mean = empirical.Mean();
+    const auto ci = empirical.CredibleInterval(level);
+    bin.ci_lo = ci.lo;
+    bin.ci_hi = ci.hi;
+    bin.covered = ci.Contains(bin.mean_estimate);
+    if (bin.covered) ++covered;
+  }
+  report.coverage =
+      report.occupied_bins > 0
+          ? static_cast<double>(covered) /
+                static_cast<double>(report.occupied_bins)
+          : 0.0;
+  return report;
+}
+
+CalibrationTestResult ChiSquareCalibration(const BucketReport& report) {
+  CalibrationTestResult result;
+  for (const BucketBin& bin : report.bins) {
+    if (bin.count == 0) continue;
+    const double n = static_cast<double>(bin.count);
+    const double p = bin.mean_estimate;
+    const double expected_pos = n * p;
+    const double expected_neg = n * (1.0 - p);
+    // Standard applicability rule: both expected cells >= 1.
+    if (expected_pos < 1.0 || expected_neg < 1.0) continue;
+    const double observed = static_cast<double>(bin.positives);
+    const double diff = observed - expected_pos;
+    result.statistic += diff * diff / (expected_pos * (1.0 - p));
+    ++result.bins_used;
+  }
+  if (result.bins_used > 0) {
+    result.p_value = 1.0 - ChiSquareCdf(result.statistic,
+                                        static_cast<double>(result.bins_used));
+  }
+  return result;
+}
+
+std::vector<WindowPoint> MovingWindowBand(
+    const std::vector<BucketPair>& pairs, std::size_t grid_points,
+    double halfwidth, double level) {
+  IF_CHECK(grid_points >= 2) << "need at least two grid points";
+  IF_CHECK(halfwidth > 0.0) << "halfwidth must be positive";
+  std::vector<WindowPoint> band(grid_points);
+  for (std::size_t g = 0; g < grid_points; ++g) {
+    WindowPoint& point = band[g];
+    point.center =
+        static_cast<double>(g) / static_cast<double>(grid_points - 1);
+    std::uint64_t positives = 0;
+    for (const BucketPair& pair : pairs) {
+      if (std::fabs(pair.estimate - point.center) <= halfwidth) {
+        ++point.count;
+        if (pair.outcome) ++positives;
+      }
+    }
+    if (point.count == 0) continue;
+    const BetaDist empirical(
+        1.0 + static_cast<double>(positives),
+        static_cast<double>(point.count - positives) + 1.0);
+    const auto ci = empirical.CredibleInterval(level);
+    point.ci_lo = ci.lo;
+    point.ci_hi = ci.hi;
+  }
+  return band;
+}
+
+}  // namespace infoflow

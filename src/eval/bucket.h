@@ -1,0 +1,120 @@
+/// \file bucket.h
+/// \brief The bucket experiment (§IV-C, adapted from Troncoso & Danezis):
+/// the paper's calibration test for probabilistic flow predictions, behind
+/// Figs. 1, 2, 5, 8, 9 and 10.
+///
+/// Each trial pairs a predicted flow probability p with the boolean outcome
+/// z of one independently sampled test state. Pairs are bucketed by p into
+/// B equal-width bins [j/B, (j+1)/B); each bin's outcomes build an
+/// empirical Beta (α = 1 + Σz, β = |bin| − Σz + 1) whose 95% credible
+/// interval should contain the bin's mean prediction ~95% of the time when
+/// the predictor is calibrated.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/beta_dist.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief One trial: predicted probability and observed outcome.
+struct BucketPair {
+  double estimate = 0.0;
+  bool outcome = false;
+};
+
+/// \brief Per-bin aggregate.
+struct BucketBin {
+  /// Bin bounds [lo, hi).
+  double lo = 0.0;
+  double hi = 0.0;
+  /// Trials falling in the bin (the "volume of estimates", right plot of
+  /// Fig. 1).
+  std::uint64_t count = 0;
+  /// Positive outcomes among them (the "volume of flows").
+  std::uint64_t positives = 0;
+  /// Mean predicted probability p̄ of the bin.
+  double mean_estimate = 0.0;
+  /// Empirical Beta parameters.
+  double alpha = 1.0;
+  double beta = 1.0;
+  /// Central credible interval of the empirical Beta.
+  double ci_lo = 0.0;
+  double ci_hi = 1.0;
+  /// Empirical mean α/(α+β).
+  double empirical_mean = 0.5;
+  /// True when mean_estimate lies inside [ci_lo, ci_hi].
+  bool covered = false;
+};
+
+/// \brief The full analysis of a pair collection.
+struct BucketReport {
+  std::vector<BucketBin> bins;
+  /// Total trials.
+  std::uint64_t total = 0;
+  /// Non-empty bins.
+  std::uint64_t occupied_bins = 0;
+  /// Fraction of non-empty bins whose mean prediction is inside the
+  /// empirical CI (expected ≈ the credible level for a calibrated
+  /// predictor).
+  double coverage = 0.0;
+};
+
+/// \brief A Hosmer–Lemeshow-style goodness-of-calibration test over a
+/// bucket report: χ² = Σ_bins (O_b − E_b)² / (E_b (1 − p̄_b)) with
+/// O_b = positives, E_b = count · p̄_b, on bins with enough expected mass.
+struct CalibrationTestResult {
+  /// The χ² statistic.
+  double statistic = 0.0;
+  /// Bins contributing (expected positives and negatives both >= 1).
+  std::uint64_t bins_used = 0;
+  /// P(χ²_{bins_used} >= statistic): small values reject calibration.
+  /// (Classic HL uses g−2 dof for in-sample fits; predictions here are
+  /// made out of sample, so dof = bins_used.)
+  double p_value = 1.0;
+};
+
+/// Computes the calibration test from an analyzed report.
+CalibrationTestResult ChiSquareCalibration(const BucketReport& report);
+
+/// \brief Accumulates (estimate, outcome) pairs and analyzes them.
+class BucketExperiment {
+ public:
+  /// Records one trial; `estimate` must be a probability in [0, 1].
+  void Add(double estimate, bool outcome);
+
+  /// All recorded pairs.
+  const std::vector<BucketPair>& pairs() const { return pairs_; }
+
+  /// Number of recorded pairs.
+  std::size_t size() const { return pairs_.size(); }
+
+  /// \brief Bins into `num_bins` equal-width buckets and builds the report
+  /// at the given credible level (the paper uses 30 bins at 95%).
+  BucketReport Analyze(std::size_t num_bins = 30, double level = 0.95) const;
+
+ private:
+  std::vector<BucketPair> pairs_;
+};
+
+/// \brief One point of the moving-window confidence band (the grey region
+/// of Fig. 1): the empirical Beta CI of all pairs whose estimate lies
+/// within ±halfwidth of `center`.
+struct WindowPoint {
+  double center = 0.0;
+  std::uint64_t count = 0;
+  double ci_lo = 0.0;
+  double ci_hi = 1.0;
+};
+
+/// Evaluates the band on `grid_points` centers across [0, 1]; the paper's
+/// window is ±1/60.
+std::vector<WindowPoint> MovingWindowBand(const std::vector<BucketPair>& pairs,
+                                          std::size_t grid_points = 61,
+                                          double halfwidth = 1.0 / 60.0,
+                                          double level = 0.95);
+
+}  // namespace infoflow

@@ -1,0 +1,46 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+AccuracyReport ComputeAccuracy(const std::vector<BucketPair>& pairs,
+                               double clamp_eps) {
+  IF_CHECK(clamp_eps > 0.0 && clamp_eps < 0.5)
+      << "clamp_eps must be in (0, 0.5), got " << clamp_eps;
+  AccuracyReport report;
+  report.count = pairs.size();
+  if (pairs.empty()) return report;
+  double log_sum = 0.0;
+  double sq_sum = 0.0;
+  for (const BucketPair& pair : pairs) {
+    const double p = std::clamp(pair.estimate, clamp_eps, 1.0 - clamp_eps);
+    log_sum += std::log(pair.outcome ? p : 1.0 - p);
+    const double z = pair.outcome ? 1.0 : 0.0;
+    const double d = pair.estimate - z;
+    sq_sum += d * d;
+  }
+  const auto n = static_cast<double>(pairs.size());
+  report.normalized_likelihood = std::exp(log_sum / n);
+  report.brier = sq_sum / n;
+  return report;
+}
+
+std::vector<BucketPair> MiddleValues(const std::vector<BucketPair>& pairs) {
+  std::vector<BucketPair> out;
+  out.reserve(pairs.size());
+  for (const BucketPair& pair : pairs) {
+    if (pair.estimate > 0.0 && pair.estimate < 1.0) out.push_back(pair);
+  }
+  return out;
+}
+
+AccuracyReport ComputeMiddleAccuracy(const std::vector<BucketPair>& pairs,
+                                     double clamp_eps) {
+  return ComputeAccuracy(MiddleValues(pairs), clamp_eps);
+}
+
+}  // namespace infoflow

@@ -1,0 +1,40 @@
+/// \file metrics.h
+/// \brief The accuracy measures of Table III: normalized likelihood
+/// (geometric mean of the probability assigned to the realized outcome) and
+/// the Brier probability score (mean squared prediction error), each over
+/// all values or over "middle values" only (predictions not exactly 0/1).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "eval/bucket.h"
+
+namespace infoflow {
+
+/// \brief One experiment's scores.
+struct AccuracyReport {
+  /// exp( mean_i log Pr[z_i | p_i] ); closer to 1 is better. Predictions of
+  /// exactly 0/1 are nudged by `clamp_eps` (the paper's fix for the
+  /// degenerate-likelihood artifact).
+  double normalized_likelihood = 0.0;
+  /// mean_i (p_i − z_i)²; closer to 0 is better.
+  double brier = 0.0;
+  /// Trials scored.
+  std::uint64_t count = 0;
+};
+
+/// Scores every pair ("all values" column of Table III).
+AccuracyReport ComputeAccuracy(const std::vector<BucketPair>& pairs,
+                               double clamp_eps = 1e-6);
+
+/// Pairs whose prediction is strictly inside (0, 1) — the "middle values"
+/// filter of Table III, avoiding wash-out by masses of certain predictions.
+std::vector<BucketPair> MiddleValues(const std::vector<BucketPair>& pairs);
+
+/// Scores the middle values only.
+AccuracyReport ComputeMiddleAccuracy(const std::vector<BucketPair>& pairs,
+                                     double clamp_eps = 1e-6);
+
+}  // namespace infoflow

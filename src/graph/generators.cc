@@ -1,0 +1,102 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+DirectedGraph UniformRandomGraph(NodeId num_nodes, EdgeId num_edges,
+                                 Rng& rng) {
+  IF_CHECK(num_nodes >= 2) << "need at least two nodes, got " << num_nodes;
+  const auto n = static_cast<std::uint64_t>(num_nodes);
+  const std::uint64_t max_edges = n * (n - 1);
+  IF_CHECK(num_edges <= max_edges)
+      << "requested " << num_edges << " edges, max is " << max_edges;
+
+  GraphBuilder builder(num_nodes);
+  if (static_cast<std::uint64_t>(num_edges) * 3 > max_edges) {
+    // Dense request: enumerate all pairs and sample without replacement.
+    std::vector<Edge> all;
+    all.reserve(max_edges);
+    for (NodeId u = 0; u < num_nodes; ++u) {
+      for (NodeId v = 0; v < num_nodes; ++v) {
+        if (u != v) all.push_back(Edge{u, v});
+      }
+    }
+    // Partial Fisher–Yates.
+    for (EdgeId i = 0; i < num_edges; ++i) {
+      const auto j =
+          i + static_cast<std::size_t>(rng.NextBounded(all.size() - i));
+      std::swap(all[i], all[j]);
+      IF_CHECK(builder.AddEdgeIfAbsent(all[i].src, all[i].dst));
+    }
+  } else {
+    // Sparse request: rejection sampling.
+    while (builder.num_edges() < num_edges) {
+      const auto u = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      const auto v = static_cast<NodeId>(rng.NextBounded(num_nodes));
+      if (u == v) continue;
+      builder.AddEdgeIfAbsent(u, v);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+DirectedGraph PreferentialAttachmentGraph(NodeId num_nodes,
+                                          std::size_t out_degree,
+                                          double reciprocity, Rng& rng) {
+  IF_CHECK(num_nodes >= 2) << "need at least two nodes";
+  IF_CHECK(out_degree >= 1) << "out_degree must be >= 1";
+  IF_CHECK(reciprocity >= 0.0 && reciprocity <= 1.0)
+      << "reciprocity must be in [0,1], got " << reciprocity;
+
+  GraphBuilder builder(num_nodes);
+  // repeated_nodes holds one copy of a node per (in-degree + 1) unit, the
+  // standard Barabási–Albert urn trick; O(1) proportional draws.
+  std::vector<NodeId> urn;
+  urn.reserve(static_cast<std::size_t>(num_nodes) * (out_degree + 2));
+  urn.push_back(0);  // node 0 starts with weight 1
+
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const std::size_t want = std::min<std::size_t>(out_degree, v);
+    std::vector<NodeId> targets;
+    targets.reserve(want);
+    std::size_t guard = 0;
+    while (targets.size() < want && guard < 64 * want + 64) {
+      ++guard;
+      const NodeId t = urn[rng.NextBounded(urn.size())];
+      if (t == v) continue;
+      if (std::find(targets.begin(), targets.end(), t) != targets.end()) {
+        continue;
+      }
+      targets.push_back(t);
+    }
+    // Fallback: fill from the low ids if the urn kept colliding.
+    for (NodeId t = 0; targets.size() < want && t < v; ++t) {
+      if (std::find(targets.begin(), targets.end(), t) == targets.end()) {
+        targets.push_back(t);
+      }
+    }
+    for (NodeId t : targets) {
+      if (builder.AddEdgeIfAbsent(v, t)) urn.push_back(t);
+      if (rng.Bernoulli(reciprocity) && builder.AddEdgeIfAbsent(t, v)) {
+        urn.push_back(v);
+      }
+    }
+    urn.push_back(v);  // the newcomer's own base weight
+  }
+  return std::move(builder).Build();
+}
+
+DirectedGraph StarFragment(std::size_t num_parents) {
+  IF_CHECK(num_parents >= 1) << "star fragment needs at least one parent";
+  const auto sink = static_cast<NodeId>(num_parents);
+  GraphBuilder builder(static_cast<NodeId>(num_parents + 1));
+  for (NodeId parent = 0; parent < sink; ++parent) {
+    builder.AddEdge(parent, sink).CheckOK();
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace infoflow

@@ -1,0 +1,40 @@
+/// \file generators.h
+/// \brief Random graph generators for the synthetic experiments.
+///
+/// Fig. 1/5 use uniform G(n, m) topologies (50 nodes, 200 edges); the
+/// Twitter simulator (src/twitter/) uses a directed preferential-attachment
+/// follow graph so degree distributions are heavy-tailed like the real
+/// crawl; Fig. 7 uses explicit k-parent star fragments.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "stats/rng.h"
+
+namespace infoflow {
+
+/// \brief Uniform random directed graph: exactly `num_edges` distinct
+/// directed non-self-loop edges among `num_nodes` nodes.
+/// Requires num_edges <= n(n-1).
+DirectedGraph UniformRandomGraph(NodeId num_nodes, EdgeId num_edges,
+                                 Rng& rng);
+
+/// \brief Directed preferential-attachment graph.
+///
+/// Nodes arrive one at a time; each new node draws `out_degree` distinct
+/// targets among existing nodes with probability proportional to
+/// (in-degree + 1), then — with probability `reciprocity` per edge — the
+/// target links back. This mimics a Twitter follow graph: a few celebrities
+/// accumulate huge audiences, most accounts stay small, and some ties are
+/// mutual.
+DirectedGraph PreferentialAttachmentGraph(NodeId num_nodes,
+                                          std::size_t out_degree,
+                                          double reciprocity, Rng& rng);
+
+/// \brief The k-parent "star fragment" of Fig. 7 / Table I: parents
+/// 0..k-1 each with a single edge into sink node k.
+DirectedGraph StarFragment(std::size_t num_parents);
+
+}  // namespace infoflow

@@ -1,0 +1,127 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace infoflow {
+
+namespace {
+inline std::uint64_t EdgeKey(NodeId src, NodeId dst) {
+  return (static_cast<std::uint64_t>(src) << 32) | dst;
+}
+}  // namespace
+
+const Edge& DirectedGraph::edge(EdgeId e) const {
+  IF_CHECK(e < edges_.size()) << "edge id " << e << " out of range";
+  return edges_[e];
+}
+
+std::span<const EdgeId> DirectedGraph::OutEdges(NodeId v) const {
+  IF_CHECK(v < num_nodes_) << "node id " << v << " out of range";
+  return {out_edge_ids_.data() + out_offsets_[v],
+          out_offsets_[v + 1] - out_offsets_[v]};
+}
+
+std::span<const EdgeId> DirectedGraph::InEdges(NodeId v) const {
+  IF_CHECK(v < num_nodes_) << "node id " << v << " out of range";
+  return {in_edge_ids_.data() + in_offsets_[v],
+          in_offsets_[v + 1] - in_offsets_[v]};
+}
+
+EdgeId DirectedGraph::FindEdge(NodeId src, NodeId dst) const {
+  IF_CHECK(src < num_nodes_ && dst < num_nodes_)
+      << "endpoints out of range: (" << src << "," << dst << ")";
+  auto out = OutEdges(src);
+  // Out-edges are sorted by destination; binary search.
+  auto it = std::lower_bound(
+      out.begin(), out.end(), dst,
+      [this](EdgeId e, NodeId d) { return edges_[e].dst < d; });
+  if (it != out.end() && edges_[*it].dst == dst) return *it;
+  return kInvalidEdge;
+}
+
+std::string DirectedGraph::ToString() const {
+  return "DirectedGraph(n=" + std::to_string(num_nodes_) +
+         ", m=" + std::to_string(edges_.size()) + ")";
+}
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {
+  IF_CHECK(num_nodes != kInvalidNode) << "node count overflows NodeId";
+}
+
+Status GraphBuilder::AddEdge(NodeId src, NodeId dst) {
+  if (src >= num_nodes_ || dst >= num_nodes_) {
+    return Status::OutOfRange("edge (", src, ",", dst,
+                              ") references missing node; n=", num_nodes_);
+  }
+  if (src == dst) {
+    return Status::InvalidArgument("self-loop (", src, ",", dst,
+                                   ") not allowed in an ICM");
+  }
+  auto [it, inserted] = edge_set_.emplace(EdgeKey(src, dst), true);
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate edge (", src, ",", dst, ")");
+  }
+  edges_.push_back(Edge{src, dst});
+  return Status::OK();
+}
+
+bool GraphBuilder::AddEdgeIfAbsent(NodeId src, NodeId dst) {
+  IF_CHECK(src < num_nodes_ && dst < num_nodes_ && src != dst)
+      << "invalid edge (" << src << "," << dst << "), n=" << num_nodes_;
+  auto [it, inserted] = edge_set_.emplace(EdgeKey(src, dst), true);
+  (void)it;
+  if (inserted) edges_.push_back(Edge{src, dst});
+  return inserted;
+}
+
+DirectedGraph GraphBuilder::Build() && {
+  DirectedGraph g;
+  g.num_nodes_ = num_nodes_;
+  std::sort(edges_.begin(), edges_.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  g.edges_ = std::move(edges_);
+  const auto n = static_cast<std::size_t>(num_nodes_);
+  const std::size_t m = g.edges_.size();
+
+  // Out CSR: edges are already sorted by (src, dst).
+  g.out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) ++g.out_offsets_[e.src + 1];
+  for (std::size_t v = 0; v < n; ++v) {
+    g.out_offsets_[v + 1] += g.out_offsets_[v];
+  }
+  g.out_edge_ids_.resize(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    // Sorted order means we can fill sequentially per source.
+    g.out_edge_ids_[g.out_offsets_[g.edges_[e].src]++] = e;
+  }
+  // Undo the offset advance.
+  for (std::size_t v = n; v > 0; --v) {
+    g.out_offsets_[v] = g.out_offsets_[v - 1];
+  }
+  g.out_offsets_[0] = 0;
+
+  // In CSR via counting sort on destination.
+  g.in_offsets_.assign(n + 1, 0);
+  for (const Edge& e : g.edges_) ++g.in_offsets_[e.dst + 1];
+  for (std::size_t v = 0; v < n; ++v) {
+    g.in_offsets_[v + 1] += g.in_offsets_[v];
+  }
+  g.in_edge_ids_.resize(m);
+  {
+    std::vector<std::size_t> cursor(g.in_offsets_.begin(),
+                                    g.in_offsets_.end() - 1);
+    for (EdgeId e = 0; e < m; ++e) {
+      g.in_edge_ids_[cursor[g.edges_[e].dst]++] = e;
+    }
+  }
+  // Within a destination bucket, edges arrive in (src,dst) order already —
+  // sorted by source, as documented.
+  return g;
+}
+
+}  // namespace infoflow

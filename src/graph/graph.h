@@ -1,0 +1,139 @@
+/// \file graph.h
+/// \brief The directed-graph substrate for all information-flow models.
+///
+/// An ICM is a directed graph G = (V, E, P) (§II). This type stores the
+/// (V, E) part: nodes are dense integer ids 0..n-1, edges have dense integer
+/// ids 0..m-1 (so a pseudo-state is simply a bit vector indexed by EdgeId,
+/// §III-A), and both out- and in-adjacency are stored in CSR form for cache-
+/// friendly traversal — reachability over active edges is the inner loop of
+/// the Metropolis–Hastings sampler.
+///
+/// Graphs are immutable once built; construct them with GraphBuilder.
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace infoflow {
+
+/// Dense node identifier, 0-based.
+using NodeId = std::uint32_t;
+/// Dense edge identifier, 0-based; pseudo-states index by this.
+using EdgeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = ~NodeId{0};
+/// Sentinel for "no edge".
+inline constexpr EdgeId kInvalidEdge = ~EdgeId{0};
+
+/// \brief A directed edge endpoint pair.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  friend bool operator==(const Edge&, const Edge&) = default;
+};
+
+class GraphBuilder;
+
+/// \brief Immutable directed graph with CSR out/in adjacency and O(1)
+/// edge-id lookup.
+class DirectedGraph {
+ public:
+  /// Constructs the empty graph (0 nodes, 0 edges); assign a built graph
+  /// over it.
+  DirectedGraph() = default;
+
+  /// Number of nodes n.
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Number of edges m.
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Endpoints of edge `e`.
+  const Edge& edge(EdgeId e) const;
+
+  /// All edges, ordered by EdgeId.
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Edge ids leaving `v`, ordered by destination.
+  std::span<const EdgeId> OutEdges(NodeId v) const;
+
+  /// Edge ids entering `v`, ordered by source.
+  std::span<const EdgeId> InEdges(NodeId v) const;
+
+  /// Out-degree of `v`.
+  std::size_t OutDegree(NodeId v) const { return OutEdges(v).size(); }
+
+  /// In-degree of `v`.
+  std::size_t InDegree(NodeId v) const { return InEdges(v).size(); }
+
+  /// Id of the edge (src, dst), or kInvalidEdge when absent. O(log deg).
+  EdgeId FindEdge(NodeId src, NodeId dst) const;
+
+  /// True when the edge (src, dst) exists.
+  bool HasEdge(NodeId src, NodeId dst) const {
+    return FindEdge(src, dst) != kInvalidEdge;
+  }
+
+  /// "DirectedGraph(n=..., m=...)".
+  std::string ToString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  NodeId num_nodes_ = 0;
+  std::vector<Edge> edges_;
+  // CSR: out_offsets_ has n+1 entries; out_edge_ids_[out_offsets_[v] ..
+  // out_offsets_[v+1]) are v's outgoing edges sorted by destination.
+  std::vector<std::size_t> out_offsets_;
+  std::vector<EdgeId> out_edge_ids_;
+  std::vector<std::size_t> in_offsets_;
+  std::vector<EdgeId> in_edge_ids_;
+};
+
+/// \brief Mutable accumulator for DirectedGraph.
+///
+/// \code
+///   GraphBuilder b(4);
+///   b.AddEdge(0, 1).CheckOK();
+///   b.AddEdge(1, 2).CheckOK();
+///   DirectedGraph g = std::move(b).Build();
+/// \endcode
+class GraphBuilder {
+ public:
+  /// Starts a graph with `num_nodes` nodes (ids 0..num_nodes-1).
+  explicit GraphBuilder(NodeId num_nodes);
+
+  /// Adds the directed edge (src, dst). Self-loops and duplicates are
+  /// rejected (the ICM gains nothing from either: information re-arriving at
+  /// a node never changes its activity, §I).
+  Status AddEdge(NodeId src, NodeId dst);
+
+  /// Adds the edge if absent; returns true when it was inserted. Endpoints
+  /// must still be valid non-self-loop node ids.
+  bool AddEdgeIfAbsent(NodeId src, NodeId dst);
+
+  /// Number of edges added so far.
+  EdgeId num_edges() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Number of nodes.
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Finalizes into an immutable graph. Edge ids are assigned by
+  /// (src, dst) lexicographic order — deterministic regardless of insertion
+  /// order, so models serialized by edge id are stable.
+  DirectedGraph Build() &&;
+
+ private:
+  NodeId num_nodes_;
+  std::vector<Edge> edges_;
+  std::unordered_map<std::uint64_t, bool> edge_set_;
+};
+
+}  // namespace infoflow

@@ -1,0 +1,80 @@
+#include "graph/reachability.h"
+
+#include "util/check.h"
+
+namespace infoflow {
+
+ReachabilityWorkspace::ReachabilityWorkspace(const DirectedGraph& graph) {
+  Reset(graph.num_nodes());
+}
+
+void ReachabilityWorkspace::Reset(std::size_t num_nodes) {
+  visited_version_.assign(num_nodes, 0);
+  version_ = 0;
+  queue_.reserve(num_nodes);
+  order_.reserve(num_nodes);
+}
+
+void ReachabilityWorkspace::Run(const DirectedGraph& graph,
+                                const std::vector<NodeId>& sources,
+                                const std::vector<std::uint8_t>& edge_active) {
+  RunUntil(graph, sources, edge_active, kInvalidNode);
+}
+
+bool ReachabilityWorkspace::RunUntil(
+    const DirectedGraph& graph, const std::vector<NodeId>& sources,
+    const std::vector<std::uint8_t>& edge_active, NodeId target) {
+  IF_CHECK_EQ(visited_version_.size(), graph.num_nodes());
+  IF_CHECK_EQ(edge_active.size(), graph.num_edges());
+  if (++version_ == 0) {
+    // Version counter wrapped; clear stamps and restart at 1.
+    std::fill(visited_version_.begin(), visited_version_.end(), 0);
+    version_ = 1;
+  }
+  queue_.clear();
+  order_.clear();
+
+  for (NodeId s : sources) {
+    IF_CHECK(s < graph.num_nodes()) << "source " << s << " out of range";
+    if (visited_version_[s] == version_) continue;
+    visited_version_[s] = version_;
+    queue_.push_back(s);
+    order_.push_back(s);
+    if (s == target) return true;
+  }
+  std::size_t head = 0;
+  while (head < queue_.size()) {
+    const NodeId u = queue_[head++];
+    for (EdgeId e : graph.OutEdges(u)) {
+      if (!edge_active[e]) continue;
+      const NodeId v = graph.edge(e).dst;
+      if (visited_version_[v] == version_) continue;
+      visited_version_[v] = version_;
+      queue_.push_back(v);
+      order_.push_back(v);
+      if (v == target) return true;
+    }
+  }
+  return false;
+}
+
+bool ReachabilityWorkspace::IsReached(NodeId v) const {
+  IF_CHECK(v < visited_version_.size()) << "node " << v << " out of range";
+  return visited_version_[v] == version_;
+}
+
+bool FlowExists(const DirectedGraph& graph, NodeId source, NodeId sink,
+                const std::vector<std::uint8_t>& edge_active) {
+  ReachabilityWorkspace ws(graph);
+  return ws.RunUntil(graph, {source}, edge_active, sink);
+}
+
+std::vector<NodeId> ActiveNodes(const DirectedGraph& graph,
+                                const std::vector<NodeId>& sources,
+                                const std::vector<std::uint8_t>& edge_active) {
+  ReachabilityWorkspace ws(graph);
+  ws.Run(graph, sources, edge_active);
+  return ws.ReachedNodes();
+}
+
+}  // namespace infoflow

@@ -1,0 +1,86 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+NodeId Subgraph::LocalNode(NodeId parent_id) const {
+  auto it = parent_to_node.find(parent_id);
+  return it == parent_to_node.end() ? kInvalidNode : it->second;
+}
+
+Subgraph InducedSubgraph(const DirectedGraph& parent,
+                         const std::vector<NodeId>& nodes) {
+  Subgraph sub;
+  for (NodeId p : nodes) {
+    IF_CHECK(p < parent.num_nodes()) << "node " << p << " out of range";
+    if (sub.parent_to_node.contains(p)) continue;
+    const auto local = static_cast<NodeId>(sub.node_to_parent.size());
+    sub.parent_to_node.emplace(p, local);
+    sub.node_to_parent.push_back(p);
+  }
+
+  GraphBuilder builder(static_cast<NodeId>(sub.node_to_parent.size()));
+  // Collect (local edge, parent edge) pairs; GraphBuilder::Build sorts edges
+  // by (src, dst), so replicate that order for edge_to_parent.
+  struct Mapped {
+    Edge local;
+    EdgeId parent_edge;
+  };
+  std::vector<Mapped> mapped;
+  for (NodeId local_src = 0;
+       local_src < static_cast<NodeId>(sub.node_to_parent.size());
+       ++local_src) {
+    const NodeId parent_src = sub.node_to_parent[local_src];
+    for (EdgeId e : parent.OutEdges(parent_src)) {
+      const NodeId local_dst = sub.LocalNode(parent.edge(e).dst);
+      if (local_dst == kInvalidNode) continue;
+      builder.AddEdge(local_src, local_dst).CheckOK();
+      mapped.push_back(Mapped{Edge{local_src, local_dst}, e});
+    }
+  }
+  std::sort(mapped.begin(), mapped.end(), [](const Mapped& a, const Mapped& b) {
+    return a.local.src != b.local.src ? a.local.src < b.local.src
+                                      : a.local.dst < b.local.dst;
+  });
+  sub.edge_to_parent.reserve(mapped.size());
+  for (const Mapped& m : mapped) sub.edge_to_parent.push_back(m.parent_edge);
+  sub.graph = std::move(builder).Build();
+  IF_CHECK_EQ(sub.edge_to_parent.size(), sub.graph.num_edges());
+  return sub;
+}
+
+Subgraph EgoSubgraph(const DirectedGraph& parent, NodeId focus,
+                     std::size_t radius, EgoDirection direction) {
+  IF_CHECK(focus < parent.num_nodes()) << "focus " << focus << " out of range";
+  // Level-bounded BFS collecting the node ball.
+  std::vector<NodeId> ball{focus};
+  std::vector<std::uint8_t> seen(parent.num_nodes(), 0);
+  seen[focus] = 1;
+  std::size_t frontier_begin = 0;
+  for (std::size_t depth = 0; depth < radius; ++depth) {
+    const std::size_t frontier_end = ball.size();
+    if (frontier_begin == frontier_end) break;
+    for (std::size_t i = frontier_begin; i < frontier_end; ++i) {
+      const NodeId u = ball[i];
+      auto visit = [&](NodeId v) {
+        if (!seen[v]) {
+          seen[v] = 1;
+          ball.push_back(v);
+        }
+      };
+      if (direction != EgoDirection::kIn) {
+        for (EdgeId e : parent.OutEdges(u)) visit(parent.edge(e).dst);
+      }
+      if (direction != EgoDirection::kOut) {
+        for (EdgeId e : parent.InEdges(u)) visit(parent.edge(e).src);
+      }
+    }
+    frontier_begin = frontier_end;
+  }
+  return InducedSubgraph(parent, ball);
+}
+
+}  // namespace infoflow

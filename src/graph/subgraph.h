@@ -1,0 +1,50 @@
+/// \file subgraph.h
+/// \brief Radius-limited ego subgraph extraction with node/edge remapping.
+///
+/// The Twitter experiments (§IV-C, Fig. 2/8/9) pick a focus user and work on
+/// the sub-model of all users within distance r of the focus. Extraction
+/// returns both the local graph and the maps back to parent ids so edge
+/// parameters (Betas, point probabilities) can be carried across.
+
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace infoflow {
+
+/// \brief Which edge directions count toward "distance from the focus".
+enum class EgoDirection {
+  kOut,         ///< follow out-edges only (direction information flows)
+  kIn,          ///< follow in-edges only
+  kUndirected,  ///< either direction
+};
+
+/// \brief A subgraph plus the correspondence to its parent graph.
+struct Subgraph {
+  DirectedGraph graph;
+  /// local node id -> parent node id (index = local id).
+  std::vector<NodeId> node_to_parent;
+  /// parent node id -> local node id (only mapped nodes present).
+  std::unordered_map<NodeId, NodeId> parent_to_node;
+  /// local edge id -> parent edge id.
+  std::vector<EdgeId> edge_to_parent;
+
+  /// Local id of a parent node, or kInvalidNode when outside the subgraph.
+  NodeId LocalNode(NodeId parent_id) const;
+};
+
+/// \brief Extracts the ego subgraph of all nodes within `radius` hops of
+/// `focus` (per `direction`), with *all* parent edges among those nodes.
+Subgraph EgoSubgraph(const DirectedGraph& parent, NodeId focus,
+                     std::size_t radius,
+                     EgoDirection direction = EgoDirection::kOut);
+
+/// \brief Extracts the induced subgraph on an explicit node set (duplicates
+/// ignored; order of first occurrence defines local ids).
+Subgraph InducedSubgraph(const DirectedGraph& parent,
+                         const std::vector<NodeId>& nodes);
+
+}  // namespace infoflow

@@ -1,0 +1,138 @@
+#include "learn/attributed.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+namespace {
+
+Status ValidateObject(const DirectedGraph& graph, const AttributedObject& obj,
+                      std::size_t index) {
+  if (obj.sources.empty()) {
+    return Status::InvalidArgument("object ", index, " has no sources");
+  }
+  std::vector<std::uint8_t> node_active(graph.num_nodes(), 0);
+  for (NodeId v : obj.active_nodes) {
+    if (v >= graph.num_nodes()) {
+      return Status::OutOfRange("object ", index, " active node ", v,
+                                " out of range; n=", graph.num_nodes());
+    }
+    node_active[v] = 1;
+  }
+  std::vector<std::uint8_t> is_source(graph.num_nodes(), 0);
+  for (NodeId s : obj.sources) {
+    if (s >= graph.num_nodes()) {
+      return Status::OutOfRange("object ", index, " source ", s,
+                                " out of range");
+    }
+    if (!node_active[s]) {
+      return Status::InvalidArgument("object ", index, " source ", s,
+                                     " missing from active nodes");
+    }
+    is_source[s] = 1;
+  }
+  std::vector<std::uint8_t> has_active_in(graph.num_nodes(), 0);
+  for (EdgeId e : obj.active_edges) {
+    if (e >= graph.num_edges()) {
+      return Status::OutOfRange("object ", index, " active edge ", e,
+                                " out of range; m=", graph.num_edges());
+    }
+    const Edge& edge = graph.edge(e);
+    if (!node_active[edge.src]) {
+      return Status::InvalidArgument("object ", index, " active edge ", e,
+                                     " (", edge.src, "->", edge.dst,
+                                     ") has an inactive parent node");
+    }
+    if (!node_active[edge.dst]) {
+      return Status::InvalidArgument("object ", index, " active edge ", e,
+                                     " (", edge.src, "->", edge.dst,
+                                     ") has an inactive child node");
+    }
+    has_active_in[edge.dst] = 1;
+  }
+  for (NodeId v : obj.active_nodes) {
+    if (!is_source[v] && !has_active_in[v]) {
+      return Status::InvalidArgument(
+          "object ", index, " node ", v,
+          " is active but is neither a source nor the child of an active "
+          "edge");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ValidateAttributedEvidence(const DirectedGraph& graph,
+                                  const AttributedEvidence& evidence) {
+  for (std::size_t i = 0; i < evidence.objects.size(); ++i) {
+    IF_RETURN_NOT_OK(ValidateObject(graph, evidence.objects[i], i));
+  }
+  return Status::OK();
+}
+
+Status UpdateBetaIcmWithObject(BetaIcm& model,
+                               const AttributedObject& object) {
+  const DirectedGraph& graph = model.graph();
+  IF_RETURN_NOT_OK(ValidateObject(graph, object, 0));
+  std::vector<std::uint8_t> edge_active(graph.num_edges(), 0);
+  for (EdgeId e : object.active_edges) edge_active[e] = 1;
+  // §II-A step 2: for each edge e_jk — if e ∈ E_i bump α; else if its
+  // parent v_j ∈ V_i bump β. Iterating out-edges of active nodes covers
+  // exactly the edges with an active parent (all others are untouched).
+  for (NodeId v : object.active_nodes) {
+    for (EdgeId e : graph.OutEdges(v)) {
+      if (edge_active[e]) {
+        model.AddSuccess(e);
+      } else {
+        model.AddFailure(e);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<BetaIcm> MergeBetaIcms(const BetaIcm& a, const BetaIcm& b) {
+  const DirectedGraph& ga = a.graph();
+  const DirectedGraph& gb = b.graph();
+  if (ga.num_nodes() != gb.num_nodes() ||
+      ga.num_edges() != gb.num_edges()) {
+    return Status::InvalidArgument(
+        "cannot merge models over different graphs: ", a.ToString(), " vs ",
+        b.ToString());
+  }
+  std::vector<double> alphas(ga.num_edges()), betas(ga.num_edges());
+  for (EdgeId e = 0; e < ga.num_edges(); ++e) {
+    if (!(ga.edge(e) == gb.edge(e))) {
+      return Status::InvalidArgument("edge ", e,
+                                     " differs between the two graphs");
+    }
+    // Counts add; the shared Beta(1,1) prior must only be kept once.
+    alphas[e] = a.alpha(e) + b.alpha(e) - 1.0;
+    betas[e] = a.beta(e) + b.beta(e) - 1.0;
+    if (alphas[e] <= 0.0 || betas[e] <= 0.0) {
+      return Status::FailedPrecondition(
+          "edge ", e,
+          " has sub-uniform parameters; merge requires models trained from "
+          "the uniform prior");
+    }
+  }
+  return BetaIcm(a.graph_ptr(), std::move(alphas), std::move(betas));
+}
+
+Result<BetaIcm> TrainBetaIcmFromAttributed(
+    std::shared_ptr<const DirectedGraph> graph,
+    const AttributedEvidence& evidence) {
+  IF_CHECK(graph != nullptr);
+  IF_RETURN_NOT_OK(ValidateAttributedEvidence(*graph, evidence));
+  BetaIcm model = BetaIcm::Uninformed(std::move(graph));
+  for (const AttributedObject& obj : evidence.objects) {
+    IF_RETURN_NOT_OK(UpdateBetaIcmWithObject(model, obj));
+  }
+  return model;
+}
+
+}  // namespace infoflow

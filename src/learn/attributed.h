@@ -1,0 +1,67 @@
+/// \file attributed.h
+/// \brief Attributed evidence and the Beta-counting trainer (§II-A).
+///
+/// Attributed evidence D = (O, F) records, for each information object, its
+/// sources, its active nodes and its active *edges* — i.e. for every
+/// non-source activation we know which incident node caused it (typical
+/// when the social graph is known, e.g. Facebook/Google+, or after the
+/// retweet-chain preprocessing of §IV-B).
+///
+/// Training (§II-A) is exact Bayesian conjugate counting: every edge starts
+/// at Beta(1, 1); for each object, an active edge increments α, and an
+/// inactive edge whose parent node was active increments β. Edges whose
+/// parent never activated carry no information about that object and are
+/// untouched.
+
+#pragma once
+
+#include <vector>
+
+#include "core/beta_icm.h"
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief One object's attributed flow (V_i^⊕, V_i, E_i).
+struct AttributedObject {
+  /// Source vertices V_i^⊕ (must be non-empty and a subset of active_nodes).
+  std::vector<NodeId> sources;
+  /// All i-active nodes V_i (must include the sources).
+  std::vector<NodeId> active_nodes;
+  /// All i-active edges E_i (each must have an active parent node).
+  std::vector<EdgeId> active_edges;
+};
+
+/// \brief The evidence set D = (O, F).
+struct AttributedEvidence {
+  std::vector<AttributedObject> objects;
+};
+
+/// Checks an evidence set's internal consistency against a graph: ids in
+/// range, sources ⊆ active nodes, active edges have active endpoints, and
+/// every non-source active node has at least one active incoming edge.
+Status ValidateAttributedEvidence(const DirectedGraph& graph,
+                                  const AttributedEvidence& evidence);
+
+/// \brief Trains a betaICM from attributed evidence by the §II-A counting
+/// algorithm. Validates first.
+Result<BetaIcm> TrainBetaIcmFromAttributed(
+    std::shared_ptr<const DirectedGraph> graph,
+    const AttributedEvidence& evidence);
+
+/// \brief In-place incremental variant: folds one more object into an
+/// existing betaICM (supports streaming / online updates — the "absorb
+/// network changes efficiently" goal of §I). The object must be valid for
+/// the model's graph.
+Status UpdateBetaIcmWithObject(BetaIcm& model, const AttributedObject& object);
+
+/// \brief Merges two betaICMs trained (from the uniform prior) on disjoint
+/// evidence over the *same* graph into the model the combined evidence
+/// would produce: conjugate counting is additive, so
+/// α = α₁ + α₂ − 1 and β = β₁ + β₂ − 1 (subtracting the double-counted
+/// Beta(1,1) prior). Enables sharded/federated training: count locally,
+/// merge centrally. Fails when the graphs differ.
+Result<BetaIcm> MergeBetaIcms(const BetaIcm& a, const BetaIcm& b);
+
+}  // namespace infoflow

@@ -1,0 +1,251 @@
+#include "learn/evidence_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace infoflow {
+
+namespace {
+
+constexpr const char* kAttributedHeader = "infoflow-attributed v1";
+constexpr const char* kTracesHeader = "infoflow-traces v1";
+
+Status ParseNodeId(const std::string& field, NodeId* out) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec != std::errc() || ptr != field.data() + field.size() ||
+      value >= kInvalidNode) {
+    return Status::ParseError("bad node id '", field, "'");
+  }
+  *out = static_cast<NodeId>(value);
+  return Status::OK();
+}
+
+/// Parses the shared "<header>\n<key> <count>\n" preamble; returns the
+/// remaining non-empty lines.
+Result<std::vector<std::string>> ParseBody(const std::string& text,
+                                           const std::string& header,
+                                           const std::string& count_key,
+                                           std::size_t* count_out) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || Trim(line) != header) {
+    return Status::ParseError("missing header '", header, "'");
+  }
+  if (!std::getline(in, line)) {
+    return Status::ParseError("missing '", count_key, "' line");
+  }
+  const auto fields = SplitWhitespace(line);
+  if (fields.size() != 2 || fields[0] != count_key) {
+    return Status::ParseError("expected '", count_key, " <count>', got '",
+                              line, "'");
+  }
+  std::uint64_t count = 0;
+  const auto [ptr, ec] = std::from_chars(
+      fields[1].data(), fields[1].data() + fields[1].size(), count);
+  if (ec != std::errc() || ptr != fields[1].data() + fields[1].size()) {
+    return Status::ParseError("bad count '", fields[1], "'");
+  }
+  std::vector<std::string> lines;
+  while (std::getline(in, line)) {
+    if (!Trim(line).empty()) lines.emplace_back(Trim(line));
+  }
+  if (lines.size() != count) {
+    return Status::ParseError("expected ", count, " records, found ",
+                              lines.size());
+  }
+  *count_out = count;
+  return lines;
+}
+
+Status WriteTextFile(const std::string& text, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '", path, "' for writing");
+  out << text;
+  if (!out) return Status::IOError("write failed for '", path, "'");
+  return Status::OK();
+}
+
+Result<std::string> ReadTextFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '", path, "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+std::string SerializeAttributedEvidence(const DirectedGraph& graph,
+                                        const AttributedEvidence& evidence) {
+  std::string out = kAttributedHeader;
+  out += "\nobjects ";
+  out += std::to_string(evidence.objects.size());
+  out += '\n';
+  for (const AttributedObject& obj : evidence.objects) {
+    for (std::size_t i = 0; i < obj.sources.size(); ++i) {
+      if (i) out += ' ';
+      out += std::to_string(obj.sources[i]);
+    }
+    out += '|';
+    for (std::size_t i = 0; i < obj.active_nodes.size(); ++i) {
+      if (i) out += ' ';
+      out += std::to_string(obj.active_nodes[i]);
+    }
+    out += '|';
+    for (std::size_t i = 0; i < obj.active_edges.size(); ++i) {
+      if (i) out += ' ';
+      const Edge& edge = graph.edge(obj.active_edges[i]);
+      out += std::to_string(edge.src);
+      out += '>';
+      out += std::to_string(edge.dst);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<AttributedEvidence> DeserializeAttributedEvidence(
+    const std::string& text, const DirectedGraph& graph) {
+  std::size_t count = 0;
+  auto lines = ParseBody(text, kAttributedHeader, "objects", &count);
+  if (!lines.ok()) return lines.status();
+
+  AttributedEvidence evidence;
+  evidence.objects.reserve(count);
+  for (std::size_t i = 0; i < lines->size(); ++i) {
+    const auto fields = Split((*lines)[i], '|');
+    if (fields.size() != 3) {
+      return Status::ParseError("object line ", i + 1,
+                                ": expected 'sources|nodes|edges'");
+    }
+    AttributedObject obj;
+    for (const std::string& id : SplitWhitespace(fields[0])) {
+      NodeId v = 0;
+      IF_RETURN_NOT_OK(ParseNodeId(id, &v));
+      obj.sources.push_back(v);
+    }
+    for (const std::string& id : SplitWhitespace(fields[1])) {
+      NodeId v = 0;
+      IF_RETURN_NOT_OK(ParseNodeId(id, &v));
+      obj.active_nodes.push_back(v);
+    }
+    for (const std::string& pair : SplitWhitespace(fields[2])) {
+      const auto endpoints = Split(pair, '>');
+      if (endpoints.size() != 2) {
+        return Status::ParseError("object line ", i + 1, ": bad edge '",
+                                  pair, "'");
+      }
+      NodeId src = 0, dst = 0;
+      IF_RETURN_NOT_OK(ParseNodeId(endpoints[0], &src));
+      IF_RETURN_NOT_OK(ParseNodeId(endpoints[1], &dst));
+      if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
+        return Status::ParseError("object line ", i + 1, ": edge '", pair,
+                                  "' outside the graph");
+      }
+      const EdgeId e = graph.FindEdge(src, dst);
+      if (e == kInvalidEdge) {
+        return Status::ParseError("object line ", i + 1, ": edge '", pair,
+                                  "' not present in the graph");
+      }
+      obj.active_edges.push_back(e);
+    }
+    evidence.objects.push_back(std::move(obj));
+  }
+  IF_RETURN_NOT_OK(ValidateAttributedEvidence(graph, evidence));
+  return evidence;
+}
+
+std::string SerializeUnattributedEvidence(
+    const UnattributedEvidence& evidence) {
+  std::string out = kTracesHeader;
+  out += "\ntraces ";
+  out += std::to_string(evidence.traces.size());
+  out += '\n';
+  char buf[64];
+  for (const ObjectTrace& trace : evidence.traces) {
+    if (trace.activations.empty()) {
+      out += "-\n";  // sentinel: an empty trace is a record, not a blank
+      continue;
+    }
+    for (std::size_t i = 0; i < trace.activations.size(); ++i) {
+      if (i) out += ' ';
+      std::snprintf(buf, sizeof(buf), "%u:%.17g", trace.activations[i].node,
+                    trace.activations[i].time);
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+Result<UnattributedEvidence> DeserializeUnattributedEvidence(
+    const std::string& text) {
+  std::size_t count = 0;
+  auto lines = ParseBody(text, kTracesHeader, "traces", &count);
+  if (!lines.ok()) return lines.status();
+  UnattributedEvidence evidence;
+  evidence.traces.reserve(count);
+  for (std::size_t i = 0; i < lines->size(); ++i) {
+    ObjectTrace trace;
+    if ((*lines)[i] == "-") {  // empty-trace sentinel
+      evidence.traces.push_back(std::move(trace));
+      continue;
+    }
+    for (const std::string& token : SplitWhitespace((*lines)[i])) {
+      const auto parts = Split(token, ':');
+      if (parts.size() != 2) {
+        return Status::ParseError("trace line ", i + 1, ": bad activation '",
+                                  token, "'");
+      }
+      NodeId node = 0;
+      IF_RETURN_NOT_OK(ParseNodeId(parts[0], &node));
+      try {
+        std::size_t consumed = 0;
+        const double time = std::stod(parts[1], &consumed);
+        if (consumed != parts[1].size()) {
+          return Status::ParseError("trace line ", i + 1, ": bad time '",
+                                    parts[1], "'");
+        }
+        trace.activations.push_back({node, time});
+      } catch (const std::exception&) {
+        return Status::ParseError("trace line ", i + 1, ": bad time '",
+                                  parts[1], "'");
+      }
+    }
+    evidence.traces.push_back(std::move(trace));
+  }
+  return evidence;
+}
+
+Status SaveAttributedEvidence(const DirectedGraph& graph,
+                              const AttributedEvidence& evidence,
+                              const std::string& path) {
+  return WriteTextFile(SerializeAttributedEvidence(graph, evidence), path);
+}
+
+Result<AttributedEvidence> LoadAttributedEvidence(const std::string& path,
+                                                  const DirectedGraph& graph) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return DeserializeAttributedEvidence(*text, graph);
+}
+
+Status SaveUnattributedEvidence(const UnattributedEvidence& evidence,
+                                const std::string& path) {
+  return WriteTextFile(SerializeUnattributedEvidence(evidence), path);
+}
+
+Result<UnattributedEvidence> LoadUnattributedEvidence(
+    const std::string& path) {
+  auto text = ReadTextFile(path);
+  if (!text.ok()) return text.status();
+  return DeserializeUnattributedEvidence(*text);
+}
+
+}  // namespace infoflow

@@ -1,0 +1,64 @@
+/// \file evidence_io.h
+/// \brief Text serialization for evidence sets — the data-plumbing layer
+/// that lets training inputs move between processes (and powers the
+/// `infoflow` CLI tool).
+///
+/// Attributed evidence ("infoflow-attributed v1"): one object per line,
+/// three '|'-separated fields — sources, active nodes, active edges —
+/// with ids space-separated and edges written as `src>dst` (graph-id
+/// independent; resolved against a graph at load time):
+///
+///   infoflow-attributed v1
+///   objects 2
+///   0|0 1 2|0>1 1>2
+///   3|3 4|3>4
+///
+/// Unattributed traces ("infoflow-traces v1"): one trace per line, each
+/// activation as `node:time`:
+///
+///   infoflow-traces v1
+///   traces 1
+///   0:0 2:1.5 5:3.25
+
+#pragma once
+
+#include <string>
+
+#include "learn/attributed.h"
+#include "learn/unattributed.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// Serializes attributed evidence; edges are written by endpoints, so the
+/// output is portable across graphs that contain the same relationships.
+std::string SerializeAttributedEvidence(const DirectedGraph& graph,
+                                        const AttributedEvidence& evidence);
+
+/// Parses attributed evidence against `graph` (edges resolved with
+/// FindEdge; a referenced edge missing from the graph is a ParseError).
+/// The result is validated before being returned.
+Result<AttributedEvidence> DeserializeAttributedEvidence(
+    const std::string& text, const DirectedGraph& graph);
+
+/// Serializes unattributed traces.
+std::string SerializeUnattributedEvidence(
+    const UnattributedEvidence& evidence);
+
+/// Parses unattributed traces (graph-independent; node-range validation
+/// happens when the traces meet a graph).
+Result<UnattributedEvidence> DeserializeUnattributedEvidence(
+    const std::string& text);
+
+/// File convenience wrappers.
+Status SaveAttributedEvidence(const DirectedGraph& graph,
+                              const AttributedEvidence& evidence,
+                              const std::string& path);
+Result<AttributedEvidence> LoadAttributedEvidence(const std::string& path,
+                                                  const DirectedGraph& graph);
+Status SaveUnattributedEvidence(const UnattributedEvidence& evidence,
+                                const std::string& path);
+Result<UnattributedEvidence> LoadUnattributedEvidence(
+    const std::string& path);
+
+}  // namespace infoflow

@@ -1,0 +1,22 @@
+#include "learn/filtered.h"
+
+#include "learn/joint_bayes.h"
+
+namespace infoflow {
+
+FilteredResult FitFiltered(const SinkSummary& summary) {
+  FilteredResult result;
+  result.sink = summary.sink;
+  result.parents = summary.parents;
+  result.parent_edges = summary.parent_edges;
+  // The filtered posterior *is* the joint-Bayes prior: Beta counting over
+  // singleton characteristics only.
+  result.posterior = UnambiguousPriors(summary);
+  result.estimate.reserve(result.posterior.size());
+  for (const BetaDist& b : result.posterior) {
+    result.estimate.push_back(b.Mean());
+  }
+  return result;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,32 @@
+/// \file filtered.h
+/// \brief The "filtered" baseline (§V-C): train with the attributed Beta
+/// counting rule using only the objects whose attribution is unambiguous
+/// (a single active parent before the sink) and *discard* all other
+/// evidence. A deliberately wasteful but unbiased comparator — Fig. 7 shows
+/// Goyal et al.'s heuristic can lose to it.
+
+#pragma once
+
+#include <vector>
+
+#include "learn/summary.h"
+#include "stats/beta_dist.h"
+
+namespace infoflow {
+
+/// \brief Per-parent Beta posterior from unambiguous evidence only.
+struct FilteredResult {
+  NodeId sink = kInvalidNode;
+  std::vector<NodeId> parents;
+  std::vector<EdgeId> parent_edges;
+  /// Beta(1 + leaks, 1 + count − leaks) over singleton rows; Beta(1,1) for
+  /// parents with no unambiguous evidence.
+  std::vector<BetaDist> posterior;
+  /// Posterior means (convenience; == posterior[j].Mean()).
+  std::vector<double> estimate;
+};
+
+/// Runs the filtered estimator on a sink summary.
+FilteredResult FitFiltered(const SinkSummary& summary);
+
+}  // namespace infoflow

@@ -1,0 +1,34 @@
+#include "learn/goyal.h"
+
+#include "util/check.h"
+
+namespace infoflow {
+
+GoyalResult FitGoyal(const SinkSummary& summary) {
+  const std::size_t k = summary.parents.size();
+  GoyalResult result;
+  result.sink = summary.sink;
+  result.parents = summary.parents;
+  result.parent_edges = summary.parent_edges;
+  result.estimate.assign(k, 0.0);
+
+  std::vector<double> credit(k, 0.0);
+  std::vector<double> exposure(k, 0.0);  // |{o : j ∈ J_o}|
+  for (const SummaryRow& row : summary.rows) {
+    const std::size_t cardinality = row.Cardinality();
+    IF_DCHECK(cardinality > 0);
+    const double share = static_cast<double>(row.leaks) /
+                         static_cast<double>(cardinality);
+    for (std::size_t j = 0; j < k; ++j) {
+      if (!row.mask[j]) continue;
+      credit[j] += share;
+      exposure[j] += static_cast<double>(row.count);
+    }
+  }
+  for (std::size_t j = 0; j < k; ++j) {
+    if (exposure[j] > 0.0) result.estimate[j] = credit[j] / exposure[j];
+  }
+  return result;
+}
+
+}  // namespace infoflow

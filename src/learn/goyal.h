@@ -1,0 +1,42 @@
+/// \file goyal.h
+/// \brief The Goyal et al. equal-credit baseline (§V-A/B).
+///
+/// Each object o that leaked to sink k splits one unit of credit equally
+/// among the parents active before k (credit_{j}(o) = 1/|J_o| for j ∈ J_o);
+/// an edge's estimate is its accumulated credit normalized by the number of
+/// objects in which its parent was active before k:
+///
+///   p_{j,k} = Σ_o credit_j(o) / |{o : j ∈ J_o}|
+///
+/// The paper calls this "only a rule of thumb" that biases estimates toward
+/// the mean of all edges incident to k — Fig. 7 quantifies that bias. The
+/// estimator runs directly off the evidence summary, which it treats (like
+/// our method) as a sufficient statistic.
+///
+/// Theorem 1 (§V-A) shows Goyal et al.'s Simplified General Threshold Model
+/// is equivalent to the ICM with identical edge weights, so the numbers are
+/// directly comparable; a property test verifies the equivalence by
+/// simulation.
+
+#pragma once
+
+#include <vector>
+
+#include "learn/summary.h"
+
+namespace infoflow {
+
+/// \brief Point estimates per parent edge of one sink.
+struct GoyalResult {
+  NodeId sink = kInvalidNode;
+  std::vector<NodeId> parents;
+  std::vector<EdgeId> parent_edges;
+  /// Equal-credit activation probability estimate per parent.
+  std::vector<double> estimate;
+};
+
+/// \brief Runs the credit estimator on a sink summary. Parents never active
+/// before the sink in any object get estimate 0.
+GoyalResult FitGoyal(const SinkSummary& summary);
+
+}  // namespace infoflow

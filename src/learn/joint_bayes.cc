@@ -1,0 +1,209 @@
+#include "learn/joint_bayes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "stats/descriptive.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+Status JointBayesOptions::Validate() const {
+  if (num_samples == 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  if (proposal_sd <= 0.0 || proposal_sd > 1.0) {
+    return Status::InvalidArgument("proposal_sd must be in (0,1], got ",
+                                   proposal_sd);
+  }
+  return Status::OK();
+}
+
+double JointBayesResult::SampleCorrelation(std::size_t a,
+                                           std::size_t b) const {
+  IF_CHECK(!samples.empty())
+      << "SampleCorrelation requires keep_samples=true";
+  IF_CHECK(a < parents.size() && b < parents.size());
+  RunningStats sa, sb;
+  for (const auto& s : samples) {
+    sa.Add(s[a]);
+    sb.Add(s[b]);
+  }
+  double cov = 0.0;
+  for (const auto& s : samples) {
+    cov += (s[a] - sa.Mean()) * (s[b] - sb.Mean());
+  }
+  cov /= static_cast<double>(samples.size() - 1);
+  const double denom = sa.StdDev() * sb.StdDev();
+  return denom > 0.0 ? cov / denom : 0.0;
+}
+
+std::vector<BetaDist> UnambiguousPriors(const SinkSummary& summary) {
+  std::vector<BetaDist> priors(summary.parents.size(), BetaDist::Uniform());
+  for (const SummaryRow& row : summary.rows) {
+    if (row.Cardinality() != 1) continue;
+    for (std::size_t j = 0; j < row.mask.size(); ++j) {
+      if (!row.mask[j]) continue;
+      priors[j] = BetaDist(priors[j].alpha() + static_cast<double>(row.leaks),
+                           priors[j].beta() +
+                               static_cast<double>(row.count - row.leaks));
+      break;
+    }
+  }
+  return priors;
+}
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+/// Log Binomial likelihood of one row at influence probability p_J (the
+/// combinatorial constant is dropped).
+inline double RowLogLik(const SummaryRow& row, double p_joint) {
+  const auto leaks = static_cast<double>(row.leaks);
+  const auto silent = static_cast<double>(row.count - row.leaks);
+  double ll = 0.0;
+  if (leaks > 0.0) {
+    if (p_joint <= 0.0) return -std::numeric_limits<double>::infinity();
+    ll += leaks * std::log(p_joint);
+  }
+  if (silent > 0.0) {
+    if (p_joint >= 1.0) return -std::numeric_limits<double>::infinity();
+    ll += silent * std::log1p(-p_joint);
+  }
+  return ll;
+}
+
+/// p_J = 1 - Π_{j∈J} (1 - p_j).
+inline double JointInfluence(const SummaryRow& row,
+                             const std::vector<double>& p) {
+  double survive = 1.0;
+  for (std::size_t j = 0; j < row.mask.size(); ++j) {
+    if (row.mask[j]) survive *= 1.0 - p[j];
+  }
+  return 1.0 - survive;
+}
+
+/// Reflects a proposal into [kEps, 1 - kEps].
+inline double Reflect(double x) {
+  // A couple of reflections suffice for any realistic step size.
+  for (int i = 0; i < 64 && (x < 0.0 || x > 1.0); ++i) {
+    if (x < 0.0) x = -x;
+    if (x > 1.0) x = 2.0 - x;
+  }
+  return std::clamp(x, kEps, 1.0 - kEps);
+}
+
+}  // namespace
+
+double JointBayesLogPosterior(const SinkSummary& summary,
+                              const std::vector<BetaDist>& priors,
+                              const std::vector<double>& p) {
+  IF_CHECK_EQ(priors.size(), summary.parents.size());
+  IF_CHECK_EQ(p.size(), summary.parents.size());
+  double lp = 0.0;
+  for (const SummaryRow& row : summary.rows) {
+    lp += RowLogLik(row, JointInfluence(row, p));
+  }
+  for (std::size_t j = 0; j < p.size(); ++j) {
+    lp += priors[j].LogPdf(p[j]);
+  }
+  return lp;
+}
+
+Result<JointBayesResult> FitJointBayes(const SinkSummary& summary,
+                                       const JointBayesOptions& options,
+                                       Rng& rng) {
+  IF_RETURN_NOT_OK(options.Validate());
+  const std::size_t k = summary.parents.size();
+  if (k == 0) {
+    return Status::FailedPrecondition("sink ", summary.sink,
+                                      " has no incident parents to learn");
+  }
+  JointBayesResult result;
+  result.sink = summary.sink;
+  result.parents = summary.parents;
+  result.parent_edges = summary.parent_edges;
+  result.priors = UnambiguousPriors(summary);
+
+  // Precompute, per parent, the rows whose characteristic contains it —
+  // the only likelihood terms a component update touches.
+  std::vector<std::vector<std::size_t>> rows_of(k);
+  for (std::size_t r = 0; r < summary.rows.size(); ++r) {
+    const SummaryRow& row = summary.rows[r];
+    for (std::size_t j = 0; j < k; ++j) {
+      if (row.mask[j]) rows_of[j].push_back(r);
+    }
+  }
+
+  // Start at the prior means.
+  std::vector<double> p(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    p[j] = std::clamp(result.priors[j].Mean(), kEps, 1.0 - kEps);
+  }
+
+  double sd = options.proposal_sd;
+  std::uint64_t proposals = 0, accepts = 0;
+  std::uint64_t warm_proposals = 0, warm_accepts = 0;
+
+  auto sweep = [&](bool warming) {
+    for (std::size_t j = 0; j < k; ++j) {
+      const double old_p = p[j];
+      const double new_p = Reflect(old_p + rng.Normal(0.0, sd));
+      // Delta log posterior: rows containing j plus j's prior.
+      double delta = result.priors[j].LogPdf(new_p) -
+                     result.priors[j].LogPdf(old_p);
+      for (std::size_t r : rows_of[j]) {
+        const SummaryRow& row = summary.rows[r];
+        delta -= RowLogLik(row, JointInfluence(row, p));
+        p[j] = new_p;
+        delta += RowLogLik(row, JointInfluence(row, p));
+        p[j] = old_p;
+      }
+      ++proposals;
+      if (warming) ++warm_proposals;
+      if (delta >= 0.0 || rng.NextDouble() < std::exp(delta)) {
+        p[j] = new_p;
+        ++accepts;
+        if (warming) ++warm_accepts;
+      }
+    }
+  };
+
+  // Burn-in with optional step-size adaptation.
+  for (std::size_t it = 0; it < options.burn_in; ++it) {
+    sweep(/*warming=*/true);
+    if (options.adapt && (it + 1) % 25 == 0 && warm_proposals > 0) {
+      const double rate = static_cast<double>(warm_accepts) /
+                          static_cast<double>(warm_proposals);
+      sd = std::clamp(sd * std::exp(0.5 * (rate - 0.35)), 1e-3, 0.5);
+      warm_proposals = warm_accepts = 0;
+    }
+  }
+  proposals = accepts = 0;
+
+  std::vector<RunningStats> stats(k);
+  if (options.keep_samples) result.samples.reserve(options.num_samples);
+  for (std::size_t s = 0; s < options.num_samples; ++s) {
+    for (std::size_t t = 0; t <= options.thinning; ++t) {
+      sweep(/*warming=*/false);
+    }
+    for (std::size_t j = 0; j < k; ++j) stats[j].Add(p[j]);
+    if (options.keep_samples) result.samples.push_back(p);
+  }
+
+  result.mean.resize(k);
+  result.sd.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    result.mean[j] = stats[j].Mean();
+    result.sd[j] = stats[j].StdDev();
+  }
+  result.acceptance_rate =
+      proposals > 0
+          ? static_cast<double>(accepts) / static_cast<double>(proposals)
+          : 0.0;
+  return result;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,99 @@
+/// \file joint_bayes.h
+/// \brief The paper's unattributed learner: a joint Bayesian posterior over
+/// the edge probabilities incident on a sink, sampled with
+/// Metropolis–Hastings (§V-B, Eq. 9).
+///
+/// For sink k with incident parents j ∈ parents(k) and evidence summary
+/// D_k = {(J, n_J, L_J)}:
+///
+///   p(M_k | D_k) ∝ Π_J Binomial(L_J | n_J, p_{J,k}) · Π_j Beta(p_{j,k};
+///                  α_j, β_j),     p_{J,k} = 1 − Π_{j∈J} (1 − p_{j,k})
+///
+/// The Beta priors come from the *unambiguous* characteristics (|J| = 1)
+/// only; parents with no unambiguous evidence keep the uniform Beta(1, 1).
+/// Note that §V-B's likelihood runs over *all* characteristics while the
+/// priors are also built from the unambiguous ones, so unambiguous
+/// evidence is effectively up-weighted; we implement the paper as written
+/// (bench/ablation_priors quantifies the effect of that choice).
+/// The sampler is component-wise random-walk Metropolis with reflecting
+/// boundaries at 0/1 and acceptance-rate adaptation during burn-in. (The
+/// paper prototyped this in ~50 lines of PyMC; this is the native
+/// equivalent.)
+///
+/// Unlike EM point estimates, the posterior captures the *uncertainty* and
+/// cross-edge correlations in the edge probabilities — including the
+/// multimodal cases of the Appendix (Fig. 11) where EM converges to one of
+/// several local maxima.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "learn/summary.h"
+#include "stats/beta_dist.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief Sampler configuration.
+struct JointBayesOptions {
+  /// Retained posterior samples (each is one vector of edge probabilities).
+  std::size_t num_samples = 1000;
+  /// Sweeps discarded before retention.
+  std::size_t burn_in = 500;
+  /// Sweeps discarded between retained samples.
+  std::size_t thinning = 4;
+  /// Initial random-walk standard deviation.
+  double proposal_sd = 0.15;
+  /// Adapt proposal_sd toward ~35% acceptance during burn-in.
+  bool adapt = true;
+  /// Retain the full sample matrix (needed for Fig. 11 scatter plots and
+  /// correlation estimates); mean/sd are always computed.
+  bool keep_samples = false;
+
+  Status Validate() const;
+};
+
+/// \brief Posterior over the edge probabilities incident on one sink.
+struct JointBayesResult {
+  NodeId sink = kInvalidNode;
+  /// Parent nodes, aligned with SinkSummary::parents.
+  std::vector<NodeId> parents;
+  /// Parent edge ids, aligned with `parents`.
+  std::vector<EdgeId> parent_edges;
+  /// Posterior mean per parent edge.
+  std::vector<double> mean;
+  /// Posterior standard deviation per parent edge.
+  std::vector<double> sd;
+  /// Prior used per parent (from unambiguous rows).
+  std::vector<BetaDist> priors;
+  /// Retained samples, samples[s][j] (empty unless keep_samples).
+  std::vector<std::vector<double>> samples;
+  /// Fraction of component proposals accepted after burn-in.
+  double acceptance_rate = 0.0;
+
+  /// Pearson correlation between parents a and b across retained samples
+  /// (requires keep_samples; the paper notes the posterior "can even
+  /// indicate if some edges are positively or negatively correlated").
+  double SampleCorrelation(std::size_t a, std::size_t b) const;
+};
+
+/// \brief Computes the per-parent Beta priors from the summary's
+/// unambiguous (singleton-characteristic) rows: Beta(1 + leaks,
+/// 1 + count − leaks); Beta(1, 1) when a parent has none.
+std::vector<BetaDist> UnambiguousPriors(const SinkSummary& summary);
+
+/// log p(M_k | D_k) up to a constant, at edge probabilities `p` (one per
+/// summary parent). Exposed for tests and for the EM comparison.
+double JointBayesLogPosterior(const SinkSummary& summary,
+                              const std::vector<BetaDist>& priors,
+                              const std::vector<double>& p);
+
+/// \brief Runs the sampler. The summary must have at least one parent.
+Result<JointBayesResult> FitJointBayes(const SinkSummary& summary,
+                                       const JointBayesOptions& options,
+                                       Rng& rng);
+
+}  // namespace infoflow

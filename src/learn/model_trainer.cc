@@ -1,0 +1,97 @@
+#include "learn/model_trainer.h"
+
+#include <algorithm>
+
+#include "learn/filtered.h"
+#include "learn/goyal.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+const char* UnattributedMethodName(UnattributedMethod method) {
+  switch (method) {
+    case UnattributedMethod::kJointBayes:
+      return "joint-bayes";
+    case UnattributedMethod::kGoyal:
+      return "goyal";
+    case UnattributedMethod::kSaitoEm:
+      return "saito-em";
+    case UnattributedMethod::kFiltered:
+      return "filtered";
+  }
+  return "unknown";
+}
+
+PointIcm UnattributedModel::ToPointIcm() const {
+  return PointIcm(graph, mean);
+}
+
+PointIcm UnattributedModel::SampleGaussianIcm(Rng& rng) const {
+  std::vector<double> probs(mean.size());
+  for (std::size_t e = 0; e < mean.size(); ++e) {
+    probs[e] = std::clamp(rng.Normal(mean[e], sd[e]), 0.0, 1.0);
+  }
+  return PointIcm(graph, std::move(probs));
+}
+
+Result<UnattributedModel> TrainUnattributedModel(
+    std::shared_ptr<const DirectedGraph> graph,
+    const UnattributedEvidence& evidence,
+    const UnattributedTrainOptions& options, Rng& rng) {
+  IF_CHECK(graph != nullptr);
+  IF_RETURN_NOT_OK(ValidateUnattributedEvidence(*graph, evidence));
+
+  UnattributedModel model;
+  model.graph = graph;
+  model.mean.assign(graph->num_edges(), options.no_evidence_mean);
+  model.sd.assign(graph->num_edges(), 0.0);
+
+  for (NodeId sink = 0; sink < graph->num_nodes(); ++sink) {
+    if (graph->InDegree(sink) == 0) continue;
+    const SinkSummary summary =
+        BuildSinkSummary(*graph, sink, evidence, options.summary);
+    if (summary.rows.empty()) continue;  // no evidence: defaults stand
+    switch (options.method) {
+      case UnattributedMethod::kJointBayes: {
+        auto fit = FitJointBayes(summary, options.joint_bayes, rng);
+        if (!fit.ok()) return fit.status();
+        for (std::size_t j = 0; j < fit->parent_edges.size(); ++j) {
+          model.mean[fit->parent_edges[j]] = fit->mean[j];
+          model.sd[fit->parent_edges[j]] = fit->sd[j];
+        }
+        break;
+      }
+      case UnattributedMethod::kGoyal: {
+        const GoyalResult fit = FitGoyal(summary);
+        for (std::size_t j = 0; j < fit.parent_edges.size(); ++j) {
+          model.mean[fit.parent_edges[j]] = fit.estimate[j];
+        }
+        break;
+      }
+      case UnattributedMethod::kSaitoEm: {
+        auto runs = FitSaitoEmRestarts(summary, options.saito,
+                                       options.saito_restarts, rng);
+        const auto best = std::max_element(
+            runs.begin(), runs.end(),
+            [](const SaitoEmResult& a, const SaitoEmResult& b) {
+              return a.log_likelihood < b.log_likelihood;
+            });
+        for (std::size_t j = 0; j < best->parent_edges.size(); ++j) {
+          model.mean[best->parent_edges[j]] = best->estimate[j];
+        }
+        break;
+      }
+      case UnattributedMethod::kFiltered: {
+        const FilteredResult fit = FitFiltered(summary);
+        for (std::size_t j = 0; j < fit.parent_edges.size(); ++j) {
+          model.mean[fit.parent_edges[j]] = fit.estimate[j];
+          model.sd[fit.parent_edges[j]] = fit.posterior[j].StdDev();
+        }
+        break;
+      }
+    }
+  }
+  return model;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,72 @@
+/// \file model_trainer.h
+/// \brief Whole-graph unattributed training: runs a per-sink estimator over
+/// every sink and assembles per-edge (mean, sd) tables — the models behind
+/// the URL/hashtag flow experiments (Fig. 8–10).
+///
+/// Per §V-D, the full joint posterior is approximated by its per-edge mean
+/// and standard deviation; ToPointIcm() takes the means, and
+/// SampleGaussianIcm() draws each edge from N(mean, sd) clamped to [0, 1]
+/// (the Fig. 10 sampling scheme).
+
+#pragma once
+
+#include <memory>
+
+#include "core/icm.h"
+#include "learn/joint_bayes.h"
+#include "learn/saito_em.h"
+#include "learn/summary.h"
+#include "learn/unattributed.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief Which per-sink estimator to run.
+enum class UnattributedMethod {
+  kJointBayes,  ///< the paper's method (§V-B)
+  kGoyal,       ///< equal-credit baseline
+  kSaitoEm,     ///< EM baseline (best of restarts)
+  kFiltered,    ///< unambiguous-only counting
+};
+
+/// Canonical lower-case name of a method ("joint-bayes", ...).
+const char* UnattributedMethodName(UnattributedMethod method);
+
+/// \brief A trained whole-graph model: per-edge mean and sd (sd = 0 for
+/// point estimators).
+struct UnattributedModel {
+  std::shared_ptr<const DirectedGraph> graph;
+  std::vector<double> mean;
+  std::vector<double> sd;
+
+  /// Point ICM at the edge means.
+  PointIcm ToPointIcm() const;
+
+  /// One ICM draw with each edge ~ N(mean, sd) clamped into [0, 1]
+  /// (Fig. 10's edge-uncertainty sampling).
+  PointIcm SampleGaussianIcm(Rng& rng) const;
+};
+
+/// \brief Training configuration.
+struct UnattributedTrainOptions {
+  UnattributedMethod method = UnattributedMethod::kJointBayes;
+  SummaryOptions summary;
+  JointBayesOptions joint_bayes;
+  SaitoEmOptions saito;
+  /// Random restarts for kSaitoEm (best log-likelihood wins).
+  std::size_t saito_restarts = 5;
+  /// Mean assigned to edges whose sink saw no evidence at all. The paper's
+  /// default prior Beta(1,1) implies 0.5; prediction-oriented callers often
+  /// prefer 0 (an edge never witnessed carrying anything).
+  double no_evidence_mean = 0.5;
+};
+
+/// \brief Trains per-edge activation estimates for the whole graph from
+/// unattributed traces.
+Result<UnattributedModel> TrainUnattributedModel(
+    std::shared_ptr<const DirectedGraph> graph,
+    const UnattributedEvidence& evidence,
+    const UnattributedTrainOptions& options, Rng& rng);
+
+}  // namespace infoflow

@@ -1,0 +1,118 @@
+#include "learn/saito_em.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+namespace {
+constexpr double kEps = 1e-12;
+
+inline double JointInfluence(const SummaryRow& row,
+                             const std::vector<double>& kappa) {
+  double survive = 1.0;
+  for (std::size_t j = 0; j < row.mask.size(); ++j) {
+    if (row.mask[j]) survive *= 1.0 - kappa[j];
+  }
+  return 1.0 - survive;
+}
+}  // namespace
+
+double SaitoLogLikelihood(const SinkSummary& summary,
+                          const std::vector<double>& kappa) {
+  IF_CHECK_EQ(kappa.size(), summary.parents.size());
+  double ll = 0.0;
+  for (const SummaryRow& row : summary.rows) {
+    const double pj = JointInfluence(row, kappa);
+    const auto leaks = static_cast<double>(row.leaks);
+    const auto silent = static_cast<double>(row.count - row.leaks);
+    if (leaks > 0.0) {
+      if (pj <= 0.0) return -std::numeric_limits<double>::infinity();
+      ll += leaks * std::log(pj);
+    }
+    if (silent > 0.0) {
+      if (pj >= 1.0) return -std::numeric_limits<double>::infinity();
+      ll += silent * std::log1p(-pj);
+    }
+  }
+  return ll;
+}
+
+SaitoEmResult FitSaitoEm(const SinkSummary& summary,
+                         const SaitoEmOptions& options, Rng& rng) {
+  const std::size_t k = summary.parents.size();
+  SaitoEmResult result;
+  result.sink = summary.sink;
+  result.parents = summary.parents;
+  result.parent_edges = summary.parent_edges;
+  result.estimate.assign(k, 0.5);
+  if (k == 0) {
+    result.converged = true;
+    return result;
+  }
+  if (options.random_init) {
+    for (double& kappa : result.estimate) kappa = rng.NextDouble();
+  }
+
+  // Denominator per parent: Σ_{J∋v} n_J = |S⁺| + |S⁻| (constant over
+  // iterations).
+  std::vector<double> exposure(k, 0.0);
+  for (const SummaryRow& row : summary.rows) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (row.mask[j]) exposure[j] += static_cast<double>(row.count);
+    }
+  }
+
+  std::vector<double>& kappa = result.estimate;
+  std::vector<double> next(k, 0.0);
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // E step folded into M: responsibility of v for a leak with
+    // characteristic J is κ_v / P̂_J.
+    std::fill(next.begin(), next.end(), 0.0);
+    for (const SummaryRow& row : summary.rows) {
+      if (row.leaks == 0) continue;
+      const double pj = std::max(JointInfluence(row, kappa), kEps);
+      const double leaks = static_cast<double>(row.leaks);
+      for (std::size_t j = 0; j < k; ++j) {
+        if (row.mask[j]) next[j] += leaks * kappa[j] / pj;
+      }
+    }
+    double max_move = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      // Parents with no exposure keep their previous κ (the Appendix's
+      // "otherwise" branch).
+      const double updated = exposure[j] > 0.0
+                                 ? std::clamp(next[j] / exposure[j], 0.0, 1.0)
+                                 : kappa[j];
+      max_move = std::max(max_move, std::fabs(updated - kappa[j]));
+      kappa[j] = updated;
+    }
+    if (max_move < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.log_likelihood = SaitoLogLikelihood(summary, kappa);
+  return result;
+}
+
+std::vector<SaitoEmResult> FitSaitoEmRestarts(const SinkSummary& summary,
+                                              const SaitoEmOptions& options,
+                                              std::size_t num_restarts,
+                                              Rng& rng) {
+  IF_CHECK(num_restarts > 0) << "need at least one restart";
+  std::vector<SaitoEmResult> runs;
+  runs.reserve(num_restarts);
+  SaitoEmOptions run_options = options;
+  run_options.random_init = true;
+  for (std::size_t r = 0; r < num_restarts; ++r) {
+    runs.push_back(FitSaitoEm(summary, run_options, rng));
+  }
+  return runs;
+}
+
+}  // namespace infoflow

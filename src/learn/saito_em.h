@@ -1,0 +1,74 @@
+/// \file saito_em.h
+/// \brief Saito et al.'s expectation-maximization estimator, in the
+/// summarized form derived in the paper's Appendix.
+///
+/// E step (per characteristic J):   P̂_J = 1 − Π_{v∈J} (1 − κ_v)
+/// M step (per parent v):           κ_v ← (Σ_{J∋v} L_J · κ_v / P̂_J)
+///                                        / (Σ_{J∋v} n_J)
+///
+/// where n_J / L_J are the characteristic's count / leak totals, and the
+/// denominator Σ_{J∋v} n_J = |S⁺_v| + |S⁻_v| (objects where v was active
+/// before the sink). Parents with no such objects keep their previous κ.
+///
+/// EM gives a *point* estimate — the mode of the likelihood — and can stall
+/// in local maxima when the likelihood is multimodal (Appendix, Table II /
+/// Fig. 11); random restarts are supported to reproduce that demonstration.
+/// The original Saito formulation further assumes a parent must activate in
+/// the time step immediately before the child; build the summary with
+/// CharacteristicPolicy::kDiscreteStep to emulate it (the "Saito" series of
+/// Fig. 7), or kAllPrior for the paper's relaxed variant.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "learn/summary.h"
+#include "stats/rng.h"
+
+namespace infoflow {
+
+/// \brief EM configuration.
+struct SaitoEmOptions {
+  /// Maximum EM iterations per run (the Appendix fixes 200 for Fig. 11).
+  std::size_t max_iterations = 200;
+  /// Stop when no κ moves more than this between iterations.
+  double tolerance = 1e-9;
+  /// Initial κ values: when true, draw κ ~ U(0,1) (random restart); when
+  /// false, start every κ at 0.5.
+  bool random_init = true;
+};
+
+/// \brief One EM run's outcome.
+struct SaitoEmResult {
+  NodeId sink = kInvalidNode;
+  std::vector<NodeId> parents;
+  std::vector<EdgeId> parent_edges;
+  /// Converged κ (activation probability) per parent.
+  std::vector<double> estimate;
+  /// Iterations actually used.
+  std::size_t iterations = 0;
+  /// Log-likelihood of the evidence at the final estimate.
+  double log_likelihood = 0.0;
+  /// True when the tolerance test passed before max_iterations.
+  bool converged = false;
+};
+
+/// Binomial log-likelihood of the summary at parent probabilities `kappa`
+/// (constants dropped); the objective EM climbs.
+double SaitoLogLikelihood(const SinkSummary& summary,
+                          const std::vector<double>& kappa);
+
+/// \brief Runs EM once from one initialization.
+SaitoEmResult FitSaitoEm(const SinkSummary& summary,
+                         const SaitoEmOptions& options, Rng& rng);
+
+/// \brief Runs `num_restarts` independent EM runs and returns them all
+/// (Fig. 11 plots the cloud; callers wanting the best pick the max
+/// log_likelihood).
+std::vector<SaitoEmResult> FitSaitoEmRestarts(const SinkSummary& summary,
+                                              const SaitoEmOptions& options,
+                                              std::size_t num_restarts,
+                                              Rng& rng);
+
+}  // namespace infoflow

@@ -1,0 +1,109 @@
+#include "learn/saito_original.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+SaitoOriginalResult FitSaitoOriginal(const DirectedGraph& graph, NodeId sink,
+                                     const UnattributedEvidence& evidence,
+                                     const SaitoOriginalOptions& options,
+                                     Rng& rng) {
+  IF_CHECK(sink < graph.num_nodes()) << "sink " << sink << " out of range";
+  SaitoOriginalResult result;
+  result.sink = sink;
+  for (EdgeId e : graph.InEdges(sink)) {
+    result.parents.push_back(graph.edge(e).src);
+    result.parent_edges.push_back(e);
+  }
+  const std::size_t k = result.parents.size();
+  result.estimate.assign(k, 0.5);
+  if (k == 0) {
+    result.converged = true;
+    return result;
+  }
+  if (options.random_init) {
+    for (double& kappa : result.estimate) kappa = rng.NextDouble();
+  }
+
+  // Pre-extract, per object, the implicated-parent mask (active in the
+  // step immediately before the sink, or any time before the trace end
+  // when the sink never activates) and the leak flag. This mirrors the
+  // original's data layout: one Bernoulli term per (object, exposure).
+  struct Observation {
+    std::vector<std::uint8_t> mask;
+    bool leak = false;
+  };
+  std::vector<Observation> observations;
+  observations.reserve(evidence.traces.size());
+  for (const ObjectTrace& trace : evidence.traces) {
+    const double sink_time = trace.TimeOf(sink);
+    const bool sink_active =
+        sink_time != std::numeric_limits<double>::infinity();
+    Observation obs;
+    obs.mask.assign(k, 0);
+    obs.leak = sink_active;
+    bool any = false;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double parent_time = trace.TimeOf(result.parents[j]);
+      const bool implicated =
+          sink_active ? (parent_time < sink_time &&
+                         parent_time >= sink_time - options.time_step)
+                      : parent_time < sink_time;
+      if (implicated) {
+        obs.mask[j] = 1;
+        any = true;
+      }
+    }
+    if (!any) continue;  // nothing implicates any parent
+    observations.push_back(std::move(obs));
+  }
+
+  // Denominator per parent: |S⁺_v| + |S⁻_v| (objects implicating v).
+  std::vector<double> exposure(k, 0.0);
+  for (const Observation& obs : observations) {
+    for (std::size_t j = 0; j < k; ++j) {
+      if (obs.mask[j]) exposure[j] += 1.0;
+    }
+  }
+
+  std::vector<double>& kappa = result.estimate;
+  std::vector<double> next(k, 0.0);
+  constexpr double kEps = 1e-12;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    std::fill(next.begin(), next.end(), 0.0);
+    // E step ([4] Eq. 6): P̂_w = 1 - Π_{v∈parents(w) implicated}(1 - κ_v);
+    // M step ([4] Eq. 8): responsibilities κ_v / P̂_w summed over the
+    // positive objects, normalized by exposure.
+    for (const Observation& obs : observations) {
+      if (!obs.leak) continue;
+      double survive = 1.0;
+      for (std::size_t j = 0; j < k; ++j) {
+        if (obs.mask[j]) survive *= 1.0 - kappa[j];
+      }
+      const double p_hat = std::max(1.0 - survive, kEps);
+      for (std::size_t j = 0; j < k; ++j) {
+        if (obs.mask[j]) next[j] += kappa[j] / p_hat;
+      }
+    }
+    double max_move = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const double updated = exposure[j] > 0.0
+                                 ? std::clamp(next[j] / exposure[j], 0.0, 1.0)
+                                 : kappa[j];
+      max_move = std::max(max_move, std::fabs(updated - kappa[j]));
+      kappa[j] = updated;
+    }
+    if (max_move < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,56 @@
+/// \file saito_original.h
+/// \brief Saito, Nakano & Kimura's original EM estimator ([4] in the
+/// paper), operating directly on raw activation traces.
+///
+/// Differences from the summarized variant in saito_em.h:
+///  - **Timing**: the original assumes a discrete-time process — a parent
+///    active at step t can only be responsible for a child activating at
+///    step t+1. (The paper's §V-A critique: real feeds guarantee no such
+///    thing.) `time_step` defines the step width on continuous traces.
+///  - **Evidence form**: iterates the raw per-object Bernoulli terms every
+///    E/M step, the O(n·m) cost per iteration the paper's Appendix removes
+///    by summarizing into Binomials.
+///
+/// Given identical responsibility structure — i.e. when the summary is
+/// built with CharacteristicPolicy::kDiscreteStep and the same step — the
+/// two implementations compute identical iterates; a property test pins
+/// that equivalence, which is exactly the Appendix's claim.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "learn/unattributed.h"
+#include "stats/rng.h"
+
+namespace infoflow {
+
+/// \brief Configuration for the original EM.
+struct SaitoOriginalOptions {
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-9;
+  /// Discrete step width: a parent is responsible only when active within
+  /// [t_child - time_step, t_child).
+  double time_step = 1.0;
+  /// κ initialization: U(0,1) when true, 0.5 otherwise.
+  bool random_init = false;
+};
+
+/// \brief Per-parent point estimates for one sink.
+struct SaitoOriginalResult {
+  NodeId sink = kInvalidNode;
+  std::vector<NodeId> parents;
+  std::vector<EdgeId> parent_edges;
+  std::vector<double> estimate;
+  std::size_t iterations = 0;
+  bool converged = false;
+};
+
+/// \brief Runs the original raw-trace EM for one sink node.
+SaitoOriginalResult FitSaitoOriginal(const DirectedGraph& graph, NodeId sink,
+                                     const UnattributedEvidence& evidence,
+                                     const SaitoOriginalOptions& options,
+                                     Rng& rng);
+
+}  // namespace infoflow

@@ -1,0 +1,119 @@
+#include "learn/summary.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+std::size_t SummaryRow::Cardinality() const {
+  std::size_t n = 0;
+  for (std::uint8_t b : mask) n += b ? 1 : 0;
+  return n;
+}
+
+std::uint64_t SinkSummary::TotalCount() const {
+  std::uint64_t total = 0;
+  for (const SummaryRow& row : rows) total += row.count;
+  return total;
+}
+
+std::string SinkSummary::ToString() const {
+  std::string out = "Summary for sink ";
+  out += std::to_string(sink);
+  out += "\nid | ";
+  for (NodeId p : parents) {
+    out += std::to_string(p);
+    out += ' ';
+  }
+  out += "| count | leaks\n";
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    out += std::to_string(r + 1);
+    out += "  | ";
+    for (std::uint8_t b : rows[r].mask) out += b ? "1 " : "0 ";
+    out += "| ";
+    out += std::to_string(rows[r].count);
+    out += " | ";
+    out += std::to_string(rows[r].leaks);
+    out += '\n';
+  }
+  if (unexplained_objects > 0) {
+    out += '(';
+    out += std::to_string(unexplained_objects);
+    out += " unexplained objects skipped)\n";
+  }
+  return out;
+}
+
+SinkSummary BuildSinkSummary(const DirectedGraph& graph, NodeId sink,
+                             const UnattributedEvidence& evidence,
+                             const SummaryOptions& options) {
+  IF_CHECK(sink < graph.num_nodes()) << "sink " << sink << " out of range";
+  SinkSummary summary;
+  summary.sink = sink;
+  for (EdgeId e : graph.InEdges(sink)) {
+    summary.parents.push_back(graph.edge(e).src);
+    summary.parent_edges.push_back(e);
+  }
+  if (summary.parents.empty()) return summary;
+
+  // Deterministic row ordering: map keyed by the mask bytes (as a string —
+  // char_traits comparison sidesteps a GCC 12 -O3 diagnostic false positive
+  // on vector<uint8_t>'s operator<=>).
+  std::map<std::string, SummaryRow> rows;
+
+  for (const ObjectTrace& trace : evidence.traces) {
+    const double sink_time = trace.TimeOf(sink);
+    const bool sink_active =
+        sink_time != std::numeric_limits<double>::infinity();
+    std::vector<std::uint8_t> mask(summary.parents.size(), 0);
+    bool any = false;
+    for (std::size_t j = 0; j < summary.parents.size(); ++j) {
+      const double parent_time = trace.TimeOf(summary.parents[j]);
+      bool prior;
+      if (options.policy == CharacteristicPolicy::kAllPrior) {
+        // "Active temporally before k" — or by end of trace when k is
+        // inactive (sink_time = +inf handles both cases).
+        prior = parent_time < sink_time;
+      } else {
+        prior = sink_active
+                    ? (parent_time < sink_time &&
+                       parent_time >= sink_time - options.discrete_step)
+                    : parent_time < sink_time;
+      }
+      if (prior) {
+        mask[j] = 1;
+        any = true;
+      }
+    }
+    if (!any) {
+      // No candidate cause. If the sink still activated, the object is
+      // unexplained by this model fragment (external entry / sink was the
+      // origin); either way the row carries no edge information.
+      if (sink_active) ++summary.unexplained_objects;
+      continue;
+    }
+    SummaryRow& row = rows[std::string(mask.begin(), mask.end())];
+    if (row.mask.empty()) row.mask = mask;
+    ++row.count;
+    if (sink_active) ++row.leaks;
+  }
+  summary.rows.reserve(rows.size());
+  for (auto& [mask, row] : rows) summary.rows.push_back(std::move(row));
+  return summary;
+}
+
+std::vector<SinkSummary> BuildAllSinkSummaries(
+    const DirectedGraph& graph, const UnattributedEvidence& evidence,
+    const SummaryOptions& options) {
+  std::vector<SinkSummary> out;
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    if (graph.InDegree(v) == 0) continue;
+    out.push_back(BuildSinkSummary(graph, v, evidence, options));
+  }
+  return out;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,94 @@
+/// \file summary.h
+/// \brief Evidence summaries — the sufficient statistic for per-sink
+/// unattributed learning (§V-B, Table I).
+///
+/// Fix a sink node k with incident parents (the sources of k's in-edges).
+/// For each object o, the *characteristic* J_o is the set of parents active
+/// temporally before k: if k activated, those active strictly before k's
+/// activation; otherwise, those active by the end of the trace. The summary
+/// groups objects by characteristic and records, per characteristic, how
+/// many objects showed it (count) and how many of those leaked to k
+/// (leaks). Because flows are atomic, the Binomial over each characteristic
+/// (Eq. 9) is the exact likelihood — the summary loses nothing.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "learn/unattributed.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief How the characteristic is read off a trace. kAllPrior is the
+/// paper's (and Goyal et al.'s) assumption; kDiscreteStep reproduces Saito
+/// et al.'s original time-discrete model, where only parents active in the
+/// immediately-preceding time step may be responsible.
+enum class CharacteristicPolicy {
+  /// Parents active any time strictly before the sink (paper §V-A: "we can
+  /// only be sure that the parent responsible was active first").
+  kAllPrior,
+  /// Parents active within the last `step` time units before the sink's
+  /// activation (Saito's t → t+1 discretization).
+  kDiscreteStep,
+};
+
+/// \brief One summary row: a characteristic with its observation counts.
+struct SummaryRow {
+  /// Parent-set bitmask over the sink's incident parents, one byte per
+  /// parent slot (index into SinkSummary::parents).
+  std::vector<std::uint8_t> mask;
+  /// n_J: number of objects whose characteristic is this set.
+  std::uint64_t count = 0;
+  /// L_J: of those, how many leaked to (activated) the sink.
+  std::uint64_t leaks = 0;
+
+  /// Number of parents in the characteristic.
+  std::size_t Cardinality() const;
+};
+
+/// \brief The per-sink evidence summary D_k.
+struct SinkSummary {
+  NodeId sink = kInvalidNode;
+  /// Incident parent nodes (sources of the sink's in-edges), in the
+  /// graph's InEdges order. Row masks index into this.
+  std::vector<NodeId> parents;
+  /// Corresponding parent edge ids (same order as `parents`).
+  std::vector<EdgeId> parent_edges;
+  /// One row per distinct non-empty characteristic.
+  std::vector<SummaryRow> rows;
+  /// Objects skipped because no parent was active before the sink (the sink
+  /// originated the object or it arrived from outside the modeled graph).
+  std::uint64_t unexplained_objects = 0;
+
+  /// Total observed objects across rows.
+  std::uint64_t TotalCount() const;
+
+  /// Table-I-style rendering for diagnostics and the examples.
+  std::string ToString() const;
+};
+
+/// \brief Options for summary construction.
+struct SummaryOptions {
+  CharacteristicPolicy policy = CharacteristicPolicy::kAllPrior;
+  /// Time-step width for kDiscreteStep.
+  double discrete_step = 1.0;
+};
+
+/// \brief Builds the summary for one sink from unattributed traces.
+/// Objects that never touch the sink's in-neighborhood contribute nothing;
+/// objects where the sink is active with an empty characteristic are
+/// tallied in `unexplained_objects`.
+SinkSummary BuildSinkSummary(const DirectedGraph& graph, NodeId sink,
+                             const UnattributedEvidence& evidence,
+                             const SummaryOptions& options = {});
+
+/// \brief Builds summaries for every node with at least one in-edge.
+std::vector<SinkSummary> BuildAllSinkSummaries(
+    const DirectedGraph& graph, const UnattributedEvidence& evidence,
+    const SummaryOptions& options = {});
+
+}  // namespace infoflow

@@ -1,0 +1,38 @@
+#include "learn/unattributed.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace infoflow {
+
+double ObjectTrace::TimeOf(NodeId v) const {
+  for (const Activation& a : activations) {
+    if (a.node == v) return a.time;
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+Status ValidateUnattributedEvidence(const DirectedGraph& graph,
+                                    const UnattributedEvidence& evidence) {
+  for (std::size_t i = 0; i < evidence.traces.size(); ++i) {
+    std::unordered_set<NodeId> seen;
+    for (const Activation& a : evidence.traces[i].activations) {
+      if (a.node >= graph.num_nodes()) {
+        return Status::OutOfRange("trace ", i, " activates node ", a.node,
+                                  " out of range; n=", graph.num_nodes());
+      }
+      if (!std::isfinite(a.time)) {
+        return Status::InvalidArgument("trace ", i, " node ", a.node,
+                                       " has non-finite time");
+      }
+      if (!seen.insert(a.node).second) {
+        return Status::InvalidArgument(
+            "trace ", i, " activates node ", a.node,
+            " twice (information is atomic: a node activates at most once)");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace infoflow

@@ -1,0 +1,49 @@
+/// \file unattributed.h
+/// \brief Unattributed evidence: activation *times* without attribution
+/// (§V). One knows which nodes held the information and when, but not which
+/// neighbor delivered it — typical of hashtags, URLs, blogs, email.
+
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief One node's activation for one object.
+struct Activation {
+  NodeId node;
+  /// Activation timestamp; any monotone clock works (the learners only use
+  /// the ordering).
+  double time;
+};
+
+/// \brief The activation trace of a single information object: every node
+/// that became active, with its time. A node appears at most once (atomic
+/// information, §I).
+struct ObjectTrace {
+  std::vector<Activation> activations;
+
+  /// Activation time of `v`, or +infinity when v never activated.
+  double TimeOf(NodeId v) const;
+
+  /// True when `v` activated.
+  bool IsActive(NodeId v) const {
+    return TimeOf(v) != std::numeric_limits<double>::infinity();
+  }
+};
+
+/// \brief A full unattributed evidence set: one trace per object.
+struct UnattributedEvidence {
+  std::vector<ObjectTrace> traces;
+};
+
+/// Checks traces: node ids in range, no duplicate node per trace, finite
+/// times.
+Status ValidateUnattributedEvidence(const DirectedGraph& graph,
+                                    const UnattributedEvidence& evidence);
+
+}  // namespace infoflow

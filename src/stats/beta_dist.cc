@@ -1,0 +1,101 @@
+#include "stats/beta_dist.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/special.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace infoflow {
+
+BetaDist::BetaDist(double alpha, double beta) : alpha_(alpha), beta_(beta) {
+  IF_CHECK(alpha > 0.0 && beta > 0.0)
+      << "Beta parameters must be positive: alpha=" << alpha
+      << " beta=" << beta;
+}
+
+BetaDist BetaDist::FromCounts(std::uint64_t successes, std::uint64_t failures,
+                              double prior_alpha, double prior_beta) {
+  return BetaDist(prior_alpha + static_cast<double>(successes),
+                  prior_beta + static_cast<double>(failures));
+}
+
+BetaDist BetaDist::FromMeanVar(double mean, double var) {
+  IF_CHECK(mean > 0.0 && mean < 1.0)
+      << "Beta mean must be in (0,1), got " << mean;
+  const double max_var = mean * (1.0 - mean);
+  IF_CHECK(var > 0.0 && var < max_var)
+      << "Beta variance must be in (0, mean(1-mean)): var=" << var
+      << " bound=" << max_var;
+  const double nu = mean * (1.0 - mean) / var - 1.0;
+  return BetaDist(mean * nu, (1.0 - mean) * nu);
+}
+
+double BetaDist::Mean() const { return alpha_ / (alpha_ + beta_); }
+
+double BetaDist::Variance() const {
+  const double s = alpha_ + beta_;
+  return alpha_ * beta_ / (s * s * (s + 1.0));
+}
+
+double BetaDist::StdDev() const { return std::sqrt(Variance()); }
+
+double BetaDist::Mode() const {
+  if (alpha_ > 1.0 && beta_ > 1.0) {
+    return (alpha_ - 1.0) / (alpha_ + beta_ - 2.0);
+  }
+  if (alpha_ <= 1.0 && beta_ > 1.0) return 0.0;
+  if (alpha_ > 1.0 && beta_ <= 1.0) return 1.0;
+  return 0.5;  // Beta(1,1) (or bimodal a,b<1): report the interval center
+}
+
+double BetaDist::LogPdf(double x) const {
+  if (x < 0.0 || x > 1.0) return -std::numeric_limits<double>::infinity();
+  // Boundary care: x=0 with alpha<1 diverges, etc.
+  if (x == 0.0) {
+    if (alpha_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (alpha_ > 1.0) return -std::numeric_limits<double>::infinity();
+    return std::log(beta_);  // alpha == 1: pdf(0) = beta
+  }
+  if (x == 1.0) {
+    if (beta_ < 1.0) return std::numeric_limits<double>::infinity();
+    if (beta_ > 1.0) return -std::numeric_limits<double>::infinity();
+    return std::log(alpha_);
+  }
+  return (alpha_ - 1.0) * std::log(x) + (beta_ - 1.0) * std::log1p(-x) -
+         LogBeta(alpha_, beta_);
+}
+
+double BetaDist::Pdf(double x) const {
+  const double lp = LogPdf(x);
+  if (std::isinf(lp)) return lp > 0 ? std::numeric_limits<double>::infinity()
+                                    : 0.0;
+  return std::exp(lp);
+}
+
+double BetaDist::Cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  return RegularizedIncompleteBeta(alpha_, beta_, x);
+}
+
+double BetaDist::Quantile(double p) const {
+  return InverseRegularizedIncompleteBeta(alpha_, beta_, p);
+}
+
+BetaDist::Interval BetaDist::CredibleInterval(double level) const {
+  IF_CHECK(level > 0.0 && level < 1.0)
+      << "credible level must be in (0,1), got " << level;
+  const double tail = 0.5 * (1.0 - level);
+  return Interval{Quantile(tail), Quantile(1.0 - tail)};
+}
+
+double BetaDist::Sample(Rng& rng) const { return rng.Beta(alpha_, beta_); }
+
+std::string BetaDist::ToString() const {
+  return "Beta(α=" + FormatDouble(alpha_) + ", β=" + FormatDouble(beta_) +
+         ")";
+}
+
+}  // namespace infoflow

@@ -1,0 +1,36 @@
+#include "stats/binomial.h"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/special.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+double BinomialLogPmf(std::uint64_t n, std::uint64_t k, double p) {
+  IF_CHECK(k <= n) << "Binomial pmf requires k <= n: n=" << n << " k=" << k;
+  IF_CHECK(p >= 0.0 && p <= 1.0) << "p must be in [0,1], got " << p;
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  if (p == 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p == 1.0) return k == n ? 0.0 : kNegInf;
+  const auto kd = static_cast<double>(k);
+  const auto nd = static_cast<double>(n);
+  return LogChoose(n, k) + kd * std::log(p) + (nd - kd) * std::log1p(-p);
+}
+
+double BinomialPmf(std::uint64_t n, std::uint64_t k, double p) {
+  return std::exp(BinomialLogPmf(n, k, p));
+}
+
+double BinomialCdf(std::uint64_t n, std::uint64_t k, double p) {
+  IF_CHECK(k <= n) << "Binomial cdf requires k <= n: n=" << n << " k=" << k;
+  if (k == n) return 1.0;
+  if (p <= 0.0) return 1.0;
+  if (p >= 1.0) return 0.0;
+  // P(K <= k) = I_{1-p}(n-k, k+1).
+  return RegularizedIncompleteBeta(static_cast<double>(n - k),
+                                   static_cast<double>(k + 1), 1.0 - p);
+}
+
+}  // namespace infoflow

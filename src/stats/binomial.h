@@ -1,0 +1,24 @@
+/// \file binomial.h
+/// \brief Binomial pmf utilities.
+///
+/// The unattributed learner's likelihood (Eq. 9) is a product of Binomials
+/// over evidence-summary characteristics — one of the paper's claimed
+/// computational advantages over per-Bernoulli evaluation.
+
+#pragma once
+
+#include <cstdint>
+
+namespace infoflow {
+
+/// log P(K = k | n, p) for K ~ Binomial(n, p). Handles p in {0, 1}
+/// boundaries exactly (-inf for impossible outcomes).
+double BinomialLogPmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P(K = k | n, p).
+double BinomialPmf(std::uint64_t n, std::uint64_t k, double p);
+
+/// P(K <= k | n, p) via the regularized incomplete beta identity.
+double BinomialCdf(std::uint64_t n, std::uint64_t k, double p);
+
+}  // namespace infoflow

@@ -1,0 +1,100 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(count_);
+  const auto nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double RunningStats::PopulationVariance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const {
+  return count_ ? min_ : std::numeric_limits<double>::infinity();
+}
+
+double RunningStats::Max() const {
+  return count_ ? max_ : -std::numeric_limits<double>::infinity();
+}
+
+double Mean(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.Mean();
+}
+
+double Variance(const std::vector<double>& values) {
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  return stats.Variance();
+}
+
+double StdDev(const std::vector<double>& values) {
+  return std::sqrt(Variance(values));
+}
+
+double Quantile(std::vector<double> values, double q) {
+  IF_CHECK(!values.empty()) << "Quantile of empty vector";
+  IF_CHECK(q >= 0.0 && q <= 1.0) << "q must be in [0,1], got " << q;
+  std::sort(values.begin(), values.end());
+  const double h = q * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(h));
+  const auto hi = static_cast<std::size_t>(std::ceil(h));
+  const double frac = h - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double Rmse(const std::vector<double>& predicted,
+            const std::vector<double>& truth) {
+  IF_CHECK_EQ(predicted.size(), truth.size());
+  IF_CHECK(!predicted.empty()) << "RMSE of empty vectors";
+  double sum_sq = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - truth[i];
+    sum_sq += d * d;
+  }
+  return std::sqrt(sum_sq / static_cast<double>(predicted.size()));
+}
+
+}  // namespace infoflow

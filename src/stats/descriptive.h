@@ -1,0 +1,68 @@
+/// \file descriptive.h
+/// \brief Streaming and batch descriptive statistics (Welford accumulation,
+/// quantiles, RMSE) used throughout the evaluation harness.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace infoflow {
+
+/// \brief Numerically-stable streaming accumulator (Welford's algorithm)
+/// for count / mean / variance / min / max.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator (parallel-friendly Chan formula).
+  void Merge(const RunningStats& other);
+
+  /// Number of observations added.
+  std::uint64_t Count() const { return count_; }
+
+  /// Sample mean (0 when empty).
+  double Mean() const { return count_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance (n-1 denominator; 0 when n < 2).
+  double Variance() const;
+
+  /// Population variance (n denominator; 0 when empty).
+  double PopulationVariance() const;
+
+  /// sqrt(Variance()).
+  double StdDev() const;
+
+  /// Smallest observation (+inf when empty).
+  double Min() const;
+
+  /// Largest observation (-inf when empty).
+  double Max() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Arithmetic mean of `values` (0 when empty).
+double Mean(const std::vector<double>& values);
+
+/// Unbiased sample variance (0 when fewer than 2 values).
+double Variance(const std::vector<double>& values);
+
+/// Standard deviation.
+double StdDev(const std::vector<double>& values);
+
+/// \brief Linear-interpolation quantile of an *unsorted* vector, q in [0,1]
+/// (type-7, the numpy default). Copies and sorts internally.
+double Quantile(std::vector<double> values, double q);
+
+/// Root-mean-squared error between two equal-length vectors.
+double Rmse(const std::vector<double>& predicted,
+            const std::vector<double>& truth);
+
+}  // namespace infoflow

@@ -1,0 +1,81 @@
+#include "stats/fenwick_tree.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+namespace {
+constexpr std::size_t kRefreshInterval = 1u << 20;
+}
+
+FenwickTree::FenwickTree(std::size_t size)
+    : size_(size), tree_(size + 1, 0.0) {}
+
+FenwickTree::FenwickTree(const std::vector<double>& weights)
+    : FenwickTree(weights.size()) {
+  // O(n) bulk build: place values then propagate to parents.
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    IF_CHECK(weights[i] >= 0.0)
+        << "Fenwick weights must be non-negative; slot " << i << " is "
+        << weights[i];
+    tree_[i + 1] += weights[i];
+    total_ += weights[i];
+    const std::size_t parent = (i + 1) + ((i + 1) & (~i));
+    if (parent <= size_) tree_[parent] += tree_[i + 1];
+  }
+}
+
+void FenwickTree::Set(std::size_t index, double weight) {
+  IF_CHECK(index < size_) << "index " << index << " out of range " << size_;
+  IF_CHECK(weight >= 0.0) << "weight must be non-negative, got " << weight;
+  const double delta = weight - Get(index);
+  total_ += delta;
+  for (std::size_t i = index + 1; i <= size_; i += i & (~i + 1)) {
+    tree_[i] += delta;
+  }
+  if (++updates_since_refresh_ >= kRefreshInterval) RefreshTotal();
+}
+
+double FenwickTree::Get(std::size_t index) const {
+  IF_CHECK(index < size_) << "index " << index << " out of range " << size_;
+  return PrefixSum(index + 1) - PrefixSum(index);
+}
+
+double FenwickTree::PrefixSum(std::size_t index) const {
+  IF_CHECK(index <= size_) << "prefix end " << index << " out of range";
+  double sum = 0.0;
+  for (std::size_t i = index; i > 0; i -= i & (~i + 1)) sum += tree_[i];
+  return sum;
+}
+
+std::size_t FenwickTree::FindIndex(double target) const {
+  IF_CHECK(size_ > 0);
+  // Standard Fenwick descent: walk power-of-two strides left to right.
+  std::size_t pos = 0;
+  std::size_t mask = 1;
+  while ((mask << 1) <= size_) mask <<= 1;
+  double remaining = target;
+  for (; mask > 0; mask >>= 1) {
+    const std::size_t next = pos + mask;
+    if (next <= size_ && tree_[next] <= remaining) {
+      pos = next;
+      remaining -= tree_[next];
+    }
+  }
+  // pos is the count of slots whose cumulative weight is <= target.
+  return pos < size_ ? pos : size_ - 1;
+}
+
+std::size_t FenwickTree::Sample(Rng& rng) const {
+  IF_CHECK(total_ > 0.0) << "cannot sample from an all-zero Fenwick tree";
+  return FindIndex(rng.NextDouble() * total_);
+}
+
+void FenwickTree::RefreshTotal() {
+  total_ = PrefixSum(size_);
+  updates_since_refresh_ = 0;
+}
+
+}  // namespace infoflow

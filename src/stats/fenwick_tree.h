@@ -1,0 +1,66 @@
+/// \file fenwick_tree.h
+/// \brief Fenwick (binary-indexed) tree over non-negative double weights
+/// with O(log n) point update, prefix sum, and weighted sampling.
+///
+/// This is the "search tree" of §III-C: the Metropolis–Hastings proposal is
+/// a multinomial over the m edges with weights q_i = p_i^{x_i}(1-p_i)^{1-x_i},
+/// and flipping one edge changes exactly one weight. The tree lets us both
+/// re-weigh and draw in O(log m), and maintains the normalizer Z as the total
+/// weight (the paper's incremental identity Z' = Z + (-1)^{x_i}(1 - 2 p_i)
+/// is exercised by the property tests).
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "stats/rng.h"
+
+namespace infoflow {
+
+/// \brief Weighted index sampler backed by a Fenwick tree.
+class FenwickTree {
+ public:
+  /// Creates a tree of `size` zero weights.
+  explicit FenwickTree(std::size_t size);
+
+  /// Creates a tree initialized with the given weights (all must be >= 0).
+  explicit FenwickTree(const std::vector<double>& weights);
+
+  /// Number of slots.
+  std::size_t size() const { return size_; }
+
+  /// Sets the weight of slot `index` to `weight` (>= 0). O(log n).
+  void Set(std::size_t index, double weight);
+
+  /// Current weight of slot `index`. O(log n).
+  double Get(std::size_t index) const;
+
+  /// Sum of weights in [0, index). O(log n).
+  double PrefixSum(std::size_t index) const;
+
+  /// Sum of all weights — the multinomial normalizer Z. O(1) amortized
+  /// (maintained incrementally, periodically refreshed to bound FP drift).
+  double Total() const { return total_; }
+
+  /// \brief Finds the smallest index with PrefixSum(index+1) > target,
+  /// i.e. the slot that a cumulative draw of `target` in [0, Total()) lands
+  /// on. O(log n).
+  std::size_t FindIndex(double target) const;
+
+  /// Draws a slot with probability proportional to its weight. Total() must
+  /// be positive.
+  std::size_t Sample(Rng& rng) const;
+
+  /// Recomputes Total() exactly from the tree (kills accumulated FP drift);
+  /// called automatically every ~2^20 updates.
+  void RefreshTotal();
+
+ private:
+  std::size_t size_;
+  std::vector<double> tree_;  // 1-based internal array
+  double total_ = 0.0;
+  std::size_t updates_since_refresh_ = 0;
+};
+
+}  // namespace infoflow

@@ -1,0 +1,74 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+Histogram::Histogram(double lo, double hi, std::size_t num_bins)
+    : lo_(lo), hi_(hi), counts_(num_bins, 0.0) {
+  IF_CHECK(hi > lo) << "histogram range empty: [" << lo << "," << hi << ")";
+  IF_CHECK(num_bins > 0) << "histogram needs at least one bin";
+}
+
+std::size_t Histogram::BinOf(double x) const {
+  if (x <= lo_) return 0;
+  if (x >= hi_) return counts_.size() - 1;
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto bin = static_cast<std::size_t>(frac * static_cast<double>(counts_.size()));
+  return std::min(bin, counts_.size() - 1);
+}
+
+void Histogram::Add(double x) { AddWeighted(x, 1.0); }
+
+void Histogram::AddWeighted(double x, double weight) {
+  IF_DCHECK(weight >= 0.0);
+  counts_[BinOf(x)] += weight;
+  total_ += weight;
+}
+
+double Histogram::Count(std::size_t b) const {
+  IF_CHECK(b < counts_.size());
+  return counts_[b];
+}
+
+double Histogram::BinCenter(std::size_t b) const {
+  IF_CHECK(b < counts_.size());
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + (static_cast<double>(b) + 0.5) * width;
+}
+
+std::vector<double> Histogram::Normalized() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0.0) return out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) out[i] = counts_[i] / total_;
+  return out;
+}
+
+std::string Histogram::ToAscii(std::size_t width) const {
+  double max_count = 0.0;
+  for (double c : counts_) max_count = std::max(max_count, c);
+  const double bin_width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  std::string out;
+  char line[160];
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const double bin_lo = lo_ + static_cast<double>(b) * bin_width;
+    const double bin_hi = bin_lo + bin_width;
+    std::size_t bar = 0;
+    if (max_count > 0.0) {
+      bar = static_cast<std::size_t>(
+          std::lround(counts_[b] / max_count * static_cast<double>(width)));
+    }
+    std::snprintf(line, sizeof(line), "[%8.4f,%8.4f) ", bin_lo, bin_hi);
+    out += line;
+    out.append(bar, '#');
+    std::snprintf(line, sizeof(line), " %.6g\n", counts_[b]);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace infoflow

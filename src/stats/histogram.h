@@ -1,0 +1,55 @@
+/// \file histogram.h
+/// \brief Fixed-bin histograms with ASCII rendering, used for the impact
+/// figures (Fig. 4) and the uncertainty histograms (Fig. 3).
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace infoflow {
+
+/// \brief Equal-width histogram over [lo, hi); values outside the range are
+/// clamped into the first/last bin so no mass is silently lost.
+class Histogram {
+ public:
+  /// Creates `num_bins` equal-width bins spanning [lo, hi).
+  Histogram(double lo, double hi, std::size_t num_bins);
+
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Adds `weight` observations' worth of mass at `x`.
+  void AddWeighted(double x, double weight);
+
+  /// Number of bins.
+  std::size_t num_bins() const { return counts_.size(); }
+
+  /// Mass in bin `b`.
+  double Count(std::size_t b) const;
+
+  /// Total mass.
+  double Total() const { return total_; }
+
+  /// Center of bin `b`.
+  double BinCenter(std::size_t b) const;
+
+  /// Bin index that `x` falls in (after clamping).
+  std::size_t BinOf(double x) const;
+
+  /// Normalized bin masses (sums to 1; all-zero when empty).
+  std::vector<double> Normalized() const;
+
+  /// \brief Multi-line ASCII bar rendering, one row per bin:
+  /// `[0.10,0.20) ######### 42`. `width` is the maximum bar length.
+  std::string ToAscii(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+}  // namespace infoflow

@@ -1,0 +1,214 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+double LogGamma(double x) {
+  IF_CHECK(x > 0.0) << "LogGamma requires x > 0, got " << x;
+  return std::lgamma(x);
+}
+
+double LogBeta(double a, double b) {
+  return LogGamma(a) + LogGamma(b) - LogGamma(a + b);
+}
+
+double LogChoose(std::uint64_t n, std::uint64_t k) {
+  IF_CHECK(k <= n) << "LogChoose requires k <= n: n=" << n << " k=" << k;
+  if (k == 0 || k == n) return 0.0;
+  const auto nd = static_cast<double>(n);
+  const auto kd = static_cast<double>(k);
+  return LogGamma(nd + 1.0) - LogGamma(kd + 1.0) - LogGamma(nd - kd + 1.0);
+}
+
+namespace {
+
+// Continued-fraction expansion for the incomplete beta function
+// (modified Lentz's method, Numerical Recipes in C §6.4, betacf).
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIterations = 300;
+  constexpr double kEps = std::numeric_limits<double>::epsilon();
+  constexpr double kFpMin = std::numeric_limits<double>::min() / kEps;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIterations; ++m) {
+    const double md = m;
+    const double m2 = 2.0 * md;
+    double aa = md * (b - md) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + md) * (qab + md) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  IF_CHECK(a > 0.0 && b > 0.0)
+      << "incomplete beta requires a,b > 0: a=" << a << " b=" << b;
+  IF_CHECK(x >= 0.0 && x <= 1.0) << "x must be in [0,1], got " << x;
+  if (x == 0.0) return 0.0;
+  if (x == 1.0) return 1.0;
+  const double log_front =
+      a * std::log(x) + b * std::log1p(-x) - LogBeta(a, b);
+  const double front = std::exp(log_front);
+  // Use the symmetry relation to keep the continued fraction convergent.
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double InverseRegularizedIncompleteBeta(double a, double b, double p) {
+  IF_CHECK(p >= 0.0 && p <= 1.0) << "p must be in [0,1], got " << p;
+  if (p <= 0.0) return 0.0;
+  if (p >= 1.0) return 1.0;
+  // Bisection to get close, then Newton to polish. The CDF is monotone.
+  double lo = 0.0, hi = 1.0;
+  double x = a / (a + b);  // start at the mean
+  for (int iter = 0; iter < 200; ++iter) {
+    const double f = RegularizedIncompleteBeta(a, b, x) - p;
+    if (std::fabs(f) < 1e-14) break;
+    if (f > 0.0) {
+      hi = x;
+    } else {
+      lo = x;
+    }
+    // Newton step using pdf = x^{a-1}(1-x)^{b-1}/B(a,b).
+    double next = x;
+    if (x > 0.0 && x < 1.0) {
+      const double log_pdf =
+          (a - 1.0) * std::log(x) + (b - 1.0) * std::log1p(-x) - LogBeta(a, b);
+      const double pdf = std::exp(log_pdf);
+      if (pdf > 0.0 && std::isfinite(pdf)) next = x - f / pdf;
+    }
+    // Fall back to bisection when Newton leaves the bracket.
+    if (!(next > lo && next < hi)) next = 0.5 * (lo + hi);
+    if (std::fabs(next - x) < 1e-15) {
+      x = next;
+      break;
+    }
+    x = next;
+  }
+  return x;
+}
+
+namespace {
+
+// Series representation of P(a, x), convergent for x < a + 1.
+double GammaPSeries(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double del = sum;
+  for (int n = 0; n < 500; ++n) {
+    ap += 1.0;
+    del *= x / ap;
+    sum += del;
+    if (std::fabs(del) < std::fabs(sum) * 1e-15) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+// Continued fraction for Q(a, x) = 1 - P(a, x), convergent for x >= a + 1.
+double GammaQContinuedFraction(double a, double x) {
+  constexpr double kFpMin = std::numeric_limits<double>::min() / 1e-15;
+  double b = x + 1.0 - a;
+  double c = 1.0 / kFpMin;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 500; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = b + an / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - LogGamma(a));
+}
+
+}  // namespace
+
+double RegularizedLowerIncompleteGamma(double a, double x) {
+  IF_CHECK(a > 0.0) << "incomplete gamma requires a > 0, got " << a;
+  IF_CHECK(x >= 0.0) << "incomplete gamma requires x >= 0, got " << x;
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return GammaPSeries(a, x);
+  return 1.0 - GammaQContinuedFraction(a, x);
+}
+
+double ChiSquareCdf(double x, double dof) {
+  IF_CHECK(dof > 0.0) << "chi-square needs positive dof, got " << dof;
+  if (x <= 0.0) return 0.0;
+  return RegularizedLowerIncompleteGamma(0.5 * dof, 0.5 * x);
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double NormalQuantile(double p) {
+  IF_CHECK(p > 0.0 && p < 1.0) << "p must be in (0,1), got " << p;
+  // Acklam's rational approximation.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log1p(-p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step.
+  const double e = NormalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x = x - u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+}  // namespace infoflow

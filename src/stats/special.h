@@ -1,0 +1,48 @@
+/// \file special.h
+/// \brief Special mathematical functions needed by the distribution code:
+/// log-gamma, log-beta, the regularized incomplete beta function (the Beta
+/// CDF used for the bucket experiment's 95% confidence intervals), and
+/// log-binomial-coefficients.
+
+#pragma once
+
+#include <cstdint>
+
+namespace infoflow {
+
+/// Natural log of the gamma function (wraps std::lgamma; positive x only).
+double LogGamma(double x);
+
+/// log B(a, b) = lgamma(a) + lgamma(b) - lgamma(a+b).
+double LogBeta(double a, double b);
+
+/// log of the binomial coefficient C(n, k).
+double LogChoose(std::uint64_t n, std::uint64_t k);
+
+/// \brief Regularized incomplete beta function I_x(a, b) for x in [0,1],
+/// a, b > 0 — the CDF of Beta(a, b) at x.
+///
+/// Evaluated with the Lentz continued-fraction expansion (Numerical Recipes
+/// §6.4), accurate to ~1e-14 over the usable range.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// \brief Inverse of RegularizedIncompleteBeta in x: returns x with
+/// I_x(a, b) = p. Bisection refined with Newton steps; p in [0, 1].
+double InverseRegularizedIncompleteBeta(double a, double b, double p);
+
+/// \brief Regularized lower incomplete gamma function P(a, x) for a > 0,
+/// x >= 0 — the CDF of Gamma(a, 1) at x. Series expansion for x < a+1,
+/// continued fraction otherwise (Numerical Recipes §6.2).
+double RegularizedLowerIncompleteGamma(double a, double x);
+
+/// Chi-square CDF with `dof` degrees of freedom: P(dof/2, x/2).
+double ChiSquareCdf(double x, double dof);
+
+/// Standard normal CDF Phi(x).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined
+/// with one Halley step); p in (0, 1).
+double NormalQuantile(double p);
+
+}  // namespace infoflow

@@ -1,0 +1,167 @@
+#include "twitter/cascade_gen.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+Status CascadeGenOptions::Validate() const {
+  if (num_messages == 0) {
+    return Status::InvalidArgument("num_messages must be positive");
+  }
+  for (double p : {drop_original_prob, drop_retweet_prob, hashtag_prob,
+                   url_prob}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probability option ", p,
+                                     " outside [0,1]");
+    }
+  }
+  if (mean_retweet_delay <= 0.0 || mean_message_gap <= 0.0) {
+    return Status::InvalidArgument("mean delays must be positive");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// A scheduled potential activation: `parent` fired its edge toward
+/// `child`; the copy arrives at `time`.
+struct Arrival {
+  double time;
+  NodeId child;
+  NodeId parent;
+  std::uint64_t parent_tweet;
+  /// Min-heap on time.
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+
+std::string MakeBaseText(std::uint64_t message, const CascadeGenOptions& opt,
+                         Rng& rng) {
+  static const char* kVocab[] = {"breaking", "just",  "saw",    "the",
+                                 "amazing",  "news",  "about",  "today",
+                                 "cannot",   "believe", "this",  "wow"};
+  std::string text;
+  const std::size_t words = 2 + rng.NextBounded(4);
+  for (std::size_t w = 0; w < words; ++w) {
+    text += kVocab[rng.NextBounded(std::size(kVocab))];
+    text += ' ';
+  }
+  // A unique story token keeps message contents distinct, as real tweet
+  // bodies effectively are.
+  text += "story" + std::to_string(message);
+  if (rng.Bernoulli(opt.hashtag_prob)) {
+    text += " #tag" + std::to_string(rng.NextBounded(40));
+  }
+  if (rng.Bernoulli(opt.url_prob)) {
+    text += " http://t.co/u" + std::to_string(message);
+  }
+  return text;
+}
+
+}  // namespace
+
+Result<GeneratedCascades> GenerateCascades(const PointIcm& model,
+                                           const UserRegistry& registry,
+                                           const CascadeGenOptions& options,
+                                           Rng& rng) {
+  IF_RETURN_NOT_OK(options.Validate());
+  const DirectedGraph& graph = model.graph();
+  if (registry.size() < graph.num_nodes()) {
+    return Status::InvalidArgument("registry covers ", registry.size(),
+                                   " users but the graph has ",
+                                   graph.num_nodes());
+  }
+
+  // Author weights: heavier for well-followed users.
+  std::vector<double> author_weight(graph.num_nodes());
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    author_weight[v] =
+        static_cast<double>(graph.OutDegree(v)) + options.author_smoothing;
+  }
+
+  GeneratedCascades out;
+  std::uint64_t next_tweet_id = 1;
+  double clock = 0.0;
+  std::vector<std::uint8_t> active(graph.num_nodes(), 0);
+  std::vector<std::string> text_of(graph.num_nodes());
+
+  for (std::uint64_t msg = 0; msg < options.num_messages; ++msg) {
+    clock += rng.Exponential(1.0 / options.mean_message_gap);
+    const auto author = static_cast<NodeId>(rng.Categorical(author_weight));
+
+    AttributedObject truth;
+    truth.sources = {author};
+    std::fill(active.begin(), active.end(), 0);
+
+    // Event-driven percolation with "race" semantics: the first arriving
+    // fired copy activates a node and is its attributed parent — exactly
+    // how a single manual retweet attributes one ancestor.
+    std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> queue;
+
+    auto emit = [&](NodeId user, double time, std::string text,
+                    std::uint64_t parent_tweet, bool dropped) {
+      const std::uint64_t id = next_tweet_id++;
+      if (!dropped) {
+        Tweet tweet;
+        tweet.id = id;
+        tweet.user = user;
+        tweet.time = time;
+        tweet.text = std::move(text);
+        tweet.truth_message = msg;
+        tweet.truth_parent_tweet = parent_tweet;
+        out.log.push_back(std::move(tweet));
+      }
+      return id;
+    };
+
+    auto fan_out = [&](NodeId user, double time, std::uint64_t tweet_id) {
+      for (EdgeId e : graph.OutEdges(user)) {
+        const NodeId follower = graph.edge(e).dst;
+        if (active[follower]) continue;
+        if (!rng.Bernoulli(model.prob(e))) continue;
+        queue.push(Arrival{
+            time + rng.Exponential(1.0 / options.mean_retweet_delay),
+            follower, user, tweet_id});
+      }
+    };
+
+    // The original.
+    active[author] = 1;
+    truth.active_nodes.push_back(author);
+    text_of[author] = MakeBaseText(msg, options, rng);
+    const bool drop_original = rng.Bernoulli(options.drop_original_prob);
+    if (drop_original) ++out.dropped_originals;
+    const std::uint64_t original_id =
+        emit(author, clock, text_of[author], kNoTweet, drop_original);
+    fan_out(author, clock, original_id);
+
+    while (!queue.empty()) {
+      const Arrival arrival = queue.top();
+      queue.pop();
+      if (active[arrival.child]) continue;  // lost the race
+      active[arrival.child] = 1;
+      truth.active_nodes.push_back(arrival.child);
+      const EdgeId e = graph.FindEdge(arrival.parent, arrival.child);
+      IF_CHECK(e != kInvalidEdge);
+      truth.active_edges.push_back(e);
+      text_of[arrival.child] =
+          "RT @" + registry.NameOf(arrival.parent) + ": " +
+          text_of[arrival.parent];
+      const bool drop = rng.Bernoulli(options.drop_retweet_prob);
+      if (drop) ++out.dropped_retweets;
+      const std::uint64_t id = emit(arrival.child, arrival.time,
+                                    text_of[arrival.child],
+                                    arrival.parent_tweet, drop);
+      fan_out(arrival.child, arrival.time, id);
+      clock = std::max(clock, arrival.time);
+    }
+    out.ground_truth.objects.push_back(std::move(truth));
+  }
+  std::sort(out.log.begin(), out.log.end(),
+            [](const Tweet& a, const Tweet& b) { return a.time < b.time; });
+  return out;
+}
+
+}  // namespace infoflow

@@ -1,0 +1,73 @@
+/// \file cascade_gen.h
+/// \brief Retweet-cascade simulator: generates raw tweet logs with ground
+/// truth (the substitution for the Choudhury et al. crawl — see DESIGN.md).
+///
+/// Messages originate with weighted-random authors and percolate through a
+/// ground-truth point ICM over the follow graph (edge (u, v): v sees u's
+/// tweets and may retweet with the edge's activation probability —
+/// exactly the paper's modeling of retweets, §II). Each activation emits a
+/// tweet record using real retweet syntax ("RT @parent: ..."), with the
+/// chain of ancestors accumulated in the text like genuine manual retweets.
+///
+/// To mimic the paper's sparse, incomplete crawl, records can be *dropped*:
+/// originals with probability `drop_original_prob` and retweets with
+/// `drop_retweet_prob`. The §IV-B preprocessing (retweet_parser.h) must
+/// then recover chains and missing originals, and tests can score it
+/// against the ground truth kept alongside.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/icm.h"
+#include "learn/attributed.h"
+#include "stats/rng.h"
+#include "twitter/tweet.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief Simulation parameters.
+struct CascadeGenOptions {
+  /// Number of messages (information objects) to cascade.
+  std::size_t num_messages = 1000;
+  /// Probability an original tweet is missing from the log.
+  double drop_original_prob = 0.15;
+  /// Probability any individual retweet record is missing from the log.
+  double drop_retweet_prob = 0.0;
+  /// Mean seconds between a tweet appearing and a follower retweeting.
+  double mean_retweet_delay = 600.0;
+  /// Mean seconds between consecutive message origins.
+  double mean_message_gap = 30.0;
+  /// Proportion of messages carrying a hashtag / a URL in their text.
+  double hashtag_prob = 0.3;
+  double url_prob = 0.2;
+  /// Authors are drawn proportionally to (out-degree + author_smoothing):
+  /// well-followed users tweet more, as in the real service.
+  double author_smoothing = 1.0;
+
+  Status Validate() const;
+};
+
+/// \brief The generator's output: the public log plus private ground truth.
+struct GeneratedCascades {
+  /// Time-sorted raw log (after dropping).
+  TweetLog log;
+  /// Per message, the full attributed flow (V⊕, V, E) — what a perfect
+  /// parser would recover had nothing been dropped.
+  AttributedEvidence ground_truth;
+  /// Messages whose original tweet was dropped from the log.
+  std::uint64_t dropped_originals = 0;
+  /// Retweet records dropped from the log.
+  std::uint64_t dropped_retweets = 0;
+};
+
+/// \brief Runs the simulator over `model`'s follow graph. `registry` must
+/// cover the graph's nodes.
+Result<GeneratedCascades> GenerateCascades(const PointIcm& model,
+                                           const UserRegistry& registry,
+                                           const CascadeGenOptions& options,
+                                           Rng& rng);
+
+}  // namespace infoflow

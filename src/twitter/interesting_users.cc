@@ -1,0 +1,50 @@
+#include "twitter/interesting_users.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+double UserActivity::Score() const {
+  // Log-damped product: prolific users with widely-retweeted content score
+  // highest; pure volume without reach (or one viral hit) scores lower.
+  return std::log1p(static_cast<double>(tweets)) *
+         std::log1p(static_cast<double>(retweets_received));
+}
+
+std::vector<UserActivity> TallyUserActivity(
+    NodeId num_users, const AttributedEvidence& evidence) {
+  std::vector<UserActivity> activity(num_users);
+  for (NodeId v = 0; v < num_users; ++v) activity[v].user = v;
+  for (const AttributedObject& obj : evidence.objects) {
+    const std::uint64_t spread = obj.active_nodes.size() - obj.sources.size();
+    for (NodeId s : obj.sources) {
+      IF_CHECK(s < num_users) << "source " << s << " out of range";
+      ++activity[s].tweets;
+      activity[s].retweets_received += spread;
+    }
+  }
+  return activity;
+}
+
+std::vector<NodeId> SelectInterestingUsers(NodeId num_users,
+                                           const AttributedEvidence& evidence,
+                                           std::size_t k) {
+  std::vector<UserActivity> activity = TallyUserActivity(num_users, evidence);
+  std::stable_sort(activity.begin(), activity.end(),
+                   [](const UserActivity& a, const UserActivity& b) {
+                     if (a.Score() != b.Score()) return a.Score() > b.Score();
+                     return a.user < b.user;
+                   });
+  std::vector<NodeId> out;
+  for (const UserActivity& a : activity) {
+    if (out.size() >= k) break;
+    if (a.Score() <= 0.0) break;
+    out.push_back(a.user);
+  }
+  return out;
+}
+
+}  // namespace infoflow

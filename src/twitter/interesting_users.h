@@ -1,0 +1,37 @@
+/// \file interesting_users.h
+/// \brief Selecting "interesting" focus users (§IV-C): users who tweet
+/// frequently and whose tweets are retweeted often — the foci of the
+/// Fig. 2/8/9 ego-network experiments.
+
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "learn/attributed.h"
+
+namespace infoflow {
+
+/// \brief Per-user activity tallies.
+struct UserActivity {
+  NodeId user = kInvalidNode;
+  /// Messages this user originated.
+  std::uint64_t tweets = 0;
+  /// Activations of *other* users in cascades this user originated.
+  std::uint64_t retweets_received = 0;
+
+  /// Interest score: tweets weighted by the retweets they drew.
+  double Score() const;
+};
+
+/// Tallies activity from attributed evidence.
+std::vector<UserActivity> TallyUserActivity(NodeId num_users,
+                                            const AttributedEvidence& evidence);
+
+/// \brief The top-k users by Score(), ties broken by id (deterministic).
+/// Returns fewer when not enough users have any activity.
+std::vector<NodeId> SelectInterestingUsers(NodeId num_users,
+                                           const AttributedEvidence& evidence,
+                                           std::size_t k);
+
+}  // namespace infoflow

@@ -1,0 +1,184 @@
+#include "twitter/retweet_parser.h"
+
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace infoflow {
+
+void SplitRetweetChain(const std::string& text,
+                       std::vector<std::string>* mentions_out,
+                       std::string* base_out) {
+  IF_CHECK(mentions_out != nullptr && base_out != nullptr);
+  mentions_out->clear();
+  std::string_view rest = Trim(text);
+  while (StartsWith(rest, "RT @")) {
+    std::string_view after = rest.substr(4);
+    std::size_t end = 0;
+    while (end < after.size() && IsTagChar(after[end])) ++end;
+    if (end == 0 || end >= after.size() || after[end] != ':') {
+      // Malformed prefix; keep everything (including "RT @") as base
+      // content.
+      break;
+    }
+    mentions_out->emplace_back(after.substr(0, end));
+    rest = Trim(after.substr(end + 1));  // past the ':'
+  }
+  *base_out = std::string(rest);
+}
+
+namespace {
+
+/// Accumulates one message's reconstruction.
+struct MessageBuild {
+  NodeId root = kInvalidNode;
+  bool root_from_record = false;
+  std::vector<NodeId> order;  // activation order
+  std::unordered_map<NodeId, NodeId> parent_of;
+  std::unordered_set<NodeId> active;
+  std::unordered_set<NodeId> has_record;
+
+  void Activate(NodeId v) {
+    if (active.insert(v).second) order.push_back(v);
+  }
+};
+
+}  // namespace
+
+ParseResult ParseRetweetLog(const TweetLog& log,
+                            const UserRegistry& registry) {
+  ParseResult result;
+  // Keyed by base content; std::map keeps message order deterministic.
+  std::map<std::string, MessageBuild> builds;
+  std::vector<std::string> mentions;
+  std::string base;
+
+  for (const Tweet& tweet : log) {
+    SplitRetweetChain(tweet.text, &mentions, &base);
+    MessageBuild& build = builds[base];
+    const NodeId author = tweet.user;
+
+    if (mentions.empty()) {
+      // An original. The earliest original wins the root slot.
+      if (!build.root_from_record) {
+        build.root = author;
+        build.root_from_record = true;
+      }
+      build.Activate(author);
+      build.has_record.insert(author);
+      continue;
+    }
+    // Resolve the chain outermost-first: author ← m0 ← m1 ← … ← m_last
+    // (m_last authored the original).
+    std::vector<NodeId> chain;
+    chain.reserve(mentions.size());
+    bool resolved = true;
+    for (const std::string& handle : mentions) {
+      const NodeId id = registry.IdOf(handle);
+      if (id == kInvalidNode) {
+        resolved = false;
+        break;
+      }
+      chain.push_back(id);
+    }
+    if (!resolved) {
+      ++result.unresolved_mentions;
+      continue;
+    }
+    // Walk the chain from the root end so ancestors activate before
+    // descendants; record attribution child → parent.
+    const NodeId chain_root = chain.back();
+    if (build.root == kInvalidNode) build.root = chain_root;
+    build.Activate(chain_root);
+    for (std::size_t i = chain.size() - 1; i > 0; --i) {
+      const NodeId child = chain[i - 1];
+      const NodeId parent = chain[i];
+      build.Activate(child);
+      if (child != parent) build.parent_of.try_emplace(child, parent);
+    }
+    build.Activate(author);
+    if (author != chain.front()) {
+      build.parent_of.try_emplace(author, chain.front());
+    }
+    build.has_record.insert(author);
+  }
+
+  for (auto& [text, build] : builds) {
+    if (build.order.empty()) continue;
+    ParsedMessage message;
+    message.base_text = text;
+    message.root = build.root;
+    message.recovered_original =
+        build.root != kInvalidNode && !build.root_from_record;
+    if (message.recovered_original) ++result.recovered_originals;
+    for (NodeId v : build.order) {
+      if (v != build.root && !build.has_record.contains(v)) {
+        ++result.recovered_intermediates;
+      }
+    }
+    // Root-first activation order.
+    message.active_users.push_back(build.root);
+    for (NodeId v : build.order) {
+      if (v != build.root) message.active_users.push_back(v);
+    }
+    for (NodeId v : message.active_users) {
+      auto it = build.parent_of.find(v);
+      if (it != build.parent_of.end() && v != build.root) {
+        message.attributions.emplace_back(it->second, v);
+      }
+    }
+    result.messages.push_back(std::move(message));
+  }
+  return result;
+}
+
+AttributedEvidence ParseResult::ToEvidence(const DirectedGraph& graph) const {
+  AttributedEvidence evidence;
+  for (const ParsedMessage& message : messages) {
+    if (message.root == kInvalidNode ||
+        message.root >= graph.num_nodes()) {
+      continue;
+    }
+    AttributedObject obj;
+    obj.sources = {message.root};
+    std::unordered_map<NodeId, NodeId> parent_of;
+    for (const auto& [p, c] : message.attributions) parent_of[c] = p;
+
+    std::unordered_set<NodeId> kept{message.root};
+    obj.active_nodes.push_back(message.root);
+    for (NodeId v : message.active_users) {
+      if (v == message.root || v >= graph.num_nodes()) continue;
+      auto it = parent_of.find(v);
+      if (it == parent_of.end()) continue;  // active but unexplained
+      const NodeId p = it->second;
+      if (!kept.contains(p)) continue;  // ancestor was dropped
+      const EdgeId e = graph.FindEdge(p, v);
+      if (e == kInvalidEdge) continue;  // relationship outside the model
+      kept.insert(v);
+      obj.active_nodes.push_back(v);
+      obj.active_edges.push_back(e);
+    }
+    if (obj.active_nodes.size() >= 1) {
+      evidence.objects.push_back(std::move(obj));
+    }
+  }
+  return evidence;
+}
+
+std::shared_ptr<const DirectedGraph> ParseResult::InferGraph(
+    NodeId num_users) const {
+  GraphBuilder builder(num_users);
+  for (const ParsedMessage& message : messages) {
+    for (const auto& [p, c] : message.attributions) {
+      if (p < num_users && c < num_users && p != c) {
+        builder.AddEdgeIfAbsent(p, c);
+      }
+    }
+  }
+  return std::make_shared<const DirectedGraph>(std::move(builder).Build());
+}
+
+}  // namespace infoflow

@@ -1,0 +1,119 @@
+#include "twitter/tag_gen.h"
+
+#include <queue>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+PointIcm TagNetwork::GroundTruth(double external_prob) const {
+  IF_CHECK(external_prob >= 0.0 && external_prob <= 1.0);
+  std::vector<double> probs = in_network_probs;
+  for (EdgeId e : graph->OutEdges(omnipotent)) probs[e] = external_prob;
+  return PointIcm(graph, std::move(probs));
+}
+
+TagNetwork AugmentWithOmnipotent(const PointIcm& base_model) {
+  const DirectedGraph& base = base_model.graph();
+  const NodeId omnipotent = base.num_nodes();
+  GraphBuilder builder(base.num_nodes() + 1);
+  for (const Edge& e : base.edges()) {
+    builder.AddEdge(e.src, e.dst).CheckOK();
+  }
+  for (NodeId v = 0; v < base.num_nodes(); ++v) {
+    builder.AddEdge(omnipotent, v).CheckOK();
+  }
+  TagNetwork network;
+  network.graph =
+      std::make_shared<const DirectedGraph>(std::move(builder).Build());
+  network.omnipotent = omnipotent;
+  // Edge-id preservation: base edges all have src < omnipotent, so the
+  // (src, dst)-sorted augmented ids coincide with the base ids for the
+  // first m slots.
+  network.in_network_probs.assign(network.graph->num_edges(), 0.0);
+  for (EdgeId e = 0; e < base.num_edges(); ++e) {
+    IF_CHECK(network.graph->edge(e) == base.edge(e))
+        << "edge-id preservation violated at edge " << e;
+    network.in_network_probs[e] = base_model.prob(e);
+  }
+  return network;
+}
+
+Status TagGenOptions::Validate() const {
+  if (num_objects == 0) {
+    return Status::InvalidArgument("num_objects must be positive");
+  }
+  if (mean_delay <= 0.0 || horizon <= 0.0) {
+    return Status::InvalidArgument("delays must be positive");
+  }
+  for (double p : {url_external_prob, hashtag_event_prob,
+                   hashtag_event_external, hashtag_quiet_external}) {
+    if (p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("probability option ", p,
+                                     " outside [0,1]");
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
+struct Arrival {
+  double time;
+  NodeId node;
+  bool operator>(const Arrival& other) const { return time > other.time; }
+};
+}  // namespace
+
+Result<UnattributedEvidence> GenerateTagTraces(const TagNetwork& network,
+                                               TagKind kind,
+                                               const TagGenOptions& options,
+                                               Rng& rng) {
+  IF_RETURN_NOT_OK(options.Validate());
+  const DirectedGraph& graph = *network.graph;
+  UnattributedEvidence evidence;
+  evidence.traces.reserve(options.num_objects);
+
+  std::vector<std::uint8_t> active(graph.num_nodes(), 0);
+  for (std::size_t obj = 0; obj < options.num_objects; ++obj) {
+    // Per-object external rate: URLs are constant; hashtags mix quiet tags
+    // with offline-event tags (the regime the per-edge ICM cannot model).
+    double external_prob = options.url_external_prob;
+    if (kind == TagKind::kHashtag) {
+      external_prob = rng.Bernoulli(options.hashtag_event_prob)
+                          ? options.hashtag_event_external
+                          : options.hashtag_quiet_external;
+    }
+
+    ObjectTrace trace;
+    std::fill(active.begin(), active.end(), 0);
+    std::priority_queue<Arrival, std::vector<Arrival>, std::greater<>> queue;
+
+    // The omnipotent node is active from the start.
+    active[network.omnipotent] = 1;
+    trace.activations.push_back(Activation{network.omnipotent, 0.0});
+    for (EdgeId e : graph.OutEdges(network.omnipotent)) {
+      if (rng.Bernoulli(external_prob)) {
+        queue.push(Arrival{rng.Uniform(0.0, options.horizon),
+                           graph.edge(e).dst});
+      }
+    }
+    while (!queue.empty()) {
+      const Arrival arrival = queue.top();
+      queue.pop();
+      if (active[arrival.node]) continue;
+      active[arrival.node] = 1;
+      trace.activations.push_back(Activation{arrival.node, arrival.time});
+      for (EdgeId e : graph.OutEdges(arrival.node)) {
+        const NodeId next = graph.edge(e).dst;
+        if (active[next]) continue;
+        if (!rng.Bernoulli(network.in_network_probs[e])) continue;
+        queue.push(Arrival{
+            arrival.time + rng.Exponential(1.0 / options.mean_delay), next});
+      }
+    }
+    evidence.traces.push_back(std::move(trace));
+  }
+  return evidence;
+}
+
+}  // namespace infoflow

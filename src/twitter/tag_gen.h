@@ -1,0 +1,87 @@
+/// \file tag_gen.h
+/// \brief Hashtag / URL propagation generator — unattributed evidence with
+/// an omnipotent external-world node (§V-D).
+///
+/// Hashtags and URLs spread through Twitter *and* enter it from outside
+/// (news, radio, offline events). The paper models the outside world as an
+/// *omnipotent user* every account follows. We augment the follow graph
+/// with that node and simulate two processes:
+///
+///  - **URLs** (TagKind::kUrl): faithful ICM percolation. A shortened URL
+///    is effectively random, so users almost never discover it
+///    independently; entries come from a small constant external rate plus
+///    in-network propagation. The ICM learners should model this well
+///    (Fig. 8).
+///
+///  - **Hashtags** (TagKind::kHashtag): a *mixture* the ICM cannot express.
+///    A fraction of tags accompany coordinated offline events (e.g.
+///    "#ICDE", "#POTUS"): during those, users adopt the tag independently
+///    at a high external rate; quiet tags behave like URLs. Averaging the
+///    two regimes into one edge probability mis-calibrates flow predictions
+///    — reproducing the paper's Fig. 9 finding.
+///
+/// Traces are unattributed: (node, time) activations only, with the
+/// omnipotent node active from time 0.
+
+#pragma once
+
+#include <memory>
+
+#include "core/icm.h"
+#include "learn/unattributed.h"
+#include "stats/rng.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief The augmented network: base follow graph plus the omnipotent
+/// node with an edge to every user.
+struct TagNetwork {
+  /// n+1-node graph; node `omnipotent` (== n) reaches every user.
+  std::shared_ptr<const DirectedGraph> graph;
+  NodeId omnipotent = kInvalidNode;
+  /// In-network (non-omnipotent) edge activation probabilities, indexed by
+  /// the augmented graph's edge ids; omnipotent edges hold 0 here (their
+  /// rate is a per-run generation parameter).
+  std::vector<double> in_network_probs;
+
+  /// \brief Ground-truth point ICM at a given external entry probability on
+  /// every omnipotent edge (for RMSE scoring of trained models).
+  PointIcm GroundTruth(double external_prob) const;
+};
+
+/// \brief Augments a base model with the omnipotent node. Because the
+/// omnipotent node gets the largest node id, base edge ids are preserved
+/// verbatim in the augmented graph (a property the tests pin down).
+TagNetwork AugmentWithOmnipotent(const PointIcm& base_model);
+
+/// \brief Which propagation process to simulate.
+enum class TagKind { kUrl, kHashtag };
+
+/// \brief Generation parameters.
+struct TagGenOptions {
+  /// Number of distinct tags/URLs (information objects).
+  std::size_t num_objects = 400;
+  /// Mean in-network propagation delay (seconds).
+  double mean_delay = 60.0;
+  /// External discoveries land uniformly in [0, horizon).
+  double horizon = 3600.0;
+  /// kUrl: constant external entry probability per user per object.
+  double url_external_prob = 0.003;
+  /// kHashtag: event mixture parameters.
+  double hashtag_event_prob = 0.3;
+  double hashtag_event_external = 0.25;
+  double hashtag_quiet_external = 0.004;
+
+  Status Validate() const;
+};
+
+/// \brief Simulates `options.num_objects` objects of the given kind over
+/// the augmented network and returns their unattributed traces (omnipotent
+/// node active at time 0 in every trace).
+Result<UnattributedEvidence> GenerateTagTraces(const TagNetwork& network,
+                                               TagKind kind,
+                                               const TagGenOptions& options,
+                                               Rng& rng);
+
+}  // namespace infoflow

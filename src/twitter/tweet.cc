@@ -1,0 +1,38 @@
+#include "twitter/tweet.h"
+
+#include <charconv>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace infoflow {
+
+UserRegistry UserRegistry::Sequential(NodeId count) {
+  UserRegistry registry;
+  registry.names_.reserve(count);
+  for (NodeId i = 0; i < count; ++i) {
+    registry.names_.push_back("user" + std::to_string(i));
+  }
+  return registry;
+}
+
+const std::string& UserRegistry::NameOf(NodeId id) const {
+  IF_CHECK(id < names_.size()) << "user id " << id << " out of range";
+  return names_[id];
+}
+
+NodeId UserRegistry::IdOf(const std::string& name) const {
+  // Sequential registries can answer by parsing "user<N>" directly.
+  if (StartsWith(name, "user")) {
+    NodeId value = 0;
+    const char* begin = name.data() + 4;
+    const char* end = name.data() + name.size();
+    auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec == std::errc() && ptr == end && value < names_.size()) {
+      return value;
+    }
+  }
+  return kInvalidNode;
+}
+
+}  // namespace infoflow

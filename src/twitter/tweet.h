@@ -1,0 +1,75 @@
+/// \file tweet.h
+/// \brief Raw tweet records — the input format of the §IV-B preprocessing.
+///
+/// The paper works from the Choudhury et al. Twitter crawl (10M tweets,
+/// 118K users; sparse, many retweets missing their original). We do not
+/// have that proprietary crawl, so src/twitter/ provides a *simulator* that
+/// emits logs in the same shape (see cascade_gen.h) and a parser that
+/// performs the paper's preprocessing on them (see retweet_parser.h).
+///
+/// A record carries only what a crawl would: id, author, timestamp, text.
+/// Retweets use the classic syntax the paper parses:
+///
+///   "RT @alice: RT @bob: look at this http://t.co/xyz #icde"
+///
+/// The `truth_*` fields hold the generator's ground truth; they are
+/// populated only by the simulator and exist so tests can score the
+/// parser's reconstruction. The parser itself never reads them.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace infoflow {
+
+/// Sentinel for "no tweet" (e.g. no parent).
+inline constexpr std::uint64_t kNoTweet = ~std::uint64_t{0};
+/// Sentinel for "no message id".
+inline constexpr std::uint64_t kNoMessage = ~std::uint64_t{0};
+
+/// \brief One raw tweet.
+struct Tweet {
+  /// Crawl-unique tweet id.
+  std::uint64_t id = kNoTweet;
+  /// Author's node id in the user registry.
+  NodeId user = kInvalidNode;
+  /// Posting time (seconds; any monotone clock).
+  double time = 0.0;
+  /// Raw text, including any "RT @name:" prefixes, #hashtags and urls.
+  std::string text;
+
+  /// \name Generator ground truth (tests only — never read by the parser)
+  ///@{
+  std::uint64_t truth_message = kNoMessage;
+  std::uint64_t truth_parent_tweet = kNoTweet;
+  ///@}
+};
+
+/// A time-ordered tweet log.
+using TweetLog = std::vector<Tweet>;
+
+/// \brief The user registry: maps between node ids and the "@name" handles
+/// appearing in tweet text.
+class UserRegistry {
+ public:
+  /// Creates `count` users named "user0" ... "user<count-1>".
+  static UserRegistry Sequential(NodeId count);
+
+  /// Number of users.
+  NodeId size() const { return static_cast<NodeId>(names_.size()); }
+
+  /// Handle of user `id` (without the '@').
+  const std::string& NameOf(NodeId id) const;
+
+  /// Node id for `name`, or kInvalidNode when unknown.
+  NodeId IdOf(const std::string& name) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+}  // namespace infoflow

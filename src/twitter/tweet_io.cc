@@ -1,0 +1,90 @@
+#include "twitter/tweet_io.h"
+
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace infoflow {
+
+std::string SerializeTweetLog(const TweetLog& log,
+                              const UserRegistry& registry) {
+  CsvWriter writer({"id", "user", "time", "text"});
+  char buf[64];
+  for (const Tweet& tweet : log) {
+    std::snprintf(buf, sizeof(buf), "%.17g", tweet.time);
+    writer.AppendRow({std::to_string(tweet.id), registry.NameOf(tweet.user),
+                      buf, tweet.text});
+  }
+  return writer.ToString();
+}
+
+Result<TweetLog> DeserializeTweetLog(const std::string& text,
+                                     const UserRegistry& registry) {
+  auto table = ParseCsv(text);
+  if (!table.ok()) return table.status();
+  auto id_col = table->ColumnIndex("id");
+  auto user_col = table->ColumnIndex("user");
+  auto time_col = table->ColumnIndex("time");
+  auto text_col = table->ColumnIndex("text");
+  for (const auto* col : {&id_col, &user_col, &time_col, &text_col}) {
+    if (!col->ok()) return col->status();
+  }
+  TweetLog log;
+  log.reserve(table->rows.size());
+  for (std::size_t i = 0; i < table->rows.size(); ++i) {
+    const auto& row = table->rows[i];
+    Tweet tweet;
+    {
+      const std::string& field = row[*id_col];
+      const auto [ptr, ec] = std::from_chars(
+          field.data(), field.data() + field.size(), tweet.id);
+      if (ec != std::errc() || ptr != field.data() + field.size()) {
+        return Status::ParseError("row ", i + 1, ": bad tweet id '", field,
+                                  "'");
+      }
+    }
+    tweet.user = registry.IdOf(row[*user_col]);
+    if (tweet.user == kInvalidNode) {
+      return Status::ParseError("row ", i + 1, ": unknown handle '",
+                                row[*user_col], "'");
+    }
+    try {
+      std::size_t consumed = 0;
+      tweet.time = std::stod(row[*time_col], &consumed);
+      if (consumed != row[*time_col].size()) {
+        return Status::ParseError("row ", i + 1, ": bad time '",
+                                  row[*time_col], "'");
+      }
+    } catch (const std::exception&) {
+      return Status::ParseError("row ", i + 1, ": bad time '",
+                                row[*time_col], "'");
+    }
+    tweet.text = row[*text_col];
+    log.push_back(std::move(tweet));
+  }
+  return log;
+}
+
+Status SaveTweetLog(const TweetLog& log, const UserRegistry& registry,
+                    const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '", path, "' for writing");
+  out << SerializeTweetLog(log, registry);
+  if (!out) return Status::IOError("write failed for '", path, "'");
+  return Status::OK();
+}
+
+Result<TweetLog> LoadTweetLog(const std::string& path,
+                              const UserRegistry& registry) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '", path, "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return DeserializeTweetLog(buffer.str(), registry);
+}
+
+}  // namespace infoflow

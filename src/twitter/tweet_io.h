@@ -1,0 +1,34 @@
+/// \file tweet_io.h
+/// \brief CSV persistence for raw tweet logs — the ingestion format a real
+/// crawl would arrive in, and what `infoflow parse-tweets` consumes.
+///
+/// Columns: id,user,time,text (header required). `user` is the bare handle
+/// ("user42"); text is standard CSV-quoted, so commas and quotes inside
+/// tweets survive. The generator ground-truth fields are deliberately NOT
+/// serialized: a log file carries exactly what a crawler would see.
+
+#pragma once
+
+#include <string>
+
+#include "twitter/tweet.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// Serializes the public fields of a log to CSV text.
+std::string SerializeTweetLog(const TweetLog& log,
+                              const UserRegistry& registry);
+
+/// Parses a CSV tweet log; handles are resolved against `registry`
+/// (unknown handles are a ParseError — a crawl defines its own universe).
+Result<TweetLog> DeserializeTweetLog(const std::string& text,
+                                     const UserRegistry& registry);
+
+/// File wrappers.
+Status SaveTweetLog(const TweetLog& log, const UserRegistry& registry,
+                    const std::string& path);
+Result<TweetLog> LoadTweetLog(const std::string& path,
+                              const UserRegistry& registry);
+
+}  // namespace infoflow

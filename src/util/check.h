@@ -1,0 +1,71 @@
+/// \file check.h
+/// \brief Invariant-checking macros for programming errors.
+///
+/// IF_CHECK* always fire; IF_DCHECK* compile away in NDEBUG builds. These are
+/// for *bugs* (broken invariants, impossible states) — recoverable data
+/// errors should return a Status instead (see status.h).
+
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace infoflow::internal {
+
+/// Prints the failure banner and aborts. Never returns.
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line, const std::string& extra) {
+  std::fprintf(stderr, "CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               extra.empty() ? "" : " — ", extra.c_str());
+  std::abort();
+}
+
+/// Helper that lets the macros stream extra context:
+///   IF_CHECK(x > 0) << "x was " << x;   (via CheckStream)
+class CheckStream {
+ public:
+  CheckStream(const char* expr, const char* file, int line)
+      : expr_(expr), file_(file), line_(line) {}
+  [[noreturn]] ~CheckStream() { CheckFailed(expr_, file_, line_, oss_.str()); }
+  template <typename T>
+  CheckStream& operator<<(const T& value) {
+    oss_ << value;
+    return *this;
+  }
+
+ private:
+  const char* expr_;
+  const char* file_;
+  int line_;
+  std::ostringstream oss_;
+};
+
+}  // namespace infoflow::internal
+
+/// Aborts with a diagnostic when `cond` is false. Additional context may be
+/// streamed: `IF_CHECK(i < n) << "i=" << i;`
+#define IF_CHECK(cond)                                             \
+  if (cond) {                                                      \
+  } else /* NOLINT */                                              \
+    ::infoflow::internal::CheckStream(#cond, __FILE__, __LINE__)
+
+/// Binary comparison checks that show both operand values on failure.
+#define IF_CHECK_OP(op, a, b)                                       \
+  IF_CHECK((a)op(b)) << "lhs=" << (a) << " rhs=" << (b) << " "
+#define IF_CHECK_EQ(a, b) IF_CHECK_OP(==, a, b)
+#define IF_CHECK_NE(a, b) IF_CHECK_OP(!=, a, b)
+#define IF_CHECK_LT(a, b) IF_CHECK_OP(<, a, b)
+#define IF_CHECK_LE(a, b) IF_CHECK_OP(<=, a, b)
+#define IF_CHECK_GT(a, b) IF_CHECK_OP(>, a, b)
+#define IF_CHECK_GE(a, b) IF_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+#define IF_DCHECK(cond) \
+  if (true) {           \
+  } else /* NOLINT */   \
+    ::infoflow::internal::CheckStream(#cond, __FILE__, __LINE__)
+#else
+#define IF_DCHECK(cond) IF_CHECK(cond)
+#endif

@@ -1,0 +1,144 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace infoflow {
+
+Result<std::size_t> CsvTable::ColumnIndex(const std::string& name) const {
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    if (header[i] == name) return i;
+  }
+  return Status::NotFound("no CSV column named '", name, "'");
+}
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  IF_CHECK(!header_.empty()) << "CSV header must have at least one column";
+}
+
+void CsvWriter::AppendRow(std::vector<std::string> row) {
+  IF_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+void CsvWriter::AppendNumericRow(const std::vector<double>& row) {
+  std::vector<std::string> fields;
+  fields.reserve(row.size());
+  for (double v : row) fields.push_back(FormatDouble(v, 9));
+  AppendRow(std::move(fields));
+}
+
+std::string CsvQuote(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string CsvWriter::ToString() const {
+  std::string out;
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out += ',';
+      out += CsvQuote(row[i]);
+    }
+    out += '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return out;
+}
+
+Status CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open '", path, "' for writing");
+  out << ToString();
+  if (!out) return Status::IOError("write failed for '", path, "'");
+  return Status::OK();
+}
+
+namespace {
+
+// Parses one CSV line into fields, honoring double-quote quoting.
+Result<std::vector<std::string>> ParseLine(const std::string& line,
+                                           std::size_t line_no) {
+  std::vector<std::string> fields;
+  std::string current;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          current += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        current += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quote on CSV line ", line_no);
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+Result<CsvTable> ParseCsv(const std::string& text) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    auto fields = ParseLine(line, line_no);
+    if (!fields.ok()) return fields.status();
+    if (table.header.empty()) {
+      table.header = std::move(fields).ValueOrDie();
+      continue;
+    }
+    auto row = std::move(fields).ValueOrDie();
+    if (row.size() != table.header.size()) {
+      return Status::ParseError("CSV line ", line_no, " has ", row.size(),
+                                " fields, expected ", table.header.size());
+    }
+    table.rows.push_back(std::move(row));
+  }
+  if (table.header.empty()) {
+    return Status::ParseError("empty CSV input");
+  }
+  return table;
+}
+
+Result<CsvTable> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open '", path, "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+}  // namespace infoflow

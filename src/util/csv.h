@@ -1,0 +1,69 @@
+/// \file csv.h
+/// \brief Minimal CSV reading/writing for experiment result plumbing.
+///
+/// This is deliberately small: comma separator, optional double-quote
+/// quoting with "" escapes, no embedded newlines inside quoted fields. It is
+/// what the bench harnesses use to dump figure series (`--csv <dir>`), and
+/// what tests use to round-trip them.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief A parsed CSV table: a header row plus data rows of equal width.
+struct CsvTable {
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Index of a header column, or Status::NotFound.
+  Result<std::size_t> ColumnIndex(const std::string& name) const;
+};
+
+/// \brief Incremental CSV writer.
+///
+/// \code
+///   CsvWriter w({"bin", "mean", "lo", "hi"});
+///   w.AppendRow({"0", "0.013", "0.002", "0.031"});
+///   w.WriteFile("fig1.csv").CheckOK();
+/// \endcode
+class CsvWriter {
+ public:
+  /// Creates a writer with the given header.
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void AppendRow(std::vector<std::string> row);
+
+  /// Convenience: appends a row of doubles formatted with FormatDouble.
+  void AppendNumericRow(const std::vector<double>& row);
+
+  /// Serializes the table (header + rows) with CRLF-free '\n' endings.
+  std::string ToString() const;
+
+  /// Writes ToString() to `path`.
+  Status WriteFile(const std::string& path) const;
+
+  /// Number of appended rows.
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parses CSV text (first row is the header). Rows whose width differs from
+/// the header produce a ParseError.
+Result<CsvTable> ParseCsv(const std::string& text);
+
+/// Reads and parses a CSV file.
+Result<CsvTable> ReadCsvFile(const std::string& path);
+
+/// Quotes a single CSV field if it contains a comma, quote or newline.
+std::string CsvQuote(const std::string& field);
+
+}  // namespace infoflow

@@ -1,0 +1,215 @@
+/// \file status.h
+/// \brief Lightweight Status / Result<T> error-propagation types.
+///
+/// The library follows the Arrow/Google convention of returning a `Status`
+/// (or a `Result<T>`, which is a Status-or-value) from operations that can
+/// fail for *data* reasons — malformed input, out-of-range parameters coming
+/// from a caller, I/O errors. Programming errors (broken invariants) use the
+/// IF_CHECK macros in check.h instead and abort.
+
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace infoflow {
+
+/// \brief Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kIOError,
+  kParseError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Returns the canonical lower-case name of a status code
+/// (e.g. "invalid-argument").
+const char* StatusCodeName(StatusCode code);
+
+/// \brief A success-or-error outcome carrying a code and a human message.
+///
+/// `Status` is cheap to copy in the OK case (empty message) and supports the
+/// usual factory helpers:
+/// \code
+///   Status s = Status::InvalidArgument("probability out of [0,1]: ", p);
+///   if (!s.ok()) return s;
+/// \endcode
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with explicit code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory for the OK status.
+  static Status OK() { return Status(); }
+
+  /// \name Error factories
+  /// Each concatenates its arguments (streamed) into the message.
+  ///@{
+  template <typename... Args>
+  static Status InvalidArgument(Args&&... args) {
+    return Make(StatusCode::kInvalidArgument, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status OutOfRange(Args&&... args) {
+    return Make(StatusCode::kOutOfRange, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status NotFound(Args&&... args) {
+    return Make(StatusCode::kNotFound, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status AlreadyExists(Args&&... args) {
+    return Make(StatusCode::kAlreadyExists, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status FailedPrecondition(Args&&... args) {
+    return Make(StatusCode::kFailedPrecondition, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status IOError(Args&&... args) {
+    return Make(StatusCode::kIOError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status ParseError(Args&&... args) {
+    return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Unimplemented(Args&&... args) {
+    return Make(StatusCode::kUnimplemented, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status Internal(Args&&... args) {
+    return Make(StatusCode::kInternal, std::forward<Args>(args)...);
+  }
+  ///@}
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The failure category (kOk on success).
+  StatusCode code() const { return code_; }
+
+  /// The human-readable message (empty on success).
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code-name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use at call sites
+  /// where failure is a programming error.
+  void CheckOK() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  template <typename... Args>
+  static Status Make(StatusCode code, Args&&... args);
+
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+namespace internal {
+/// Streams a pack of arguments into a string (implementation detail of the
+/// Status factories).
+template <typename... Args>
+std::string StrCatImpl(Args&&... args) {
+  std::string out;
+  std::ostringstream* stream = nullptr;
+  (void)stream;
+  // Use an ostringstream for full generality (floats, enums with <<, ...).
+  std::ostringstream oss;
+  (oss << ... << std::forward<Args>(args));
+  return oss.str();
+}
+}  // namespace internal
+
+template <typename... Args>
+Status Status::Make(StatusCode code, Args&&... args) {
+  return Status(code, internal::StrCatImpl(std::forward<Args>(args)...));
+}
+
+/// \brief A value-or-Status, analogous to `arrow::Result<T>`.
+///
+/// \code
+///   Result<Graph> r = Graph::FromEdgeList(edges);
+///   if (!r.ok()) return r.status();
+///   Graph g = std::move(r).ValueOrDie();
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Aborts if `status.ok()`,
+  /// since an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  /// True when a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status (OK when a value is present).
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts with the status message on error.
+  const T& ValueOrDie() const& {
+    status_.CheckOK();
+    return *value_;
+  }
+  /// Move-out overload of ValueOrDie().
+  T ValueOrDie() && {
+    status_.CheckOK();
+    return std::move(*value_);
+  }
+  /// Returns the value or `fallback` on error.
+  T ValueOr(T fallback) const {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+  /// Dereference-style accessors (must be ok()).
+  const T& operator*() const& { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+
+  /// Mutable access — stateful values (samplers, builders) need it.
+  T& ValueOrDie() & {
+    status_.CheckOK();
+    return *value_;
+  }
+  T& operator*() & { return ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_ = Status::OK();
+};
+
+/// Propagates an error Status from an expression, Arrow-style.
+#define IF_RETURN_NOT_OK(expr)                  \
+  do {                                          \
+    ::infoflow::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                  \
+  } while (false)
+
+}  // namespace infoflow

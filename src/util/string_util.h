@@ -1,0 +1,42 @@
+/// \file string_util.h
+/// \brief Small string helpers used across the library (split/join/trim,
+/// prefix tests, number formatting). No locale dependence.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace infoflow {
+
+/// Splits `text` on `sep`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on any run of ASCII whitespace, dropping empty fields.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// True when `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True when `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII characters.
+std::string ToLowerAscii(std::string_view text);
+
+/// Formats a double with `digits` significant digits, trimming trailing
+/// zeros ("0.25", "1", "3.14e-05").
+std::string FormatDouble(double value, int digits = 6);
+
+/// True when `c` is alphanumeric or '_': the character class Twitter allows
+/// in hashtags and usernames.
+bool IsTagChar(char c);
+
+}  // namespace infoflow

@@ -1,0 +1,81 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace infoflow {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+  }
+  task_ready_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  IF_CHECK(task != nullptr) << "null task";
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    IF_CHECK(!shutting_down_) << "Submit after shutdown";
+    queue_.push(std::move(task));
+    ++in_flight_;
+  }
+  task_ready_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      task_ready_.wait(lock,
+                       [this] { return shutting_down_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (shutting_down_) return;
+        continue;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      --in_flight_;
+      if (in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  const std::size_t chunks = std::min(count, pool.size() * 4);
+  const std::size_t chunk_size = (count + chunks - 1) / chunks;
+  for (std::size_t begin = 0; begin < count; begin += chunk_size) {
+    const std::size_t end = std::min(begin + chunk_size, count);
+    pool.Submit([begin, end, &body] {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    });
+  }
+  pool.Wait();
+}
+
+}  // namespace infoflow

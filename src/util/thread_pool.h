@@ -1,0 +1,61 @@
+/// \file thread_pool.h
+/// \brief A minimal fixed-size thread pool and a deterministic ParallelFor.
+///
+/// The evaluation workloads (bucket experiments, RMSE sweeps, nested MH)
+/// are embarrassingly parallel across trials. The pattern the library
+/// supports: derive an independent Rng per index (e.g. Rng(seed ^ index)
+/// or parent.Split() upfront), then run the trial body under ParallelFor —
+/// results are identical to the serial loop regardless of scheduling.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace infoflow {
+
+/// \brief Fixed worker pool; tasks are void() callables.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; defaults to the hardware count).
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void Wait();
+
+  /// Number of workers.
+  std::size_t size() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// \brief Runs `body(i)` for i in [0, count) across `pool`'s workers,
+/// blocking until all indices complete. Indices are batched into
+/// contiguous chunks to amortize queue traffic.
+void ParallelFor(ThreadPool& pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace infoflow

@@ -1,0 +1,32 @@
+/// \file timer.h
+/// \brief Wall-clock stopwatch used by the figure benches (Fig. 6, §IV-C
+/// timing claims).
+
+#pragma once
+
+#include <chrono>
+
+namespace infoflow {
+
+/// \brief A monotonic stopwatch. Starts running on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace infoflow

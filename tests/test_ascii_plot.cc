@@ -1,0 +1,47 @@
+#include "eval/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace infoflow {
+namespace {
+
+TEST(RenderCalibration, MentionsCoverageAndBins) {
+  BucketExperiment exp;
+  Rng rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    const double p = rng.NextDouble();
+    exp.Add(p, rng.Bernoulli(p));
+  }
+  const std::string art = RenderCalibration(exp.Analyze(30));
+  EXPECT_NE(art.find("coverage"), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);   // CI bars
+  EXPECT_NE(art.find('x'), std::string::npos);   // covered means
+  EXPECT_NE(art.find("bin volumes"), std::string::npos);
+}
+
+TEST(RenderCalibration, EmptyReportStillRenders) {
+  BucketExperiment exp;
+  const std::string art = RenderCalibration(exp.Analyze(10));
+  EXPECT_NE(art.find("coverage"), std::string::npos);
+}
+
+TEST(RenderSeries, ShowsLegendAndGlyphs) {
+  Series a{"ours", '*', {1, 10, 100}, {0.5, 0.3, 0.1}};
+  Series b{"goyal", '+', {1, 10, 100}, {0.5, 0.45, 0.4}};
+  const std::string art = RenderSeries({a, b}, 40, 12, /*log_x=*/true);
+  EXPECT_NE(art.find('*'), std::string::npos);
+  EXPECT_NE(art.find('+'), std::string::npos);
+  EXPECT_NE(art.find("ours"), std::string::npos);
+  EXPECT_NE(art.find("log scale"), std::string::npos);
+}
+
+TEST(RenderSeries, HandlesDegenerateRanges) {
+  Series flat{"flat", 'o', {1.0, 1.0}, {2.0, 2.0}};
+  const std::string art = RenderSeries({flat}, 20, 6);
+  EXPECT_NE(art.find('o'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace infoflow

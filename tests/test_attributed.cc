@@ -1,0 +1,224 @@
+#include "learn/attributed.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Triangle() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  return std::make_shared<const DirectedGraph>(std::move(b).Build());
+}
+
+AttributedObject FullCascade(const DirectedGraph& g) {
+  AttributedObject obj;
+  obj.sources = {0};
+  obj.active_nodes = {0, 1, 2};
+  obj.active_edges = {g.FindEdge(0, 1), g.FindEdge(1, 2)};
+  return obj;
+}
+
+TEST(ValidateAttributed, AcceptsConsistentObject) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(FullCascade(*g));
+  EXPECT_TRUE(ValidateAttributedEvidence(*g, ev).ok());
+}
+
+TEST(ValidateAttributed, RejectsEmptySources) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(AttributedObject{{}, {0}, {}});
+  EXPECT_EQ(ValidateAttributedEvidence(*g, ev).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateAttributed, RejectsSourceNotActive) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(AttributedObject{{0}, {1}, {}});
+  EXPECT_FALSE(ValidateAttributedEvidence(*g, ev).ok());
+}
+
+TEST(ValidateAttributed, RejectsActiveEdgeWithInactiveParent) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  // Node 1 inactive but edge 1->2 claimed active.
+  ev.objects.push_back(
+      AttributedObject{{0}, {0, 2}, {g->FindEdge(1, 2)}});
+  EXPECT_FALSE(ValidateAttributedEvidence(*g, ev).ok());
+}
+
+TEST(ValidateAttributed, RejectsUnexplainedActiveNode) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  // Node 2 active with no active incoming edge and not a source.
+  ev.objects.push_back(AttributedObject{{0}, {0, 2}, {}});
+  EXPECT_FALSE(ValidateAttributedEvidence(*g, ev).ok());
+}
+
+TEST(ValidateAttributed, RejectsOutOfRangeIds) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(AttributedObject{{0}, {0, 7}, {}});
+  EXPECT_EQ(ValidateAttributedEvidence(*g, ev).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(TrainBetaIcm, CountsMatchPaperAlgorithm) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(FullCascade(*g));
+  auto model = TrainBetaIcmFromAttributed(g, ev);
+  ASSERT_TRUE(model.ok());
+  // Edge 0->1 fired: α=2, β=1.
+  EXPECT_DOUBLE_EQ(model->alpha(g->FindEdge(0, 1)), 2.0);
+  EXPECT_DOUBLE_EQ(model->beta(g->FindEdge(0, 1)), 1.0);
+  // Edge 1->2 fired: α=2, β=1.
+  EXPECT_DOUBLE_EQ(model->alpha(g->FindEdge(1, 2)), 2.0);
+  // Edge 0->2 had an active parent but did not fire: β=2.
+  EXPECT_DOUBLE_EQ(model->alpha(g->FindEdge(0, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(model->beta(g->FindEdge(0, 2)), 2.0);
+}
+
+TEST(TrainBetaIcm, EdgesWithInactiveParentUntouched) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  // Only node 1 is active (as its own source): edges from 0 carry no info.
+  ev.objects.push_back(
+      AttributedObject{{1}, {1, 2}, {g->FindEdge(1, 2)}});
+  auto model = TrainBetaIcmFromAttributed(g, ev);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->alpha(g->FindEdge(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(model->beta(g->FindEdge(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(model->alpha(g->FindEdge(0, 2)), 1.0);
+  EXPECT_DOUBLE_EQ(model->beta(g->FindEdge(0, 2)), 1.0);
+}
+
+TEST(TrainBetaIcm, AccumulatesAcrossObjects) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  for (int i = 0; i < 10; ++i) ev.objects.push_back(FullCascade(*g));
+  auto model = TrainBetaIcmFromAttributed(g, ev);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->alpha(g->FindEdge(0, 1)), 11.0);
+  EXPECT_DOUBLE_EQ(model->beta(g->FindEdge(0, 2)), 11.0);
+}
+
+TEST(TrainBetaIcm, IncrementalUpdateEqualsBatch) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(FullCascade(*g));
+  ev.objects.push_back(AttributedObject{{1}, {1, 2}, {g->FindEdge(1, 2)}});
+  auto batch = TrainBetaIcmFromAttributed(g, ev);
+  ASSERT_TRUE(batch.ok());
+  BetaIcm incremental = BetaIcm::Uninformed(g);
+  for (const auto& obj : ev.objects) {
+    ASSERT_TRUE(UpdateBetaIcmWithObject(incremental, obj).ok());
+  }
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(batch->alpha(e), incremental.alpha(e));
+    EXPECT_DOUBLE_EQ(batch->beta(e), incremental.beta(e));
+  }
+}
+
+TEST(TrainBetaIcm, RecoversGeneratingFrequencies) {
+  // Train on cascades sampled from a known ICM; the expected model should
+  // approach the truth (the attributed learner's consistency).
+  auto g = Triangle();
+  std::vector<double> truth(3);
+  truth[g->FindEdge(0, 1)] = 0.7;
+  truth[g->FindEdge(1, 2)] = 0.4;
+  truth[g->FindEdge(0, 2)] = 0.2;
+  PointIcm generator(g, truth);
+  Rng rng(5);
+  AttributedEvidence ev;
+  for (int i = 0; i < 4000; ++i) {
+    const ActiveState s = generator.SampleCascade({0}, rng);
+    AttributedObject obj;
+    obj.sources = s.sources;
+    obj.active_nodes = s.active_nodes;
+    for (EdgeId e = 0; e < 3; ++e) {
+      if (s.edge_active[e]) obj.active_edges.push_back(e);
+    }
+    ev.objects.push_back(std::move(obj));
+  }
+  auto model = TrainBetaIcmFromAttributed(g, ev);
+  ASSERT_TRUE(model.ok());
+  const PointIcm learned = model->ExpectedIcm();
+  for (EdgeId e = 0; e < 3; ++e) {
+    // Edge 1->2 and 0->2 see fewer parent activations, so looser bounds.
+    EXPECT_NEAR(learned.prob(e), truth[e], 0.05) << "edge " << e;
+  }
+}
+
+TEST(MergeBetaIcms, ShardedTrainingEqualsBatch) {
+  auto g = Triangle();
+  AttributedEvidence all, first, second;
+  for (int i = 0; i < 6; ++i) {
+    AttributedObject obj = FullCascade(*g);
+    all.objects.push_back(obj);
+    (i % 2 == 0 ? first : second).objects.push_back(obj);
+  }
+  auto batch = TrainBetaIcmFromAttributed(g, all);
+  auto shard_a = TrainBetaIcmFromAttributed(g, first);
+  auto shard_b = TrainBetaIcmFromAttributed(g, second);
+  ASSERT_TRUE(batch.ok() && shard_a.ok() && shard_b.ok());
+  auto merged = MergeBetaIcms(*shard_a, *shard_b);
+  ASSERT_TRUE(merged.ok());
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(merged->alpha(e), batch->alpha(e)) << "edge " << e;
+    EXPECT_DOUBLE_EQ(merged->beta(e), batch->beta(e)) << "edge " << e;
+  }
+}
+
+TEST(MergeBetaIcms, MergingUntrainedIsIdentity) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(FullCascade(*g));
+  auto trained = TrainBetaIcmFromAttributed(g, ev);
+  ASSERT_TRUE(trained.ok());
+  auto merged = MergeBetaIcms(*trained, BetaIcm::Uninformed(g));
+  ASSERT_TRUE(merged.ok());
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(merged->alpha(e), trained->alpha(e));
+    EXPECT_DOUBLE_EQ(merged->beta(e), trained->beta(e));
+  }
+}
+
+TEST(MergeBetaIcms, RejectsMismatchedGraphs) {
+  auto g = Triangle();
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  auto other = std::make_shared<const DirectedGraph>(std::move(b).Build());
+  EXPECT_FALSE(
+      MergeBetaIcms(BetaIcm::Uninformed(g), BetaIcm::Uninformed(other)).ok());
+  // Same counts but different endpoints.
+  GraphBuilder c(3);
+  c.AddEdge(0, 1).CheckOK();
+  c.AddEdge(2, 1).CheckOK();
+  c.AddEdge(0, 2).CheckOK();
+  auto twisted = std::make_shared<const DirectedGraph>(std::move(c).Build());
+  EXPECT_FALSE(
+      MergeBetaIcms(BetaIcm::Uninformed(g), BetaIcm::Uninformed(twisted))
+          .ok());
+}
+
+TEST(MergeBetaIcms, RejectsSubUniformPriors) {
+  auto g = Triangle();
+  const BetaIcm fractional(g, {0.4, 1.0, 1.0}, {1.0, 1.0, 1.0});
+  EXPECT_FALSE(MergeBetaIcms(fractional, fractional).ok());
+}
+
+TEST(TrainBetaIcm, RejectsInvalidEvidence) {
+  auto g = Triangle();
+  AttributedEvidence ev;
+  ev.objects.push_back(AttributedObject{{0}, {0, 2}, {}});
+  EXPECT_FALSE(TrainBetaIcmFromAttributed(g, ev).ok());
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,128 @@
+#include "stats/beta_dist.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+
+namespace infoflow {
+namespace {
+
+TEST(BetaDist, Moments) {
+  BetaDist b(2.0, 8.0);
+  EXPECT_NEAR(b.Mean(), 0.2, 1e-14);
+  EXPECT_NEAR(b.Variance(), 16.0 / 1100.0, 1e-14);
+  EXPECT_NEAR(b.StdDev(), std::sqrt(16.0 / 1100.0), 1e-14);
+}
+
+TEST(BetaDist, UniformSpecialCase) {
+  BetaDist u = BetaDist::Uniform();
+  EXPECT_NEAR(u.Mean(), 0.5, 1e-14);
+  EXPECT_NEAR(u.Pdf(0.3), 1.0, 1e-12);
+  EXPECT_NEAR(u.Cdf(0.3), 0.3, 1e-12);
+}
+
+TEST(BetaDist, Mode) {
+  EXPECT_NEAR(BetaDist(3.0, 2.0).Mode(), 2.0 / 3.0, 1e-14);
+  EXPECT_DOUBLE_EQ(BetaDist(0.5, 2.0).Mode(), 0.0);
+  EXPECT_DOUBLE_EQ(BetaDist(2.0, 0.5).Mode(), 1.0);
+}
+
+TEST(BetaDist, FromCountsIsConjugateUpdate) {
+  BetaDist b = BetaDist::FromCounts(3, 7);
+  EXPECT_DOUBLE_EQ(b.alpha(), 4.0);
+  EXPECT_DOUBLE_EQ(b.beta(), 8.0);
+  BetaDist c = BetaDist::FromCounts(3, 7, 2.0, 5.0);
+  EXPECT_DOUBLE_EQ(c.alpha(), 5.0);
+  EXPECT_DOUBLE_EQ(c.beta(), 12.0);
+}
+
+TEST(BetaDist, FromMeanVarRoundTrips) {
+  BetaDist original(16.0, 4.0);
+  BetaDist fitted =
+      BetaDist::FromMeanVar(original.Mean(), original.Variance());
+  EXPECT_NEAR(fitted.alpha(), 16.0, 1e-9);
+  EXPECT_NEAR(fitted.beta(), 4.0, 1e-9);
+}
+
+TEST(BetaDist, PdfIntegratesToOne) {
+  BetaDist b(3.5, 1.7);
+  double integral = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) / n;
+    integral += b.Pdf(x) / n;
+  }
+  EXPECT_NEAR(integral, 1.0, 1e-3);
+}
+
+TEST(BetaDist, PdfZeroOutsideSupport) {
+  BetaDist b(2.0, 2.0);
+  EXPECT_DOUBLE_EQ(b.Pdf(-0.1), 0.0);
+  EXPECT_DOUBLE_EQ(b.Pdf(1.1), 0.0);
+  EXPECT_TRUE(std::isinf(b.LogPdf(-0.1)));
+}
+
+TEST(BetaDist, LogPdfMatchesPdf) {
+  BetaDist b(5.0, 2.5);
+  for (double x : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(std::exp(b.LogPdf(x)), b.Pdf(x), 1e-12);
+  }
+}
+
+TEST(BetaDist, CdfMatchesNumericIntegral) {
+  BetaDist b(2.0, 5.0);
+  double integral = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double x = (i + 0.5) / n * 0.4;
+    integral += b.Pdf(x) * 0.4 / n;
+  }
+  EXPECT_NEAR(b.Cdf(0.4), integral, 1e-4);
+}
+
+TEST(BetaDist, QuantileInvertsCdf) {
+  BetaDist b(1.0, 45.0);  // the Fig. 3(a) empirical Beta
+  for (double p : {0.025, 0.5, 0.975}) {
+    EXPECT_NEAR(b.Cdf(b.Quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(BetaDist, CredibleIntervalCoversMass) {
+  BetaDist b(32.0, 40.0);  // the Fig. 3(b) empirical Beta
+  const auto ci = b.CredibleInterval(0.95);
+  EXPECT_NEAR(b.Cdf(ci.hi) - b.Cdf(ci.lo), 0.95, 1e-9);
+  EXPECT_TRUE(ci.Contains(b.Mean()));
+  EXPECT_FALSE(ci.Contains(0.99));
+}
+
+TEST(BetaDist, SampleMomentsMatch) {
+  BetaDist b(16.0, 4.0);
+  Rng rng(77);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(b.Sample(rng));
+  EXPECT_NEAR(stats.Mean(), b.Mean(), 0.01);
+  EXPECT_NEAR(stats.Variance(), b.Variance(), 0.002);
+}
+
+TEST(BetaDist, SampleEmpiricalCdfMatchesCdf) {
+  BetaDist b(2.0, 8.0);
+  Rng rng(78);
+  int below = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) below += b.Sample(rng) < 0.25 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(below) / n, b.Cdf(0.25), 0.01);
+}
+
+TEST(BetaDist, ToStringMentionsParameters) {
+  EXPECT_NE(BetaDist(2.0, 3.0).ToString().find("2"), std::string::npos);
+}
+
+TEST(BetaDistDeath, RejectsNonPositiveParameters) {
+  EXPECT_DEATH(BetaDist(0.0, 1.0), "positive");
+  EXPECT_DEATH(BetaDist(1.0, -2.0), "positive");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,86 @@
+#include "core/beta_icm.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/descriptive.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Pair() {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  return std::make_shared<const DirectedGraph>(std::move(b).Build());
+}
+
+TEST(BetaIcm, UninformedStartsUniform) {
+  BetaIcm model = BetaIcm::Uninformed(Pair());
+  EXPECT_DOUBLE_EQ(model.alpha(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.beta(0), 1.0);
+  EXPECT_DOUBLE_EQ(model.EdgeBeta(0).Mean(), 0.5);
+}
+
+TEST(BetaIcm, CountingUpdates) {
+  BetaIcm model = BetaIcm::Uninformed(Pair());
+  model.AddSuccess(0);
+  model.AddSuccess(0);
+  model.AddFailure(0);
+  EXPECT_DOUBLE_EQ(model.alpha(0), 3.0);
+  EXPECT_DOUBLE_EQ(model.beta(0), 2.0);
+}
+
+TEST(BetaIcm, ExpectedIcmUsesMeanTransform) {
+  BetaIcm model(Pair(), {3.0}, {1.0});
+  const PointIcm expected = model.ExpectedIcm();
+  EXPECT_DOUBLE_EQ(expected.prob(0), 0.75);
+}
+
+TEST(BetaIcm, SampleIcmMatchesBetaMoments) {
+  BetaIcm model(Pair(), {16.0}, {4.0});
+  Rng rng(7);
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.Add(model.SampleIcm(rng).prob(0));
+  EXPECT_NEAR(stats.Mean(), 0.8, 0.01);
+  EXPECT_NEAR(stats.Variance(), model.EdgeBeta(0).Variance(), 0.002);
+}
+
+TEST(BetaIcm, GaussianSampleClampedToUnitInterval) {
+  // A near-boundary Beta: the Gaussian approximation would stray outside.
+  BetaIcm model(Pair(), {1.0}, {45.0});
+  Rng rng(8);
+  for (int i = 0; i < 5000; ++i) {
+    const double p = model.SampleIcmGaussian(rng).prob(0);
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(BetaIcm, RandomSyntheticWithinRanges) {
+  GraphBuilder b(10);
+  Rng graph_rng(9);
+  for (NodeId v = 1; v < 10; ++v) b.AddEdge(0, v).CheckOK();
+  auto g = std::make_shared<const DirectedGraph>(std::move(b).Build());
+  Rng rng(10);
+  BetaIcm model = BetaIcm::RandomSynthetic(g, rng, 1.0, 20.0, 1.0, 20.0);
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    EXPECT_GE(model.alpha(e), 1.0);
+    EXPECT_LT(model.alpha(e), 20.0);
+    EXPECT_GE(model.beta(e), 1.0);
+    EXPECT_LT(model.beta(e), 20.0);
+  }
+}
+
+TEST(BetaIcm, SharedGraphAcrossSampledModels) {
+  BetaIcm model = BetaIcm::Uninformed(Pair());
+  Rng rng(11);
+  const PointIcm a = model.SampleIcm(rng);
+  const PointIcm b = model.SampleIcm(rng);
+  EXPECT_EQ(a.graph_ptr().get(), b.graph_ptr().get());
+}
+
+TEST(BetaIcmDeath, RejectsNonPositiveParameters) {
+  EXPECT_DEATH(BetaIcm(Pair(), {0.0}, {1.0}), "non-positive");
+}
+
+}  // namespace
+}  // namespace infoflow

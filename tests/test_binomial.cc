@@ -1,0 +1,60 @@
+#include "stats/binomial.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace infoflow {
+namespace {
+
+TEST(Binomial, PmfSmallExact) {
+  // Binomial(3, 0.5): 1/8, 3/8, 3/8, 1/8.
+  EXPECT_NEAR(BinomialPmf(3, 0, 0.5), 0.125, 1e-12);
+  EXPECT_NEAR(BinomialPmf(3, 1, 0.5), 0.375, 1e-12);
+  EXPECT_NEAR(BinomialPmf(3, 2, 0.5), 0.375, 1e-12);
+  EXPECT_NEAR(BinomialPmf(3, 3, 0.5), 0.125, 1e-12);
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  double total = 0.0;
+  for (std::uint64_t k = 0; k <= 20; ++k) total += BinomialPmf(20, k, 0.37);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(Binomial, DegenerateP) {
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 5, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialPmf(5, 2, 1.0), 0.0);
+}
+
+TEST(Binomial, LogPmfFiniteAndConsistent) {
+  EXPECT_NEAR(std::exp(BinomialLogPmf(100, 50, 0.5)),
+              BinomialPmf(100, 50, 0.5), 1e-15);
+  EXPECT_TRUE(std::isinf(BinomialLogPmf(5, 1, 0.0)));
+}
+
+TEST(Binomial, CdfMatchesPmfSum) {
+  for (std::uint64_t k = 0; k <= 12; ++k) {
+    double direct = 0.0;
+    for (std::uint64_t j = 0; j <= k; ++j) direct += BinomialPmf(12, j, 0.3);
+    EXPECT_NEAR(BinomialCdf(12, k, 0.3), direct, 1e-10) << "k=" << k;
+  }
+}
+
+TEST(Binomial, CdfBoundaries) {
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 10, 0.7), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 3, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCdf(10, 3, 1.0), 0.0);
+}
+
+TEST(BinomialDeath, RejectsKAboveN) {
+  EXPECT_DEATH(BinomialPmf(3, 4, 0.5), "k <= n");
+}
+
+TEST(BinomialDeath, RejectsBadP) {
+  EXPECT_DEATH(BinomialPmf(3, 1, 1.5), "0,1");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,148 @@
+#include "eval/bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace infoflow {
+namespace {
+
+TEST(BucketExperiment, BinBoundariesAndCounts) {
+  BucketExperiment exp;
+  exp.Add(0.05, false);
+  exp.Add(0.06, true);
+  exp.Add(0.95, true);
+  exp.Add(1.0, true);  // lands in the top bin
+  const BucketReport report = exp.Analyze(10);
+  EXPECT_EQ(report.total, 4u);
+  EXPECT_EQ(report.bins.size(), 10u);
+  EXPECT_EQ(report.bins[0].count, 2u);
+  EXPECT_EQ(report.bins[0].positives, 1u);
+  EXPECT_EQ(report.bins[9].count, 2u);
+  EXPECT_DOUBLE_EQ(report.bins[0].lo, 0.0);
+  EXPECT_DOUBLE_EQ(report.bins[0].hi, 0.1);
+}
+
+TEST(BucketExperiment, EmpiricalBetaParameters) {
+  BucketExperiment exp;
+  for (int i = 0; i < 10; ++i) exp.Add(0.35, i < 4);
+  const BucketReport report = exp.Analyze(10);
+  const BucketBin& bin = report.bins[3];
+  // §IV-C: α = 1 + Σz = 5, β = |bin| − Σz + 1 = 7.
+  EXPECT_DOUBLE_EQ(bin.alpha, 5.0);
+  EXPECT_DOUBLE_EQ(bin.beta, 7.0);
+  EXPECT_NEAR(bin.empirical_mean, 5.0 / 12.0, 1e-12);
+  EXPECT_LT(bin.ci_lo, bin.empirical_mean);
+  EXPECT_GT(bin.ci_hi, bin.empirical_mean);
+}
+
+TEST(BucketExperiment, MeanEstimatePerBin) {
+  BucketExperiment exp;
+  exp.Add(0.30, true);
+  exp.Add(0.38, false);
+  const BucketReport report = exp.Analyze(10);
+  EXPECT_DOUBLE_EQ(report.bins[3].mean_estimate, 0.34);
+}
+
+TEST(BucketExperiment, CalibratedPredictorIsCovered) {
+  // Outcomes drawn with exactly the predicted probability: the mean should
+  // sit inside the 95% CI for (almost) every occupied bin.
+  BucketExperiment exp;
+  Rng rng(1);
+  for (int i = 0; i < 30000; ++i) {
+    const double p = rng.NextDouble();
+    exp.Add(p, rng.Bernoulli(p));
+  }
+  const BucketReport report = exp.Analyze(30);
+  EXPECT_EQ(report.occupied_bins, 30u);
+  EXPECT_GE(report.coverage, 0.8);
+}
+
+TEST(BucketExperiment, MiscalibratedPredictorIsNotCovered) {
+  // Predict p but realize p^2: badly calibrated away from the ends.
+  BucketExperiment exp;
+  Rng rng(2);
+  for (int i = 0; i < 30000; ++i) {
+    const double p = rng.NextDouble();
+    exp.Add(p, rng.Bernoulli(p * p));
+  }
+  const BucketReport report = exp.Analyze(30);
+  EXPECT_LT(report.coverage, 0.3);
+}
+
+TEST(BucketExperiment, EmptyBinsSkipped) {
+  BucketExperiment exp;
+  exp.Add(0.5, true);
+  const BucketReport report = exp.Analyze(30);
+  EXPECT_EQ(report.occupied_bins, 1u);
+}
+
+TEST(BucketExperiment, CoverageOfEmptyExperimentIsZero) {
+  BucketExperiment exp;
+  const BucketReport report = exp.Analyze(30);
+  EXPECT_DOUBLE_EQ(report.coverage, 0.0);
+  EXPECT_EQ(report.total, 0u);
+}
+
+TEST(MovingWindowBand, CountsNeighborhoodPairs) {
+  std::vector<BucketPair> pairs{{0.50, true}, {0.51, false}, {0.90, true}};
+  const auto band = MovingWindowBand(pairs, 11, 0.05);
+  // Grid point 0.5 sees the two nearby pairs; 0.9 sees one; 0.0 none.
+  EXPECT_EQ(band[5].count, 2u);
+  EXPECT_EQ(band[9].count, 1u);
+  EXPECT_EQ(band[0].count, 0u);
+  EXPECT_LT(band[5].ci_lo, band[5].ci_hi);
+}
+
+TEST(MovingWindowBand, TightensWithMoreData) {
+  Rng rng(3);
+  std::vector<BucketPair> small, large;
+  for (int i = 0; i < 5000; ++i) {
+    const BucketPair pair{0.5, rng.Bernoulli(0.5)};
+    if (i < 50) small.push_back(pair);
+    large.push_back(pair);
+  }
+  const auto band_small = MovingWindowBand(small, 3, 0.6);
+  const auto band_large = MovingWindowBand(large, 3, 0.6);
+  EXPECT_LT(band_large[1].ci_hi - band_large[1].ci_lo,
+            band_small[1].ci_hi - band_small[1].ci_lo);
+}
+
+TEST(ChiSquareCalibration, CalibratedPredictorPasses) {
+  BucketExperiment exp;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.NextDouble();
+    exp.Add(p, rng.Bernoulli(p));
+  }
+  const auto test = ChiSquareCalibration(exp.Analyze(20));
+  EXPECT_GT(test.bins_used, 10u);
+  EXPECT_GT(test.p_value, 0.01);
+}
+
+TEST(ChiSquareCalibration, MiscalibratedPredictorFails) {
+  BucketExperiment exp;
+  Rng rng(12);
+  for (int i = 0; i < 20000; ++i) {
+    const double p = rng.NextDouble();
+    exp.Add(p, rng.Bernoulli(p * p));  // systematically over-confident
+  }
+  const auto test = ChiSquareCalibration(exp.Analyze(20));
+  EXPECT_LT(test.p_value, 1e-6);
+}
+
+TEST(ChiSquareCalibration, SkipsThinBins) {
+  BucketExperiment exp;
+  exp.Add(0.5, true);  // expected positives = 0.5 < 1: inapplicable
+  const auto test = ChiSquareCalibration(exp.Analyze(10));
+  EXPECT_EQ(test.bins_used, 0u);
+  EXPECT_DOUBLE_EQ(test.p_value, 1.0);
+}
+
+TEST(BucketExperimentDeath, RejectsNonProbabilities) {
+  BucketExperiment exp;
+  EXPECT_DEATH(exp.Add(1.2, true), "probability");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,96 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace infoflow {
+namespace {
+
+TEST(CsvWriter, HeaderOnly) {
+  CsvWriter w({"a", "b"});
+  EXPECT_EQ(w.ToString(), "a,b\n");
+  EXPECT_EQ(w.num_rows(), 0u);
+}
+
+TEST(CsvWriter, RowsSerialize) {
+  CsvWriter w({"x", "y"});
+  w.AppendRow({"1", "2"});
+  w.AppendRow({"3", "4"});
+  EXPECT_EQ(w.ToString(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(CsvWriter, NumericRows) {
+  CsvWriter w({"p"});
+  w.AppendNumericRow({0.5});
+  EXPECT_EQ(w.ToString(), "p\n0.5\n");
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  CsvWriter w({"text"});
+  w.AppendRow({"hello, world"});
+  w.AppendRow({"say \"hi\""});
+  EXPECT_EQ(w.ToString(), "text\n\"hello, world\"\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvQuote, PlainFieldUntouched) { EXPECT_EQ(CsvQuote("plain"), "plain"); }
+
+TEST(ParseCsv, RoundTripsWriter) {
+  CsvWriter w({"a", "b"});
+  w.AppendRow({"1", "x,y"});
+  w.AppendRow({"2", "q\"q"});
+  auto table = ParseCsv(w.ToString());
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table->rows.size(), 2u);
+  EXPECT_EQ(table->rows[0][1], "x,y");
+  EXPECT_EQ(table->rows[1][1], "q\"q");
+}
+
+TEST(ParseCsv, RejectsRaggedRows) {
+  auto table = ParseCsv("a,b\n1\n");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParseCsv, RejectsEmptyInput) {
+  EXPECT_FALSE(ParseCsv("").ok());
+  EXPECT_FALSE(ParseCsv("\n\n").ok());
+}
+
+TEST(ParseCsv, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(ParseCsv("a\n\"oops\n").ok());
+}
+
+TEST(ParseCsv, HandlesCrLf) {
+  auto table = ParseCsv("a,b\r\n1,2\r\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][1], "2");
+}
+
+TEST(CsvTable, ColumnIndexLookup) {
+  auto table = ParseCsv("alpha,beta\n1,2\n");
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->ColumnIndex("beta").ValueOrDie(), 1u);
+  EXPECT_FALSE(table->ColumnIndex("gamma").ok());
+}
+
+TEST(CsvFile, WriteThenReadBack) {
+  const std::string path = ::testing::TempDir() + "/infoflow_csv_test.csv";
+  CsvWriter w({"k", "v"});
+  w.AppendRow({"key", "value"});
+  ASSERT_TRUE(w.WriteFile(path).ok());
+  auto table = ReadCsvFile(path);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->rows[0][0], "key");
+  std::remove(path.c_str());
+}
+
+TEST(CsvFile, MissingFileIsIOError) {
+  auto table = ReadCsvFile("/nonexistent/definitely/missing.csv");
+  EXPECT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace infoflow

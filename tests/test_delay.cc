@@ -1,0 +1,160 @@
+#include "core/delay.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_flow.h"
+#include "stats/descriptive.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Chain3() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  return std::make_shared<const DirectedGraph>(std::move(b).Build());
+}
+
+TEST(EdgeDelay, SampleShapes) {
+  Rng rng(1);
+  const EdgeDelay constant = EdgeDelay::Constant(3.0);
+  EXPECT_DOUBLE_EQ(constant.Sample(rng), 3.0);
+
+  const EdgeDelay expo = EdgeDelay::ExponentialMean(5.0);
+  RunningStats stats;
+  for (int i = 0; i < 50000; ++i) stats.Add(expo.Sample(rng));
+  EXPECT_NEAR(stats.Mean(), 5.0, 0.1);
+
+  const EdgeDelay uniform = EdgeDelay::Uniform(2.0, 4.0);
+  RunningStats ustats;
+  for (int i = 0; i < 20000; ++i) {
+    const double t = uniform.Sample(rng);
+    EXPECT_GE(t, 2.0);
+    EXPECT_LT(t, 4.0);
+    ustats.Add(t);
+  }
+  EXPECT_NEAR(ustats.Mean(), 3.0, 0.05);
+}
+
+TEST(EdgeDelay, Validation) {
+  EXPECT_TRUE(EdgeDelay::Constant(0.0).Validate().ok());
+  EXPECT_FALSE(EdgeDelay::Constant(-1.0).Validate().ok());
+  EXPECT_FALSE(EdgeDelay::Uniform(3.0, 2.0).Validate().ok());
+  EXPECT_FALSE((EdgeDelay{EdgeDelay::Kind::kExponential, 0.0, 0.0})
+                   .Validate()
+                   .ok());
+}
+
+TEST(DelayedIcm, CreateValidatesSizes) {
+  PointIcm model = PointIcm::Constant(Chain3(), 0.5);
+  auto bad = DelayedIcm::Create(model, {EdgeDelay::Constant(1.0)});
+  EXPECT_FALSE(bad.ok());
+  auto good = DelayedIcm::Create(
+      model, {EdgeDelay::Constant(1.0), EdgeDelay::Constant(2.0)});
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(DelayedIcm, CertainChainArrivalSumsDelays) {
+  PointIcm model = PointIcm::Constant(Chain3(), 1.0);
+  const DelayedIcm timed =
+      DelayedIcm::WithUniformDelay(model, EdgeDelay::Constant(2.5));
+  Rng rng(2);
+  const auto arrival = timed.SampleArrivalTimes({0}, rng);
+  EXPECT_DOUBLE_EQ(arrival[0], 0.0);
+  EXPECT_DOUBLE_EQ(arrival[1], 2.5);
+  EXPECT_DOUBLE_EQ(arrival[2], 5.0);
+}
+
+TEST(DelayedIcm, UnreachableNodesAreInfinite) {
+  PointIcm model = PointIcm::Constant(Chain3(), 0.0);
+  const DelayedIcm timed =
+      DelayedIcm::WithUniformDelay(model, EdgeDelay::Constant(1.0));
+  Rng rng(3);
+  const auto arrival = timed.SampleArrivalTimes({0}, rng);
+  EXPECT_TRUE(std::isinf(arrival[1]));
+  EXPECT_TRUE(std::isinf(arrival[2]));
+}
+
+TEST(DelayedIcm, ShortestPathWinsAcrossRoutes) {
+  // 0->1->2 (fast hops) vs direct 0->2 (slow): arrival at 2 is the min.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  auto g = std::make_shared<const DirectedGraph>(std::move(b).Build());
+  std::vector<EdgeDelay> delays(3);
+  delays[g->FindEdge(0, 1)] = EdgeDelay::Constant(1.0);
+  delays[g->FindEdge(1, 2)] = EdgeDelay::Constant(1.0);
+  delays[g->FindEdge(0, 2)] = EdgeDelay::Constant(10.0);
+  auto timed = DelayedIcm::Create(PointIcm::Constant(g, 1.0), delays);
+  ASSERT_TRUE(timed.ok());
+  Rng rng(4);
+  const auto arrival = timed->SampleArrivalTimes({0}, rng);
+  EXPECT_DOUBLE_EQ(arrival[2], 2.0);
+}
+
+TEST(DelayedIcm, ReachabilityMarginalMatchesUntimedIcm) {
+  // Adding delays must not change *whether* information flows, only when:
+  // the arrival-based flow probability equals the exact ICM flow.
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 3).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  auto g = std::make_shared<const DirectedGraph>(std::move(b).Build());
+  PointIcm model(g, {0.7, 0.4, 0.5, 0.6});
+  const DelayedIcm timed =
+      DelayedIcm::WithUniformDelay(model, EdgeDelay::ExponentialMean(2.0));
+  Rng rng(5);
+  const ArrivalEstimate estimate = EstimateArrival(timed, 0, 3, 40000, rng);
+  EXPECT_NEAR(estimate.FlowProbability(),
+              ExactFlowByEnumeration(model, 0, 3), 0.01);
+}
+
+TEST(ArrivalEstimate, DeadlineProbabilityMonotone) {
+  auto g = Chain3();
+  PointIcm model = PointIcm::Constant(g, 0.8);
+  const DelayedIcm timed =
+      DelayedIcm::WithUniformDelay(model, EdgeDelay::ExponentialMean(1.0));
+  Rng rng(6);
+  const ArrivalEstimate estimate = EstimateArrival(timed, 0, 2, 20000, rng);
+  double prev = -1.0;
+  for (double deadline : {0.5, 1.0, 2.0, 4.0, 8.0, 1e9}) {
+    const double p = estimate.FlowProbabilityWithin(deadline);
+    EXPECT_GE(p, prev);
+    prev = p;
+  }
+  EXPECT_NEAR(estimate.FlowProbabilityWithin(1e9),
+              estimate.FlowProbability(), 1e-12);
+}
+
+TEST(ArrivalEstimate, MeanArrivalTracksDelayScale) {
+  auto g = Chain3();
+  PointIcm model = PointIcm::Constant(g, 1.0);
+  Rng rng(7);
+  const DelayedIcm fast =
+      DelayedIcm::WithUniformDelay(model, EdgeDelay::ExponentialMean(1.0));
+  const DelayedIcm slow =
+      DelayedIcm::WithUniformDelay(model, EdgeDelay::ExponentialMean(5.0));
+  const auto fast_est = EstimateArrival(fast, 0, 2, 20000, rng);
+  const auto slow_est = EstimateArrival(slow, 0, 2, 20000, rng);
+  // Two hops: expected arrival = 2x the per-edge mean.
+  EXPECT_NEAR(fast_est.MeanArrivalTime(), 2.0, 0.1);
+  EXPECT_NEAR(slow_est.MeanArrivalTime(), 10.0, 0.4);
+}
+
+TEST(ArrivalEstimate, EmptyWhenNoFlow) {
+  auto g = Chain3();
+  PointIcm model = PointIcm::Constant(g, 0.0);
+  const DelayedIcm timed =
+      DelayedIcm::WithUniformDelay(model, EdgeDelay::Constant(1.0));
+  Rng rng(8);
+  const ArrivalEstimate estimate = EstimateArrival(timed, 0, 2, 100, rng);
+  EXPECT_DOUBLE_EQ(estimate.FlowProbability(), 0.0);
+  EXPECT_DOUBLE_EQ(estimate.MeanArrivalTime(), 0.0);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,153 @@
+/// \file test_edge_cases.cc
+/// \brief Boundary behaviours across modules: degenerate graphs, frozen
+/// chains, multi-source queries, and API misuse that must fail loudly.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/delay.h"
+#include "core/exact_flow.h"
+#include "core/mh_sampler.h"
+#include "graph/generators.h"
+#include "twitter/tweet.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+TEST(EdgeCases, EdgelessGraphSamplerIsFrozenButCorrect) {
+  GraphBuilder b(2);
+  PointIcm model(Share(std::move(b).Build()), {});
+  auto sampler = MhSampler::Create(model, {}, MhOptions{}, Rng(1));
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_FALSE(sampler->Step());
+  EXPECT_DOUBLE_EQ(sampler->EstimateFlowProbability(0, 0, 10), 1.0);
+  EXPECT_DOUBLE_EQ(sampler->EstimateFlowProbability(0, 1, 10), 0.0);
+}
+
+TEST(EdgeCases, SingleNodeGraph) {
+  GraphBuilder b(1);
+  PointIcm model(Share(std::move(b).Build()), {});
+  EXPECT_DOUBLE_EQ(ExactFlowByEnumeration(model, 0, 0), 1.0);
+  Rng rng(2);
+  const ActiveState s = model.SampleCascade({0}, rng);
+  EXPECT_EQ(s.active_nodes, (std::vector<NodeId>{0}));
+}
+
+TEST(EdgeCases, AllDeterministicEdgesConditionalChain) {
+  // p=1 everywhere: the chain is frozen but conditions are satisfiable.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  PointIcm model = PointIcm::Constant(Share(std::move(b).Build()), 1.0);
+  auto sampler =
+      MhSampler::Create(model, {{0, 2, true}}, MhOptions{}, Rng(3));
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_DOUBLE_EQ(sampler->EstimateFlowProbability(0, 2, 50), 1.0);
+  // A forbidden flow that p=1 edges force is unsatisfiable.
+  auto impossible =
+      MhSampler::Create(model, {{0, 2, false}}, MhOptions{}, Rng(4));
+  EXPECT_FALSE(impossible.ok());
+}
+
+TEST(EdgeCases, MultiSourceCommunityFlowMatchesExactUnion) {
+  // Pr[{a, b} ⤳ v] from the multi-source estimator must equal the exact
+  // probability that a ⤳ v or b ⤳ v (one pseudo-state, shared edges).
+  GraphBuilder b(4);
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  auto g = Share(std::move(b).Build());
+  PointIcm model(g, {0.5, 0.4, 0.6});
+  // Exact via enumeration with a two-source reachability indicator.
+  double exact = 0.0;
+  ReachabilityWorkspace ws(*g);
+  for (int bits = 0; bits < 8; ++bits) {
+    PseudoState x(3);
+    double prob = 1.0;
+    for (EdgeId e = 0; e < 3; ++e) {
+      const bool active = (bits >> e) & 1;
+      x[e] = active ? 1 : 0;
+      prob *= active ? model.prob(e) : 1.0 - model.prob(e);
+    }
+    if (ws.RunUntil(*g, {0, 1}, x, 3)) exact += prob;
+  }
+  MhOptions opt;
+  opt.burn_in = 1000;
+  opt.thinning = 3;
+  auto sampler = MhSampler::Create(model, {}, opt, Rng(5));
+  ASSERT_TRUE(sampler.ok());
+  const auto flows = sampler->EstimateCommunityFlowMulti({0, 1}, {3}, 40000);
+  EXPECT_NEAR(flows[0], exact, 0.012);
+}
+
+TEST(EdgeCases, DelayedMultiSourceTakesEarliestArrival) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  auto g = Share(std::move(b).Build());
+  std::vector<EdgeDelay> delays(2);
+  delays[g->FindEdge(0, 2)] = EdgeDelay::Constant(5.0);
+  delays[g->FindEdge(1, 2)] = EdgeDelay::Constant(2.0);
+  auto timed = DelayedIcm::Create(PointIcm::Constant(g, 1.0), delays);
+  ASSERT_TRUE(timed.ok());
+  Rng rng(6);
+  const auto arrival = timed->SampleArrivalTimes({0, 1}, rng);
+  EXPECT_DOUBLE_EQ(arrival[0], 0.0);
+  EXPECT_DOUBLE_EQ(arrival[1], 0.0);
+  EXPECT_DOUBLE_EQ(arrival[2], 2.0);  // via the faster source
+}
+
+TEST(EdgeCases, ConditionOnSelfFlowIsTautology) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  PointIcm model(Share(std::move(b).Build()), {0.5});
+  auto sampler =
+      MhSampler::Create(model, {{0, 0, true}}, MhOptions{}, Rng(7));
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_NEAR(sampler->EstimateFlowProbability(0, 1, 20000), 0.5, 0.01);
+}
+
+TEST(EdgeCases, ExcludeRecursionSelfCycleGraph) {
+  // Two-node cycle: 0 <-> 1.
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 0).CheckOK();
+  auto g = Share(std::move(b).Build());
+  PointIcm model(g, {0.7, 0.9});
+  EXPECT_NEAR(FlowByExcludeRecursion(model, 0, 1), 0.7, 1e-12);
+  EXPECT_NEAR(ExactFlowByEnumeration(model, 0, 1), 0.7, 1e-12);
+  EXPECT_NEAR(FlowByExcludeRecursion(model, 1, 0), 0.9, 1e-12);
+}
+
+TEST(EdgeCases, DispersionOnIsolatedSourceIsZero) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 2).CheckOK();
+  PointIcm model(Share(std::move(b).Build()), {0.9});
+  auto sampler = MhSampler::Create(model, {}, MhOptions{}, Rng(8));
+  ASSERT_TRUE(sampler.ok());
+  for (std::uint32_t d : sampler->SampleDispersion(0, 200)) {
+    EXPECT_EQ(d, 0u);
+  }
+}
+
+TEST(EdgeCasesDeath, RegistryNameOutOfRange) {
+  const UserRegistry registry = UserRegistry::Sequential(2);
+  EXPECT_DEATH(registry.NameOf(2), "out of range");
+}
+
+TEST(EdgeCasesDeath, SamplerEndpointsOutOfRange) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  PointIcm model(Share(std::move(b).Build()), {0.5});
+  auto sampler = MhSampler::Create(model, {}, MhOptions{}, Rng(9));
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_DEATH(sampler->EstimateFlowProbability(0, 7, 10), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace infoflow

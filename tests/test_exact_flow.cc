@@ -1,0 +1,200 @@
+#include "core/exact_flow.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+// The paper's worked example (§II, Eq. 1): v1->v2, v1->v3, v2->v3.
+PointIcm PaperTriangle(double p12, double p13, double p23) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  auto g = Share(std::move(b).Build());
+  std::vector<double> probs(3);
+  probs[g->FindEdge(0, 1)] = p12;
+  probs[g->FindEdge(0, 2)] = p13;
+  probs[g->FindEdge(1, 2)] = p23;
+  return PointIcm(g, probs);
+}
+
+TEST(ExactFlow, PaperEquationOne) {
+  // Pr[v1 ~> v3] = 1 - (1 - p12 p23)(1 - p13).
+  const double p12 = 0.6, p13 = 0.3, p23 = 0.5;
+  PointIcm icm = PaperTriangle(p12, p13, p23);
+  const double expected = 1.0 - (1.0 - p12 * p23) * (1.0 - p13);
+  EXPECT_NEAR(ExactFlowByEnumeration(icm, 0, 2), expected, 1e-12);
+  EXPECT_NEAR(FlowByExcludeRecursion(icm, 0, 2), expected, 1e-12);
+}
+
+TEST(ExactFlow, PaperCyclicVariantStillMatchesEquationOne) {
+  // Adding arc (v3, v2) must leave Pr[v1 ~> v3] unchanged (§II).
+  const double p12 = 0.6, p13 = 0.3, p23 = 0.5, p32 = 0.9;
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(2, 1).CheckOK();
+  auto g = Share(std::move(b).Build());
+  std::vector<double> probs(4);
+  probs[g->FindEdge(0, 1)] = p12;
+  probs[g->FindEdge(0, 2)] = p13;
+  probs[g->FindEdge(1, 2)] = p23;
+  probs[g->FindEdge(2, 1)] = p32;
+  PointIcm icm(g, probs);
+  const double expected = 1.0 - (1.0 - p12 * p23) * (1.0 - p13);
+  EXPECT_NEAR(ExactFlowByEnumeration(icm, 0, 2), expected, 1e-12);
+  EXPECT_NEAR(FlowByExcludeRecursion(icm, 0, 2), expected, 1e-12);
+  // And flow to v2 now has the path through v3: 1-(1-p12)(1-p13 p32).
+  const double expected_v2 = 1.0 - (1.0 - p12) * (1.0 - p13 * p32);
+  EXPECT_NEAR(ExactFlowByEnumeration(icm, 0, 1), expected_v2, 1e-12);
+  EXPECT_NEAR(FlowByExcludeRecursion(icm, 0, 1), expected_v2, 1e-12);
+}
+
+TEST(ExactFlow, SourceEqualsSink) {
+  PointIcm icm = PaperTriangle(0.5, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(ExactFlowByEnumeration(icm, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(FlowByExcludeRecursion(icm, 1, 1), 1.0);
+}
+
+TEST(ExactFlow, UnreachableSinkIsZero) {
+  PointIcm icm = PaperTriangle(0.5, 0.5, 0.5);
+  EXPECT_DOUBLE_EQ(ExactFlowByEnumeration(icm, 2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(FlowByExcludeRecursion(icm, 2, 0), 0.0);
+}
+
+TEST(ExactFlow, SingleEdgeIsItsProbability) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  PointIcm icm(Share(std::move(b).Build()), {0.37});
+  EXPECT_NEAR(ExactFlowByEnumeration(icm, 0, 1), 0.37, 1e-14);
+  EXPECT_NEAR(FlowByExcludeRecursion(icm, 0, 1), 0.37, 1e-14);
+}
+
+TEST(ExactFlow, ChainMultipliesProbabilities) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  auto g = Share(std::move(b).Build());
+  PointIcm icm(g, {0.5, 0.6, 0.7});
+  EXPECT_NEAR(ExactFlowByEnumeration(icm, 0, 3), 0.5 * 0.6 * 0.7, 1e-12);
+  EXPECT_NEAR(FlowByExcludeRecursion(icm, 0, 3), 0.5 * 0.6 * 0.7, 1e-12);
+}
+
+TEST(ExactFlow, RecursionMatchesEnumerationOnTrees) {
+  // On trees (edge-disjoint paths) Eq. 2 is exact.
+  GraphBuilder b(7);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 3).CheckOK();
+  b.AddEdge(1, 4).CheckOK();
+  b.AddEdge(2, 5).CheckOK();
+  b.AddEdge(2, 6).CheckOK();
+  auto g = Share(std::move(b).Build());
+  PointIcm icm(g, {0.9, 0.2, 0.5, 0.8, 0.4, 0.6});
+  for (NodeId v = 1; v < 7; ++v) {
+    EXPECT_NEAR(FlowByExcludeRecursion(icm, 0, v),
+                ExactFlowByEnumeration(icm, 0, v), 1e-12)
+        << "sink " << v;
+  }
+}
+
+TEST(ExactFlow, RecursionDivergesWithSharedUpstreamEdges) {
+  // 0->1, 1->2, 1->3, 2->4, 3->4: flows into 4's two parents share edge
+  // 0->1, so Eq. 2's independence assumption over-counts. Document the
+  // direction of the bias: recursion >= truth here.
+  GraphBuilder b(5);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(1, 3).CheckOK();
+  b.AddEdge(2, 4).CheckOK();
+  b.AddEdge(3, 4).CheckOK();
+  auto g = Share(std::move(b).Build());
+  PointIcm icm = PointIcm::Constant(g, 0.5);
+  const double truth = ExactFlowByEnumeration(icm, 0, 4);
+  const double recursion = FlowByExcludeRecursion(icm, 0, 4);
+  EXPECT_GT(recursion, truth);
+  EXPECT_NEAR(recursion, truth, 0.05);  // but not wildly off at p=0.5
+}
+
+TEST(ExactFlow, MonotoneInEdgeProbability) {
+  double prev = -1.0;
+  for (double p = 0.0; p <= 1.0001; p += 0.1) {
+    PointIcm icm = PaperTriangle(std::min(p, 1.0), 0.3, 0.5);
+    const double flow = ExactFlowByEnumeration(icm, 0, 2);
+    EXPECT_GE(flow, prev - 1e-12);
+    prev = flow;
+  }
+}
+
+TEST(ExactConditional, ConditioningOnImpliedFlowRaisesProbability) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  // Knowing v1 ~> v2 flowed makes v1 ~> v3 more likely (the v2 path is
+  // live).
+  const double unconditional = ExactFlowByEnumeration(icm, 0, 2);
+  const auto conditional =
+      ExactConditionalFlowByEnumeration(icm, 0, 2, {{0, 1, true}});
+  ASSERT_TRUE(conditional.ok());
+  EXPECT_GT(*conditional, unconditional);
+}
+
+TEST(ExactConditional, ConditioningAgainstFlowLowersProbability) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  const double unconditional = ExactFlowByEnumeration(icm, 0, 2);
+  const auto conditional =
+      ExactConditionalFlowByEnumeration(icm, 0, 2, {{0, 1, false}});
+  ASSERT_TRUE(conditional.ok());
+  EXPECT_LT(*conditional, unconditional);
+  // With v1 !~> v2, only the direct edge remains: exactly p13.
+  EXPECT_NEAR(*conditional, 0.3, 1e-12);
+}
+
+TEST(ExactConditional, ImpossibleConditionsRejected) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  PointIcm icm(Share(std::move(b).Build()), {1.0});
+  const auto r = ExactConditionalFlowByEnumeration(icm, 0, 1,
+                                                   {{0, 1, false}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ExactJoint, JointLessOrEqualMarginals) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  const double joint =
+      ExactJointFlowByEnumeration(icm, {{0, 1, true}, {0, 2, true}});
+  EXPECT_LE(joint, ExactFlowByEnumeration(icm, 0, 1) + 1e-12);
+  EXPECT_LE(joint, ExactFlowByEnumeration(icm, 0, 2) + 1e-12);
+  EXPECT_GT(joint, 0.0);
+}
+
+TEST(ExactJoint, MixedConstraints) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  const double p =
+      ExactJointFlowByEnumeration(icm, {{0, 1, true}, {0, 2, false}});
+  // v1~>v2 but v1!~>v3: edge (0,1) active, both (0,2) and (1,2) inactive.
+  EXPECT_NEAR(p, 0.6 * 0.7 * 0.5, 1e-12);
+}
+
+TEST(ExactConditions, EmptyConditionsHaveProbabilityOne) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  EXPECT_DOUBLE_EQ(ExactConditionsProbability(icm, {}), 1.0);
+}
+
+TEST(ExactFlowDeath, EnumerationRefusesLargeGraphs) {
+  Rng rng(1);
+  auto g = Share(UniformRandomGraph(10, 40, rng));
+  PointIcm icm = PointIcm::Constant(g, 0.5);
+  EXPECT_DEATH(ExactFlowByEnumeration(icm, 0, 1), "refused");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,137 @@
+#include "stats/fenwick_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace infoflow {
+namespace {
+
+TEST(FenwickTree, EmptyWeightsAreZero) {
+  FenwickTree tree(5);
+  EXPECT_EQ(tree.size(), 5u);
+  EXPECT_DOUBLE_EQ(tree.Total(), 0.0);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_DOUBLE_EQ(tree.Get(i), 0.0);
+}
+
+TEST(FenwickTree, BulkConstructionMatchesWeights) {
+  std::vector<double> w{0.5, 0.0, 2.0, 1.25, 0.25};
+  FenwickTree tree(w);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tree.Get(i), w[i]) << i;
+  }
+  EXPECT_DOUBLE_EQ(tree.Total(), 4.0);
+}
+
+TEST(FenwickTree, PrefixSumsMatchNaive) {
+  std::vector<double> w{3, 1, 4, 1, 5, 9, 2, 6};
+  FenwickTree tree(w);
+  double running = 0.0;
+  for (std::size_t i = 0; i <= w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(tree.PrefixSum(i), running);
+    if (i < w.size()) running += w[i];
+  }
+}
+
+TEST(FenwickTree, SetUpdatesPointAndTotal) {
+  FenwickTree tree(std::vector<double>{1, 2, 3});
+  tree.Set(1, 10.0);
+  EXPECT_DOUBLE_EQ(tree.Get(1), 10.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 14.0);
+  tree.Set(1, 0.0);
+  EXPECT_DOUBLE_EQ(tree.Total(), 4.0);
+}
+
+TEST(FenwickTree, IncrementalNormalizerIdentity) {
+  // The paper's Z' = Z + (-1)^{x_i}(1 - 2 p_i): flipping edge i swaps its
+  // weight between p_i and 1-p_i.
+  std::vector<double> p{0.3, 0.8, 0.55};
+  std::vector<int> x{0, 1, 0};
+  auto weight = [&](std::size_t i) { return x[i] ? 1.0 - p[i] : p[i]; };
+  std::vector<double> w;
+  for (std::size_t i = 0; i < p.size(); ++i) w.push_back(weight(i));
+  FenwickTree tree(w);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    // (-1)^{x_i} with the *pre-flip* activity: flipping an inactive edge
+    // replaces weight p with 1-p (delta = 1-2p); an active one the reverse.
+    const double z = tree.Total();
+    const double expected =
+        z + (x[i] ? -1.0 : 1.0) * (1.0 - 2.0 * p[i]);
+    x[i] = 1 - x[i];
+    tree.Set(i, weight(i));
+    EXPECT_NEAR(tree.Total(), expected, 1e-12) << "flip " << i;
+  }
+}
+
+TEST(FenwickTree, FindIndexLocatesMass) {
+  FenwickTree tree(std::vector<double>{1.0, 0.0, 2.0, 1.0});
+  EXPECT_EQ(tree.FindIndex(0.5), 0u);
+  EXPECT_EQ(tree.FindIndex(1.5), 2u);
+  EXPECT_EQ(tree.FindIndex(2.999), 2u);
+  EXPECT_EQ(tree.FindIndex(3.5), 3u);
+}
+
+TEST(FenwickTree, SampleMatchesDistribution) {
+  std::vector<double> w{1.0, 3.0, 0.0, 6.0};
+  FenwickTree tree(w);
+  Rng rng(99);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[tree.Sample(rng)];
+  EXPECT_EQ(counts[2], 0);
+  EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / n, 0.3, 0.01);
+  EXPECT_NEAR(static_cast<double>(counts[3]) / n, 0.6, 0.01);
+}
+
+TEST(FenwickTree, SampleAfterUpdatesMatchesNewWeights) {
+  FenwickTree tree(std::vector<double>{5.0, 5.0});
+  tree.Set(0, 0.0);
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(tree.Sample(rng), 1u);
+}
+
+TEST(FenwickTree, RefreshTotalFixesDrift) {
+  FenwickTree tree(std::vector<double>{0.1, 0.2, 0.3});
+  tree.RefreshTotal();
+  EXPECT_NEAR(tree.Total(), 0.6, 1e-15);
+}
+
+TEST(FenwickTree, LargeTreeConsistency) {
+  Rng rng(123);
+  std::vector<double> w(1000);
+  for (double& x : w) x = rng.NextDouble();
+  FenwickTree tree(w);
+  const double naive = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(tree.Total(), naive, 1e-9);
+  // Random point updates stay consistent with a naive mirror.
+  for (int i = 0; i < 500; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.NextBounded(w.size()));
+    const double nv = rng.NextDouble();
+    w[idx] = nv;
+    tree.Set(idx, nv);
+  }
+  for (std::size_t i = 0; i < w.size(); i += 97) {
+    EXPECT_NEAR(tree.Get(i), w[i], 1e-12);
+  }
+  EXPECT_NEAR(tree.Total(), std::accumulate(w.begin(), w.end(), 0.0), 1e-8);
+}
+
+TEST(FenwickTreeDeath, RejectsNegativeWeight) {
+  FenwickTree tree(3);
+  EXPECT_DEATH(tree.Set(0, -1.0), "non-negative");
+}
+
+TEST(FenwickTreeDeath, RejectsSamplingEmptyTree) {
+  FenwickTree tree(3);
+  Rng rng(1);
+  EXPECT_DEATH(tree.Sample(rng), "all-zero");
+}
+
+TEST(FenwickTreeDeath, RejectsOutOfRangeIndex) {
+  FenwickTree tree(3);
+  EXPECT_DEATH(tree.Get(3), "out of range");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,78 @@
+#include "learn/filtered.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+SinkSummary MakeSummary(std::size_t k, std::vector<SummaryRow> rows) {
+  static std::vector<DirectedGraph> keep_alive;
+  keep_alive.push_back(StarFragment(k));
+  const DirectedGraph& g = keep_alive.back();
+  SinkSummary s;
+  s.sink = static_cast<NodeId>(k);
+  for (EdgeId e : g.InEdges(s.sink)) {
+    s.parents.push_back(g.edge(e).src);
+    s.parent_edges.push_back(e);
+  }
+  s.rows = std::move(rows);
+  return s;
+}
+
+SummaryRow Row(std::vector<std::uint8_t> mask, std::uint64_t count,
+               std::uint64_t leaks) {
+  SummaryRow r;
+  r.mask = std::move(mask);
+  r.count = count;
+  r.leaks = leaks;
+  return r;
+}
+
+TEST(Filtered, UsesOnlySingletonRows) {
+  SinkSummary s = MakeSummary(
+      2, {Row({1, 0}, 10, 4), Row({1, 1}, 1000, 999)});
+  const FilteredResult fit = FitFiltered(s);
+  // The massive ambiguous row is ignored entirely.
+  EXPECT_DOUBLE_EQ(fit.posterior[0].alpha(), 5.0);
+  EXPECT_DOUBLE_EQ(fit.posterior[0].beta(), 7.0);
+  EXPECT_DOUBLE_EQ(fit.estimate[0], 5.0 / 12.0);
+  EXPECT_DOUBLE_EQ(fit.estimate[1], 0.5);  // untouched uniform prior
+}
+
+TEST(Filtered, MatchesBetaCountingOnCleanEvidence) {
+  SinkSummary s = MakeSummary(1, {Row({1}, 30, 12)});
+  const FilteredResult fit = FitFiltered(s);
+  EXPECT_DOUBLE_EQ(fit.posterior[0].alpha(), 13.0);
+  EXPECT_DOUBLE_EQ(fit.posterior[0].beta(), 19.0);
+}
+
+TEST(Filtered, EmptySummaryIsUniform) {
+  SinkSummary s = MakeSummary(3, {});
+  const FilteredResult fit = FitFiltered(s);
+  for (const BetaDist& b : fit.posterior) {
+    EXPECT_DOUBLE_EQ(b.alpha(), 1.0);
+    EXPECT_DOUBLE_EQ(b.beta(), 1.0);
+  }
+}
+
+TEST(Filtered, EstimatesEqualPosteriorMeans) {
+  SinkSummary s =
+      MakeSummary(2, {Row({1, 0}, 8, 2), Row({0, 1}, 6, 6)});
+  const FilteredResult fit = FitFiltered(s);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_DOUBLE_EQ(fit.estimate[j], fit.posterior[j].Mean());
+  }
+}
+
+TEST(Filtered, CarriesSinkAndParentMetadata) {
+  SinkSummary s = MakeSummary(2, {Row({1, 0}, 1, 1)});
+  const FilteredResult fit = FitFiltered(s);
+  EXPECT_EQ(fit.sink, 2u);
+  EXPECT_EQ(fit.parents, (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(fit.parent_edges.size(), 2u);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,63 @@
+#include "core/flow_query.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+DirectedGraph Chain3() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  return std::move(b).Build();
+}
+
+TEST(FlowConstraint, ToStringShowsDirection) {
+  EXPECT_EQ((FlowConstraint{0, 2, true}).ToString(), "0 ~> 2");
+  EXPECT_EQ((FlowConstraint{0, 2, false}).ToString(), "0 !~> 2");
+}
+
+TEST(SatisfiesConditions, EmptyConditionsAlwaysHold) {
+  DirectedGraph g = Chain3();
+  ReachabilityWorkspace ws(g);
+  EXPECT_TRUE(SatisfiesConditions(g, PseudoState(2, 0), {}, ws));
+}
+
+TEST(SatisfiesConditions, PositiveAndNegative) {
+  DirectedGraph g = Chain3();
+  ReachabilityWorkspace ws(g);
+  PseudoState first_on{1, 0};
+  EXPECT_TRUE(SatisfiesConditions(g, first_on, {{0, 1, true}}, ws));
+  EXPECT_FALSE(SatisfiesConditions(g, first_on, {{0, 2, true}}, ws));
+  EXPECT_TRUE(SatisfiesConditions(g, first_on, {{0, 2, false}}, ws));
+  EXPECT_TRUE(SatisfiesConditions(
+      g, first_on, {{0, 1, true}, {0, 2, false}, {1, 2, false}}, ws));
+}
+
+TEST(ValidateConditions, AcceptsConsistentSet) {
+  DirectedGraph g = Chain3();
+  EXPECT_TRUE(ValidateConditions(g, {{0, 1, true}, {0, 2, false}}).ok());
+}
+
+TEST(ValidateConditions, RejectsOutOfRangeNodes) {
+  DirectedGraph g = Chain3();
+  EXPECT_EQ(ValidateConditions(g, {{0, 9, true}}).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(ValidateConditions, RejectsForbiddenSelfFlow) {
+  DirectedGraph g = Chain3();
+  EXPECT_EQ(ValidateConditions(g, {{1, 1, false}}).code(),
+            StatusCode::kInvalidArgument);
+  // Requiring self-flow is fine (it trivially holds).
+  EXPECT_TRUE(ValidateConditions(g, {{1, 1, true}}).ok());
+}
+
+TEST(ValidateConditions, RejectsContradictoryPair) {
+  DirectedGraph g = Chain3();
+  EXPECT_EQ(ValidateConditions(g, {{0, 2, true}, {0, 2, false}}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,105 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+TEST(UniformRandomGraph, ExactEdgeCountSparse) {
+  Rng rng(1);
+  DirectedGraph g = UniformRandomGraph(50, 200, rng);
+  EXPECT_EQ(g.num_nodes(), 50u);
+  EXPECT_EQ(g.num_edges(), 200u);
+}
+
+TEST(UniformRandomGraph, ExactEdgeCountDense) {
+  Rng rng(2);
+  // 3*5 > 4*3=12 triggers the dense path (n=4 -> max 12 edges).
+  DirectedGraph g = UniformRandomGraph(4, 11, rng);
+  EXPECT_EQ(g.num_edges(), 11u);
+}
+
+TEST(UniformRandomGraph, FullyDense) {
+  Rng rng(3);
+  DirectedGraph g = UniformRandomGraph(5, 20, rng);
+  EXPECT_EQ(g.num_edges(), 20u);
+  for (NodeId u = 0; u < 5; ++u) {
+    for (NodeId v = 0; v < 5; ++v) {
+      if (u != v) {
+        EXPECT_TRUE(g.HasEdge(u, v));
+      }
+    }
+  }
+}
+
+TEST(UniformRandomGraph, NoSelfLoopsOrDuplicates) {
+  Rng rng(4);
+  DirectedGraph g = UniformRandomGraph(20, 100, rng);
+  for (const Edge& e : g.edges()) EXPECT_NE(e.src, e.dst);
+  // GraphBuilder already rejects duplicates; count is the proof.
+  EXPECT_EQ(g.num_edges(), 100u);
+}
+
+TEST(UniformRandomGraph, DifferentSeedsDiffer) {
+  Rng a(5), b(6);
+  DirectedGraph ga = UniformRandomGraph(30, 60, a);
+  DirectedGraph gb = UniformRandomGraph(30, 60, b);
+  bool identical = ga.num_edges() == gb.num_edges();
+  if (identical) {
+    for (EdgeId e = 0; e < ga.num_edges(); ++e) {
+      if (!(ga.edge(e) == gb.edge(e))) {
+        identical = false;
+        break;
+      }
+    }
+  }
+  EXPECT_FALSE(identical);
+}
+
+TEST(PreferentialAttachment, NodeAndEdgeCounts) {
+  Rng rng(7);
+  DirectedGraph g = PreferentialAttachmentGraph(200, 3, 0.0, rng);
+  EXPECT_EQ(g.num_nodes(), 200u);
+  // Node v >= 3 adds exactly 3 edges; earlier ones add min(k, v).
+  EXPECT_EQ(g.num_edges(), 1u + 2u + 197u * 3u);
+}
+
+TEST(PreferentialAttachment, ReciprocityAddsBackEdges) {
+  Rng rng(8);
+  DirectedGraph g = PreferentialAttachmentGraph(100, 2, 1.0, rng);
+  // With reciprocity 1, every forward edge has its reverse.
+  for (const Edge& e : g.edges()) {
+    EXPECT_TRUE(g.HasEdge(e.dst, e.src))
+        << e.src << "->" << e.dst << " lacks a reciprocal";
+  }
+}
+
+TEST(PreferentialAttachment, ProducesSkewedInDegrees) {
+  Rng rng(9);
+  DirectedGraph g = PreferentialAttachmentGraph(2000, 2, 0.0, rng);
+  std::size_t max_in = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_in = std::max(max_in, g.InDegree(v));
+  }
+  // A heavy-tailed graph has hubs far above the mean in-degree (~2).
+  EXPECT_GT(max_in, 20u);
+}
+
+TEST(StarFragment, Shape) {
+  DirectedGraph g = StarFragment(3);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.InDegree(3), 3u);
+  for (NodeId p = 0; p < 3; ++p) {
+    EXPECT_TRUE(g.HasEdge(p, 3));
+    EXPECT_EQ(g.InDegree(p), 0u);
+  }
+}
+
+TEST(GeneratorsDeath, RejectsTooManyEdges) {
+  Rng rng(10);
+  EXPECT_DEATH(UniformRandomGraph(3, 7, rng), "max");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,95 @@
+#include "learn/goyal.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+SinkSummary MakeSummary(std::size_t k, std::vector<SummaryRow> rows) {
+  static std::vector<DirectedGraph> keep_alive;
+  keep_alive.push_back(StarFragment(k));
+  const DirectedGraph& g = keep_alive.back();
+  SinkSummary s;
+  s.sink = static_cast<NodeId>(k);
+  for (EdgeId e : g.InEdges(s.sink)) {
+    s.parents.push_back(g.edge(e).src);
+    s.parent_edges.push_back(e);
+  }
+  s.rows = std::move(rows);
+  return s;
+}
+
+SummaryRow Row(std::vector<std::uint8_t> mask, std::uint64_t count,
+               std::uint64_t leaks) {
+  SummaryRow r;
+  r.mask = std::move(mask);
+  r.count = count;
+  r.leaks = leaks;
+  return r;
+}
+
+TEST(Goyal, SingletonEvidenceIsExactFrequency) {
+  SinkSummary s = MakeSummary(1, {Row({1}, 10, 4)});
+  const GoyalResult fit = FitGoyal(s);
+  EXPECT_DOUBLE_EQ(fit.estimate[0], 0.4);
+}
+
+TEST(Goyal, CreditSplitsEquallyAmongParents) {
+  // One ambiguous row with both parents: each gets leaks/2 credit over
+  // count exposures.
+  SinkSummary s = MakeSummary(2, {Row({1, 1}, 10, 6)});
+  const GoyalResult fit = FitGoyal(s);
+  EXPECT_DOUBLE_EQ(fit.estimate[0], 0.3);
+  EXPECT_DOUBLE_EQ(fit.estimate[1], 0.3);
+}
+
+TEST(Goyal, MixedRowsAccumulate) {
+  // Parent 0: credit 4 (singleton) + 3 (half of 6) = 7 over 10+10
+  // exposures.
+  SinkSummary s =
+      MakeSummary(2, {Row({1, 0}, 10, 4), Row({1, 1}, 10, 6)});
+  const GoyalResult fit = FitGoyal(s);
+  EXPECT_DOUBLE_EQ(fit.estimate[0], 7.0 / 20.0);
+  EXPECT_DOUBLE_EQ(fit.estimate[1], 3.0 / 10.0);
+}
+
+TEST(Goyal, UnseenParentIsZero) {
+  SinkSummary s = MakeSummary(2, {Row({1, 0}, 10, 5)});
+  const GoyalResult fit = FitGoyal(s);
+  EXPECT_DOUBLE_EQ(fit.estimate[0], 0.5);
+  EXPECT_DOUBLE_EQ(fit.estimate[1], 0.0);
+}
+
+TEST(Goyal, BiasTowardMeanOnSkewedEdges) {
+  // The paper's critique: with skewed true probabilities and mostly
+  // ambiguous evidence, equal-credit pulls both estimates toward their
+  // average. True pa=0.9, pb=0.1; joint p=1-0.1*0.9=0.91.
+  SinkSummary s = MakeSummary(2, {Row({1, 1}, 1000, 910)});
+  const GoyalResult fit = FitGoyal(s);
+  // Both get 455/1000: far from 0.9 and 0.1, near the middle.
+  EXPECT_NEAR(fit.estimate[0], 0.455, 1e-12);
+  EXPECT_NEAR(fit.estimate[1], 0.455, 1e-12);
+}
+
+TEST(Goyal, EmptySummaryYieldsZeros) {
+  SinkSummary s = MakeSummary(2, {});
+  const GoyalResult fit = FitGoyal(s);
+  EXPECT_DOUBLE_EQ(fit.estimate[0], 0.0);
+  EXPECT_DOUBLE_EQ(fit.estimate[1], 0.0);
+}
+
+TEST(Goyal, EstimatesAreProbabilities) {
+  SinkSummary s = MakeSummary(3, {Row({1, 1, 1}, 9, 9),
+                                  Row({1, 0, 0}, 4, 4),
+                                  Row({0, 1, 1}, 7, 0)});
+  const GoyalResult fit = FitGoyal(s);
+  for (double p : fit.estimate) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,142 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "stats/rng.h"
+
+namespace infoflow {
+namespace {
+
+DirectedGraph Triangle() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  return std::move(b).Build();
+}
+
+TEST(GraphBuilder, CountsNodesAndEdges) {
+  DirectedGraph g = Triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GraphBuilder, RejectsSelfLoop) {
+  GraphBuilder b(3);
+  const Status s = b.AddEdge(1, 1);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilder, RejectsDuplicateEdge) {
+  GraphBuilder b(3);
+  ASSERT_TRUE(b.AddEdge(0, 1).ok());
+  EXPECT_EQ(b.AddEdge(0, 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b(3);
+  EXPECT_EQ(b.AddEdge(0, 3).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(b.AddEdge(5, 1).code(), StatusCode::kOutOfRange);
+}
+
+TEST(GraphBuilder, AddEdgeIfAbsentReportsInsertion) {
+  GraphBuilder b(3);
+  EXPECT_TRUE(b.AddEdgeIfAbsent(0, 1));
+  EXPECT_FALSE(b.AddEdgeIfAbsent(0, 1));
+  EXPECT_EQ(b.num_edges(), 1u);
+}
+
+TEST(Graph, EdgeIdsAreSortedBySrcThenDst) {
+  GraphBuilder b(3);
+  // Insert out of order; Build() must canonicalize.
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(0, 1).CheckOK();
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_EQ(g.edge(0), (Edge{0, 1}));
+  EXPECT_EQ(g.edge(1), (Edge{0, 2}));
+  EXPECT_EQ(g.edge(2), (Edge{1, 2}));
+}
+
+TEST(Graph, OutEdgesAndDegrees) {
+  DirectedGraph g = Triangle();
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.OutDegree(1), 1u);
+  EXPECT_EQ(g.OutDegree(2), 0u);
+  auto out0 = g.OutEdges(0);
+  ASSERT_EQ(out0.size(), 2u);
+  EXPECT_EQ(g.edge(out0[0]).dst, 1u);
+  EXPECT_EQ(g.edge(out0[1]).dst, 2u);
+}
+
+TEST(Graph, InEdgesAndDegrees) {
+  DirectedGraph g = Triangle();
+  EXPECT_EQ(g.InDegree(0), 0u);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  auto in2 = g.InEdges(2);
+  ASSERT_EQ(in2.size(), 2u);
+  EXPECT_EQ(g.edge(in2[0]).src, 0u);
+  EXPECT_EQ(g.edge(in2[1]).src, 1u);
+}
+
+TEST(Graph, FindEdge) {
+  DirectedGraph g = Triangle();
+  EXPECT_NE(g.FindEdge(0, 1), kInvalidEdge);
+  EXPECT_EQ(g.edge(g.FindEdge(1, 2)), (Edge{1, 2}));
+  EXPECT_EQ(g.FindEdge(2, 0), kInvalidEdge);
+  EXPECT_TRUE(g.HasEdge(0, 2));
+  EXPECT_FALSE(g.HasEdge(2, 1));
+}
+
+TEST(Graph, EmptyGraph) {
+  DirectedGraph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, IsolatedNodesHaveEmptyAdjacency) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  DirectedGraph g = std::move(b).Build();
+  EXPECT_EQ(g.OutDegree(2), 0u);
+  EXPECT_EQ(g.InDegree(3), 0u);
+}
+
+TEST(Graph, ToStringMentionsCounts) {
+  EXPECT_EQ(Triangle().ToString(), "DirectedGraph(n=3, m=3)");
+}
+
+TEST(Graph, LargerCsrConsistency) {
+  // Every edge must appear exactly once in its source's out list and its
+  // destination's in list.
+  GraphBuilder b(50);
+  Rng rng(4242);
+  for (int i = 0; i < 300; ++i) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(50));
+    const auto v = static_cast<NodeId>(rng.NextBounded(50));
+    if (u != v) b.AddEdgeIfAbsent(u, v);
+  }
+  DirectedGraph g = std::move(b).Build();
+  std::size_t out_total = 0, in_total = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out_total += g.OutDegree(v);
+    in_total += g.InDegree(v);
+    for (EdgeId e : g.OutEdges(v)) EXPECT_EQ(g.edge(e).src, v);
+    for (EdgeId e : g.InEdges(v)) EXPECT_EQ(g.edge(e).dst, v);
+  }
+  EXPECT_EQ(out_total, g.num_edges());
+  EXPECT_EQ(in_total, g.num_edges());
+}
+
+TEST(GraphDeath, EdgeIdOutOfRange) {
+  DirectedGraph g = Triangle();
+  EXPECT_DEATH(g.edge(3), "out of range");
+}
+
+TEST(GraphDeath, NodeIdOutOfRange) {
+  DirectedGraph g = Triangle();
+  EXPECT_DEATH(g.OutEdges(3), "out of range");
+}
+
+}  // namespace
+}  // namespace infoflow

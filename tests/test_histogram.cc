@@ -1,0 +1,77 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+TEST(Histogram, BinAssignment) {
+  Histogram h(0.0, 1.0, 10);
+  EXPECT_EQ(h.BinOf(0.0), 0u);
+  EXPECT_EQ(h.BinOf(0.05), 0u);
+  EXPECT_EQ(h.BinOf(0.15), 1u);
+  EXPECT_EQ(h.BinOf(0.95), 9u);
+  EXPECT_EQ(h.BinOf(1.0), 9u);  // top edge clamps into the last bin
+}
+
+TEST(Histogram, ClampsOutOfRange) {
+  Histogram h(0.0, 1.0, 4);
+  h.Add(-5.0);
+  h.Add(7.0);
+  EXPECT_DOUBLE_EQ(h.Count(0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Count(3), 1.0);
+  EXPECT_DOUBLE_EQ(h.Total(), 2.0);
+}
+
+TEST(Histogram, CountsAccumulate) {
+  Histogram h(0.0, 10.0, 5);
+  for (int i = 0; i < 10; ++i) h.Add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(h.Total(), 10.0);
+  for (std::size_t b = 0; b < 5; ++b) EXPECT_DOUBLE_EQ(h.Count(b), 2.0);
+}
+
+TEST(Histogram, WeightedMass) {
+  Histogram h(0.0, 1.0, 2);
+  h.AddWeighted(0.25, 3.0);
+  h.AddWeighted(0.75, 1.0);
+  EXPECT_DOUBLE_EQ(h.Count(0), 3.0);
+  EXPECT_DOUBLE_EQ(h.Count(1), 1.0);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h(0.0, 1.0, 4);
+  EXPECT_DOUBLE_EQ(h.BinCenter(0), 0.125);
+  EXPECT_DOUBLE_EQ(h.BinCenter(3), 0.875);
+}
+
+TEST(Histogram, NormalizedSumsToOne) {
+  Histogram h(0.0, 1.0, 3);
+  h.Add(0.1);
+  h.Add(0.5);
+  h.Add(0.5);
+  const auto norm = h.Normalized();
+  EXPECT_NEAR(norm[0] + norm[1] + norm[2], 1.0, 1e-12);
+  EXPECT_NEAR(norm[1], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Histogram, NormalizedEmptyIsAllZero) {
+  Histogram h(0.0, 1.0, 3);
+  for (double v : h.Normalized()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Histogram, AsciiRenderingMentionsCounts) {
+  Histogram h(0.0, 1.0, 2);
+  h.Add(0.1);
+  h.Add(0.9);
+  h.Add(0.9);
+  const std::string art = h.ToAscii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(HistogramDeath, RejectsEmptyRange) {
+  EXPECT_DEATH(Histogram(1.0, 1.0, 3), "range");
+}
+
+}  // namespace
+}  // namespace infoflow

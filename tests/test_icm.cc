@@ -1,0 +1,164 @@
+#include "core/icm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/pseudo_state.h"
+#include "graph/reachability.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Triangle() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  return std::make_shared<const DirectedGraph>(std::move(b).Build());
+}
+
+TEST(PointIcm, StoresProbabilities) {
+  auto g = Triangle();
+  PointIcm icm(g, {0.1, 0.2, 0.3});
+  EXPECT_DOUBLE_EQ(icm.prob(0), 0.1);
+  EXPECT_DOUBLE_EQ(icm.prob(2), 0.3);
+  EXPECT_EQ(icm.graph().num_edges(), 3u);
+}
+
+TEST(PointIcm, ConstantFactory) {
+  PointIcm icm = PointIcm::Constant(Triangle(), 0.4);
+  for (EdgeId e = 0; e < 3; ++e) EXPECT_DOUBLE_EQ(icm.prob(e), 0.4);
+}
+
+TEST(PointIcm, PseudoStateEdgeFrequencies) {
+  auto g = Triangle();
+  PointIcm icm(g, {0.1, 0.5, 0.9});
+  Rng rng(1);
+  std::vector<int> hits(3, 0);
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const PseudoState x = icm.SamplePseudoState(rng);
+    for (EdgeId e = 0; e < 3; ++e) hits[e] += x[e];
+  }
+  EXPECT_NEAR(static_cast<double>(hits[0]) / n, 0.1, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[1]) / n, 0.5, 0.01);
+  EXPECT_NEAR(static_cast<double>(hits[2]) / n, 0.9, 0.01);
+}
+
+TEST(PointIcm, LogPseudoStateProbMatchesProduct) {
+  auto g = Triangle();
+  PointIcm icm(g, {0.1, 0.5, 0.9});
+  // State 101: p0 * (1-p1) * p2.
+  PseudoState x{1, 0, 1};
+  EXPECT_NEAR(icm.LogPseudoStateProb(x), std::log(0.1 * 0.5 * 0.9), 1e-12);
+}
+
+TEST(PointIcm, LogProbSumsToOneOverAllStates) {
+  auto g = Triangle();
+  PointIcm icm(g, {0.3, 0.7, 0.25});
+  double total = 0.0;
+  for (int bits = 0; bits < 8; ++bits) {
+    PseudoState x{static_cast<std::uint8_t>(bits & 1),
+                  static_cast<std::uint8_t>((bits >> 1) & 1),
+                  static_cast<std::uint8_t>((bits >> 2) & 1)};
+    total += std::exp(icm.LogPseudoStateProb(x));
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(PointIcm, DeterministicEdgesGiveInfiniteLogProb) {
+  auto g = Triangle();
+  PointIcm icm(g, {0.0, 1.0, 0.5});
+  EXPECT_TRUE(std::isinf(icm.LogPseudoStateProb({1, 1, 0})));  // p=0 active
+  EXPECT_TRUE(std::isinf(icm.LogPseudoStateProb({0, 0, 0})));  // p=1 inactive
+  EXPECT_FALSE(std::isinf(icm.LogPseudoStateProb({0, 1, 1})));
+}
+
+TEST(PointIcm, CascadeContainsSourcesAndRespectsZeroEdges) {
+  auto g = Triangle();
+  PointIcm icm(g, {0.0, 0.0, 0.0});
+  Rng rng(2);
+  const ActiveState s = icm.SampleCascade({0}, rng);
+  EXPECT_EQ(s.active_nodes, (std::vector<NodeId>{0}));
+  for (std::uint8_t e : s.edge_active) EXPECT_EQ(e, 0);
+}
+
+TEST(PointIcm, CascadeWithCertainEdgesActivatesAll) {
+  auto g = Triangle();
+  PointIcm icm = PointIcm::Constant(g, 1.0);
+  Rng rng(3);
+  const ActiveState s = icm.SampleCascade({0}, rng);
+  EXPECT_EQ(s.active_nodes.size(), 3u);
+}
+
+TEST(PointIcm, CascadeActiveEdgesHaveActiveParents) {
+  auto g = Triangle();
+  PointIcm icm = PointIcm::Constant(g, 0.5);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    const ActiveState s = icm.SampleCascade({0}, rng);
+    std::vector<bool> node_active(3, false);
+    for (NodeId v : s.active_nodes) node_active[v] = true;
+    for (EdgeId e = 0; e < 3; ++e) {
+      if (s.edge_active[e]) {
+        EXPECT_TRUE(node_active[g->edge(e).src]);
+        EXPECT_TRUE(node_active[g->edge(e).dst]);
+      }
+    }
+  }
+}
+
+// The core pseudo-state/active-state equivalence (§III-A): deriving the
+// active node set from an independent pseudo-state must reproduce the
+// cascade distribution of active node sets.
+TEST(PointIcm, CascadeAndPseudoStateDistributionsAgree) {
+  auto g = Triangle();
+  PointIcm icm(g, {0.6, 0.4, 0.2});
+  Rng rng(5);
+  const int n = 40000;
+  std::map<std::vector<NodeId>, int> cascade_counts, derived_counts;
+  for (int i = 0; i < n; ++i) {
+    ActiveState c = icm.SampleCascade({0}, rng);
+    std::sort(c.active_nodes.begin(), c.active_nodes.end());
+    ++cascade_counts[c.active_nodes];
+    ActiveState d = DeriveActiveState(*g, {0}, icm.SamplePseudoState(rng));
+    std::sort(d.active_nodes.begin(), d.active_nodes.end());
+    ++derived_counts[d.active_nodes];
+  }
+  for (const auto& [nodes, count] : cascade_counts) {
+    const double pc = static_cast<double>(count) / n;
+    const double pd = static_cast<double>(derived_counts[nodes]) / n;
+    EXPECT_NEAR(pc, pd, 0.015);
+  }
+}
+
+TEST(DeriveActiveState, MasksEdgesWithInactiveParents) {
+  auto g = Triangle();
+  // Pseudo-state activates edge 1->2 but 1 is unreachable (edge 0->1 off).
+  PseudoState x(3, 0);
+  x[g->FindEdge(1, 2)] = 1;
+  const ActiveState s = DeriveActiveState(*g, {0}, x);
+  EXPECT_EQ(s.active_nodes, (std::vector<NodeId>{0}));
+  for (std::uint8_t e : s.edge_active) EXPECT_EQ(e, 0);
+}
+
+TEST(DeriveActiveState, KeepsReachableActiveEdges) {
+  auto g = Triangle();
+  PseudoState x(3, 0);
+  x[g->FindEdge(0, 1)] = 1;
+  x[g->FindEdge(1, 2)] = 1;
+  const ActiveState s = DeriveActiveState(*g, {0}, x);
+  EXPECT_TRUE(s.IsNodeActive(2));
+  EXPECT_EQ(s.edge_active[g->FindEdge(0, 1)], 1);
+  EXPECT_EQ(s.edge_active[g->FindEdge(1, 2)], 1);
+}
+
+TEST(PointIcmDeath, RejectsBadProbability) {
+  EXPECT_DEATH(PointIcm(Triangle(), {0.1, 0.2, 1.5}), "outside");
+  EXPECT_DEATH(PointIcm(Triangle(), {0.1, 0.2}), "lhs");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,67 @@
+#include "core/impact.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Chain3() {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  return std::make_shared<const DirectedGraph>(std::move(b).Build());
+}
+
+TEST(ImpactDistribution, RecordGrowsAndTallies) {
+  ImpactDistribution d;
+  d.Record(0);
+  d.Record(2);
+  d.Record(2);
+  ASSERT_EQ(d.counts.size(), 3u);
+  EXPECT_EQ(d.counts[0], 1u);
+  EXPECT_EQ(d.counts[1], 0u);
+  EXPECT_EQ(d.counts[2], 2u);
+  EXPECT_EQ(d.Total(), 3u);
+  EXPECT_NEAR(d.Mean(), 4.0 / 3.0, 1e-12);
+}
+
+TEST(ImpactDistribution, EmptyMeanIsZero) {
+  ImpactDistribution d;
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+}
+
+TEST(SimulateImpact, DeterministicChain) {
+  PointIcm certain = PointIcm::Constant(Chain3(), 1.0);
+  Rng rng(1);
+  const auto d = SimulateImpact(certain, 0, 100, rng);
+  EXPECT_EQ(d.Total(), 100u);
+  EXPECT_DOUBLE_EQ(d.Mean(), 2.0);  // both downstream nodes always activate
+}
+
+TEST(SimulateImpact, MeanMatchesClosedForm) {
+  // Chain with p, q: E[impact from 0] = p + pq.
+  auto g = Chain3();
+  PointIcm icm(g, {0.6, 0.5});
+  Rng rng(2);
+  const auto d = SimulateImpact(icm, 0, 60000, rng);
+  EXPECT_NEAR(d.Mean(), 0.6 + 0.6 * 0.5, 0.01);
+}
+
+TEST(SimulateImpact, BetaIcmVariantAveragesParameterUncertainty) {
+  auto g = Chain3();
+  BetaIcm model(g, {6.0, 5.0}, {4.0, 5.0});  // means 0.6 and 0.5
+  Rng rng(3);
+  const auto d = SimulateImpact(model, 0, 60000, rng);
+  // E[impact] = E[p] + E[p]E[q] by edge independence.
+  EXPECT_NEAR(d.Mean(), 0.6 + 0.6 * 0.5, 0.02);
+}
+
+TEST(SimulateImpact, SinkSourceHasZeroImpact) {
+  PointIcm icm = PointIcm::Constant(Chain3(), 1.0);
+  Rng rng(4);
+  const auto d = SimulateImpact(icm, 2, 50, rng);
+  EXPECT_DOUBLE_EQ(d.Mean(), 0.0);
+}
+
+}  // namespace
+}  // namespace infoflow

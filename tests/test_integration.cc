@@ -1,0 +1,372 @@
+/// \file test_integration.cc
+/// \brief Cross-module integration and paper-level property tests: the
+/// SGTM ≡ ICM equivalence (Theorem 1), the full attributed Twitter
+/// pipeline, held-out calibration, and the Fig. 7 accuracy ordering.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_flow.h"
+#include "core/mh_sampler.h"
+#include "eval/bucket.h"
+#include "eval/metrics.h"
+#include "graph/generators.h"
+#include "graph/subgraph.h"
+#include "learn/attributed.h"
+#include "learn/goyal.h"
+#include "learn/joint_bayes.h"
+#include "learn/model_trainer.h"
+#include "learn/summary.h"
+#include "stats/descriptive.h"
+#include "twitter/cascade_gen.h"
+#include "twitter/interesting_users.h"
+#include "twitter/retweet_parser.h"
+#include "twitter/tag_gen.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+// Theorem 1 (§V-A): the Simplified General Threshold Model and the ICM are
+// equivalent. Simulate the SGTM mechanism — per-object uniform thresholds
+// ρ_v, v activates when p_v(S_t) = 1 - Π_{u∈S_t}(1 - p_u,v) crosses ρ_v —
+// and compare activation frequencies with ICM cascades on the same weights.
+TEST(Theorem1, SgtmAndIcmActivationDistributionsMatch) {
+  Rng graph_rng(1);
+  auto g = Share(UniformRandomGraph(12, 36, graph_rng));
+  Rng prob_rng(2);
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = prob_rng.Uniform(0.1, 0.8);
+  PointIcm icm(g, probs);
+
+  const int kTrials = 20000;
+  Rng rng(3);
+  std::vector<double> icm_freq(g->num_nodes(), 0.0);
+  std::vector<double> sgtm_freq(g->num_nodes(), 0.0);
+  for (int t = 0; t < kTrials; ++t) {
+    // ICM cascade.
+    const ActiveState s = icm.SampleCascade({0}, rng);
+    for (NodeId v : s.active_nodes) icm_freq[v] += 1.0;
+    // SGTM: thresholds per node; iterate rounds, activating any node whose
+    // cumulative parent influence crosses its threshold.
+    std::vector<double> rho(g->num_nodes());
+    for (double& r : rho) r = rng.NextDouble();
+    std::vector<std::uint8_t> active(g->num_nodes(), 0);
+    active[0] = 1;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (NodeId v = 0; v < g->num_nodes(); ++v) {
+        if (active[v] || v == 0) continue;
+        double survive = 1.0;
+        for (EdgeId e : g->InEdges(v)) {
+          if (active[g->edge(e).src]) survive *= 1.0 - probs[e];
+        }
+        if (1.0 - survive > rho[v]) {
+          active[v] = 1;
+          changed = true;
+        }
+      }
+    }
+    for (NodeId v = 0; v < g->num_nodes(); ++v) {
+      sgtm_freq[v] += active[v] ? 1.0 : 0.0;
+    }
+  }
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    EXPECT_NEAR(icm_freq[v] / kTrials, sgtm_freq[v] / kTrials, 0.02)
+        << "node " << v;
+  }
+}
+
+class TwitterPipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng graph_rng(10);
+    graph_ = Share(PreferentialAttachmentGraph(80, 3, 0.25, graph_rng));
+    registry_ = UserRegistry::Sequential(80);
+    Rng prob_rng(11);
+    std::vector<double> probs(graph_->num_edges());
+    // Realistic sparse retweet rates (the paper's regime: short chains,
+    // rarely more than one exposed parent). Dense high-probability
+    // cascades would make single-parent attribution systematically
+    // under-count multi-parent edges.
+    for (double& p : probs) p = prob_rng.Uniform(0.02, 0.3);
+    truth_ = std::make_unique<PointIcm>(graph_, probs);
+  }
+
+  std::shared_ptr<const DirectedGraph> graph_;
+  UserRegistry registry_ = UserRegistry::Sequential(0);
+  std::unique_ptr<PointIcm> truth_;
+};
+
+// The full §IV pipeline: raw logs -> parsing -> attributed training ->
+// betaICM whose expected probabilities track the generator's race-winning
+// attribution frequencies.
+TEST_F(TwitterPipelineTest, TrainedModelTracksAttributionFrequencies) {
+  CascadeGenOptions opt;
+  opt.num_messages = 1500;
+  opt.drop_original_prob = 0.1;
+  Rng rng(12);
+  auto gen = GenerateCascades(*truth_, registry_, opt, rng);
+  ASSERT_TRUE(gen.ok());
+  const ParseResult parsed = ParseRetweetLog(gen->log, registry_);
+  const AttributedEvidence evidence = parsed.ToEvidence(*graph_);
+  auto model = TrainBetaIcmFromAttributed(graph_, evidence);
+  ASSERT_TRUE(model.ok());
+
+  // Reference frequencies straight from the (drop-free) ground truth.
+  auto reference = TrainBetaIcmFromAttributed(graph_, gen->ground_truth);
+  ASSERT_TRUE(reference.ok());
+  const PointIcm learned = model->ExpectedIcm();
+  const PointIcm ref = reference->ExpectedIcm();
+  RunningStats gap;
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    // Only compare edges with real exposure in the reference.
+    if (reference->alpha(e) + reference->beta(e) < 30.0) continue;
+    gap.Add(std::fabs(learned.prob(e) - ref.prob(e)));
+  }
+  ASSERT_GT(gap.Count(), 20u);
+  EXPECT_LT(gap.Mean(), 0.06);
+}
+
+// Held-out calibration on an ego net: the §IV-C experiment in miniature.
+TEST_F(TwitterPipelineTest, HeldOutBucketCalibration) {
+  CascadeGenOptions opt;
+  opt.num_messages = 2500;
+  Rng rng(13);
+  auto gen = GenerateCascades(*truth_, registry_, opt, rng);
+  ASSERT_TRUE(gen.ok());
+  auto model = TrainBetaIcmFromAttributed(graph_, gen->ground_truth);
+  ASSERT_TRUE(model.ok());
+
+  // Focus user: most active source.
+  const auto interesting = SelectInterestingUsers(80, gen->ground_truth, 1);
+  ASSERT_FALSE(interesting.empty());
+  const NodeId focus = interesting[0];
+  const Subgraph ego = EgoSubgraph(*graph_, focus, 2);
+  // Restrict the trained model to the ego net.
+  std::vector<double> sub_probs(ego.graph.num_edges());
+  const PointIcm expected = model->ExpectedIcm();
+  for (EdgeId e = 0; e < ego.graph.num_edges(); ++e) {
+    sub_probs[e] = expected.prob(ego.edge_to_parent[e]);
+  }
+  auto ego_graph = std::make_shared<const DirectedGraph>(ego.graph);
+  PointIcm ego_model(ego_graph, sub_probs);
+
+  // Test states come from the *true* generator on the same subgraph.
+  std::vector<double> true_probs(ego.graph.num_edges());
+  for (EdgeId e = 0; e < ego.graph.num_edges(); ++e) {
+    true_probs[e] = truth_->prob(ego.edge_to_parent[e]);
+  }
+  PointIcm ego_truth(ego_graph, true_probs);
+
+  // Two claims, mirroring Fig. 2: (a) the trained-model MH predictions
+  // score within noise of an oracle that knows the true probabilities —
+  // skill versus a constant baseline is not a meaningful bar here because
+  // most focus-to-sink probabilities cluster near the base rate, so even
+  // the oracle barely beats it; (b) the predictions are *calibrated*: most
+  // occupied buckets keep the mean prediction inside the empirical 95% CI.
+  Rng test_rng(14);
+  MhOptions mh;
+  mh.burn_in = 3000;
+  mh.thinning = 12;
+  auto sampler = MhSampler::Create(ego_model, {}, mh, Rng(15));
+  ASSERT_TRUE(sampler.ok());
+
+  ReachabilityWorkspace ws(*ego_graph);
+  Rng mc_rng(17);
+  auto oracle_flow = [&](NodeId source, NodeId sink) {
+    int hits = 0;
+    const int kMc = 8000;
+    for (int i = 0; i < kMc; ++i) {
+      const PseudoState x = ego_truth.SamplePseudoState(mc_rng);
+      if (ws.RunUntil(*ego_graph, {source}, x, sink)) ++hits;
+    }
+    return static_cast<double>(hits) / kMc;
+  };
+
+  BucketExperiment bucket;
+  std::vector<BucketPair> oracle_pairs;
+  const NodeId local_focus = ego.LocalNode(focus);
+  for (int trial = 0; trial < 120; ++trial) {
+    const auto sink = static_cast<NodeId>(
+        test_rng.NextBounded(ego.graph.num_nodes()));
+    if (sink == local_focus) continue;
+    const ActiveState state = ego_truth.SampleCascade({local_focus}, test_rng);
+    const bool outcome = state.IsNodeActive(sink);
+    bucket.Add(sampler->EstimateFlowProbability(local_focus, sink, 1200),
+               outcome);
+    oracle_pairs.push_back({oracle_flow(local_focus, sink), outcome});
+  }
+  const AccuracyReport model_acc = ComputeAccuracy(bucket.pairs());
+  const AccuracyReport oracle_acc = ComputeAccuracy(oracle_pairs);
+  EXPECT_LT(model_acc.brier, oracle_acc.brier + 0.01);
+  EXPECT_GT(model_acc.normalized_likelihood,
+            oracle_acc.normalized_likelihood - 0.03);
+  const BucketReport report = bucket.Analyze(10);
+  EXPECT_GE(report.coverage, 0.6);
+}
+
+// Fig. 7's headline ordering: with skewed activation probabilities and
+// plenty of objects, the joint-Bayes RMSE beats Goyal's equal-credit rule.
+TEST(Fig7Ordering, JointBayesBeatsGoyalOnSkewedStar) {
+  const std::vector<double> truth{0.15, 0.68, 0.83};  // Fig. 7(b)
+  auto g = Share(StarFragment(truth.size()));
+  const auto sink = static_cast<NodeId>(truth.size());
+  PointIcm gen_model(g, truth);
+
+  Rng rng(20);
+  UnattributedEvidence ev;
+  for (int o = 0; o < 2000; ++o) {
+    ObjectTrace trace;
+    double survive = 1.0;
+    double time = 1.0;
+    for (NodeId p = 0; p < sink; ++p) {
+      if (rng.Bernoulli(0.75)) {  // parent happens to hold the object
+        trace.activations.push_back({p, time++});
+        survive *= 1.0 - truth[p];
+      }
+    }
+    if (trace.activations.empty()) continue;
+    if (rng.Bernoulli(1.0 - survive)) {
+      trace.activations.push_back({sink, time});
+    }
+    ev.traces.push_back(std::move(trace));
+  }
+  const SinkSummary summary = BuildSinkSummary(*g, sink, ev);
+
+  JointBayesOptions jb;
+  jb.num_samples = 800;
+  jb.burn_in = 400;
+  Rng fit_rng(21);
+  auto ours = FitJointBayes(summary, jb, fit_rng);
+  ASSERT_TRUE(ours.ok());
+  const GoyalResult goyal = FitGoyal(summary);
+
+  const double rmse_ours = Rmse(ours->mean, truth);
+  const double rmse_goyal = Rmse(goyal.estimate, truth);
+  EXPECT_LT(rmse_ours, rmse_goyal);
+  EXPECT_LT(rmse_ours, 0.08);
+}
+
+// The unattributed pipeline end to end (Fig. 8 in miniature): tag traces
+// over the omnipotent-augmented network -> joint-Bayes whole-graph model
+// -> edge RMSE beats Goyal's on exercised edges, and flow predictions from
+// the trained model track the ground-truth model's.
+TEST(UnattributedPipeline, UrlTracesToCalibratedFlows) {
+  Rng rng(77);
+  auto base_graph = Share(PreferentialAttachmentGraph(80, 2, 0.2, rng));
+  std::vector<double> probs(base_graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.05, 0.45);
+  const TagNetwork network =
+      AugmentWithOmnipotent(PointIcm(base_graph, probs));
+
+  TagGenOptions gen;
+  gen.num_objects = 1500;
+  gen.url_external_prob = 0.008;  // enough entries to exercise the edges
+  Rng gen_rng = rng.Split();
+  auto traces = GenerateTagTraces(network, TagKind::kUrl, gen, gen_rng);
+  ASSERT_TRUE(traces.ok());
+
+  UnattributedTrainOptions ours_opt;
+  ours_opt.joint_bayes.num_samples = 300;
+  ours_opt.joint_bayes.burn_in = 200;
+  ours_opt.no_evidence_mean = 0.0;
+  Rng fit_rng = rng.Split();
+  auto ours = TrainUnattributedModel(network.graph, *traces, ours_opt,
+                                     fit_rng);
+  ASSERT_TRUE(ours.ok());
+  UnattributedTrainOptions goyal_opt = ours_opt;
+  goyal_opt.method = UnattributedMethod::kGoyal;
+  auto goyal = TrainUnattributedModel(network.graph, *traces, goyal_opt,
+                                      fit_rng);
+  ASSERT_TRUE(goyal.ok());
+
+  // Edge-level accuracy on exercised in-network edges.
+  const PointIcm truth = network.GroundTruth(gen.url_external_prob);
+  std::vector<std::uint32_t> exposure(base_graph->num_edges(), 0);
+  for (const ObjectTrace& trace : traces->traces) {
+    for (EdgeId e = 0; e < base_graph->num_edges(); ++e) {
+      const Edge& edge = base_graph->edge(e);
+      if (trace.TimeOf(edge.src) < trace.TimeOf(edge.dst)) ++exposure[e];
+    }
+  }
+  std::vector<double> t, ours_est, goyal_est;
+  for (EdgeId e = 0; e < base_graph->num_edges(); ++e) {
+    if (exposure[e] < 40) continue;
+    t.push_back(truth.prob(e));
+    ours_est.push_back(ours->mean[e]);
+    goyal_est.push_back(goyal->mean[e]);
+  }
+  ASSERT_GT(t.size(), 15u);
+  EXPECT_LT(Rmse(ours_est, t), Rmse(goyal_est, t));
+  EXPECT_LT(Rmse(ours_est, t), 0.12);
+
+  // Flow-level: trained-model flow probabilities track ground truth.
+  const PointIcm trained = ours->ToPointIcm();
+  ReachabilityWorkspace ws(*network.graph);
+  Rng mc_rng = rng.Split();
+  auto mc_flow = [&](const PointIcm& m, NodeId src, NodeId sink) {
+    int hits = 0;
+    const int kMc = 4000;
+    for (int i = 0; i < kMc; ++i) {
+      const PseudoState x = m.SamplePseudoState(mc_rng);
+      if (ws.RunUntil(*network.graph, {src}, x, sink)) ++hits;
+    }
+    return static_cast<double>(hits) / kMc;
+  };
+  RunningStats flow_gap;
+  for (NodeId sink = 3; sink < 60; sink += 7) {
+    flow_gap.Add(std::fabs(mc_flow(trained, 0, sink) -
+                           mc_flow(truth, 0, sink)));
+  }
+  EXPECT_LT(flow_gap.Mean(), 0.08);
+}
+
+// Conditioning refines prediction: MH conditional flow on a trained model
+// matches exact conditional flow on a small graph.
+TEST(ConditionalPipeline, TrainedModelConditionalQueries) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(0, 3).CheckOK();
+  b.AddEdge(3, 2).CheckOK();
+  auto g = Share(std::move(b).Build());
+  PointIcm truth(g, {0.7, 0.5, 0.3, 0.6});
+  Rng rng(30);
+  AttributedEvidence ev;
+  for (int i = 0; i < 3000; ++i) {
+    const ActiveState s = truth.SampleCascade({0}, rng);
+    AttributedObject obj;
+    obj.sources = s.sources;
+    obj.active_nodes = s.active_nodes;
+    for (EdgeId e = 0; e < g->num_edges(); ++e) {
+      if (s.edge_active[e]) obj.active_edges.push_back(e);
+    }
+    ev.objects.push_back(std::move(obj));
+  }
+  auto model = TrainBetaIcmFromAttributed(g, ev);
+  ASSERT_TRUE(model.ok());
+  const PointIcm learned = model->ExpectedIcm();
+  const FlowConditions cond{{0, 1, true}, {0, 3, false}};
+  MhOptions mh;
+  mh.burn_in = 1500;
+  mh.thinning = 3;
+  auto sampler = MhSampler::Create(learned, cond, mh, Rng(31));
+  ASSERT_TRUE(sampler.ok());
+  const double mh_estimate = sampler->EstimateFlowProbability(0, 2, 30000);
+  const double exact =
+      ExactConditionalFlowByEnumeration(learned, 0, 2, cond).ValueOrDie();
+  EXPECT_NEAR(mh_estimate, exact, 0.02);
+  // And the learned conditional should be near the true conditional.
+  const double true_exact =
+      ExactConditionalFlowByEnumeration(truth, 0, 2, cond).ValueOrDie();
+  EXPECT_NEAR(mh_estimate, true_exact, 0.06);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace infoflow {
+namespace {
+
+TEST(Accuracy, PerfectPredictionsScoreBest) {
+  std::vector<BucketPair> pairs{{1.0, true}, {0.0, false}, {1.0, true}};
+  const AccuracyReport report = ComputeAccuracy(pairs, 1e-6);
+  EXPECT_NEAR(report.normalized_likelihood, 1.0, 1e-5);
+  EXPECT_NEAR(report.brier, 0.0, 1e-12);
+}
+
+TEST(Accuracy, WorstPredictionsScoreWorst) {
+  std::vector<BucketPair> pairs{{1.0, false}, {0.0, true}};
+  const AccuracyReport report = ComputeAccuracy(pairs, 1e-6);
+  EXPECT_NEAR(report.normalized_likelihood, 1e-6, 1e-9);
+  EXPECT_NEAR(report.brier, 1.0, 1e-12);
+}
+
+TEST(Accuracy, KnownHandValues) {
+  // One pair at p=0.8, outcome true: NL = 0.8, Brier = 0.04.
+  std::vector<BucketPair> pairs{{0.8, true}};
+  const AccuracyReport report = ComputeAccuracy(pairs);
+  EXPECT_NEAR(report.normalized_likelihood, 0.8, 1e-12);
+  EXPECT_NEAR(report.brier, 0.04, 1e-12);
+}
+
+TEST(Accuracy, GeometricMeanAcrossPairs) {
+  std::vector<BucketPair> pairs{{0.8, true}, {0.5, false}};
+  const AccuracyReport report = ComputeAccuracy(pairs);
+  EXPECT_NEAR(report.normalized_likelihood, std::sqrt(0.8 * 0.5), 1e-12);
+  EXPECT_NEAR(report.brier, (0.04 + 0.25) / 2.0, 1e-12);
+}
+
+TEST(Accuracy, EmptyInputIsZeroed) {
+  const AccuracyReport report = ComputeAccuracy({});
+  EXPECT_EQ(report.count, 0u);
+  EXPECT_DOUBLE_EQ(report.normalized_likelihood, 0.0);
+}
+
+TEST(Accuracy, ClampPreventsDegenerateLikelihood) {
+  // The paper's fix: a wrong certain prediction must not zero the whole
+  // geometric mean.
+  std::vector<BucketPair> pairs{{0.0, true}, {0.9, true}, {0.9, true}};
+  const AccuracyReport report = ComputeAccuracy(pairs, 1e-3);
+  EXPECT_GT(report.normalized_likelihood, 0.0);
+}
+
+TEST(MiddleValues, DropsExactZeroAndOne) {
+  std::vector<BucketPair> pairs{
+      {0.0, false}, {0.5, true}, {1.0, true}, {0.999, false}};
+  const auto middle = MiddleValues(pairs);
+  ASSERT_EQ(middle.size(), 2u);
+  EXPECT_DOUBLE_EQ(middle[0].estimate, 0.5);
+  EXPECT_DOUBLE_EQ(middle[1].estimate, 0.999);
+}
+
+TEST(MiddleValues, AccuracyOnMiddleOnly) {
+  // Certain predictions wash out differences (Table III's motivation):
+  // middle-values scoring must ignore them.
+  std::vector<BucketPair> pairs;
+  for (int i = 0; i < 1000; ++i) pairs.push_back({0.0, false});
+  pairs.push_back({0.9, false});  // one bad middle prediction
+  const AccuracyReport all = ComputeAccuracy(pairs);
+  const AccuracyReport middle = ComputeMiddleAccuracy(pairs);
+  EXPECT_GT(all.normalized_likelihood, 0.9);
+  EXPECT_NEAR(middle.normalized_likelihood, 0.1, 1e-9);
+  EXPECT_EQ(middle.count, 1u);
+}
+
+TEST(AccuracyDeath, RejectsBadClamp) {
+  EXPECT_DEATH(ComputeAccuracy({{0.5, true}}, 0.7), "clamp");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,289 @@
+#include "core/mh_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "core/exact_flow.h"
+#include "graph/generators.h"
+#include "stats/descriptive.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+PointIcm PaperTriangle(double p12, double p13, double p23) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  auto g = Share(std::move(b).Build());
+  std::vector<double> probs(3);
+  probs[g->FindEdge(0, 1)] = p12;
+  probs[g->FindEdge(0, 2)] = p13;
+  probs[g->FindEdge(1, 2)] = p23;
+  return PointIcm(g, probs);
+}
+
+std::uint64_t StateKey(const PseudoState& x) {
+  std::uint64_t key = 0;
+  for (std::size_t e = 0; e < x.size(); ++e) {
+    if (x[e]) key |= 1ULL << e;
+  }
+  return key;
+}
+
+TEST(MhSampler, CreateRejectsInvalidConditions) {
+  PointIcm icm = PaperTriangle(0.5, 0.5, 0.5);
+  auto bad = MhSampler::Create(icm, {{0, 9, true}}, MhOptions{}, Rng(1));
+  EXPECT_FALSE(bad.ok());
+}
+
+TEST(MhSampler, CreateRejectsUnsatisfiableCondition) {
+  // 2 has no outgoing path to 0 at all.
+  PointIcm icm = PaperTriangle(0.5, 0.5, 0.5);
+  auto bad = MhSampler::Create(icm, {{2, 0, true}}, MhOptions{}, Rng(1));
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kFailedPrecondition);
+}
+
+// The central correctness property: the chain's stationary distribution over
+// pseudo-states equals the product-Bernoulli distribution of Eq. 3.
+TEST(MhSampler, StationaryDistributionMatchesExact) {
+  PointIcm icm = PaperTriangle(0.35, 0.7, 0.55);
+  MhOptions opt;
+  opt.burn_in = 2000;
+  opt.thinning = 3;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(42));
+  ASSERT_TRUE(sampler.ok());
+  std::map<std::uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[StateKey(sampler->NextSample())];
+  double total_variation = 0.0;
+  for (std::uint64_t bits = 0; bits < 8; ++bits) {
+    PseudoState x(3);
+    for (std::size_t e = 0; e < 3; ++e) x[e] = (bits >> e) & 1 ? 1 : 0;
+    const double expected = std::exp(icm.LogPseudoStateProb(x));
+    const double observed = static_cast<double>(counts[bits]) / n;
+    total_variation += 0.5 * std::fabs(expected - observed);
+  }
+  EXPECT_LT(total_variation, 0.02);
+}
+
+TEST(MhSampler, ConditionalStationaryDistributionMatchesExact) {
+  PointIcm icm = PaperTriangle(0.35, 0.7, 0.55);
+  const FlowConditions cond{{0, 1, true}, {1, 2, false}};
+  MhOptions opt;
+  opt.burn_in = 2000;
+  opt.thinning = 4;
+  auto sampler = MhSampler::Create(icm, cond, opt, Rng(43));
+  ASSERT_TRUE(sampler.ok());
+  // Exact conditional distribution by enumeration.
+  ReachabilityWorkspace ws(icm.graph());
+  std::map<std::uint64_t, double> exact;
+  double z = 0.0;
+  for (std::uint64_t bits = 0; bits < 8; ++bits) {
+    PseudoState x(3);
+    for (std::size_t e = 0; e < 3; ++e) x[e] = (bits >> e) & 1 ? 1 : 0;
+    if (!SatisfiesConditions(icm.graph(), x, cond, ws)) continue;
+    const double p = std::exp(icm.LogPseudoStateProb(x));
+    exact[bits] = p;
+    z += p;
+  }
+  std::map<std::uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) {
+    const PseudoState& x = sampler->NextSample();
+    ASSERT_TRUE(SatisfiesConditions(icm.graph(), x, cond, ws))
+        << "chain left the admissible set";
+    ++counts[StateKey(x)];
+  }
+  double total_variation = 0.0;
+  for (std::uint64_t bits = 0; bits < 8; ++bits) {
+    const double expected = exact.contains(bits) ? exact[bits] / z : 0.0;
+    const double observed = static_cast<double>(counts[bits]) / n;
+    total_variation += 0.5 * std::fabs(expected - observed);
+  }
+  EXPECT_LT(total_variation, 0.02);
+}
+
+TEST(MhSampler, FlowEstimateMatchesExact) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  MhOptions opt;
+  opt.burn_in = 1000;
+  opt.thinning = 2;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(44));
+  ASSERT_TRUE(sampler.ok());
+  const double estimate = sampler->EstimateFlowProbability(0, 2, 40000);
+  EXPECT_NEAR(estimate, ExactFlowByEnumeration(icm, 0, 2), 0.015);
+}
+
+TEST(MhSampler, ConditionalFlowEstimateMatchesExact) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  const FlowConditions cond{{0, 1, true}};
+  MhOptions opt;
+  opt.burn_in = 1000;
+  opt.thinning = 3;
+  auto sampler = MhSampler::Create(icm, cond, opt, Rng(45));
+  ASSERT_TRUE(sampler.ok());
+  const double estimate = sampler->EstimateFlowProbability(0, 2, 40000);
+  const double exact =
+      ExactConditionalFlowByEnumeration(icm, 0, 2, cond).ValueOrDie();
+  EXPECT_NEAR(estimate, exact, 0.015);
+}
+
+TEST(MhSampler, CommunityFlowMatchesPerSinkEstimates) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  MhOptions opt;
+  opt.burn_in = 500;
+  opt.thinning = 2;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(46));
+  ASSERT_TRUE(sampler.ok());
+  const auto flows = sampler->EstimateCommunityFlow(0, {1, 2}, 40000);
+  EXPECT_NEAR(flows[0], ExactFlowByEnumeration(icm, 0, 1), 0.015);
+  EXPECT_NEAR(flows[1], ExactFlowByEnumeration(icm, 0, 2), 0.015);
+}
+
+TEST(MhSampler, JointFlowMatchesExact) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  MhOptions opt;
+  opt.burn_in = 500;
+  opt.thinning = 2;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(47));
+  ASSERT_TRUE(sampler.ok());
+  const FlowConditions joint{{0, 1, true}, {0, 2, true}};
+  const double estimate = sampler->EstimateJointFlowProbability(joint, 40000);
+  EXPECT_NEAR(estimate, ExactJointFlowByEnumeration(icm, joint), 0.015);
+}
+
+TEST(MhSampler, DispersionMatchesExpectedSpread) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  MhOptions opt;
+  opt.burn_in = 500;
+  opt.thinning = 2;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(48));
+  ASSERT_TRUE(sampler.ok());
+  const auto counts = sampler->SampleDispersion(0, 40000);
+  RunningStats stats;
+  for (auto c : counts) stats.Add(static_cast<double>(c));
+  const double expected_mean = ExactFlowByEnumeration(icm, 0, 1) +
+                               ExactFlowByEnumeration(icm, 0, 2);
+  EXPECT_NEAR(stats.Mean(), expected_mean, 0.02);
+}
+
+TEST(MhSampler, FrozenChainWithDeterministicEdges) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  PointIcm icm(Share(std::move(b).Build()), {1.0});
+  auto sampler = MhSampler::Create(icm, {}, MhOptions{}, Rng(49));
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_FALSE(sampler->Step());  // nothing can flip
+  EXPECT_DOUBLE_EQ(sampler->EstimateFlowProbability(0, 1, 100), 1.0);
+}
+
+TEST(MhSampler, NormalizerTracksFenwickTotalExactly) {
+  PointIcm icm = PaperTriangle(0.2, 0.8, 0.45);
+  auto sampler = MhSampler::Create(icm, {}, MhOptions{}, Rng(50));
+  ASSERT_TRUE(sampler.ok());
+  for (int i = 0; i < 2000; ++i) {
+    sampler->Step();
+    // Recompute Z from the state directly.
+    double z = 0.0;
+    for (EdgeId e = 0; e < 3; ++e) {
+      z += sampler->state()[e] ? 1.0 - icm.prob(e) : icm.prob(e);
+    }
+    ASSERT_NEAR(sampler->proposal_normalizer(), z, 1e-9);
+  }
+}
+
+TEST(MhSampler, AcceptanceDiagnosticsAdvance) {
+  PointIcm icm = PaperTriangle(0.5, 0.5, 0.5);
+  auto sampler = MhSampler::Create(icm, {}, MhOptions{}, Rng(51));
+  ASSERT_TRUE(sampler.ok());
+  for (int i = 0; i < 100; ++i) sampler->Step();
+  EXPECT_EQ(sampler->steps_taken(), 100u);
+  EXPECT_GT(sampler->steps_accepted(), 0u);
+  EXPECT_LE(sampler->steps_accepted(), 100u);
+}
+
+TEST(MhSampler, DeterministicGivenSeed) {
+  PointIcm icm = PaperTriangle(0.35, 0.7, 0.55);
+  auto a = MhSampler::Create(icm, {}, MhOptions{}, Rng(99));
+  auto b = MhSampler::Create(icm, {}, MhOptions{}, Rng(99));
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_DOUBLE_EQ(a->EstimateFlowProbability(0, 2, 2000),
+                   b->EstimateFlowProbability(0, 2, 2000));
+}
+
+TEST(MhSampler, LargerGraphAgreesWithEnumeration) {
+  Rng graph_rng(7);
+  auto g = Share(UniformRandomGraph(8, 16, graph_rng));
+  Rng prob_rng(8);
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = prob_rng.Uniform(0.1, 0.9);
+  PointIcm icm(g, probs);
+  MhOptions opt;
+  opt.burn_in = 3000;
+  opt.thinning = 5;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(52));
+  ASSERT_TRUE(sampler.ok());
+  const double estimate = sampler->EstimateFlowProbability(0, 5, 30000);
+  EXPECT_NEAR(estimate, ExactFlowByEnumeration(icm, 0, 5), 0.02);
+}
+
+TEST(MhSampler, UniformProposalHasSameStationaryDistribution) {
+  // The ablation switch must not change the target law, only the mixing.
+  PointIcm icm = PaperTriangle(0.35, 0.7, 0.55);
+  MhOptions opt;
+  opt.burn_in = 3000;
+  opt.thinning = 5;
+  opt.uniform_proposal = true;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(142));
+  ASSERT_TRUE(sampler.ok());
+  std::map<std::uint64_t, int> counts;
+  const int n = 60000;
+  for (int i = 0; i < n; ++i) ++counts[StateKey(sampler->NextSample())];
+  double total_variation = 0.0;
+  for (std::uint64_t bits = 0; bits < 8; ++bits) {
+    PseudoState x(3);
+    for (std::size_t e = 0; e < 3; ++e) x[e] = (bits >> e) & 1 ? 1 : 0;
+    const double expected = std::exp(icm.LogPseudoStateProb(x));
+    const double observed = static_cast<double>(counts[bits]) / n;
+    total_variation += 0.5 * std::fabs(expected - observed);
+  }
+  EXPECT_LT(total_variation, 0.02);
+}
+
+TEST(MhSampler, UniformProposalConditionalFlow) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  const FlowConditions cond{{0, 1, true}};
+  MhOptions opt;
+  opt.burn_in = 2000;
+  opt.thinning = 5;
+  opt.uniform_proposal = true;
+  auto sampler = MhSampler::Create(icm, cond, opt, Rng(143));
+  ASSERT_TRUE(sampler.ok());
+  const double exact =
+      ExactConditionalFlowByEnumeration(icm, 0, 2, cond).ValueOrDie();
+  EXPECT_NEAR(sampler->EstimateFlowProbability(0, 2, 40000), exact, 0.015);
+}
+
+TEST(MhSampler, NegativeConditionInitialization) {
+  // Rejection may fail when the condition is unlikely; the repair path must
+  // still find an admissible state.
+  PointIcm icm = PaperTriangle(0.99, 0.99, 0.99);
+  MhOptions opt;
+  opt.init_rejection_tries = 2;
+  auto sampler = MhSampler::Create(icm, {{1, 2, false}}, opt, Rng(53));
+  ASSERT_TRUE(sampler.ok());
+  ReachabilityWorkspace ws(icm.graph());
+  EXPECT_TRUE(SatisfiesConditions(icm.graph(), sampler->state(),
+                                  {{1, 2, false}}, ws));
+}
+
+}  // namespace
+}  // namespace infoflow

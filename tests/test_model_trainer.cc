@@ -1,0 +1,146 @@
+#include "learn/model_trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "stats/descriptive.h"
+
+namespace infoflow {
+namespace {
+
+// A small two-level graph: 0 -> {1, 2}, {1, 2} -> 3.
+std::shared_ptr<const DirectedGraph> Diamond() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  b.AddEdge(1, 3).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  return std::make_shared<const DirectedGraph>(std::move(b).Build());
+}
+
+UnattributedEvidence Simulate(const PointIcm& truth, std::size_t objects,
+                              Rng& rng) {
+  UnattributedEvidence ev;
+  for (std::size_t o = 0; o < objects; ++o) {
+    const ActiveState s = truth.SampleCascade({0}, rng);
+    ObjectTrace trace;
+    double time = 0.0;
+    for (NodeId v : s.active_nodes) {
+      trace.activations.push_back({v, time});
+      time += 1.0;
+    }
+    ev.traces.push_back(std::move(trace));
+  }
+  return ev;
+}
+
+TEST(ModelTrainer, MethodNames) {
+  EXPECT_STREQ(UnattributedMethodName(UnattributedMethod::kJointBayes),
+               "joint-bayes");
+  EXPECT_STREQ(UnattributedMethodName(UnattributedMethod::kGoyal), "goyal");
+  EXPECT_STREQ(UnattributedMethodName(UnattributedMethod::kSaitoEm),
+               "saito-em");
+  EXPECT_STREQ(UnattributedMethodName(UnattributedMethod::kFiltered),
+               "filtered");
+}
+
+TEST(ModelTrainer, RejectsInvalidEvidence) {
+  auto g = Diamond();
+  UnattributedEvidence bad;
+  bad.traces.push_back(ObjectTrace{{{9, 1.0}}});
+  UnattributedTrainOptions opt;
+  Rng rng(1);
+  EXPECT_FALSE(TrainUnattributedModel(g, bad, opt, rng).ok());
+}
+
+TEST(ModelTrainer, NoEvidenceGivesDefaultMeans) {
+  auto g = Diamond();
+  UnattributedTrainOptions opt;
+  opt.no_evidence_mean = 0.25;
+  Rng rng(2);
+  auto model = TrainUnattributedModel(g, {}, opt, rng);
+  ASSERT_TRUE(model.ok());
+  for (double m : model->mean) EXPECT_DOUBLE_EQ(m, 0.25);
+}
+
+TEST(ModelTrainer, AllMethodsProduceProbabilities) {
+  auto g = Diamond();
+  PointIcm truth(g, {0.8, 0.3, 0.6, 0.4});
+  Rng sim_rng(3);
+  const auto ev = Simulate(truth, 300, sim_rng);
+  for (auto method :
+       {UnattributedMethod::kJointBayes, UnattributedMethod::kGoyal,
+        UnattributedMethod::kSaitoEm, UnattributedMethod::kFiltered}) {
+    UnattributedTrainOptions opt;
+    opt.method = method;
+    opt.joint_bayes.num_samples = 300;
+    opt.joint_bayes.burn_in = 200;
+    Rng rng(4);
+    auto model = TrainUnattributedModel(g, ev, opt, rng);
+    ASSERT_TRUE(model.ok()) << UnattributedMethodName(method);
+    ASSERT_EQ(model->mean.size(), g->num_edges());
+    for (double m : model->mean) {
+      EXPECT_GE(m, 0.0);
+      EXPECT_LE(m, 1.0);
+    }
+  }
+}
+
+TEST(ModelTrainer, JointBayesRecoversTruthApproximately) {
+  auto g = Diamond();
+  PointIcm truth(g, {0.8, 0.3, 0.6, 0.4});
+  Rng sim_rng(5);
+  const auto ev = Simulate(truth, 2500, sim_rng);
+  UnattributedTrainOptions opt;
+  opt.joint_bayes.num_samples = 600;
+  opt.joint_bayes.burn_in = 300;
+  Rng rng(6);
+  auto model = TrainUnattributedModel(g, ev, opt, rng);
+  ASSERT_TRUE(model.ok());
+  // The first-level edges have unambiguous single-parent evidence.
+  EXPECT_NEAR(model->mean[g->FindEdge(0, 1)], 0.8, 0.07);
+  EXPECT_NEAR(model->mean[g->FindEdge(0, 2)], 0.3, 0.07);
+  // Second-level edges are partially ambiguous but should still be close.
+  EXPECT_NEAR(model->mean[g->FindEdge(1, 3)], 0.6, 0.12);
+  EXPECT_NEAR(model->mean[g->FindEdge(2, 3)], 0.4, 0.12);
+}
+
+TEST(ModelTrainer, PointAndGaussianModels) {
+  auto g = Diamond();
+  PointIcm truth(g, {0.8, 0.3, 0.6, 0.4});
+  Rng sim_rng(7);
+  const auto ev = Simulate(truth, 200, sim_rng);
+  UnattributedTrainOptions opt;
+  opt.joint_bayes.num_samples = 200;
+  Rng rng(8);
+  auto model = TrainUnattributedModel(g, ev, opt, rng);
+  ASSERT_TRUE(model.ok());
+  const PointIcm point = model->ToPointIcm();
+  EXPECT_EQ(point.graph().num_edges(), g->num_edges());
+  Rng sample_rng(9);
+  const PointIcm noisy = model->SampleGaussianIcm(sample_rng);
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    EXPECT_GE(noisy.prob(e), 0.0);
+    EXPECT_LE(noisy.prob(e), 1.0);
+  }
+}
+
+TEST(ModelTrainer, JointBayesReportsUncertainty) {
+  auto g = Diamond();
+  PointIcm truth(g, {0.8, 0.3, 0.6, 0.4});
+  Rng sim_rng(10);
+  const auto small = Simulate(truth, 30, sim_rng);
+  const auto large = Simulate(truth, 2000, sim_rng);
+  UnattributedTrainOptions opt;
+  opt.joint_bayes.num_samples = 400;
+  Rng rng_a(11), rng_b(11);
+  auto model_small = TrainUnattributedModel(g, small, opt, rng_a);
+  auto model_large = TrainUnattributedModel(g, large, opt, rng_b);
+  ASSERT_TRUE(model_small.ok() && model_large.ok());
+  // More evidence, less posterior spread on the root edges.
+  const EdgeId e01 = g->FindEdge(0, 1);
+  EXPECT_GT(model_small->sd[e01], model_large->sd[e01]);
+}
+
+}  // namespace
+}  // namespace infoflow

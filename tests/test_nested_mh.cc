@@ -1,0 +1,117 @@
+#include "core/nested_mh.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Pair() {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  return std::make_shared<const DirectedGraph>(std::move(b).Build());
+}
+
+TEST(NestedMh, SingleEdgeRecoversEdgeBeta) {
+  // With one edge, the flow probability 0 ~> 1 *is* the edge probability,
+  // so the nested distribution must match the edge's Beta.
+  BetaIcm model(Pair(), {16.0}, {4.0});
+  NestedMhOptions opt;
+  opt.num_models = 300;
+  opt.samples_per_model = 400;
+  opt.mh.burn_in = 200;
+  opt.mh.thinning = 1;
+  Rng rng(1);
+  auto dist = NestedMhFlowDistribution(model, 0, 1, {}, opt, rng);
+  ASSERT_TRUE(dist.ok());
+  const BetaDist edge = model.EdgeBeta(0);
+  EXPECT_NEAR(dist->Mean(), edge.Mean(), 0.02);
+  EXPECT_NEAR(dist->Variance(), edge.Variance(), 0.005);
+}
+
+TEST(NestedMh, FittedBetaMatchesSampleMoments) {
+  BetaIcm model(Pair(), {2.0}, {8.0});
+  NestedMhOptions opt;
+  opt.num_models = 200;
+  opt.samples_per_model = 300;
+  opt.mh.burn_in = 200;
+  Rng rng(2);
+  auto dist = NestedMhFlowDistribution(model, 0, 1, {}, opt, rng);
+  ASSERT_TRUE(dist.ok());
+  const BetaDist fit = dist->FittedBeta();
+  EXPECT_NEAR(fit.Mean(), dist->Mean(), 1e-6);
+  EXPECT_NEAR(fit.Variance(), dist->Variance(), 1e-6);
+}
+
+TEST(NestedMh, TightPosteriorYieldsNarrowDistribution) {
+  // Strong evidence (large α+β) must produce a narrow flow distribution;
+  // weak evidence a wide one — the Fig. 3 comparison.
+  NestedMhOptions opt;
+  opt.num_models = 150;
+  opt.samples_per_model = 300;
+  opt.mh.burn_in = 200;
+  Rng rng(3);
+  BetaIcm strong(Pair(), {160.0}, {40.0});
+  BetaIcm weak(Pair(), {1.6}, {0.4});
+  auto strong_dist = NestedMhFlowDistribution(strong, 0, 1, {}, opt, rng);
+  auto weak_dist = NestedMhFlowDistribution(weak, 0, 1, {}, opt, rng);
+  ASSERT_TRUE(strong_dist.ok() && weak_dist.ok());
+  EXPECT_LT(strong_dist->Variance(), weak_dist->Variance());
+}
+
+TEST(NestedMh, GaussianApproximationStaysInRange) {
+  BetaIcm model(Pair(), {1.0}, {45.0});
+  NestedMhOptions opt;
+  opt.num_models = 100;
+  opt.samples_per_model = 100;
+  opt.mh.burn_in = 100;
+  opt.gaussian_edge_approximation = true;
+  Rng rng(4);
+  auto dist = NestedMhFlowDistribution(model, 0, 1, {}, opt, rng);
+  ASSERT_TRUE(dist.ok());
+  for (double p : dist->probabilities) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(NestedMh, RiskAccessors) {
+  FlowProbabilityDistribution dist;
+  for (int i = 0; i < 100; ++i) dist.probabilities.push_back(i / 100.0);
+  EXPECT_NEAR(dist.Quantile(0.5), 0.495, 1e-9);
+  EXPECT_NEAR(dist.ProbabilityAbove(0.9), 0.09, 1e-12);
+  EXPECT_DOUBLE_EQ(dist.ProbabilityAbove(1.0), 0.0);
+  // Worst 5% tail: values 0.95..0.99, mean 0.97.
+  EXPECT_NEAR(dist.TailMean(0.95), 0.97, 1e-9);
+  // The tail mean is never below the same-level quantile.
+  EXPECT_GE(dist.TailMean(0.8), dist.Quantile(0.8) - 1e-12);
+}
+
+TEST(NestedMh, RiskAccessorsDegenerate) {
+  FlowProbabilityDistribution dist;
+  dist.probabilities.assign(10, 0.3);
+  EXPECT_DOUBLE_EQ(dist.Quantile(0.99), 0.3);
+  EXPECT_DOUBLE_EQ(dist.TailMean(0.9), 0.3);
+  EXPECT_DOUBLE_EQ(dist.ProbabilityAbove(0.25), 1.0);
+}
+
+TEST(NestedMh, ConditionsPropagateToInnerSampler) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  auto g = std::make_shared<const DirectedGraph>(std::move(b).Build());
+  BetaIcm model(g, {4.0, 4.0}, {4.0, 4.0});
+  NestedMhOptions opt;
+  opt.num_models = 60;
+  opt.samples_per_model = 300;
+  opt.mh.burn_in = 300;
+  Rng rng(5);
+  auto unconditional = NestedMhFlowDistribution(model, 0, 2, {}, opt, rng);
+  auto conditional =
+      NestedMhFlowDistribution(model, 0, 2, {{0, 1, true}}, opt, rng);
+  ASSERT_TRUE(unconditional.ok() && conditional.ok());
+  // Knowing the first hop flowed leaves only the second hop in doubt.
+  EXPECT_GT(conditional->Mean(), unconditional->Mean() + 0.1);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,151 @@
+/// \file test_parser_robustness.cc
+/// \brief Fuzz-style robustness sweeps: every text parser in the library
+/// must return a Status (never crash, never corrupt) on arbitrary input —
+/// random bytes, truncations of valid documents, and hostile near-misses.
+
+#include <gtest/gtest.h>
+
+#include "core/serialization.h"
+#include "graph/generators.h"
+#include "learn/evidence_io.h"
+#include "twitter/retweet_parser.h"
+#include "twitter/tweet_io.h"
+#include "util/csv.h"
+
+namespace infoflow {
+namespace {
+
+std::string RandomBytes(Rng& rng, std::size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    // Printable-ish mix plus newlines and separators the parsers key on.
+    static const char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyz0123456789 \n\t|:>,\"@.!-";
+    out += kAlphabet[rng.NextBounded(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, RandomBytesNeverCrashParsers) {
+  Rng rng(GetParam());
+  const UserRegistry registry = UserRegistry::Sequential(10);
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  const DirectedGraph graph = std::move(b).Build();
+  for (int i = 0; i < 50; ++i) {
+    const std::string junk = RandomBytes(rng, 1 + rng.NextBounded(300));
+    (void)DeserializePointIcm(junk);
+    (void)DeserializeBetaIcm(junk);
+    (void)DeserializeAttributedEvidence(junk, graph);
+    (void)DeserializeUnattributedEvidence(junk);
+    (void)DeserializeTweetLog(junk, registry);
+    (void)ParseCsv(junk);
+    std::vector<std::string> mentions;
+    std::string base;
+    SplitRetweetChain(junk, &mentions, &base);
+  }
+}
+
+TEST_P(ParserFuzz, TruncatedValidDocumentsFailCleanly) {
+  Rng rng(GetParam() + 1000);
+  auto g = std::make_shared<const DirectedGraph>(
+      UniformRandomGraph(8, 20, rng));
+  const BetaIcm model = BetaIcm::RandomSynthetic(g, rng);
+  const std::string full = SerializeBetaIcm(model);
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t cut = rng.NextBounded(full.size());
+    auto result = DeserializeBetaIcm(full.substr(0, cut));
+    // Most truncations break the record count and must fail; a cut inside
+    // the final number still reads as a (different) valid document. Either
+    // way: an error Status or a fully valid model, never a crash or a
+    // half-constructed result.
+    if (result.ok()) {
+      EXPECT_EQ(result->graph().num_edges(), model.graph().num_edges());
+      for (EdgeId e = 0; e < result->graph().num_edges(); ++e) {
+        EXPECT_GT(result->alpha(e), 0.0);
+        EXPECT_GT(result->beta(e), 0.0);
+      }
+    }
+  }
+}
+
+TEST_P(ParserFuzz, SingleByteCorruptionsNeverCrash) {
+  Rng rng(GetParam() + 2000);
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  auto g = std::make_shared<const DirectedGraph>(std::move(b).Build());
+  const PointIcm model(g, {0.25, 0.75});
+  const std::string full = SerializePointIcm(model);
+  for (int i = 0; i < 100; ++i) {
+    std::string corrupted = full;
+    const std::size_t pos = rng.NextBounded(corrupted.size());
+    corrupted[pos] =
+        static_cast<char>('!' + rng.NextBounded(90));
+    auto result = DeserializePointIcm(corrupted);
+    if (result.ok()) {
+      // A corruption that still parses must yield a *valid* model.
+      EXPECT_EQ(result->graph().num_edges(), 2u);
+      for (EdgeId e = 0; e < 2; ++e) {
+        EXPECT_GE(result->prob(e), 0.0);
+        EXPECT_LE(result->prob(e), 1.0);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+TEST(ParserRobustness, RetweetChainPathologies) {
+  std::vector<std::string> mentions;
+  std::string base;
+  // Deep nesting.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) deep += "RT @u" + std::to_string(i) + ": ";
+  deep += "core";
+  SplitRetweetChain(deep, &mentions, &base);
+  EXPECT_EQ(mentions.size(), 200u);
+  EXPECT_EQ(base, "core");
+  // Empty and whitespace-only.
+  SplitRetweetChain("", &mentions, &base);
+  EXPECT_TRUE(mentions.empty());
+  SplitRetweetChain("   ", &mentions, &base);
+  EXPECT_TRUE(mentions.empty());
+  // "RT @" with nothing after.
+  SplitRetweetChain("RT @", &mentions, &base);
+  EXPECT_TRUE(mentions.empty());
+  EXPECT_EQ(base, "RT @");
+  // Colon with empty handle.
+  SplitRetweetChain("RT @: hi", &mentions, &base);
+  EXPECT_TRUE(mentions.empty());
+}
+
+TEST(ParserRobustness, EvidenceIoHostileNearMisses) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  const DirectedGraph graph = std::move(b).Build();
+  // Huge claimed counts must not allocate unboundedly or crash.
+  EXPECT_FALSE(DeserializeAttributedEvidence(
+                   "infoflow-attributed v1\nobjects 99999999999\n", graph)
+                   .ok());
+  EXPECT_FALSE(DeserializeUnattributedEvidence(
+                   "infoflow-traces v1\ntraces 18446744073709551615\n")
+                   .ok());
+  // Node ids at the NodeId boundary.
+  EXPECT_FALSE(DeserializeAttributedEvidence(
+                   "infoflow-attributed v1\nobjects 1\n4294967295|0|\n",
+                   graph)
+                   .ok());
+  // Negative numbers.
+  EXPECT_FALSE(DeserializeUnattributedEvidence(
+                   "infoflow-traces v1\ntraces 1\n-3:1.0\n")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,343 @@
+/// \file test_properties.cc
+/// \brief Parameterized property sweeps: each suite checks one invariant
+/// across a family of randomly generated models (TEST_P /
+/// INSTANTIATE_TEST_SUITE_P).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_flow.h"
+#include "core/impact.h"
+#include "core/mh_sampler.h"
+#include "core/serialization.h"
+#include "graph/generators.h"
+#include "learn/joint_bayes.h"
+#include "learn/summary.h"
+#include "stats/binomial.h"
+#include "stats/special.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+/// Random small model: seed determines everything.
+PointIcm SmallRandomModel(std::uint64_t seed, NodeId nodes, EdgeId edges,
+                          double lo, double hi) {
+  Rng rng(seed);
+  auto g = Share(UniformRandomGraph(nodes, edges, rng));
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = rng.Uniform(lo, hi);
+  return PointIcm(g, probs);
+}
+
+// ---------------------------------------------------------------------
+// Property: the MH flow estimate converges to the exact enumeration value
+// on every graph in the family — including cyclic and near-deterministic
+// edge probabilities.
+class MhMatchesEnumeration : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(MhMatchesEnumeration, UnconditionalFlows) {
+  const std::uint64_t seed = GetParam();
+  PointIcm model = SmallRandomModel(seed, 7, 14, 0.05, 0.95);
+  MhOptions opt;
+  opt.burn_in = 2000;
+  opt.thinning = 5;
+  auto sampler = MhSampler::Create(model, {}, opt, Rng(seed * 13 + 1));
+  ASSERT_TRUE(sampler.ok());
+  for (NodeId sink : {1u, 3u, 6u}) {
+    const double exact = ExactFlowByEnumeration(model, 0, sink);
+    const double estimate =
+        sampler->EstimateFlowProbability(0, sink, 25000);
+    EXPECT_NEAR(estimate, exact, 0.02) << "seed " << seed << " sink " << sink;
+  }
+}
+
+TEST_P(MhMatchesEnumeration, ConditionalFlows) {
+  const std::uint64_t seed = GetParam();
+  PointIcm model = SmallRandomModel(seed, 7, 14, 0.1, 0.9);
+  const FlowConditions cond{{0, 1, true}};
+  auto exact = ExactConditionalFlowByEnumeration(model, 0, 4, cond);
+  if (!exact.ok()) GTEST_SKIP() << "condition has zero probability";
+  MhOptions opt;
+  opt.burn_in = 2500;
+  opt.thinning = 6;
+  auto sampler = MhSampler::Create(model, cond, opt, Rng(seed * 17 + 3));
+  if (!sampler.ok()) GTEST_SKIP() << "no admissible initial state";
+  EXPECT_NEAR(sampler->EstimateFlowProbability(0, 4, 25000), *exact, 0.025)
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, MhMatchesEnumeration,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// ---------------------------------------------------------------------
+// Property: raising any single edge probability never lowers any
+// end-to-end flow probability (monotone coupling).
+class FlowMonotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FlowMonotonicity, RaisingAnEdgeNeverHurts) {
+  const std::uint64_t seed = GetParam();
+  PointIcm model = SmallRandomModel(seed, 6, 10, 0.1, 0.7);
+  const double base = ExactFlowByEnumeration(model, 0, 5);
+  for (EdgeId e = 0; e < model.graph().num_edges(); ++e) {
+    std::vector<double> bumped = model.probs();
+    bumped[e] = std::min(1.0, bumped[e] + 0.2);
+    PointIcm raised(model.graph_ptr(), bumped);
+    EXPECT_GE(ExactFlowByEnumeration(raised, 0, 5), base - 1e-12)
+        << "seed " << seed << " edge " << e;
+  }
+}
+
+TEST_P(FlowMonotonicity, AddingAnEdgeNeverHurts) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  auto g = Share(UniformRandomGraph(6, 8, rng));
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.1, 0.7);
+  PointIcm model(g, probs);
+  const double base = ExactFlowByEnumeration(model, 0, 5);
+  // Add one random absent edge.
+  for (int tries = 0; tries < 50; ++tries) {
+    const auto u = static_cast<NodeId>(rng.NextBounded(6));
+    const auto v = static_cast<NodeId>(rng.NextBounded(6));
+    if (u == v || g->HasEdge(u, v)) continue;
+    GraphBuilder b(6);
+    for (const Edge& edge : g->edges()) b.AddEdge(edge.src, edge.dst).CheckOK();
+    b.AddEdge(u, v).CheckOK();
+    auto g2 = Share(std::move(b).Build());
+    std::vector<double> probs2(g2->num_edges());
+    for (EdgeId e = 0; e < g2->num_edges(); ++e) {
+      const Edge& edge = g2->edge(e);
+      const EdgeId old_id = g->FindEdge(edge.src, edge.dst);
+      probs2[e] = old_id == kInvalidEdge ? 0.5 : probs[old_id];
+    }
+    PointIcm bigger(g2, probs2);
+    EXPECT_GE(ExactFlowByEnumeration(bigger, 0, 5), base - 1e-12)
+        << "seed " << seed;
+    return;
+  }
+  GTEST_SKIP() << "graph already dense";
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, FlowMonotonicity,
+                         ::testing::Values(3, 14, 15, 92, 65, 35));
+
+// ---------------------------------------------------------------------
+// Property: pseudo-state probabilities (Eq. 3) are a distribution, and the
+// conditional distribution renormalizes exactly (Eq. 6).
+class PseudoStateDistribution
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PseudoStateDistribution, ConditionalRenormalizes) {
+  const std::uint64_t seed = GetParam();
+  PointIcm model = SmallRandomModel(seed, 5, 8, 0.1, 0.9);
+  const FlowConditions cond{{0, 2, true}};
+  const double p_cond = ExactConditionsProbability(model, cond);
+  if (p_cond <= 0.0) GTEST_SKIP();
+  // Bayes: Pr[flow and C] / Pr[C] == conditional flow.
+  const double joint = ExactJointFlowByEnumeration(
+      model, {{0, 2, true}, {0, 4, true}});
+  auto conditional = ExactConditionalFlowByEnumeration(model, 0, 4, cond);
+  ASSERT_TRUE(conditional.ok());
+  EXPECT_NEAR(*conditional, joint / p_cond, 1e-12) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PseudoStateDistribution,
+                         ::testing::Values(7, 19, 28, 41, 53));
+
+// ---------------------------------------------------------------------
+// Property: Beta quantile inverts the CDF across the parameter family.
+struct BetaParams {
+  double alpha;
+  double beta;
+};
+class BetaQuantileInversion : public ::testing::TestWithParam<BetaParams> {};
+
+TEST_P(BetaQuantileInversion, RoundTrips) {
+  const auto [alpha, beta] = GetParam();
+  const BetaDist dist(alpha, beta);
+  for (double p = 0.02; p < 1.0; p += 0.07) {
+    EXPECT_NEAR(dist.Cdf(dist.Quantile(p)), p, 1e-8)
+        << "Beta(" << alpha << "," << beta << ") p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParameterGrid, BetaQuantileInversion,
+                         ::testing::Values(BetaParams{0.5, 0.5},
+                                           BetaParams{1.0, 1.0},
+                                           BetaParams{1.0, 45.0},
+                                           BetaParams{32.0, 40.0},
+                                           BetaParams{16.0, 4.0},
+                                           BetaParams{200.0, 300.0}));
+
+// ---------------------------------------------------------------------
+// Property: the evidence summary is a sufficient statistic — Bernoulli
+// log-likelihood == Binomial summary log-likelihood up to the binomial
+// coefficients — for random evidence and random parameters.
+class SummarySufficiency : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SummarySufficiency, BernoulliEqualsBinomial) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t parents = 2 + rng.NextBounded(4);
+  const DirectedGraph graph = StarFragment(parents);
+  const auto sink = static_cast<NodeId>(parents);
+  UnattributedEvidence ev;
+  std::vector<std::pair<std::vector<std::uint8_t>, bool>> raw;
+  for (int i = 0; i < 80; ++i) {
+    ObjectTrace trace;
+    std::vector<std::uint8_t> mask(parents, 0);
+    double time = 1.0;
+    bool any = false;
+    for (NodeId p = 0; p < sink; ++p) {
+      if (rng.Bernoulli(0.5)) {
+        mask[p] = 1;
+        any = true;
+        trace.activations.push_back({p, time++});
+      }
+    }
+    if (!any) continue;
+    const bool leak = rng.Bernoulli(0.5);
+    if (leak) trace.activations.push_back({sink, time});
+    raw.emplace_back(mask, leak);
+    ev.traces.push_back(std::move(trace));
+  }
+  const SinkSummary summary = BuildSinkSummary(graph, sink, ev);
+  std::vector<double> p(parents);
+  for (double& x : p) x = rng.Uniform(0.05, 0.95);
+  auto joint = [&p](const std::vector<std::uint8_t>& mask) {
+    double survive = 1.0;
+    for (std::size_t j = 0; j < mask.size(); ++j) {
+      if (mask[j]) survive *= 1.0 - p[j];
+    }
+    return 1.0 - survive;
+  };
+  double bernoulli = 0.0;
+  for (const auto& [mask, leak] : raw) {
+    bernoulli += std::log(leak ? joint(mask) : 1.0 - joint(mask));
+  }
+  double binomial = 0.0, constant = 0.0;
+  for (const SummaryRow& row : summary.rows) {
+    binomial += BinomialLogPmf(row.count, row.leaks, joint(row.mask));
+    constant += LogChoose(row.count, row.leaks);
+  }
+  EXPECT_NEAR(bernoulli, binomial - constant, 1e-9) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomEvidence, SummarySufficiency,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------
+// Property: the two spread-size estimators agree — SampleDispersion walks
+// MH pseudo-states and counts reachability, SimulateImpact runs generative
+// cascades; both must produce the same distribution of |V_i| − 1.
+class SpreadEstimatorAgreement
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SpreadEstimatorAgreement, DispersionMatchesImpact) {
+  const std::uint64_t seed = GetParam();
+  PointIcm model = SmallRandomModel(seed, 8, 18, 0.1, 0.7);
+  Rng impact_rng(seed + 1);
+  const ImpactDistribution impact =
+      SimulateImpact(model, 0, 40000, impact_rng);
+  MhOptions opt;
+  opt.burn_in = 2000;
+  opt.thinning = 6;
+  auto sampler = MhSampler::Create(model, {}, opt, Rng(seed + 2));
+  ASSERT_TRUE(sampler.ok());
+  const auto dispersion = sampler->SampleDispersion(0, 40000);
+  std::vector<double> disp_freq(9, 0.0);
+  for (std::uint32_t d : dispersion) {
+    disp_freq[d] += 1.0 / static_cast<double>(dispersion.size());
+  }
+  for (std::size_t k = 0; k < impact.counts.size(); ++k) {
+    const double impact_freq = static_cast<double>(impact.counts[k]) /
+                               static_cast<double>(impact.Total());
+    EXPECT_NEAR(impact_freq, disp_freq[k], 0.02)
+        << "seed " << seed << " spread " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SpreadEstimatorAgreement,
+                         ::testing::Values(13, 26, 39, 52));
+
+// ---------------------------------------------------------------------
+// Property: serialization round-trips bit-exactly for random models.
+class SerializationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SerializationFuzz, BetaModelsRoundTrip) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const auto nodes = static_cast<NodeId>(5 + rng.NextBounded(40));
+  const auto max_edges =
+      static_cast<EdgeId>(static_cast<std::uint64_t>(nodes) * (nodes - 1));
+  const auto edges = static_cast<EdgeId>(1 + rng.NextBounded(
+      std::min<std::uint64_t>(max_edges, 4ull * nodes)));
+  auto g = Share(UniformRandomGraph(nodes, edges, rng));
+  const BetaIcm original = BetaIcm::RandomSynthetic(g, rng, 0.1, 400.0,
+                                                    0.1, 400.0);
+  auto restored = DeserializeBetaIcm(SerializeBetaIcm(original));
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    ASSERT_EQ(restored->graph().edge(e), g->edge(e));
+    ASSERT_DOUBLE_EQ(restored->alpha(e), original.alpha(e));
+    ASSERT_DOUBLE_EQ(restored->beta(e), original.beta(e));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomModels, SerializationFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+// ---------------------------------------------------------------------
+// Property: joint-Bayes posterior means are consistent — they approach
+// the generating probabilities as evidence grows, for random star models.
+class JointBayesConsistency : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(JointBayesConsistency, PosteriorConcentrates) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+  const std::size_t parents = 2 + rng.NextBounded(3);
+  const DirectedGraph graph = StarFragment(parents);
+  const auto sink = static_cast<NodeId>(parents);
+  std::vector<double> truth(parents);
+  for (double& t : truth) t = rng.Uniform(0.1, 0.9);
+  UnattributedEvidence ev;
+  for (int o = 0; o < 4000; ++o) {
+    ObjectTrace trace;
+    double survive = 1.0;
+    double time = 1.0;
+    for (NodeId p = 0; p < sink; ++p) {
+      if (rng.Bernoulli(0.7)) {
+        trace.activations.push_back({p, time++});
+        survive *= 1.0 - truth[p];
+      }
+    }
+    if (trace.activations.empty()) continue;
+    if (rng.Bernoulli(1.0 - survive)) {
+      trace.activations.push_back({sink, time});
+    }
+    ev.traces.push_back(std::move(trace));
+  }
+  const SinkSummary summary = BuildSinkSummary(graph, sink, ev);
+  JointBayesOptions opt;
+  opt.num_samples = 800;
+  opt.burn_in = 400;
+  auto fit = FitJointBayes(summary, opt, rng);
+  ASSERT_TRUE(fit.ok());
+  for (std::size_t j = 0; j < parents; ++j) {
+    EXPECT_NEAR(fit->mean[j], truth[j], 0.06)
+        << "seed " << seed << " parent " << j;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomStars, JointBayesConsistency,
+                         ::testing::Values(9, 18, 27, 36, 45));
+
+}  // namespace
+}  // namespace infoflow

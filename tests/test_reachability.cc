@@ -1,0 +1,130 @@
+#include "graph/reachability.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/graph.h"
+
+namespace infoflow {
+namespace {
+
+// 0 -> 1 -> 2 -> 3, plus 0 -> 3 shortcut and a cycle 3 -> 1.
+DirectedGraph Chain() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  b.AddEdge(0, 3).CheckOK();
+  b.AddEdge(3, 1).CheckOK();
+  return std::move(b).Build();
+}
+
+std::vector<std::uint8_t> AllActive(const DirectedGraph& g) {
+  return std::vector<std::uint8_t>(g.num_edges(), 1);
+}
+
+TEST(Reachability, AllEdgesActiveReachesEverything) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  ws.Run(g, {0}, AllActive(g));
+  for (NodeId v = 0; v < 4; ++v) EXPECT_TRUE(ws.IsReached(v));
+}
+
+TEST(Reachability, NoEdgesActiveReachesOnlySources) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  ws.Run(g, {1}, std::vector<std::uint8_t>(g.num_edges(), 0));
+  EXPECT_TRUE(ws.IsReached(1));
+  EXPECT_FALSE(ws.IsReached(0));
+  EXPECT_FALSE(ws.IsReached(2));
+}
+
+TEST(Reachability, RespectsInactiveEdges) {
+  DirectedGraph g = Chain();
+  auto active = AllActive(g);
+  active[g.FindEdge(0, 1)] = 0;
+  active[g.FindEdge(0, 3)] = 0;
+  ReachabilityWorkspace ws(g);
+  ws.Run(g, {0}, active);
+  EXPECT_TRUE(ws.IsReached(0));
+  EXPECT_FALSE(ws.IsReached(1));
+  EXPECT_FALSE(ws.IsReached(2));
+  EXPECT_FALSE(ws.IsReached(3));
+}
+
+TEST(Reachability, FollowsCycles) {
+  DirectedGraph g = Chain();
+  auto active = std::vector<std::uint8_t>(g.num_edges(), 0);
+  active[g.FindEdge(0, 3)] = 1;
+  active[g.FindEdge(3, 1)] = 1;
+  active[g.FindEdge(1, 2)] = 1;
+  ReachabilityWorkspace ws(g);
+  ws.Run(g, {0}, active);
+  EXPECT_TRUE(ws.IsReached(2));  // 0 -> 3 -> 1 -> 2 through the back edge
+}
+
+TEST(Reachability, MultiSourceUnion) {
+  DirectedGraph g = Chain();
+  auto active = std::vector<std::uint8_t>(g.num_edges(), 0);
+  active[g.FindEdge(1, 2)] = 1;
+  ReachabilityWorkspace ws(g);
+  ws.Run(g, {0, 1}, active);
+  EXPECT_TRUE(ws.IsReached(0));
+  EXPECT_TRUE(ws.IsReached(1));
+  EXPECT_TRUE(ws.IsReached(2));
+  EXPECT_FALSE(ws.IsReached(3));
+}
+
+TEST(Reachability, RunUntilShortCircuits) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  EXPECT_TRUE(ws.RunUntil(g, {0}, AllActive(g), 3));
+  EXPECT_FALSE(
+      ws.RunUntil(g, {2}, std::vector<std::uint8_t>(g.num_edges(), 0), 0));
+}
+
+TEST(Reachability, SourceIsTriviallyReached) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  EXPECT_TRUE(
+      ws.RunUntil(g, {2}, std::vector<std::uint8_t>(g.num_edges(), 0), 2));
+}
+
+TEST(Reachability, ReachedNodesInBfsOrder) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  ws.Run(g, {0}, AllActive(g));
+  const auto& order = ws.ReachedNodes();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0u);  // source first
+}
+
+TEST(Reachability, WorkspaceReusableAcrossQueries) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  for (int i = 0; i < 100; ++i) {
+    ws.Run(g, {0}, AllActive(g));
+    EXPECT_TRUE(ws.IsReached(3));
+    ws.Run(g, {2}, std::vector<std::uint8_t>(g.num_edges(), 0));
+    EXPECT_FALSE(ws.IsReached(3));
+  }
+}
+
+TEST(Reachability, OneShotHelpers) {
+  DirectedGraph g = Chain();
+  EXPECT_TRUE(FlowExists(g, 0, 2, AllActive(g)));
+  EXPECT_FALSE(
+      FlowExists(g, 1, 0, AllActive(g)));  // no path back to 0 at all
+  const auto nodes =
+      ActiveNodes(g, {0}, AllActive(g));
+  EXPECT_EQ(nodes.size(), 4u);
+}
+
+TEST(ReachabilityDeath, EdgeMaskSizeMismatch) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  std::vector<std::uint8_t> wrong(g.num_edges() + 1, 1);
+  EXPECT_DEATH(ws.Run(g, {0}, wrong), "lhs");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,87 @@
+#include "core/rejection_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/exact_flow.h"
+#include "core/mh_sampler.h"
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+PointIcm SmallModel(std::uint64_t seed) {
+  Rng rng(seed);
+  auto g = Share(UniformRandomGraph(8, 16, rng));
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.1, 0.6);
+  return PointIcm(g, probs);
+}
+
+TEST(RejectionSampler, UnconditionalMatchesExact) {
+  PointIcm model = SmallModel(1);
+  Rng rng(2);
+  const RejectionEstimate estimate =
+      RejectionSampleFlow(model, 0, 7, {}, 40000, 1'000'000, rng);
+  EXPECT_EQ(estimate.accepted, 40000u);
+  EXPECT_EQ(estimate.proposed, 40000u);  // no conditions: nothing rejected
+  EXPECT_NEAR(estimate.probability, ExactFlowByEnumeration(model, 0, 7),
+              0.01);
+}
+
+TEST(RejectionSampler, ConditionalMatchesExact) {
+  PointIcm model = SmallModel(3);
+  const FlowConditions cond{{0, 3, true}};
+  auto exact = ExactConditionalFlowByEnumeration(model, 0, 7, cond);
+  ASSERT_TRUE(exact.ok());
+  Rng rng(4);
+  const RejectionEstimate estimate =
+      RejectionSampleFlow(model, 0, 7, cond, 20000, 100'000'000, rng);
+  EXPECT_EQ(estimate.accepted, 20000u);
+  EXPECT_NEAR(estimate.probability, *exact, 0.015);
+}
+
+TEST(RejectionSampler, AcceptanceRateEstimatesConditionProbability) {
+  PointIcm model = SmallModel(5);
+  const FlowConditions cond{{0, 3, true}, {0, 5, false}};
+  const double pr_c = ExactConditionsProbability(model, cond);
+  if (pr_c < 1e-4) GTEST_SKIP();
+  Rng rng(6);
+  const RejectionEstimate estimate =
+      RejectionSampleFlow(model, 0, 7, cond, 5000, 100'000'000, rng);
+  EXPECT_NEAR(estimate.AcceptanceRate(), pr_c, 0.1 * pr_c + 0.002);
+}
+
+TEST(RejectionSampler, ProposalCapStopsRunaway) {
+  // Near-impossible condition: the cap must bound the work.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  PointIcm model(Share(std::move(b).Build()), {0.001, 0.001});
+  Rng rng(7);
+  const RejectionEstimate estimate = RejectionSampleFlow(
+      model, 0, 2, {{0, 2, true}}, 1000, /*max_proposals=*/5000, rng);
+  EXPECT_EQ(estimate.proposed, 5000u);
+  EXPECT_LT(estimate.accepted, 1000u);
+}
+
+TEST(RejectionSampler, AgreesWithMhOnConditionalQuery) {
+  PointIcm model = SmallModel(8);
+  const FlowConditions cond{{0, 2, true}};
+  Rng rej_rng(9);
+  const RejectionEstimate rejection =
+      RejectionSampleFlow(model, 0, 7, cond, 20000, 100'000'000, rej_rng);
+  MhOptions opt;
+  opt.burn_in = 2000;
+  opt.thinning = 6;
+  auto sampler = MhSampler::Create(model, cond, opt, Rng(10));
+  ASSERT_TRUE(sampler.ok());
+  const double mh = sampler->EstimateFlowProbability(0, 7, 20000);
+  EXPECT_NEAR(rejection.probability, mh, 0.02);
+}
+
+}  // namespace
+}  // namespace infoflow

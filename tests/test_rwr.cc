@@ -1,0 +1,106 @@
+#include "baselines/rwr.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+TEST(Rwr, ScoresFormProbabilityDistribution) {
+  Rng rng(1);
+  auto g = Share(UniformRandomGraph(20, 60, rng));
+  PointIcm icm = PointIcm::Constant(g, 0.5);
+  const RwrResult result = RandomWalkWithRestart(icm, 0);
+  EXPECT_TRUE(result.converged);
+  const double total =
+      std::accumulate(result.scores.begin(), result.scores.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  for (double s : result.scores) EXPECT_GE(s, 0.0);
+}
+
+TEST(Rwr, IsolatedSourceKeepsAllMass) {
+  GraphBuilder b(3);
+  b.AddEdge(1, 2).CheckOK();
+  PointIcm icm(Share(std::move(b).Build()), {0.5});
+  const RwrResult result = RandomWalkWithRestart(icm, 0);
+  EXPECT_NEAR(result.scores[0], 1.0, 1e-9);
+}
+
+TEST(Rwr, TwoNodeClosedForm) {
+  // 0 -> 1, restart c: walker leaves 0 with prob (1-c) then returns.
+  // Stationary: s0 = 1/(2-c), s1 = (1-c)/(2-c).
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  PointIcm icm(Share(std::move(b).Build()), {0.8});
+  RwrOptions opt;
+  opt.restart_prob = 0.15;
+  const RwrResult result = RandomWalkWithRestart(icm, 0, opt);
+  EXPECT_NEAR(result.scores[0], 1.0 / 1.85, 1e-9);
+  EXPECT_NEAR(result.scores[1], 0.85 / 1.85, 1e-9);
+}
+
+TEST(Rwr, EdgeWeightsSteerTheWalk) {
+  // 0 -> 1 (heavy), 0 -> 2 (light): node 1 must score higher.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  auto g = Share(std::move(b).Build());
+  std::vector<double> probs(2);
+  probs[g->FindEdge(0, 1)] = 0.9;
+  probs[g->FindEdge(0, 2)] = 0.1;
+  PointIcm icm(g, probs);
+  const RwrResult result = RandomWalkWithRestart(icm, 0);
+  EXPECT_GT(result.scores[1], result.scores[2] * 5.0);
+}
+
+TEST(Rwr, HigherRestartConcentratesAtSource) {
+  Rng rng(2);
+  auto g = Share(UniformRandomGraph(30, 120, rng));
+  PointIcm icm = PointIcm::Constant(g, 0.5);
+  RwrOptions low, high;
+  low.restart_prob = 0.05;
+  high.restart_prob = 0.6;
+  const double s_low = RandomWalkWithRestart(icm, 3, low).scores[3];
+  const double s_high = RandomWalkWithRestart(icm, 3, high).scores[3];
+  EXPECT_GT(s_high, s_low);
+}
+
+TEST(Rwr, FlowScoresAreUnitScaled) {
+  Rng rng(3);
+  auto g = Share(UniformRandomGraph(25, 100, rng));
+  PointIcm icm = PointIcm::Constant(g, 0.4);
+  const auto scores = RwrFlowScores(icm, 0);
+  EXPECT_DOUBLE_EQ(scores[0], 1.0);
+  double max_other = 0.0;
+  for (std::size_t v = 1; v < scores.size(); ++v) {
+    EXPECT_GE(scores[v], 0.0);
+    EXPECT_LE(scores[v], 1.0);
+    max_other = std::max(max_other, scores[v]);
+  }
+  EXPECT_DOUBLE_EQ(max_other, 1.0);  // the best non-source hits the cap
+}
+
+TEST(Rwr, DeterministicResult) {
+  Rng rng(4);
+  auto g = Share(UniformRandomGraph(15, 45, rng));
+  PointIcm icm = PointIcm::Constant(g, 0.3);
+  const auto a = RandomWalkWithRestart(icm, 1);
+  const auto b = RandomWalkWithRestart(icm, 1);
+  EXPECT_EQ(a.scores, b.scores);
+}
+
+TEST(Rwr, OptionValidation) {
+  EXPECT_FALSE(RwrOptions{.restart_prob = 0.0}.Validate().ok());
+  EXPECT_FALSE(RwrOptions{.restart_prob = 1.0}.Validate().ok());
+  EXPECT_TRUE(RwrOptions{}.Validate().ok());
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,134 @@
+#include "core/serialization.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+BetaIcm RandomBetaModel(std::uint64_t seed) {
+  Rng rng(seed);
+  auto g = Share(UniformRandomGraph(20, 60, rng));
+  return BetaIcm::RandomSynthetic(g, rng);
+}
+
+TEST(Serialization, BetaIcmRoundTripsExactly) {
+  const BetaIcm original = RandomBetaModel(1);
+  auto restored = DeserializeBetaIcm(SerializeBetaIcm(original));
+  ASSERT_TRUE(restored.ok());
+  ASSERT_EQ(restored->graph().num_nodes(), original.graph().num_nodes());
+  ASSERT_EQ(restored->graph().num_edges(), original.graph().num_edges());
+  for (EdgeId e = 0; e < original.graph().num_edges(); ++e) {
+    EXPECT_EQ(restored->graph().edge(e), original.graph().edge(e));
+    EXPECT_DOUBLE_EQ(restored->alpha(e), original.alpha(e));
+    EXPECT_DOUBLE_EQ(restored->beta(e), original.beta(e));
+  }
+}
+
+TEST(Serialization, PointIcmRoundTripsExactly) {
+  Rng rng(2);
+  auto g = Share(UniformRandomGraph(15, 45, rng));
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = rng.NextDouble();
+  const PointIcm original(g, probs);
+  auto restored = DeserializePointIcm(SerializePointIcm(original));
+  ASSERT_TRUE(restored.ok());
+  for (EdgeId e = 0; e < g->num_edges(); ++e) {
+    EXPECT_DOUBLE_EQ(restored->prob(e), original.prob(e));
+  }
+}
+
+TEST(Serialization, HandlesBoundaryProbabilities) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  const PointIcm original(Share(std::move(b).Build()), {0.0, 1.0});
+  auto restored = DeserializePointIcm(SerializePointIcm(original));
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->prob(0), 0.0);
+  EXPECT_DOUBLE_EQ(restored->prob(1), 1.0);
+}
+
+TEST(Serialization, AcceptsNonCanonicalEdgeOrder) {
+  // Hand-edited files may list edges out of order; parameters must still
+  // land on the right edges.
+  const std::string text =
+      "infoflow-point-icm v1\n"
+      "nodes 3\n"
+      "edges 2\n"
+      "1 2 0.75\n"
+      "0 1 0.25\n";
+  auto model = DeserializePointIcm(text);
+  ASSERT_TRUE(model.ok());
+  EXPECT_DOUBLE_EQ(model->prob(model->graph().FindEdge(0, 1)), 0.25);
+  EXPECT_DOUBLE_EQ(model->prob(model->graph().FindEdge(1, 2)), 0.75);
+}
+
+TEST(Serialization, RejectsWrongHeader) {
+  EXPECT_FALSE(DeserializeBetaIcm("bogus\n").ok());
+  EXPECT_FALSE(
+      DeserializeBetaIcm(SerializePointIcm(PointIcm::Constant(
+                             Share(StarFragment(2)), 0.5)))
+          .ok());
+}
+
+TEST(Serialization, RejectsMalformedCounts) {
+  EXPECT_FALSE(
+      DeserializePointIcm("infoflow-point-icm v1\nnodes x\nedges 0\n").ok());
+  EXPECT_FALSE(
+      DeserializePointIcm("infoflow-point-icm v1\nnodes 3\n").ok());
+}
+
+TEST(Serialization, RejectsEdgeCountMismatch) {
+  const std::string text =
+      "infoflow-point-icm v1\nnodes 3\nedges 2\n0 1 0.5\n";
+  EXPECT_FALSE(DeserializePointIcm(text).ok());
+}
+
+TEST(Serialization, RejectsBadValues) {
+  EXPECT_FALSE(DeserializePointIcm(
+                   "infoflow-point-icm v1\nnodes 2\nedges 1\n0 1 1.5\n")
+                   .ok());
+  EXPECT_FALSE(DeserializeBetaIcm(
+                   "infoflow-beta-icm v1\nnodes 2\nedges 1\n0 1 0 2\n")
+                   .ok());
+  EXPECT_FALSE(DeserializePointIcm(
+                   "infoflow-point-icm v1\nnodes 2\nedges 1\n0 5 0.5\n")
+                   .ok());
+  EXPECT_FALSE(DeserializePointIcm(
+                   "infoflow-point-icm v1\nnodes 2\nedges 1\n0 1 abc\n")
+                   .ok());
+}
+
+TEST(Serialization, RejectsDuplicateEdges) {
+  const std::string text =
+      "infoflow-point-icm v1\nnodes 3\nedges 2\n0 1 0.5\n0 1 0.6\n";
+  EXPECT_FALSE(DeserializePointIcm(text).ok());
+}
+
+TEST(Serialization, FileRoundTrip) {
+  const BetaIcm original = RandomBetaModel(3);
+  const std::string path =
+      ::testing::TempDir() + "/infoflow_serialization_test.icm";
+  ASSERT_TRUE(SaveBetaIcm(original, path).ok());
+  auto restored = LoadBetaIcm(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->alpha(0), original.alpha(0));
+  std::remove(path.c_str());
+}
+
+TEST(Serialization, MissingFileIsIOError) {
+  auto result = LoadBetaIcm("/definitely/not/here.icm");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,170 @@
+#include "stats/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace infoflow {
+namespace {
+
+TEST(LogGamma, FactorialValues) {
+  EXPECT_NEAR(LogGamma(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(2.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogGamma(5.0), std::log(24.0), 1e-10);
+  EXPECT_NEAR(LogGamma(0.5), 0.5 * std::log(M_PI), 1e-10);
+}
+
+TEST(LogBeta, KnownValues) {
+  // B(1,1) = 1, B(2,3) = 1/12, B(0.5,0.5) = pi.
+  EXPECT_NEAR(LogBeta(1.0, 1.0), 0.0, 1e-12);
+  EXPECT_NEAR(LogBeta(2.0, 3.0), std::log(1.0 / 12.0), 1e-10);
+  EXPECT_NEAR(LogBeta(0.5, 0.5), std::log(M_PI), 1e-10);
+}
+
+TEST(LogChoose, SmallValues) {
+  EXPECT_NEAR(LogChoose(5, 0), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(5, 5), 0.0, 1e-12);
+  EXPECT_NEAR(LogChoose(5, 2), std::log(10.0), 1e-10);
+  EXPECT_NEAR(LogChoose(52, 5), std::log(2598960.0), 1e-8);
+}
+
+TEST(IncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteBeta, UniformCaseIsIdentity) {
+  for (double x : {0.1, 0.25, 0.5, 0.73, 0.99}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 1.0, x), x, 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, ClosedFormAlpha1) {
+  // I_x(1, b) = 1 - (1-x)^b.
+  for (double x : {0.1, 0.4, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(1.0, 3.0, x),
+                1.0 - std::pow(1.0 - x, 3.0), 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, ClosedFormBeta1) {
+  // I_x(a, 1) = x^a.
+  for (double x : {0.1, 0.4, 0.8}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(2.5, 1.0, x), std::pow(x, 2.5),
+                1e-12);
+  }
+}
+
+TEST(IncompleteBeta, SymmetryRelation) {
+  // I_x(a,b) = 1 - I_{1-x}(b,a).
+  for (double x : {0.05, 0.3, 0.62, 0.9}) {
+    EXPECT_NEAR(RegularizedIncompleteBeta(3.2, 1.7, x),
+                1.0 - RegularizedIncompleteBeta(1.7, 3.2, 1.0 - x), 1e-12);
+  }
+}
+
+TEST(IncompleteBeta, ReferenceValues) {
+  // Cross-checked against scipy.special.betainc.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(2.0, 5.0, 0.2),
+              0.34464, 1e-5);
+  EXPECT_NEAR(RegularizedIncompleteBeta(10.0, 10.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(RegularizedIncompleteBeta(0.5, 0.5, 0.25),
+              2.0 / M_PI * std::asin(0.5), 1e-10);
+}
+
+TEST(IncompleteBeta, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x <= 1.0001; x += 0.05) {
+    const double v = RegularizedIncompleteBeta(3.0, 4.0, std::min(x, 1.0));
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(InverseIncompleteBeta, InvertsCdf) {
+  for (double a : {0.7, 1.0, 3.0, 20.0}) {
+    for (double b : {0.7, 1.0, 5.0, 45.0}) {
+      for (double p : {0.025, 0.25, 0.5, 0.8, 0.975}) {
+        const double x = InverseRegularizedIncompleteBeta(a, b, p);
+        EXPECT_NEAR(RegularizedIncompleteBeta(a, b, x), p, 1e-9)
+            << "a=" << a << " b=" << b << " p=" << p;
+      }
+    }
+  }
+}
+
+TEST(InverseIncompleteBeta, Boundaries) {
+  EXPECT_DOUBLE_EQ(InverseRegularizedIncompleteBeta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(InverseRegularizedIncompleteBeta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(IncompleteGamma, Boundaries) {
+  EXPECT_DOUBLE_EQ(RegularizedLowerIncompleteGamma(2.0, 0.0), 0.0);
+  EXPECT_NEAR(RegularizedLowerIncompleteGamma(2.0, 1e6), 1.0, 1e-12);
+}
+
+TEST(IncompleteGamma, ClosedFormIntegerShape) {
+  // P(1, x) = 1 - e^{-x}; P(2, x) = 1 - e^{-x}(1 + x).
+  for (double x : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_NEAR(RegularizedLowerIncompleteGamma(1.0, x), 1.0 - std::exp(-x),
+                1e-12);
+    EXPECT_NEAR(RegularizedLowerIncompleteGamma(2.0, x),
+                1.0 - std::exp(-x) * (1.0 + x), 1e-12);
+  }
+}
+
+TEST(IncompleteGamma, HalfShapeMatchesErf) {
+  // P(1/2, x) = erf(sqrt(x)).
+  for (double x : {0.2, 1.0, 2.5, 8.0}) {
+    EXPECT_NEAR(RegularizedLowerIncompleteGamma(0.5, x),
+                std::erf(std::sqrt(x)), 1e-12);
+  }
+}
+
+TEST(IncompleteGamma, MonotoneInX) {
+  double prev = -1.0;
+  for (double x = 0.0; x < 20.0; x += 0.5) {
+    const double v = RegularizedLowerIncompleteGamma(3.7, x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(ChiSquare, KnownQuantiles) {
+  // Classic table values: P(chi2_1 <= 3.841) = 0.95,
+  // P(chi2_5 <= 11.070) = 0.95, P(chi2_10 <= 18.307) = 0.95.
+  EXPECT_NEAR(ChiSquareCdf(3.841, 1), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquareCdf(11.070, 5), 0.95, 1e-3);
+  EXPECT_NEAR(ChiSquareCdf(18.307, 10), 0.95, 1e-3);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(ChiSquareCdf(-1.0, 3), 0.0);
+}
+
+TEST(ChiSquare, MedianNearDofMinusTwoThirds) {
+  // Median of chi2_k ~ k(1 - 2/(9k))^3.
+  for (double k : {2.0, 5.0, 20.0}) {
+    const double median = k * std::pow(1.0 - 2.0 / (9.0 * k), 3.0);
+    EXPECT_NEAR(ChiSquareCdf(median, k), 0.5, 0.02);
+  }
+}
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-14);
+  EXPECT_NEAR(NormalCdf(1.959963984540054), 0.975, 1e-9);
+  EXPECT_NEAR(NormalCdf(-1.0), 0.15865525393145707, 1e-10);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9);
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(NormalQuantile(0.975), 1.959963984540054, 1e-7);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,115 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(Status, ErrorFactoriesSetCode) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
+  EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+}
+
+TEST(Status, MessageConcatenatesStreamedArguments) {
+  Status s = Status::InvalidArgument("probability ", 1.5, " outside [0,", 1,
+                                     "]");
+  EXPECT_EQ(s.message(), "probability 1.5 outside [0,1]");
+}
+
+TEST(Status, ToStringIncludesCodeName) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_EQ(s.ToString(), "not-found: missing thing");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::IOError("a"));
+}
+
+TEST(Status, StreamInsertion) {
+  std::ostringstream oss;
+  oss << Status::IOError("disk");
+  EXPECT_EQ(oss.str(), "io-error: disk");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse-error");
+}
+
+TEST(StatusMacros, ReturnNotOkPropagates) {
+  auto fails = []() -> Status {
+    IF_RETURN_NOT_OK(Status::IOError("inner"));
+    return Status::OK();
+  };
+  EXPECT_EQ(fails().code(), StatusCode::kIOError);
+  auto succeeds = []() -> Status {
+    IF_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_EQ(succeeds().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Result, ValueOrFallback) {
+  Result<int> ok = 7;
+  Result<int> err = Status::NotFound("x");
+  EXPECT_EQ(ok.ValueOr(0), 7);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+TEST(Result, MutableAccess) {
+  Result<std::vector<int>> r = std::vector<int>{1};
+  r->push_back(2);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(Result, ConstructingFromOkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultDeath, ValueOrDieOnErrorAborts) {
+  Result<int> r = Status::NotFound("gone");
+  EXPECT_DEATH((void)r.ValueOrDie(), "not-found");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,83 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+TEST(Split, BasicFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Split, SingleField) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyField) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(SplitWhitespace, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SplitWhitespace, EmptyAndBlank) {
+  EXPECT_TRUE(SplitWhitespace("").empty());
+  EXPECT_TRUE(SplitWhitespace(" \t\n").empty());
+}
+
+TEST(Join, RoundTripsSplit) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ","), "a,b,c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("\t\n hi"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StartsWith, Basics) {
+  EXPECT_TRUE(StartsWith("RT @user: hi", "RT @"));
+  EXPECT_FALSE(StartsWith("rt @user", "RT @"));
+  EXPECT_FALSE(StartsWith("RT", "RT @"));
+  EXPECT_TRUE(StartsWith("anything", ""));
+}
+
+TEST(EndsWith, Basics) {
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("file.csvx", ".csv"));
+  EXPECT_FALSE(EndsWith("x", ".csv"));
+}
+
+TEST(ToLowerAscii, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC123"), "abc123");
+}
+
+TEST(FormatDouble, TrimsAndRounds) {
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+  EXPECT_EQ(FormatDouble(1.0), "1");
+  EXPECT_EQ(FormatDouble(1.0 / 3.0, 3), "0.333");
+}
+
+TEST(IsTagChar, HandleAlphabet) {
+  EXPECT_TRUE(IsTagChar('a'));
+  EXPECT_TRUE(IsTagChar('Z'));
+  EXPECT_TRUE(IsTagChar('7'));
+  EXPECT_TRUE(IsTagChar('_'));
+  EXPECT_FALSE(IsTagChar(':'));
+  EXPECT_FALSE(IsTagChar(' '));
+  EXPECT_FALSE(IsTagChar('@'));
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,99 @@
+#include "graph/subgraph.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+// 0 -> 1 -> 2 -> 3 -> 4, 1 -> 3, 4 -> 0.
+DirectedGraph Path() {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  b.AddEdge(3, 4).CheckOK();
+  b.AddEdge(1, 3).CheckOK();
+  b.AddEdge(4, 0).CheckOK();
+  return std::move(b).Build();
+}
+
+TEST(InducedSubgraph, KeepsInternalEdgesOnly) {
+  DirectedGraph g = Path();
+  Subgraph sub = InducedSubgraph(g, {0, 1, 2});
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);  // 0->1, 1->2
+  EXPECT_TRUE(sub.graph.HasEdge(sub.LocalNode(0), sub.LocalNode(1)));
+  EXPECT_TRUE(sub.graph.HasEdge(sub.LocalNode(1), sub.LocalNode(2)));
+}
+
+TEST(InducedSubgraph, NodeMappingsRoundTrip) {
+  DirectedGraph g = Path();
+  Subgraph sub = InducedSubgraph(g, {3, 1, 4});
+  for (NodeId local = 0; local < sub.graph.num_nodes(); ++local) {
+    EXPECT_EQ(sub.LocalNode(sub.node_to_parent[local]), local);
+  }
+  EXPECT_EQ(sub.LocalNode(0), kInvalidNode);
+}
+
+TEST(InducedSubgraph, EdgeMappingPointsToParentEdges) {
+  DirectedGraph g = Path();
+  Subgraph sub = InducedSubgraph(g, {1, 2, 3});
+  ASSERT_EQ(sub.edge_to_parent.size(), sub.graph.num_edges());
+  for (EdgeId e = 0; e < sub.graph.num_edges(); ++e) {
+    const Edge local = sub.graph.edge(e);
+    const Edge parent = g.edge(sub.edge_to_parent[e]);
+    EXPECT_EQ(sub.node_to_parent[local.src], parent.src);
+    EXPECT_EQ(sub.node_to_parent[local.dst], parent.dst);
+  }
+}
+
+TEST(InducedSubgraph, IgnoresDuplicateNodes) {
+  DirectedGraph g = Path();
+  Subgraph sub = InducedSubgraph(g, {2, 2, 3, 2});
+  EXPECT_EQ(sub.graph.num_nodes(), 2u);
+}
+
+TEST(EgoSubgraph, RadiusZeroIsJustFocus) {
+  DirectedGraph g = Path();
+  Subgraph sub = EgoSubgraph(g, 1, 0);
+  EXPECT_EQ(sub.graph.num_nodes(), 1u);
+  EXPECT_EQ(sub.node_to_parent[0], 1u);
+}
+
+TEST(EgoSubgraph, OutDirectionFollowsFlow) {
+  DirectedGraph g = Path();
+  Subgraph sub = EgoSubgraph(g, 1, 1, EgoDirection::kOut);
+  // 1 reaches {2, 3} in one out-hop.
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_NE(sub.LocalNode(2), kInvalidNode);
+  EXPECT_NE(sub.LocalNode(3), kInvalidNode);
+  EXPECT_EQ(sub.LocalNode(0), kInvalidNode);
+}
+
+TEST(EgoSubgraph, InDirection) {
+  DirectedGraph g = Path();
+  Subgraph sub = EgoSubgraph(g, 3, 1, EgoDirection::kIn);
+  // 3's in-neighbors: 2 and 1.
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_NE(sub.LocalNode(1), kInvalidNode);
+  EXPECT_NE(sub.LocalNode(2), kInvalidNode);
+}
+
+TEST(EgoSubgraph, UndirectedBall) {
+  DirectedGraph g = Path();
+  Subgraph sub = EgoSubgraph(g, 0, 1, EgoDirection::kUndirected);
+  // 0's neighbors in either direction: 1 (out) and 4 (in).
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_NE(sub.LocalNode(1), kInvalidNode);
+  EXPECT_NE(sub.LocalNode(4), kInvalidNode);
+}
+
+TEST(EgoSubgraph, LargeRadiusCoversComponent) {
+  DirectedGraph g = Path();
+  Subgraph sub = EgoSubgraph(g, 0, 10, EgoDirection::kOut);
+  EXPECT_EQ(sub.graph.num_nodes(), 5u);
+  EXPECT_EQ(sub.graph.num_edges(), g.num_edges());
+}
+
+}  // namespace
+}  // namespace infoflow

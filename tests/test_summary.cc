@@ -1,0 +1,218 @@
+#include "learn/summary.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/binomial.h"
+#include "stats/rng.h"
+#include "stats/special.h"
+
+namespace infoflow {
+namespace {
+
+// Table I's shape: sink k (=3) with incident nodes A(=0), B(=1), C(=2).
+DirectedGraph Star3() {
+  GraphBuilder b(4);
+  b.AddEdge(0, 3).CheckOK();
+  b.AddEdge(1, 3).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  return std::move(b).Build();
+}
+
+ObjectTrace Trace(std::initializer_list<Activation> activations) {
+  ObjectTrace t;
+  t.activations = activations;
+  return t;
+}
+
+TEST(ObjectTrace, TimeLookup) {
+  ObjectTrace t = Trace({{0, 1.0}, {2, 3.0}});
+  EXPECT_DOUBLE_EQ(t.TimeOf(0), 1.0);
+  EXPECT_TRUE(std::isinf(t.TimeOf(1)));
+  EXPECT_TRUE(t.IsActive(2));
+  EXPECT_FALSE(t.IsActive(1));
+}
+
+TEST(ValidateUnattributed, RejectsDuplicatesAndBadIds) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  ev.traces.push_back(Trace({{0, 1.0}, {0, 2.0}}));
+  EXPECT_FALSE(ValidateUnattributedEvidence(g, ev).ok());
+  ev.traces.clear();
+  ev.traces.push_back(Trace({{9, 1.0}}));
+  EXPECT_EQ(ValidateUnattributedEvidence(g, ev).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SinkSummary, ParentsFollowInEdgeOrder) {
+  DirectedGraph g = Star3();
+  const SinkSummary s = BuildSinkSummary(g, 3, {});
+  EXPECT_EQ(s.sink, 3u);
+  EXPECT_EQ(s.parents, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_TRUE(s.rows.empty());
+}
+
+TEST(SinkSummary, CharacteristicIsParentsActiveBeforeSink) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  // A and B active before k, C after: characteristic {A, B}; a leak.
+  ev.traces.push_back(Trace({{0, 1.0}, {1, 2.0}, {3, 3.0}, {2, 4.0}}));
+  const SinkSummary s = BuildSinkSummary(g, 3, ev);
+  ASSERT_EQ(s.rows.size(), 1u);
+  EXPECT_EQ(s.rows[0].mask, (std::vector<std::uint8_t>{1, 1, 0}));
+  EXPECT_EQ(s.rows[0].count, 1u);
+  EXPECT_EQ(s.rows[0].leaks, 1u);
+}
+
+TEST(SinkSummary, InactiveSinkUsesEndOfTrace) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  ev.traces.push_back(Trace({{0, 1.0}, {2, 9.0}}));  // k never activates
+  const SinkSummary s = BuildSinkSummary(g, 3, ev);
+  ASSERT_EQ(s.rows.size(), 1u);
+  EXPECT_EQ(s.rows[0].mask, (std::vector<std::uint8_t>{1, 0, 1}));
+  EXPECT_EQ(s.rows[0].leaks, 0u);
+}
+
+TEST(SinkSummary, GroupsIdenticalCharacteristics) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  for (int i = 0; i < 5; ++i) {
+    ev.traces.push_back(Trace({{0, 1.0}, {1, 2.0}, {3, 3.0}}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    ev.traces.push_back(Trace({{0, 1.0}, {1, 2.0}}));
+  }
+  const SinkSummary s = BuildSinkSummary(g, 3, ev);
+  ASSERT_EQ(s.rows.size(), 1u);
+  EXPECT_EQ(s.rows[0].count, 8u);
+  EXPECT_EQ(s.rows[0].leaks, 5u);
+}
+
+TEST(SinkSummary, TableOneExampleShape) {
+  // Reproduce Table I: {A,B}: 5/1, {B,C}: 50/15, {A,C}: 10/2.
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  auto add = [&ev](std::vector<NodeId> parents, int count, int leaks) {
+    for (int i = 0; i < count; ++i) {
+      ObjectTrace t;
+      double time = 1.0;
+      for (NodeId p : parents) t.activations.push_back({p, time++});
+      if (i < leaks) t.activations.push_back({3, time});
+      ev.traces.push_back(std::move(t));
+    }
+  };
+  add({0, 1}, 5, 1);
+  add({1, 2}, 50, 15);
+  add({0, 2}, 10, 2);
+  const SinkSummary s = BuildSinkSummary(g, 3, ev);
+  ASSERT_EQ(s.rows.size(), 3u);
+  // Rows are ordered by mask bytes: {1,1,0} < ... lexicographic on bytes:
+  // {0,1,1} < {1,0,1} < {1,1,0}.
+  EXPECT_EQ(s.rows[0].mask, (std::vector<std::uint8_t>{0, 1, 1}));
+  EXPECT_EQ(s.rows[0].count, 50u);
+  EXPECT_EQ(s.rows[0].leaks, 15u);
+  EXPECT_EQ(s.rows[1].mask, (std::vector<std::uint8_t>{1, 0, 1}));
+  EXPECT_EQ(s.rows[1].count, 10u);
+  EXPECT_EQ(s.rows[1].leaks, 2u);
+  EXPECT_EQ(s.rows[2].mask, (std::vector<std::uint8_t>{1, 1, 0}));
+  EXPECT_EQ(s.rows[2].count, 5u);
+  EXPECT_EQ(s.rows[2].leaks, 1u);
+  EXPECT_EQ(s.TotalCount(), 65u);
+  EXPECT_NE(s.ToString().find("50"), std::string::npos);
+}
+
+TEST(SinkSummary, UnexplainedObjectsCounted) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  // Sink active with no prior parent: unexplained.
+  ev.traces.push_back(Trace({{3, 1.0}, {0, 2.0}}));
+  const SinkSummary s = BuildSinkSummary(g, 3, ev);
+  EXPECT_TRUE(s.rows.empty());
+  EXPECT_EQ(s.unexplained_objects, 1u);
+}
+
+TEST(SinkSummary, SimultaneousActivationIsNotPrior) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  // Parent at exactly the sink's time: "strictly before" excludes it.
+  ev.traces.push_back(Trace({{0, 1.0}, {1, 2.0}, {3, 2.0}}));
+  const SinkSummary s = BuildSinkSummary(g, 3, ev);
+  ASSERT_EQ(s.rows.size(), 1u);
+  EXPECT_EQ(s.rows[0].mask, (std::vector<std::uint8_t>{1, 0, 0}));
+}
+
+TEST(SinkSummary, DiscreteStepPolicyNarrowsWindow) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  // A at t=1, B at t=4, k at t=5: with step 1.5 only B is "immediately
+  // prior" (Saito's assumption); with kAllPrior both are.
+  ev.traces.push_back(Trace({{0, 1.0}, {1, 4.0}, {3, 5.0}}));
+  SummaryOptions discrete;
+  discrete.policy = CharacteristicPolicy::kDiscreteStep;
+  discrete.discrete_step = 1.5;
+  const SinkSummary narrow = BuildSinkSummary(g, 3, ev, discrete);
+  ASSERT_EQ(narrow.rows.size(), 1u);
+  EXPECT_EQ(narrow.rows[0].mask, (std::vector<std::uint8_t>{0, 1, 0}));
+  const SinkSummary wide = BuildSinkSummary(g, 3, ev);
+  EXPECT_EQ(wide.rows[0].mask, (std::vector<std::uint8_t>{1, 1, 0}));
+}
+
+// The summary is a sufficient statistic (§V-B): the product of per-object
+// Bernoulli likelihoods equals the product of per-characteristic Binomials
+// up to the combinatorial constant.
+TEST(SinkSummary, SufficiencyOfBinomialForm) {
+  DirectedGraph g = Star3();
+  UnattributedEvidence ev;
+  Rng rng(11);
+  // Random traces over parents {0,1,2} with random sink outcome.
+  std::vector<std::pair<std::vector<std::uint8_t>, bool>> raw;
+  for (int i = 0; i < 60; ++i) {
+    ObjectTrace t;
+    std::vector<std::uint8_t> mask(3, 0);
+    double time = 1.0;
+    for (NodeId p = 0; p < 3; ++p) {
+      if (rng.Bernoulli(0.6)) {
+        mask[p] = 1;
+        t.activations.push_back({p, time++});
+      }
+    }
+    if (mask == std::vector<std::uint8_t>(3, 0)) continue;
+    const bool leak = rng.Bernoulli(0.4);
+    if (leak) t.activations.push_back({3, time});
+    raw.emplace_back(mask, leak);
+    ev.traces.push_back(std::move(t));
+  }
+  const SinkSummary s = BuildSinkSummary(g, 3, ev);
+  const std::vector<double> p{0.3, 0.55, 0.8};
+  auto joint = [&p](const std::vector<std::uint8_t>& mask) {
+    double survive = 1.0;
+    for (std::size_t j = 0; j < 3; ++j) {
+      if (mask[j]) survive *= 1.0 - p[j];
+    }
+    return 1.0 - survive;
+  };
+  double bernoulli_ll = 0.0;
+  for (const auto& [mask, leak] : raw) {
+    const double pj = joint(mask);
+    bernoulli_ll += std::log(leak ? pj : 1.0 - pj);
+  }
+  double binomial_ll = 0.0;
+  double log_constant = 0.0;
+  for (const SummaryRow& row : s.rows) {
+    binomial_ll += BinomialLogPmf(row.count, row.leaks, joint(row.mask));
+    log_constant += LogChoose(row.count, row.leaks);
+  }
+  EXPECT_NEAR(bernoulli_ll, binomial_ll - log_constant, 1e-9);
+}
+
+TEST(BuildAllSinkSummaries, SkipsOrphanNodes) {
+  DirectedGraph g = Star3();
+  const auto all = BuildAllSinkSummaries(g, {});
+  ASSERT_EQ(all.size(), 1u);  // only node 3 has in-edges
+  EXPECT_EQ(all[0].sink, 3u);
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include "twitter/cascade_gen.h"
+#include "twitter/interesting_users.h"
+#include "twitter/retweet_parser.h"
+#include "twitter/tag_gen.h"
+#include "twitter/tweet.h"
+
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+TEST(UserRegistry, SequentialNamesRoundTrip) {
+  const UserRegistry reg = UserRegistry::Sequential(5);
+  EXPECT_EQ(reg.size(), 5u);
+  EXPECT_EQ(reg.NameOf(0), "user0");
+  EXPECT_EQ(reg.NameOf(4), "user4");
+  EXPECT_EQ(reg.IdOf("user3"), 3u);
+  EXPECT_EQ(reg.IdOf("user5"), kInvalidNode);
+  EXPECT_EQ(reg.IdOf("bob"), kInvalidNode);
+  EXPECT_EQ(reg.IdOf("userX"), kInvalidNode);
+}
+
+TEST(SplitRetweetChain, PlainTweetHasNoMentions) {
+  std::vector<std::string> mentions;
+  std::string base;
+  SplitRetweetChain("just some news #tag", &mentions, &base);
+  EXPECT_TRUE(mentions.empty());
+  EXPECT_EQ(base, "just some news #tag");
+}
+
+TEST(SplitRetweetChain, SingleLevel) {
+  std::vector<std::string> mentions;
+  std::string base;
+  SplitRetweetChain("RT @alice: hello world", &mentions, &base);
+  EXPECT_EQ(mentions, (std::vector<std::string>{"alice"}));
+  EXPECT_EQ(base, "hello world");
+}
+
+TEST(SplitRetweetChain, NestedChainOutermostFirst) {
+  std::vector<std::string> mentions;
+  std::string base;
+  SplitRetweetChain("RT @a: RT @b_2: RT @c: core text", &mentions, &base);
+  EXPECT_EQ(mentions, (std::vector<std::string>{"a", "b_2", "c"}));
+  EXPECT_EQ(base, "core text");
+}
+
+TEST(SplitRetweetChain, MalformedPrefixBecomesBase) {
+  std::vector<std::string> mentions;
+  std::string base;
+  SplitRetweetChain("RT @no_colon oops", &mentions, &base);
+  EXPECT_TRUE(mentions.empty());
+  EXPECT_EQ(base, "RT @no_colon oops");
+}
+
+class CascadePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng graph_rng(10);
+    graph_ = Share(PreferentialAttachmentGraph(60, 3, 0.3, graph_rng));
+    registry_ = UserRegistry::Sequential(60);
+    Rng prob_rng(11);
+    std::vector<double> probs(graph_->num_edges());
+    for (double& p : probs) p = prob_rng.Uniform(0.2, 0.7);
+    truth_ = std::make_unique<PointIcm>(graph_, probs);
+  }
+
+  std::shared_ptr<const DirectedGraph> graph_;
+  UserRegistry registry_ = UserRegistry::Sequential(0);
+  std::unique_ptr<PointIcm> truth_;
+};
+
+TEST_F(CascadePipelineTest, GeneratorProducesValidGroundTruth) {
+  CascadeGenOptions opt;
+  opt.num_messages = 200;
+  opt.drop_original_prob = 0.2;
+  Rng rng(12);
+  auto gen = GenerateCascades(*truth_, registry_, opt, rng);
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->ground_truth.objects.size(), 200u);
+  EXPECT_TRUE(
+      ValidateAttributedEvidence(*graph_, gen->ground_truth).ok());
+  // The log is time sorted.
+  for (std::size_t i = 1; i < gen->log.size(); ++i) {
+    EXPECT_LE(gen->log[i - 1].time, gen->log[i].time);
+  }
+}
+
+TEST_F(CascadePipelineTest, DropsReduceLogSize) {
+  CascadeGenOptions keep_all;
+  keep_all.num_messages = 150;
+  keep_all.drop_original_prob = 0.0;
+  CascadeGenOptions drop_many = keep_all;
+  drop_many.drop_original_prob = 0.5;
+  Rng rng_a(13), rng_b(13);
+  auto full = GenerateCascades(*truth_, registry_, keep_all, rng_a);
+  auto dropped = GenerateCascades(*truth_, registry_, drop_many, rng_b);
+  ASSERT_TRUE(full.ok() && dropped.ok());
+  EXPECT_EQ(full->dropped_originals, 0u);
+  EXPECT_GT(dropped->dropped_originals, 30u);
+  // Each run's log must fall short of its own ground truth by exactly the
+  // records it dropped (RNG streams differ between runs, so comparing the
+  // two logs directly would be meaningless).
+  auto truth_activations = [](const GeneratedCascades& gen) {
+    std::size_t total = 0;
+    for (const auto& obj : gen.ground_truth.objects) {
+      total += obj.active_nodes.size();
+    }
+    return total;
+  };
+  EXPECT_EQ(full->log.size(), truth_activations(*full));
+  EXPECT_EQ(dropped->log.size() + dropped->dropped_originals +
+                dropped->dropped_retweets,
+            truth_activations(*dropped));
+}
+
+TEST_F(CascadePipelineTest, ParserReconstructsExactlyWithoutDrops) {
+  CascadeGenOptions opt;
+  opt.num_messages = 120;
+  opt.drop_original_prob = 0.0;
+  opt.drop_retweet_prob = 0.0;
+  Rng rng(14);
+  auto gen = GenerateCascades(*truth_, registry_, opt, rng);
+  ASSERT_TRUE(gen.ok());
+  const ParseResult parsed = ParseRetweetLog(gen->log, registry_);
+  EXPECT_EQ(parsed.messages.size(), 120u);
+  EXPECT_EQ(parsed.recovered_originals, 0u);
+  EXPECT_EQ(parsed.unresolved_mentions, 0u);
+  const AttributedEvidence evidence = parsed.ToEvidence(*graph_);
+  ASSERT_TRUE(ValidateAttributedEvidence(*graph_, evidence).ok());
+  ASSERT_EQ(evidence.objects.size(), gen->ground_truth.objects.size());
+  // Compare as multisets of canonicalized objects: parsed messages come
+  // out keyed by content, not in generation order.
+  auto canonicalize = [](const AttributedEvidence& ev) {
+    std::vector<std::string> keys;
+    for (AttributedObject obj : ev.objects) {
+      std::sort(obj.active_nodes.begin(), obj.active_nodes.end());
+      std::sort(obj.active_edges.begin(), obj.active_edges.end());
+      std::string key;
+      auto append = [&key](char tag, std::uint64_t id) {
+        key += tag;
+        key += std::to_string(id);
+      };
+      for (NodeId s : obj.sources) append('s', s);
+      for (NodeId v : obj.active_nodes) append('n', v);
+      for (EdgeId e : obj.active_edges) append('e', e);
+      keys.push_back(std::move(key));
+    }
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(canonicalize(evidence), canonicalize(gen->ground_truth));
+}
+
+TEST_F(CascadePipelineTest, ParserRecoversDroppedOriginals) {
+  CascadeGenOptions opt;
+  opt.num_messages = 200;
+  opt.drop_original_prob = 0.4;
+  Rng rng(15);
+  auto gen = GenerateCascades(*truth_, registry_, opt, rng);
+  ASSERT_TRUE(gen.ok());
+  const ParseResult parsed = ParseRetweetLog(gen->log, registry_);
+  // Messages whose original was dropped AND that had at least one retweet
+  // must be recovered via the RT chain (those with zero retweets vanish
+  // entirely, like in the real crawl).
+  EXPECT_GT(parsed.recovered_originals, 0u);
+  // Every recovered message still has a well-formed evidence object.
+  const AttributedEvidence evidence = parsed.ToEvidence(*graph_);
+  EXPECT_TRUE(ValidateAttributedEvidence(*graph_, evidence).ok());
+}
+
+TEST_F(CascadePipelineTest, InferredGraphIsSubsetOfTruth) {
+  CascadeGenOptions opt;
+  opt.num_messages = 300;
+  Rng rng(16);
+  auto gen = GenerateCascades(*truth_, registry_, opt, rng);
+  ASSERT_TRUE(gen.ok());
+  const ParseResult parsed = ParseRetweetLog(gen->log, registry_);
+  auto inferred = parsed.InferGraph(60);
+  EXPECT_GT(inferred->num_edges(), 0u);
+  for (const Edge& e : inferred->edges()) {
+    EXPECT_TRUE(graph_->HasEdge(e.src, e.dst))
+        << "inferred edge " << e.src << "->" << e.dst
+        << " absent from the true follow graph";
+  }
+}
+
+TEST_F(CascadePipelineTest, InterestingUsersAreProlificSources) {
+  CascadeGenOptions opt;
+  opt.num_messages = 400;
+  Rng rng(17);
+  auto gen = GenerateCascades(*truth_, registry_, opt, rng);
+  ASSERT_TRUE(gen.ok());
+  const auto interesting =
+      SelectInterestingUsers(60, gen->ground_truth, 5);
+  ASSERT_LE(interesting.size(), 5u);
+  ASSERT_FALSE(interesting.empty());
+  const auto activity = TallyUserActivity(60, gen->ground_truth);
+  // Every selected user outranks every unselected user.
+  double min_selected = 1e18;
+  for (NodeId u : interesting) {
+    min_selected = std::min(min_selected, activity[u].Score());
+  }
+  std::size_t better = 0;
+  for (const auto& a : activity) {
+    if (a.Score() > min_selected) ++better;
+  }
+  EXPECT_LE(better, interesting.size());
+}
+
+TEST(TagNetwork, AugmentPreservesBaseEdgeIds) {
+  Rng rng(20);
+  auto g = Share(UniformRandomGraph(30, 90, rng));
+  Rng prob_rng(21);
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = prob_rng.Uniform(0.1, 0.6);
+  PointIcm base(g, probs);
+  const TagNetwork network = AugmentWithOmnipotent(base);
+  EXPECT_EQ(network.omnipotent, 30u);
+  EXPECT_EQ(network.graph->num_nodes(), 31u);
+  EXPECT_EQ(network.graph->num_edges(), 90u + 30u);
+  for (EdgeId e = 0; e < 90; ++e) {
+    EXPECT_EQ(network.graph->edge(e), g->edge(e));
+    EXPECT_DOUBLE_EQ(network.in_network_probs[e], probs[e]);
+  }
+  EXPECT_EQ(network.graph->OutDegree(network.omnipotent), 30u);
+}
+
+TEST(TagNetwork, GroundTruthSetsOmnipotentEdges) {
+  Rng rng(22);
+  auto g = Share(UniformRandomGraph(10, 20, rng));
+  PointIcm base = PointIcm::Constant(g, 0.5);
+  const TagNetwork network = AugmentWithOmnipotent(base);
+  const PointIcm truth = network.GroundTruth(0.01);
+  for (EdgeId e : network.graph->OutEdges(network.omnipotent)) {
+    EXPECT_DOUBLE_EQ(truth.prob(e), 0.01);
+  }
+  EXPECT_DOUBLE_EQ(truth.prob(0), 0.5);
+}
+
+TEST(TagGen, TracesStartWithOmnipotentAndRespectTimes) {
+  Rng rng(23);
+  auto g = Share(UniformRandomGraph(40, 160, rng));
+  PointIcm base = PointIcm::Constant(g, 0.3);
+  const TagNetwork network = AugmentWithOmnipotent(base);
+  TagGenOptions opt;
+  opt.num_objects = 50;
+  Rng gen_rng(24);
+  auto traces = GenerateTagTraces(network, TagKind::kUrl, opt, gen_rng);
+  ASSERT_TRUE(traces.ok());
+  EXPECT_EQ(traces->traces.size(), 50u);
+  EXPECT_TRUE(
+      ValidateUnattributedEvidence(*network.graph, *traces).ok());
+  for (const ObjectTrace& trace : traces->traces) {
+    ASSERT_FALSE(trace.activations.empty());
+    EXPECT_EQ(trace.activations[0].node, network.omnipotent);
+    EXPECT_DOUBLE_EQ(trace.activations[0].time, 0.0);
+  }
+}
+
+TEST(TagGen, HashtagsSpreadWiderThanUrlsOnAverage) {
+  Rng rng(25);
+  auto g = Share(UniformRandomGraph(60, 240, rng));
+  PointIcm base = PointIcm::Constant(g, 0.15);
+  const TagNetwork network = AugmentWithOmnipotent(base);
+  TagGenOptions opt;
+  opt.num_objects = 150;
+  Rng url_rng(26), tag_rng(26);
+  auto urls = GenerateTagTraces(network, TagKind::kUrl, opt, url_rng);
+  auto tags = GenerateTagTraces(network, TagKind::kHashtag, opt, tag_rng);
+  ASSERT_TRUE(urls.ok() && tags.ok());
+  auto mean_size = [](const UnattributedEvidence& ev) {
+    double total = 0.0;
+    for (const auto& t : ev.traces) {
+      total += static_cast<double>(t.activations.size());
+    }
+    return total / static_cast<double>(ev.traces.size());
+  };
+  // Event-driven hashtags reach far more users than quiet URLs.
+  EXPECT_GT(mean_size(*tags), mean_size(*urls) * 1.5);
+}
+
+TEST(TagGen, OptionValidation) {
+  Rng rng(27);
+  auto g = Share(UniformRandomGraph(5, 10, rng));
+  const TagNetwork network = AugmentWithOmnipotent(PointIcm::Constant(g, 0.5));
+  TagGenOptions opt;
+  opt.num_objects = 0;
+  Rng gen_rng(28);
+  EXPECT_FALSE(GenerateTagTraces(network, TagKind::kUrl, opt, gen_rng).ok());
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,22 @@
+# Drives the infoflow CLI end to end; any non-zero exit fails the test.
+file(MAKE_DIRECTORY ${WORK_DIR})
+function(run)
+  execute_process(COMMAND ${CLI} ${ARGN} RESULT_VARIABLE code)
+  if(NOT code EQUAL 0)
+    message(FATAL_ERROR "infoflow ${ARGN} failed with ${code}")
+  endif()
+endfunction()
+
+run(simulate --out-dir ${WORK_DIR} --users 80 --messages 500 --seed 9)
+run(parse-tweets --tweets ${WORK_DIR}/tweets.csv --graph ${WORK_DIR}/truth.picm
+    --out ${WORK_DIR}/parsed.att)
+run(train-attributed --graph ${WORK_DIR}/truth.picm
+    --evidence ${WORK_DIR}/parsed.att --out ${WORK_DIR}/model.bicm)
+run(train-unattributed --graph ${WORK_DIR}/truth_tags.picm
+    --traces ${WORK_DIR}/traces.utr --out ${WORK_DIR}/tags.picm
+    --method goyal)
+run(info --model ${WORK_DIR}/model.bicm)
+run(query --model ${WORK_DIR}/model.bicm --source 0 --sink 3 --samples 2000)
+run(query --model ${WORK_DIR}/model.bicm --source 0 --sink 3
+    --given "0>1" --samples 2000)
+run(impact --model ${WORK_DIR}/model.bicm --source 0 --cascades 500)

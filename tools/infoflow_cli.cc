@@ -1,0 +1,418 @@
+/// \file infoflow_cli.cc
+/// \brief `infoflow` — command-line front end to the library.
+///
+/// Subcommands:
+///   simulate            generate a synthetic world: ground-truth model,
+///                       attributed evidence, unattributed traces
+///   train-attributed    raw attributed evidence -> betaICM model file
+///   train-unattributed  activation traces -> point model file
+///                       (joint-bayes | goyal | saito-em | filtered)
+///   query               flow probability from a model, with optional
+///                       conditions ("a>b" requires flow, "a!>b" forbids)
+///   impact              spread-size distribution for a source
+///   info                describe a model file
+///   parse-tweets        raw tweet CSV -> attributed evidence (the §IV-B
+///                       preprocessing: chains parsed, originals recovered)
+///
+/// Examples:
+///   infoflow simulate --users 200 --messages 2000 --out-dir /tmp/world
+///   infoflow train-attributed --graph /tmp/world/truth.picm
+///       --evidence /tmp/world/evidence.att --out /tmp/world/model.bicm
+///   infoflow query --model /tmp/world/model.bicm --source 0 --sink 5
+///       --given "0>3 0!>7" --samples 20000   (flags continue one line)
+///
+/// All randomness is seeded (--seed, default 1) for reproducible runs.
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/impact.h"
+#include "core/mh_sampler.h"
+#include "core/serialization.h"
+#include "graph/generators.h"
+#include "learn/attributed.h"
+#include "learn/evidence_io.h"
+#include "learn/model_trainer.h"
+#include "twitter/cascade_gen.h"
+#include "twitter/retweet_parser.h"
+#include "twitter/tag_gen.h"
+#include "twitter/tweet_io.h"
+#include "util/string_util.h"
+
+namespace infoflow {
+namespace {
+
+/// Minimal --key value flag parser.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int start) {
+    for (int i = start; i < argc; ++i) {
+      std::string key = argv[i];
+      if (!StartsWith(key, "--")) {
+        error_ = Status::InvalidArgument("unexpected argument '", key, "'");
+        return;
+      }
+      key = key.substr(2);
+      if (i + 1 >= argc) {
+        error_ = Status::InvalidArgument("flag --", key, " needs a value");
+        return;
+      }
+      values_[key] = argv[++i];
+    }
+  }
+
+  const Status& error() const { return error_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) {
+    seen_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::uint64_t GetInt(const std::string& key, std::uint64_t fallback) {
+    const std::string raw = Get(key, std::to_string(fallback));
+    return std::strtoull(raw.c_str(), nullptr, 10);
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string raw = Get(key, FormatDouble(fallback, 17));
+    return std::strtod(raw.c_str(), nullptr);
+  }
+
+  Result<std::string> Require(const std::string& key) {
+    seen_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      return Status::InvalidArgument("missing required flag --", key);
+    }
+    return it->second;
+  }
+
+  /// Flags present but never consumed (typo detection).
+  Status CheckUnused() const {
+    for (const auto& [key, value] : values_) {
+      if (!seen_.contains(key)) {
+        return Status::InvalidArgument("unknown flag --", key);
+      }
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> seen_;
+  Status error_;
+};
+
+/// Parses a condition list: "0>3 4!>7" — require 0⤳3 and forbid 4⤳7.
+Result<FlowConditions> ParseConditions(const std::string& text) {
+  FlowConditions conditions;
+  for (const std::string& token : SplitWhitespace(text)) {
+    const bool forbid = token.find("!>") != std::string::npos;
+    const auto parts = Split(token, '>');
+    // "a!>b" splits as {"a!", "b"}; "a>b" as {"a", "b"}.
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("bad condition '", token, "'");
+    }
+    std::string lhs = parts[0];
+    if (forbid && !lhs.empty() && lhs.back() == '!') lhs.pop_back();
+    char* end = nullptr;
+    const auto src = static_cast<NodeId>(std::strtoul(lhs.c_str(), &end, 10));
+    if (end == lhs.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad condition source in '", token, "'");
+    }
+    const auto dst =
+        static_cast<NodeId>(std::strtoul(parts[1].c_str(), &end, 10));
+    conditions.push_back({src, dst, !forbid});
+  }
+  return conditions;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// --------------------------------------------------------------- simulate
+int CmdSimulate(Flags& flags) {
+  const auto users = static_cast<NodeId>(flags.GetInt("users", 200));
+  const std::size_t messages = flags.GetInt("messages", 2000);
+  const std::size_t objects = flags.GetInt("tag-objects", 400);
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+  auto out_dir = flags.Require("out-dir");
+  if (!out_dir.ok()) return Fail(out_dir.status());
+
+  Rng rng(seed);
+  auto graph = std::make_shared<const DirectedGraph>(
+      PreferentialAttachmentGraph(users, 3, 0.25, rng));
+  std::vector<double> probs(graph->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.02, 0.3);
+  const PointIcm truth(graph, probs);
+  const UserRegistry registry = UserRegistry::Sequential(users);
+
+  CascadeGenOptions gen;
+  gen.num_messages = messages;
+  gen.drop_original_prob = 0.15;
+  auto cascades = GenerateCascades(truth, registry, gen, rng);
+  if (!cascades.ok()) return Fail(cascades.status());
+  const ParseResult parsed = ParseRetweetLog(cascades->log, registry);
+  const AttributedEvidence evidence = parsed.ToEvidence(*graph);
+
+  const TagNetwork network = AugmentWithOmnipotent(truth);
+  TagGenOptions tag;
+  tag.num_objects = objects;
+  auto traces = GenerateTagTraces(network, TagKind::kUrl, tag, rng);
+  if (!traces.ok()) return Fail(traces.status());
+
+  const std::string base = *out_dir + "/";
+  Status status = SavePointIcm(truth, base + "truth.picm");
+  if (!status.ok()) return Fail(status);
+  status = SavePointIcm(network.GroundTruth(tag.url_external_prob),
+                        base + "truth_tags.picm");
+  if (!status.ok()) return Fail(status);
+  status = SaveAttributedEvidence(*graph, evidence, base + "evidence.att");
+  if (!status.ok()) return Fail(status);
+  status = SaveUnattributedEvidence(*traces, base + "traces.utr");
+  if (!status.ok()) return Fail(status);
+  status = SaveTweetLog(cascades->log, registry, base + "tweets.csv");
+  if (!status.ok()) return Fail(status);
+  std::printf(
+      "wrote %struth.picm (n=%u m=%u), evidence.att (%zu objects), "
+      "truth_tags.picm, traces.utr (%zu traces), tweets.csv (%zu raw)\n",
+      base.c_str(), graph->num_nodes(), graph->num_edges(),
+      evidence.objects.size(), traces->traces.size(),
+      cascades->log.size());
+  return 0;
+}
+
+// ----------------------------------------------------------- parse-tweets
+int CmdParseTweets(Flags& flags) {
+  auto tweets_path = flags.Require("tweets");
+  auto graph_path = flags.Require("graph");
+  auto out_path = flags.Require("out");
+  if (!tweets_path.ok()) return Fail(tweets_path.status());
+  if (!graph_path.ok()) return Fail(graph_path.status());
+  if (!out_path.ok()) return Fail(out_path.status());
+
+  auto reference = LoadPointIcm(*graph_path);
+  if (!reference.ok()) return Fail(reference.status());
+  const UserRegistry registry =
+      UserRegistry::Sequential(reference->graph().num_nodes());
+  auto log = LoadTweetLog(*tweets_path, registry);
+  if (!log.ok()) return Fail(log.status());
+  const ParseResult parsed = ParseRetweetLog(*log, registry);
+  const AttributedEvidence evidence = parsed.ToEvidence(reference->graph());
+  const Status status =
+      SaveAttributedEvidence(reference->graph(), evidence, *out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf(
+      "parsed %zu tweets -> %zu messages (%llu originals recovered, %llu "
+      "unresolved mentions) -> %zu evidence objects -> %s\n",
+      log->size(), parsed.messages.size(),
+      static_cast<unsigned long long>(parsed.recovered_originals),
+      static_cast<unsigned long long>(parsed.unresolved_mentions),
+      evidence.objects.size(), out_path->c_str());
+  return 0;
+}
+
+// ------------------------------------------------------- train-attributed
+int CmdTrainAttributed(Flags& flags) {
+  auto graph_path = flags.Require("graph");
+  auto evidence_path = flags.Require("evidence");
+  auto out_path = flags.Require("out");
+  if (!graph_path.ok()) return Fail(graph_path.status());
+  if (!evidence_path.ok()) return Fail(evidence_path.status());
+  if (!out_path.ok()) return Fail(out_path.status());
+
+  auto reference = LoadPointIcm(*graph_path);
+  if (!reference.ok()) return Fail(reference.status());
+  auto evidence =
+      LoadAttributedEvidence(*evidence_path, reference->graph());
+  if (!evidence.ok()) return Fail(evidence.status());
+  auto model = TrainBetaIcmFromAttributed(reference->graph_ptr(), *evidence);
+  if (!model.ok()) return Fail(model.status());
+  const Status status = SaveBetaIcm(*model, *out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("trained %s from %zu objects -> %s\n",
+              model->ToString().c_str(), evidence->objects.size(),
+              out_path->c_str());
+  return 0;
+}
+
+// ----------------------------------------------------- train-unattributed
+int CmdTrainUnattributed(Flags& flags) {
+  auto graph_path = flags.Require("graph");
+  auto traces_path = flags.Require("traces");
+  auto out_path = flags.Require("out");
+  if (!graph_path.ok()) return Fail(graph_path.status());
+  if (!traces_path.ok()) return Fail(traces_path.status());
+  if (!out_path.ok()) return Fail(out_path.status());
+  const std::string method_name = flags.Get("method", "joint-bayes");
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+
+  UnattributedTrainOptions options;
+  if (method_name == "joint-bayes") {
+    options.method = UnattributedMethod::kJointBayes;
+  } else if (method_name == "goyal") {
+    options.method = UnattributedMethod::kGoyal;
+  } else if (method_name == "saito-em") {
+    options.method = UnattributedMethod::kSaitoEm;
+  } else if (method_name == "filtered") {
+    options.method = UnattributedMethod::kFiltered;
+  } else {
+    return Fail(Status::InvalidArgument("unknown method '", method_name,
+                                        "'"));
+  }
+  options.no_evidence_mean = flags.GetDouble("no-evidence-mean", 0.0);
+
+  auto reference = LoadPointIcm(*graph_path);
+  if (!reference.ok()) return Fail(reference.status());
+  auto traces = LoadUnattributedEvidence(*traces_path);
+  if (!traces.ok()) return Fail(traces.status());
+  Rng rng(seed);
+  auto model = TrainUnattributedModel(reference->graph_ptr(), *traces,
+                                      options, rng);
+  if (!model.ok()) return Fail(model.status());
+  const Status status = SavePointIcm(model->ToPointIcm(), *out_path);
+  if (!status.ok()) return Fail(status);
+  std::printf("trained %s model from %zu traces -> %s\n",
+              UnattributedMethodName(options.method),
+              traces->traces.size(), out_path->c_str());
+  return 0;
+}
+
+/// Loads a model file as a PointIcm, accepting either format (betaICM
+/// files are collapsed to their expected model).
+Result<PointIcm> LoadAnyModel(const std::string& path) {
+  auto point = LoadPointIcm(path);
+  if (point.ok()) return point;
+  auto beta = LoadBetaIcm(path);
+  if (beta.ok()) return beta->ExpectedIcm();
+  return Status::ParseError("'", path,
+                            "' is neither a point nor a beta model (",
+                            point.status().message(), ")");
+}
+
+// ------------------------------------------------------------------ query
+int CmdQuery(Flags& flags) {
+  auto model_path = flags.Require("model");
+  if (!model_path.ok()) return Fail(model_path.status());
+  const auto source = static_cast<NodeId>(flags.GetInt("source", 0));
+  const auto sink = static_cast<NodeId>(flags.GetInt("sink", 0));
+  const std::size_t samples = flags.GetInt("samples", 20000);
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+  auto conditions = ParseConditions(flags.Get("given", ""));
+  if (!conditions.ok()) return Fail(conditions.status());
+
+  auto model = LoadAnyModel(*model_path);
+  if (!model.ok()) return Fail(model.status());
+  MhOptions mh;
+  mh.burn_in = 4 * model->graph().num_edges();
+  mh.thinning = std::max<std::size_t>(8, model->graph().num_edges() / 8);
+  auto sampler = MhSampler::Create(*model, *conditions, mh, Rng(seed));
+  if (!sampler.ok()) return Fail(sampler.status());
+  const double p = sampler->EstimateFlowProbability(source, sink, samples);
+  std::printf("Pr[%u ~> %u%s] = %.5f   (%zu MH samples, acceptance %.2f)\n",
+              source, sink, conditions->empty() ? "" : " | conditions", p,
+              samples,
+              static_cast<double>(sampler->steps_accepted()) /
+                  static_cast<double>(std::max<std::uint64_t>(
+                      1, sampler->steps_taken())));
+  return 0;
+}
+
+// ----------------------------------------------------------------- impact
+int CmdImpact(Flags& flags) {
+  auto model_path = flags.Require("model");
+  if (!model_path.ok()) return Fail(model_path.status());
+  const auto source = static_cast<NodeId>(flags.GetInt("source", 0));
+  const std::size_t cascades = flags.GetInt("cascades", 10000);
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+  auto model = LoadAnyModel(*model_path);
+  if (!model.ok()) return Fail(model.status());
+  Rng rng(seed);
+  const ImpactDistribution dist =
+      SimulateImpact(*model, source, cascades, rng);
+  std::printf("impact of %u over %zu cascades: mean %.2f\n", source,
+              cascades, dist.Mean());
+  for (std::size_t k = 0; k < dist.counts.size() && k <= 20; ++k) {
+    const double frac = static_cast<double>(dist.counts[k]) /
+                        static_cast<double>(dist.Total());
+    std::string bar(static_cast<std::size_t>(frac * 50), '#');
+    std::printf("%4zu %-50s %.4f\n", k, bar.c_str(), frac);
+  }
+  return 0;
+}
+
+// ------------------------------------------------------------------- info
+int CmdInfo(Flags& flags) {
+  auto model_path = flags.Require("model");
+  if (!model_path.ok()) return Fail(model_path.status());
+  auto beta = LoadBetaIcm(*model_path);
+  if (beta.ok()) {
+    double min_mean = 1.0, max_mean = 0.0, total_obs = 0.0;
+    for (EdgeId e = 0; e < beta->graph().num_edges(); ++e) {
+      const double mean = beta->EdgeBeta(e).Mean();
+      min_mean = std::min(min_mean, mean);
+      max_mean = std::max(max_mean, mean);
+      total_obs += beta->alpha(e) + beta->beta(e) - 2.0;
+    }
+    std::printf("%s — edge means in [%.4f, %.4f], %.0f observations\n",
+                beta->ToString().c_str(), min_mean, max_mean, total_obs);
+    return 0;
+  }
+  auto point = LoadPointIcm(*model_path);
+  if (point.ok()) {
+    double min_p = 1.0, max_p = 0.0;
+    for (EdgeId e = 0; e < point->graph().num_edges(); ++e) {
+      min_p = std::min(min_p, point->prob(e));
+      max_p = std::max(max_p, point->prob(e));
+    }
+    std::printf("%s — edge probabilities in [%.4f, %.4f]\n",
+                point->ToString().c_str(), min_p, max_p);
+    return 0;
+  }
+  return Fail(point.status());
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: infoflow <command> [--flags]\n"
+      "commands:\n"
+      "  simulate            --out-dir D [--users N] [--messages M]\n"
+      "                      [--tag-objects K] [--seed S]\n"
+      "  train-attributed    --graph truth.picm --evidence e.att --out m.bicm\n"
+      "  train-unattributed  --graph truth.picm --traces t.utr --out m.picm\n"
+      "                      [--method joint-bayes|goyal|saito-em|filtered]\n"
+      "  query               --model m --source U --sink V [--given \"a>b c!>d\"]\n"
+      "                      [--samples N] [--seed S]\n"
+      "  impact              --model m --source U [--cascades N]\n"
+      "  info                --model m\n"
+      "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.error().ok()) return Fail(flags.error());
+  if (command == "simulate") return CmdSimulate(flags);
+  if (command == "parse-tweets") return CmdParseTweets(flags);
+  if (command == "train-attributed") return CmdTrainAttributed(flags);
+  if (command == "train-unattributed") return CmdTrainUnattributed(flags);
+  if (command == "query") return CmdQuery(flags);
+  if (command == "impact") return CmdImpact(flags);
+  if (command == "info") return CmdInfo(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace infoflow
+
+int main(int argc, char** argv) { return infoflow::Main(argc, argv); }
