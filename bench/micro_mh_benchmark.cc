@@ -13,6 +13,7 @@
 
 #include "core/beta_icm.h"
 #include "core/mh_sampler.h"
+#include "core/multi_chain.h"
 #include "graph/generators.h"
 #include "graph/reachability.h"
 
@@ -88,6 +89,37 @@ void BM_ConditionalChainUpdate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ConditionalChainUpdate);
+
+/// Retained-sample throughput of the multi-chain engine at the paper's
+/// scale: K independent chains over the shared pool, items = retained
+/// samples. Compare items/s across the K column: the single-chain row is
+/// the serial baseline; K chains on ≥K cores approach K× throughput.
+void BM_MultiChainSampleThroughput(benchmark::State& state) {
+  const auto chains = static_cast<std::size_t>(state.range(0));
+  PointIcm model = MakeModel(6000, 14000, 43);
+  MultiChainOptions options;
+  options.num_chains = chains;
+  options.num_threads = chains;
+  options.mh.burn_in = 0;
+  options.mh.thinning = 50;
+  auto engine = MultiChainSampler::Create(model, {}, options, 7);
+  engine.status().CheckOK();
+  const std::size_t samples = 64 * chains;  // equal per-chain quota
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        engine->EstimateFlowProbability(0, 5999, samples).value);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples));
+  state.counters["chains"] = static_cast<double>(chains);
+}
+BENCHMARK(BM_MultiChainSampleThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
 
 /// Pseudo-state sampling from a betaICM (the outer loop of nested MH).
 void BM_SampleIcmFromBeta(benchmark::State& state) {

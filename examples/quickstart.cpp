@@ -15,6 +15,7 @@
 #include "core/beta_icm.h"
 #include "core/exact_flow.h"
 #include "core/mh_sampler.h"
+#include "core/multi_chain.h"
 #include "core/nested_mh.h"
 #include "learn/attributed.h"
 #include "learn/joint_bayes.h"
@@ -78,6 +79,22 @@ int main() {
   conditioned.status().CheckOK();
   std::printf("MH    Pr[0 ~> 2 | 0 ~> 1]     = %.4f\n",
               conditioned->EstimateFlowProbability(0, 2, 40000));
+
+  // --------------------------------- parallel chains + convergence checks
+  // The same estimate from 4 independent chains run on a thread pool. The
+  // diagnostics say whether the chains agree (R-hat ~ 1) and how much
+  // Monte-Carlo error is left (MCSE); results are bit-identical for a
+  // fixed seed no matter how many threads execute the chains.
+  MultiChainOptions mc;
+  mc.num_chains = 4;
+  mc.mh = mh;
+  auto engine = MultiChainSampler::Create(expected, {}, mc, /*seed=*/5);
+  engine.status().CheckOK();
+  const MultiChainEstimate est = engine->EstimateFlowProbability(0, 2, 40000);
+  std::printf("multi Pr[0 ~> 2]              = %.4f  [%s]\n", est.value,
+              est.diagnostics.ToString().c_str());
+  std::printf("      converged: %s\n",
+              est.diagnostics.Converged() ? "yes" : "no");
 
   // ------------------------------------------------ uncertainty (nested MH)
   NestedMhOptions nested;

@@ -120,6 +120,9 @@ class MhSampler {
   /// Current pseudo-state (mostly for tests).
   const PseudoState& state() const { return state_; }
 
+  /// The sampler's own model copy (the multi-chain engine shares its graph).
+  const PointIcm& model() const { return model_; }
+
   /// Incremental normalizer Z of the proposal multinomial (for tests of the
   /// Z-update identity).
   double proposal_normalizer() const { return weights_.Total(); }

@@ -4,6 +4,7 @@
 
 #include "stats/descriptive.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace infoflow {
 
@@ -61,17 +62,39 @@ Result<FlowProbabilityDistribution> NestedMhFlowDistribution(
     Rng& rng) {
   IF_CHECK(options.num_models > 0 && options.samples_per_model > 0)
       << "nested MH needs positive model and sample counts";
-  FlowProbabilityDistribution out;
-  out.probabilities.reserve(options.num_models);
+  // The outer draws are independent given their RNG streams, so derive one
+  // stream per model upfront — the subsequent loop is order-insensitive and
+  // runs identically whether serial or fanned out over a pool.
+  std::vector<Rng> model_rngs;
+  model_rngs.reserve(options.num_models);
   for (std::size_t k = 0; k < options.num_models; ++k) {
+    model_rngs.push_back(rng.Split());
+  }
+  FlowProbabilityDistribution out;
+  out.probabilities.assign(options.num_models, 0.0);
+  std::vector<Status> errors(options.num_models, Status::OK());
+  auto run_model = [&](std::size_t k) {
+    Rng local = model_rngs[k];
     const PointIcm icm = options.gaussian_edge_approximation
-                             ? model.SampleIcmGaussian(rng)
-                             : model.SampleIcm(rng);
+                             ? model.SampleIcmGaussian(local)
+                             : model.SampleIcm(local);
     auto sampler =
-        MhSampler::Create(icm, conditions, options.mh, rng.Split());
-    if (!sampler.ok()) return sampler.status();
-    out.probabilities.push_back(sampler->EstimateFlowProbability(
-        source, sink, options.samples_per_model));
+        MhSampler::Create(icm, conditions, options.mh, local.Split());
+    if (!sampler.ok()) {
+      errors[k] = sampler.status();
+      return;
+    }
+    out.probabilities[k] = sampler->EstimateFlowProbability(
+        source, sink, options.samples_per_model);
+  };
+  if (options.num_threads == 1) {
+    for (std::size_t k = 0; k < options.num_models; ++k) run_model(k);
+  } else {
+    ThreadPool pool(options.num_threads);
+    ParallelFor(pool, options.num_models, run_model);
+  }
+  for (const Status& status : errors) {
+    if (!status.ok()) return status;
   }
   return out;
 }

@@ -7,6 +7,10 @@
 /// (1) sampling a point ICM from the betaICM's edge Betas and (2) running
 /// the pseudo-state MH sampler on that ICM to estimate the flow probability
 /// — the procedure behind Fig. 3 and the risk-aware queries of §VI.
+///
+/// The sampled models are mutually independent, so the outer loop fans out
+/// over a thread pool (NestedMhOptions::num_threads); per-model RNG streams
+/// are pre-derived, keeping the result identical across thread counts.
 
 #pragma once
 
@@ -33,6 +37,11 @@ struct NestedMhOptions {
   /// When true, draw each edge from a Gaussian moment approximation of its
   /// Beta instead of the Beta itself (the Fig. 10 variant).
   bool gaussian_edge_approximation = false;
+  /// \brief Workers for the outer loop (the sampled models are mutually
+  /// independent): 0 → hardware concurrency, 1 → serial. Every model's RNG
+  /// stream is pre-derived from the caller's generator before any work
+  /// starts, so the result is bit-identical for every thread count.
+  std::size_t num_threads = 0;
 };
 
 /// \brief The outcome: one flow-probability estimate per sampled model.

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -34,7 +35,11 @@ class ThreadPool {
   /// Enqueues one task.
   void Submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// \brief Blocks until every submitted task has finished. If any task
+  /// threw, rethrows the *first* captured exception here (subsequent task
+  /// exceptions from the same batch are dropped) and clears it, leaving the
+  /// pool reusable. An exception never tears down a worker: the remaining
+  /// tasks still run to completion before Wait() returns or throws.
   void Wait();
 
   /// Number of workers.
@@ -50,11 +55,16 @@ class ThreadPool {
   std::condition_variable all_done_;
   std::size_t in_flight_ = 0;
   bool shutting_down_ = false;
+  /// First exception thrown by a task since the last Wait(); the destructor
+  /// discards it (it cannot throw).
+  std::exception_ptr first_error_;
 };
 
 /// \brief Runs `body(i)` for i in [0, count) across `pool`'s workers,
 /// blocking until all indices complete. Indices are batched into
-/// contiguous chunks to amortize queue traffic.
+/// contiguous chunks to amortize queue traffic. If `body` throws, the first
+/// exception propagates out of ParallelFor once every chunk has finished
+/// (later indices in the throwing chunk are skipped; other chunks run).
 void ParallelFor(ThreadPool& pool, std::size_t count,
                  const std::function<void(std::size_t)>& body);
 

@@ -1,0 +1,236 @@
+#include "core/multi_chain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/exact_flow.h"
+#include "graph/generators.h"
+
+namespace infoflow {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+PointIcm SmallRandomModel(std::uint64_t seed, NodeId nodes, EdgeId edges) {
+  Rng rng(seed);
+  auto g = Share(UniformRandomGraph(nodes, edges, rng));
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.1, 0.9);
+  return PointIcm(g, probs);
+}
+
+MultiChainOptions FastOptions(std::size_t chains, std::size_t threads = 0) {
+  MultiChainOptions opt;
+  opt.num_chains = chains;
+  opt.num_threads = threads;
+  opt.mh.burn_in = 1500;
+  opt.mh.thinning = 5;
+  return opt;
+}
+
+TEST(MultiChain, SeedDerivationIsPinned) {
+  // The documented contract: SplitMix64 finalizer over
+  // seed + (k+1)·0x9e3779b97f4a7c15. Changing it breaks reproducibility of
+  // published runs, so the constants are pinned here.
+  const std::uint64_t s0 = MultiChainSampler::DeriveChainSeed(42, 0);
+  const std::uint64_t s1 = MultiChainSampler::DeriveChainSeed(42, 1);
+  EXPECT_NE(s0, s1);
+  auto splitmix = [](std::uint64_t z) {
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  };
+  EXPECT_EQ(s0, splitmix(42 + 0x9e3779b97f4a7c15ULL));
+  EXPECT_EQ(s1, splitmix(42 + 2 * 0x9e3779b97f4a7c15ULL));
+}
+
+TEST(MultiChain, FixedSeedIsDeterministicAcrossThreadPoolSizes) {
+  // The engine's core determinism promise: scheduling must never leak into
+  // the estimate. Same seed, pool sizes 1 / 2 / 8 → bit-identical results.
+  PointIcm model = SmallRandomModel(5, 8, 18);
+  auto estimate_with_threads = [&](std::size_t threads) {
+    auto engine =
+        MultiChainSampler::Create(model, {}, FastOptions(4, threads), 99);
+    EXPECT_TRUE(engine.ok());
+    return engine->EstimateFlowProbability(0, 7, 4000);
+  };
+  const MultiChainEstimate serial = estimate_with_threads(1);
+  const MultiChainEstimate two = estimate_with_threads(2);
+  const MultiChainEstimate wide = estimate_with_threads(8);
+  EXPECT_DOUBLE_EQ(serial.value, two.value);
+  EXPECT_DOUBLE_EQ(serial.value, wide.value);
+  EXPECT_DOUBLE_EQ(serial.diagnostics.rhat, wide.diagnostics.rhat);
+  EXPECT_DOUBLE_EQ(serial.diagnostics.ess, wide.diagnostics.ess);
+  EXPECT_DOUBLE_EQ(serial.diagnostics.mcse, wide.diagnostics.mcse);
+}
+
+TEST(MultiChain, CommunityFlowIsDeterministicAcrossThreadPoolSizes) {
+  PointIcm model = SmallRandomModel(6, 8, 18);
+  const std::vector<NodeId> sinks{1, 3, 5, 7};
+  auto estimate_with_threads = [&](std::size_t threads) {
+    auto engine =
+        MultiChainSampler::Create(model, {}, FastOptions(4, threads), 7);
+    EXPECT_TRUE(engine.ok());
+    return engine->EstimateCommunityFlow(0, sinks, 2000);
+  };
+  const auto serial = estimate_with_threads(1);
+  const auto wide = estimate_with_threads(8);
+  ASSERT_EQ(serial.size(), sinks.size());
+  for (std::size_t j = 0; j < sinks.size(); ++j) {
+    EXPECT_DOUBLE_EQ(serial[j].value, wide[j].value) << "sink " << sinks[j];
+    EXPECT_DOUBLE_EQ(serial[j].diagnostics.ess, wide[j].diagnostics.ess);
+  }
+}
+
+TEST(MultiChain, ChainPrefixIsStableWhenAddingChains) {
+  // Chains 0..K−1 of a K-chain engine equal the first K of a K+1-chain
+  // engine (the seed contract: per-chain streams depend on k, not K).
+  PointIcm model = SmallRandomModel(5, 8, 18);
+  auto four = MultiChainSampler::Create(model, {}, FastOptions(4, 1), 31);
+  auto five = MultiChainSampler::Create(model, {}, FastOptions(5, 1), 31);
+  ASSERT_TRUE(four.ok() && five.ok());
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_EQ(four->chain(k).state(), five->chain(k).state()) << "chain " << k;
+  }
+}
+
+TEST(MultiChain, MatchesExactEnumeration) {
+  PointIcm model = SmallRandomModel(11, 7, 14);
+  const double exact = ExactFlowByEnumeration(model, 0, 6);
+  auto engine = MultiChainSampler::Create(model, {}, FastOptions(8), 4242);
+  ASSERT_TRUE(engine.ok());
+  const MultiChainEstimate est = engine->EstimateFlowProbability(0, 6, 24000);
+  EXPECT_NEAR(est.value, exact, 0.02);
+  // The reported MC error must cover the actual deviation (generously: 4σ).
+  EXPECT_LE(std::abs(est.value - exact),
+            std::max(4.0 * est.diagnostics.mcse, 0.02));
+  EXPECT_TRUE(est.diagnostics.Converged(1.1, 100.0))
+      << est.diagnostics.ToString();
+}
+
+TEST(MultiChain, AgreesWithSingleChainSampler) {
+  PointIcm model = SmallRandomModel(22, 7, 14);
+  MhOptions mh;
+  mh.burn_in = 1500;
+  mh.thinning = 5;
+  auto single = MhSampler::Create(model, {}, mh, Rng(17));
+  ASSERT_TRUE(single.ok());
+  const double single_estimate = single->EstimateFlowProbability(0, 5, 24000);
+  auto engine = MultiChainSampler::Create(model, {}, FastOptions(6), 17);
+  ASSERT_TRUE(engine.ok());
+  const MultiChainEstimate multi = engine->EstimateFlowProbability(0, 5, 24000);
+  EXPECT_NEAR(multi.value, single_estimate, 0.025);
+}
+
+TEST(MultiChain, ConditionalEstimateMatchesEnumeration) {
+  PointIcm model = SmallRandomModel(44, 7, 14);
+  const FlowConditions cond{{0, 1, true}};
+  auto exact = ExactConditionalFlowByEnumeration(model, 0, 4, cond);
+  ASSERT_TRUE(exact.ok());
+  auto engine = MultiChainSampler::Create(model, cond, FastOptions(6), 1234);
+  ASSERT_TRUE(engine.ok());
+  const MultiChainEstimate est = engine->EstimateFlowProbability(0, 4, 24000);
+  EXPECT_NEAR(est.value, *exact, 0.025);
+}
+
+TEST(MultiChain, CommunityFlowMatchesPerSinkEnumeration) {
+  PointIcm model = SmallRandomModel(55, 7, 14);
+  const std::vector<NodeId> sinks{1, 2, 4, 6};
+  auto engine = MultiChainSampler::Create(model, {}, FastOptions(6), 55);
+  ASSERT_TRUE(engine.ok());
+  const auto estimates = engine->EstimateCommunityFlow(0, sinks, 24000);
+  ASSERT_EQ(estimates.size(), sinks.size());
+  for (std::size_t j = 0; j < sinks.size(); ++j) {
+    EXPECT_NEAR(estimates[j].value, ExactFlowByEnumeration(model, 0, sinks[j]),
+                0.025)
+        << "sink " << sinks[j];
+  }
+}
+
+TEST(MultiChain, JointFlowMatchesEnumeration) {
+  PointIcm model = SmallRandomModel(66, 7, 14);
+  const FlowConditions flows{{0, 3, true}, {0, 5, true}};
+  const double exact = ExactJointFlowByEnumeration(model, flows);
+  auto engine = MultiChainSampler::Create(model, {}, FastOptions(6), 66);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_NEAR(engine->EstimateJointFlowProbability(flows, 24000).value, exact,
+              0.025);
+}
+
+TEST(MultiChain, DispersionMergesAllChains) {
+  PointIcm model = SmallRandomModel(77, 8, 18);
+  auto engine = MultiChainSampler::Create(model, {}, FastOptions(4), 77);
+  ASSERT_TRUE(engine.ok());
+  const DispersionEstimate disp = engine->SampleDispersion(0, 1000);
+  // 1000 rounds up to 250 per chain × 4 chains.
+  EXPECT_EQ(disp.counts.size(), 1000u);
+  EXPECT_EQ(disp.diagnostics.num_chains, 4u);
+  for (std::uint32_t c : disp.counts) EXPECT_LT(c, 8u);
+}
+
+TEST(MultiChain, SampleCountRoundsUpToChainMultiple) {
+  PointIcm model = SmallRandomModel(5, 6, 10);
+  auto engine = MultiChainSampler::Create(model, {}, FastOptions(4), 1);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->SamplesPerChain(1000), 250u);
+  EXPECT_EQ(engine->SamplesPerChain(1001), 251u);
+  EXPECT_EQ(engine->SamplesPerChain(1), 1u);
+}
+
+TEST(MultiChain, UnsatisfiableConditionsFailToCreate) {
+  // A disconnected pair: 0 ⤳ 1 can never hold, exactly as MhSampler.
+  GraphBuilder b(3);
+  b.AddEdge(1, 2).CheckOK();
+  auto g = Share(std::move(b).Build());
+  PointIcm model = PointIcm::Constant(g, 0.5);
+  auto engine = MultiChainSampler::Create(model, {{0, 1, true}},
+                                          FastOptions(4), 3);
+  EXPECT_FALSE(engine.ok());
+}
+
+TEST(MultiChain, OptionsValidate) {
+  MultiChainOptions opt;
+  opt.num_chains = 0;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt.num_chains = 1u << 13;
+  EXPECT_FALSE(opt.Validate().ok());
+  opt.num_chains = 8;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.mh.burn_in = 1u << 27;
+  EXPECT_FALSE(opt.Validate().ok());
+}
+
+TEST(MultiChain, StepCountersAggregateAcrossChains) {
+  PointIcm model = SmallRandomModel(5, 6, 10);
+  MultiChainOptions opt = FastOptions(4);
+  opt.mh.burn_in = 100;
+  opt.mh.thinning = 3;
+  auto engine = MultiChainSampler::Create(model, {}, opt, 5);
+  ASSERT_TRUE(engine.ok());
+  EXPECT_EQ(engine->steps_taken(), 0u);
+  engine->EstimateFlowProbability(0, 5, 400);  // 100 retained per chain
+  // Per chain: 100-step burn-in + 99·(thinning+1) further steps.
+  EXPECT_EQ(engine->steps_taken(), 4u * (100u + 99u * 4u));
+  EXPECT_GT(engine->steps_accepted(), 0u);
+  EXPECT_LE(engine->steps_accepted(), engine->steps_taken());
+}
+
+TEST(MultiChain, DeliberatelyShortRunsReportLowEss) {
+  // 8 retained samples per chain cannot carry much information — the
+  // diagnostics must say so rather than flatter the caller.
+  PointIcm model = SmallRandomModel(5, 8, 18);
+  MultiChainOptions opt = FastOptions(2);
+  opt.mh.burn_in = 0;  // deliberately unconverged: no burn-in, no thinning
+  opt.mh.thinning = 0;
+  auto engine = MultiChainSampler::Create(model, {}, opt, 11);
+  ASSERT_TRUE(engine.ok());
+  const MultiChainEstimate est = engine->EstimateFlowProbability(0, 7, 16);
+  EXPECT_FALSE(est.diagnostics.Converged())
+      << est.diagnostics.ToString();
+}
+
+}  // namespace
+}  // namespace infoflow

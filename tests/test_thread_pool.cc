@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <numeric>
+#include <stdexcept>
 
 #include "core/mh_sampler.h"
 #include "graph/generators.h"
@@ -96,6 +97,79 @@ TEST(ParallelFor, DeterministicWithPerIndexRngs) {
     return estimates;
   };
   EXPECT_EQ(run(false), run(true));
+}
+
+TEST(ThreadPool, FewerTasksThanThreads) {
+  // Idle workers must neither deadlock the batch nor duplicate work.
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 3; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 3);
+}
+
+TEST(ThreadPool, TaskExceptionPropagatesToWait) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+}
+
+TEST(ThreadPool, ExceptionDoesNotAbortSiblingTasks) {
+  // The failing task must not take the batch down with it: every other
+  // task still runs before Wait() rethrows.
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&counter, i] {
+      if (i == 5) throw std::runtime_error("boom");
+      ++counter;
+    });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  EXPECT_EQ(counter.load(), 19);
+}
+
+TEST(ThreadPool, PoolIsReusableAfterException) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("first batch"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The error was consumed; the next batch is clean.
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { ++counter; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, OnlyFirstExceptionIsReported) {
+  ThreadPool pool(4);
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([] { throw std::runtime_error("every task throws"); });
+  }
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  pool.Wait();  // later exceptions were dropped, not queued up
+}
+
+TEST(ParallelFor, FewerIndicesThanWorkers) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  ParallelFor(pool, hits.size(), [&hits](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, BodyExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      ParallelFor(pool, 100,
+                  [](std::size_t i) {
+                    if (i == 42) throw std::invalid_argument("index 42");
+                  }),
+      std::invalid_argument);
+  // The pool survives for the next loop.
+  std::atomic<int> counter{0};
+  ParallelFor(pool, 10, [&counter](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 10);
 }
 
 TEST(ParallelFor, AccumulatesCorrectSum) {
