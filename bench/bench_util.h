@@ -17,8 +17,19 @@
 #include <string>
 
 #include "util/csv.h"
+#include "util/timer.h"
 
 namespace infoflow::bench {
+
+/// Runs `body()` `reps` times and returns the mean wall-clock seconds per
+/// repetition. The shared home for the "Restart / loop / divide" pattern
+/// the timing figures repeat.
+template <typename Body>
+double TimeReps(int reps, Body&& body) {
+  WallTimer timer;
+  for (int r = 0; r < reps; ++r) body();
+  return timer.TotalSeconds() / reps;
+}
 
 /// Parsed command line for a bench binary.
 struct BenchArgs {

@@ -56,9 +56,8 @@ UnattributedEvidence SimulateRaw(std::size_t num_parents,
 /// the paper attributes to it.
 double TimeGoyalRaw(const DirectedGraph& graph,
                     const UnattributedEvidence& ev, NodeId sink, int reps) {
-  WallTimer timer;
   double sink_value = 0.0;
-  for (int r = 0; r < reps; ++r) {
+  const double per_rep = TimeReps(reps, [&] {
     std::vector<NodeId> parents;
     for (EdgeId e : graph.InEdges(sink)) parents.push_back(graph.edge(e).src);
     std::vector<double> credit(parents.size(), 0.0),
@@ -84,10 +83,10 @@ double TimeGoyalRaw(const DirectedGraph& graph,
     for (std::size_t j = 0; j < parents.size(); ++j) {
       sink_value += exposure[j] > 0 ? credit[j] / exposure[j] : 0.0;
     }
-  }
+  });
   // Keep the optimizer from discarding the computation.
   if (sink_value == -1.0) std::printf("impossible\n");
-  return timer.Seconds() / reps;
+  return per_rep;
 }
 
 /// Companion to the §IV-C timing claims: retained-sample throughput of the
@@ -172,7 +171,7 @@ int Run(const BenchArgs& args) {
 
     WallTimer timer;
     const SinkSummary summary = BuildSinkSummary(graph, sink, raw);
-    const double summarize = timer.Seconds();
+    const double summarize = timer.Lap();
 
     // Ours, core: one posterior sweep == one retained sample at thinning 0.
     JointBayesOptions one;
@@ -180,13 +179,10 @@ int Run(const BenchArgs& args) {
     one.burn_in = 0;
     one.thinning = 0;
     one.adapt = false;
-    timer.Restart();
-    const int kCoreReps = 200;
-    for (int r = 0; r < kCoreReps; ++r) {
+    const double ours_core = TimeReps(200, [&] {
       Rng sample_rng = case_rng.Split();
       FitJointBayes(summary, one, sample_rng).status().CheckOK();
-    }
-    const double ours_core = timer.Seconds() / kCoreReps;
+    });
 
     // Amortized: 1000 retained samples in one chain.
     JointBayesOptions many;
@@ -194,12 +190,12 @@ int Run(const BenchArgs& args) {
     many.burn_in = 0;
     many.thinning = 0;
     many.adapt = false;
-    timer.Restart();
+    timer.Lap();  // discard the time the core-rep loop consumed
     {
       Rng sample_rng = case_rng.Split();
       FitJointBayes(summary, many, sample_rng).status().CheckOK();
     }
-    const double ours_amortized = (timer.Seconds() + summarize) / 1000.0;
+    const double ours_amortized = (timer.Lap() + summarize) / 1000.0;
     const double ours_total = ours_core + summarize;
 
     std::printf("%8zu %8zu | %12.6f %12.6f | %12.6f %14.6f %14.6f\n",

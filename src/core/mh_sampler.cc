@@ -1,10 +1,32 @@
 #include "core/mh_sampler.h"
 
 #include <algorithm>
+#include <bit>
+#include <chrono>
 
 #include "util/check.h"
 
 namespace infoflow {
+
+namespace {
+
+/// Upper bounds of the flip-index histogram: bucket i collects flips of
+/// edges whose id has bit-width i (i.e. e < 2^i). bit_width of a 32-bit id
+/// is 0..32, so the 33 bounds plus the registry's overflow slot match
+/// MhSampler::kFlipBuckets == 34 exactly.
+std::vector<double> FlipIndexBounds() {
+  std::vector<double> bounds;
+  bounds.reserve(33);
+  for (int i = 0; i <= 32; ++i) bounds.push_back(static_cast<double>(i));
+  return bounds;
+}
+
+/// Fenwick re-weigh latency buckets, nanoseconds.
+std::vector<double> FenwickLatencyBounds() {
+  return {25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 50000};
+}
+
+}  // namespace
 
 Status MhOptions::Validate() const {
   if (burn_in > (1u << 26)) {
@@ -117,7 +139,15 @@ MhSampler::MhSampler(PointIcm model, FlowConditions conditions,
       state_(std::move(init)),
       // model_ (already moved into) must be used here, not the parameter.
       weights_(model_.graph().num_edges()),
-      workspace_(model_.graph()) {
+      workspace_(model_.graph()),
+      metric_steps_burnin_(&obs::GetCounter("mh.steps.burnin")),
+      metric_steps_retained_(&obs::GetCounter("mh.steps.retained")),
+      metric_steps_accepted_(&obs::GetCounter("mh.steps.accepted")),
+      metric_samples_retained_(&obs::GetCounter("mh.samples_retained")),
+      metric_flip_index_(
+          &obs::GetHistogram("mh.flip_index_log2", FlipIndexBounds())),
+      metric_fenwick_ns_(
+          &obs::GetHistogram("mh.fenwick_update_ns", FenwickLatencyBounds())) {
   // Initialize the proposal multinomial: weight of flipping edge e is the
   // probability of the activity the flip would *produce*.
   for (EdgeId e = 0; e < model_.graph().num_edges(); ++e) {
@@ -143,6 +173,17 @@ bool MhSampler::Step() {
       options_.uniform_proposal
           ? static_cast<EdgeId>(rng_.NextBounded(model_.graph().num_edges()))
           : static_cast<EdgeId>(weights_.Sample(rng_));
+  if constexpr (obs::MetricsEnabled()) {
+    // 1-in-8 sampled flip recording (scaled back up at publish, statsd
+    // style): one predictable branch per step keeps the chain at its
+    // uninstrumented throughput, and the histogram only needs the *shape*
+    // of the flip-index distribution, not exact counts. Aggregation is
+    // local (this chain is single-threaded); PublishStepStats drains into
+    // the registry once per retained sample.
+    if ((steps_ & 7u) == 0) {
+      ++flip_counts_[std::bit_width(static_cast<std::uint32_t>(e))];
+    }
+  }
   const bool was_active = state_[e] != 0;
   const double p = model_.prob(e);
 
@@ -175,12 +216,80 @@ bool MhSampler::Step() {
   return true;
 }
 
+void MhSampler::PublishStepStats() {
+  metric_steps_burnin_->Increment(pending_burnin_steps_);
+  metric_steps_retained_->Increment(pending_retained_steps_);
+  metric_steps_accepted_->Increment(accepted_ - published_accepted_);
+  published_accepted_ = accepted_;
+  metric_samples_retained_->Increment(pending_samples_);
+  pending_burnin_steps_ = 0;
+  pending_retained_steps_ = 0;
+  pending_samples_ = 0;
+  // Scale the 1-in-8 sampled flip counts back to step units; the sum is
+  // exactly recoverable from the buckets because bucket i holds only flips
+  // whose recorded value is i.
+  std::array<std::uint64_t, kFlipBuckets> scaled;
+  double flip_sum = 0.0;
+  for (std::size_t i = 0; i < flip_counts_.size(); ++i) {
+    scaled[i] = flip_counts_[i] * 8;
+    flip_sum += static_cast<double>(i) * static_cast<double>(scaled[i]);
+  }
+  metric_flip_index_->AddBatch(scaled.data(), scaled.size(), flip_sum);
+  flip_counts_.fill(0);
+  // Time one idempotent Fenwick re-weigh on every 8th publish, off the
+  // per-step path. Set walks the full update path whatever the delta (it
+  // embeds a Get), so a same-value Set on a rotating probe edge has the
+  // exact cost profile of the re-weigh an accepted flip performs in Step;
+  // throttling keeps the amortized clock cost below a nanosecond per step
+  // while still recording hundreds of latencies per realistic query.
+  if ((publishes_++ & 7u) == 0 && model_.graph().num_edges() > 0) {
+    const auto probe = static_cast<EdgeId>(
+        steps_ % static_cast<std::uint64_t>(model_.graph().num_edges()));
+    const double w = weights_.Get(probe);
+    const auto begin = std::chrono::steady_clock::now();
+    weights_.Set(probe, w);
+    const auto elapsed = std::chrono::steady_clock::now() - begin;
+    metric_fenwick_ns_->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+}
+
+void MhSampler::FlushMetrics() {
+  if constexpr (obs::MetricsEnabled()) {
+    if (pending_samples_ > 0 || accepted_ != published_accepted_) {
+      PublishStepStats();
+    }
+  }
+}
+
+void MhSampler::Reseed(Rng rng) {
+  FlushMetrics();  // don't lose work already done under the old stream
+  rng_ = rng;
+  burned_in_ = false;
+  steps_ = 0;
+  accepted_ = 0;
+  published_accepted_ = 0;
+  flip_counts_.fill(0);
+}
+
 const PseudoState& MhSampler::NextSample() {
+  const bool burn_in_phase = !burned_in_;
+  std::uint64_t steps_run = 0;
   if (!burned_in_) {
     for (std::size_t i = 0; i < options_.burn_in; ++i) Step();
+    steps_run = options_.burn_in;
     burned_in_ = true;
   } else {
     for (std::size_t i = 0; i <= options_.thinning; ++i) Step();
+    steps_run = options_.thinning + 1;
+  }
+  if constexpr (obs::MetricsEnabled()) {
+    // Aggregate locally; drain to the registry every kPublishInterval-th
+    // sample (FlushMetrics at estimate boundaries catches the remainder).
+    (burn_in_phase ? pending_burnin_steps_ : pending_retained_steps_) +=
+        steps_run;
+    if (++pending_samples_ >= kPublishInterval) PublishStepStats();
   }
   return state_;
 }
@@ -195,6 +304,7 @@ double MhSampler::EstimateFlowProbability(NodeId source, NodeId sink,
     const PseudoState& x = NextSample();
     if (workspace_.RunUntil(graph, {source}, x, sink)) ++hits;
   }
+  FlushMetrics();
   return static_cast<double>(hits) / static_cast<double>(num_samples);
 }
 
@@ -218,6 +328,7 @@ std::vector<double> MhSampler::EstimateCommunityFlowMulti(
       if (workspace_.IsReached(sinks[j])) ++hits[j];
     }
   }
+  FlushMetrics();
   std::vector<double> out(sinks.size());
   for (std::size_t j = 0; j < sinks.size(); ++j) {
     out[j] =
@@ -235,6 +346,7 @@ double MhSampler::EstimateJointFlowProbability(const FlowConditions& flows,
     const PseudoState& x = NextSample();
     if (SatisfiesConditions(model_.graph(), x, flows, workspace_)) ++hits;
   }
+  FlushMetrics();
   return static_cast<double>(hits) / static_cast<double>(num_samples);
 }
 
@@ -252,6 +364,7 @@ std::vector<std::uint32_t> MhSampler::SampleDispersion(
     counts.push_back(
         static_cast<std::uint32_t>(workspace_.ReachedNodes().size() - 1));
   }
+  FlushMetrics();
   return counts;
 }
 

@@ -30,11 +30,13 @@
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
 #include "core/flow_query.h"
 #include "core/icm.h"
+#include "obs/metrics.h"
 #include "stats/fenwick_tree.h"
 #include "stats/rng.h"
 #include "util/status.h"
@@ -131,6 +133,30 @@ class MhSampler {
   std::uint64_t steps_taken() const { return steps_; }
   std::uint64_t steps_accepted() const { return accepted_; }
 
+  /// Fraction of attempted transitions accepted; 0 before any attempt (the
+  /// 0/0 case a caller would otherwise hit right after Create or Reseed).
+  double acceptance_rate() const {
+    return steps_ == 0 ? 0.0
+                       : static_cast<double>(accepted_) /
+                             static_cast<double>(steps_);
+  }
+
+  /// \brief Drains any step/flip aggregates not yet published to the global
+  /// metrics registry. NextSample publishes every kPublishInterval-th
+  /// retained sample to amortize registry traffic; call this before reading
+  /// the registry when exact counts matter. No-op under INFOFLOW_NO_METRICS
+  /// and when nothing is pending. The Estimate* methods and the multi-chain
+  /// engine flush automatically at their boundaries.
+  void FlushMetrics();
+
+  /// \brief Restarts the chain's diagnostics on a fresh RNG stream: installs
+  /// `rng`, zeroes the attempted/accepted counters and the local metric
+  /// aggregates, and clears the burn-in flag so the next NextSample()
+  /// re-runs burn-in. The current pseudo-state is kept — it satisfies the
+  /// conditions, so the re-burned chain starts from an admissible point and
+  /// multi-run diagnostics are not polluted by the previous run's counts.
+  void Reseed(Rng rng);
+
  private:
   MhSampler(PointIcm model, FlowConditions conditions, MhOptions options,
             Rng rng, PseudoState init);
@@ -144,6 +170,20 @@ class MhSampler {
                                               const MhOptions& options,
                                               Rng& rng);
 
+  /// Buckets of the flip-index histogram: one per bit-width of the flipped
+  /// edge id (0..32), i.e. registry bounds {0, 1, ..., 32} plus overflow.
+  static constexpr std::size_t kFlipBuckets = 34;
+
+  /// Retained samples aggregated locally between registry publishes.
+  static constexpr std::uint32_t kPublishInterval = 16;
+
+  /// Publishes the pending step/acceptance deltas plus the locally
+  /// aggregated flip-index buckets to the global registry — called every
+  /// kPublishInterval-th NextSample() (and from FlushMetrics) so the
+  /// per-step fast path never touches shared cells and the per-sample path
+  /// rarely does.
+  void PublishStepStats();
+
   PointIcm model_;
   FlowConditions conditions_;
   MhOptions options_;
@@ -154,6 +194,25 @@ class MhSampler {
   bool burned_in_ = false;
   std::uint64_t steps_ = 0;
   std::uint64_t accepted_ = 0;
+
+  /// Registry handles (inert stubs under INFOFLOW_NO_METRICS); stable for
+  /// the process lifetime, so copying the sampler copies the pointers.
+  obs::Counter* metric_steps_burnin_;
+  obs::Counter* metric_steps_retained_;
+  obs::Counter* metric_steps_accepted_;
+  obs::Counter* metric_samples_retained_;
+  obs::Histogram* metric_flip_index_;
+  obs::Histogram* metric_fenwick_ns_;
+  /// Per-step flip-index aggregate (1-in-8 sampled), drained and scaled
+  /// back to step units by PublishStepStats.
+  std::array<std::uint64_t, kFlipBuckets> flip_counts_{};
+  std::uint64_t published_accepted_ = 0;
+  /// Publish calls so far; throttles the Fenwick latency probe.
+  std::uint64_t publishes_ = 0;
+  /// Steps/samples accumulated since the last publish.
+  std::uint64_t pending_burnin_steps_ = 0;
+  std::uint64_t pending_retained_steps_ = 0;
+  std::uint32_t pending_samples_ = 0;
 };
 
 }  // namespace infoflow

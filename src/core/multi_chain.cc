@@ -1,10 +1,13 @@
 #include "core/multi_chain.h"
 
 #include <algorithm>
+#include <string>
 #include <thread>
 #include <utility>
 
+#include "obs/trace.h"
 #include "util/check.h"
+#include "util/timer.h"
 
 namespace infoflow {
 
@@ -48,10 +51,22 @@ Result<MultiChainSampler> MultiChainSampler::Create(PointIcm model,
 
 MultiChainSampler::MultiChainSampler(std::vector<MhSampler> chains,
                                      MultiChainOptions options)
-    : chains_(std::move(chains)), options_(options) {
+    : chains_(std::move(chains)),
+      options_(options),
+      metric_rhat_(&obs::GetGauge("multi_chain.rhat")),
+      metric_ess_(&obs::GetGauge("multi_chain.ess")),
+      metric_mcse_(&obs::GetGauge("multi_chain.mcse")),
+      metric_samples_drawn_(&obs::GetCounter("multi_chain.samples_drawn")),
+      metric_estimates_(&obs::GetCounter("multi_chain.estimates")) {
   workspaces_.reserve(chains_.size());
+  chain_metrics_.reserve(chains_.size());
   for (std::size_t k = 0; k < chains_.size(); ++k) {
     workspaces_.emplace_back(ModelGraph());
+    const std::string prefix =
+        "multi_chain.chain." + std::to_string(k) + ".";
+    chain_metrics_.push_back(
+        {&obs::GetGauge(prefix + "acceptance_rate"),
+         &obs::GetGauge(prefix + "samples_per_s")});
   }
   std::size_t threads = options_.num_threads;
   if (threads == 0) {
@@ -85,14 +100,32 @@ void MultiChainSampler::RunChains(std::size_t per_chain, const Record& record) {
   // a single worker, writing only to k's slots — results are independent of
   // the pool size and of scheduling.
   ParallelFor(*pool_, chains_.size(), [&](std::size_t k) {
+    obs::TraceSpan span("multi_chain/chain_run");
+    WallTimer timer;
     for (std::size_t i = 0; i < per_chain; ++i) {
       record(k, i, chains_[k].NextSample());
     }
+    if constexpr (obs::MetricsEnabled()) {
+      const double seconds = timer.Seconds();
+      chains_[k].FlushMetrics();
+      chain_metrics_[k].acceptance_rate->Set(chains_[k].acceptance_rate());
+      chain_metrics_[k].samples_per_s->Set(
+          seconds > 0.0 ? static_cast<double>(per_chain) / seconds : 0.0);
+    }
   });
+  metric_samples_drawn_->Increment(chains_.size() * per_chain);
+}
+
+void MultiChainSampler::PublishDiagnostics(const ChainDiagnostics& diag) {
+  metric_rhat_->Set(diag.rhat);
+  metric_ess_->Set(diag.ess);
+  metric_mcse_->Set(diag.mcse);
+  metric_estimates_->Increment();
 }
 
 MultiChainEstimate MultiChainSampler::EstimateFlowProbability(
     NodeId source, NodeId sink, std::size_t num_samples) {
+  obs::TraceSpan span("multi_chain/estimate_flow");
   const DirectedGraph& graph = ModelGraph();
   IF_CHECK(source < graph.num_nodes() && sink < graph.num_nodes());
   const std::size_t per_chain = SamplesPerChain(num_samples);
@@ -105,6 +138,7 @@ MultiChainEstimate MultiChainSampler::EstimateFlowProbability(
         workspaces_[k].RunUntil(graph, sources, x, sink) ? 1.0 : 0.0;
   });
   const ChainDiagnostics diag = ComputeChainDiagnostics(draws);
+  PublishDiagnostics(diag);
   return {diag.mean, diag};
 }
 
@@ -116,6 +150,7 @@ std::vector<MultiChainEstimate> MultiChainSampler::EstimateCommunityFlow(
 std::vector<MultiChainEstimate> MultiChainSampler::EstimateCommunityFlowMulti(
     const std::vector<NodeId>& sources, const std::vector<NodeId>& sinks,
     std::size_t num_samples) {
+  obs::TraceSpan span("multi_chain/estimate_community_flow");
   IF_CHECK(!sources.empty()) << "need at least one source";
   const DirectedGraph& graph = ModelGraph();
   const std::size_t per_chain = SamplesPerChain(num_samples);
@@ -137,6 +172,7 @@ std::vector<MultiChainEstimate> MultiChainSampler::EstimateCommunityFlowMulti(
   out.reserve(sinks.size());
   for (std::size_t j = 0; j < sinks.size(); ++j) {
     const ChainDiagnostics diag = ComputeChainDiagnostics(draws[j]);
+    PublishDiagnostics(diag);  // gauges keep the last sink's values
     out.push_back({diag.mean, diag});
   }
   return out;
@@ -144,6 +180,7 @@ std::vector<MultiChainEstimate> MultiChainSampler::EstimateCommunityFlowMulti(
 
 MultiChainEstimate MultiChainSampler::EstimateJointFlowProbability(
     const FlowConditions& flows, std::size_t num_samples) {
+  obs::TraceSpan span("multi_chain/estimate_joint_flow");
   const DirectedGraph& graph = ModelGraph();
   ValidateConditions(graph, flows).CheckOK();
   const std::size_t per_chain = SamplesPerChain(num_samples);
@@ -155,11 +192,13 @@ MultiChainEstimate MultiChainSampler::EstimateJointFlowProbability(
         SatisfiesConditions(graph, x, flows, workspaces_[k]) ? 1.0 : 0.0;
   });
   const ChainDiagnostics diag = ComputeChainDiagnostics(draws);
+  PublishDiagnostics(diag);
   return {diag.mean, diag};
 }
 
 DispersionEstimate MultiChainSampler::SampleDispersion(
     NodeId source, std::size_t num_samples) {
+  obs::TraceSpan span("multi_chain/sample_dispersion");
   const DirectedGraph& graph = ModelGraph();
   IF_CHECK(source < graph.num_nodes());
   const std::size_t per_chain = SamplesPerChain(num_samples);
@@ -178,6 +217,7 @@ DispersionEstimate MultiChainSampler::SampleDispersion(
     for (double v : d) out.counts.push_back(static_cast<std::uint32_t>(v));
   }
   out.diagnostics = ComputeChainDiagnostics(draws);
+  PublishDiagnostics(out.diagnostics);
   return out;
 }
 

@@ -52,6 +52,7 @@
 
 #include "core/flow_query.h"
 #include "core/mh_sampler.h"
+#include "obs/metrics.h"
 #include "stats/convergence.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
@@ -162,8 +163,25 @@ class MultiChainSampler {
   template <typename Record>
   void RunChains(std::size_t per_chain, const Record& record);
 
+  /// Publishes cross-chain convergence gauges (R̂ / ESS / MCSE) after an
+  /// estimate completes.
+  void PublishDiagnostics(const ChainDiagnostics& diagnostics);
+
+  /// Per-chain registry handles, resolved once at construction (names like
+  /// "multi_chain.chain.3.acceptance_rate").
+  struct ChainMetricHandles {
+    obs::Gauge* acceptance_rate;
+    obs::Gauge* samples_per_s;
+  };
+
   std::vector<MhSampler> chains_;
   MultiChainOptions options_;
+  std::vector<ChainMetricHandles> chain_metrics_;
+  obs::Gauge* metric_rhat_;
+  obs::Gauge* metric_ess_;
+  obs::Gauge* metric_mcse_;
+  obs::Counter* metric_samples_drawn_;
+  obs::Counter* metric_estimates_;
   /// Scratch reachability workspace per chain (MhSampler's own workspace is
   /// private to its estimators; the engine consumes raw NextSample states).
   std::vector<ReachabilityWorkspace> workspaces_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/descriptive.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
@@ -60,6 +62,7 @@ Result<FlowProbabilityDistribution> NestedMhFlowDistribution(
     const BetaIcm& model, NodeId source, NodeId sink,
     const FlowConditions& conditions, const NestedMhOptions& options,
     Rng& rng) {
+  obs::TraceSpan run_span("nested_mh/run");
   IF_CHECK(options.num_models > 0 && options.samples_per_model > 0)
       << "nested MH needs positive model and sample counts";
   // The outer draws are independent given their RNG streams, so derive one
@@ -73,7 +76,11 @@ Result<FlowProbabilityDistribution> NestedMhFlowDistribution(
   FlowProbabilityDistribution out;
   out.probabilities.assign(options.num_models, 0.0);
   std::vector<Status> errors(options.num_models, Status::OK());
+  obs::Counter& models_counter = obs::GetCounter("nested_mh.models_sampled");
   auto run_model = [&](std::size_t k) {
+    // One span per outer-loop model: on a trace timeline the model draws
+    // tile each worker's row, exposing imbalance across sampled ICMs.
+    obs::TraceSpan span("nested_mh/model");
     Rng local = model_rngs[k];
     const PointIcm icm = options.gaussian_edge_approximation
                              ? model.SampleIcmGaussian(local)
@@ -86,6 +93,7 @@ Result<FlowProbabilityDistribution> NestedMhFlowDistribution(
     }
     out.probabilities[k] = sampler->EstimateFlowProbability(
         source, sink, options.samples_per_model);
+    models_counter.Increment();
   };
   if (options.num_threads == 1) {
     for (std::size_t k = 0; k < options.num_models; ++k) run_model(k);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace infoflow {
@@ -83,6 +85,7 @@ Status UpdateBetaIcmWithObject(BetaIcm& model,
   // §II-A step 2: for each edge e_jk — if e ∈ E_i bump α; else if its
   // parent v_j ∈ V_i bump β. Iterating out-edges of active nodes covers
   // exactly the edges with an active parent (all others are untouched).
+  std::uint64_t edges_updated = 0;
   for (NodeId v : object.active_nodes) {
     for (EdgeId e : graph.OutEdges(v)) {
       if (edge_active[e]) {
@@ -90,8 +93,10 @@ Status UpdateBetaIcmWithObject(BetaIcm& model,
       } else {
         model.AddFailure(e);
       }
+      ++edges_updated;
     }
   }
+  obs::GetCounter("learn.attributed.edge_updates").Increment(edges_updated);
   return Status::OK();
 }
 
@@ -126,12 +131,15 @@ Result<BetaIcm> MergeBetaIcms(const BetaIcm& a, const BetaIcm& b) {
 Result<BetaIcm> TrainBetaIcmFromAttributed(
     std::shared_ptr<const DirectedGraph> graph,
     const AttributedEvidence& evidence) {
+  obs::TraceSpan span("learn/attributed_evidence_pass");
   IF_CHECK(graph != nullptr);
   IF_RETURN_NOT_OK(ValidateAttributedEvidence(*graph, evidence));
   BetaIcm model = BetaIcm::Uninformed(std::move(graph));
   for (const AttributedObject& obj : evidence.objects) {
     IF_RETURN_NOT_OK(UpdateBetaIcmWithObject(model, obj));
   }
+  obs::GetCounter("learn.attributed.objects").Increment(
+      evidence.objects.size());
   return model;
 }
 

@@ -4,6 +4,8 @@
 
 #include "learn/filtered.h"
 #include "learn/goyal.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/check.h"
 
 namespace infoflow {
@@ -46,11 +48,19 @@ Result<UnattributedModel> TrainUnattributedModel(
   model.mean.assign(graph->num_edges(), options.no_evidence_mean);
   model.sd.assign(graph->num_edges(), 0.0);
 
+  obs::TraceSpan train_span("learn/train_unattributed");
+  obs::Counter& sinks_counter = obs::GetCounter("learn.sinks_trained");
+  obs::Counter& edges_counter = obs::GetCounter("learn.edge_updates");
   for (NodeId sink = 0; sink < graph->num_nodes(); ++sink) {
     if (graph->InDegree(sink) == 0) continue;
-    const SinkSummary summary =
-        BuildSinkSummary(*graph, sink, evidence, options.summary);
+    const SinkSummary summary = [&] {
+      obs::TraceSpan span("learn/summary_build");
+      return BuildSinkSummary(*graph, sink, evidence, options.summary);
+    }();
     if (summary.rows.empty()) continue;  // no evidence: defaults stand
+    obs::TraceSpan fit_span("learn/fit_sink");
+    sinks_counter.Increment();
+    edges_counter.Increment(summary.parents.size());
     switch (options.method) {
       case UnattributedMethod::kJointBayes: {
         auto fit = FitJointBayes(summary, options.joint_bayes, rng);

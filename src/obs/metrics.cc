@@ -1,0 +1,283 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace infoflow::obs {
+
+namespace {
+
+/// Escapes a metric name for embedding in a JSON string literal.
+std::string JsonEscape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Doubles in JSON must not render as "inf"/"nan"; histogram bounds and
+/// gauge values are finite in practice, but stay defensive.
+void AppendDouble(std::ostringstream& out, double value) {
+  if (std::isfinite(value)) {
+    out << value;
+  } else {
+    out << "null";
+  }
+}
+
+}  // namespace
+
+std::string MetricsSnapshot::ToJson() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":" << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":";
+    AppendDouble(out, value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : histograms) {
+    if (!first) out << ",";
+    first = false;
+    out << "\"" << JsonEscape(name) << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out << ",";
+      AppendDouble(out, hist.bounds[i]);
+    }
+    out << "],\"counts\":[";
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out << ",";
+      out << hist.counts[i];
+    }
+    out << "],\"total\":" << hist.total << ",\"sum\":";
+    AppendDouble(out, hist.sum);
+    out << ",\"mean\":";
+    AppendDouble(out, hist.Mean());
+    out << "}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+std::string MetricsSnapshot::ToCsv() const {
+  std::ostringstream out;
+  out.precision(17);
+  out << "kind,name,field,value\n";
+  for (const auto& [name, value] : counters) {
+    out << "counter," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    out << "gauge," << name << ",value," << value << "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      out << "histogram," << name << ",le_";
+      if (i < hist.bounds.size()) {
+        out << hist.bounds[i];
+      } else {
+        out << "inf";
+      }
+      out << "," << hist.counts[i] << "\n";
+    }
+    out << "histogram," << name << ",count," << hist.total << "\n";
+    out << "histogram," << name << ",sum," << hist.sum << "\n";
+  }
+  return out.str();
+}
+
+#ifndef INFOFLOW_NO_METRICS
+
+namespace internal {
+
+std::size_t ThisThreadShard() {
+  // Threads take round-robin slots in creation order; the slot is stable for
+  // the thread's lifetime, so a thread always hits the same cells.
+  static std::atomic<std::size_t> next_slot{0};
+  thread_local const std::size_t shard =
+      next_slot.fetch_add(1, std::memory_order_relaxed) % kNumShards;
+  return shard;
+}
+
+}  // namespace internal
+
+std::uint64_t Counter::Value() const {
+  std::uint64_t total = 0;
+  for (const internal::ShardCell& cell : cells_) {
+    total += cell.value.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Counter::Reset() {
+  for (internal::ShardCell& cell : cells_) {
+    cell.value.store(0, std::memory_order_relaxed);
+  }
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      stride_(bounds_.size() + 1),
+      cells_(internal::kNumShards * stride_),
+      sums_(new std::atomic<double>[internal::kNumShards]) {
+  for (std::size_t s = 0; s < internal::kNumShards; ++s) {
+    sums_[s].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t Histogram::BucketOf(double value) const {
+  // First bucket i with value <= bounds_[i]; past-the-end is the overflow
+  // bucket.
+  return static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+      bounds_.begin());
+}
+
+void Histogram::Record(double value) {
+  const std::size_t shard = internal::ThisThreadShard();
+  cells_[shard * stride_ + BucketOf(value)].fetch_add(
+      1, std::memory_order_relaxed);
+  sums_[shard].fetch_add(value, std::memory_order_relaxed);
+}
+
+void Histogram::AddBatch(const std::uint64_t* counts, std::size_t num_buckets,
+                         double sum) {
+  if (num_buckets != stride_) return;  // bounds mismatch: drop, don't corrupt
+  const std::size_t base = internal::ThisThreadShard() * stride_;
+  for (std::size_t i = 0; i < num_buckets; ++i) {
+    if (counts[i] != 0) {
+      cells_[base + i].fetch_add(counts[i], std::memory_order_relaxed);
+    }
+  }
+  sums_[internal::ThisThreadShard()].fetch_add(sum,
+                                               std::memory_order_relaxed);
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  snap.bounds = bounds_;
+  snap.counts.assign(stride_, 0);
+  for (std::size_t s = 0; s < internal::kNumShards; ++s) {
+    for (std::size_t i = 0; i < stride_; ++i) {
+      snap.counts[i] += cells_[s * stride_ + i].load(std::memory_order_relaxed);
+    }
+    snap.sum += sums_[s].load(std::memory_order_relaxed);
+  }
+  for (std::uint64_t c : snap.counts) snap.total += c;
+  return snap;
+}
+
+void Histogram::Reset() {
+  for (auto& cell : cells_) cell.store(0, std::memory_order_relaxed);
+  for (std::size_t s = 0; s < internal::kNumShards; ++s) {
+    sums_[s].store(0.0, std::memory_order_relaxed);
+  }
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_
+             .emplace(std::string(name),
+                      std::unique_ptr<Counter>(new Counter()))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_
+             .emplace(std::string(name), std::unique_ptr<Gauge>(new Gauge()))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    if (bounds.empty()) bounds.push_back(1.0);  // degenerate but safe
+    it = histograms_
+             .emplace(std::string(name),
+                      std::unique_ptr<Histogram>(
+                          new Histogram(std::move(bounds))))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->Value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->Value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    snap.histograms[name] = hist->Snapshot();
+  }
+  return snap;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0.0);
+  for (auto& [name, hist] : histograms_) hist->Reset();
+}
+
+#endif  // INFOFLOW_NO_METRICS
+
+}  // namespace infoflow::obs

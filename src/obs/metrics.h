@@ -1,0 +1,279 @@
+/// \file metrics.h
+/// \brief Low-overhead, thread-safe metrics: named counters, gauges, and
+/// fixed-bucket histograms behind a process-global registry.
+///
+/// The evaluation narrative of the paper is a runtime/accuracy trade-off
+/// (Fig. 6 timing, burn-in δ and thinning δ′ tuning in §III-D); directing
+/// further performance work needs visibility into acceptance rates, queue
+/// depths, and per-subsystem latencies rather than wall-clock totals alone.
+///
+/// Design:
+///  - Registration (name → handle) takes a mutex once; the returned handle
+///    is stable for the registry's lifetime, so hot paths touch no locks.
+///  - Counters and histograms stripe their cells across a fixed number of
+///    cache-line-padded shards indexed by a per-thread slot, so concurrent
+///    writers on different threads rarely contend; `Snapshot()` sums the
+///    shards.
+///  - Writers that already aggregate locally (e.g. a sampler counting flip
+///    indices between retained samples) can publish pre-bucketed batches via
+///    `Histogram::AddBatch`, paying registry traffic per *sample* instead of
+///    per *step*.
+///  - Defining `INFOFLOW_NO_METRICS` swaps every class for an inline no-op
+///    stub, compiling the instrumentation out entirely (guard any residual
+///    work, like clock reads, with `if constexpr (obs::MetricsEnabled())`).
+///
+/// \code
+///   obs::Counter& steps = obs::GetCounter("mh.steps_total");
+///   steps.Increment();
+///   obs::MetricsSnapshot snap = obs::MetricsRegistry::Global().Snapshot();
+///   WriteFile("metrics.json", snap.ToJson());
+/// \endcode
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef INFOFLOW_NO_METRICS
+#include <atomic>
+#include <bit>
+#include <mutex>
+#endif
+
+namespace infoflow::obs {
+
+/// \brief Aggregated view of one histogram at snapshot time.
+///
+/// Bucket semantics: value v lands in the first bucket i with v <= bounds[i];
+/// values above bounds.back() land in the final overflow bucket, so
+/// `counts.size() == bounds.size() + 1`.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  /// Total observations (== sum of counts).
+  std::uint64_t total = 0;
+  /// Sum of the raw observed values (not bucket midpoints).
+  double sum = 0.0;
+
+  /// Mean observed value; 0 when empty.
+  double Mean() const {
+    return total == 0 ? 0.0 : sum / static_cast<double>(total);
+  }
+};
+
+/// \brief A point-in-time copy of every registered metric.
+struct MetricsSnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// Whole snapshot as a JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"bounds": [...], "counts": [...], ...}}}.
+  std::string ToJson() const;
+
+  /// Flat CSV: kind,name,field,value — one row per counter/gauge and per
+  /// histogram bucket (field = "le_<bound>" / "le_inf") plus sum and count.
+  std::string ToCsv() const;
+};
+
+#ifndef INFOFLOW_NO_METRICS
+
+/// True when the observability layer is compiled in; usable in
+/// `if constexpr` to elide residual instrumentation work (clock reads,
+/// local aggregation) in INFOFLOW_NO_METRICS builds.
+inline constexpr bool MetricsEnabled() { return true; }
+
+namespace internal {
+
+/// Shard count for striped cells. Threads hash onto shards round-robin;
+/// more shards than typical worker counts keeps collisions rare without
+/// bloating snapshot cost.
+inline constexpr std::size_t kNumShards = 16;
+
+/// One cache line per cell so two shards never false-share.
+struct alignas(64) ShardCell {
+  std::atomic<std::uint64_t> value{0};
+};
+
+/// Stable per-thread shard index in [0, kNumShards).
+std::size_t ThisThreadShard();
+
+}  // namespace internal
+
+/// \brief Monotonic counter. Increment is one relaxed atomic add on a
+/// thread-striped cell.
+class Counter {
+ public:
+  void Increment(std::uint64_t delta = 1) {
+    cells_[internal::ThisThreadShard()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  /// Sum over shards. Concurrent increments may or may not be included.
+  std::uint64_t Value() const;
+
+ private:
+  friend class MetricsRegistry;
+  Counter() = default;
+  void Reset();
+
+  internal::ShardCell cells_[internal::kNumShards];
+};
+
+/// \brief Last-writer-wins double value (rates, depths, R̂, ...).
+class Gauge {
+ public:
+  void Set(double value) {
+    bits_.store(std::bit_cast<std::uint64_t>(value),
+                std::memory_order_relaxed);
+  }
+
+  double Value() const {
+    return std::bit_cast<double>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge() = default;
+
+  // 0 is the bit pattern of +0.0, so the initial value reads as 0.0.
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// \brief Fixed-bucket histogram with thread-striped bucket cells.
+class Histogram {
+ public:
+  /// Records one observation: O(log buckets) search plus two relaxed adds.
+  void Record(double value);
+
+  /// \brief Publishes a locally pre-aggregated batch: `counts[i]`
+  /// observations in bucket i (the caller bucketed against this histogram's
+  /// bounds; `num_buckets` must equal `bounds().size() + 1`) whose raw
+  /// values sum to `sum`. The per-thread-aggregation fast path.
+  void AddBatch(const std::uint64_t* counts, std::size_t num_buckets,
+                double sum);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Aggregates the shards.
+  HistogramSnapshot Snapshot() const;
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::vector<double> bounds);
+  void Reset();
+
+  std::size_t BucketOf(double value) const;
+
+  std::vector<double> bounds_;
+  std::size_t stride_;  // bounds_.size() + 1, the per-shard cell count
+  /// Shard-major: cells_[shard * stride_ + bucket].
+  std::vector<std::atomic<std::uint64_t>> cells_;
+  /// Per-shard raw-value sums (padded by vector-of-atomics granularity;
+  /// sums are updated once per Record/AddBatch, far off the critical path).
+  std::unique_ptr<std::atomic<double>[]> sums_;
+};
+
+/// \brief Name → metric handle registry. Handles are stable pointers valid
+/// for the registry's lifetime (metrics are never deleted, only Reset).
+class MetricsRegistry {
+ public:
+  /// The process-global registry used by the instrumented subsystems.
+  static MetricsRegistry& Global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates the named counter.
+  Counter& GetCounter(std::string_view name);
+
+  /// Finds or creates the named gauge.
+  Gauge& GetGauge(std::string_view name);
+
+  /// \brief Finds or creates the named histogram. `bounds` (strictly
+  /// increasing, non-empty) applies on first registration; later callers
+  /// receive the existing histogram regardless of the bounds they pass.
+  Histogram& GetHistogram(std::string_view name, std::vector<double> bounds);
+
+  /// Copies every metric's current value.
+  MetricsSnapshot Snapshot() const;
+
+  /// Zeroes all counters/histograms and gauges, keeping registrations (and
+  /// therefore outstanding handles) valid.
+  void Reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // INFOFLOW_NO_METRICS — inert inline stubs with the identical API.
+
+inline constexpr bool MetricsEnabled() { return false; }
+
+class Counter {
+ public:
+  void Increment(std::uint64_t = 1) {}
+  std::uint64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(double) {}
+  double Value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void Record(double) {}
+  void AddBatch(const std::uint64_t*, std::size_t, double) {}
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> kEmpty;
+    return kEmpty;
+  }
+  HistogramSnapshot Snapshot() const { return {}; }
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global() {
+    static MetricsRegistry registry;
+    return registry;
+  }
+  Counter& GetCounter(std::string_view) { return counter_; }
+  Gauge& GetGauge(std::string_view) { return gauge_; }
+  Histogram& GetHistogram(std::string_view, std::vector<double>) {
+    return histogram_;
+  }
+  MetricsSnapshot Snapshot() const { return {}; }
+  void Reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // INFOFLOW_NO_METRICS
+
+/// Convenience accessors against the global registry.
+inline Counter& GetCounter(std::string_view name) {
+  return MetricsRegistry::Global().GetCounter(name);
+}
+inline Gauge& GetGauge(std::string_view name) {
+  return MetricsRegistry::Global().GetGauge(name);
+}
+inline Histogram& GetHistogram(std::string_view name,
+                               std::vector<double> bounds) {
+  return MetricsRegistry::Global().GetHistogram(name, std::move(bounds));
+}
+
+}  // namespace infoflow::obs

@@ -1,11 +1,53 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "obs/metrics.h"
 #include "util/check.h"
 
 namespace infoflow {
+
+namespace {
+
+/// Shared-pool metrics. Task granularity is coarse (ParallelFor chunks),
+/// so per-task clock reads and histogram records are noise; all of it still
+/// compiles out under INFOFLOW_NO_METRICS via the call-site guards.
+std::uint64_t TaskClockNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::vector<double> TaskLatencyBounds() {
+  return {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10};
+}
+
+obs::Gauge& QueueDepthGauge() {
+  static obs::Gauge& gauge = obs::GetGauge("threadpool.queue_depth");
+  return gauge;
+}
+
+obs::Counter& TasksCounter() {
+  static obs::Counter& counter = obs::GetCounter("threadpool.tasks");
+  return counter;
+}
+
+obs::Histogram& WaitHistogram() {
+  static obs::Histogram& hist =
+      obs::GetHistogram("threadpool.task_wait_ns", TaskLatencyBounds());
+  return hist;
+}
+
+obs::Histogram& RunHistogram() {
+  static obs::Histogram& hist =
+      obs::GetHistogram("threadpool.task_run_ns", TaskLatencyBounds());
+  return hist;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -28,10 +70,15 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::Submit(std::function<void()> task) {
   IF_CHECK(task != nullptr) << "null task";
+  QueuedTask queued{std::move(task), 0};
+  if constexpr (obs::MetricsEnabled()) queued.enqueue_ns = TaskClockNs();
   {
     std::unique_lock<std::mutex> lock(mutex_);
     IF_CHECK(!shutting_down_) << "Submit after shutdown";
-    queue_.push(std::move(task));
+    queue_.push(std::move(queued));
+    if constexpr (obs::MetricsEnabled()) {
+      QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+    }
     ++in_flight_;
   }
   task_ready_.notify_one();
@@ -49,7 +96,7 @@ void ThreadPool::Wait() {
 
 void ThreadPool::WorkerLoop() {
   while (true) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       task_ready_.wait(lock,
@@ -60,12 +107,25 @@ void ThreadPool::WorkerLoop() {
       }
       task = std::move(queue_.front());
       queue_.pop();
+      if constexpr (obs::MetricsEnabled()) {
+        QueueDepthGauge().Set(static_cast<double>(queue_.size()));
+      }
+    }
+    std::uint64_t run_begin_ns = 0;
+    if constexpr (obs::MetricsEnabled()) {
+      run_begin_ns = TaskClockNs();
+      WaitHistogram().Record(
+          static_cast<double>(run_begin_ns - task.enqueue_ns));
     }
     std::exception_ptr error;
     try {
-      task();
+      task.fn();
     } catch (...) {
       error = std::current_exception();
+    }
+    if constexpr (obs::MetricsEnabled()) {
+      RunHistogram().Record(static_cast<double>(TaskClockNs() - run_begin_ns));
+      TasksCounter().Increment();
     }
     {
       std::unique_lock<std::mutex> lock(mutex_);

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -46,10 +47,18 @@ class ThreadPool {
   std::size_t size() const { return workers_.size(); }
 
  private:
+  /// A queued task plus its enqueue timestamp (ns since the steady-clock
+  /// epoch; 0 when metrics are compiled out), so the worker can split time
+  /// into queue-wait vs run for the observability histograms.
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable task_ready_;
   std::condition_variable all_done_;

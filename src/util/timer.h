@@ -9,24 +9,50 @@
 namespace infoflow {
 
 /// \brief A monotonic stopwatch. Starts running on construction.
+///
+/// Two usage modes:
+///  - one-shot: construct (or Restart()), read Seconds()/Millis();
+///  - accumulating: call Lap() at each segment boundary — it banks the
+///    segment, restarts the running segment, and returns the segment's
+///    seconds; TotalSeconds() reads banked laps plus the running segment.
 class WallTimer {
  public:
   WallTimer() : start_(Clock::now()) {}
 
-  /// Resets the start point to now.
-  void Restart() { start_ = Clock::now(); }
+  /// Resets the start point to now and discards any banked laps.
+  void Restart() {
+    start_ = Clock::now();
+    banked_ = 0.0;
+  }
 
-  /// Seconds elapsed since construction / the last Restart().
+  /// Seconds elapsed in the current segment (since construction, the last
+  /// Restart(), or the last Lap()).
   double Seconds() const {
     return std::chrono::duration<double>(Clock::now() - start_).count();
   }
 
-  /// Milliseconds elapsed.
+  /// Milliseconds elapsed in the current segment.
   double Millis() const { return Seconds() * 1e3; }
+
+  /// \brief Banks the current segment and starts a new one; returns the
+  /// banked segment's seconds. The stop/resume primitive: time spans you
+  /// want *excluded* land in laps you ignore.
+  double Lap() {
+    const Clock::time_point now = Clock::now();
+    const double lap = std::chrono::duration<double>(now - start_).count();
+    banked_ += lap;
+    start_ = now;
+    return lap;
+  }
+
+  /// Seconds across every banked lap plus the running segment — total time
+  /// since construction / Restart(), unaffected by intervening Lap() calls.
+  double TotalSeconds() const { return banked_ + Seconds(); }
 
  private:
   using Clock = std::chrono::steady_clock;
   Clock::time_point start_;
+  double banked_ = 0.0;
 };
 
 }  // namespace infoflow

@@ -272,6 +272,68 @@ TEST(MhSampler, UniformProposalConditionalFlow) {
   EXPECT_NEAR(sampler->EstimateFlowProbability(0, 2, 40000), exact, 0.015);
 }
 
+TEST(MhSampler, AcceptanceRateIsZeroBeforeAnyStep) {
+  PointIcm icm = PaperTriangle(0.5, 0.5, 0.5);
+  auto sampler = MhSampler::Create(icm, {}, MhOptions{}, Rng(7));
+  ASSERT_TRUE(sampler.ok());
+  // The 0/0 guard: no transitions attempted yet.
+  EXPECT_EQ(sampler->steps_taken(), 0u);
+  EXPECT_EQ(sampler->acceptance_rate(), 0.0);
+}
+
+TEST(MhSampler, AcceptanceRateMatchesCounters) {
+  PointIcm icm = PaperTriangle(0.35, 0.7, 0.55);
+  MhOptions opt;
+  opt.burn_in = 100;
+  opt.thinning = 2;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(19));
+  ASSERT_TRUE(sampler.ok());
+  for (int i = 0; i < 50; ++i) sampler->NextSample();
+  ASSERT_GT(sampler->steps_taken(), 0u);
+  EXPECT_DOUBLE_EQ(sampler->acceptance_rate(),
+                   static_cast<double>(sampler->steps_accepted()) /
+                       static_cast<double>(sampler->steps_taken()));
+  EXPECT_GT(sampler->acceptance_rate(), 0.0);
+  EXPECT_LE(sampler->acceptance_rate(), 1.0);
+}
+
+TEST(MhSampler, ReseedResetsCountersAndRerunsBurnIn) {
+  PointIcm icm = PaperTriangle(0.35, 0.7, 0.55);
+  MhOptions opt;
+  opt.burn_in = 500;
+  opt.thinning = 2;
+  auto sampler = MhSampler::Create(icm, {}, opt, Rng(11));
+  ASSERT_TRUE(sampler.ok());
+  sampler->NextSample();
+  ASSERT_GE(sampler->steps_taken(), 500u);
+
+  sampler->Reseed(Rng(99));
+  EXPECT_EQ(sampler->steps_taken(), 0u);
+  EXPECT_EQ(sampler->steps_accepted(), 0u);
+  EXPECT_EQ(sampler->acceptance_rate(), 0.0);
+
+  // The next sample re-runs the full burn-in, not just thinning steps.
+  sampler->NextSample();
+  EXPECT_GE(sampler->steps_taken(), 500u);
+}
+
+TEST(MhSampler, ReseedKeepsAdmissibleState) {
+  PointIcm icm = PaperTriangle(0.6, 0.3, 0.5);
+  const FlowConditions cond{{0, 1, true}};
+  MhOptions opt;
+  opt.burn_in = 200;
+  auto sampler = MhSampler::Create(icm, cond, opt, Rng(3));
+  ASSERT_TRUE(sampler.ok());
+  sampler->NextSample();
+  sampler->Reseed(Rng(4));
+  ReachabilityWorkspace ws(icm.graph());
+  EXPECT_TRUE(SatisfiesConditions(icm.graph(), sampler->state(), cond, ws));
+  // The re-burned chain still targets the conditional distribution.
+  const double exact =
+      ExactConditionalFlowByEnumeration(icm, 0, 2, cond).ValueOrDie();
+  EXPECT_NEAR(sampler->EstimateFlowProbability(0, 2, 40000), exact, 0.015);
+}
+
 TEST(MhSampler, NegativeConditionInitialization) {
   // Rejection may fail when the condition is unlikely; the repair path must
   // still find an admissible state.

@@ -1,0 +1,70 @@
+/// \file test_obs_disabled.cc
+/// \brief Compiled with INFOFLOW_NO_METRICS (its own binary): proves the
+/// stub observability API is present, inert, and genuinely free.
+
+#ifndef INFOFLOW_NO_METRICS
+#error "this test must be compiled with INFOFLOW_NO_METRICS"
+#endif
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace infoflow::obs {
+namespace {
+
+// The zero-overhead contract, checked at compile time: the stub span holds
+// no state, and MetricsEnabled() is a constant-false that `if constexpr`
+// can prune whole instrumentation blocks with.
+static_assert(std::is_empty_v<TraceSpan>);
+static_assert(!MetricsEnabled());
+
+TEST(ObsDisabled, CountersAreInert) {
+  Counter& c = GetCounter("disabled.counter");
+  c.Increment();
+  c.Increment(100);
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(ObsDisabled, GaugesAreInert) {
+  Gauge& g = GetGauge("disabled.gauge");
+  g.Set(42.0);
+  EXPECT_EQ(g.Value(), 0.0);
+}
+
+TEST(ObsDisabled, HistogramsAreInert) {
+  Histogram& h = GetHistogram("disabled.hist", {1.0, 2.0});
+  h.Record(1.5);
+  const std::uint64_t batch[3] = {1, 2, 3};
+  h.AddBatch(batch, 3, 9.0);
+  EXPECT_TRUE(h.bounds().empty());
+  EXPECT_EQ(h.Snapshot().total, 0u);
+}
+
+TEST(ObsDisabled, SnapshotIsEmptyButSerializes) {
+  GetCounter("disabled.snap").Increment(5);
+  const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.gauges.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+  // The serializers stay linked so --metrics-json works in both builds.
+  EXPECT_EQ(snap.ToJson(),
+            "{\"counters\":{},\"gauges\":{},\"histograms\":{}}");
+  EXPECT_NE(snap.ToCsv().find("kind,name,field,value"), std::string::npos);
+}
+
+TEST(ObsDisabled, TracingIsInertAndExportsValidEmptyJson) {
+  Tracing::Enable();
+  EXPECT_FALSE(Tracing::IsEnabled());
+  { TraceSpan span("disabled/span"); }
+  Tracing::Disable();
+  EXPECT_EQ(Tracing::DroppedEvents(), 0u);
+  EXPECT_EQ(Tracing::ExportChromeJson(), "{\"traceEvents\":[]}");
+}
+
+}  // namespace
+}  // namespace infoflow::obs

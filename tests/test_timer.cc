@@ -1,0 +1,65 @@
+#include "util/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+namespace infoflow {
+namespace {
+
+void SpinFor(std::chrono::milliseconds duration) {
+  const auto until = std::chrono::steady_clock::now() + duration;
+  while (std::chrono::steady_clock::now() < until) {
+  }
+}
+
+TEST(WallTimer, SecondsGrowsMonotonically) {
+  WallTimer timer;
+  const double a = timer.Seconds();
+  SpinFor(std::chrono::milliseconds(2));
+  const double b = timer.Seconds();
+  EXPECT_GE(a, 0.0);
+  EXPECT_GT(b, a);
+  // Millis and Seconds each read the clock, so allow a little skew.
+  EXPECT_NEAR(timer.Millis() / 1e3, timer.Seconds(), 0.001);
+}
+
+TEST(WallTimer, LapBanksSegmentsAndRestartsTheRunningOne) {
+  WallTimer timer;
+  SpinFor(std::chrono::milliseconds(5));
+  const double lap1 = timer.Lap();
+  EXPECT_GE(lap1, 0.005);
+  // The running segment restarted: Seconds() is now well below the lap.
+  EXPECT_LT(timer.Seconds(), lap1);
+  SpinFor(std::chrono::milliseconds(5));
+  const double lap2 = timer.Lap();
+  EXPECT_GE(lap2, 0.005);
+  // TotalSeconds covers both banked laps plus the (tiny) running segment.
+  EXPECT_GE(timer.TotalSeconds(), lap1 + lap2);
+}
+
+TEST(WallTimer, TotalSecondsIsUnaffectedByLapBoundaries) {
+  WallTimer split;
+  WallTimer whole;
+  for (int i = 0; i < 3; ++i) {
+    SpinFor(std::chrono::milliseconds(2));
+    split.Lap();
+  }
+  const double split_total = split.TotalSeconds();
+  const double whole_total = whole.TotalSeconds();
+  // Both timers watched the same wall interval; laps only partition it.
+  EXPECT_NEAR(split_total, whole_total, 0.05);
+  EXPECT_GE(split_total, 0.006);
+}
+
+TEST(WallTimer, RestartDiscardsBankedLaps) {
+  WallTimer timer;
+  SpinFor(std::chrono::milliseconds(5));
+  timer.Lap();
+  timer.Restart();
+  EXPECT_LT(timer.TotalSeconds(), 0.005);
+}
+
+}  // namespace
+}  // namespace infoflow

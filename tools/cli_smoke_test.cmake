@@ -20,3 +20,39 @@ run(query --model ${WORK_DIR}/model.bicm --source 0 --sink 3 --samples 2000)
 run(query --model ${WORK_DIR}/model.bicm --source 0 --sink 3
     --given "0>1" --samples 2000)
 run(impact --model ${WORK_DIR}/model.bicm --source 0 --cascades 500)
+
+# Observability artifacts: run a query with every export flag and check the
+# files appear and hold well-formed JSON (string(JSON) needs CMake >= 3.19).
+run(query --model ${WORK_DIR}/model.bicm --source 0 --sink 3 --samples 2000
+    --chains 2 --progress
+    --metrics-json ${WORK_DIR}/metrics.json
+    --metrics-csv ${WORK_DIR}/metrics.csv
+    --trace-json ${WORK_DIR}/trace.json)
+foreach(artifact metrics.json metrics.csv trace.json)
+  if(NOT EXISTS ${WORK_DIR}/${artifact})
+    message(FATAL_ERROR "query did not write ${artifact}")
+  endif()
+endforeach()
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  file(READ ${WORK_DIR}/metrics.json metrics_json)
+  string(JSON n_counters ERROR_VARIABLE json_error
+         LENGTH "${metrics_json}" counters)
+  if(json_error)
+    message(FATAL_ERROR "metrics.json is not valid JSON: ${json_error}")
+  endif()
+  file(READ ${WORK_DIR}/trace.json trace_json)
+  string(JSON n_events ERROR_VARIABLE json_error
+         LENGTH "${trace_json}" traceEvents)
+  if(json_error)
+    message(FATAL_ERROR "trace.json is not valid JSON: ${json_error}")
+  endif()
+  # A metrics-disabled build legitimately exports an empty (but still
+  # valid) trace; only a metrics-enabled CLI must have recorded spans.
+  if(NOT NO_METRICS AND n_events EQUAL 0)
+    message(FATAL_ERROR "trace.json recorded no spans")
+  endif()
+endif()
+file(READ ${WORK_DIR}/metrics.csv metrics_csv)
+if(NOT metrics_csv MATCHES "kind,name,field,value")
+  message(FATAL_ERROR "metrics.csv is missing its header")
+endif()

@@ -22,8 +22,15 @@
 ///       --given "0>3 0!>7" --samples 20000   (flags continue one line)
 ///
 /// All randomness is seeded (--seed, default 1) for reproducible runs.
+///
+/// Every command accepts --metrics-json/--metrics-csv/--trace-json to dump
+/// the observability registry and a chrome://tracing span timeline after a
+/// successful run; `query --progress` streams live throughput and R-hat to
+/// stderr.
 
+#include <algorithm>
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <set>
 #include <memory>
@@ -32,7 +39,10 @@
 
 #include "core/impact.h"
 #include "core/mh_sampler.h"
+#include "core/multi_chain.h"
 #include "core/serialization.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "graph/generators.h"
 #include "learn/attributed.h"
 #include "learn/evidence_io.h"
@@ -42,26 +52,32 @@
 #include "twitter/tag_gen.h"
 #include "twitter/tweet_io.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace infoflow {
 namespace {
 
-/// Minimal --key value flag parser.
+/// Minimal flag parser: accepts "--key value", "--key=value", and bare
+/// "--flag" (stored as "1" — a boolean switch) when the next token is
+/// another flag or the end of the line.
 class Flags {
  public:
   Flags(int argc, char** argv, int start) {
     for (int i = start; i < argc; ++i) {
-      std::string key = argv[i];
-      if (!StartsWith(key, "--")) {
-        error_ = Status::InvalidArgument("unexpected argument '", key, "'");
+      const std::string arg = argv[i];
+      if (!StartsWith(arg, "--")) {
+        error_ = Status::InvalidArgument("unexpected argument '", arg, "'");
         return;
       }
-      key = key.substr(2);
-      if (i + 1 >= argc) {
-        error_ = Status::InvalidArgument("flag --", key, " needs a value");
-        return;
+      std::string key = arg.substr(2);
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_.insert_or_assign(key.substr(0, eq), key.substr(eq + 1));
+      } else if (i + 1 >= argc || StartsWith(argv[i + 1], "--")) {
+        values_.insert_or_assign(std::move(key), std::string("1"));
+      } else {
+        values_.insert_or_assign(std::move(key), std::string(argv[++i]));
       }
-      values_[key] = argv[++i];
     }
   }
 
@@ -71,6 +87,13 @@ class Flags {
     seen_.insert(key);
     auto it = values_.find(key);
     return it == values_.end() ? fallback : it->second;
+  }
+
+  /// True when the switch was given (as bare "--flag" or any value other
+  /// than "0"/"false").
+  bool GetBool(const std::string& key) {
+    const std::string raw = Get(key, "0");
+    return raw != "0" && raw != "false";
   }
 
   std::uint64_t GetInt(const std::string& key, std::uint64_t fallback) {
@@ -305,23 +328,74 @@ int CmdQuery(Flags& flags) {
   const auto sink = static_cast<NodeId>(flags.GetInt("sink", 0));
   const std::size_t samples = flags.GetInt("samples", 20000);
   const std::uint64_t seed = flags.GetInt("seed", 1);
+  const std::size_t chains = flags.GetInt("chains", 4);
+  const bool progress = flags.GetBool("progress");
   auto conditions = ParseConditions(flags.Get("given", ""));
   if (!conditions.ok()) return Fail(conditions.status());
 
   auto model = LoadAnyModel(*model_path);
   if (!model.ok()) return Fail(model.status());
-  MhOptions mh;
-  mh.burn_in = 4 * model->graph().num_edges();
-  mh.thinning = std::max<std::size_t>(8, model->graph().num_edges() / 8);
-  auto sampler = MhSampler::Create(*model, *conditions, mh, Rng(seed));
-  if (!sampler.ok()) return Fail(sampler.status());
-  const double p = sampler->EstimateFlowProbability(source, sink, samples);
-  std::printf("Pr[%u ~> %u%s] = %.5f   (%zu MH samples, acceptance %.2f)\n",
-              source, sink, conditions->empty() ? "" : " | conditions", p,
-              samples,
-              static_cast<double>(sampler->steps_accepted()) /
-                  static_cast<double>(std::max<std::uint64_t>(
-                      1, sampler->steps_taken())));
+  MultiChainOptions options;
+  options.num_chains = std::max<std::size_t>(1, chains);
+  options.mh.burn_in = 4 * model->graph().num_edges();
+  options.mh.thinning =
+      std::max<std::size_t>(8, model->graph().num_edges() / 8);
+  auto engine =
+      MultiChainSampler::Create(*model, *conditions, options, seed);
+  if (!engine.ok()) return Fail(engine.status());
+
+  // With --progress, split the run into batches and report throughput and
+  // the live convergence diagnostics on stderr after each one. The chains
+  // persist across batches, so the union of the batches is one long run.
+  const std::size_t batches =
+      progress ? std::min<std::size_t>(10, std::max<std::size_t>(
+                                               1, samples / chains))
+               : 1;
+  double weighted_sum = 0.0;
+  std::size_t drawn = 0;
+  MultiChainEstimate estimate;
+  WallTimer timer;
+  std::uint64_t last_steps = engine->steps_taken();
+  for (std::size_t b = 0; b < batches; ++b) {
+    const std::size_t remaining_batches = batches - b;
+    const std::size_t request =
+        std::max<std::size_t>(1, (samples - std::min(samples, drawn)) /
+                                     remaining_batches);
+    estimate = engine->EstimateFlowProbability(source, sink, request);
+    const std::size_t batch_drawn =
+        engine->num_chains() * engine->SamplesPerChain(request);
+    weighted_sum += estimate.value * static_cast<double>(batch_drawn);
+    drawn += batch_drawn;
+    if (progress) {
+      const double lap = timer.Lap();
+      const std::uint64_t steps = engine->steps_taken();
+      const double steps_per_s =
+          lap > 0.0 ? static_cast<double>(steps - last_steps) / lap : 0.0;
+      last_steps = steps;
+      std::fprintf(stderr,
+                   "progress: %zu/%zu samples | %zu chains x %.0f steps/s "
+                   "| R-hat %.3f | ESS %.0f\n",
+                   drawn, std::max(samples, drawn), engine->num_chains(),
+                   steps_per_s / static_cast<double>(engine->num_chains()),
+                   estimate.diagnostics.rhat, estimate.diagnostics.ess);
+    }
+  }
+  const double p = weighted_sum / static_cast<double>(drawn);
+  const double acceptance =
+      static_cast<double>(engine->steps_accepted()) /
+      static_cast<double>(std::max<std::uint64_t>(1, engine->steps_taken()));
+  std::printf(
+      "Pr[%u ~> %u%s] = %.5f   (%zu MH samples over %zu chains, acceptance "
+      "%.2f, R-hat %.3f, ESS %.0f)\n",
+      source, sink, conditions->empty() ? "" : " | conditions", p, drawn,
+      engine->num_chains(), acceptance, estimate.diagnostics.rhat,
+      estimate.diagnostics.ess);
+  if (estimate.diagnostics.rhat > 1.05) {
+    std::fprintf(stderr,
+                 "warning: R-hat %.3f > 1.05 — chains may not have "
+                 "converged; consider more samples\n",
+                 estimate.diagnostics.rhat);
+  }
   return 0;
 }
 
@@ -390,18 +464,28 @@ int Usage() {
       "  train-unattributed  --graph truth.picm --traces t.utr --out m.picm\n"
       "                      [--method joint-bayes|goyal|saito-em|filtered]\n"
       "  query               --model m --source U --sink V [--given \"a>b c!>d\"]\n"
-      "                      [--samples N] [--seed S]\n"
+      "                      [--samples N] [--chains K] [--seed S] [--progress]\n"
       "  impact              --model m --source U [--cascades N]\n"
       "  info                --model m\n"
-      "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n");
+      "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n"
+      "observability (any command, written after a successful run):\n"
+      "  --metrics-json P    dump the metrics registry snapshot as JSON\n"
+      "  --metrics-csv P     same snapshot as CSV\n"
+      "  --trace-json P      record spans; dump chrome://tracing JSON\n");
   return 2;
 }
 
-int Main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  const std::string command = argv[1];
-  Flags flags(argc, argv, 2);
-  if (!flags.error().ok()) return Fail(flags.error());
+/// Writes `content` to `path`, truncating any existing file.
+Status WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open '", path, "' for writing");
+  out << content;
+  out.flush();
+  if (!out) return Status::IOError("failed writing '", path, "'");
+  return Status::OK();
+}
+
+int Dispatch(const std::string& command, Flags& flags) {
   if (command == "simulate") return CmdSimulate(flags);
   if (command == "parse-tweets") return CmdParseTweets(flags);
   if (command == "train-attributed") return CmdTrainAttributed(flags);
@@ -410,6 +494,42 @@ int Main(int argc, char** argv) {
   if (command == "impact") return CmdImpact(flags);
   if (command == "info") return CmdInfo(flags);
   return Usage();
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.error().ok()) return Fail(flags.error());
+
+  // Observability flags apply to every command. Tracing must be armed
+  // before dispatch; the artifacts are written only on success.
+  const std::string metrics_json = flags.Get("metrics-json", "");
+  const std::string metrics_csv = flags.Get("metrics-csv", "");
+  const std::string trace_json = flags.Get("trace-json", "");
+  if (!trace_json.empty()) obs::Tracing::Enable();
+
+  const int code = Dispatch(command, flags);
+  if (code != 0) return code;
+
+  if (!metrics_json.empty() || !metrics_csv.empty()) {
+    const obs::MetricsSnapshot snapshot =
+        obs::MetricsRegistry::Global().Snapshot();
+    if (!metrics_json.empty()) {
+      const Status status = WriteTextFile(metrics_json, snapshot.ToJson());
+      if (!status.ok()) return Fail(status);
+    }
+    if (!metrics_csv.empty()) {
+      const Status status = WriteTextFile(metrics_csv, snapshot.ToCsv());
+      if (!status.ok()) return Fail(status);
+    }
+  }
+  if (!trace_json.empty()) {
+    const Status status =
+        WriteTextFile(trace_json, obs::Tracing::ExportChromeJson());
+    if (!status.ok()) return Fail(status);
+  }
+  return 0;
 }
 
 }  // namespace
