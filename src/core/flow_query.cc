@@ -1,6 +1,10 @@
 #include "core/flow_query.h"
 
+#include <cstdlib>
+#include <unordered_map>
+
 #include "util/check.h"
+#include "util/string_util.h"
 
 namespace infoflow {
 
@@ -20,8 +24,50 @@ bool SatisfiesConditions(const DirectedGraph& graph, const PseudoState& state,
   return true;
 }
 
+Result<FlowConditions> ParseFlowConditions(const std::string& text) {
+  FlowConditions conditions;
+  for (const std::string& token : SplitWhitespace(text)) {
+    const bool forbid = token.find("!>") != std::string::npos;
+    const auto parts = Split(token, '>');
+    // "a!>b" splits as {"a!", "b"}; "a>b" as {"a", "b"}.
+    if (parts.size() != 2) {
+      return Status::InvalidArgument("bad condition '", token, "'");
+    }
+    std::string lhs = parts[0];
+    if (forbid && !lhs.empty() && lhs.back() == '!') lhs.pop_back();
+    char* end = nullptr;
+    const auto src = static_cast<NodeId>(std::strtoul(lhs.c_str(), &end, 10));
+    if (end == lhs.c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad condition source in '", token, "'");
+    }
+    const auto dst =
+        static_cast<NodeId>(std::strtoul(parts[1].c_str(), &end, 10));
+    if (end == parts[1].c_str() || *end != '\0') {
+      return Status::InvalidArgument("bad condition sink in '", token, "'");
+    }
+    conditions.push_back({src, dst, !forbid});
+  }
+  return conditions;
+}
+
+std::size_t HashConditions(const FlowConditions& conditions) {
+  // Commutative combine: the digest of C is independent of constraint
+  // order, so "0>3 4!>7" and "4!>7 0>3" key the same batch group.
+  std::size_t digest = 0x9e3779b97f4a7c15ULL;
+  const std::hash<FlowConstraint> hash;
+  for (const FlowConstraint& c : conditions) digest += hash(c);
+  return digest;
+}
+
 Status ValidateConditions(const DirectedGraph& graph,
                           const FlowConditions& conditions) {
+  // One pass with a hash map from the *pair* (source, sink) to the first
+  // index constraining it: a second entry on the same pair is either an
+  // exact duplicate or a contradiction, and both are rejected up front —
+  // silently sampling an unsatisfiable (or double-counted) condition set
+  // would produce garbage estimates with no diagnostic.
+  std::unordered_map<FlowConstraint, std::size_t> first_index;
+  first_index.reserve(conditions.size());
   for (std::size_t i = 0; i < conditions.size(); ++i) {
     const FlowConstraint& c = conditions[i];
     if (c.source >= graph.num_nodes() || c.sink >= graph.num_nodes()) {
@@ -34,14 +80,20 @@ Status ValidateConditions(const DirectedGraph& graph,
                                      " ~> ", c.sink,
                                      " but u ~> u always holds");
     }
-    for (std::size_t j = i + 1; j < conditions.size(); ++j) {
+    // Key on the pair with must_flow erased so duplicates and
+    // contradictions both collide with the first entry on the pair.
+    const FlowConstraint pair_key{c.source, c.sink, true};
+    const auto [it, inserted] = first_index.try_emplace(pair_key, i);
+    if (!inserted) {
+      const std::size_t j = it->second;
       const FlowConstraint& d = conditions[j];
-      if (c.source == d.source && c.sink == d.sink &&
-          c.must_flow != d.must_flow) {
-        return Status::InvalidArgument("conditions ", i, " and ", j,
-                                       " contradict: ", c.ToString(), " vs ",
-                                       d.ToString());
+      if (d.must_flow == c.must_flow) {
+        return Status::InvalidArgument(
+            "conditions ", j, " and ", i, " are duplicates: ", c.ToString());
       }
+      return Status::InvalidArgument("conditions ", j, " and ", i,
+                                     " contradict: ", d.ToString(), " vs ",
+                                     c.ToString());
     }
   }
   return Status::OK();

@@ -9,6 +9,8 @@
 
 #pragma once
 
+#include <cstddef>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,18 @@ struct FlowConstraint {
 /// The condition set C.
 using FlowConditions = std::vector<FlowConstraint>;
 
+/// \brief Parses a whitespace-separated condition list: "0>3 4!>7" requires
+/// 0 ⤳ 3 and forbids 4 ⤳ 7. The grammar the CLI `--given` flag and the
+/// serve protocol's string-form constraints share.
+Result<FlowConditions> ParseFlowConditions(const std::string& text);
+
+/// \brief Order-insensitive 64-bit digest of a condition set — the batch key
+/// the serve QueryEngine groups identical conditioning sets under. Built by
+/// summing per-constraint hashes, so permutations of C collide on purpose;
+/// ValidateConditions rejects duplicate constraints, which keeps the
+/// multiset/set distinction from mattering.
+std::size_t HashConditions(const FlowConditions& conditions);
+
 /// \brief The combined indicator I(x, C): true iff the pseudo-state
 /// satisfies every constraint (reachability via active edges). `workspace`
 /// must be sized for `graph`.
@@ -43,9 +57,28 @@ bool SatisfiesConditions(const DirectedGraph& graph, const PseudoState& state,
                          ReachabilityWorkspace& workspace);
 
 /// Validates a condition set against a graph: endpoints in range, no
-/// directly contradictory pair, no self-constraint with must_flow=false
-/// (u ⤳ u always holds).
+/// directly contradictory pair (same (source, sink) both required and
+/// forbidden), no duplicate entries, no self-constraint with
+/// must_flow=false (u ⤳ u always holds). Each rejection carries a
+/// descriptive InvalidArgument/OutOfRange Status naming the offending
+/// entries. O(|C|) via the FlowConstraint hash.
 Status ValidateConditions(const DirectedGraph& graph,
                           const FlowConditions& conditions);
 
 }  // namespace infoflow
+
+/// Hash support so condition sets can be deduplicated and used as batch
+/// keys (unordered containers of FlowConstraint, HashConditions).
+template <>
+struct std::hash<infoflow::FlowConstraint> {
+  std::size_t operator()(const infoflow::FlowConstraint& c) const noexcept {
+    // Pack (source, sink, must_flow) into one word, then mix with the
+    // SplitMix64 finalizer so nearby node ids spread across the range.
+    std::uint64_t z = (static_cast<std::uint64_t>(c.source) << 33) ^
+                      (static_cast<std::uint64_t>(c.sink) << 1) ^
+                      (c.must_flow ? 1u : 0u);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<std::size_t>(z ^ (z >> 31));
+  }
+};

@@ -24,8 +24,32 @@ void ReachabilityWorkspace::Run(const DirectedGraph& graph,
 bool ReachabilityWorkspace::RunUntil(
     const DirectedGraph& graph, const std::vector<NodeId>& sources,
     const std::vector<std::uint8_t>& edge_active, NodeId target) {
-  IF_CHECK_EQ(visited_version_.size(), graph.num_nodes());
   IF_CHECK_EQ(edge_active.size(), graph.num_edges());
+  return RunUntilImpl(graph, sources, target,
+                      [&](EdgeId e) { return edge_active[e] != 0; });
+}
+
+void ReachabilityWorkspace::RunPacked(const DirectedGraph& graph,
+                                      const std::vector<NodeId>& sources,
+                                      const std::uint64_t* edge_bits) {
+  RunUntilPacked(graph, sources, edge_bits, kInvalidNode);
+}
+
+bool ReachabilityWorkspace::RunUntilPacked(const DirectedGraph& graph,
+                                           const std::vector<NodeId>& sources,
+                                           const std::uint64_t* edge_bits,
+                                           NodeId target) {
+  return RunUntilImpl(graph, sources, target, [&](EdgeId e) {
+    return PackedEdgeActive(edge_bits, e);
+  });
+}
+
+template <typename ActiveFn>
+bool ReachabilityWorkspace::RunUntilImpl(const DirectedGraph& graph,
+                                         const std::vector<NodeId>& sources,
+                                         NodeId target,
+                                         const ActiveFn& active) {
+  IF_CHECK_EQ(visited_version_.size(), graph.num_nodes());
   if (++version_ == 0) {
     // Version counter wrapped; clear stamps and restart at 1.
     std::fill(visited_version_.begin(), visited_version_.end(), 0);
@@ -46,7 +70,7 @@ bool ReachabilityWorkspace::RunUntil(
   while (head < queue_.size()) {
     const NodeId u = queue_[head++];
     for (EdgeId e : graph.OutEdges(u)) {
-      if (!edge_active[e]) continue;
+      if (!active(e)) continue;
       const NodeId v = graph.edge(e).dst;
       if (visited_version_[v] == version_) continue;
       visited_version_[v] = version_;

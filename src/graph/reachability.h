@@ -41,6 +41,20 @@ class ReachabilityWorkspace {
                 const std::vector<NodeId>& sources,
                 const std::vector<std::uint8_t>& edge_active, NodeId target);
 
+  /// \brief As Run(), but edge activity comes from a word-packed bit row
+  /// (bit e of `edge_bits` — word e/64, bit e%64 — is edge e's activity).
+  /// `edge_bits` must span ceil(m/64) words. This is the form the serve
+  /// SampleBank stores retained pseudo-states in; batch queries BFS straight
+  /// over the packed rows without unpacking.
+  void RunPacked(const DirectedGraph& graph,
+                 const std::vector<NodeId>& sources,
+                 const std::uint64_t* edge_bits);
+
+  /// Early-exit variant of RunPacked (see RunUntil).
+  bool RunUntilPacked(const DirectedGraph& graph,
+                      const std::vector<NodeId>& sources,
+                      const std::uint64_t* edge_bits, NodeId target);
+
   /// True when `v` was reached by the last Run()/RunUntil().
   bool IsReached(NodeId v) const;
 
@@ -50,12 +64,30 @@ class ReachabilityWorkspace {
  private:
   void Reset(std::size_t num_nodes);
 
+  /// Shared BFS core: `active(e)` answers edge e's activity. Defined in the
+  /// .cc — every public Run* variant instantiates it there.
+  template <typename ActiveFn>
+  bool RunUntilImpl(const DirectedGraph& graph,
+                    const std::vector<NodeId>& sources, NodeId target,
+                    const ActiveFn& active);
+
   // Version-stamped visited marks: avoids clearing n bytes per query.
   std::vector<std::uint32_t> visited_version_;
   std::uint32_t version_ = 0;
   std::vector<NodeId> queue_;
   std::vector<NodeId> order_;
 };
+
+/// Number of 64-bit words a packed edge-activity row needs for `num_edges`
+/// edges (the layout RunPacked consumes).
+inline constexpr std::size_t PackedRowWords(std::size_t num_edges) {
+  return (num_edges + 63) / 64;
+}
+
+/// Bit e of a packed edge-activity row.
+inline bool PackedEdgeActive(const std::uint64_t* edge_bits, EdgeId e) {
+  return (edge_bits[e >> 6] >> (e & 63)) & 1u;
+}
 
 /// One-shot convenience: does a flow `source` ⤳ `sink` exist through the
 /// active edges? (Sources are trivially reached: u ⤳ u always holds.)

@@ -1,0 +1,180 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+#include <utility>
+
+namespace infoflow::serve {
+namespace {
+
+/// Reads a node id from a JSON number (must be a non-negative integer).
+Result<NodeId> ParseNodeId(const JsonValue& value, const char* field) {
+  if (!value.is_number()) {
+    return Status::InvalidArgument("'", field, "' must be a number");
+  }
+  const double number = value.AsNumber();
+  if (!(number >= 0) || number != std::floor(number)) {
+    return Status::InvalidArgument("'", field,
+                                   "' must be a non-negative integer, got ",
+                                   number);
+  }
+  return static_cast<NodeId>(number);
+}
+
+/// Reads `field` (singular, a number) or `fields` (plural, an array) into a
+/// node list; absent → empty.
+Result<std::vector<NodeId>> ParseNodeList(const JsonValue& json,
+                                          const char* singular,
+                                          const char* plural) {
+  std::vector<NodeId> nodes;
+  if (const JsonValue* one = json.Find(singular)) {
+    auto id = ParseNodeId(*one, singular);
+    if (!id.ok()) return id.status();
+    nodes.push_back(*id);
+  }
+  if (const JsonValue* many = json.Find(plural)) {
+    if (!many->is_array()) {
+      return Status::InvalidArgument("'", plural, "' must be an array");
+    }
+    for (const JsonValue& entry : many->AsArray()) {
+      auto id = ParseNodeId(entry, plural);
+      if (!id.ok()) return id.status();
+      nodes.push_back(*id);
+    }
+  }
+  return nodes;
+}
+
+/// Reads a condition-grammar string field ("0>3 4!>7"); absent → empty.
+Result<FlowConditions> ParseConditionsField(const JsonValue& json,
+                                            const char* field) {
+  const JsonValue* value = json.Find(field);
+  if (value == nullptr) return FlowConditions{};
+  if (!value->is_string()) {
+    return Status::InvalidArgument("'", field,
+                                   "' must be a condition string like "
+                                   "\"0>3 4!>7\"");
+  }
+  return ParseFlowConditions(value->AsString());
+}
+
+}  // namespace
+
+Result<QueryRequest> ParseRequest(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  QueryRequest request;
+  if (const JsonValue* id = json.Find("id")) {
+    if (!id->is_string()) {
+      return Status::InvalidArgument("'id' must be a string");
+    }
+    request.id = id->AsString();
+  }
+
+  auto sources = ParseNodeList(json, "source", "sources");
+  if (!sources.ok()) return sources.status();
+  request.sources = std::move(*sources);
+  auto sinks = ParseNodeList(json, "sink", "sinks");
+  if (!sinks.ok()) return sinks.status();
+  request.sinks = std::move(*sinks);
+
+  auto flows = ParseConditionsField(json, "flows");
+  if (!flows.ok()) return flows.status();
+  request.flows = std::move(*flows);
+  auto given = ParseConditionsField(json, "given");
+  if (!given.ok()) return given.status();
+  request.given = std::move(*given);
+
+  if (const JsonValue* timeout = json.Find("timeout_ms")) {
+    if (!timeout->is_number() || timeout->AsNumber() < 0) {
+      return Status::InvalidArgument("'timeout_ms' must be a number >= 0");
+    }
+    request.timeout_ms = timeout->AsNumber();
+  }
+
+  // Kind: explicit when present, inferred from the fields otherwise.
+  if (const JsonValue* kind = json.Find("kind")) {
+    if (!kind->is_string()) {
+      return Status::InvalidArgument("'kind' must be a string");
+    }
+    const std::string& name = kind->AsString();
+    if (name == "flow") {
+      request.kind = QueryKind::kFlow;
+    } else if (name == "community") {
+      request.kind = QueryKind::kCommunity;
+    } else if (name == "joint") {
+      request.kind = QueryKind::kJoint;
+    } else {
+      return Status::InvalidArgument(
+          "unknown kind '", name, "' (expected flow | community | joint)");
+    }
+  } else if (!request.flows.empty()) {
+    request.kind = QueryKind::kJoint;
+  } else if (request.sinks.size() > 1) {
+    request.kind = QueryKind::kCommunity;
+  } else {
+    request.kind = QueryKind::kFlow;
+  }
+
+  if (request.kind == QueryKind::kJoint &&
+      (!request.sources.empty() || !request.sinks.empty())) {
+    return Status::InvalidArgument(
+        "joint queries take 'flows', not sources/sinks");
+  }
+  if (request.kind != QueryKind::kJoint && !request.flows.empty()) {
+    return Status::InvalidArgument("'flows' is only valid with kind=joint");
+  }
+  return request;
+}
+
+Result<QueryRequest> ParseRequestLine(std::string_view line) {
+  auto json = ParseJson(line);
+  if (!json.ok()) return json.status();
+  return ParseRequest(*json);
+}
+
+std::string SerializeResult(const QueryRequest& request,
+                            const QueryResult& result) {
+  JsonValue::Object response;
+  response["id"] = request.id;
+  if (!result.status.ok()) {
+    response["ok"] = false;
+    JsonValue::Object error;
+    error["code"] = StatusCodeName(result.status.code());
+    error["message"] = result.status.message();
+    response["error"] = std::move(error);
+    return JsonValue(std::move(response)).Dump();
+  }
+  response["ok"] = true;
+  response["kind"] = QueryKindName(request.kind);
+  response["generation"] = static_cast<double>(result.generation);
+  response["total_rows"] = static_cast<double>(result.total_rows);
+  response["effective_rows"] = static_cast<double>(result.effective_rows);
+  response["frontier_shared"] = result.frontier_shared;
+  JsonValue::Array estimates;
+  estimates.reserve(result.estimates.size());
+  for (const SinkEstimate& est : result.estimates) {
+    JsonValue::Object entry;
+    entry["sink"] = static_cast<double>(est.sink);
+    entry["value"] = est.value;
+    entry["mcse"] = est.diagnostics.mcse;
+    entry["ess"] = est.diagnostics.ess;
+    entry["rhat"] = est.diagnostics.rhat;
+    estimates.push_back(std::move(entry));
+  }
+  response["estimates"] = std::move(estimates);
+  return JsonValue(std::move(response)).Dump();
+}
+
+std::string SerializeParseError(const Status& status) {
+  JsonValue::Object response;
+  response["id"] = JsonValue();
+  response["ok"] = false;
+  JsonValue::Object error;
+  error["code"] = StatusCodeName(status.code());
+  error["message"] = status.message();
+  response["error"] = std::move(error);
+  return JsonValue(std::move(response)).Dump();
+}
+
+}  // namespace infoflow::serve

@@ -1,0 +1,57 @@
+/// \file protocol.h
+/// \brief The serve daemon's newline-delimited JSON wire format.
+///
+/// One request object per line in, one response object per line out,
+/// positionally ordered within a batch. Requests:
+///
+/// \code{.json}
+///   {"id":"q1","source":0,"sink":3}
+///   {"id":"q2","sources":[0,5],"sinks":[3,7,9],"given":"1>4 2!>6",
+///    "timeout_ms":50}
+///   {"id":"q3","kind":"joint","flows":"0>3 5>7"}
+/// \endcode
+///
+/// `source`/`sink` accept a single number or the plural array form;
+/// `flows` and `given` use the CLI's condition grammar ("u>v" requires
+/// u ⤳ v, "u!>v" forbids it — see core/ParseFlowConditions). `kind` is
+/// optional: "joint" is inferred from `flows`, "community" from multiple
+/// sinks, "flow" otherwise. Responses:
+///
+/// \code{.json}
+///   {"id":"q1","ok":true,"generation":1,"total_rows":4096,
+///    "effective_rows":4096,"frontier_shared":false,
+///    "estimates":[{"sink":3,"value":0.42,"mcse":0.011,"ess":812.3,
+///                  "rhat":1.002}]}
+///   {"id":"q4","ok":false,"error":{"code":"failed-precondition",
+///    "message":"conditional query q4: only 3 of 4096 bank rows ..."}}
+/// \endcode
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "serve/query_engine.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace infoflow::serve {
+
+/// \brief Parses one request object (already-parsed JSON). Range checks
+/// against the graph happen later, in QueryEngine::AnswerBatch.
+Result<QueryRequest> ParseRequest(const JsonValue& json);
+
+/// Convenience: ParseJson + ParseRequest on one protocol line.
+Result<QueryRequest> ParseRequestLine(std::string_view line);
+
+/// \brief Serializes one response line (without trailing newline). The
+/// request supplies the echoed id; error results carry
+/// {"error":{"code":...,"message":...}} instead of estimates.
+std::string SerializeResult(const QueryRequest& request,
+                            const QueryResult& result);
+
+/// \brief An error response for a line that failed to parse (no request to
+/// echo an id from; "id" is null).
+std::string SerializeParseError(const Status& status);
+
+}  // namespace infoflow::serve

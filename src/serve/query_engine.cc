@@ -1,0 +1,432 @@
+#include "serve/query_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace infoflow::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One distinct conditioning set within a batch: its row mask is computed
+/// once and shared by every query conditioning on it.
+struct GivenSet {
+  std::size_t key = 0;
+  /// Sorted canonical copy, for order-insensitive equality.
+  FlowConditions sorted;
+  /// The conditions as first seen (for row evaluation; order irrelevant).
+  FlowConditions conditions;
+  /// mask[r] = 1 iff row r satisfies every condition.
+  std::vector<std::uint8_t> mask;
+  std::size_t survivors = 0;
+  /// Latest member deadline — the mask scan runs while any member has time.
+  Clock::time_point deadline = Clock::time_point::max();
+  bool expired = false;
+};
+
+/// One row scan: either a merged source frontier answering several
+/// kFlow/kCommunity queries, or a single kJoint query.
+struct ScanGroup {
+  /// Sorted-unique source set (empty for joint groups).
+  std::vector<NodeId> sources;
+  /// Union of member sinks, sorted-unique (frontier groups).
+  std::vector<NodeId> sinks;
+  /// The joint request's flows (joint groups).
+  FlowConditions flows;
+  bool joint = false;
+  /// Index into the batch's given-set table; SIZE_MAX → unconditional.
+  std::size_t given_index = 0;
+  /// Request indices answered by this scan.
+  std::vector<std::size_t> members;
+  Clock::time_point deadline = Clock::time_point::max();
+  /// indicators[s·num_rows + r] for frontier groups (s indexes `sinks`);
+  /// indicators[r] for joint groups.
+  std::vector<std::uint8_t> indicators;
+  bool expired = false;
+};
+
+FlowConditions SortedConditions(FlowConditions conditions) {
+  std::sort(conditions.begin(), conditions.end(),
+            [](const FlowConstraint& a, const FlowConstraint& b) {
+              if (a.source != b.source) return a.source < b.source;
+              if (a.sink != b.sink) return a.sink < b.sink;
+              return a.must_flow < b.must_flow;
+            });
+  return conditions;
+}
+
+std::vector<NodeId> SortedUnique(std::vector<NodeId> nodes) {
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+/// True when every condition holds in the packed row.
+bool RowSatisfies(const DirectedGraph& graph, const std::uint64_t* row,
+                  const FlowConditions& conditions,
+                  ReachabilityWorkspace& workspace,
+                  std::vector<NodeId>& source_scratch) {
+  for (const FlowConstraint& c : conditions) {
+    source_scratch[0] = c.source;
+    const bool flows =
+        workspace.RunUntilPacked(graph, source_scratch, row, c.sink);
+    if (flows != c.must_flow) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kFlow:
+      return "flow";
+    case QueryKind::kCommunity:
+      return "community";
+    case QueryKind::kJoint:
+      return "joint";
+  }
+  return "unknown";
+}
+
+Status QueryEngineOptions::Validate() const {
+  if (rows_per_task == 0) {
+    return Status::InvalidArgument("rows_per_task must be positive");
+  }
+  return Status::OK();
+}
+
+Result<QueryEngine> QueryEngine::Create(
+    std::shared_ptr<const DirectedGraph> graph, QueryEngineOptions options) {
+  IF_CHECK(graph != nullptr) << "null graph";
+  IF_RETURN_NOT_OK(options.Validate());
+  return QueryEngine(std::move(graph), options);
+}
+
+QueryEngine::QueryEngine(std::shared_ptr<const DirectedGraph> graph,
+                         QueryEngineOptions options)
+    : graph_(std::move(graph)),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)),
+      metric_batches_(&obs::GetCounter("serve.query.batches_total")),
+      metric_requests_(&obs::GetCounter("serve.query.requests_total")),
+      metric_rows_scanned_(&obs::GetCounter("serve.query.rows_scanned_total")),
+      metric_frontier_merged_(
+          &obs::GetCounter("serve.query.frontier_merged_total")),
+      metric_deadline_exceeded_(
+          &obs::GetCounter("serve.query.deadline_exceeded_total")),
+      metric_conditional_floor_(
+          &obs::GetCounter("serve.query.conditional_floor_total")),
+      metric_batch_size_(&obs::GetHistogram(
+          "serve.query.batch_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})),
+      metric_group_size_(&obs::GetHistogram(
+          "serve.query.group_size", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0})),
+      metric_latency_ms_(&obs::GetHistogram(
+          "serve.query.latency_ms",
+          {0.1, 0.5, 2.5, 10.0, 50.0, 250.0, 1000.0, 5000.0})) {
+  workspaces_.reserve(pool_->size());
+  for (std::size_t t = 0; t < pool_->size(); ++t) {
+    workspaces_.emplace_back(*graph_);
+  }
+}
+
+Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
+  const NodeId n = graph_->num_nodes();
+  if (request.timeout_ms < 0.0) {
+    return Status::InvalidArgument("timeout_ms must be >= 0, got ",
+                                   request.timeout_ms);
+  }
+  IF_RETURN_NOT_OK(ValidateConditions(*graph_, request.given));
+  if (request.kind == QueryKind::kJoint) {
+    if (request.flows.empty()) {
+      return Status::InvalidArgument("joint query needs at least one flow");
+    }
+    return ValidateConditions(*graph_, request.flows);
+  }
+  if (request.sources.empty()) {
+    return Status::InvalidArgument(QueryKindName(request.kind),
+                                   " query needs at least one source");
+  }
+  if (request.sinks.empty()) {
+    return Status::InvalidArgument(QueryKindName(request.kind),
+                                   " query needs at least one sink");
+  }
+  if (request.kind == QueryKind::kFlow && request.sinks.size() != 1) {
+    return Status::InvalidArgument("flow query takes exactly one sink, got ",
+                                   request.sinks.size(),
+                                   " (use kind=community)");
+  }
+  for (const NodeId s : request.sources) {
+    if (s >= n) return Status::OutOfRange("source ", s, " >= n=", n);
+  }
+  for (const NodeId s : request.sinks) {
+    if (s >= n) return Status::OutOfRange("sink ", s, " >= n=", n);
+  }
+  return Status::OK();
+}
+
+std::vector<QueryResult> QueryEngine::AnswerBatch(
+    const BankGeneration& bank, const std::vector<QueryRequest>& requests) {
+  obs::TraceSpan span("serve/answer_batch");
+  WallTimer timer;
+  const Clock::time_point entry = Clock::now();
+  IF_CHECK(bank.num_edges() == graph_->num_edges())
+      << "bank rows were drawn from a different graph";
+
+  metric_batches_->Increment();
+  metric_requests_->Increment(requests.size());
+  metric_batch_size_->Record(static_cast<double>(requests.size()));
+
+  const std::size_t num_rows = bank.num_rows();
+  std::vector<QueryResult> results(requests.size());
+  std::vector<Clock::time_point> deadlines(requests.size(),
+                                           Clock::time_point::max());
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    results[i].total_rows = num_rows;
+    results[i].generation = bank.id();
+    results[i].status = ValidateRequest(requests[i]);
+    if (requests[i].timeout_ms > 0.0) {
+      deadlines[i] =
+          entry + std::chrono::duration_cast<Clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          requests[i].timeout_ms));
+    }
+  }
+
+  // --- Distinct conditioning sets: one row mask each, shared batch-wide.
+  std::vector<GivenSet> given_sets;
+  // SIZE_MAX sentinel: unconditional.
+  constexpr std::size_t kUnconditional = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> given_of(requests.size(), kUnconditional);
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!results[i].status.ok() || requests[i].given.empty()) continue;
+    const std::size_t key = HashConditions(requests[i].given);
+    FlowConditions sorted = SortedConditions(requests[i].given);
+    std::size_t g = given_sets.size();
+    for (std::size_t j = 0; j < given_sets.size(); ++j) {
+      if (given_sets[j].key == key && given_sets[j].sorted == sorted) {
+        g = j;
+        break;
+      }
+    }
+    if (g == given_sets.size()) {
+      GivenSet set;
+      set.key = key;
+      set.sorted = std::move(sorted);
+      set.conditions = requests[i].given;
+      set.mask.assign(num_rows, 0);
+      set.deadline = deadlines[i];
+      given_sets.push_back(std::move(set));
+    } else {
+      // The shared mask scan runs while *any* member still has time; a
+      // member whose own deadline lapses is failed individually afterwards.
+      given_sets[g].deadline = std::max(given_sets[g].deadline, deadlines[i]);
+    }
+    given_of[i] = g;
+  }
+
+  const std::size_t num_tasks = pool_->size();
+  const auto task_range = [&](std::size_t t) {
+    const std::size_t per = (num_rows + num_tasks - 1) / num_tasks;
+    const std::size_t begin = std::min(t * per, num_rows);
+    return std::pair<std::size_t, std::size_t>(
+        begin, std::min(begin + per, num_rows));
+  };
+
+  for (GivenSet& set : given_sets) {
+    std::atomic<bool> expired{false};
+    std::vector<std::size_t> partial(num_tasks, 0);
+    ParallelFor(*pool_, num_tasks, [&](std::size_t t) {
+      const auto [begin, end] = task_range(t);
+      ReachabilityWorkspace& ws = workspaces_[t];
+      std::vector<NodeId> src(1);
+      std::size_t count = 0;
+      for (std::size_t r = begin; r < end; ++r) {
+        if ((r - begin) % options_.rows_per_task == 0 &&
+            (expired.load(std::memory_order_relaxed) ||
+             Clock::now() > set.deadline)) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (RowSatisfies(*graph_, bank.Row(r), set.conditions, ws, src)) {
+          set.mask[r] = 1;
+          ++count;
+        }
+      }
+      partial[t] = count;
+    });
+    set.expired = expired.load();
+    for (const std::size_t c : partial) set.survivors += c;
+    metric_rows_scanned_->Increment(num_rows);
+  }
+
+  // --- Conditional floor and given-set deadline, per request.
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!results[i].status.ok() || given_of[i] == kUnconditional) continue;
+    const GivenSet& set = given_sets[given_of[i]];
+    if (set.expired) {
+      results[i].status = Status::DeadlineExceeded(
+          "query ", requests[i].id, " exceeded its ", requests[i].timeout_ms,
+          " ms deadline while filtering rows by C");
+      metric_deadline_exceeded_->Increment();
+      continue;
+    }
+    results[i].effective_rows = set.survivors;
+    if (set.survivors == 0 ||
+        set.survivors < options_.min_conditional_rows) {
+      results[i].status = Status::FailedPrecondition(
+          "conditional query ", requests[i].id, ": only ", set.survivors,
+          " of ", num_rows, " bank rows satisfy the conditioning set (floor ",
+          options_.min_conditional_rows,
+          "); widen the bank or relax the conditions");
+      metric_conditional_floor_->Increment();
+    }
+  }
+
+  // --- Group surviving requests into row scans.
+  std::vector<ScanGroup> groups;
+  for (std::size_t i = 0; i < requests.size(); ++i) {
+    if (!results[i].status.ok()) continue;
+    const QueryRequest& request = requests[i];
+    if (request.kind == QueryKind::kJoint) {
+      ScanGroup group;
+      group.joint = true;
+      group.flows = request.flows;
+      group.given_index = given_of[i];
+      group.members.push_back(i);
+      group.deadline = deadlines[i];
+      groups.push_back(std::move(group));
+      continue;
+    }
+    std::vector<NodeId> sources = SortedUnique(request.sources);
+    std::size_t g = groups.size();
+    for (std::size_t j = 0; j < groups.size(); ++j) {
+      if (!groups[j].joint && groups[j].sources == sources &&
+          groups[j].given_index == given_of[i]) {
+        g = j;
+        break;
+      }
+    }
+    if (g == groups.size()) {
+      ScanGroup group;
+      group.sources = std::move(sources);
+      group.given_index = given_of[i];
+      group.deadline = deadlines[i];
+      groups.push_back(std::move(group));
+    } else {
+      groups[g].deadline = std::max(groups[g].deadline, deadlines[i]);
+    }
+    groups[g].members.push_back(i);
+    groups[g].sinks.insert(groups[g].sinks.end(), request.sinks.begin(),
+                           request.sinks.end());
+  }
+
+  // --- Scan each group's rows in parallel.
+  for (ScanGroup& group : groups) {
+    metric_group_size_->Record(static_cast<double>(group.members.size()));
+    if (group.members.size() > 1) {
+      metric_frontier_merged_->Increment(group.members.size() - 1);
+    }
+    group.sinks = SortedUnique(group.sinks);
+    const std::size_t num_sinks = group.joint ? 1 : group.sinks.size();
+    group.indicators.assign(num_sinks * num_rows, 0);
+    const std::uint8_t* mask = group.given_index == kUnconditional
+                                   ? nullptr
+                                   : given_sets[group.given_index].mask.data();
+    std::atomic<bool> expired{false};
+    ParallelFor(*pool_, num_tasks, [&](std::size_t t) {
+      const auto [begin, end] = task_range(t);
+      ReachabilityWorkspace& ws = workspaces_[t];
+      std::vector<NodeId> src(1);
+      for (std::size_t r = begin; r < end; ++r) {
+        if ((r - begin) % options_.rows_per_task == 0 &&
+            (expired.load(std::memory_order_relaxed) ||
+             Clock::now() > group.deadline)) {
+          expired.store(true, std::memory_order_relaxed);
+          return;
+        }
+        if (mask != nullptr && mask[r] == 0) continue;
+        const std::uint64_t* row = bank.Row(r);
+        if (group.joint) {
+          group.indicators[r] =
+              RowSatisfies(*graph_, row, group.flows, ws, src) ? 1 : 0;
+        } else {
+          ws.RunPacked(*graph_, group.sources, row);
+          for (std::size_t s = 0; s < group.sinks.size(); ++s) {
+            group.indicators[s * num_rows + r] =
+                ws.IsReached(group.sinks[s]) ? 1 : 0;
+          }
+        }
+      }
+    });
+    group.expired = expired.load();
+    metric_rows_scanned_->Increment(num_rows);
+  }
+
+  // --- Assemble per-request estimates with chain diagnostics.
+  const std::size_t num_chains = bank.num_chains();
+  for (const ScanGroup& group : groups) {
+    const std::uint8_t* mask = group.given_index == kUnconditional
+                                   ? nullptr
+                                   : given_sets[group.given_index].mask.data();
+    const std::size_t survivors =
+        mask == nullptr ? num_rows : given_sets[group.given_index].survivors;
+    for (const std::size_t i : group.members) {
+      const QueryRequest& request = requests[i];
+      if (group.expired || Clock::now() > deadlines[i]) {
+        results[i].status = Status::DeadlineExceeded(
+            "query ", request.id, " exceeded its ", request.timeout_ms,
+            " ms deadline");
+        metric_deadline_exceeded_->Increment();
+        continue;
+      }
+      results[i].effective_rows = survivors;
+      results[i].frontier_shared = group.members.size() > 1;
+      const auto estimate_column = [&](std::size_t column, NodeId sink) {
+        const std::uint8_t* ind =
+            group.indicators.data() + column * num_rows;
+        std::vector<std::vector<double>> chains(num_chains);
+        double sum = 0.0;
+        for (std::size_t r = 0; r < num_rows; ++r) {
+          if (mask != nullptr && mask[r] == 0) continue;
+          const double draw = ind[r] != 0 ? 1.0 : 0.0;
+          sum += draw;
+          chains[bank.ChainOfRow(r)].push_back(draw);
+        }
+        // Chains with no surviving rows carry no draws; drop them so the
+        // diagnostics see only populated sequences.
+        std::erase_if(chains,
+                      [](const std::vector<double>& c) { return c.empty(); });
+        SinkEstimate est;
+        est.sink = sink;
+        est.value = sum / static_cast<double>(survivors);
+        est.diagnostics = ComputeChainDiagnostics(chains);
+        return est;
+      };
+      if (group.joint) {
+        results[i].estimates.push_back(
+            estimate_column(0, request.flows.front().sink));
+      } else {
+        for (const NodeId sink : request.sinks) {
+          const auto it = std::lower_bound(group.sinks.begin(),
+                                           group.sinks.end(), sink);
+          const std::size_t column =
+              static_cast<std::size_t>(it - group.sinks.begin());
+          results[i].estimates.push_back(estimate_column(column, sink));
+        }
+      }
+    }
+  }
+
+  metric_latency_ms_->Record(timer.Millis());
+  return results;
+}
+
+}  // namespace infoflow::serve

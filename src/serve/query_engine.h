@@ -1,0 +1,159 @@
+/// \file query_engine.h
+/// \brief Batched flow-query answering over a SampleBank generation.
+///
+/// Every query kind is the same estimator replayed over bank rows: for each
+/// retained pseudo-state x, evaluate an indicator by BFS over x's packed
+/// edge bits, then average (Eq. 5). Conditioning (Eq. 7/8) filters the rows
+/// by I(x, C) first — the surviving count is reported as `effective_rows`
+/// so callers can see how much evidence the conditional estimate rests on,
+/// and queries whose surviving count falls below a floor fail with a
+/// descriptive Status instead of returning a noisy ratio.
+///
+/// Batch amortization: queries in one batch that share a source frontier
+/// (same source set, same conditioning set) are merged into one row scan —
+/// a single multi-source BFS per row answers all their sinks at once. Each
+/// distinct conditioning set's row mask is likewise computed once per
+/// batch. Row scans run in parallel over the engine's thread pool, rows
+/// partitioned contiguously per worker.
+///
+/// Every estimate carries ChainDiagnostics (split-R̂ / ESS / MCSE, see
+/// stats/convergence.h) computed from the per-chain draw sequences the
+/// bank's chain-major row layout preserves.
+///
+/// Thread-safety: an engine instance must be driven by one thread at a time
+/// (it reuses per-worker scratch); the serve daemon gives each connection
+/// its own engine over the shared bank.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/flow_query.h"
+#include "graph/graph.h"
+#include "graph/reachability.h"
+#include "obs/metrics.h"
+#include "serve/sample_bank.h"
+#include "stats/convergence.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace infoflow::serve {
+
+/// \brief What a query asks for.
+enum class QueryKind {
+  /// Pr[∃ s ∈ sources: s ⤳ sink | M, C] for a single sink (Eq. 5/8).
+  kFlow,
+  /// The same, for every sink of a community in one pass.
+  kCommunity,
+  /// Pr[all listed flows hold jointly | M, C].
+  kJoint,
+};
+
+/// The canonical lower-case name ("flow" / "community" / "joint").
+const char* QueryKindName(QueryKind kind);
+
+/// \brief One flow query.
+struct QueryRequest {
+  /// Caller-assigned id echoed in the response (protocol correlation).
+  std::string id;
+  QueryKind kind = QueryKind::kFlow;
+  /// Source set (kFlow/kCommunity). Multi-source models the omnipotent
+  /// external world standing alongside a user (§V-D).
+  std::vector<NodeId> sources;
+  /// Sinks: exactly one for kFlow, one or more for kCommunity.
+  std::vector<NodeId> sinks;
+  /// The flows of a kJoint query.
+  FlowConditions flows;
+  /// Conditioning set C; empty → unconditional.
+  FlowConditions given;
+  /// Per-query deadline in milliseconds from batch entry; 0 → none.
+  double timeout_ms = 0.0;
+};
+
+/// \brief One sink's estimate with its convergence evidence.
+struct SinkEstimate {
+  NodeId sink = 0;
+  /// Mean indicator over the surviving rows (all rows when unconditional).
+  double value = 0.0;
+  /// Cross-chain diagnostics of the indicator draws (MCSE/ESS/R̂).
+  ChainDiagnostics diagnostics;
+};
+
+/// \brief Outcome of one query.
+struct QueryResult {
+  /// OK, or why the query failed (validation, conditional floor, deadline).
+  Status status;
+  /// One entry per sink (kFlow/kCommunity); one synthetic entry with
+  /// sink = flows.front().sink for kJoint.
+  std::vector<SinkEstimate> estimates;
+  /// Rows surviving the I(x, C) filter — the effective retained count of
+  /// Eq. 8's denominator.
+  std::size_t effective_rows = 0;
+  /// Rows in the generation the query was answered against.
+  std::size_t total_rows = 0;
+  /// Generation id the query was answered against.
+  std::uint64_t generation = 0;
+  /// True when this query's row scan was merged with another query's
+  /// (shared source frontier + conditioning set).
+  bool frontier_shared = false;
+};
+
+/// \brief Engine tuning.
+struct QueryEngineOptions {
+  /// Conditional queries whose surviving-row count falls below this floor
+  /// fail with FailedPrecondition (the estimate would be noise).
+  std::size_t min_conditional_rows = 32;
+  /// Worker threads for row scans; 0 → hardware concurrency.
+  std::size_t num_threads = 0;
+  /// Rows scanned between deadline checks inside a worker.
+  std::size_t rows_per_task = 256;
+
+  /// Validates the option values.
+  Status Validate() const;
+};
+
+/// \brief Answers query batches against BankGeneration rows.
+class QueryEngine {
+ public:
+  /// Builds an engine bound to `graph` (rows must come from the same
+  /// topology — i.e. the SampleBank's graph_ptr()).
+  static Result<QueryEngine> Create(std::shared_ptr<const DirectedGraph> graph,
+                                    QueryEngineOptions options);
+
+  /// \brief Answers every request against `bank`'s rows. Results are
+  /// positionally aligned with `requests`. Invalid requests fail
+  /// individually (their Status set) without affecting the rest.
+  std::vector<QueryResult> AnswerBatch(
+      const BankGeneration& bank, const std::vector<QueryRequest>& requests);
+
+  /// Worker count actually in use.
+  std::size_t num_threads() const { return pool_->size(); }
+
+ private:
+  QueryEngine(std::shared_ptr<const DirectedGraph> graph,
+              QueryEngineOptions options);
+
+  /// Validates one request against the graph.
+  Status ValidateRequest(const QueryRequest& request) const;
+
+  std::shared_ptr<const DirectedGraph> graph_;
+  QueryEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// Scratch BFS workspace per worker task index.
+  std::vector<ReachabilityWorkspace> workspaces_;
+
+  obs::Counter* metric_batches_;
+  obs::Counter* metric_requests_;
+  obs::Counter* metric_rows_scanned_;
+  obs::Counter* metric_frontier_merged_;
+  obs::Counter* metric_deadline_exceeded_;
+  obs::Counter* metric_conditional_floor_;
+  obs::Histogram* metric_batch_size_;
+  obs::Histogram* metric_group_size_;
+  obs::Histogram* metric_latency_ms_;
+};
+
+}  // namespace infoflow::serve

@@ -1,0 +1,126 @@
+#include "serve/sample_bank.h"
+
+#include <utility>
+
+#include "obs/trace.h"
+#include "util/check.h"
+
+namespace infoflow::serve {
+
+Status BankOptions::Validate() const {
+  if (num_states == 0) {
+    return Status::InvalidArgument("bank num_states must be positive");
+  }
+  return chain.Validate();
+}
+
+BankGeneration::BankGeneration(std::uint64_t id, std::size_t num_edges,
+                               std::size_t num_chains,
+                               std::size_t rows_per_chain)
+    : id_(id),
+      num_edges_(num_edges),
+      words_per_row_(PackedRowWords(num_edges)),
+      num_chains_(num_chains),
+      rows_per_chain_(rows_per_chain),
+      num_rows_(num_chains * rows_per_chain),
+      words_(num_rows_ * words_per_row_, 0) {}
+
+PseudoState BankGeneration::UnpackRow(std::size_t r) const {
+  IF_CHECK(r < num_rows_) << "row " << r << " out of range " << num_rows_;
+  PseudoState state(num_edges_, 0);
+  for (EdgeId e = 0; e < num_edges_; ++e) {
+    state[e] = EdgeActive(r, e) ? 1 : 0;
+  }
+  return state;
+}
+
+Result<SampleBank> SampleBank::Create(PointIcm model, BankOptions options,
+                                      std::uint64_t seed) {
+  IF_RETURN_NOT_OK(options.Validate());
+  std::shared_ptr<const DirectedGraph> graph = model.graph_ptr();
+  // The bank is unconditional (empty C): conditioning happens at query time
+  // by filtering rows, so one bank serves every condition set.
+  auto engine = MultiChainSampler::Create(std::move(model), FlowConditions{},
+                                          options.chain, seed);
+  if (!engine.ok()) return engine.status();
+  SampleBank bank(
+      std::make_unique<MultiChainSampler>(std::move(engine).ValueOrDie()),
+      std::move(graph), options);
+  bank.current_ = bank.Fill(/*id=*/1);
+  bank.age_.Restart();
+  return bank;
+}
+
+SampleBank::SampleBank(std::unique_ptr<MultiChainSampler> engine,
+                       std::shared_ptr<const DirectedGraph> graph,
+                       BankOptions options)
+    : engine_(std::move(engine)),
+      graph_(std::move(graph)),
+      options_(options),
+      mutex_(std::make_unique<std::mutex>()),
+      metric_generation_(&obs::GetGauge("serve.bank.generation")),
+      metric_rows_(&obs::GetGauge("serve.bank.rows")),
+      metric_age_s_(&obs::GetGauge("serve.bank.age_s")),
+      metric_refreshes_(&obs::GetCounter("serve.bank.refreshes_total")),
+      metric_fill_ms_(&obs::GetHistogram(
+          "serve.bank.fill_ms",
+          {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0})) {}
+
+std::size_t SampleBank::rows_per_generation() const {
+  return engine_->num_chains() * engine_->SamplesPerChain(options_.num_states);
+}
+
+std::shared_ptr<const BankGeneration> SampleBank::Fill(std::uint64_t id) {
+  obs::TraceSpan span("serve/bank_fill");
+  WallTimer timer;
+  const std::size_t rows_per_chain =
+      engine_->SamplesPerChain(options_.num_states);
+  auto generation = std::make_shared<BankGeneration>(BankGeneration(
+      id, graph_->num_edges(), engine_->num_chains(), rows_per_chain));
+  const std::size_t words_per_row = generation->words_per_row_;
+  std::uint64_t* words = generation->words_.data();
+  // ForEachSample runs the visitor on the worker owning each chain; rows are
+  // chain-major, so chain k writes only its own [k·rows_per_chain,
+  // (k+1)·rows_per_chain) slice — disjoint, no synchronization needed.
+  engine_->ForEachSample(
+      options_.num_states,
+      [&](std::size_t chain, std::size_t index, const PseudoState& state) {
+        const std::size_t row = chain * rows_per_chain + index;
+        std::uint64_t* out = words + row * words_per_row;
+        for (EdgeId e = 0; e < state.size(); ++e) {
+          if (state[e] != 0) out[e >> 6] |= std::uint64_t{1} << (e & 63);
+        }
+      });
+  metric_fill_ms_->Record(timer.Millis());
+  metric_generation_->Set(static_cast<double>(id));
+  metric_rows_->Set(static_cast<double>(generation->num_rows()));
+  return generation;
+}
+
+std::shared_ptr<const BankGeneration> SampleBank::Acquire() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return current_;
+}
+
+void SampleBank::Refresh() {
+  // Chains stay burned-in across generations: the next fill resumes the
+  // walk, paying only (δ′+1) steps per fresh row.
+  const std::uint64_t next_id = current_->id() + 1;
+  std::shared_ptr<const BankGeneration> next = Fill(next_id);
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    current_ = std::move(next);
+    age_.Restart();
+  }
+  metric_refreshes_->Increment();
+  metric_age_s_->Set(0.0);
+}
+
+double SampleBank::GenerationAgeSeconds() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const double age = age_.Seconds();
+  metric_age_s_->Set(age);
+  return age;
+}
+
+}  // namespace infoflow::serve

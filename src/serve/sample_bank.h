@@ -1,0 +1,170 @@
+/// \file sample_bank.h
+/// \brief A shared bank of retained MH pseudo-states for amortized queries.
+///
+/// Answering a flow query with a fresh chain pays burn-in δ plus
+/// (δ′+1)·N transitions *per query* (§III-B/D). But the retained states a
+/// chain produces are samples of Pr[x | M] regardless of which flow the
+/// caller later asks about — the estimator of Eq. 5 only replays
+/// reachability over them. A SampleBank therefore materializes the retained
+/// states of a MultiChainSampler once and lets arbitrarily many queries
+/// (end-to-end, community, joint, conditional — see serve/query_engine.h)
+/// reuse them, turning the per-query cost into a per-*bank* cost.
+///
+/// Storage is one word-packed bit row per retained state (bit e = edge e's
+/// activity, layout of graph/reachability.h's RunPacked), chain-major:
+/// row r belongs to chain r / rows_per_chain, preserving the per-chain
+/// draw order that the convergence diagnostics (stats/convergence.h) need.
+/// A 14k-edge fig6 graph packs a state into 1.75 KB — a 4096-state bank is
+/// ~7 MB where the byte-per-edge PseudoState form would be ~57 MB.
+///
+/// Generations: the bank hands out immutable `BankGeneration` objects by
+/// shared_ptr. `Refresh()` advances the chains (burn-in is paid only once,
+/// at Create) and publishes a new generation; readers holding the old one
+/// are never invalidated — the swap is a pointer exchange under a mutex,
+/// and the old rows are freed when the last in-flight reader drops them.
+///
+/// \code
+///   auto bank = SampleBank::Create(model, options, /*seed=*/42);
+///   std::shared_ptr<const BankGeneration> gen = bank->Acquire();
+///   // ... answer many queries against *gen ...
+///   bank->Refresh();            // background thread; readers unaffected
+/// \endcode
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/icm.h"
+#include "core/multi_chain.h"
+#include "graph/reachability.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace infoflow::serve {
+
+/// \brief Sizing and chain tuning for a SampleBank.
+struct BankOptions {
+  /// Requested retained states per generation. Rounded up to a whole number
+  /// per chain (MultiChainSampler's ⌈N/K⌉ contract), so the realized row
+  /// count is num_chains·⌈num_states/num_chains⌉.
+  std::size_t num_states = 4096;
+  /// Chain tuning (K, threads, burn-in δ, thinning δ′).
+  MultiChainOptions chain;
+
+  /// Validates the option values.
+  Status Validate() const;
+};
+
+/// \brief One immutable, generation-tagged snapshot of bank rows.
+///
+/// Thread-safe by construction (all members const after fill); readers on
+/// any thread may BFS over rows concurrently.
+class BankGeneration {
+ public:
+  /// Monotonic generation id (1 for the Create fill, +1 per Refresh).
+  std::uint64_t id() const { return id_; }
+  /// Number of retained-state rows.
+  std::size_t num_rows() const { return num_rows_; }
+  /// Edge count of the model the rows were drawn from.
+  std::size_t num_edges() const { return num_edges_; }
+  /// 64-bit words per row: PackedRowWords(num_edges()).
+  std::size_t words_per_row() const { return words_per_row_; }
+  /// Number of chains the rows are striped over.
+  std::size_t num_chains() const { return num_chains_; }
+  /// Rows per chain (num_rows / num_chains; chains are equal-length).
+  std::size_t rows_per_chain() const { return rows_per_chain_; }
+
+  /// Packed edge-activity row `r` (words_per_row() words) — the form
+  /// ReachabilityWorkspace::RunPacked consumes directly.
+  const std::uint64_t* Row(std::size_t r) const {
+    return words_.data() + r * words_per_row_;
+  }
+
+  /// Activity of edge `e` in row `r`.
+  bool EdgeActive(std::size_t r, EdgeId e) const {
+    return PackedEdgeActive(Row(r), e);
+  }
+
+  /// The chain row `r` was drawn by (rows are chain-major).
+  std::size_t ChainOfRow(std::size_t r) const { return r / rows_per_chain_; }
+
+  /// Unpacks row `r` into a byte-per-edge PseudoState (tests, debugging).
+  PseudoState UnpackRow(std::size_t r) const;
+
+ private:
+  friend class SampleBank;
+  BankGeneration(std::uint64_t id, std::size_t num_edges,
+                 std::size_t num_chains, std::size_t rows_per_chain);
+
+  std::uint64_t id_;
+  std::size_t num_edges_;
+  std::size_t words_per_row_;
+  std::size_t num_chains_;
+  std::size_t rows_per_chain_;
+  std::size_t num_rows_;
+  /// Row-major packed bits: words_[r·words_per_row + w].
+  std::vector<std::uint64_t> words_;
+};
+
+/// \brief Owner of the chains and the current generation.
+///
+/// Thread-safety: `Acquire()` and `GenerationAgeSeconds()` may be called
+/// from any thread; `Refresh()` must be driven by one thread at a time (it
+/// advances the stateful chains — the serve daemon dedicates a background
+/// thread to it).
+class SampleBank {
+ public:
+  /// \brief Builds the chains, pays burn-in, and fills generation 1.
+  /// Unconditional by design: rows sample Pr[x | M] (Eq. 3) so conditional
+  /// queries can be answered by filtering rows with I(x, C) (Eq. 7/8)
+  /// instead of binding the bank to one condition set.
+  static Result<SampleBank> Create(PointIcm model, BankOptions options,
+                                   std::uint64_t seed);
+
+  /// The current generation; never null, never mutated after publish.
+  std::shared_ptr<const BankGeneration> Acquire() const;
+
+  /// \brief Draws a fresh set of rows from the (already burned-in) chains
+  /// and atomically publishes it as the next generation.
+  void Refresh();
+
+  /// Seconds since the current generation was published.
+  double GenerationAgeSeconds() const;
+
+  /// The model's graph (shared with every generation's rows).
+  const std::shared_ptr<const DirectedGraph>& graph_ptr() const {
+    return graph_;
+  }
+
+  /// Realized rows per generation (num_chains·⌈num_states/num_chains⌉).
+  std::size_t rows_per_generation() const;
+
+ private:
+  SampleBank(std::unique_ptr<MultiChainSampler> engine,
+             std::shared_ptr<const DirectedGraph> graph, BankOptions options);
+
+  /// Streams one generation's rows out of the chains (parallel across
+  /// chains; each chain packs its own disjoint row range).
+  std::shared_ptr<const BankGeneration> Fill(std::uint64_t id);
+
+  std::unique_ptr<MultiChainSampler> engine_;
+  std::shared_ptr<const DirectedGraph> graph_;
+  BankOptions options_;
+  /// Guards current_/age_; unique_ptr keeps the bank movable (Result<T>).
+  std::unique_ptr<std::mutex> mutex_;
+  std::shared_ptr<const BankGeneration> current_;
+  /// Restarted at each publish; read for the generation-age gauge.
+  WallTimer age_;
+
+  obs::Gauge* metric_generation_;
+  obs::Gauge* metric_rows_;
+  obs::Gauge* metric_age_s_;
+  obs::Counter* metric_refreshes_;
+  obs::Histogram* metric_fill_ms_;
+};
+
+}  // namespace infoflow::serve

@@ -1,0 +1,316 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "serve/protocol.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace infoflow::serve {
+namespace {
+
+/// Buffered line reader over a POSIX fd.
+class LineReader {
+ public:
+  explicit LineReader(int fd) : fd_(fd) {}
+
+  /// Blocking: pops the next line (without '\n'); false at EOF. A final
+  /// unterminated line is still delivered.
+  bool NextLine(std::string& line) {
+    while (true) {
+      if (PopBufferedLine(line)) return true;
+      if (eof_) {
+        if (buffer_.empty()) return false;
+        line = std::move(buffer_);
+        buffer_.clear();
+        return true;
+      }
+      FillOnce();
+    }
+  }
+
+  /// Non-blocking: pops a line only if one is already buffered or the fd
+  /// has readable data that completes one; false otherwise (never blocks
+  /// past a single read of already-available bytes).
+  bool TryNextLine(std::string& line) {
+    if (PopBufferedLine(line)) return true;
+    while (!eof_ && Readable()) {
+      FillOnce();
+      if (PopBufferedLine(line)) return true;
+    }
+    if (eof_ && !buffer_.empty()) {
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  bool PopBufferedLine(std::string& line) {
+    const std::size_t pos = buffer_.find('\n');
+    if (pos == std::string::npos) return false;
+    line.assign(buffer_, 0, pos);
+    buffer_.erase(0, pos + 1);
+    return true;
+  }
+
+  bool Readable() const {
+    pollfd pfd{fd_, POLLIN, 0};
+    return poll(&pfd, 1, 0) > 0;
+  }
+
+  void FillOnce() {
+    char chunk[65536];
+    ssize_t got;
+    do {
+      got = read(fd_, chunk, sizeof(chunk));
+    } while (got < 0 && errno == EINTR);
+    if (got <= 0) {
+      eof_ = true;  // EOF or unrecoverable error: drain and stop.
+      return;
+    }
+    buffer_.append(chunk, static_cast<std::size_t>(got));
+  }
+
+  int fd_;
+  std::string buffer_;
+  bool eof_ = false;
+};
+
+/// Writes all of `data`, retrying partial writes; false on error.
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t put = write(fd, data.data() + off, data.size() - off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace
+
+struct Server::Background {
+  std::atomic<bool> stopping{false};
+  std::atomic<bool> started{false};
+  int listen_fd = -1;
+  std::thread accept_thread;
+  std::thread refresh_thread;
+  std::mutex connections_mutex;
+  std::vector<std::thread> connections;
+};
+
+Status ServerOptions::Validate() const {
+  if (max_batch == 0) {
+    return Status::InvalidArgument("max_batch must be positive");
+  }
+  if (refresh_interval_ms < 0.0) {
+    return Status::InvalidArgument("refresh_interval_ms must be >= 0");
+  }
+  if (!socket_path.empty() && socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::InvalidArgument("socket path too long: ", socket_path);
+  }
+  return engine.Validate();
+}
+
+Result<Server> Server::Create(SampleBank bank, ServerOptions options) {
+  IF_RETURN_NOT_OK(options.Validate());
+  IF_RETURN_NOT_OK(options.engine.Validate());
+  return Server(std::move(bank), std::move(options));
+}
+
+Server::Server(SampleBank bank, ServerOptions options)
+    : bank_(std::move(bank)),
+      options_(std::move(options)),
+      background_(std::make_unique<Background>()),
+      metric_batches_(&obs::GetCounter("serve.server.batches_total")),
+      metric_lines_(&obs::GetCounter("serve.server.lines_total")),
+      metric_connections_(&obs::GetCounter("serve.server.connections_total")),
+      metric_qps_(&obs::GetGauge("serve.server.queries_per_s")),
+      metric_batch_lines_(&obs::GetHistogram(
+          "serve.server.batch_lines",
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0})) {}
+
+Server::Server(Server&&) noexcept = default;
+Server& Server::operator=(Server&&) noexcept = default;
+
+Server::~Server() {
+  if (background_ != nullptr) Stop();
+}
+
+Status Server::ServeFd(int in_fd, int out_fd) {
+  auto engine = QueryEngine::Create(bank_.graph_ptr(), options_.engine);
+  if (!engine.ok()) return engine.status();
+  LineReader reader(in_fd);
+  std::string line;
+  std::vector<std::string> lines;
+  while (reader.NextLine(line)) {
+    WallTimer timer;
+    lines.clear();
+    lines.push_back(std::move(line));
+    // Greedy batch: fold in every complete line the client already sent.
+    while (lines.size() < options_.max_batch && reader.TryNextLine(line)) {
+      lines.push_back(std::move(line));
+    }
+
+    std::vector<std::string> responses(lines.size());
+    std::vector<QueryRequest> requests;
+    std::vector<std::size_t> request_line;
+    requests.reserve(lines.size());
+    for (std::size_t j = 0; j < lines.size(); ++j) {
+      if (lines[j].empty()) {
+        responses[j] =
+            SerializeParseError(Status::InvalidArgument("empty request line"));
+        continue;
+      }
+      auto request = ParseRequestLine(lines[j]);
+      if (!request.ok()) {
+        responses[j] = SerializeParseError(request.status());
+        continue;
+      }
+      request_line.push_back(j);
+      requests.push_back(std::move(*request));
+    }
+
+    if (!requests.empty()) {
+      const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
+      const std::vector<QueryResult> results =
+          engine->AnswerBatch(*generation, requests);
+      for (std::size_t k = 0; k < requests.size(); ++k) {
+        responses[request_line[k]] = SerializeResult(requests[k], results[k]);
+      }
+    }
+
+    std::string out;
+    for (std::string& response : responses) {
+      out += response;
+      out += '\n';
+    }
+    if (!WriteAll(out_fd, out)) {
+      return Status::IOError("short write to fd ", out_fd, ": ",
+                             std::strerror(errno));
+    }
+
+    metric_batches_->Increment();
+    metric_lines_->Increment(lines.size());
+    metric_batch_lines_->Record(static_cast<double>(lines.size()));
+    const double seconds = timer.Seconds();
+    if (seconds > 0) {
+      metric_qps_->Set(static_cast<double>(lines.size()) / seconds);
+    }
+    bank_.GenerationAgeSeconds();  // refreshes the age gauge
+  }
+  return Status::OK();
+}
+
+Status Server::Start() {
+  Background& bg = *background_;
+  if (bg.started.exchange(true)) {
+    return Status::FailedPrecondition("server already started");
+  }
+  if (!options_.socket_path.empty()) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError("socket(): ", std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    unlink(options_.socket_path.c_str());
+    if (bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const Status status = Status::IOError(
+          "bind(", options_.socket_path, "): ", std::strerror(errno));
+      close(fd);
+      return status;
+    }
+    if (listen(fd, 16) < 0) {
+      const Status status = Status::IOError("listen(): ", std::strerror(errno));
+      close(fd);
+      return status;
+    }
+    bg.listen_fd = fd;
+    bg.accept_thread = std::thread([this] { AcceptLoop(); });
+  }
+  if (options_.refresh_interval_ms > 0.0) {
+    bg.refresh_thread = std::thread([this] { RefreshLoop(); });
+  }
+  return Status::OK();
+}
+
+void Server::AcceptLoop() {
+  Background& bg = *background_;
+  while (!bg.stopping.load()) {
+    const int conn = accept(bg.listen_fd, nullptr, nullptr);
+    if (conn < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen fd closed by Stop(), or fatal
+    }
+    metric_connections_->Increment();
+    std::lock_guard<std::mutex> lock(bg.connections_mutex);
+    bg.connections.emplace_back([this, conn] {
+      // Each connection gets its own engine (ServeFd creates one); the bank
+      // is shared and its Acquire() is thread-safe.
+      (void)ServeFd(conn, conn);
+      close(conn);
+    });
+  }
+}
+
+void Server::RefreshLoop() {
+  Background& bg = *background_;
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.refresh_interval_ms);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!bg.stopping.load()) {
+    if (std::chrono::steady_clock::now() < next) {
+      // Sleep in short slices so Stop() is prompt.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    bank_.Refresh();
+    next = std::chrono::steady_clock::now() + interval;
+  }
+}
+
+void Server::Stop() {
+  Background& bg = *background_;
+  bg.stopping.store(true);
+  if (bg.listen_fd >= 0) {
+    // shutdown() unblocks accept(); close() invalidates the fd.
+    shutdown(bg.listen_fd, SHUT_RDWR);
+    close(bg.listen_fd);
+    bg.listen_fd = -1;
+  }
+  if (bg.accept_thread.joinable()) bg.accept_thread.join();
+  if (bg.refresh_thread.joinable()) bg.refresh_thread.join();
+  std::vector<std::thread> connections;
+  {
+    std::lock_guard<std::mutex> lock(bg.connections_mutex);
+    connections.swap(bg.connections);
+  }
+  for (std::thread& t : connections) {
+    if (t.joinable()) t.join();
+  }
+  if (!options_.socket_path.empty()) {
+    unlink(options_.socket_path.c_str());
+  }
+}
+
+}  // namespace infoflow::serve

@@ -1,0 +1,101 @@
+/// \file server.h
+/// \brief The long-running `infoflow serve` daemon: NDJSON query batches
+/// over stdin/stdout and an optional Unix-domain socket, against one shared
+/// SampleBank.
+///
+/// Batching: the serve loop blocks for one request line, then greedily
+/// drains whatever further complete lines the client has already written
+/// (up to `max_batch`) into a single QueryEngine::AnswerBatch call — a
+/// client that pipes a file of queries gets them answered in large shared
+/// batches (one row scan per distinct source frontier), while an
+/// interactive client still gets per-line latency.
+///
+/// Concurrency: each connection (and the stdio loop) gets its own
+/// QueryEngine over the shared bank; a background thread refreshes the
+/// bank on a fixed interval, swapping generations without ever blocking
+/// readers (see sample_bank.h).
+
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "obs/metrics.h"
+#include "serve/query_engine.h"
+#include "serve/sample_bank.h"
+#include "util/status.h"
+
+namespace infoflow::serve {
+
+/// \brief Daemon tuning.
+struct ServerOptions {
+  /// Max request lines folded into one engine batch.
+  std::size_t max_batch = 64;
+  /// Unix-domain socket to listen on; empty → stdio only. An existing file
+  /// at the path is replaced.
+  std::string socket_path;
+  /// Background bank-refresh period; 0 → the bank is never refreshed.
+  double refresh_interval_ms = 0.0;
+  /// Per-connection query-engine tuning.
+  QueryEngineOptions engine;
+
+  /// Validates the option values.
+  Status Validate() const;
+};
+
+/// \brief Owns the bank, the listener, and the refresh thread.
+class Server {
+ public:
+  static Result<Server> Create(SampleBank bank, ServerOptions options);
+
+  // Defined in server.cc, where Background is complete.
+  Server(Server&&) noexcept;
+  Server& operator=(Server&&) noexcept;
+  ~Server();
+
+  /// \brief Serves NDJSON batches read from `in_fd` to `out_fd` until EOF
+  /// (one response line per request line, in order; unparseable lines get
+  /// an error response with a null id). Blocking; returns once the peer
+  /// closes or on an unrecoverable I/O error.
+  Status ServeFd(int in_fd, int out_fd);
+
+  /// ServeFd over stdin/stdout — the `infoflow serve` foreground loop.
+  Status ServeStdio() { return ServeFd(0, 1); }
+
+  /// \brief Starts the background threads: the Unix-socket accept loop
+  /// (when socket_path is set) and the bank refresher (when
+  /// refresh_interval_ms > 0). Idempotent per server.
+  Status Start();
+
+  /// Stops the background threads and joins open connections. Called by
+  /// the destructor.
+  void Stop();
+
+  /// The shared bank (e.g. for warm-up checks in tests).
+  SampleBank& bank() { return bank_; }
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  Server(SampleBank bank, ServerOptions options);
+
+  void AcceptLoop();
+  void RefreshLoop();
+
+  SampleBank bank_;
+  ServerOptions options_;
+
+  /// Thread state lives behind a pointer so the server stays movable
+  /// (Result<Server>); defined in server.cc.
+  struct Background;
+  std::unique_ptr<Background> background_;
+
+  obs::Counter* metric_batches_;
+  obs::Counter* metric_lines_;
+  obs::Counter* metric_connections_;
+  obs::Gauge* metric_qps_;
+  obs::Histogram* metric_batch_lines_;
+};
+
+}  // namespace infoflow::serve

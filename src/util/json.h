@@ -1,0 +1,95 @@
+/// \file json.h
+/// \brief A minimal JSON value type, parser, and writer.
+///
+/// The serve daemon speaks newline-delimited JSON (one request or response
+/// object per line), and the observability snapshots already *emit* JSON;
+/// this adds the read side without an external dependency. The dialect is
+/// standard RFC 8259 minus two deliberate simplifications: numbers are
+/// always doubles (the protocol's node ids and counts fit a double's 53-bit
+/// integer range comfortably), and \uXXXX escapes outside ASCII are passed
+/// through as their raw escape text rather than decoded to UTF-8 (no
+/// protocol field carries non-ASCII content).
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief One JSON value: null, bool, number, string, array, or object.
+///
+/// Objects keep their members in a std::map, so Dump() output is
+/// key-sorted and deterministic — handy for golden tests and diffable logs.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  /// Constructs null.
+  JsonValue() : kind_(Kind::kNull) {}
+  JsonValue(bool value) : kind_(Kind::kBool), bool_(value) {}  // NOLINT
+  JsonValue(double value) : kind_(Kind::kNumber), number_(value) {}  // NOLINT
+  JsonValue(int value)  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::string value)  // NOLINT
+      : kind_(Kind::kString), string_(std::move(value)) {}
+  JsonValue(const char* value)  // NOLINT
+      : kind_(Kind::kString), string_(value) {}
+  JsonValue(Array value)  // NOLINT
+      : kind_(Kind::kArray), array_(std::move(value)) {}
+  JsonValue(Object value)  // NOLINT
+      : kind_(Kind::kObject), object_(std::move(value)) {}
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  /// Typed accessors; aborting on kind mismatch (programming error).
+  bool AsBool() const;
+  double AsNumber() const;
+  const std::string& AsString() const;
+  const Array& AsArray() const;
+  const Object& AsObject() const;
+
+  /// Mutable object/array access for builder-style construction.
+  Array& MutableArray();
+  Object& MutableObject();
+
+  /// Object member lookup; returns nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// \brief Serializes compactly (no whitespace), with object keys in map
+  /// order and doubles in shortest round-trip form (integers print without
+  /// a fractional part).
+  std::string Dump() const;
+
+ private:
+  void DumpTo(std::string& out) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// \brief Parses one JSON document. Trailing non-whitespace after the value
+/// is an error, as are unterminated strings/containers, so a truncated
+/// protocol line fails loudly instead of yielding a partial request.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace infoflow

@@ -23,6 +23,8 @@ const char* StatusCodeName(StatusCode code) {
       return "io-error";
     case StatusCode::kParseError:
       return "parse-error";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
     case StatusCode::kUnimplemented:
       return "unimplemented";
     case StatusCode::kInternal:

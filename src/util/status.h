@@ -27,6 +27,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kParseError,
+  kDeadlineExceeded,
   kUnimplemented,
   kInternal,
 };
@@ -85,6 +86,10 @@ class Status {
   template <typename... Args>
   static Status ParseError(Args&&... args) {
     return Make(StatusCode::kParseError, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  static Status DeadlineExceeded(Args&&... args) {
+    return Make(StatusCode::kDeadlineExceeded, std::forward<Args>(args)...);
   }
   template <typename... Args>
   static Status Unimplemented(Args&&... args) {

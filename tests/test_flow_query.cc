@@ -55,8 +55,41 @@ TEST(ValidateConditions, RejectsForbiddenSelfFlow) {
 
 TEST(ValidateConditions, RejectsContradictoryPair) {
   DirectedGraph g = Chain3();
-  EXPECT_EQ(ValidateConditions(g, {{0, 2, true}, {0, 2, false}}).code(),
+  const Status status =
+      ValidateConditions(g, {{0, 2, true}, {0, 2, false}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("contradict"), std::string::npos);
+  // Order and intervening entries don't hide the contradiction.
+  EXPECT_EQ(
+      ValidateConditions(g, {{0, 2, false}, {1, 2, true}, {0, 2, true}})
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(ValidateConditions, RejectsDuplicateEntries) {
+  DirectedGraph g = Chain3();
+  const Status status =
+      ValidateConditions(g, {{0, 1, true}, {1, 2, false}, {0, 1, true}});
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("duplicate"), std::string::npos);
+  EXPECT_EQ(ValidateConditions(g, {{0, 2, false}, {0, 2, false}}).code(),
             StatusCode::kInvalidArgument);
+}
+
+TEST(FlowConstraintHash, DistinguishesFields) {
+  const std::hash<FlowConstraint> hash;
+  EXPECT_EQ(hash({0, 2, true}), hash({0, 2, true}));
+  EXPECT_NE(hash({0, 2, true}), hash({0, 2, false}));
+  EXPECT_NE(hash({0, 2, true}), hash({2, 0, true}));
+  EXPECT_NE(hash({0, 1, true}), hash({1, 0, true}));
+}
+
+TEST(HashConditions, OrderInsensitiveBatchKey) {
+  const FlowConditions a{{0, 1, true}, {0, 2, false}};
+  const FlowConditions b{{0, 2, false}, {0, 1, true}};
+  EXPECT_EQ(HashConditions(a), HashConditions(b));
+  EXPECT_NE(HashConditions(a), HashConditions({{0, 1, true}}));
+  EXPECT_NE(HashConditions({}), HashConditions({{0, 1, true}}));
 }
 
 }  // namespace

@@ -1,0 +1,87 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace infoflow {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(ParseJson("null")->is_null());
+  EXPECT_TRUE(ParseJson("true")->AsBool());
+  EXPECT_FALSE(ParseJson("false")->AsBool());
+  EXPECT_DOUBLE_EQ(ParseJson("42")->AsNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(ParseJson("-3.25e2")->AsNumber(), -325.0);
+  EXPECT_EQ(ParseJson("\"hi\"")->AsString(), "hi");
+  EXPECT_DOUBLE_EQ(ParseJson("  7  ")->AsNumber(), 7.0);
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(ParseJson(R"("a\"b\\c\nd\te")")->AsString(), "a\"b\\c\nd\te");
+  EXPECT_EQ(ParseJson(R"("A")")->AsString(), "A");
+}
+
+TEST(JsonParse, NestedContainers) {
+  auto v = ParseJson(R"({"id":"q1","sources":[0,3],"nested":{"x":true}})");
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->Find("id")->AsString(), "q1");
+  const auto& sources = v->Find("sources")->AsArray();
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_DOUBLE_EQ(sources[1].AsNumber(), 3.0);
+  EXPECT_TRUE(v->Find("nested")->Find("x")->AsBool());
+  EXPECT_EQ(v->Find("missing"), nullptr);
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_TRUE(ParseJson("[]")->AsArray().empty());
+  EXPECT_TRUE(ParseJson("{}")->AsObject().empty());
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,").ok());
+  EXPECT_FALSE(ParseJson("[1] trailing").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("{1: 2}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("1.2.3").ok());
+  EXPECT_EQ(ParseJson("[x]").status().code(), StatusCode::kParseError);
+}
+
+TEST(JsonParse, RejectsAbsurdNesting) {
+  std::string deep(200, '[');
+  deep += std::string(200, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+TEST(JsonDump, RoundTripsStructuredValues) {
+  const std::string text =
+      R"({"a":[1,2.5,true,null],"b":{"c":"x\"y"},"d":-0.125})";
+  auto v = ParseJson(text);
+  ASSERT_TRUE(v.ok());
+  // Dump is key-sorted + compact, and the original was written that way.
+  EXPECT_EQ(v->Dump(), text);
+  // A second parse of the dump is identical again.
+  EXPECT_EQ(ParseJson(v->Dump())->Dump(), text);
+}
+
+TEST(JsonDump, NumbersRoundTrip) {
+  for (const double x : {0.0, 1.0, -7.0, 0.1, 1e-9, 12345.6789, 1e15}) {
+    const JsonValue v(x);
+    auto back = ParseJson(v.Dump());
+    ASSERT_TRUE(back.ok()) << v.Dump();
+    EXPECT_DOUBLE_EQ(back->AsNumber(), x) << v.Dump();
+  }
+}
+
+TEST(JsonDump, BuilderStyleConstruction) {
+  JsonValue obj{JsonValue::Object{}};
+  obj.MutableObject()["ok"] = JsonValue(true);
+  obj.MutableObject()["list"] = JsonValue{JsonValue::Array{}};
+  obj.MutableObject()["list"].MutableArray().push_back(JsonValue(3));
+  EXPECT_EQ(obj.Dump(), R"({"list":[3],"ok":true})");
+}
+
+}  // namespace
+}  // namespace infoflow

@@ -1,0 +1,621 @@
+/// Tests for the serve subsystem: SampleBank packing and generations, the
+/// QueryEngine's estimators against the direct samplers and the exact
+/// enumerator, the NDJSON protocol, and the daemon's fd serving loop.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+
+#include "core/exact_flow.h"
+#include "core/mh_sampler.h"
+#include "core/multi_chain.h"
+#include "graph/generators.h"
+#include "serve/protocol.h"
+#include "serve/query_engine.h"
+#include "serve/sample_bank.h"
+#include "serve/server.h"
+#include "util/json.h"
+
+namespace infoflow::serve {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+PointIcm SmallRandomModel(std::uint64_t seed, NodeId nodes, EdgeId edges) {
+  Rng rng(seed);
+  auto g = Share(UniformRandomGraph(nodes, edges, rng));
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.1, 0.9);
+  return PointIcm(g, probs);
+}
+
+/// A conditioning constraint that is satisfiable by construction: requiring
+/// flow along an existing edge (its activation alone implies the flow), so
+/// a bank filtered by it keeps a healthy fraction of rows on any graph.
+FlowConstraint EdgeConstraint(const PointIcm& model, EdgeId e = 0) {
+  const Edge& edge = model.graph().edge(e);
+  return {edge.src, edge.dst, true};
+}
+
+BankOptions FastBank(std::size_t states, std::size_t chains = 4) {
+  BankOptions options;
+  options.num_states = states;
+  options.chain.num_chains = chains;
+  options.chain.mh.burn_in = 1200;
+  options.chain.mh.thinning = 4;
+  return options;
+}
+
+QueryEngine MakeEngine(const SampleBank& bank,
+                       QueryEngineOptions options = {}) {
+  auto engine = QueryEngine::Create(bank.graph_ptr(), options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).ValueOrDie();
+}
+
+QueryRequest FlowQuery(NodeId source, NodeId sink) {
+  QueryRequest request;
+  request.kind = QueryKind::kFlow;
+  request.sources = {source};
+  request.sinks = {sink};
+  return request;
+}
+
+// ------------------------------------------------------------- SampleBank
+
+TEST(SampleBank, RowsMatchDirectChainSamplesBitForBit) {
+  // The bank must store exactly the retained states the chains produce:
+  // row k·R+i of generation 1 is chain k's i-th retained sample, packed.
+  const PointIcm model = SmallRandomModel(7, 10, 24);
+  const BankOptions options = FastBank(64, /*chains=*/3);
+  auto bank = SampleBank::Create(model, options, /*seed=*/42);
+  ASSERT_TRUE(bank.ok()) << bank.status();
+  const auto generation = bank->Acquire();
+  ASSERT_EQ(generation->id(), 1u);
+  const std::size_t per_chain = generation->rows_per_chain();
+
+  for (std::size_t k = 0; k < generation->num_chains(); ++k) {
+    auto direct = MhSampler::Create(
+        model, {}, options.chain.mh,
+        Rng(MultiChainSampler::DeriveChainSeed(42, k)));
+    ASSERT_TRUE(direct.ok());
+    for (std::size_t i = 0; i < per_chain; ++i) {
+      const PseudoState& state = direct->NextSample();
+      const PseudoState row = generation->UnpackRow(k * per_chain + i);
+      ASSERT_EQ(state, row) << "chain " << k << " sample " << i;
+    }
+  }
+}
+
+TEST(SampleBank, RowCountAndLayout) {
+  const PointIcm model = SmallRandomModel(3, 8, 20);
+  // 100 states over 3 chains → ⌈100/3⌉ = 34 per chain, 102 rows.
+  auto bank = SampleBank::Create(model, FastBank(100, 3), 5);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  EXPECT_EQ(generation->num_rows(), 102u);
+  EXPECT_EQ(generation->rows_per_chain(), 34u);
+  EXPECT_EQ(bank->rows_per_generation(), 102u);
+  EXPECT_EQ(generation->words_per_row(), PackedRowWords(20));
+  EXPECT_EQ(generation->ChainOfRow(0), 0u);
+  EXPECT_EQ(generation->ChainOfRow(34), 1u);
+  EXPECT_EQ(generation->ChainOfRow(101), 2u);
+}
+
+TEST(SampleBank, RefreshPublishesNewGenerationWithoutInvalidatingReaders) {
+  const PointIcm model = SmallRandomModel(11, 10, 24);
+  auto bank = SampleBank::Create(model, FastBank(128), 9);
+  ASSERT_TRUE(bank.ok());
+  const auto before = bank->Acquire();
+  ASSERT_EQ(before->id(), 1u);
+  // Snapshot a row, refresh, and check the old generation is untouched
+  // while the new one differs (the chains moved on).
+  const PseudoState row0 = before->UnpackRow(0);
+  bank->Refresh();
+  const auto after = bank->Acquire();
+  EXPECT_EQ(after->id(), 2u);
+  EXPECT_EQ(before->id(), 1u);
+  EXPECT_EQ(before->UnpackRow(0), row0);
+  bool any_difference = false;
+  for (std::size_t r = 0; r < before->num_rows() && !any_difference; ++r) {
+    any_difference = before->UnpackRow(r) != after->UnpackRow(r);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SampleBank, ValidatesOptions) {
+  const PointIcm model = SmallRandomModel(1, 6, 12);
+  BankOptions zero;
+  zero.num_states = 0;
+  EXPECT_FALSE(SampleBank::Create(model, zero, 1).ok());
+}
+
+// ------------------------------------------------------------ QueryEngine
+
+TEST(QueryEngine, UnconditionalFlowMatchesMultiChainExactly) {
+  // The bank reuses the *same* retained states a fresh engine with the same
+  // seed would draw, so the estimates must agree bit-for-bit (indicator
+  // sums of 0/1 are exact in floating point).
+  const PointIcm model = SmallRandomModel(13, 10, 26);
+  const BankOptions options = FastBank(2000);
+  auto bank = SampleBank::Create(model, options, 77);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank);
+
+  auto direct = MultiChainSampler::Create(model, {}, options.chain, 77);
+  ASSERT_TRUE(direct.ok());
+  const MultiChainEstimate expected =
+      direct->EstimateFlowProbability(0, 9, options.num_states);
+
+  const auto generation = bank->Acquire();
+  const std::vector<QueryResult> results =
+      engine.AnswerBatch(*generation, {FlowQuery(0, 9)});
+  ASSERT_EQ(results.size(), 1u);
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status;
+  ASSERT_EQ(results[0].estimates.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[0].estimates[0].value, expected.value);
+  EXPECT_EQ(results[0].effective_rows, generation->num_rows());
+  EXPECT_DOUBLE_EQ(results[0].estimates[0].diagnostics.mcse,
+                   expected.diagnostics.mcse);
+}
+
+TEST(QueryEngine, CommunityAndJointMatchMultiChainExactly) {
+  // 1600 states over 4 chains → 400 per chain: even, so the multi-chain
+  // estimators' even-length split-chain truncation drops nothing and the
+  // comparison is exact.
+  const PointIcm model = SmallRandomModel(17, 12, 30);
+  const BankOptions options = FastBank(1600);
+  auto bank = SampleBank::Create(model, options, 31);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank);
+  const auto generation = bank->Acquire();
+
+  QueryRequest community;
+  community.kind = QueryKind::kCommunity;
+  community.sources = {0, 1};
+  community.sinks = {5, 8, 11};
+  QueryRequest joint;
+  joint.kind = QueryKind::kJoint;
+  joint.flows = {{0, 5, true}, {1, 8, true}};
+  const std::vector<QueryResult> results =
+      engine.AnswerBatch(*generation, {community, joint});
+  ASSERT_TRUE(results[0].status.ok());
+  ASSERT_TRUE(results[1].status.ok());
+
+  auto direct1 = MultiChainSampler::Create(model, {}, options.chain, 31);
+  ASSERT_TRUE(direct1.ok());
+  const std::vector<MultiChainEstimate> expected =
+      direct1->EstimateCommunityFlowMulti({0, 1}, {5, 8, 11},
+                                          options.num_states);
+  ASSERT_EQ(results[0].estimates.size(), 3u);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(results[0].estimates[j].value, expected[j].value);
+  }
+
+  auto direct2 = MultiChainSampler::Create(model, {}, options.chain, 31);
+  ASSERT_TRUE(direct2.ok());
+  const MultiChainEstimate joint_expected =
+      direct2->EstimateJointFlowProbability(joint.flows, options.num_states);
+  ASSERT_EQ(results[1].estimates.size(), 1u);
+  EXPECT_DOUBLE_EQ(results[1].estimates[0].value, joint_expected.value);
+}
+
+TEST(QueryEngine, FrontierDedupSharesOneScanAndPreservesAnswers) {
+  const PointIcm model = SmallRandomModel(19, 10, 24);
+  auto bank = SampleBank::Create(model, FastBank(600), 12);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank);
+  const auto generation = bank->Acquire();
+
+  // Same frontier {2}, different sinks → merged; distinct frontier → not.
+  std::vector<QueryRequest> batch = {FlowQuery(2, 7), FlowQuery(2, 9),
+                                     FlowQuery(3, 7)};
+  const std::vector<QueryResult> merged =
+      engine.AnswerBatch(*generation, batch);
+  EXPECT_TRUE(merged[0].frontier_shared);
+  EXPECT_TRUE(merged[1].frontier_shared);
+  EXPECT_FALSE(merged[2].frontier_shared);
+
+  // Answers are identical to the queries run alone.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::vector<QueryResult> alone =
+        engine.AnswerBatch(*generation, {batch[i]});
+    EXPECT_DOUBLE_EQ(merged[i].estimates[0].value,
+                     alone[0].estimates[0].value);
+  }
+}
+
+TEST(QueryEngine, ConditionalReportsEffectiveRows) {
+  const PointIcm model = SmallRandomModel(23, 8, 16);
+  QueryEngineOptions engine_options;
+  engine_options.min_conditional_rows = 8;
+  auto bank = SampleBank::Create(model, FastBank(1000), 3);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank, engine_options);
+  const auto generation = bank->Acquire();
+
+  QueryRequest request = FlowQuery(0, 5);
+  request.given = {EdgeConstraint(model)};
+  const std::vector<QueryResult> results =
+      engine.AnswerBatch(*generation, {request});
+  ASSERT_TRUE(results[0].status.ok()) << results[0].status;
+  EXPECT_GT(results[0].effective_rows, 0u);
+  EXPECT_LT(results[0].effective_rows, results[0].total_rows);
+  // The filtered mean is a probability.
+  EXPECT_GE(results[0].estimates[0].value, 0.0);
+  EXPECT_LE(results[0].estimates[0].value, 1.0);
+}
+
+TEST(QueryEngine, ConditionalFloorFailsWithDescriptiveStatus) {
+  const PointIcm model = SmallRandomModel(29, 8, 16);
+  QueryEngineOptions engine_options;
+  engine_options.min_conditional_rows = 1 << 20;  // unreachable floor
+  auto bank = SampleBank::Create(model, FastBank(400), 4);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank, engine_options);
+
+  QueryRequest request = FlowQuery(0, 5);
+  request.id = "cond-query";
+  request.given = {{1, 4, true}};
+  const std::vector<QueryResult> results =
+      engine.AnswerBatch(*bank->Acquire(), {request});
+  EXPECT_EQ(results[0].status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(results[0].status.message().find("cond-query"),
+            std::string::npos);
+  EXPECT_NE(results[0].status.message().find("floor"), std::string::npos);
+}
+
+TEST(QueryEngine, RejectsInvalidRequestsIndividually) {
+  const PointIcm model = SmallRandomModel(31, 8, 16);
+  auto bank = SampleBank::Create(model, FastBank(200), 6);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank);
+  const auto generation = bank->Acquire();
+
+  QueryRequest contradictory = FlowQuery(0, 5);
+  contradictory.given = {{1, 4, true}, {1, 4, false}};
+  QueryRequest out_of_range = FlowQuery(0, 999);
+  QueryRequest empty_joint;
+  empty_joint.kind = QueryKind::kJoint;
+  QueryRequest good = FlowQuery(0, 5);
+
+  const std::vector<QueryResult> results = engine.AnswerBatch(
+      *generation, {contradictory, out_of_range, empty_joint, good});
+  EXPECT_EQ(results[0].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(results[0].status.message().find("contradict"),
+            std::string::npos);
+  EXPECT_EQ(results[1].status.code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(results[2].status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(results[3].status.ok());
+}
+
+TEST(QueryEngine, DeadlineExceededOnImpossibleTimeout) {
+  const PointIcm model = SmallRandomModel(37, 10, 24);
+  auto bank = SampleBank::Create(model, FastBank(2000), 21);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank);
+
+  QueryRequest request = FlowQuery(0, 5);
+  request.timeout_ms = 1e-7;  // expires before the first row chunk
+  const std::vector<QueryResult> results =
+      engine.AnswerBatch(*bank->Acquire(), {request});
+  EXPECT_EQ(results[0].status.code(), StatusCode::kDeadlineExceeded);
+}
+
+// -------------------------------------------- estimator agreement properties
+
+TEST(ServeProperty, BankAgreesWithIndependentSamplerWithinThreeMcse) {
+  // Acceptance property: bank estimates and a direct sampler run with a
+  // *different* seed agree within 3× their combined MCSE — on several
+  // random graphs, unconditional and conditional.
+  for (const std::uint64_t seed : {101u, 202u, 303u}) {
+    const PointIcm model =
+        SmallRandomModel(seed, 12, 30);
+    const BankOptions options = FastBank(4000);
+    auto bank = SampleBank::Create(model, options, seed);
+    ASSERT_TRUE(bank.ok());
+    QueryEngine engine = MakeEngine(*bank);
+    const auto generation = bank->Acquire();
+
+    // Unconditional.
+    QueryRequest query = FlowQuery(0, 11);
+    auto direct = MultiChainSampler::Create(model, {}, options.chain,
+                                            seed + 5000);
+    ASSERT_TRUE(direct.ok());
+    const MultiChainEstimate expected =
+        direct->EstimateFlowProbability(0, 11, options.num_states);
+    const std::vector<QueryResult> results =
+        engine.AnswerBatch(*generation, {query});
+    ASSERT_TRUE(results[0].status.ok());
+    const SinkEstimate& est = results[0].estimates[0];
+    const double tolerance =
+        3.0 * std::sqrt(est.diagnostics.mcse * est.diagnostics.mcse +
+                        expected.diagnostics.mcse *
+                            expected.diagnostics.mcse) +
+        1e-9;
+    EXPECT_NEAR(est.value, expected.value, tolerance)
+        << "seed " << seed << ": bank mcse " << est.diagnostics.mcse
+        << ", direct mcse " << expected.diagnostics.mcse;
+
+    // Conditional: filter-based bank estimate vs a sampler constrained to
+    // the conditioning set (both estimate Eq. 8's numerator/denominator
+    // ratio, by different routes).
+    QueryRequest conditional = FlowQuery(0, 11);
+    conditional.given = {EdgeConstraint(model)};
+    auto constrained = MultiChainSampler::Create(
+        model, conditional.given, options.chain, seed + 9000);
+    ASSERT_TRUE(constrained.ok());
+    const MultiChainEstimate cond_expected =
+        constrained->EstimateFlowProbability(0, 11, options.num_states);
+    const std::vector<QueryResult> cond_results =
+        engine.AnswerBatch(*generation, {conditional});
+    ASSERT_TRUE(cond_results[0].status.ok()) << cond_results[0].status;
+    const SinkEstimate& cond_est = cond_results[0].estimates[0];
+    const double cond_tolerance =
+        3.0 * std::sqrt(
+                  cond_est.diagnostics.mcse * cond_est.diagnostics.mcse +
+                  cond_expected.diagnostics.mcse *
+                      cond_expected.diagnostics.mcse) +
+        1e-9;
+    EXPECT_NEAR(cond_est.value, cond_expected.value, cond_tolerance)
+        << "seed " << seed << ": effective rows "
+        << cond_results[0].effective_rows;
+  }
+}
+
+TEST(ServeProperty, BankMatchesExactEnumerationOnTinyGraphs) {
+  // Ground truth: on graphs small enough for 2^m enumeration, bank
+  // estimates must land within 3×MCSE of the exact probabilities —
+  // unconditional and conditional.
+  for (const std::uint64_t seed : {7u, 77u}) {
+    const PointIcm model = SmallRandomModel(seed, 7, 12);
+    const BankOptions options = FastBank(6000);
+    auto bank = SampleBank::Create(model, options, seed * 13);
+    ASSERT_TRUE(bank.ok());
+    QueryEngine engine = MakeEngine(*bank);
+    const auto generation = bank->Acquire();
+
+    QueryRequest unconditional = FlowQuery(0, 6);
+    QueryRequest conditional = FlowQuery(0, 6);
+    conditional.given = {EdgeConstraint(model)};
+    const std::vector<QueryResult> results =
+        engine.AnswerBatch(*generation, {unconditional, conditional});
+
+    ASSERT_TRUE(results[0].status.ok());
+    const double exact = ExactFlowByEnumeration(model, 0, 6);
+    const SinkEstimate& est = results[0].estimates[0];
+    EXPECT_NEAR(est.value, exact,
+                std::max(3.0 * est.diagnostics.mcse, 1e-3))
+        << "seed " << seed;
+
+    ASSERT_TRUE(results[1].status.ok()) << results[1].status;
+    auto cond_exact = ExactConditionalFlowByEnumeration(
+        model, 0, 6, conditional.given);
+    ASSERT_TRUE(cond_exact.ok());
+    const SinkEstimate& cond_est = results[1].estimates[0];
+    EXPECT_NEAR(cond_est.value, *cond_exact,
+                std::max(3.0 * cond_est.diagnostics.mcse, 1e-3))
+        << "seed " << seed << ": effective rows "
+        << results[1].effective_rows;
+  }
+}
+
+// --------------------------------------------------------------- protocol
+
+TEST(Protocol, ParsesSingularAndPluralForms) {
+  auto flow = ParseRequestLine(R"({"id":"a","source":1,"sink":4})");
+  ASSERT_TRUE(flow.ok()) << flow.status();
+  EXPECT_EQ(flow->kind, QueryKind::kFlow);
+  EXPECT_EQ(flow->sources, std::vector<NodeId>({1}));
+  EXPECT_EQ(flow->sinks, std::vector<NodeId>({4}));
+
+  auto community =
+      ParseRequestLine(R"({"sources":[0,2],"sinks":[3,4,5],"timeout_ms":9})");
+  ASSERT_TRUE(community.ok());
+  EXPECT_EQ(community->kind, QueryKind::kCommunity);
+  EXPECT_EQ(community->sources, std::vector<NodeId>({0, 2}));
+  EXPECT_EQ(community->sinks, std::vector<NodeId>({3, 4, 5}));
+  EXPECT_DOUBLE_EQ(community->timeout_ms, 9.0);
+
+  auto joint = ParseRequestLine(R"({"kind":"joint","flows":"0>3 2!>4"})");
+  ASSERT_TRUE(joint.ok());
+  EXPECT_EQ(joint->kind, QueryKind::kJoint);
+  ASSERT_EQ(joint->flows.size(), 2u);
+  EXPECT_TRUE(joint->flows[0].must_flow);
+  EXPECT_FALSE(joint->flows[1].must_flow);
+
+  auto given = ParseRequestLine(R"({"source":0,"sink":3,"given":"1>2"})");
+  ASSERT_TRUE(given.ok());
+  ASSERT_EQ(given->given.size(), 1u);
+  EXPECT_EQ(given->given[0].source, 1u);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequestLine("[1,2,3]").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"source":-1,"sink":3})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"source":0.5,"sink":3})").ok());
+  EXPECT_FALSE(ParseRequestLine(R"({"source":0,"sink":3,"given":"x>y"})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"kind":"sideways","source":0,"sink":3})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"kind":"joint","flows":"0>3","sink":2})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"source":0,"sink":3,"flows":"1>2"})").ok());
+  EXPECT_FALSE(
+      ParseRequestLine(R"({"source":0,"sink":3,"timeout_ms":-1})").ok());
+}
+
+TEST(Protocol, SerializesResultsAndErrors) {
+  QueryRequest request = FlowQuery(0, 3);
+  request.id = "q9";
+  QueryResult result;
+  result.generation = 4;
+  result.total_rows = 100;
+  result.effective_rows = 60;
+  SinkEstimate est;
+  est.sink = 3;
+  est.value = 0.25;
+  est.diagnostics.mcse = 0.01;
+  est.diagnostics.ess = 400.0;
+  est.diagnostics.rhat = 1.001;
+  result.estimates.push_back(est);
+  const std::string line = SerializeResult(request, result);
+  auto parsed = ParseJson(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("id")->AsString(), "q9");
+  EXPECT_TRUE(parsed->Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(parsed->Find("effective_rows")->AsNumber(), 60.0);
+  const JsonValue& entry = parsed->Find("estimates")->AsArray().at(0);
+  EXPECT_DOUBLE_EQ(entry.Find("value")->AsNumber(), 0.25);
+  EXPECT_DOUBLE_EQ(entry.Find("mcse")->AsNumber(), 0.01);
+
+  QueryResult failed;
+  failed.status = Status::FailedPrecondition("too few rows");
+  const std::string error_line = SerializeResult(request, failed);
+  auto error = ParseJson(error_line);
+  ASSERT_TRUE(error.ok());
+  EXPECT_FALSE(error->Find("ok")->AsBool());
+  EXPECT_EQ(error->Find("error")->Find("code")->AsString(),
+            "failed-precondition");
+
+  auto parse_error = ParseJson(SerializeParseError(
+      Status::ParseError("bad line")));
+  ASSERT_TRUE(parse_error.ok());
+  EXPECT_TRUE(parse_error->Find("id")->is_null());
+}
+
+// ----------------------------------------------------------------- server
+
+/// Runs one ServeFd conversation over pipes: writes `input`, closes, and
+/// returns everything the server wrote back.
+std::string RoundTrip(Server& server, const std::string& input) {
+  int in_pipe[2];
+  int out_pipe[2];
+  EXPECT_EQ(pipe(in_pipe), 0);
+  EXPECT_EQ(pipe(out_pipe), 0);
+  EXPECT_EQ(write(in_pipe[1], input.data(), input.size()),
+            static_cast<ssize_t>(input.size()));
+  close(in_pipe[1]);
+  const Status status = server.ServeFd(in_pipe[0], out_pipe[1]);
+  EXPECT_TRUE(status.ok()) << status;
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  std::string output;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = read(out_pipe[0], chunk, sizeof(chunk))) > 0) {
+    output.append(chunk, static_cast<std::size_t>(got));
+  }
+  close(out_pipe[0]);
+  return output;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+Server MakeServer(const PointIcm& model, ServerOptions options = {}) {
+  auto bank = SampleBank::Create(model, FastBank(300), 14);
+  EXPECT_TRUE(bank.ok());
+  auto server = Server::Create(std::move(bank).ValueOrDie(), options);
+  EXPECT_TRUE(server.ok()) << server.status();
+  return std::move(server).ValueOrDie();
+}
+
+TEST(Server, ServesBatchesInOrderWithPerLineErrors) {
+  const PointIcm model = SmallRandomModel(41, 10, 24);
+  Server server = MakeServer(model);
+  const std::string output = RoundTrip(
+      server,
+      "{\"id\":\"a\",\"source\":0,\"sink\":5}\n"
+      "this is not json\n"
+      "{\"id\":\"b\",\"sources\":[0,1],\"sinks\":[5,7]}\n");
+  const std::vector<std::string> lines = SplitLines(output);
+  ASSERT_EQ(lines.size(), 3u);
+
+  auto first = ParseJson(lines[0]);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->Find("id")->AsString(), "a");
+  EXPECT_TRUE(first->Find("ok")->AsBool());
+  EXPECT_EQ(first->Find("generation")->AsNumber(), 1.0);
+
+  auto second = ParseJson(lines[1]);
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->Find("ok")->AsBool());
+  EXPECT_TRUE(second->Find("id")->is_null());
+
+  auto third = ParseJson(lines[2]);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->Find("id")->AsString(), "b");
+  EXPECT_EQ(third->Find("estimates")->AsArray().size(), 2u);
+}
+
+TEST(Server, AnswersOverUnixSocket) {
+  const PointIcm model = SmallRandomModel(43, 10, 24);
+  ServerOptions options;
+  options.socket_path = testing::TempDir() + "/infoflow_serve_test.sock";
+  Server server = MakeServer(model, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int client = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(client, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, options.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(connect(client, reinterpret_cast<const sockaddr*>(&addr),
+                    sizeof(addr)),
+            0);
+  const std::string request = "{\"id\":\"s1\",\"source\":0,\"sink\":5}\n";
+  ASSERT_EQ(write(client, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  shutdown(client, SHUT_WR);
+  std::string output;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = read(client, chunk, sizeof(chunk))) > 0) {
+    output.append(chunk, static_cast<std::size_t>(got));
+  }
+  close(client);
+  server.Stop();
+
+  auto response = ParseJson(SplitLines(output).at(0));
+  ASSERT_TRUE(response.ok()) << output;
+  EXPECT_EQ(response->Find("id")->AsString(), "s1");
+  EXPECT_TRUE(response->Find("ok")->AsBool());
+}
+
+TEST(Server, ValidatesOptions) {
+  ServerOptions bad;
+  bad.max_batch = 0;
+  EXPECT_FALSE(bad.Validate().ok());
+  ServerOptions negative;
+  negative.refresh_interval_ms = -1.0;
+  EXPECT_FALSE(negative.Validate().ok());
+  EXPECT_TRUE(ServerOptions{}.Validate().ok());
+}
+
+}  // namespace
+}  // namespace infoflow::serve

@@ -23,6 +23,8 @@ TEST(Status, ErrorFactoriesSetCode) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::IOError("x").code(), StatusCode::kIOError);
   EXPECT_EQ(Status::ParseError("x").code(), StatusCode::kParseError);
+  EXPECT_EQ(Status::DeadlineExceeded("x").code(),
+            StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
 }
@@ -53,6 +55,8 @@ TEST(Status, StreamInsertion) {
 TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "ok");
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "parse-error");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kDeadlineExceeded),
+               "deadline-exceeded");
 }
 
 TEST(StatusMacros, ReturnNotOkPropagates) {

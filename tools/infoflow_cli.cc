@@ -9,6 +9,10 @@
 ///                       (joint-bayes | goyal | saito-em | filtered)
 ///   query               flow probability from a model, with optional
 ///                       conditions ("a>b" requires flow, "a!>b" forbids)
+///   serve               long-running query daemon: warms a pseudo-state
+///                       sample bank, then answers newline-delimited JSON
+///                       query batches on stdin/stdout (and optionally a
+///                       Unix socket) with amortized per-query cost
 ///   impact              spread-size distribution for a source
 ///   info                describe a model file
 ///   parse-tweets        raw tweet CSV -> attributed evidence (the §IV-B
@@ -41,6 +45,8 @@
 #include "core/mh_sampler.h"
 #include "core/multi_chain.h"
 #include "core/serialization.h"
+#include "serve/sample_bank.h"
+#include "serve/server.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "graph/generators.h"
@@ -130,30 +136,6 @@ class Flags {
   std::set<std::string> seen_;
   Status error_;
 };
-
-/// Parses a condition list: "0>3 4!>7" — require 0⤳3 and forbid 4⤳7.
-Result<FlowConditions> ParseConditions(const std::string& text) {
-  FlowConditions conditions;
-  for (const std::string& token : SplitWhitespace(text)) {
-    const bool forbid = token.find("!>") != std::string::npos;
-    const auto parts = Split(token, '>');
-    // "a!>b" splits as {"a!", "b"}; "a>b" as {"a", "b"}.
-    if (parts.size() != 2) {
-      return Status::InvalidArgument("bad condition '", token, "'");
-    }
-    std::string lhs = parts[0];
-    if (forbid && !lhs.empty() && lhs.back() == '!') lhs.pop_back();
-    char* end = nullptr;
-    const auto src = static_cast<NodeId>(std::strtoul(lhs.c_str(), &end, 10));
-    if (end == lhs.c_str() || *end != '\0') {
-      return Status::InvalidArgument("bad condition source in '", token, "'");
-    }
-    const auto dst =
-        static_cast<NodeId>(std::strtoul(parts[1].c_str(), &end, 10));
-    conditions.push_back({src, dst, !forbid});
-  }
-  return conditions;
-}
 
 int Fail(const Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
@@ -330,7 +312,7 @@ int CmdQuery(Flags& flags) {
   const std::uint64_t seed = flags.GetInt("seed", 1);
   const std::size_t chains = flags.GetInt("chains", 4);
   const bool progress = flags.GetBool("progress");
-  auto conditions = ParseConditions(flags.Get("given", ""));
+  auto conditions = ParseFlowConditions(flags.Get("given", ""));
   if (!conditions.ok()) return Fail(conditions.status());
 
   auto model = LoadAnyModel(*model_path);
@@ -396,6 +378,56 @@ int CmdQuery(Flags& flags) {
                  "converged; consider more samples\n",
                  estimate.diagnostics.rhat);
   }
+  return 0;
+}
+
+// ------------------------------------------------------------------ serve
+int CmdServe(Flags& flags) {
+  auto model_path = flags.Require("model");
+  if (!model_path.ok()) return Fail(model_path.status());
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+
+  auto model = LoadAnyModel(*model_path);
+  if (!model.ok()) return Fail(model.status());
+  const std::size_t num_edges = model->graph().num_edges();
+
+  serve::BankOptions bank_options;
+  bank_options.num_states = flags.GetInt("bank-states", 4096);
+  bank_options.chain.num_chains =
+      std::max<std::size_t>(1, flags.GetInt("chains", 4));
+  bank_options.chain.num_threads = flags.GetInt("threads", 0);
+  bank_options.chain.mh.burn_in = flags.GetInt("burn-in", 4 * num_edges);
+  bank_options.chain.mh.thinning = flags.GetInt(
+      "thinning", std::max<std::size_t>(8, num_edges / 8));
+
+  serve::ServerOptions server_options;
+  server_options.max_batch = flags.GetInt("max-batch", 64);
+  server_options.socket_path = flags.Get("socket", "");
+  server_options.refresh_interval_ms = flags.GetDouble("refresh-ms", 0.0);
+  server_options.engine.min_conditional_rows =
+      flags.GetInt("min-conditional-rows", 32);
+  server_options.engine.num_threads = flags.GetInt("threads", 0);
+
+  WallTimer warmup;
+  auto bank = serve::SampleBank::Create(*model, bank_options, seed);
+  if (!bank.ok()) return Fail(bank.status());
+  std::fprintf(stderr,
+               "serve: bank ready — %zu rows x %u edges over %zu chains in "
+               "%.1f ms%s%s\n",
+               bank->rows_per_generation(), model->graph().num_edges(),
+               bank_options.chain.num_chains, warmup.Millis(),
+               server_options.socket_path.empty() ? "" : ", socket ",
+               server_options.socket_path.c_str());
+
+  auto server =
+      serve::Server::Create(std::move(bank).ValueOrDie(), server_options);
+  if (!server.ok()) return Fail(server.status());
+  Status status = server->Start();
+  if (!status.ok()) return Fail(status);
+  // Foreground loop: NDJSON batches on stdin/stdout until EOF.
+  status = server->ServeStdio();
+  server->Stop();
+  if (!status.ok()) return Fail(status);
   return 0;
 }
 
@@ -465,6 +497,10 @@ int Usage() {
       "                      [--method joint-bayes|goyal|saito-em|filtered]\n"
       "  query               --model m --source U --sink V [--given \"a>b c!>d\"]\n"
       "                      [--samples N] [--chains K] [--seed S] [--progress]\n"
+      "  serve               --model m [--bank-states N] [--chains K]\n"
+      "                      [--socket path.sock] [--max-batch B]\n"
+      "                      [--refresh-ms T] [--min-conditional-rows F]\n"
+      "                      (NDJSON queries on stdin -> responses on stdout)\n"
       "  impact              --model m --source U [--cascades N]\n"
       "  info                --model m\n"
       "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n"
@@ -491,6 +527,7 @@ int Dispatch(const std::string& command, Flags& flags) {
   if (command == "train-attributed") return CmdTrainAttributed(flags);
   if (command == "train-unattributed") return CmdTrainUnattributed(flags);
   if (command == "query") return CmdQuery(flags);
+  if (command == "serve") return CmdServe(flags);
   if (command == "impact") return CmdImpact(flags);
   if (command == "info") return CmdInfo(flags);
   return Usage();
