@@ -9,10 +9,9 @@
 
 namespace infoflow {
 
-namespace {
-
-Status ValidateObject(const DirectedGraph& graph, const AttributedObject& obj,
-                      std::size_t index) {
+Status ValidateAttributedObject(const DirectedGraph& graph,
+                                const AttributedObject& obj,
+                                std::size_t index) {
   if (obj.sources.empty()) {
     return Status::InvalidArgument("object ", index, " has no sources");
   }
@@ -66,12 +65,10 @@ Status ValidateObject(const DirectedGraph& graph, const AttributedObject& obj,
   return Status::OK();
 }
 
-}  // namespace
-
 Status ValidateAttributedEvidence(const DirectedGraph& graph,
                                   const AttributedEvidence& evidence) {
   for (std::size_t i = 0; i < evidence.objects.size(); ++i) {
-    IF_RETURN_NOT_OK(ValidateObject(graph, evidence.objects[i], i));
+    IF_RETURN_NOT_OK(ValidateAttributedObject(graph, evidence.objects[i], i));
   }
   return Status::OK();
 }
@@ -79,7 +76,7 @@ Status ValidateAttributedEvidence(const DirectedGraph& graph,
 Status UpdateBetaIcmWithObject(BetaIcm& model,
                                const AttributedObject& object) {
   const DirectedGraph& graph = model.graph();
-  IF_RETURN_NOT_OK(ValidateObject(graph, object, 0));
+  IF_RETURN_NOT_OK(ValidateAttributedObject(graph, object, 0));
   std::vector<std::uint8_t> edge_active(graph.num_edges(), 0);
   for (EdgeId e : object.active_edges) edge_active[e] = 1;
   // §II-A step 2: for each edge e_jk — if e ∈ E_i bump α; else if its

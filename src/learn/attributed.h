@@ -44,6 +44,12 @@ struct AttributedEvidence {
 Status ValidateAttributedEvidence(const DirectedGraph& graph,
                                   const AttributedEvidence& evidence);
 
+/// Single-object variant (the streaming ingest path validates records one
+/// at a time as they arrive); `index` labels error messages.
+Status ValidateAttributedObject(const DirectedGraph& graph,
+                                const AttributedObject& object,
+                                std::size_t index = 0);
+
 /// \brief Trains a betaICM from attributed evidence by the §II-A counting
 /// algorithm. Validates first.
 Result<BetaIcm> TrainBetaIcmFromAttributed(

@@ -1,10 +1,12 @@
 #include "learn/evidence_io.h"
 
+#include <algorithm>
 #include <charconv>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.h"
 #include "util/string_util.h"
 
 namespace infoflow {
@@ -110,6 +112,100 @@ std::string SerializeAttributedEvidence(const DirectedGraph& graph,
   return out;
 }
 
+Result<AttributedObject> ParseAttributedObjectLine(const std::string& line,
+                                                   const DirectedGraph& graph) {
+  const auto fields = Split(line, '|');
+  if (fields.size() != 3) {
+    return Status::ParseError("expected 'sources|nodes|edges'");
+  }
+  AttributedObject obj;
+  std::uint64_t duplicates = 0;
+  // Repeats within a field are collapsed, first occurrence kept: a node
+  // listed twice in active_nodes would double every Beta update its
+  // out-edges receive (learn/attributed.cc iterates active nodes), and a
+  // repeated source/edge carries no extra information either.
+  const auto push_unique = [&duplicates](auto& out, auto value) {
+    if (std::find(out.begin(), out.end(), value) != out.end()) {
+      ++duplicates;
+      return;
+    }
+    out.push_back(value);
+  };
+  for (const std::string& id : SplitWhitespace(fields[0])) {
+    NodeId v = 0;
+    IF_RETURN_NOT_OK(ParseNodeId(id, &v));
+    push_unique(obj.sources, v);
+  }
+  for (const std::string& id : SplitWhitespace(fields[1])) {
+    NodeId v = 0;
+    IF_RETURN_NOT_OK(ParseNodeId(id, &v));
+    push_unique(obj.active_nodes, v);
+  }
+  for (const std::string& pair : SplitWhitespace(fields[2])) {
+    const auto endpoints = Split(pair, '>');
+    if (endpoints.size() != 2) {
+      return Status::ParseError("bad edge '", pair, "'");
+    }
+    NodeId src = 0, dst = 0;
+    IF_RETURN_NOT_OK(ParseNodeId(endpoints[0], &src));
+    IF_RETURN_NOT_OK(ParseNodeId(endpoints[1], &dst));
+    if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
+      return Status::ParseError("edge '", pair, "' outside the graph");
+    }
+    const EdgeId e = graph.FindEdge(src, dst);
+    if (e == kInvalidEdge) {
+      return Status::ParseError("edge '", pair, "' not present in the graph");
+    }
+    push_unique(obj.active_edges, e);
+  }
+  if (duplicates > 0) {
+    obs::GetCounter("parse.duplicates").Increment(duplicates);
+  }
+  return obj;
+}
+
+Result<ObjectTrace> ParseTraceLine(const std::string& line) {
+  ObjectTrace trace;
+  if (line == "-") return trace;  // empty-trace sentinel
+  std::uint64_t duplicates = 0;
+  for (const std::string& token : SplitWhitespace(line)) {
+    const auto parts = Split(token, ':');
+    if (parts.size() != 2) {
+      return Status::ParseError("bad activation '", token, "'");
+    }
+    NodeId node = 0;
+    IF_RETURN_NOT_OK(ParseNodeId(parts[0], &node));
+    double time = 0.0;
+    try {
+      std::size_t consumed = 0;
+      time = std::stod(parts[1], &consumed);
+      if (consumed != parts[1].size()) {
+        return Status::ParseError("bad time '", parts[1], "'");
+      }
+    } catch (const std::exception&) {
+      return Status::ParseError("bad time '", parts[1], "'");
+    }
+    const auto it = std::find_if(
+        trace.activations.begin(), trace.activations.end(),
+        [node](const Activation& a) { return a.node == node; });
+    if (it != trace.activations.end()) {
+      // A doubled record collapses; conflicting times cannot (atomic
+      // information activates a node once — §I).
+      if (it->time == time) {
+        ++duplicates;
+        continue;
+      }
+      return Status::ParseError("node ", node, " repeated with conflicting "
+                                "times ", it->time, " and ", time);
+    }
+    trace.activations.push_back({node, time});
+  }
+  if (duplicates > 0) {
+    obs::GetCounter("parse.duplicates").Increment(duplicates);
+  }
+  return trace;
+}
+
 Result<AttributedEvidence> DeserializeAttributedEvidence(
     const std::string& text, const DirectedGraph& graph) {
   std::size_t count = 0;
@@ -119,43 +215,12 @@ Result<AttributedEvidence> DeserializeAttributedEvidence(
   AttributedEvidence evidence;
   evidence.objects.reserve(count);
   for (std::size_t i = 0; i < lines->size(); ++i) {
-    const auto fields = Split((*lines)[i], '|');
-    if (fields.size() != 3) {
-      return Status::ParseError("object line ", i + 1,
-                                ": expected 'sources|nodes|edges'");
+    auto obj = ParseAttributedObjectLine((*lines)[i], graph);
+    if (!obj.ok()) {
+      return Status::ParseError("object line ", i + 1, ": ",
+                                obj.status().message());
     }
-    AttributedObject obj;
-    for (const std::string& id : SplitWhitespace(fields[0])) {
-      NodeId v = 0;
-      IF_RETURN_NOT_OK(ParseNodeId(id, &v));
-      obj.sources.push_back(v);
-    }
-    for (const std::string& id : SplitWhitespace(fields[1])) {
-      NodeId v = 0;
-      IF_RETURN_NOT_OK(ParseNodeId(id, &v));
-      obj.active_nodes.push_back(v);
-    }
-    for (const std::string& pair : SplitWhitespace(fields[2])) {
-      const auto endpoints = Split(pair, '>');
-      if (endpoints.size() != 2) {
-        return Status::ParseError("object line ", i + 1, ": bad edge '",
-                                  pair, "'");
-      }
-      NodeId src = 0, dst = 0;
-      IF_RETURN_NOT_OK(ParseNodeId(endpoints[0], &src));
-      IF_RETURN_NOT_OK(ParseNodeId(endpoints[1], &dst));
-      if (src >= graph.num_nodes() || dst >= graph.num_nodes()) {
-        return Status::ParseError("object line ", i + 1, ": edge '", pair,
-                                  "' outside the graph");
-      }
-      const EdgeId e = graph.FindEdge(src, dst);
-      if (e == kInvalidEdge) {
-        return Status::ParseError("object line ", i + 1, ": edge '", pair,
-                                  "' not present in the graph");
-      }
-      obj.active_edges.push_back(e);
-    }
-    evidence.objects.push_back(std::move(obj));
+    evidence.objects.push_back(std::move(*obj));
   }
   IF_RETURN_NOT_OK(ValidateAttributedEvidence(graph, evidence));
   return evidence;
@@ -192,33 +257,12 @@ Result<UnattributedEvidence> DeserializeUnattributedEvidence(
   UnattributedEvidence evidence;
   evidence.traces.reserve(count);
   for (std::size_t i = 0; i < lines->size(); ++i) {
-    ObjectTrace trace;
-    if ((*lines)[i] == "-") {  // empty-trace sentinel
-      evidence.traces.push_back(std::move(trace));
-      continue;
+    auto trace = ParseTraceLine((*lines)[i]);
+    if (!trace.ok()) {
+      return Status::ParseError("trace line ", i + 1, ": ",
+                                trace.status().message());
     }
-    for (const std::string& token : SplitWhitespace((*lines)[i])) {
-      const auto parts = Split(token, ':');
-      if (parts.size() != 2) {
-        return Status::ParseError("trace line ", i + 1, ": bad activation '",
-                                  token, "'");
-      }
-      NodeId node = 0;
-      IF_RETURN_NOT_OK(ParseNodeId(parts[0], &node));
-      try {
-        std::size_t consumed = 0;
-        const double time = std::stod(parts[1], &consumed);
-        if (consumed != parts[1].size()) {
-          return Status::ParseError("trace line ", i + 1, ": bad time '",
-                                    parts[1], "'");
-        }
-        trace.activations.push_back({node, time});
-      } catch (const std::exception&) {
-        return Status::ParseError("trace line ", i + 1, ": bad time '",
-                                  parts[1], "'");
-      }
-    }
-    evidence.traces.push_back(std::move(trace));
+    evidence.traces.push_back(std::move(*trace));
   }
   return evidence;
 }

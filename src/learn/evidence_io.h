@@ -35,6 +35,26 @@ namespace infoflow {
 std::string SerializeAttributedEvidence(const DirectedGraph& graph,
                                         const AttributedEvidence& evidence);
 
+/// \brief Parses one attributed-object body line ("sources|nodes|edges")
+/// against `graph`. Duplicate ids within a field are dropped rather than
+/// kept: a repeated active node would double-count every Beta update its
+/// out-edges receive in the §II-A trainer, silently biasing the model.
+/// Each dropped repeat increments the `parse.duplicates` metric. The object
+/// is *not* validated (callers batch validation across objects).
+///
+/// Shared by DeserializeAttributedEvidence and the streaming
+/// stream/EvidenceStream reader, so file and live ingestion accept the
+/// identical record grammar.
+Result<AttributedObject> ParseAttributedObjectLine(const std::string& line,
+                                                   const DirectedGraph& graph);
+
+/// \brief Parses one unattributed-trace body line ("node:time ..." or the
+/// "-" empty-trace sentinel). A node repeated with the *same* time is
+/// dropped and counted in `parse.duplicates` (a doubled record, harmless to
+/// collapse); repeats with conflicting times are a ParseError — an atomic
+/// object activates a node at most once, so there is no meaningful merge.
+Result<ObjectTrace> ParseTraceLine(const std::string& line);
+
 /// Parses attributed evidence against `graph` (edges resolved with
 /// FindEdge; a referenced edge missing from the graph is a ParseError).
 /// The result is validated before being returned.

@@ -42,6 +42,21 @@ Result<UnattributedModel> TrainUnattributedModel(
     const UnattributedTrainOptions& options, Rng& rng) {
   IF_CHECK(graph != nullptr);
   IF_RETURN_NOT_OK(ValidateUnattributedEvidence(*graph, evidence));
+  const DirectedGraph& g = *graph;
+  return TrainUnattributedFromSummaries(
+      std::move(graph),
+      [&g, &evidence, &options](NodeId sink) {
+        obs::TraceSpan span("learn/summary_build");
+        return BuildSinkSummary(g, sink, evidence, options.summary);
+      },
+      options, rng);
+}
+
+Result<UnattributedModel> TrainUnattributedFromSummaries(
+    std::shared_ptr<const DirectedGraph> graph,
+    const std::function<SinkSummary(NodeId)>& summary_for_sink,
+    const UnattributedTrainOptions& options, Rng& rng) {
+  IF_CHECK(graph != nullptr);
 
   UnattributedModel model;
   model.graph = graph;
@@ -53,10 +68,7 @@ Result<UnattributedModel> TrainUnattributedModel(
   obs::Counter& edges_counter = obs::GetCounter("learn.edge_updates");
   for (NodeId sink = 0; sink < graph->num_nodes(); ++sink) {
     if (graph->InDegree(sink) == 0) continue;
-    const SinkSummary summary = [&] {
-      obs::TraceSpan span("learn/summary_build");
-      return BuildSinkSummary(*graph, sink, evidence, options.summary);
-    }();
+    const SinkSummary summary = summary_for_sink(sink);
     if (summary.rows.empty()) continue;  // no evidence: defaults stand
     obs::TraceSpan fit_span("learn/fit_sink");
     sinks_counter.Increment();

@@ -10,6 +10,7 @@
 
 #pragma once
 
+#include <functional>
 #include <memory>
 
 #include "core/icm.h"
@@ -67,6 +68,21 @@ struct UnattributedTrainOptions {
 Result<UnattributedModel> TrainUnattributedModel(
     std::shared_ptr<const DirectedGraph> graph,
     const UnattributedEvidence& evidence,
+    const UnattributedTrainOptions& options, Rng& rng);
+
+/// \brief The estimator loop of TrainUnattributedModel with the summary
+/// source abstracted: `summary_for_sink(k)` supplies D_k for every sink
+/// with at least one in-edge, visited in ascending sink order. The batch
+/// trainer passes BuildSinkSummary over its trace set; the streaming
+/// OnlineTrainer (stream/online_trainer.h) passes its incrementally
+/// maintained summaries. Both paths drive the identical per-sink fit
+/// switch and consume `rng` identically, which is what makes online
+/// training with decay=1/window=∞ reproduce the batch model *exactly* —
+/// not just approximately (sinks whose summary has no rows are skipped
+/// without touching the rng, matching the batch loop).
+Result<UnattributedModel> TrainUnattributedFromSummaries(
+    std::shared_ptr<const DirectedGraph> graph,
+    const std::function<SinkSummary(NodeId)>& summary_for_sink,
     const UnattributedTrainOptions& options, Rng& rng);
 
 }  // namespace infoflow

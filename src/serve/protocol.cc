@@ -59,6 +59,55 @@ Result<FlowConditions> ParseConditionsField(const JsonValue& json,
 
 }  // namespace
 
+bool IsIngestRequest(const JsonValue& json) {
+  return json.is_object() && json.Find("ingest") != nullptr;
+}
+
+Result<IngestRequest> ParseIngestRequest(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  IngestRequest request;
+  if (const JsonValue* id = json.Find("id")) {
+    if (!id->is_string()) {
+      return Status::InvalidArgument("'id' must be a string");
+    }
+    request.id = id->AsString();
+  }
+  const JsonValue* record = json.Find("ingest");
+  if (record == nullptr || !record->is_string()) {
+    return Status::InvalidArgument(
+        "'ingest' must be an evidence record string");
+  }
+  request.record = record->AsString();
+  return request;
+}
+
+std::string SerializeIngestAck(const IngestRequest& request,
+                               std::uint64_t absorbed_total,
+                               std::uint64_t epoch) {
+  JsonValue::Object response;
+  response["id"] = request.id;
+  response["ok"] = true;
+  response["ingested"] = true;
+  response["absorbed_total"] = static_cast<double>(absorbed_total);
+  response["epoch"] = static_cast<double>(epoch);
+  return JsonValue(std::move(response)).Dump();
+}
+
+std::string SerializeIngestError(const IngestRequest& request,
+                                 const Status& status) {
+  JsonValue::Object response;
+  response["id"] = request.id;
+  response["ok"] = false;
+  response["ingested"] = false;
+  JsonValue::Object error;
+  error["code"] = StatusCodeName(status.code());
+  error["message"] = status.message();
+  response["error"] = std::move(error);
+  return JsonValue(std::move(response)).Dump();
+}
+
 Result<QueryRequest> ParseRequest(const JsonValue& json) {
   if (!json.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
@@ -148,6 +197,7 @@ std::string SerializeResult(const QueryRequest& request,
   response["ok"] = true;
   response["kind"] = QueryKindName(request.kind);
   response["generation"] = static_cast<double>(result.generation);
+  response["model_epoch"] = static_cast<double>(result.model_epoch);
   response["total_rows"] = static_cast<double>(result.total_rows);
   response["effective_rows"] = static_cast<double>(result.effective_rows);
   response["frontier_shared"] = result.frontier_shared;

@@ -37,6 +37,36 @@
 
 namespace infoflow::serve {
 
+/// \brief One streamed-evidence submission on the serve connection:
+/// {"id":"i1","ingest":"0|0 1|0>1"} (the `ingest` value is any line
+/// stream/ParseEvidenceLine accepts — a native attributed/trace record or
+/// a {"attributed":...}/{"trace":...} envelope re-encoded as a string).
+/// Acknowledged with {"id":"i1","ok":true,"ingested":true,
+/// "absorbed_total":N,"epoch":E}.
+struct IngestRequest {
+  /// Caller-assigned id echoed in the acknowledgement.
+  std::string id;
+  /// The evidence record line to absorb.
+  std::string record;
+};
+
+/// True when the (already-parsed) request object is an ingest submission
+/// (has an "ingest" member) rather than a query.
+bool IsIngestRequest(const JsonValue& json);
+
+/// \brief Parses one ingest submission ("ingest" must be a string).
+Result<IngestRequest> ParseIngestRequest(const JsonValue& json);
+
+/// \brief Acknowledgement line for an absorbed record (without newline).
+std::string SerializeIngestAck(const IngestRequest& request,
+                               std::uint64_t absorbed_total,
+                               std::uint64_t epoch);
+
+/// \brief Error line for a rejected ingest submission (parse/validation
+/// failure, or ingestion not enabled on this daemon).
+std::string SerializeIngestError(const IngestRequest& request,
+                                 const Status& status);
+
 /// \brief Parses one request object (already-parsed JSON). Range checks
 /// against the graph happen later, in QueryEngine::AnswerBatch.
 Result<QueryRequest> ParseRequest(const JsonValue& json);

@@ -191,6 +191,7 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
   for (std::size_t i = 0; i < requests.size(); ++i) {
     results[i].total_rows = num_rows;
     results[i].generation = bank.id();
+    results[i].model_epoch = bank.model_epoch();
     results[i].status = ValidateRequest(requests[i]);
     if (requests[i].timeout_ms > 0.0) {
       deadlines[i] =

@@ -96,6 +96,9 @@ struct QueryResult {
   std::size_t total_rows = 0;
   /// Generation id the query was answered against.
   std::uint64_t generation = 0;
+  /// Model epoch the generation's rows were drawn from (streaming daemons
+  /// bump this on drift-triggered rebuilds; 1 for a static model).
+  std::uint64_t model_epoch = 0;
   /// True when this query's row scan was merged with another query's
   /// (shared source frontier + conditioning set).
   bool frontier_shared = false;

@@ -14,10 +14,11 @@ Status BankOptions::Validate() const {
   return chain.Validate();
 }
 
-BankGeneration::BankGeneration(std::uint64_t id, std::size_t num_edges,
-                               std::size_t num_chains,
+BankGeneration::BankGeneration(std::uint64_t id, std::uint64_t model_epoch,
+                               std::size_t num_edges, std::size_t num_chains,
                                std::size_t rows_per_chain)
     : id_(id),
+      model_epoch_(model_epoch),
       num_edges_(num_edges),
       words_per_row_(PackedRowWords(num_edges)),
       num_chains_(num_chains),
@@ -38,6 +39,9 @@ Result<SampleBank> SampleBank::Create(PointIcm model, BankOptions options,
                                       std::uint64_t seed) {
   IF_RETURN_NOT_OK(options.Validate());
   std::shared_ptr<const DirectedGraph> graph = model.graph_ptr();
+  // The model is kept alongside the chains: Rebuild validates epochs
+  // against it and the serve daemon diffs streamed epochs against it.
+  PointIcm kept = model;
   // The bank is unconditional (empty C): conditioning happens at query time
   // by filtering rows, so one bank serves every condition set.
   auto engine = MultiChainSampler::Create(std::move(model), FlowConditions{},
@@ -46,7 +50,9 @@ Result<SampleBank> SampleBank::Create(PointIcm model, BankOptions options,
   SampleBank bank(
       std::make_unique<MultiChainSampler>(std::move(engine).ValueOrDie()),
       std::move(graph), options);
-  bank.current_ = bank.Fill(/*id=*/1);
+  bank.model_.emplace(std::move(kept));
+  bank.base_seed_ = seed;
+  bank.current_ = bank.Fill(/*id=*/1, /*model_epoch=*/1);
   bank.age_.Restart();
   return bank;
 }
@@ -57,11 +63,14 @@ SampleBank::SampleBank(std::unique_ptr<MultiChainSampler> engine,
     : engine_(std::move(engine)),
       graph_(std::move(graph)),
       options_(options),
+      engine_mutex_(std::make_unique<std::mutex>()),
       mutex_(std::make_unique<std::mutex>()),
       metric_generation_(&obs::GetGauge("serve.bank.generation")),
       metric_rows_(&obs::GetGauge("serve.bank.rows")),
       metric_age_s_(&obs::GetGauge("serve.bank.age_s")),
+      metric_model_epoch_(&obs::GetGauge("serve.bank.model_epoch")),
       metric_refreshes_(&obs::GetCounter("serve.bank.refreshes_total")),
+      metric_rebuilds_(&obs::GetCounter("serve.bank.rebuilds_total")),
       metric_fill_ms_(&obs::GetHistogram(
           "serve.bank.fill_ms",
           {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0})) {}
@@ -70,13 +79,15 @@ std::size_t SampleBank::rows_per_generation() const {
   return engine_->num_chains() * engine_->SamplesPerChain(options_.num_states);
 }
 
-std::shared_ptr<const BankGeneration> SampleBank::Fill(std::uint64_t id) {
+std::shared_ptr<const BankGeneration> SampleBank::Fill(
+    std::uint64_t id, std::uint64_t model_epoch) {
   obs::TraceSpan span("serve/bank_fill");
   WallTimer timer;
   const std::size_t rows_per_chain =
       engine_->SamplesPerChain(options_.num_states);
-  auto generation = std::make_shared<BankGeneration>(BankGeneration(
-      id, graph_->num_edges(), engine_->num_chains(), rows_per_chain));
+  auto generation = std::make_shared<BankGeneration>(
+      BankGeneration(id, model_epoch, graph_->num_edges(),
+                     engine_->num_chains(), rows_per_chain));
   const std::size_t words_per_row = generation->words_per_row_;
   std::uint64_t* words = generation->words_.data();
   // ForEachSample runs the visitor on the worker owning each chain; rows are
@@ -94,6 +105,7 @@ std::shared_ptr<const BankGeneration> SampleBank::Fill(std::uint64_t id) {
   metric_fill_ms_->Record(timer.Millis());
   metric_generation_->Set(static_cast<double>(id));
   metric_rows_->Set(static_cast<double>(generation->num_rows()));
+  metric_model_epoch_->Set(static_cast<double>(model_epoch));
   return generation;
 }
 
@@ -105,8 +117,9 @@ std::shared_ptr<const BankGeneration> SampleBank::Acquire() const {
 void SampleBank::Refresh() {
   // Chains stay burned-in across generations: the next fill resumes the
   // walk, paying only (δ′+1) steps per fresh row.
-  const std::uint64_t next_id = current_->id() + 1;
-  std::shared_ptr<const BankGeneration> next = Fill(next_id);
+  std::lock_guard<std::mutex> engine_lock(*engine_mutex_);
+  const std::uint64_t next_id = Acquire()->id() + 1;
+  std::shared_ptr<const BankGeneration> next = Fill(next_id, model_epoch_);
   {
     std::lock_guard<std::mutex> lock(*mutex_);
     current_ = std::move(next);
@@ -114,6 +127,46 @@ void SampleBank::Refresh() {
   }
   metric_refreshes_->Increment();
   metric_age_s_->Set(0.0);
+}
+
+Status SampleBank::Rebuild(PointIcm model, std::uint64_t model_epoch) {
+  if (model.graph_ptr()->num_edges() != graph_->num_edges() ||
+      model.graph_ptr()->num_nodes() != graph_->num_nodes()) {
+    return Status::InvalidArgument(
+        "rebuild model topology mismatch: bank graph has ",
+        graph_->num_nodes(), " nodes / ", graph_->num_edges(),
+        " edges, model has ", model.graph_ptr()->num_nodes(), " / ",
+        model.graph_ptr()->num_edges());
+  }
+  std::lock_guard<std::mutex> engine_lock(*engine_mutex_);
+  PointIcm kept = model;
+  // Fresh chains for the new model, re-burned-in: the old chains'
+  // stationary distribution is the old model's Pr[x | M]. The seed is
+  // derived from the Create seed and the epoch id, so a restarted daemon
+  // replaying the same evidence rebuilds identical chains.
+  auto engine = MultiChainSampler::Create(
+      std::move(model), FlowConditions{}, options_.chain,
+      MultiChainSampler::DeriveChainSeed(base_seed_, model_epoch));
+  if (!engine.ok()) return engine.status();
+  engine_ = std::make_unique<MultiChainSampler>(
+      std::move(engine).ValueOrDie());
+  model_.emplace(std::move(kept));
+  model_epoch_ = model_epoch;
+  const std::uint64_t next_id = Acquire()->id() + 1;
+  std::shared_ptr<const BankGeneration> next = Fill(next_id, model_epoch);
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    current_ = std::move(next);
+    age_.Restart();
+  }
+  metric_rebuilds_->Increment();
+  metric_age_s_->Set(0.0);
+  return Status::OK();
+}
+
+std::uint64_t SampleBank::model_epoch() const {
+  std::lock_guard<std::mutex> lock(*engine_mutex_);
+  return model_epoch_;
 }
 
 double SampleBank::GenerationAgeSeconds() const {

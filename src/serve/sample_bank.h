@@ -35,6 +35,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 #include "core/icm.h"
@@ -67,6 +68,9 @@ class BankGeneration {
  public:
   /// Monotonic generation id (1 for the Create fill, +1 per Refresh).
   std::uint64_t id() const { return id_; }
+  /// Id of the model epoch the rows were drawn from (1 = the model the
+  /// bank was created with; bumped by Rebuild on streaming model updates).
+  std::uint64_t model_epoch() const { return model_epoch_; }
   /// Number of retained-state rows.
   std::size_t num_rows() const { return num_rows_; }
   /// Edge count of the model the rows were drawn from.
@@ -97,10 +101,12 @@ class BankGeneration {
 
  private:
   friend class SampleBank;
-  BankGeneration(std::uint64_t id, std::size_t num_edges,
-                 std::size_t num_chains, std::size_t rows_per_chain);
+  BankGeneration(std::uint64_t id, std::uint64_t model_epoch,
+                 std::size_t num_edges, std::size_t num_chains,
+                 std::size_t rows_per_chain);
 
   std::uint64_t id_;
+  std::uint64_t model_epoch_;
   std::size_t num_edges_;
   std::size_t words_per_row_;
   std::size_t num_chains_;
@@ -132,6 +138,21 @@ class SampleBank {
   /// and atomically publishes it as the next generation.
   void Refresh();
 
+  /// \brief Replaces the model the rows sample from (a streamed
+  /// ModelEpoch): builds fresh chains seeded with
+  /// `MultiChainSampler::DeriveChainSeed(create_seed, model_epoch)` — so a
+  /// daemon restarted on the same evidence re-derives the same chains —
+  /// pays burn-in, and publishes the next generation tagged with
+  /// `model_epoch`. In-flight readers of older generations are never
+  /// blocked or invalidated. Serialized against Refresh().
+  Status Rebuild(PointIcm model, std::uint64_t model_epoch);
+
+  /// The model the current chains sample from.
+  const PointIcm& model() const { return *model_; }
+
+  /// Model-epoch id of the current chains (1 until the first Rebuild).
+  std::uint64_t model_epoch() const;
+
   /// Seconds since the current generation was published.
   double GenerationAgeSeconds() const;
 
@@ -149,11 +170,23 @@ class SampleBank {
 
   /// Streams one generation's rows out of the chains (parallel across
   /// chains; each chain packs its own disjoint row range).
-  std::shared_ptr<const BankGeneration> Fill(std::uint64_t id);
+  std::shared_ptr<const BankGeneration> Fill(std::uint64_t id,
+                                             std::uint64_t model_epoch);
 
   std::unique_ptr<MultiChainSampler> engine_;
   std::shared_ptr<const DirectedGraph> graph_;
   BankOptions options_;
+  /// The model engine_'s chains currently target (kept for drift diffs and
+  /// rebuild validation); optional only because PointIcm lacks a default
+  /// constructor — set at Create, never empty afterwards.
+  std::optional<PointIcm> model_;
+  /// The Create seed; Rebuild derives per-epoch chain seeds from it.
+  std::uint64_t base_seed_ = 0;
+  /// Model epoch of the current chains.
+  std::uint64_t model_epoch_ = 1;
+  /// Serializes chain mutation (Refresh vs Rebuild race from the serve
+  /// daemon's refresh and drift-rebuild threads).
+  std::unique_ptr<std::mutex> engine_mutex_;
   /// Guards current_/age_; unique_ptr keeps the bank movable (Result<T>).
   std::unique_ptr<std::mutex> mutex_;
   std::shared_ptr<const BankGeneration> current_;
@@ -163,7 +196,9 @@ class SampleBank {
   obs::Gauge* metric_generation_;
   obs::Gauge* metric_rows_;
   obs::Gauge* metric_age_s_;
+  obs::Gauge* metric_model_epoch_;
   obs::Counter* metric_refreshes_;
+  obs::Counter* metric_rebuilds_;
   obs::Histogram* metric_fill_ms_;
 };
 

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <mutex>
 #include <thread>
@@ -114,6 +115,14 @@ struct Server::Background {
   std::thread refresh_thread;
   std::mutex connections_mutex;
   std::vector<std::thread> connections;
+
+  /// Drift-rebuild worker state: the epoch callback queues the newest
+  /// epoch (later epochs supersede queued ones — rebuilding onto stale
+  /// models is wasted burn-in); the worker applies it off-thread.
+  std::thread rebuild_thread;
+  std::mutex rebuild_mutex;
+  std::condition_variable rebuild_cv;
+  std::shared_ptr<const stream::ModelEpoch> pending_epoch;
 };
 
 Status ServerOptions::Validate() const {
@@ -122,6 +131,9 @@ Status ServerOptions::Validate() const {
   }
   if (refresh_interval_ms < 0.0) {
     return Status::InvalidArgument("refresh_interval_ms must be >= 0");
+  }
+  if (drift_threshold < 0.0) {
+    return Status::InvalidArgument("drift_threshold must be >= 0");
   }
   if (!socket_path.empty() && socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     return Status::InvalidArgument("socket path too long: ", socket_path);
@@ -142,6 +154,9 @@ Server::Server(SampleBank bank, ServerOptions options)
       metric_batches_(&obs::GetCounter("serve.server.batches_total")),
       metric_lines_(&obs::GetCounter("serve.server.lines_total")),
       metric_connections_(&obs::GetCounter("serve.server.connections_total")),
+      metric_ingest_lines_(&obs::GetCounter("serve.server.ingest_lines_total")),
+      metric_rebuilds_triggered_(
+          &obs::GetCounter("serve.server.rebuilds_triggered_total")),
       metric_qps_(&obs::GetGauge("serve.server.queries_per_s")),
       metric_batch_lines_(&obs::GetHistogram(
           "serve.server.batch_lines",
@@ -179,7 +194,37 @@ Status Server::ServeFd(int in_fd, int out_fd) {
             SerializeParseError(Status::InvalidArgument("empty request line"));
         continue;
       }
-      auto request = ParseRequestLine(lines[j]);
+      auto json = ParseJson(lines[j]);
+      if (!json.ok()) {
+        responses[j] = SerializeParseError(json.status());
+        continue;
+      }
+      if (IsIngestRequest(*json)) {
+        // Ingest lines are absorbed synchronously, in order with the
+        // surrounding queries: a client that writes evidence then a query
+        // knows the evidence was absorbed first (the bank rebuild itself
+        // is asynchronous).
+        auto ingest = ParseIngestRequest(*json);
+        if (!ingest.ok()) {
+          responses[j] = SerializeParseError(ingest.status());
+          continue;
+        }
+        metric_ingest_lines_->Increment();
+        if (ingestor_ == nullptr) {
+          responses[j] = SerializeIngestError(
+              *ingest, Status::FailedPrecondition(
+                           "ingestion is not enabled on this daemon "
+                           "(start serve with --ingest)"));
+          continue;
+        }
+        auto ack = ingestor_->IngestLine(ingest->record);
+        responses[j] = ack.ok() ? SerializeIngestAck(*ingest,
+                                                     ack->absorbed_total,
+                                                     ack->epoch)
+                                : SerializeIngestError(*ingest, ack.status());
+        continue;
+      }
+      auto request = ParseRequest(*json);
       if (!request.ok()) {
         responses[j] = SerializeParseError(request.status());
         continue;
@@ -219,6 +264,49 @@ Status Server::ServeFd(int in_fd, int out_fd) {
   return Status::OK();
 }
 
+void Server::AttachIngestor(
+    std::shared_ptr<stream::StreamIngestor> ingestor) {
+  IF_CHECK(!background_->started.load())
+      << "AttachIngestor must precede Start()";
+  ingestor_ = std::move(ingestor);
+  ingestor_->SetEpochCallback(
+      [this](std::shared_ptr<const stream::ModelEpoch> epoch) {
+        if (epoch->drift > options_.drift_threshold) {
+          RequestRebuild(std::move(epoch));
+        }
+      });
+}
+
+void Server::RequestRebuild(
+    std::shared_ptr<const stream::ModelEpoch> epoch) {
+  Background& bg = *background_;
+  {
+    std::lock_guard<std::mutex> lock(bg.rebuild_mutex);
+    bg.pending_epoch = std::move(epoch);  // newest epoch supersedes
+  }
+  metric_rebuilds_triggered_->Increment();
+  bg.rebuild_cv.notify_one();
+}
+
+void Server::RebuildLoop() {
+  Background& bg = *background_;
+  while (true) {
+    std::shared_ptr<const stream::ModelEpoch> epoch;
+    {
+      std::unique_lock<std::mutex> lock(bg.rebuild_mutex);
+      bg.rebuild_cv.wait(lock, [&bg] {
+        return bg.pending_epoch != nullptr || bg.stopping.load();
+      });
+      // A queued epoch is still applied during shutdown (the drain Stop()
+      // promises); the worker exits only once nothing is pending.
+      if (bg.pending_epoch == nullptr) return;
+      epoch = std::move(bg.pending_epoch);
+      bg.pending_epoch = nullptr;
+    }
+    (void)bank_.Rebuild(epoch->model, epoch->id);
+  }
+}
+
 Status Server::Start() {
   Background& bg = *background_;
   if (bg.started.exchange(true)) {
@@ -250,6 +338,9 @@ Status Server::Start() {
   }
   if (options_.refresh_interval_ms > 0.0) {
     bg.refresh_thread = std::thread([this] { RefreshLoop(); });
+  }
+  if (ingestor_ != nullptr) {
+    bg.rebuild_thread = std::thread([this] { RebuildLoop(); });
   }
   return Status::OK();
 }
@@ -292,6 +383,8 @@ void Server::RefreshLoop() {
 void Server::Stop() {
   Background& bg = *background_;
   bg.stopping.store(true);
+  bg.rebuild_cv.notify_all();
+  if (bg.rebuild_thread.joinable()) bg.rebuild_thread.join();
   if (bg.listen_fd >= 0) {
     // shutdown() unblocks accept(); close() invalidates the fd.
     shutdown(bg.listen_fd, SHUT_RDWR);

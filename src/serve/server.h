@@ -24,6 +24,7 @@
 #include "obs/metrics.h"
 #include "serve/query_engine.h"
 #include "serve/sample_bank.h"
+#include "stream/ingestor.h"
 #include "util/status.h"
 
 namespace infoflow::serve {
@@ -37,6 +38,10 @@ struct ServerOptions {
   std::string socket_path;
   /// Background bank-refresh period; 0 → the bank is never refreshed.
   double refresh_interval_ms = 0.0;
+  /// When an ingestor is attached: a published ModelEpoch whose max-|Δp|
+  /// drift exceeds this triggers a background SampleBank::Rebuild onto the
+  /// new model. 0 (the default) rebuilds on any nonzero drift.
+  double drift_threshold = 0.0;
   /// Per-connection query-engine tuning.
   QueryEngineOptions engine;
 
@@ -63,13 +68,29 @@ class Server {
   /// ServeFd over stdin/stdout — the `infoflow serve` foreground loop.
   Status ServeStdio() { return ServeFd(0, 1); }
 
+  /// \brief Connects a streaming ingestor: the serve loops accept
+  /// `{"ingest": ...}` lines (absorbed synchronously), and every published
+  /// ModelEpoch whose drift exceeds `drift_threshold` queues a background
+  /// bank rebuild onto the new model — in-flight queries keep answering
+  /// from the generation they acquired, the next batch sees the new rows.
+  /// Must be called before Start().
+  void AttachIngestor(std::shared_ptr<stream::StreamIngestor> ingestor);
+
+  /// The attached ingestor (null when serving a static model).
+  const std::shared_ptr<stream::StreamIngestor>& ingestor() const {
+    return ingestor_;
+  }
+
   /// \brief Starts the background threads: the Unix-socket accept loop
-  /// (when socket_path is set) and the bank refresher (when
-  /// refresh_interval_ms > 0). Idempotent per server.
+  /// (when socket_path is set), the bank refresher (when
+  /// refresh_interval_ms > 0), and the drift-rebuild worker (when an
+  /// ingestor is attached). Idempotent per server.
   Status Start();
 
-  /// Stops the background threads and joins open connections. Called by
-  /// the destructor.
+  /// Stops the background threads and joins open connections. A pending
+  /// drift-triggered rebuild is drained (applied) before returning, so a
+  /// post-Stop metrics snapshot deterministically reflects every absorbed
+  /// epoch. Called by the destructor.
   void Stop();
 
   /// The shared bank (e.g. for warm-up checks in tests).
@@ -82,9 +103,14 @@ class Server {
 
   void AcceptLoop();
   void RefreshLoop();
+  void RebuildLoop();
+
+  /// Epoch-callback target: queues `epoch` for the rebuild worker.
+  void RequestRebuild(std::shared_ptr<const stream::ModelEpoch> epoch);
 
   SampleBank bank_;
   ServerOptions options_;
+  std::shared_ptr<stream::StreamIngestor> ingestor_;
 
   /// Thread state lives behind a pointer so the server stays movable
   /// (Result<Server>); defined in server.cc.
@@ -94,6 +120,8 @@ class Server {
   obs::Counter* metric_batches_;
   obs::Counter* metric_lines_;
   obs::Counter* metric_connections_;
+  obs::Counter* metric_ingest_lines_;
+  obs::Counter* metric_rebuilds_triggered_;
   obs::Gauge* metric_qps_;
   obs::Histogram* metric_batch_lines_;
 };

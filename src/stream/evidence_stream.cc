@@ -1,0 +1,246 @@
+#include "stream/evidence_stream.h"
+
+#include <cerrno>
+#include <utility>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "learn/evidence_io.h"
+#include "util/json.h"
+#include "util/string_util.h"
+
+namespace infoflow::stream {
+
+const char* StreamFormatName(StreamFormat format) {
+  switch (format) {
+    case StreamFormat::kAuto: return "auto";
+    case StreamFormat::kAttributed: return "attributed";
+    case StreamFormat::kTraces: return "traces";
+  }
+  return "unknown";
+}
+
+Result<StreamFormat> ParseStreamFormat(const std::string& name) {
+  if (name == "auto") return StreamFormat::kAuto;
+  if (name == "attributed") return StreamFormat::kAttributed;
+  if (name == "traces") return StreamFormat::kTraces;
+  return Status::InvalidArgument("unknown stream format '", name,
+                                 "' (expected auto | attributed | traces)");
+}
+
+const char* QueueOverflowPolicyName(QueueOverflowPolicy policy) {
+  switch (policy) {
+    case QueueOverflowPolicy::kPark: return "park";
+    case QueueOverflowPolicy::kDropNewest: return "drop-newest";
+    case QueueOverflowPolicy::kDropOldest: return "drop-oldest";
+  }
+  return "unknown";
+}
+
+Result<QueueOverflowPolicy> ParseQueueOverflowPolicy(const std::string& name) {
+  if (name == "park") return QueueOverflowPolicy::kPark;
+  if (name == "drop-newest") return QueueOverflowPolicy::kDropNewest;
+  if (name == "drop-oldest") return QueueOverflowPolicy::kDropOldest;
+  return Status::InvalidArgument(
+      "unknown queue policy '", name,
+      "' (expected park | drop-newest | drop-oldest)");
+}
+
+namespace {
+
+Result<EvidenceRecord> ParseNativeLine(const std::string& line,
+                                       const DirectedGraph& graph,
+                                       StreamFormat format) {
+  const bool attributed =
+      format == StreamFormat::kAttributed ||
+      (format == StreamFormat::kAuto && line.find('|') != std::string::npos);
+  if (attributed) {
+    auto object = ParseAttributedObjectLine(line, graph);
+    if (!object.ok()) return object.status();
+    return EvidenceRecord(std::move(*object));
+  }
+  auto trace = ParseTraceLine(line);
+  if (!trace.ok()) return trace.status();
+  return EvidenceRecord(std::move(*trace));
+}
+
+}  // namespace
+
+Result<EvidenceRecord> ParseEvidenceLine(const std::string& line,
+                                         const DirectedGraph& graph,
+                                         StreamFormat format) {
+  const std::string trimmed(Trim(line));
+  if (trimmed.empty()) {
+    return Status::InvalidArgument("empty evidence line");
+  }
+  if (trimmed.front() != '{') {
+    return ParseNativeLine(trimmed, graph, format);
+  }
+  auto json = ParseJson(trimmed);
+  if (!json.ok()) return json.status();
+  if (const JsonValue* object = json->Find("attributed")) {
+    if (!object->is_string()) {
+      return Status::InvalidArgument(
+          "'attributed' must be a native record string");
+    }
+    return ParseNativeLine(object->AsString(), graph,
+                           StreamFormat::kAttributed);
+  }
+  if (const JsonValue* trace = json->Find("trace")) {
+    if (!trace->is_string()) {
+      return Status::InvalidArgument("'trace' must be a native record string");
+    }
+    return ParseNativeLine(trace->AsString(), graph, StreamFormat::kTraces);
+  }
+  return Status::InvalidArgument(
+      "evidence envelope needs an 'attributed' or 'trace' member");
+}
+
+EvidenceQueue::EvidenceQueue(std::size_t capacity, QueueOverflowPolicy policy)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      policy_(policy),
+      metric_depth_(&obs::GetGauge("stream.queue.depth")),
+      metric_dropped_(&obs::GetCounter("stream.queue.dropped_total")),
+      metric_parked_(&obs::GetCounter("stream.queue.parked_total")) {}
+
+bool EvidenceQueue::Push(EvidenceRecord record) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (records_.size() >= capacity_ && !closed_) {
+    switch (policy_) {
+      case QueueOverflowPolicy::kPark:
+        metric_parked_->Increment();
+        not_full_.wait(lock, [this] {
+          return records_.size() < capacity_ || closed_;
+        });
+        break;
+      case QueueOverflowPolicy::kDropNewest:
+        ++dropped_;
+        metric_dropped_->Increment();
+        return false;
+      case QueueOverflowPolicy::kDropOldest:
+        records_.pop_front();
+        ++dropped_;
+        metric_dropped_->Increment();
+        break;
+    }
+  }
+  if (closed_) return false;
+  records_.push_back(std::move(record));
+  metric_depth_->Set(static_cast<double>(records_.size()));
+  lock.unlock();
+  not_empty_.notify_one();
+  return true;
+}
+
+bool EvidenceQueue::Pop(EvidenceRecord& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [this] { return !records_.empty() || closed_; });
+  if (records_.empty()) return false;  // closed and drained
+  out = std::move(records_.front());
+  records_.pop_front();
+  metric_depth_->Set(static_cast<double>(records_.size()));
+  lock.unlock();
+  not_full_.notify_one();
+  return true;
+}
+
+void EvidenceQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::size_t EvidenceQueue::Depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_.size();
+}
+
+EvidenceStream::EvidenceStream(int fd, StreamFormat format,
+                               std::shared_ptr<const DirectedGraph> graph,
+                               std::shared_ptr<EvidenceQueue> queue)
+    : fd_(fd),
+      format_(format),
+      graph_(std::move(graph)),
+      queue_(std::move(queue)),
+      thread_([this] { Run(); }) {}
+
+EvidenceStream::~EvidenceStream() { Stop(); }
+
+void EvidenceStream::Stop() {
+  stopping_.store(true);
+  queue_->Close();  // unparks a blocked Push
+  if (thread_.joinable()) thread_.join();
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::uint64_t EvidenceStream::records_read() const {
+  return records_read_.load();
+}
+
+std::uint64_t EvidenceStream::parse_errors() const {
+  return parse_errors_.load();
+}
+
+void EvidenceStream::Run() {
+  obs::Counter& parse_errors =
+      obs::GetCounter("stream.read.parse_errors_total");
+  obs::Counter& lines = obs::GetCounter("stream.read.lines_total");
+  std::string buffer;
+  char chunk[65536];
+  while (!stopping_.load()) {
+    // Poll with a short timeout so Stop() interrupts a quiet feed promptly
+    // (a blocking read on an idle FIFO would pin the thread).
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, 50);
+    if (ready == 0) continue;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const ssize_t got = read(fd_, chunk, sizeof(chunk));
+    if (got < 0) {
+      if (errno == EINTR || errno == EAGAIN) continue;
+      break;
+    }
+    if (got == 0) break;  // EOF: regular file drained / last FIFO writer left
+    buffer.append(chunk, static_cast<std::size_t>(got));
+    std::size_t start = 0;
+    for (std::size_t nl = buffer.find('\n', start); nl != std::string::npos;
+         start = nl + 1, nl = buffer.find('\n', start)) {
+      const std::string line(Trim(buffer.substr(start, nl - start)));
+      if (line.empty()) continue;
+      lines.Increment();
+      auto record = ParseEvidenceLine(line, *graph_, format_);
+      if (!record.ok()) {
+        parse_errors.Increment();
+        parse_errors_.fetch_add(1);
+        continue;
+      }
+      if (queue_->Push(std::move(*record))) records_read_.fetch_add(1);
+      if (stopping_.load()) break;
+    }
+    buffer.erase(0, start);
+  }
+  // A final unterminated line still counts as a record.
+  const std::string line(Trim(buffer));
+  if (!line.empty() && !stopping_.load()) {
+    lines.Increment();
+    auto record = ParseEvidenceLine(line, *graph_, format_);
+    if (record.ok()) {
+      if (queue_->Push(std::move(*record))) records_read_.fetch_add(1);
+    } else {
+      parse_errors.Increment();
+      parse_errors_.fetch_add(1);
+    }
+  }
+  queue_->Close();
+}
+
+}  // namespace infoflow::stream

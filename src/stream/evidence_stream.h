@@ -1,0 +1,180 @@
+/// \file evidence_stream.h
+/// \brief Incremental evidence ingestion: line-oriented record parsing and
+/// a bounded, lock-based hand-off queue between a reader and the trainer.
+///
+/// The batch pipeline reads a whole evidence file, validates it, and trains
+/// once. A production daemon instead sees records *arrive* — as NDJSON
+/// envelopes on the serve connection or as raw evidence lines dripping into
+/// a side-channel file/FIFO — and must absorb them without stalling query
+/// traffic. This file supplies the two ingredients upstream of the
+/// OnlineTrainer:
+///
+///  - `ParseEvidenceLine` — one wire line → one EvidenceRecord. Accepts the
+///    native delimited grammars of learn/evidence_io ("src|nodes|edges"
+///    attributed objects, "node:time ..." traces) and a one-object NDJSON
+///    envelope ({"attributed":"0|0 1|0>1"} / {"trace":"0:0 2:1.5"}) parsed
+///    with util/json.h. Field-level duplicates are deduplicated by the
+///    shared evidence_io parsers (surfaced as the `parse.duplicates`
+///    metric) — a streaming source that double-delivers a record's node
+///    list cannot double-count Beta updates.
+///
+///  - `EvidenceQueue` — a bounded mutex+condvar queue with an explicit
+///    overflow policy: `kPark` blocks the producer (backpressure the
+///    reader thread propagates to the feed), `kDropNewest` / `kDropOldest`
+///    shed load and count what was shed (`stream.queue.dropped_total`).
+///
+/// `EvidenceStream` pumps a POSIX fd through the parser into the queue on
+/// a dedicated thread — the reader half of `infoflow serve --ingest-from`.
+
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <variant>
+
+#include "graph/graph.h"
+#include "learn/attributed.h"
+#include "learn/unattributed.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace infoflow::stream {
+
+/// \brief One streamed evidence record: an attributed object or a trace.
+using EvidenceRecord = std::variant<AttributedObject, ObjectTrace>;
+
+/// \brief How bare (non-JSON) lines are interpreted.
+enum class StreamFormat {
+  /// Sniff per line: a '|' means an attributed object, otherwise a trace.
+  /// (Every attributed line has its two field separators; no trace token
+  /// contains '|'.)
+  kAuto,
+  kAttributed,
+  kTraces,
+};
+
+/// The canonical lower-case name ("auto" / "attributed" / "traces").
+const char* StreamFormatName(StreamFormat format);
+
+/// Parses the canonical name; InvalidArgument on anything else.
+Result<StreamFormat> ParseStreamFormat(const std::string& name);
+
+/// \brief Parses one wire line into a record. Lines opening with '{' are
+/// NDJSON envelopes ({"attributed": "<native line>"} or {"trace": ...});
+/// anything else is a native evidence line read per `format`. Empty and
+/// whitespace-only lines are InvalidArgument (callers skip blanks).
+Result<EvidenceRecord> ParseEvidenceLine(const std::string& line,
+                                         const DirectedGraph& graph,
+                                         StreamFormat format);
+
+/// \brief What a full queue does with the next push.
+enum class QueueOverflowPolicy {
+  /// Park the producer until a consumer makes room — backpressure.
+  kPark,
+  /// Reject the incoming record (producer keeps going, record is lost).
+  kDropNewest,
+  /// Evict the oldest queued record to admit the new one.
+  kDropOldest,
+};
+
+/// The canonical name ("park" / "drop-newest" / "drop-oldest").
+const char* QueueOverflowPolicyName(QueueOverflowPolicy policy);
+
+/// Parses the canonical name; InvalidArgument on anything else.
+Result<QueueOverflowPolicy> ParseQueueOverflowPolicy(const std::string& name);
+
+/// \brief Bounded multi-producer/multi-consumer record queue.
+///
+/// All operations are mutex-guarded (the records are heap-heavy variants;
+/// a lock-free design would buy nothing over the parse cost). Exported
+/// gauges/counters: `stream.queue.depth`, `stream.queue.dropped_total`,
+/// `stream.queue.parked_total`.
+class EvidenceQueue {
+ public:
+  EvidenceQueue(std::size_t capacity, QueueOverflowPolicy policy);
+
+  /// \brief Enqueues one record, applying the overflow policy when full.
+  /// Returns true when the record was admitted, false when it was dropped
+  /// (kDropNewest) or the queue is closed. kPark blocks until space or
+  /// Close().
+  bool Push(EvidenceRecord record);
+
+  /// \brief Dequeues into `out`; blocks until a record arrives or the
+  /// queue is closed *and* drained. False only on closed-and-empty.
+  bool Pop(EvidenceRecord& out);
+
+  /// \brief Marks the stream complete: parked producers give up, poppers
+  /// drain the backlog then get false. Idempotent.
+  void Close();
+
+  std::size_t capacity() const { return capacity_; }
+  QueueOverflowPolicy policy() const { return policy_; }
+
+  /// Current depth (racy snapshot — monitoring only).
+  std::size_t Depth() const;
+
+  /// Records dropped by the overflow policy so far.
+  std::uint64_t Dropped() const { return dropped_; }
+
+ private:
+  const std::size_t capacity_;
+  const QueueOverflowPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<EvidenceRecord> records_;
+  bool closed_ = false;
+  std::uint64_t dropped_ = 0;
+
+  obs::Gauge* metric_depth_;
+  obs::Counter* metric_dropped_;
+  obs::Counter* metric_parked_;
+};
+
+/// \brief Reader pump: a thread that tails a POSIX fd line by line,
+/// parses each line with ParseEvidenceLine, and pushes the records into a
+/// queue. Unparseable lines are counted (`stream.read.parse_errors_total`)
+/// and skipped — one bad record must not kill a live feed. The queue is
+/// closed at EOF (for a FIFO: when the last writer closes) or Stop().
+class EvidenceStream {
+ public:
+  /// \brief Starts the reader thread. `fd` is owned by the stream and
+  /// closed on Stop/destruction. `queue` and `graph` must outlive it.
+  EvidenceStream(int fd, StreamFormat format,
+                 std::shared_ptr<const DirectedGraph> graph,
+                 std::shared_ptr<EvidenceQueue> queue);
+  ~EvidenceStream();
+
+  EvidenceStream(const EvidenceStream&) = delete;
+  EvidenceStream& operator=(const EvidenceStream&) = delete;
+
+  /// Interrupts the pump and joins the thread. Idempotent.
+  void Stop();
+
+  /// Lines successfully parsed into records so far.
+  std::uint64_t records_read() const;
+
+  /// Lines that failed to parse so far.
+  std::uint64_t parse_errors() const;
+
+ private:
+  void Run();
+
+  int fd_;
+  StreamFormat format_;
+  std::shared_ptr<const DirectedGraph> graph_;
+  std::shared_ptr<EvidenceQueue> queue_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> records_read_{0};
+  std::atomic<std::uint64_t> parse_errors_{0};
+  std::thread thread_;
+};
+
+}  // namespace infoflow::stream

@@ -1,0 +1,177 @@
+#include "stream/ingestor.h"
+
+#include <cerrno>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "core/multi_chain.h"
+#include "util/timer.h"
+
+namespace infoflow::stream {
+
+Status IngestorOptions::Validate() const {
+  IF_RETURN_NOT_OK(trainer.Validate());
+  return Status::OK();
+}
+
+StreamIngestor::StreamIngestor(std::shared_ptr<const DirectedGraph> graph,
+                               PointIcm initial, IngestorOptions options)
+    : graph_(std::move(graph)),
+      options_(std::move(options)),
+      trainer_(graph_, options_.trainer),
+      publisher_(std::move(initial)),
+      metric_absorbed_(&obs::GetCounter("stream.ingest.records_total")),
+      metric_rejected_(&obs::GetCounter("stream.ingest.rejected_total")),
+      metric_events_per_s_(&obs::GetGauge("stream.ingest.events_per_s")) {
+  if (options_.epoch_every == 0) options_.epoch_every = 1;
+  options_.Validate().CheckOK();
+}
+
+StreamIngestor::~StreamIngestor() { StopFeed(); }
+
+Status StreamIngestor::AbsorbRecord(const EvidenceRecord& record) {
+  bool due = false;
+  {
+    std::lock_guard<std::mutex> lock(trainer_mutex_);
+    const Status status = trainer_.Absorb(record);
+    if (!status.ok()) {
+      ++rejected_;
+      metric_rejected_->Increment();
+      return status;
+    }
+    ++absorbed_;
+    metric_absorbed_->Increment();
+    due = ++since_publish_ >= options_.epoch_every;
+  }
+  if (due) {
+    // A publish failure (e.g. the estimator cannot fit yet) is not an
+    // ingest failure: the record is absorbed either way.
+    (void)Publish();
+  }
+  return Status::OK();
+}
+
+Result<IngestAck> StreamIngestor::IngestLine(const std::string& line) {
+  auto record = ParseEvidenceLine(line, *graph_, options_.format);
+  if (!record.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(trainer_mutex_);
+      ++rejected_;
+    }
+    metric_rejected_->Increment();
+    return record.status();
+  }
+  IF_RETURN_NOT_OK(AbsorbRecord(*record));
+  IngestAck ack;
+  {
+    std::lock_guard<std::mutex> lock(trainer_mutex_);
+    ack.absorbed_total = absorbed_;
+  }
+  ack.epoch = publisher_.Current()->id;
+  return ack;
+}
+
+Result<std::shared_ptr<const ModelEpoch>> StreamIngestor::Publish() {
+  std::optional<PointIcm> model;
+  {
+    std::lock_guard<std::mutex> lock(trainer_mutex_);
+    Rng rng(MultiChainSampler::DeriveChainSeed(options_.seed, publish_seq_));
+    auto fitted = trainer_.CurrentPointModel(rng);
+    if (!fitted.ok()) return fitted.status();
+    ++publish_seq_;
+    const double elapsed = rate_timer_.Seconds();
+    if (elapsed > 0.0) {
+      metric_events_per_s_->Set(static_cast<double>(since_publish_) / elapsed);
+    }
+    since_publish_ = 0;
+    rate_timer_.Restart();
+    model.emplace(std::move(*fitted));
+  }
+  std::shared_ptr<const ModelEpoch> epoch =
+      publisher_.Publish(std::move(*model));
+  std::function<void(std::shared_ptr<const ModelEpoch>)> callback;
+  {
+    std::lock_guard<std::mutex> lock(callback_mutex_);
+    callback = callback_;
+  }
+  if (callback) callback(epoch);
+  return epoch;
+}
+
+Result<std::shared_ptr<const ModelEpoch>> StreamIngestor::PublishNow() {
+  return Publish();
+}
+
+Status StreamIngestor::StartFeed(const std::string& path) {
+  if (feed_ != nullptr) {
+    return Status::FailedPrecondition("a feed is already attached");
+  }
+  struct stat st{};
+  const bool is_fifo = stat(path.c_str(), &st) == 0 && S_ISFIFO(st.st_mode);
+  // A FIFO is opened read-write: with this process holding a write end the
+  // reader never sees EOF when an external writer closes, so the feed
+  // survives `cat file > fifo` being run repeatedly.
+  const int fd = open(path.c_str(), is_fifo ? O_RDWR : O_RDONLY);
+  if (fd < 0) {
+    return Status::NotFound("cannot open feed '", path,
+                            "': ", std::strerror(errno));
+  }
+  queue_ = std::make_shared<EvidenceQueue>(options_.queue_capacity,
+                                           options_.queue_policy);
+  feed_ = std::make_unique<EvidenceStream>(fd, options_.format, graph_,
+                                           queue_);
+  consumer_ = std::thread([this] { ConsumeLoop(); });
+  return Status::OK();
+}
+
+void StreamIngestor::ConsumeLoop() {
+  EvidenceRecord record;
+  while (queue_->Pop(record)) {
+    // Feed-path validation failures are already counted; keep draining.
+    (void)AbsorbRecord(record);
+  }
+  // Flush on drain: a finite feed (regular file, or the writer side of a
+  // FIFO closing after Stop) publishes whatever arrived since the last
+  // cadence tick.
+  bool pending;
+  {
+    std::lock_guard<std::mutex> lock(trainer_mutex_);
+    pending = since_publish_ > 0;
+  }
+  if (pending) (void)Publish();
+}
+
+void StreamIngestor::StopFeed() {
+  if (feed_ == nullptr) return;
+  feed_->Stop();  // closes the queue; the consumer drains and exits
+  if (consumer_.joinable()) consumer_.join();
+  feed_.reset();
+  queue_.reset();
+}
+
+std::shared_ptr<const ModelEpoch> StreamIngestor::CurrentEpoch() const {
+  return publisher_.Current();
+}
+
+void StreamIngestor::SetEpochCallback(
+    std::function<void(std::shared_ptr<const ModelEpoch>)> callback) {
+  std::lock_guard<std::mutex> lock(callback_mutex_);
+  callback_ = std::move(callback);
+}
+
+std::uint64_t StreamIngestor::absorbed() const {
+  std::lock_guard<std::mutex> lock(trainer_mutex_);
+  return absorbed_;
+}
+
+std::uint64_t StreamIngestor::rejected() const {
+  std::lock_guard<std::mutex> lock(trainer_mutex_);
+  return rejected_;
+}
+
+}  // namespace infoflow::stream

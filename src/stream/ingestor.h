@@ -1,0 +1,158 @@
+/// \file ingestor.h
+/// \brief Glue between a live evidence feed and the serving stack: absorbs
+/// records through an OnlineTrainer and periodically publishes ModelEpochs.
+///
+/// Two paths feed the same trainer:
+///
+///  - **Synchronous** — `IngestLine` is called by the serve loop for every
+///    `{"ingest": ...}` request; the record is parsed, absorbed, and the
+///    acknowledgement carries the resulting totals and current epoch id.
+///  - **Side-channel** — `StartFeed` tails a file or FIFO on an
+///    EvidenceStream reader thread; a consumer thread drains the bounded
+///    queue into the trainer. Queries are never blocked by ingestion: the
+///    published epoch is an immutable snapshot.
+///
+/// Every `epoch_every` absorbed records (and once more when a feed drains)
+/// the ingestor fits the current model and publishes it via EpochPublisher;
+/// the registered epoch callback lets the server threshold the epoch's
+/// drift and trigger a background SampleBank rebuild.
+///
+/// Reproducibility: the k-th fit draws from
+/// `Rng(MultiChainSampler::DeriveChainSeed(seed, k))` — restarting a daemon
+/// on the same feed re-derives the same fit seeds.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "core/icm.h"
+#include "obs/metrics.h"
+#include "stream/evidence_stream.h"
+#include "stream/model_epoch.h"
+#include "stream/online_trainer.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace infoflow::stream {
+
+/// \brief Ingestion tuning.
+struct IngestorOptions {
+  /// Forgetting and fit configuration for the wrapped OnlineTrainer.
+  OnlineTrainerOptions trainer;
+  /// How bare feed lines are interpreted (the NDJSON envelope and the
+  /// serve verb are self-describing).
+  StreamFormat format = StreamFormat::kAuto;
+  /// Publish a fresh ModelEpoch every this many absorbed records
+  /// (0 is coerced to 1: publish per record).
+  std::size_t epoch_every = 64;
+  /// Feed queue bound between the reader and the consumer.
+  std::size_t queue_capacity = 1024;
+  /// What a full feed queue does (see QueueOverflowPolicy).
+  QueueOverflowPolicy queue_policy = QueueOverflowPolicy::kPark;
+  /// Base seed for the per-publish fit rngs (unattributed estimators).
+  std::uint64_t seed = 1;
+
+  /// Validates the option values (delegates to the trainer's).
+  Status Validate() const;
+};
+
+/// \brief Acknowledgement for one synchronously ingested record.
+struct IngestAck {
+  /// Records absorbed over the ingestor's lifetime, both paths.
+  std::uint64_t absorbed_total = 0;
+  /// The current (possibly just-published) epoch id.
+  std::uint64_t epoch = 0;
+};
+
+/// \brief Owns the trainer, the epoch publisher, and (when a feed is
+/// attached) the reader + consumer threads.
+///
+/// Thread-safety: all public methods are safe to call concurrently; the
+/// trainer is serialized behind one mutex (absorbing is cheap next to the
+/// query path's row scans).
+class StreamIngestor {
+ public:
+  /// `initial` seeds epoch 1 — the model the daemon started serving with.
+  StreamIngestor(std::shared_ptr<const DirectedGraph> graph, PointIcm initial,
+                 IngestorOptions options);
+  ~StreamIngestor();
+
+  StreamIngestor(const StreamIngestor&) = delete;
+  StreamIngestor& operator=(const StreamIngestor&) = delete;
+
+  /// \brief Parses and absorbs one record synchronously (the serve
+  /// `ingest` verb). `format` from the options applies to bare lines.
+  /// Invalid records return the parse/validation error and change nothing.
+  Result<IngestAck> IngestLine(const std::string& line);
+
+  /// \brief Starts tailing `path` (regular file or FIFO; a FIFO is opened
+  /// read-write so the feed survives writers coming and going). One feed
+  /// at a time.
+  Status StartFeed(const std::string& path);
+
+  /// Stops the feed threads, if any. Idempotent.
+  void StopFeed();
+
+  /// \brief Registers the post-publish hook (server drift trigger). Called
+  /// without internal locks held; replaces any previous callback.
+  void SetEpochCallback(
+      std::function<void(std::shared_ptr<const ModelEpoch>)> callback);
+
+  /// The current epoch (never null; epoch 1 is the initial model).
+  std::shared_ptr<const ModelEpoch> CurrentEpoch() const;
+
+  /// \brief Fits and publishes an epoch from the current trainer state
+  /// immediately, regardless of the epoch_every cadence. Returns the new
+  /// epoch, or the fit error (e.g. no evidence absorbed yet).
+  Result<std::shared_ptr<const ModelEpoch>> PublishNow();
+
+  /// Records absorbed over the ingestor's lifetime.
+  std::uint64_t absorbed() const;
+
+  /// Records rejected (parse or validation) over the lifetime.
+  std::uint64_t rejected() const;
+
+  const IngestorOptions& options() const { return options_; }
+
+ private:
+  /// Absorbs under the trainer lock; publishes on the cadence.
+  Status AbsorbRecord(const EvidenceRecord& record);
+
+  /// Fits + publishes; requires trainer_mutex_ NOT held. Returns the fit
+  /// error when the trainer cannot produce a model yet.
+  Result<std::shared_ptr<const ModelEpoch>> Publish();
+
+  /// Feed consumer loop: drains queue_ into the trainer.
+  void ConsumeLoop();
+
+  std::shared_ptr<const DirectedGraph> graph_;
+  IngestorOptions options_;
+
+  mutable std::mutex trainer_mutex_;
+  OnlineTrainer trainer_;
+  std::uint64_t absorbed_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t since_publish_ = 0;
+  std::uint64_t publish_seq_ = 0;
+  WallTimer rate_timer_;
+
+  EpochPublisher publisher_;
+
+  std::mutex callback_mutex_;
+  std::function<void(std::shared_ptr<const ModelEpoch>)> callback_;
+
+  std::shared_ptr<EvidenceQueue> queue_;
+  std::unique_ptr<EvidenceStream> feed_;
+  std::thread consumer_;
+
+  obs::Counter* metric_absorbed_;
+  obs::Counter* metric_rejected_;
+  obs::Gauge* metric_events_per_s_;
+};
+
+}  // namespace infoflow::stream

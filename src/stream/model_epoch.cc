@@ -1,0 +1,76 @@
+#include "stream/model_epoch.h"
+
+#include <cmath>
+#include <utility>
+
+#include "util/check.h"
+
+namespace infoflow::stream {
+
+double MaxAbsDrift(const PointIcm& a, const PointIcm& b) {
+  const std::vector<double>& pa = a.probs();
+  const std::vector<double>& pb = b.probs();
+  IF_CHECK(pa.size() == pb.size())
+      << "drift between models over different graphs (" << pa.size() << " vs "
+      << pb.size() << " edges)";
+  double drift = 0.0;
+  for (std::size_t e = 0; e < pa.size(); ++e) {
+    drift = std::max(drift, std::fabs(pa[e] - pb[e]));
+  }
+  return drift;
+}
+
+EpochPublisher::EpochPublisher(PointIcm initial)
+    : mutex_(std::make_unique<std::mutex>()),
+      current_(std::make_shared<const ModelEpoch>(1, std::move(initial), 0.0)),
+      metric_id_(&obs::GetGauge("stream.epoch.id")),
+      metric_drift_(&obs::GetGauge("stream.epoch.drift")),
+      metric_age_s_(&obs::GetGauge("stream.epoch.age_s")),
+      metric_publishes_(&obs::GetCounter("stream.epoch.publishes_total")),
+      metric_swap_ms_(&obs::GetHistogram(
+          "stream.epoch.swap_ms",
+          {0.01, 0.1, 0.5, 2.5, 10.0, 50.0, 250.0, 1000.0})) {
+  metric_id_->Set(1.0);
+  metric_drift_->Set(0.0);
+  metric_publishes_->Increment();
+}
+
+std::shared_ptr<const ModelEpoch> EpochPublisher::Current() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return current_;
+}
+
+std::shared_ptr<const ModelEpoch> EpochPublisher::Publish(PointIcm next) {
+  WallTimer swap;
+  // Drift is computed outside the lock: readers may keep acquiring the old
+  // epoch while we diff against it, exactly as SampleBank fills the next
+  // generation while the previous one serves.
+  std::shared_ptr<const ModelEpoch> prev;
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    prev = current_;
+  }
+  const double drift = MaxAbsDrift(prev->model, next);
+  auto epoch =
+      std::make_shared<const ModelEpoch>(prev->id + 1, std::move(next), drift);
+  {
+    std::lock_guard<std::mutex> lock(*mutex_);
+    current_ = epoch;
+    age_.Restart();
+  }
+  metric_id_->Set(static_cast<double>(epoch->id));
+  metric_drift_->Set(drift);
+  metric_age_s_->Set(0.0);
+  metric_publishes_->Increment();
+  metric_swap_ms_->Record(swap.Millis());
+  return epoch;
+}
+
+double EpochPublisher::AgeSeconds() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  const double age = age_.Seconds();
+  metric_age_s_->Set(age);
+  return age;
+}
+
+}  // namespace infoflow::stream

@@ -1,0 +1,81 @@
+/// \file model_epoch.h
+/// \brief RCU-style immutable model publication for the streaming path.
+///
+/// The serve daemon's readers (query engines, bank rebuilds) must see a
+/// *consistent* model while the OnlineTrainer keeps absorbing records.
+/// Copying the model per reader is wasteful; locking it per edge is worse.
+/// The discipline that already works for SampleBank generations applies
+/// unchanged: publish an immutable snapshot behind a shared_ptr and swap
+/// the pointer under a mutex. Readers holding an old epoch are never
+/// invalidated; the old model is freed when its last reader drops it.
+///
+/// Each epoch carries a monotonic id and the per-edge max-|Δp| drift
+/// against the previously published epoch — the statistic the server's
+/// drift-triggered bank refresh thresholds on. Metrics: `stream.epoch.id`,
+/// `stream.epoch.drift`, `stream.epoch.age_s`, `stream.epoch.
+/// publishes_total`, `stream.epoch.swap_ms`.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+
+#include "core/icm.h"
+#include "obs/metrics.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace infoflow::stream {
+
+/// \brief Per-edge max-|Δp| between two models over the same graph
+/// (aborts on topology mismatch — programming error).
+double MaxAbsDrift(const PointIcm& a, const PointIcm& b);
+
+/// \brief One immutable published model snapshot.
+struct ModelEpoch {
+  /// Monotonic epoch id (1 for the initial publish, +1 per Publish).
+  std::uint64_t id = 0;
+  /// The edge-probability model of this epoch.
+  PointIcm model;
+  /// max_e |p_e − p'_e| against the previous epoch (0 for the first).
+  double drift = 0.0;
+
+  ModelEpoch(std::uint64_t id_in, PointIcm model_in, double drift_in)
+      : id(id_in), model(std::move(model_in)), drift(drift_in) {}
+};
+
+/// \brief Owner of the current epoch pointer.
+///
+/// Thread-safety: `Current()` and `AgeSeconds()` from any thread;
+/// `Publish()` must be driven by one thread at a time (the ingestor's
+/// consumer), mirroring SampleBank's contract.
+class EpochPublisher {
+ public:
+  /// Publishes the initial model as epoch 1.
+  explicit EpochPublisher(PointIcm initial);
+
+  /// The current epoch; never null.
+  std::shared_ptr<const ModelEpoch> Current() const;
+
+  /// \brief Computes drift against the current epoch, then atomically
+  /// publishes `next` as epoch id+1. Returns the new epoch.
+  std::shared_ptr<const ModelEpoch> Publish(PointIcm next);
+
+  /// Seconds since the current epoch was published.
+  double AgeSeconds() const;
+
+ private:
+  /// Guards current_/age_; unique_ptr keeps the publisher movable.
+  std::unique_ptr<std::mutex> mutex_;
+  std::shared_ptr<const ModelEpoch> current_;
+  WallTimer age_;
+
+  obs::Gauge* metric_id_;
+  obs::Gauge* metric_drift_;
+  obs::Gauge* metric_age_s_;
+  obs::Counter* metric_publishes_;
+  obs::Histogram* metric_swap_ms_;
+};
+
+}  // namespace infoflow::stream

@@ -1,0 +1,246 @@
+#include "stream/online_trainer.h"
+
+#include <cmath>
+#include <limits>
+#include <set>
+#include <utility>
+
+#include "util/check.h"
+
+namespace infoflow::stream {
+
+namespace {
+
+/// scale_ re-base threshold: far above the denormal range, far below any
+/// realistic decay product a window keeps relevant.
+constexpr double kMinScale = 1e-150;
+
+}  // namespace
+
+Status OnlineTrainerOptions::Validate() const {
+  if (!(decay > 0.0) || decay > 1.0) {
+    return Status::InvalidArgument("decay must be in (0, 1], got ", decay);
+  }
+  return Status::OK();
+}
+
+OnlineTrainer::OnlineTrainer(std::shared_ptr<const DirectedGraph> graph,
+                             OnlineTrainerOptions options)
+    : graph_(std::move(graph)),
+      options_(options),
+      successes_(graph_->num_edges(), 0.0),
+      failures_(graph_->num_edges(), 0.0),
+      metric_records_(&obs::GetCounter("stream.trainer.records_total")),
+      metric_evicted_(&obs::GetCounter("stream.trainer.evicted_total")),
+      metric_window_(&obs::GetGauge("stream.trainer.window_records")) {
+  IF_CHECK(graph_ != nullptr);
+  options_.Validate().CheckOK();
+}
+
+void OnlineTrainer::ApplyAttributed(const AttributedObject& object,
+                                    double signed_inv) {
+  // Mirror of learn/UpdateBetaIcmWithObject: out-edges of active nodes are
+  // exactly the edges with an active parent; active edges bump α, silent
+  // ones β. Same loop here so the counts agree term by term.
+  std::vector<std::uint8_t> edge_active(graph_->num_edges(), 0);
+  for (EdgeId e : object.active_edges) edge_active[e] = 1;
+  for (NodeId v : object.active_nodes) {
+    for (EdgeId e : graph_->OutEdges(v)) {
+      if (edge_active[e]) {
+        successes_[e] += signed_inv;
+      } else {
+        failures_[e] += signed_inv;
+      }
+    }
+  }
+}
+
+void OnlineTrainer::RenormalizeIfNeeded() {
+  if (scale_ >= kMinScale) return;
+  // Fold the scale into the stored counts (and the window residuals) and
+  // reset it; effective counts are unchanged.
+  for (double& s : successes_) s *= scale_;
+  for (double& f : failures_) f *= scale_;
+  for (AttributedEntry& entry : attributed_window_) entry.inv_scale *= scale_;
+  scale_ = 1.0;
+}
+
+Status OnlineTrainer::AbsorbAttributed(const AttributedObject& object) {
+  IF_RETURN_NOT_OK(ValidateAttributedObject(*graph_, object));
+  scale_ *= options_.decay;  // ages every accumulated count in O(1)
+  RenormalizeIfNeeded();
+  const double inv = 1.0 / scale_;
+  ApplyAttributed(object, inv);
+  if (options_.window > 0) {
+    attributed_window_.push_back({object, inv});
+    while (attributed_window_.size() > options_.window) {
+      ApplyAttributed(attributed_window_.front().object,
+                      -attributed_window_.front().inv_scale);
+      attributed_window_.pop_front();
+      metric_evicted_->Increment();
+    }
+  }
+  ++attributed_absorbed_;
+  metric_records_->Increment();
+  metric_window_->Set(static_cast<double>(attributed_window_.size() +
+                                          trace_window_.size()));
+  return Status::OK();
+}
+
+Status OnlineTrainer::AbsorbTrace(const ObjectTrace& trace) {
+  if (options_.decay != 1.0) {
+    return Status::FailedPrecondition(
+        "exponential decay applies to attributed Beta counts only; summary "
+        "rows are integral — use the sliding window to age traces out");
+  }
+  std::set<NodeId> seen;
+  for (const Activation& activation : trace.activations) {
+    if (activation.node >= graph_->num_nodes()) {
+      return Status::OutOfRange("trace node ", activation.node,
+                                " out of range; n=", graph_->num_nodes());
+    }
+    if (!std::isfinite(activation.time)) {
+      return Status::InvalidArgument("trace node ", activation.node,
+                                     " has a non-finite time");
+    }
+    if (!seen.insert(activation.node).second) {
+      return Status::InvalidArgument("trace activates node ", activation.node,
+                                     " twice");
+    }
+  }
+  ApplyTrace(trace, /*add=*/true);
+  if (options_.window > 0) {
+    trace_window_.push_back(trace);
+    while (trace_window_.size() > options_.window) {
+      ApplyTrace(trace_window_.front(), /*add=*/false);
+      trace_window_.pop_front();
+      metric_evicted_->Increment();
+    }
+  }
+  ++traces_absorbed_;
+  metric_records_->Increment();
+  metric_window_->Set(static_cast<double>(attributed_window_.size() +
+                                          trace_window_.size()));
+  return Status::OK();
+}
+
+Status OnlineTrainer::Absorb(const EvidenceRecord& record) {
+  if (const auto* object = std::get_if<AttributedObject>(&record)) {
+    return AbsorbAttributed(*object);
+  }
+  return AbsorbTrace(std::get<ObjectTrace>(record));
+}
+
+void OnlineTrainer::ApplyTrace(const ObjectTrace& trace, bool add) {
+  // Candidate sinks this trace can touch: an active node with in-edges can
+  // raise `unexplained` (it activated with no prior parent), and an
+  // out-neighbor of an active node can gain a characteristic row. All other
+  // sinks see an empty mask and an inactive sink — exactly the traces
+  // BuildSinkSummary's loop skips.
+  std::set<NodeId> candidates;
+  for (const Activation& activation : trace.activations) {
+    if (graph_->InDegree(activation.node) > 0) {
+      candidates.insert(activation.node);
+    }
+    for (EdgeId e : graph_->OutEdges(activation.node)) {
+      candidates.insert(graph_->edge(e).dst);
+    }
+  }
+
+  const SummaryOptions& summary = options_.unattributed.summary;
+  for (const NodeId sink : candidates) {
+    const double sink_time = trace.TimeOf(sink);
+    const bool sink_active =
+        sink_time != std::numeric_limits<double>::infinity();
+    // Same characteristic computation as BuildSinkSummary, parents in
+    // InEdges order.
+    std::string mask;
+    bool any = false;
+    for (EdgeId e : graph_->InEdges(sink)) {
+      const double parent_time = trace.TimeOf(graph_->edge(e).src);
+      bool prior;
+      if (summary.policy == CharacteristicPolicy::kAllPrior) {
+        prior = parent_time < sink_time;
+      } else {
+        prior = sink_active
+                    ? (parent_time < sink_time &&
+                       parent_time >= sink_time - summary.discrete_step)
+                    : parent_time < sink_time;
+      }
+      mask.push_back(prior ? 1 : 0);
+      any = any || prior;
+    }
+    if (!any) {
+      if (!sink_active) continue;
+      SinkState& state = sinks_[sink];
+      if (add) {
+        ++state.unexplained;
+      } else {
+        IF_CHECK(state.unexplained > 0) << "window eviction underflow";
+        --state.unexplained;
+      }
+      continue;
+    }
+    SinkState& state = sinks_[sink];
+    if (add) {
+      SummaryRow& row = state.rows[mask];
+      if (row.mask.empty()) row.mask.assign(mask.begin(), mask.end());
+      ++row.count;
+      if (sink_active) ++row.leaks;
+    } else {
+      const auto it = state.rows.find(mask);
+      IF_CHECK(it != state.rows.end()) << "window eviction of an unseen row";
+      --it->second.count;
+      if (sink_active) --it->second.leaks;
+      if (it->second.count == 0) state.rows.erase(it);
+    }
+  }
+}
+
+SinkSummary OnlineTrainer::SummaryForSink(NodeId sink) const {
+  IF_CHECK(sink < graph_->num_nodes()) << "sink " << sink << " out of range";
+  SinkSummary summary;
+  summary.sink = sink;
+  for (EdgeId e : graph_->InEdges(sink)) {
+    summary.parents.push_back(graph_->edge(e).src);
+    summary.parent_edges.push_back(e);
+  }
+  const auto it = sinks_.find(sink);
+  if (it == sinks_.end()) return summary;
+  summary.unexplained_objects = it->second.unexplained;
+  summary.rows.reserve(it->second.rows.size());
+  // The map is keyed by the mask bytes, the same keying BuildSinkSummary
+  // uses — rows come out in the identical order.
+  for (const auto& [mask, row] : it->second.rows) {
+    summary.rows.push_back(row);
+  }
+  return summary;
+}
+
+BetaIcm OnlineTrainer::AttributedModel() const {
+  std::vector<double> alphas(graph_->num_edges());
+  std::vector<double> betas(graph_->num_edges());
+  for (EdgeId e = 0; e < graph_->num_edges(); ++e) {
+    alphas[e] = 1.0 + successes_[e] * scale_;
+    betas[e] = 1.0 + failures_[e] * scale_;
+  }
+  return BetaIcm(graph_, std::move(alphas), std::move(betas));
+}
+
+Result<UnattributedModel> OnlineTrainer::FitUnattributed(Rng& rng) const {
+  return TrainUnattributedFromSummaries(
+      graph_, [this](NodeId sink) { return SummaryForSink(sink); },
+      options_.unattributed, rng);
+}
+
+Result<PointIcm> OnlineTrainer::CurrentPointModel(Rng& rng) const {
+  if (attributed_absorbed_ > 0) return AttributedModel().ExpectedIcm();
+  if (traces_absorbed_ > 0) {
+    auto model = FitUnattributed(rng);
+    if (!model.ok()) return model.status();
+    return model->ToPointIcm();
+  }
+  return Status::NotFound("no evidence absorbed yet");
+}
+
+}  // namespace infoflow::stream

@@ -1,0 +1,179 @@
+/// \file online_trainer.h
+/// \brief Incremental learning from streamed evidence, with exponential
+/// decay and sliding-window forgetting.
+///
+/// Both of the paper's learners are naturally incremental. The attributed
+/// trainer (§II-A) is conjugate counting — absorbing one object is a batch
+/// of per-edge Beta count deltas, and counting is order-independent, so an
+/// online pass over a stream is *algebraically identical* to a batch pass
+/// over the collected file. The unattributed learner consumes per-sink
+/// evidence summaries (§V-B) that are themselves additive: one trace
+/// increments the (count, leaks) cells of the characteristic rows it
+/// exhibits, so summaries can be maintained record by record and handed to
+/// the shared estimator loop (learn/TrainUnattributedFromSummaries).
+///
+/// Forgetting, for non-stationary streams:
+///
+///  - **Exponential decay** (attributed only): before each absorb, every
+///    accumulated count is multiplied by `decay`. Implemented as a global
+///    scale factor — absorb multiplies `scale ← scale·decay` and adds
+///    `1/scale` to the touched cells, so aging all m edges costs O(1).
+///    Effective counts are `stored · scale`. Unattributed summaries hold
+///    integer (count, leaks) cells; fractional decay is rejected there.
+///  - **Sliding window**: at most `window` records (per evidence kind) are
+///    retained; absorbing past the limit reverses the oldest record's
+///    increments exactly — with decay, subtracting its stored `1/scale`
+///    removes precisely its decayed residual.
+///
+/// **Batch equivalence**: with decay = 1 and window = ∞ (the defaults) all
+/// arithmetic is integer-valued and order-independent, so the online model
+/// is *bit-identical* — not approximately equal — to the batch trainer on
+/// the same records in any order: Beta counts match
+/// TrainBetaIcmFromAttributed exactly, and the unattributed fit consumes
+/// the identical summaries through the identical estimator/rng sequence as
+/// TrainUnattributedModel. tests/test_stream.cc asserts this property on
+/// shuffled evidence.
+///
+/// Thread-safety: none — callers (stream/StreamIngestor) serialize access.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/beta_icm.h"
+#include "core/icm.h"
+#include "learn/attributed.h"
+#include "learn/model_trainer.h"
+#include "learn/summary.h"
+#include "learn/unattributed.h"
+#include "obs/metrics.h"
+#include "stats/rng.h"
+#include "stream/evidence_stream.h"
+#include "util/status.h"
+
+namespace infoflow::stream {
+
+/// \brief Forgetting and fit configuration.
+struct OnlineTrainerOptions {
+  /// Multiplicative aging applied to all accumulated attributed counts per
+  /// absorbed attributed record; 1 = never forget. Must be in (0, 1].
+  double decay = 1.0;
+  /// Maximum records retained per evidence kind; 0 = unbounded. Absorbing
+  /// an (window+1)-th record evicts the oldest exactly.
+  std::size_t window = 0;
+  /// Estimator configuration for FitUnattributed (method, summary policy,
+  /// no-evidence mean — identical meaning to the batch trainer).
+  UnattributedTrainOptions unattributed;
+
+  /// Validates the option values.
+  Status Validate() const;
+};
+
+/// \brief Absorbs evidence records one at a time and produces models on
+/// demand.
+class OnlineTrainer {
+ public:
+  /// `graph` fixes the topology every record is validated against.
+  OnlineTrainer(std::shared_ptr<const DirectedGraph> graph,
+                OnlineTrainerOptions options);
+
+  /// \brief Folds one attributed object in: per §II-A, every out-edge of
+  /// an active node gets α += 1 (edge active) or β += 1 (edge silent),
+  /// scaled by the decay machinery. Validates first; invalid records leave
+  /// the state untouched.
+  Status AbsorbAttributed(const AttributedObject& object);
+
+  /// \brief Folds one unattributed trace into the per-sink summaries it
+  /// touches (the characteristic rows of §V-B). Requires decay == 1
+  /// (summary cells are integral counts). Validates first.
+  Status AbsorbTrace(const ObjectTrace& trace);
+
+  /// Dispatches on the record's kind.
+  Status Absorb(const EvidenceRecord& record);
+
+  /// \brief The attributed model: Beta(1 + successes·scale,
+  /// 1 + failures·scale) per edge. With decay=1/window=∞ this is exactly
+  /// TrainBetaIcmFromAttributed over the absorbed objects.
+  BetaIcm AttributedModel() const;
+
+  /// \brief Runs the shared estimator loop over the incrementally
+  /// maintained summaries. With window=∞ this is exactly
+  /// TrainUnattributedModel over the absorbed traces (same rows, same row
+  /// order, same rng consumption).
+  Result<UnattributedModel> FitUnattributed(Rng& rng) const;
+
+  /// \brief The point model a ModelEpoch publishes: the attributed
+  /// expected model p = α/(α+β) when any attributed records have arrived,
+  /// else the unattributed fit's means. NotFound before any record.
+  Result<PointIcm> CurrentPointModel(Rng& rng) const;
+
+  /// \brief The current summary for one sink, assembled from the
+  /// incremental state (same parents / row keying / row order as
+  /// BuildSinkSummary). Exposed for FitUnattributed and tests.
+  SinkSummary SummaryForSink(NodeId sink) const;
+
+  /// Records currently inside the window, per kind.
+  std::size_t attributed_in_window() const { return attributed_window_.size(); }
+  std::size_t traces_in_window() const { return trace_window_.size(); }
+
+  /// Records absorbed over the trainer's lifetime, per kind.
+  std::uint64_t attributed_absorbed() const { return attributed_absorbed_; }
+  std::uint64_t traces_absorbed() const { return traces_absorbed_; }
+
+  const std::shared_ptr<const DirectedGraph>& graph_ptr() const {
+    return graph_;
+  }
+  const OnlineTrainerOptions& options() const { return options_; }
+
+ private:
+  /// Incremental per-sink summary state: the map mirrors BuildSinkSummary's
+  /// mask-string keying so assembled rows come out in the identical order.
+  struct SinkState {
+    std::map<std::string, SummaryRow> rows;
+    std::uint64_t unexplained = 0;
+  };
+
+  /// One retained attributed record with the inverse scale it was absorbed
+  /// at (eviction subtracts exactly its decayed residual).
+  struct AttributedEntry {
+    AttributedObject object;
+    double inv_scale;
+  };
+
+  /// Applies one object's ±1/scale count deltas (sign = +1 absorb,
+  /// -1 evict).
+  void ApplyAttributed(const AttributedObject& object, double signed_inv);
+
+  /// Applies one trace's ±1 summary increments.
+  void ApplyTrace(const ObjectTrace& trace, bool add);
+
+  /// Re-bases stored counts when scale_ underflows toward denormals.
+  void RenormalizeIfNeeded();
+
+  std::shared_ptr<const DirectedGraph> graph_;
+  OnlineTrainerOptions options_;
+
+  /// Attributed state: effective count = stored · scale_.
+  std::vector<double> successes_;
+  std::vector<double> failures_;
+  double scale_ = 1.0;
+  std::deque<AttributedEntry> attributed_window_;
+
+  /// Unattributed state, touched sinks only.
+  std::unordered_map<NodeId, SinkState> sinks_;
+  std::deque<ObjectTrace> trace_window_;
+
+  std::uint64_t attributed_absorbed_ = 0;
+  std::uint64_t traces_absorbed_ = 0;
+
+  obs::Counter* metric_records_;
+  obs::Counter* metric_evicted_;
+  obs::Gauge* metric_window_;
+};
+
+}  // namespace infoflow::stream

@@ -77,9 +77,13 @@ void AppendEscaped(std::string& out, const std::string& s) {
 }
 
 void AppendNumber(std::string& out, double v) {
-  // Integers in the exactly-representable range print without a fraction;
-  // everything else gets enough digits to round-trip.
-  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+  // Integers in the exactly-representable range (|v| <= 2^53) print without
+  // a fraction — accumulated Beta counts and row totals stay plain integers
+  // however large they grow; everything else gets enough digits (up to 17
+  // significant) to round-trip through strtod exactly.
+  constexpr double kMaxExactInteger = 9007199254740992.0;  // 2^53
+  if (std::isfinite(v) && v == std::floor(v) &&
+      std::fabs(v) <= kMaxExactInteger) {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%.0f", v);
     out += buf;

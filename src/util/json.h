@@ -72,8 +72,11 @@ class JsonValue {
   const JsonValue* Find(std::string_view key) const;
 
   /// \brief Serializes compactly (no whitespace), with object keys in map
-  /// order and doubles in shortest round-trip form (integers print without
-  /// a fractional part).
+  /// order and doubles in shortest round-trip form: integers up to 2^53 in
+  /// magnitude print without a fractional part, everything else with the
+  /// fewest significant digits (at most 17) that parse back to the exact
+  /// same double — snapshots of drift statistics and Beta counts survive
+  /// Dump → ParseJson bit-exactly.
   std::string Dump() const;
 
  private:

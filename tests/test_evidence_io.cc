@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "twitter/cascade_gen.h"
 #include "twitter/tag_gen.h"
 
@@ -83,6 +84,33 @@ TEST(AttributedIo, RejectsMalformedInput) {
   EXPECT_FALSE(DeserializeAttributedEvidence(
                    "infoflow-attributed v1\nobjects 1\n0|0|0-1\n", *g)
                    .ok());  // bad edge syntax
+}
+
+TEST(AttributedIo, CollapsesDuplicateIdsWithinFields) {
+  // A streaming source that double-delivers a field must not double-count
+  // Beta updates: repeats collapse to the first occurrence and are tallied
+  // in parse.duplicates.
+  auto g = Triangle();
+  const std::uint64_t before = obs::GetCounter("parse.duplicates").Value();
+  auto object = ParseAttributedObjectLine("0 0|0 1 1 2|0>1 0>1 1>2", *g);
+  ASSERT_TRUE(object.ok()) << object.status();
+  EXPECT_EQ(object->sources, std::vector<NodeId>({0}));
+  EXPECT_EQ(object->active_nodes, std::vector<NodeId>({0, 1, 2}));
+  EXPECT_EQ(object->active_edges,
+            std::vector<EdgeId>({g->FindEdge(0, 1), g->FindEdge(1, 2)}));
+  EXPECT_EQ(obs::GetCounter("parse.duplicates").Value() - before, 3u);
+}
+
+TEST(TracesIo, CollapsesDuplicateActivations) {
+  const std::uint64_t before = obs::GetCounter("parse.duplicates").Value();
+  auto trace = ParseTraceLine("0:0 1:2.5 0:0");
+  ASSERT_TRUE(trace.ok()) << trace.status();
+  ASSERT_EQ(trace->activations.size(), 2u);
+  EXPECT_EQ(trace->activations[0].node, 0u);
+  EXPECT_EQ(trace->activations[1].node, 1u);
+  EXPECT_EQ(obs::GetCounter("parse.duplicates").Value() - before, 1u);
+  // The same node at a *different* time cannot be merged — hard error.
+  EXPECT_FALSE(ParseTraceLine("0:0 1:2.5 0:1").ok());
 }
 
 TEST(AttributedIo, ValidatesSemantics) {

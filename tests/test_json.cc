@@ -75,6 +75,37 @@ TEST(JsonDump, NumbersRoundTrip) {
   }
 }
 
+TEST(JsonDump, LargeMagnitudeDoublesRoundTripExactly) {
+  // Every value must survive Dump → strtod bit-exactly: whole-number
+  // doubles (accumulated counters) print as plain integers up to 2^53,
+  // and anything larger or fractional gets up-to-17-significant-digit
+  // output. Regression for streamed metrics snapshots, where totals grow
+  // without bound.
+  const double big[] = {
+      9007199254740992.0,   // 2^53: last exactly-representable integer
+      9007199254740991.0,   // 2^53 - 1
+      -9007199254740992.0,
+      9007199254740994.0,   // 2^53 + 2: past the integer fast path
+      1.8446744073709552e19,  // 2^64
+      1e300,
+      -1e300,
+      4e18,                 // uint64-scale counter territory (inexact range)
+      123456789012345678.0,
+      0.1 + 0.2,            // classic shortest-representation case
+      1.7976931348623157e308,  // DBL_MAX
+  };
+  for (const double x : big) {
+    const JsonValue v(x);
+    auto back = ParseJson(v.Dump());
+    ASSERT_TRUE(back.ok()) << v.Dump();
+    EXPECT_EQ(back->AsNumber(), x) << v.Dump();  // bit-exact, not NEAR
+  }
+  // Integer-valued doubles inside the exact range print with no fraction
+  // or exponent (wire compatibility for counters).
+  EXPECT_EQ(JsonValue(9007199254740991.0).Dump(), "9007199254740991");
+  EXPECT_EQ(JsonValue(4e15).Dump(), "4000000000000000");
+}
+
 TEST(JsonDump, BuilderStyleConstruction) {
   JsonValue obj{JsonValue::Object{}};
   obj.MutableObject()["ok"] = JsonValue(true);

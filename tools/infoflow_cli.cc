@@ -47,6 +47,7 @@
 #include "core/serialization.h"
 #include "serve/sample_bank.h"
 #include "serve/server.h"
+#include "stream/ingestor.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "graph/generators.h"
@@ -404,9 +405,37 @@ int CmdServe(Flags& flags) {
   server_options.max_batch = flags.GetInt("max-batch", 64);
   server_options.socket_path = flags.Get("socket", "");
   server_options.refresh_interval_ms = flags.GetDouble("refresh-ms", 0.0);
+  server_options.drift_threshold = flags.GetDouble("drift-threshold", 0.0);
   server_options.engine.min_conditional_rows =
       flags.GetInt("min-conditional-rows", 32);
   server_options.engine.num_threads = flags.GetInt("threads", 0);
+
+  // Streaming ingestion: --ingest enables the serve-connection verb,
+  // --ingest-from additionally tails a file/FIFO side channel.
+  const std::string ingest_from = flags.Get("ingest-from", "");
+  const bool ingest_enabled = flags.GetBool("ingest") || !ingest_from.empty();
+  std::shared_ptr<stream::StreamIngestor> ingestor;
+  if (ingest_enabled) {
+    stream::IngestorOptions ingest_options;
+    ingest_options.trainer.decay = flags.GetDouble("decay", 1.0);
+    ingest_options.trainer.window = flags.GetInt("window", 0);
+    ingest_options.epoch_every = flags.GetInt("epoch-every", 64);
+    ingest_options.queue_capacity = flags.GetInt("queue-capacity", 1024);
+    ingest_options.seed = seed;
+    auto policy =
+        stream::ParseQueueOverflowPolicy(flags.Get("queue-policy", "park"));
+    if (!policy.ok()) return Fail(policy.status());
+    ingest_options.queue_policy = *policy;
+    auto format =
+        stream::ParseStreamFormat(flags.Get("ingest-format", "auto"));
+    if (!format.ok()) return Fail(format.status());
+    ingest_options.format = *format;
+    const Status valid = ingest_options.Validate();
+    if (!valid.ok()) return Fail(valid);
+    ingestor = std::make_shared<stream::StreamIngestor>(model->graph_ptr(),
+                                                        *model,
+                                                        ingest_options);
+  }
 
   WallTimer warmup;
   auto bank = serve::SampleBank::Create(*model, bank_options, seed);
@@ -422,10 +451,21 @@ int CmdServe(Flags& flags) {
   auto server =
       serve::Server::Create(std::move(bank).ValueOrDie(), server_options);
   if (!server.ok()) return Fail(server.status());
+  if (ingestor != nullptr) server->AttachIngestor(ingestor);
   Status status = server->Start();
   if (!status.ok()) return Fail(status);
+  if (!ingest_from.empty()) {
+    status = ingestor->StartFeed(ingest_from);
+    if (!status.ok()) return Fail(status);
+    std::fprintf(stderr, "serve: tailing evidence feed %s\n",
+                 ingest_from.c_str());
+  }
   // Foreground loop: NDJSON batches on stdin/stdout until EOF.
   status = server->ServeStdio();
+  // Order matters: the feed flush may publish a final epoch whose drift
+  // queues one last rebuild, which Stop() drains before returning — so the
+  // post-run metrics snapshot reflects everything that was ingested.
+  if (ingestor != nullptr) ingestor->StopFeed();
   server->Stop();
   if (!status.ok()) return Fail(status);
   return 0;
@@ -500,7 +540,15 @@ int Usage() {
       "  serve               --model m [--bank-states N] [--chains K]\n"
       "                      [--socket path.sock] [--max-batch B]\n"
       "                      [--refresh-ms T] [--min-conditional-rows F]\n"
+      "                      [--seed S] (bank + rebuild chain seeds)\n"
       "                      (NDJSON queries on stdin -> responses on stdout)\n"
+      "    streaming:        [--ingest] ({\"ingest\":\"<record>\"} lines on the\n"
+      "                      connection) [--ingest-from path] (tail a file or\n"
+      "                      FIFO of evidence lines) [--ingest-format\n"
+      "                      auto|attributed|traces] [--decay D] [--window W]\n"
+      "                      [--epoch-every N] [--drift-threshold T]\n"
+      "                      [--queue-capacity C]\n"
+      "                      [--queue-policy park|drop-newest|drop-oldest]\n"
       "  impact              --model m --source U [--cascades N]\n"
       "  info                --model m\n"
       "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n"
