@@ -123,6 +123,11 @@ struct Server::Background {
   std::mutex rebuild_mutex;
   std::condition_variable rebuild_cv;
   std::shared_ptr<const stream::ModelEpoch> pending_epoch;
+  /// Rebuild-worker shutdown is signalled separately from `stopping`:
+  /// Stop() raises it only after the feed, listener, and every connection
+  /// thread have been quiesced, so an epoch published by a late ingest
+  /// line is still drained (the guarantee Stop() documents).
+  bool rebuild_stop = false;
 };
 
 Status ServerOptions::Validate() const {
@@ -295,7 +300,7 @@ void Server::RebuildLoop() {
     {
       std::unique_lock<std::mutex> lock(bg.rebuild_mutex);
       bg.rebuild_cv.wait(lock, [&bg] {
-        return bg.pending_epoch != nullptr || bg.stopping.load();
+        return bg.pending_epoch != nullptr || bg.rebuild_stop;
       });
       // A queued epoch is still applied during shutdown (the drain Stop()
       // promises); the worker exits only once nothing is pending.
@@ -383,8 +388,11 @@ void Server::RefreshLoop() {
 void Server::Stop() {
   Background& bg = *background_;
   bg.stopping.store(true);
-  bg.rebuild_cv.notify_all();
-  if (bg.rebuild_thread.joinable()) bg.rebuild_thread.join();
+  // Quiesce every epoch source before the rebuild worker is allowed to
+  // exit: first the side-channel feed (draining it may publish one final
+  // epoch), then the listener and the connection threads (an open
+  // connection can absorb an {"ingest":...} line until it is joined).
+  if (ingestor_ != nullptr) ingestor_->StopFeed();
   if (bg.listen_fd >= 0) {
     // shutdown() unblocks accept(); close() invalidates the fd.
     shutdown(bg.listen_fd, SHUT_RDWR);
@@ -401,6 +409,18 @@ void Server::Stop() {
   for (std::thread& t : connections) {
     if (t.joinable()) t.join();
   }
+  // Nothing can publish through this server anymore; detach the callback
+  // so an ingestor kept alive by an external shared_ptr cannot call into
+  // a stopped (or destroyed) server.
+  if (ingestor_ != nullptr) ingestor_->SetEpochCallback(nullptr);
+  // Drain the rebuild worker last: every epoch queued above is applied
+  // before Stop() returns.
+  {
+    std::lock_guard<std::mutex> lock(bg.rebuild_mutex);
+    bg.rebuild_stop = true;
+  }
+  bg.rebuild_cv.notify_all();
+  if (bg.rebuild_thread.joinable()) bg.rebuild_thread.join();
   if (!options_.socket_path.empty()) {
     unlink(options_.socket_path.c_str());
   }

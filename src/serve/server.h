@@ -87,10 +87,13 @@ class Server {
   /// ingestor is attached). Idempotent per server.
   Status Start();
 
-  /// Stops the background threads and joins open connections. A pending
-  /// drift-triggered rebuild is drained (applied) before returning, so a
-  /// post-Stop metrics snapshot deterministically reflects every absorbed
-  /// epoch. Called by the destructor.
+  /// Stops the background threads and joins open connections. An attached
+  /// ingestor's feed is stopped and its epoch callback detached; the
+  /// rebuild worker is joined only after every epoch source is quiet, so a
+  /// pending drift-triggered rebuild — including one raised by the last
+  /// line of a draining connection or feed — is applied before returning
+  /// and a post-Stop metrics snapshot deterministically reflects every
+  /// absorbed epoch. Called by the destructor.
   void Stop();
 
   /// The shared bank (e.g. for warm-up checks in tests).

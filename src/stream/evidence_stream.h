@@ -120,7 +120,9 @@ class EvidenceQueue {
   std::size_t Depth() const;
 
   /// Records dropped by the overflow policy so far.
-  std::uint64_t Dropped() const { return dropped_; }
+  std::uint64_t Dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   const std::size_t capacity_;
@@ -131,7 +133,9 @@ class EvidenceQueue {
   std::condition_variable not_empty_;
   std::deque<EvidenceRecord> records_;
   bool closed_ = false;
-  std::uint64_t dropped_ = 0;
+  /// Atomic so Dropped() can read without mutex_ while Push increments
+  /// under it.
+  std::atomic<std::uint64_t> dropped_{0};
 
   obs::Gauge* metric_depth_;
   obs::Counter* metric_dropped_;

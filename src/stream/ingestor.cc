@@ -77,6 +77,14 @@ Result<IngestAck> StreamIngestor::IngestLine(const std::string& line) {
 }
 
 Result<std::shared_ptr<const ModelEpoch>> StreamIngestor::Publish() {
+  // publish_mutex_ spans the fit *and* the publisher swap: Publish() is
+  // reachable concurrently from the feed consumer and every serve
+  // connection, and without this lock a thread that fit an older trainer
+  // state could swap its epoch in after a newer one, regressing the
+  // current model. trainer_mutex_ alone cannot give that guarantee — it
+  // is released between fit and swap so ingestion never blocks on the
+  // publish bookkeeping. Lock order: publish_mutex_ → trainer_mutex_.
+  std::lock_guard<std::mutex> publish_lock(publish_mutex_);
   std::optional<PointIcm> model;
   {
     std::lock_guard<std::mutex> lock(trainer_mutex_);

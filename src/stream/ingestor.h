@@ -98,8 +98,10 @@ class StreamIngestor {
   /// Stops the feed threads, if any. Idempotent.
   void StopFeed();
 
-  /// \brief Registers the post-publish hook (server drift trigger). Called
-  /// without internal locks held; replaces any previous callback.
+  /// \brief Registers the post-publish hook (server drift trigger);
+  /// replaces any previous callback (nullptr detaches). The callback is
+  /// invoked in strict epoch order — it runs under the publish lock, so it
+  /// must not call back into PublishNow or ingest methods.
   void SetEpochCallback(
       std::function<void(std::shared_ptr<const ModelEpoch>)> callback);
 
@@ -123,8 +125,10 @@ class StreamIngestor {
   /// Absorbs under the trainer lock; publishes on the cadence.
   Status AbsorbRecord(const EvidenceRecord& record);
 
-  /// Fits + publishes; requires trainer_mutex_ NOT held. Returns the fit
-  /// error when the trainer cannot produce a model yet.
+  /// Fits + publishes under publish_mutex_, so the epoch sequence matches
+  /// the fit sequence even when called concurrently (feed consumer + serve
+  /// connections). Requires trainer_mutex_ NOT held. Returns the fit error
+  /// when the trainer cannot produce a model yet.
   Result<std::shared_ptr<const ModelEpoch>> Publish();
 
   /// Feed consumer loop: drains queue_ into the trainer.
@@ -132,6 +136,10 @@ class StreamIngestor {
 
   std::shared_ptr<const DirectedGraph> graph_;
   IngestorOptions options_;
+
+  /// Serializes fit+publish pairs (see Publish); acquired before
+  /// trainer_mutex_, never the other way around.
+  std::mutex publish_mutex_;
 
   mutable std::mutex trainer_mutex_;
   OnlineTrainer trainer_;

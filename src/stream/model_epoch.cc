@@ -42,19 +42,17 @@ std::shared_ptr<const ModelEpoch> EpochPublisher::Current() const {
 
 std::shared_ptr<const ModelEpoch> EpochPublisher::Publish(PointIcm next) {
   WallTimer swap;
-  // Drift is computed outside the lock: readers may keep acquiring the old
-  // epoch while we diff against it, exactly as SampleBank fills the next
-  // generation while the previous one serves.
-  std::shared_ptr<const ModelEpoch> prev;
+  // Prev-read, drift, id mint, and swap form one critical section: two
+  // concurrent publishers must not both diff against the same predecessor
+  // and mint duplicate ids. Readers block only for the O(edges) drift scan
+  // — cheap next to the fit that produced `next`.
+  std::shared_ptr<const ModelEpoch> epoch;
+  double drift;
   {
     std::lock_guard<std::mutex> lock(*mutex_);
-    prev = current_;
-  }
-  const double drift = MaxAbsDrift(prev->model, next);
-  auto epoch =
-      std::make_shared<const ModelEpoch>(prev->id + 1, std::move(next), drift);
-  {
-    std::lock_guard<std::mutex> lock(*mutex_);
+    drift = MaxAbsDrift(current_->model, next);
+    epoch = std::make_shared<const ModelEpoch>(current_->id + 1,
+                                               std::move(next), drift);
     current_ = epoch;
     age_.Restart();
   }

@@ -47,9 +47,13 @@ struct ModelEpoch {
 
 /// \brief Owner of the current epoch pointer.
 ///
-/// Thread-safety: `Current()` and `AgeSeconds()` from any thread;
-/// `Publish()` must be driven by one thread at a time (the ingestor's
-/// consumer), mirroring SampleBank's contract.
+/// Thread-safety: all methods are safe from any thread. `Publish()` runs
+/// its prev-read, drift computation, id mint, and pointer swap in one
+/// critical section, so concurrent publishers get distinct, strictly
+/// increasing epoch ids, each diffed against its true predecessor. Note
+/// that serializing *publication* cannot order the model *fits* that feed
+/// it — callers that fit then publish (StreamIngestor) hold their own
+/// lock across both steps so epoch order matches fit order.
 class EpochPublisher {
  public:
   /// Publishes the initial model as epoch 1.

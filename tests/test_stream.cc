@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -541,6 +542,42 @@ TEST(ModelEpochs, PublishSwapsWithoutInvalidatingReaders) {
   EXPECT_GE(publisher.AgeSeconds(), 0.0);
 }
 
+TEST(ModelEpochs, ConcurrentPublishMintsUniqueMonotonicIds) {
+  auto g = Diamond();
+  EpochPublisher publisher(PointIcm(g, {0.1, 0.2, 0.3, 0.4}));
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::vector<std::uint64_t>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&publisher, &ids, g, t] {
+      Rng rng(100 + static_cast<std::uint64_t>(t));
+      for (int i = 0; i < kPerThread; ++i) {
+        std::vector<double> probs(g->num_edges());
+        for (double& p : probs) p = rng.Uniform(0.1, 0.9);
+        ids[static_cast<std::size_t>(t)].push_back(
+            publisher.Publish(PointIcm(g, probs))->id);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Per publisher thread the returned ids increase; across all threads the
+  // ids are exactly {2, ..., 1 + kThreads*kPerThread}, each minted once.
+  std::vector<std::uint64_t> all;
+  for (const auto& per_thread : ids) {
+    EXPECT_TRUE(std::is_sorted(per_thread.begin(), per_thread.end()));
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    ASSERT_EQ(all[i], i + 2) << "duplicate or skipped epoch id";
+  }
+  EXPECT_EQ(publisher.Current()->id, 1u + kThreads * kPerThread);
+}
+
 // ---------------------------------------------------------- the ingestor
 
 IngestorOptions FastIngest(std::size_t epoch_every = 1) {
@@ -586,6 +623,44 @@ TEST(StreamIngestor, EpochCadenceAndCallback) {
   ASSERT_TRUE(flushed.ok());
   EXPECT_EQ((*flushed)->id, 4u);
   EXPECT_EQ(published, std::vector<std::uint64_t>({2, 3, 4}));
+}
+
+TEST(StreamIngestor, ConcurrentIngestKeepsEpochsOrderedAndUnique) {
+  auto g = Diamond();
+  StreamIngestor ingestor(g, PointIcm::Constant(g, 0.5),
+                          FastIngest(/*epoch_every=*/1));
+  // The callback runs under the publish lock, so the epochs it sees must
+  // be strictly increasing even with many threads racing fit+publish.
+  std::uint64_t last_seen = 1;
+  std::uint64_t out_of_order = 0;
+  std::uint64_t callbacks = 0;
+  ingestor.SetEpochCallback(
+      [&](std::shared_ptr<const ModelEpoch> epoch) {
+        if (epoch->id <= last_seen) ++out_of_order;
+        last_seen = epoch->id;
+        ++callbacks;
+      });
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 25;
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ingestor, &failures] {
+      for (int i = 0; i < kPerThread; ++i) {
+        if (!ingestor.IngestLine("0|0 1|0>1").ok()) ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  constexpr std::uint64_t kTotal = kThreads * kPerThread;
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(ingestor.absorbed(), kTotal);
+  // epoch_every=1: every absorbed record published exactly one epoch.
+  EXPECT_EQ(callbacks, kTotal);
+  EXPECT_EQ(out_of_order, 0u);
+  EXPECT_EQ(ingestor.CurrentEpoch()->id, 1u + kTotal);
 }
 
 TEST(StreamIngestor, FeedFromFileDrainsAndFlushes) {
@@ -767,6 +842,42 @@ TEST(ServeIngest, IngestThenQuerySeesRebuiltEpoch) {
   // Edge 1->3 was silent while node 1 was active: Beta(1,2) → mean 1/3.
   EXPECT_DOUBLE_EQ(server->bank().model().prob(g->FindEdge(1, 3)),
                    1.0 / 3.0);
+}
+
+TEST(ServeIngest, StopQuiescesTheFeedAndDrainsItsRebuild) {
+  auto g = Diamond();
+  const PointIcm initial = PointIcm::Constant(g, 0.5);
+  auto bank = serve::SampleBank::Create(initial, FastBank(), 3);
+  ASSERT_TRUE(bank.ok());
+  serve::ServerOptions options;
+  options.drift_threshold = 0.0;  // any drift triggers a rebuild
+  auto server = serve::Server::Create(std::move(bank).ValueOrDie(), options);
+  ASSERT_TRUE(server.ok());
+  // epoch_every larger than the feed: the only publish is the flush when
+  // the drained feed stops — which Stop() itself must trigger and drain.
+  auto ingestor = std::make_shared<StreamIngestor>(
+      g, initial, FastIngest(/*epoch_every=*/100));
+  server->AttachIngestor(ingestor);
+  ASSERT_TRUE(server->Start().ok());
+
+  const std::string path = ::testing::TempDir() + "/serve_stop_feed.evidence";
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << "0|0 1|0>1\n";
+  }
+  ASSERT_TRUE(ingestor->StartFeed(path).ok());
+  for (int i = 0; i < 500 && ingestor->absorbed() < 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_EQ(ingestor->absorbed(), 1u);
+
+  // No explicit StopFeed(): Stop() stops the feed, waits out the flush
+  // publish, and applies the resulting drift-triggered rebuild before
+  // returning — the epoch-2 model is live once Stop() is back.
+  server->Stop();
+  EXPECT_EQ(ingestor->CurrentEpoch()->id, 2u);
+  EXPECT_EQ(server->bank().model_epoch(), 2u);
+  std::remove(path.c_str());
 }
 
 TEST(ServeIngest, ProtocolHelpers) {
