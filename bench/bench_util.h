@@ -31,6 +31,21 @@ double TimeReps(int reps, Body&& body) {
   return timer.TotalSeconds() / reps;
 }
 
+/// Runs `body()` `reps` times and returns the *fastest* wall-clock seconds
+/// of any single repetition. Use for ratio measurements (A vs B on the same
+/// work), where the minimum is the stable estimator under scheduler noise.
+template <typename Body>
+double TimeBest(int reps, Body&& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    body();
+    const double s = timer.Seconds();
+    if (r == 0 || s < best) best = s;
+  }
+  return best;
+}
+
 /// Parsed command line for a bench binary.
 struct BenchArgs {
   std::string csv_dir;  // empty: no CSV output

@@ -12,9 +12,17 @@
 /// thinning max(8, m/8)) and the same retained-state count, so the
 /// estimates have comparable precision and the ratio isolates reuse.
 ///
+/// Each bank size also times the same batch through the engine's scalar
+/// reference path (one BFS per row, `use_batch_reachability = false`);
+/// `reach_speedup` is the bit-parallel 64-rows-per-pass win over it, with
+/// the answers cross-checked for exact equality first. Both sides take the
+/// best of 3 runs so the CI gate on the ratio is stable under scheduler
+/// noise.
+///
 /// Emits BENCH_serve.json (in --csv <dir> when given, else the working
 /// directory) with one record per bank size; `speedup_batch` is the
-/// headline fresh-vs-bank ratio at the 100-query batch.
+/// headline fresh-vs-bank ratio at the 100-query batch and `reach_speedup`
+/// the scalar-vs-batch BFS ratio the CI perf-smoke gate checks.
 
 #include <algorithm>
 #include <cstdio>
@@ -92,12 +100,13 @@ int Run(const BenchArgs& args) {
   const std::size_t fresh_reps = args.quick ? 3 : 5;
 
   CsvWriter csv({"bank_states", "fill_s", "bank_batch_s", "bank_queries_per_s",
-                 "fresh_per_query_s", "fresh_batch_s", "speedup_batch",
-                 "speedup_incl_fill"});
+                 "scalar_batch_s", "reach_speedup", "fresh_per_query_s",
+                 "fresh_batch_s", "speedup_batch", "speedup_incl_fill"});
   JsonValue::Array records;
-  std::printf("%11s | %9s %12s %12s | %14s %12s | %9s %9s\n", "bank states",
-              "fill s", "bank batch s", "bank q/s", "fresh s/query",
-              "fresh batch s", "speedup", "w/ fill");
+  std::printf("%11s | %9s %12s %12s | %12s %9s | %14s %12s | %9s %9s\n",
+              "bank states", "fill s", "bank batch s", "bank q/s",
+              "scalar s", "bit-par", "fresh s/query", "fresh batch s",
+              "speedup", "w/ fill");
   for (const std::size_t bank_states : bank_sizes) {
     BankOptions options;
     options.num_states = bank_states;
@@ -112,11 +121,32 @@ int Run(const BenchArgs& args) {
     engine.status().CheckOK();
     const auto generation = bank->Acquire();
     engine->AnswerBatch(*generation, {queries[0]});  // warm the pool
-    timer.Restart();
-    const std::vector<QueryResult> results =
-        engine->AnswerBatch(*generation, queries);
-    const double bank_batch_s = timer.Seconds();
+    std::vector<QueryResult> results;
+    const double bank_batch_s = TimeBest(
+        3, [&] { results = engine->AnswerBatch(*generation, queries); });
     for (const QueryResult& result : results) result.status.CheckOK();
+
+    // Scalar-reachability reference: same engine, same bank, one BFS per
+    // row instead of 64 per pass. The ratio isolates the bit-parallel win
+    // from the sampling-reuse win.
+    QueryEngineOptions scalar_options;
+    scalar_options.use_batch_reachability = false;
+    auto scalar_engine = QueryEngine::Create(bank->graph_ptr(), scalar_options);
+    scalar_engine.status().CheckOK();
+    scalar_engine->AnswerBatch(*generation, {queries[0]});  // warm the pool
+    std::vector<QueryResult> scalar_results;
+    const double scalar_batch_s = TimeBest(3, [&] {
+      scalar_results = scalar_engine->AnswerBatch(*generation, queries);
+    });
+    for (std::size_t q = 0; q < results.size(); ++q) {
+      scalar_results[q].status.CheckOK();
+      if (scalar_results[q].estimates[0].value !=
+          results[q].estimates[0].value) {
+        std::fprintf(stderr, "batch/scalar divergence on query %zu\n", q);
+        return 1;
+      }
+    }
+    const double reach_speedup = scalar_batch_s / bank_batch_s;
 
     // Fresh baseline: a new engine per query, same chain tuning, same
     // retained-state count as the bank.
@@ -139,12 +169,16 @@ int Run(const BenchArgs& args) {
     const double speedup = fresh_batch_s / bank_batch_s;
     const double speedup_incl_fill = fresh_batch_s / (fill_s + bank_batch_s);
     const double bank_qps = static_cast<double>(batch) / bank_batch_s;
-    std::printf("%11zu | %9.3f %12.5f %12.0f | %14.4f %12.2f | %8.1fx %8.1fx\n",
-                bank_states, fill_s, bank_batch_s, bank_qps, fresh_per_query_s,
-                fresh_batch_s, speedup, speedup_incl_fill);
+    std::printf(
+        "%11zu | %9.3f %12.5f %12.0f | %12.5f %8.1fx | %14.4f %12.2f | "
+        "%8.1fx %8.1fx\n",
+        bank_states, fill_s, bank_batch_s, bank_qps, scalar_batch_s,
+        reach_speedup, fresh_per_query_s, fresh_batch_s, speedup,
+        speedup_incl_fill);
     csv.AppendNumericRow({static_cast<double>(bank_states), fill_s,
-                          bank_batch_s, bank_qps, fresh_per_query_s,
-                          fresh_batch_s, speedup, speedup_incl_fill});
+                          bank_batch_s, bank_qps, scalar_batch_s,
+                          reach_speedup, fresh_per_query_s, fresh_batch_s,
+                          speedup, speedup_incl_fill});
 
     JsonValue::Object record;
     record["bank_states"] = static_cast<double>(bank_states);
@@ -152,6 +186,8 @@ int Run(const BenchArgs& args) {
     record["fill_s"] = fill_s;
     record["bank_batch_s"] = bank_batch_s;
     record["bank_queries_per_s"] = bank_qps;
+    record["scalar_batch_s"] = scalar_batch_s;
+    record["reach_speedup"] = reach_speedup;
     record["fresh_per_query_s"] = fresh_per_query_s;
     record["fresh_batch_s"] = fresh_batch_s;
     record["fresh_timed_queries"] = static_cast<double>(fresh_reps);

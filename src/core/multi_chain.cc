@@ -68,6 +68,14 @@ MultiChainSampler::MultiChainSampler(std::vector<MhSampler> chains,
         {&obs::GetGauge(prefix + "acceptance_rate"),
          &obs::GetGauge(prefix + "samples_per_s")});
   }
+  if (options_.use_batch_reachability) {
+    batch_workspaces_.reserve(chains_.size());
+    pack_buffers_.reserve(chains_.size());
+    for (std::size_t k = 0; k < chains_.size(); ++k) {
+      batch_workspaces_.emplace_back(ModelGraph());
+      pack_buffers_.emplace_back(ModelGraph().num_edges(), 0);
+    }
+  }
   std::size_t threads = options_.num_threads;
   if (threads == 0) {
     threads = std::min<std::size_t>(
@@ -116,6 +124,38 @@ void MultiChainSampler::RunChains(std::size_t per_chain, const Record& record) {
   metric_samples_drawn_->Increment(chains_.size() * per_chain);
 }
 
+namespace {
+
+/// All-ones over the `lanes` valid samples of a block.
+std::uint64_t LaneMask(std::size_t lanes) {
+  return lanes >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << lanes) - 1;
+}
+
+}  // namespace
+
+template <typename EvalBlock>
+void MultiChainSampler::RunChainsBatched(std::size_t per_chain,
+                                         const EvalBlock& eval) {
+  // Each chain packs its own 64-sample edge-major block (bit s of word e =
+  // edge e active in sample s) and evaluates it in one BFS pass when full.
+  // The pack buffer and batch workspace are per-chain, so the visitor stays
+  // race-free under RunChains' one-worker-per-chain scheduling.
+  RunChains(per_chain, [&](std::size_t k, std::size_t i,
+                           const PseudoState& x) {
+    std::vector<std::uint64_t>& block = pack_buffers_[k];
+    const std::size_t lane = i & 63;
+    if (lane == 0) std::fill(block.begin(), block.end(), 0);
+    const std::uint64_t bit = std::uint64_t{1} << lane;
+    for (EdgeId e = 0; e < x.size(); ++e) {
+      if (x[e] != 0) block[e] |= bit;
+    }
+    if (lane == 63 || i + 1 == per_chain) {
+      eval(k, i - lane, lane + 1, block.data());
+    }
+  });
+}
+
 void MultiChainSampler::PublishDiagnostics(const ChainDiagnostics& diag) {
   metric_rhat_->Set(diag.rhat);
   metric_ess_->Set(diag.ess);
@@ -140,11 +180,23 @@ MultiChainEstimate MultiChainSampler::EstimateFlowProbability(
   const std::vector<NodeId> sources{source};
   std::vector<std::vector<double>> draws(chains_.size());
   for (auto& d : draws) d.assign(per_chain, 0.0);
-  RunChains(per_chain, [&](std::size_t k, std::size_t i,
-                           const PseudoState& x) {
-    draws[k][i] =
-        workspaces_[k].RunUntil(graph, sources, x, sink) ? 1.0 : 0.0;
-  });
+  if (options_.use_batch_reachability) {
+    RunChainsBatched(per_chain, [&](std::size_t k, std::size_t start,
+                                    std::size_t lanes,
+                                    const std::uint64_t* words) {
+      const std::uint64_t hits = batch_workspaces_[k].RunUntil(
+          graph, sources, words, sink, LaneMask(lanes));
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if ((hits >> l) & 1) draws[k][start + l] = 1.0;
+      }
+    });
+  } else {
+    RunChains(per_chain, [&](std::size_t k, std::size_t i,
+                             const PseudoState& x) {
+      draws[k][i] =
+          workspaces_[k].RunUntil(graph, sources, x, sink) ? 1.0 : 0.0;
+    });
+  }
   const ChainDiagnostics diag = ComputeChainDiagnostics(draws);
   PublishDiagnostics(diag);
   return {diag.mean, diag};
@@ -169,13 +221,27 @@ std::vector<MultiChainEstimate> MultiChainSampler::EstimateCommunityFlowMulti(
   for (auto& per_sink : draws) {
     for (auto& d : per_sink) d.assign(per_chain, 0.0);
   }
-  RunChains(per_chain, [&](std::size_t k, std::size_t i,
-                           const PseudoState& x) {
-    workspaces_[k].Run(graph, sources, x);
-    for (std::size_t j = 0; j < sinks.size(); ++j) {
-      if (workspaces_[k].IsReached(sinks[j])) draws[j][k][i] = 1.0;
-    }
-  });
+  if (options_.use_batch_reachability) {
+    RunChainsBatched(per_chain, [&](std::size_t k, std::size_t start,
+                                    std::size_t lanes,
+                                    const std::uint64_t* words) {
+      batch_workspaces_[k].Run(graph, sources, words, LaneMask(lanes));
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        const std::uint64_t hits = batch_workspaces_[k].ReachedMask(sinks[j]);
+        for (std::size_t l = 0; l < lanes; ++l) {
+          if ((hits >> l) & 1) draws[j][k][start + l] = 1.0;
+        }
+      }
+    });
+  } else {
+    RunChains(per_chain, [&](std::size_t k, std::size_t i,
+                             const PseudoState& x) {
+      workspaces_[k].Run(graph, sources, x);
+      for (std::size_t j = 0; j < sinks.size(); ++j) {
+        if (workspaces_[k].IsReached(sinks[j])) draws[j][k][i] = 1.0;
+      }
+    });
+  }
   std::vector<MultiChainEstimate> out;
   out.reserve(sinks.size());
   for (std::size_t j = 0; j < sinks.size(); ++j) {
@@ -194,11 +260,32 @@ MultiChainEstimate MultiChainSampler::EstimateJointFlowProbability(
   const std::size_t per_chain = SamplesPerChain(num_samples);
   std::vector<std::vector<double>> draws(chains_.size());
   for (auto& d : draws) d.assign(per_chain, 0.0);
-  RunChains(per_chain, [&](std::size_t k, std::size_t i,
-                           const PseudoState& x) {
-    draws[k][i] =
-        SatisfiesConditions(graph, x, flows, workspaces_[k]) ? 1.0 : 0.0;
-  });
+  if (options_.use_batch_reachability) {
+    RunChainsBatched(per_chain, [&](std::size_t k, std::size_t start,
+                                    std::size_t lanes,
+                                    const std::uint64_t* words) {
+      // Blockwise I(x, C): each constraint narrows the live lanes, so
+      // later constraints only propagate through still-satisfying samples.
+      std::uint64_t alive = LaneMask(lanes);
+      std::vector<NodeId> src(1);
+      for (const FlowConstraint& c : flows) {
+        src[0] = c.source;
+        const std::uint64_t reached = batch_workspaces_[k].RunUntil(
+            graph, src, words, c.sink, alive);
+        alive = c.must_flow ? reached : alive & ~reached;
+        if (alive == 0) break;
+      }
+      for (std::size_t l = 0; l < lanes; ++l) {
+        if ((alive >> l) & 1) draws[k][start + l] = 1.0;
+      }
+    });
+  } else {
+    RunChains(per_chain, [&](std::size_t k, std::size_t i,
+                             const PseudoState& x) {
+      draws[k][i] =
+          SatisfiesConditions(graph, x, flows, workspaces_[k]) ? 1.0 : 0.0;
+    });
+  }
   const ChainDiagnostics diag = ComputeChainDiagnostics(draws);
   PublishDiagnostics(diag);
   return {diag.mean, diag};
@@ -213,12 +300,26 @@ DispersionEstimate MultiChainSampler::SampleDispersion(
   const std::vector<NodeId> sources{source};
   std::vector<std::vector<double>> draws(chains_.size());
   for (auto& d : draws) d.assign(per_chain, 0.0);
-  RunChains(per_chain, [&](std::size_t k, std::size_t i,
-                           const PseudoState& x) {
-    workspaces_[k].Run(graph, sources, x);
-    draws[k][i] =
-        static_cast<double>(workspaces_[k].ReachedNodes().size() - 1);
-  });
+  if (options_.use_batch_reachability) {
+    RunChainsBatched(per_chain, [&](std::size_t k, std::size_t start,
+                                    std::size_t lanes,
+                                    const std::uint64_t* words) {
+      batch_workspaces_[k].Run(graph, sources, words, LaneMask(lanes));
+      // counts[l] = nodes reached in sample l, source included.
+      std::uint32_t counts[64] = {};
+      batch_workspaces_[k].AccumulateReachedCounts(counts);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        draws[k][start + l] = static_cast<double>(counts[l] - 1);
+      }
+    });
+  } else {
+    RunChains(per_chain, [&](std::size_t k, std::size_t i,
+                             const PseudoState& x) {
+      workspaces_[k].Run(graph, sources, x);
+      draws[k][i] =
+          static_cast<double>(workspaces_[k].ReachedNodes().size() - 1);
+    });
+  }
   DispersionEstimate out;
   out.counts.reserve(chains_.size() * per_chain);
   for (const auto& d : draws) {

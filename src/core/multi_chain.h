@@ -53,6 +53,7 @@
 
 #include "core/flow_query.h"
 #include "core/mh_sampler.h"
+#include "graph/batch_reachability.h"
 #include "obs/metrics.h"
 #include "stats/convergence.h"
 #include "util/status.h"
@@ -70,6 +71,13 @@ struct MultiChainOptions {
   std::size_t num_threads = 0;
   /// Per-chain tuning (burn-in, thinning, proposal ablation).
   MhOptions mh;
+  /// Evaluate indicator draws 64 retained samples per BFS pass: each chain
+  /// packs its streamed states into edge-major 64-sample blocks and answers
+  /// them through BatchReachabilityWorkspace. false falls back to one
+  /// scalar BFS per sample (the `--scalar-reachability` escape hatch).
+  /// Draws are bit-identical either way — indicators are deterministic and
+  /// the chains' RNG streams are untouched.
+  bool use_batch_reachability = true;
 
   /// Validates the option values.
   Status Validate() const;
@@ -175,6 +183,13 @@ class MultiChainSampler {
   template <typename Record>
   void RunChains(std::size_t per_chain, const Record& record);
 
+  /// Batch-path driver: packs chain k's streamed states into its edge-major
+  /// block buffer and calls `eval(k, block_start, lanes, edge_words)` on the
+  /// worker owning chain k each time a 64-sample block fills (or the ragged
+  /// tail completes). `lanes` is the number of valid samples in the block.
+  template <typename EvalBlock>
+  void RunChainsBatched(std::size_t per_chain, const EvalBlock& eval);
+
   /// Publishes cross-chain convergence gauges (R̂ / ESS / MCSE) after an
   /// estimate completes.
   void PublishDiagnostics(const ChainDiagnostics& diagnostics);
@@ -197,6 +212,11 @@ class MultiChainSampler {
   /// Scratch reachability workspace per chain (MhSampler's own workspace is
   /// private to its estimators; the engine consumes raw NextSample states).
   std::vector<ReachabilityWorkspace> workspaces_;
+  /// Bit-parallel BFS workspace per chain (batch path).
+  std::vector<BatchReachabilityWorkspace> batch_workspaces_;
+  /// Per-chain edge-major packing buffer: one word per edge, bit s = edge
+  /// activity in sample s of the chain's current 64-sample block.
+  std::vector<std::vector<std::uint64_t>> pack_buffers_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

@@ -1,0 +1,162 @@
+#include "graph/batch_reachability.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace infoflow {
+
+BatchReachabilityWorkspace::BatchReachabilityWorkspace(
+    const DirectedGraph& graph)
+    : reached_(graph.num_nodes(), 0),
+      propagated_(graph.num_nodes(), 0),
+      frontier_bits_((graph.num_nodes() + 63) / 64, 0),
+      next_bits_((graph.num_nodes() + 63) / 64, 0),
+      ever_bits_((graph.num_nodes() + 63) / 64, 0),
+      metric_blocks_(&obs::GetCounter("reach.batch_blocks")),
+      metric_frontier_words_(&obs::GetCounter("reach.frontier_words")),
+      metric_block_latency_us_(&obs::GetHistogram(
+          "reach.block_latency_us",
+          {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0})) {
+  touched_.reserve(graph.num_nodes());
+  BindGraph(graph);
+}
+
+void BatchReachabilityWorkspace::BindGraph(const DirectedGraph& graph) {
+  bound_graph_ = &graph;
+  const NodeId n = graph.num_nodes();
+  first_edge_.assign(n + 1, 0);
+  dst_.resize(graph.num_edges());
+  EdgeId k = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    first_edge_[v] = k;
+    for (const EdgeId e : graph.OutEdges(v)) {
+      // The flat walk indexes edge_words by position, so the id range must
+      // really be contiguous — guaranteed by GraphBuilder's lexicographic
+      // id assignment.
+      IF_CHECK_EQ(e, k) << "out-edge ids of node " << v << " not contiguous";
+      dst_[k++] = graph.edge(e).dst;
+    }
+  }
+  first_edge_[n] = k;
+}
+
+void BatchReachabilityWorkspace::Run(const DirectedGraph& graph,
+                                     const std::vector<NodeId>& sources,
+                                     const std::uint64_t* edge_words,
+                                     std::uint64_t lane_mask) {
+  RunUntil(graph, sources, edge_words, kInvalidNode, lane_mask);
+}
+
+std::uint64_t BatchReachabilityWorkspace::RunUntil(
+    const DirectedGraph& graph, const std::vector<NodeId>& sources,
+    const std::uint64_t* edge_words, NodeId target, std::uint64_t lane_mask) {
+  IF_CHECK_EQ(reached_.size(), graph.num_nodes());
+  if (&graph != bound_graph_) BindGraph(graph);
+  WallTimer timer;
+  // Restore the between-runs invariant — reached_/propagated_ are zero
+  // everywhere except the previous run's touched set, so clearing that set
+  // (not all n words) resets the workspace.
+  for (const NodeId v : touched_) {
+    reached_[v] = 0;
+    propagated_[v] = 0;
+  }
+  touched_.clear();
+  std::fill(ever_bits_.begin(), ever_bits_.end(), 0);
+
+  for (const NodeId s : sources) {
+    IF_CHECK(s < graph.num_nodes()) << "source " << s << " out of range";
+    reached_[s] = lane_mask;
+    frontier_bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
+    ever_bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
+  }
+  std::uint64_t frontier_words = 0;
+  std::uint64_t target_mask = target != kInvalidNode ? reached_[target] : 0;
+  const std::size_t num_words = frontier_bits_.size();
+  // Level-synchronous rounds: each round drains frontier_bits_ in node-id
+  // order (sequential edge_words access) and branchlessly marks mask
+  // growth in next_bits_. A node re-enters a later round only when new
+  // lanes arrived, and then relaxes just that delta — lanes arriving at a
+  // node in the same round cost one visit, so a node is revisited once per
+  // distinct arrival depth, not once per lane.
+  std::uint64_t* frontier = frontier_bits_.data();
+  std::uint64_t* next = next_bits_.data();
+  bool done = target != kInvalidNode && target_mask == lane_mask;
+  while (!done) {
+    for (std::size_t wi = 0; wi < num_words; ++wi) {
+      std::uint64_t bits = frontier[wi];
+      if (bits == 0) continue;
+      frontier[wi] = 0;
+      const NodeId base = static_cast<NodeId>(wi << 6);
+      do {
+        const NodeId u =
+            base + static_cast<NodeId>(std::countr_zero(bits));
+        bits &= bits - 1;
+        const std::uint64_t delta = reached_[u] & ~propagated_[u];
+        if (delta == 0) continue;  // duplicate source seed
+        propagated_[u] = reached_[u];
+        ++frontier_words;
+        const EdgeId e1 = first_edge_[u + 1];
+        for (EdgeId e = first_edge_[u]; e < e1; ++e) {
+          // Branchless merge: unconditional OR into the destination, with
+          // the grew/didn't-grow bit folded into the right frontier word.
+          const NodeId v = dst_[e];
+          const std::uint64_t old = reached_[v];
+          const std::uint64_t merged = old | (delta & edge_words[e]);
+          reached_[v] = merged;
+          next[v >> 6] |= std::uint64_t{merged != old} << (v & 63);
+        }
+      } while (bits != 0);
+    }
+    std::uint64_t any = 0;
+    for (std::size_t wi = 0; wi < num_words; ++wi) {
+      ever_bits_[wi] |= next[wi];
+      any |= next[wi];
+    }
+    std::swap(frontier, next);
+    if (target != kInvalidNode) {
+      target_mask = reached_[target];
+      // Saturated: the answer cannot change; stop at the round boundary.
+      if (target_mask == lane_mask) break;
+    }
+    done = any == 0;
+  }
+  // An early exit leaves a live frontier; zero both bitmaps so the next
+  // run starts from the empty-bitmap invariant.
+  std::fill(frontier_bits_.begin(), frontier_bits_.end(), 0);
+  std::fill(next_bits_.begin(), next_bits_.end(), 0);
+  // Touched set = every node whose mask ever grew (sources included).
+  // Every growth passes through next_bits_ at a round boundary, so
+  // ever_bits_ covers it; extracting here keeps the hot loop free of the
+  // first-touch branch and push_back.
+  for (std::size_t wi = 0; wi < num_words; ++wi) {
+    std::uint64_t bits = ever_bits_[wi];
+    const NodeId base = static_cast<NodeId>(wi << 6);
+    while (bits != 0) {
+      touched_.push_back(base + static_cast<NodeId>(std::countr_zero(bits)));
+      bits &= bits - 1;
+    }
+  }
+  metric_blocks_->Increment();
+  metric_frontier_words_->Increment(frontier_words);
+  if constexpr (obs::MetricsEnabled()) {
+    metric_block_latency_us_->Record(timer.Seconds() * 1e6);
+  }
+  return target != kInvalidNode ? reached_[target] : 0;
+}
+
+void BatchReachabilityWorkspace::AccumulateReachedCounts(
+    std::uint32_t* counts) const {
+  for (const NodeId v : touched_) {
+    std::uint64_t mask = reached_[v];
+    while (mask != 0) {
+      const int lane = std::countr_zero(mask);
+      ++counts[lane];
+      mask &= mask - 1;
+    }
+  }
+}
+
+}  // namespace infoflow

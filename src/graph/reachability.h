@@ -61,6 +61,12 @@ class ReachabilityWorkspace {
   /// Nodes reached by the last full Run(), in BFS order (includes sources).
   const std::vector<NodeId>& ReachedNodes() const { return order_; }
 
+  /// \brief Forces the visited-version counter (wrap regression tests
+  /// only). The next run increments past the forced value; setting
+  /// 0xFFFFFFFF drives the very next run through the wrap-and-clear path,
+  /// which must not let a stamp written before the wrap read as "visited".
+  void ForceVersionForTesting(std::uint32_t version) { version_ = version; }
+
  private:
   void Reset(std::size_t num_nodes);
 

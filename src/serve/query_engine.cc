@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cstdint>
 #include <utility>
@@ -23,8 +24,9 @@ struct GivenSet {
   FlowConditions sorted;
   /// The conditions as first seen (for row evaluation; order irrelevant).
   FlowConditions conditions;
-  /// mask[r] = 1 iff row r satisfies every condition.
-  std::vector<std::uint8_t> mask;
+  /// mask[b] bit s = 1 iff row 64·b + s satisfies every condition. One
+  /// word per bank block, bits always within the block's lane mask.
+  std::vector<std::uint64_t> mask;
   std::size_t survivors = 0;
   /// Latest member deadline — the mask scan runs while any member has time.
   Clock::time_point deadline = Clock::time_point::max();
@@ -46,9 +48,10 @@ struct ScanGroup {
   /// Request indices answered by this scan.
   std::vector<std::size_t> members;
   Clock::time_point deadline = Clock::time_point::max();
-  /// indicators[s·num_rows + r] for frontier groups (s indexes `sinks`);
-  /// indicators[r] for joint groups.
-  std::vector<std::uint8_t> indicators;
+  /// Per-sink indicator bitmaps: word [s·num_blocks + b] bit l = sink s
+  /// reached in row 64·b + l (frontier groups; s indexes `sinks`). Joint
+  /// groups use one bitmap: word [b] bit l = all flows hold in row 64·b+l.
+  std::vector<std::uint64_t> indicators;
   bool expired = false;
 };
 
@@ -68,7 +71,7 @@ std::vector<NodeId> SortedUnique(std::vector<NodeId> nodes) {
   return nodes;
 }
 
-/// True when every condition holds in the packed row.
+/// True when every condition holds in the packed row (scalar path).
 bool RowSatisfies(const DirectedGraph& graph, const std::uint64_t* row,
                   const FlowConditions& conditions,
                   ReachabilityWorkspace& workspace,
@@ -80,6 +83,27 @@ bool RowSatisfies(const DirectedGraph& graph, const std::uint64_t* row,
     if (flows != c.must_flow) return false;
   }
   return true;
+}
+
+/// Lanes of `block` (restricted to `lanes`) whose rows satisfy every
+/// condition: the blockwise conditional indicator I(x, C) of Eq. 7–8. Each
+/// constraint's BFS runs only over the still-live lanes, so every dropped
+/// row makes the remaining constraints cheaper.
+std::uint64_t BlockSatisfies(const DirectedGraph& graph,
+                             const BankGeneration& bank, std::size_t block,
+                             const FlowConditions& conditions,
+                             std::uint64_t lanes,
+                             BatchReachabilityWorkspace& workspace,
+                             std::vector<NodeId>& source_scratch) {
+  const std::uint64_t* words = bank.BlockEdgeWords(block);
+  for (const FlowConstraint& c : conditions) {
+    if (lanes == 0) break;
+    source_scratch[0] = c.source;
+    const std::uint64_t reached =
+        workspace.RunUntil(graph, source_scratch, words, c.sink, lanes);
+    lanes = c.must_flow ? reached : lanes & ~reached;
+  }
+  return lanes;
 }
 
 }  // namespace
@@ -132,8 +156,10 @@ QueryEngine::QueryEngine(std::shared_ptr<const DirectedGraph> graph,
           "serve.query.latency_ms",
           {0.1, 0.5, 2.5, 10.0, 50.0, 250.0, 1000.0, 5000.0})) {
   workspaces_.reserve(pool_->size());
+  batch_workspaces_.reserve(pool_->size());
   for (std::size_t t = 0; t < pool_->size(); ++t) {
     workspaces_.emplace_back(*graph_);
+    batch_workspaces_.emplace_back(*graph_);
   }
 }
 
@@ -163,6 +189,10 @@ Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
                                    request.sinks.size(),
                                    " (use kind=community)");
   }
+  // Out-of-range endpoints are rejected here, with a descriptive Status the
+  // caller can surface — the BFS workspaces never see an unvalidated id, so
+  // their internal IF_CHECKs cannot abort a release serve build on bad
+  // client input.
   for (const NodeId s : request.sources) {
     if (s >= n) return Status::OutOfRange("source ", s, " >= n=", n);
   }
@@ -185,14 +215,24 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
   metric_batch_size_->Record(static_cast<double>(requests.size()));
 
   const std::size_t num_rows = bank.num_rows();
+  const std::size_t num_blocks = bank.num_blocks();
+  const bool batch_bfs = options_.use_batch_reachability;
   std::vector<QueryResult> results(requests.size());
   std::vector<Clock::time_point> deadlines(requests.size(),
                                            Clock::time_point::max());
+  // Sources are canonicalized (sorted, deduplicated) once per request, up
+  // front: frontier grouping compares the canonical sets, and both BFS
+  // paths receive duplicate-free source lists instead of leaning on the
+  // per-run visited check to drop repeats.
+  std::vector<std::vector<NodeId>> canonical_sources(requests.size());
   for (std::size_t i = 0; i < requests.size(); ++i) {
     results[i].total_rows = num_rows;
     results[i].generation = bank.id();
     results[i].model_epoch = bank.model_epoch();
     results[i].status = ValidateRequest(requests[i]);
+    if (results[i].status.ok() && requests[i].kind != QueryKind::kJoint) {
+      canonical_sources[i] = SortedUnique(requests[i].sources);
+    }
     if (requests[i].timeout_ms > 0.0) {
       deadlines[i] =
           entry + std::chrono::duration_cast<Clock::duration>(
@@ -222,7 +262,7 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
       set.key = key;
       set.sorted = std::move(sorted);
       set.conditions = requests[i].given;
-      set.mask.assign(num_rows, 0);
+      set.mask.assign(num_blocks, 0);
       set.deadline = deadlines[i];
       given_sets.push_back(std::move(set));
     } else {
@@ -233,33 +273,49 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
     given_of[i] = g;
   }
 
+  // Workers partition whole blocks, so mask/indicator words are never
+  // shared between tasks — the scalar path writes single bits into the
+  // same words the batch path fills 64 at a time.
   const std::size_t num_tasks = pool_->size();
   const auto task_range = [&](std::size_t t) {
-    const std::size_t per = (num_rows + num_tasks - 1) / num_tasks;
-    const std::size_t begin = std::min(t * per, num_rows);
+    const std::size_t per = (num_blocks + num_tasks - 1) / num_tasks;
+    const std::size_t begin = std::min(t * per, num_blocks);
     return std::pair<std::size_t, std::size_t>(
-        begin, std::min(begin + per, num_rows));
+        begin, std::min(begin + per, num_blocks));
   };
+  const std::size_t blocks_per_check =
+      std::max<std::size_t>(1, options_.rows_per_task / 64);
 
   for (GivenSet& set : given_sets) {
     std::atomic<bool> expired{false};
     std::vector<std::size_t> partial(num_tasks, 0);
     ParallelFor(*pool_, num_tasks, [&](std::size_t t) {
       const auto [begin, end] = task_range(t);
-      ReachabilityWorkspace& ws = workspaces_[t];
       std::vector<NodeId> src(1);
       std::size_t count = 0;
-      for (std::size_t r = begin; r < end; ++r) {
-        if ((r - begin) % options_.rows_per_task == 0 &&
+      for (std::size_t b = begin; b < end; ++b) {
+        if ((b - begin) % blocks_per_check == 0 &&
             (expired.load(std::memory_order_relaxed) ||
              Clock::now() > set.deadline)) {
           expired.store(true, std::memory_order_relaxed);
           return;
         }
-        if (RowSatisfies(*graph_, bank.Row(r), set.conditions, ws, src)) {
-          set.mask[r] = 1;
-          ++count;
+        std::uint64_t word = 0;
+        if (batch_bfs) {
+          word = BlockSatisfies(*graph_, bank, b, set.conditions,
+                                bank.BlockLaneMask(b), batch_workspaces_[t],
+                                src);
+        } else {
+          ReachabilityWorkspace& ws = workspaces_[t];
+          const std::size_t row_end = std::min(num_rows, (b + 1) * 64);
+          for (std::size_t r = b * 64; r < row_end; ++r) {
+            if (RowSatisfies(*graph_, bank.Row(r), set.conditions, ws, src)) {
+              word |= std::uint64_t{1} << (r & 63);
+            }
+          }
         }
+        set.mask[b] = word;
+        count += static_cast<std::size_t>(std::popcount(word));
       }
       partial[t] = count;
     });
@@ -306,7 +362,7 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
       groups.push_back(std::move(group));
       continue;
     }
-    std::vector<NodeId> sources = SortedUnique(request.sources);
+    const std::vector<NodeId>& sources = canonical_sources[i];
     std::size_t g = groups.size();
     for (std::size_t j = 0; j < groups.size(); ++j) {
       if (!groups[j].joint && groups[j].sources == sources &&
@@ -317,7 +373,7 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
     }
     if (g == groups.size()) {
       ScanGroup group;
-      group.sources = std::move(sources);
+      group.sources = sources;
       group.given_index = given_of[i];
       group.deadline = deadlines[i];
       groups.push_back(std::move(group));
@@ -337,32 +393,57 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
     }
     group.sinks = SortedUnique(group.sinks);
     const std::size_t num_sinks = group.joint ? 1 : group.sinks.size();
-    group.indicators.assign(num_sinks * num_rows, 0);
-    const std::uint8_t* mask = group.given_index == kUnconditional
-                                   ? nullptr
-                                   : given_sets[group.given_index].mask.data();
+    group.indicators.assign(num_sinks * num_blocks, 0);
+    const std::uint64_t* mask = group.given_index == kUnconditional
+                                    ? nullptr
+                                    : given_sets[group.given_index].mask.data();
     std::atomic<bool> expired{false};
     ParallelFor(*pool_, num_tasks, [&](std::size_t t) {
       const auto [begin, end] = task_range(t);
-      ReachabilityWorkspace& ws = workspaces_[t];
       std::vector<NodeId> src(1);
-      for (std::size_t r = begin; r < end; ++r) {
-        if ((r - begin) % options_.rows_per_task == 0 &&
+      for (std::size_t b = begin; b < end; ++b) {
+        if ((b - begin) % blocks_per_check == 0 &&
             (expired.load(std::memory_order_relaxed) ||
              Clock::now() > group.deadline)) {
           expired.store(true, std::memory_order_relaxed);
           return;
         }
-        if (mask != nullptr && mask[r] == 0) continue;
-        const std::uint64_t* row = bank.Row(r);
-        if (group.joint) {
-          group.indicators[r] =
-              RowSatisfies(*graph_, row, group.flows, ws, src) ? 1 : 0;
+        // Conditional scans only visit the surviving lanes; a block with
+        // no survivors is skipped outright.
+        const std::uint64_t lanes =
+            mask != nullptr ? mask[b] : bank.BlockLaneMask(b);
+        if (lanes == 0) continue;
+        if (batch_bfs) {
+          BatchReachabilityWorkspace& ws = batch_workspaces_[t];
+          if (group.joint) {
+            group.indicators[b] = BlockSatisfies(*graph_, bank, b,
+                                                 group.flows, lanes, ws, src);
+          } else {
+            ws.Run(*graph_, group.sources, bank.BlockEdgeWords(b), lanes);
+            for (std::size_t s = 0; s < group.sinks.size(); ++s) {
+              group.indicators[s * num_blocks + b] =
+                  ws.ReachedMask(group.sinks[s]);
+            }
+          }
         } else {
-          ws.RunPacked(*graph_, group.sources, row);
-          for (std::size_t s = 0; s < group.sinks.size(); ++s) {
-            group.indicators[s * num_rows + r] =
-                ws.IsReached(group.sinks[s]) ? 1 : 0;
+          ReachabilityWorkspace& ws = workspaces_[t];
+          const std::size_t row_end = std::min(num_rows, (b + 1) * 64);
+          for (std::size_t r = b * 64; r < row_end; ++r) {
+            if ((lanes >> (r & 63) & 1) == 0) continue;
+            const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+            const std::uint64_t* row = bank.Row(r);
+            if (group.joint) {
+              if (RowSatisfies(*graph_, row, group.flows, ws, src)) {
+                group.indicators[b] |= bit;
+              }
+            } else {
+              ws.RunPacked(*graph_, group.sources, row);
+              for (std::size_t s = 0; s < group.sinks.size(); ++s) {
+                if (ws.IsReached(group.sinks[s])) {
+                  group.indicators[s * num_blocks + b] |= bit;
+                }
+              }
+            }
           }
         }
       }
@@ -374,9 +455,9 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
   // --- Assemble per-request estimates with chain diagnostics.
   const std::size_t num_chains = bank.num_chains();
   for (const ScanGroup& group : groups) {
-    const std::uint8_t* mask = group.given_index == kUnconditional
-                                   ? nullptr
-                                   : given_sets[group.given_index].mask.data();
+    const std::uint64_t* mask = group.given_index == kUnconditional
+                                    ? nullptr
+                                    : given_sets[group.given_index].mask.data();
     const std::size_t survivors =
         mask == nullptr ? num_rows : given_sets[group.given_index].survivors;
     for (const std::size_t i : group.members) {
@@ -391,13 +472,14 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
       results[i].effective_rows = survivors;
       results[i].frontier_shared = group.members.size() > 1;
       const auto estimate_column = [&](std::size_t column, NodeId sink) {
-        const std::uint8_t* ind =
-            group.indicators.data() + column * num_rows;
+        const std::uint64_t* ind =
+            group.indicators.data() + column * num_blocks;
         std::vector<std::vector<double>> chains(num_chains);
         double sum = 0.0;
         for (std::size_t r = 0; r < num_rows; ++r) {
-          if (mask != nullptr && mask[r] == 0) continue;
-          const double draw = ind[r] != 0 ? 1.0 : 0.0;
+          const std::uint64_t bit = std::uint64_t{1} << (r & 63);
+          if (mask != nullptr && (mask[r >> 6] & bit) == 0) continue;
+          const double draw = (ind[r >> 6] & bit) != 0 ? 1.0 : 0.0;
           sum += draw;
           chains[bank.ChainOfRow(r)].push_back(draw);
         }

@@ -16,6 +16,17 @@
 /// batch. Row scans run in parallel over the engine's thread pool, rows
 /// partitioned contiguously per worker.
 ///
+/// Bit-parallel row scans: by default the engine consumes the bank's
+/// edge-major plane through BatchReachabilityWorkspace, answering 64 rows
+/// per BFS pass — row masks, conditioning indicators I(x, C) and per-sink
+/// indicators are all computed blockwise as 64-bit lane masks, with
+/// conditional constraints narrowing the live lanes so dead rows cost
+/// nothing. The scalar one-BFS-per-row path (ReachabilityWorkspace over
+/// packed rows) is kept as the reference implementation behind
+/// `QueryEngineOptions::use_batch_reachability = false` (the serve
+/// daemon's `--scalar-reachability` escape hatch); both paths produce
+/// bit-identical results, which the differential tests assert.
+///
 /// Every estimate carries ChainDiagnostics (split-R̂ / ESS / MCSE, see
 /// stats/convergence.h) computed from the per-chain draw sequences the
 /// bank's chain-major row layout preserves.
@@ -32,6 +43,7 @@
 #include <vector>
 
 #include "core/flow_query.h"
+#include "graph/batch_reachability.h"
 #include "graph/graph.h"
 #include "graph/reachability.h"
 #include "obs/metrics.h"
@@ -113,6 +125,11 @@ struct QueryEngineOptions {
   std::size_t num_threads = 0;
   /// Rows scanned between deadline checks inside a worker.
   std::size_t rows_per_task = 256;
+  /// Answer row scans 64 rows at a time over the bank's edge-major plane
+  /// (graph/batch_reachability.h). false falls back to the scalar
+  /// one-BFS-per-row reference path — the `--scalar-reachability` escape
+  /// hatch; results are bit-identical either way.
+  bool use_batch_reachability = true;
 
   /// Validates the option values.
   Status Validate() const;
@@ -145,8 +162,10 @@ class QueryEngine {
   std::shared_ptr<const DirectedGraph> graph_;
   QueryEngineOptions options_;
   std::unique_ptr<ThreadPool> pool_;
-  /// Scratch BFS workspace per worker task index.
+  /// Scratch BFS workspace per worker task index (scalar reference path).
   std::vector<ReachabilityWorkspace> workspaces_;
+  /// Scratch bit-parallel workspace per worker task index (batch path).
+  std::vector<BatchReachabilityWorkspace> batch_workspaces_;
 
   obs::Counter* metric_batches_;
   obs::Counter* metric_requests_;

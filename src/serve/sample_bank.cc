@@ -1,7 +1,9 @@
 #include "serve/sample_bank.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "graph/bit_transpose.h"
 #include "obs/trace.h"
 #include "util/check.h"
 
@@ -25,6 +27,28 @@ BankGeneration::BankGeneration(std::uint64_t id, std::uint64_t model_epoch,
       rows_per_chain_(rows_per_chain),
       num_rows_(num_chains * rows_per_chain),
       words_(num_rows_ * words_per_row_, 0) {}
+
+void BankGeneration::BuildEdgeMajor() {
+  edge_major_.assign(num_blocks() * num_edges_, 0);
+  // Cache-blocked transpose: each (64-row block × 64-edge column) tile is
+  // gathered from the packed rows, transposed in registers, and scattered
+  // into the block's edge-major plane. A ragged tail block zero-fills the
+  // missing rows, so bits above the lane mask are always clear.
+  std::uint64_t tile[64];
+  for (std::size_t b = 0; b < num_blocks(); ++b) {
+    const std::size_t row0 = b * 64;
+    const std::size_t rows = std::min<std::size_t>(64, num_rows_ - row0);
+    std::uint64_t* plane = edge_major_.data() + b * num_edges_;
+    for (std::size_t w = 0; w < words_per_row_; ++w) {
+      for (std::size_t i = 0; i < rows; ++i) tile[i] = Row(row0 + i)[w];
+      for (std::size_t i = rows; i < 64; ++i) tile[i] = 0;
+      Transpose64x64(tile);
+      const std::size_t e0 = w * 64;
+      const std::size_t cols = std::min<std::size_t>(64, num_edges_ - e0);
+      for (std::size_t j = 0; j < cols; ++j) plane[e0 + j] = tile[j];
+    }
+  }
+}
 
 PseudoState BankGeneration::UnpackRow(std::size_t r) const {
   IF_CHECK(r < num_rows_) << "row " << r << " out of range " << num_rows_;
@@ -73,7 +97,10 @@ SampleBank::SampleBank(std::unique_ptr<MultiChainSampler> engine,
       metric_rebuilds_(&obs::GetCounter("serve.bank.rebuilds_total")),
       metric_fill_ms_(&obs::GetHistogram(
           "serve.bank.fill_ms",
-          {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0})) {}
+          {1.0, 5.0, 25.0, 100.0, 500.0, 2500.0, 10000.0})),
+      metric_transpose_ms_(&obs::GetHistogram(
+          "serve.bank.transpose_ms",
+          {0.1, 0.5, 2.5, 10.0, 50.0, 250.0, 1000.0})) {}
 
 std::size_t SampleBank::rows_per_generation() const {
   return engine_->num_chains() * engine_->SamplesPerChain(options_.num_states);
@@ -102,6 +129,14 @@ std::shared_ptr<const BankGeneration> SampleBank::Fill(
           if (state[e] != 0) out[e >> 6] |= std::uint64_t{1} << (e & 63);
         }
       });
+  {
+    // The edge-major plane the batch reachability path consumes; built
+    // before publish so readers only ever see a complete plane.
+    obs::TraceSpan transpose_span("serve/bank_transpose");
+    WallTimer transpose_timer;
+    generation->BuildEdgeMajor();
+    metric_transpose_ms_->Record(transpose_timer.Millis());
+  }
   metric_fill_ms_->Record(timer.Millis());
   metric_generation_->Set(static_cast<double>(id));
   metric_rows_->Set(static_cast<double>(generation->num_rows()));

@@ -17,6 +17,16 @@
 /// A 14k-edge fig6 graph packs a state into 1.75 KB — a 4096-state bank is
 /// ~7 MB where the byte-per-edge PseudoState form would be ~57 MB.
 ///
+/// Each generation additionally carries a **transposed, edge-major plane**:
+/// rows are grouped into blocks of 64 and, per block, each edge stores one
+/// word whose bit s is the edge's activity in the block's row s — the
+/// layout graph/batch_reachability.h consumes to answer reachability for
+/// 64 retained states in a single BFS pass. The plane is built at Fill
+/// time by a cache-blocked 64×64 bitset transpose of the packed rows
+/// (graph/bit_transpose.h) and doubles the bank's footprint (the 4096-state
+/// fig6 bank goes from ~7 MB to ~14 MB) — the price of the batch query
+/// path's ~order-of-magnitude speedup.
+///
 /// Generations: the bank hands out immutable `BankGeneration` objects by
 /// shared_ptr. `Refresh()` advances the chains (burn-in is paid only once,
 /// at Create) and publishes a new generation; readers holding the old one
@@ -93,6 +103,26 @@ class BankGeneration {
     return PackedEdgeActive(Row(r), e);
   }
 
+  /// Number of 64-row sample blocks: ⌈num_rows / 64⌉. Block b covers rows
+  /// [64·b, min(64·(b+1), num_rows)).
+  std::size_t num_blocks() const { return (num_rows_ + 63) / 64; }
+
+  /// Valid-lane mask of block `b`: bit s set iff row 64·b + s exists. All
+  /// ones for every block except possibly the last (ragged tail when
+  /// num_rows is not a multiple of 64).
+  std::uint64_t BlockLaneMask(std::size_t b) const {
+    const std::size_t rows = num_rows_ - b * 64;
+    return rows >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rows) - 1;
+  }
+
+  /// Edge-major plane of block `b`: num_edges() words, word e's bit s =
+  /// edge e's activity in row 64·b + s — the form
+  /// BatchReachabilityWorkspace consumes directly. Bits beyond the lane
+  /// mask are zero.
+  const std::uint64_t* BlockEdgeWords(std::size_t b) const {
+    return edge_major_.data() + b * num_edges_;
+  }
+
   /// The chain row `r` was drawn by (rows are chain-major).
   std::size_t ChainOfRow(std::size_t r) const { return r / rows_per_chain_; }
 
@@ -112,8 +142,15 @@ class BankGeneration {
   std::size_t num_chains_;
   std::size_t rows_per_chain_;
   std::size_t num_rows_;
+  /// Transposes words_ into edge_major_ (called once, at fill time, before
+  /// the generation is published).
+  void BuildEdgeMajor();
+
   /// Row-major packed bits: words_[r·words_per_row + w].
   std::vector<std::uint64_t> words_;
+  /// Edge-major packed bits: edge_major_[b·num_edges + e] bit s = edge e's
+  /// activity in row 64·b + s.
+  std::vector<std::uint64_t> edge_major_;
 };
 
 /// \brief Owner of the chains and the current generation.
@@ -200,6 +237,7 @@ class SampleBank {
   obs::Counter* metric_refreshes_;
   obs::Counter* metric_rebuilds_;
   obs::Histogram* metric_fill_ms_;
+  obs::Histogram* metric_transpose_ms_;
 };
 
 }  // namespace infoflow::serve

@@ -109,6 +109,42 @@ TEST(Reachability, WorkspaceReusableAcrossQueries) {
   }
 }
 
+TEST(Reachability, VersionWrapDoesNotLeakStaleVisitedMarks) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  const std::vector<std::uint8_t> none(g.num_edges(), 0);
+  // First run on a fresh workspace stamps every reached node with version 1.
+  ws.Run(g, {0}, AllActive(g));
+  ASSERT_TRUE(ws.IsReached(3));
+  // Force the counter to its maximum: the next run wraps to 0, and its
+  // post-wrap version is again 1 — exactly what the first run wrote. The
+  // wrap-and-clear must erase those stamps or node 3's stale mark would
+  // read as visited and leak a false "reached".
+  ws.ForceVersionForTesting(0xFFFFFFFFu);
+  ws.Run(g, {2}, none);
+  EXPECT_TRUE(ws.IsReached(2));
+  EXPECT_FALSE(ws.IsReached(3));
+  EXPECT_FALSE(ws.IsReached(0));
+  // And the workspace keeps alternating correctly after the wrap.
+  for (int i = 0; i < 4; ++i) {
+    ws.Run(g, {0}, AllActive(g));
+    EXPECT_TRUE(ws.IsReached(3));
+    ws.Run(g, {1}, none);
+    EXPECT_FALSE(ws.IsReached(3));
+  }
+}
+
+TEST(Reachability, VersionWrapDuringRunUntilPacked) {
+  DirectedGraph g = Chain();
+  ReachabilityWorkspace ws(g);
+  std::vector<std::uint64_t> all(PackedRowWords(g.num_edges()),
+                                 ~std::uint64_t{0});
+  std::vector<std::uint64_t> none(PackedRowWords(g.num_edges()), 0);
+  ASSERT_TRUE(ws.RunUntilPacked(g, {0}, all.data(), 3));
+  ws.ForceVersionForTesting(0xFFFFFFFFu);
+  EXPECT_FALSE(ws.RunUntilPacked(g, {2}, none.data(), 3));
+}
+
 TEST(Reachability, OneShotHelpers) {
   DirectedGraph g = Chain();
   EXPECT_TRUE(FlowExists(g, 0, 2, AllActive(g)));

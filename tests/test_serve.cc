@@ -6,10 +6,12 @@
 
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <sys/socket.h>
@@ -311,6 +313,183 @@ TEST(QueryEngine, DeadlineExceededOnImpossibleTimeout) {
   const std::vector<QueryResult> results =
       engine.AnswerBatch(*bank->Acquire(), {request});
   EXPECT_EQ(results[0].status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(QueryEngine, BatchAndScalarReachabilityAgreeBitForBit) {
+  // The bit-parallel path must be an exact drop-in: same indicator sets,
+  // same doubles, same effective-row counts — across every query kind,
+  // including conditionals, on a bank whose row count is not a multiple of
+  // 64 (225 per chain × 4 chains = 900 rows; 900 mod 64 = 4, so the final
+  // block is ragged).
+  const PointIcm model = SmallRandomModel(41, 12, 30);
+  auto bank = SampleBank::Create(model, FastBank(900), 55);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  ASSERT_NE(generation->num_rows() % 64, 0u);
+
+  QueryEngineOptions scalar_options;
+  scalar_options.use_batch_reachability = false;
+  scalar_options.min_conditional_rows = 4;
+  QueryEngineOptions batch_options;
+  batch_options.min_conditional_rows = 4;
+  QueryEngine batch = MakeEngine(*bank, batch_options);
+  QueryEngine scalar = MakeEngine(*bank, scalar_options);
+
+  QueryRequest community;
+  community.kind = QueryKind::kCommunity;
+  community.sources = {0, 3};
+  community.sinks = {5, 8, 11};
+  QueryRequest joint;
+  joint.kind = QueryKind::kJoint;
+  joint.flows = {{0, 5, true}, {1, 8, false}};
+  QueryRequest conditional = FlowQuery(0, 9);
+  conditional.given = {EdgeConstraint(model)};
+  QueryRequest forbid_conditional = FlowQuery(2, 7);
+  forbid_conditional.given = {EdgeConstraint(model), {0, 11, false}};
+  QueryRequest conditional_joint;
+  conditional_joint.kind = QueryKind::kJoint;
+  conditional_joint.flows = {{2, 9, true}};
+  conditional_joint.given = {EdgeConstraint(model)};
+  const std::vector<QueryRequest> requests = {
+      FlowQuery(0, 9),  community,          joint,
+      conditional,      forbid_conditional, conditional_joint};
+
+  const std::vector<QueryResult> via_batch =
+      batch.AnswerBatch(*generation, requests);
+  const std::vector<QueryResult> via_scalar =
+      scalar.AnswerBatch(*generation, requests);
+  ASSERT_EQ(via_batch.size(), via_scalar.size());
+  for (std::size_t i = 0; i < via_batch.size(); ++i) {
+    ASSERT_EQ(via_batch[i].status.code(), via_scalar[i].status.code())
+        << "request " << i;
+    if (!via_batch[i].status.ok()) continue;
+    EXPECT_EQ(via_batch[i].effective_rows, via_scalar[i].effective_rows)
+        << "request " << i;
+    ASSERT_EQ(via_batch[i].estimates.size(), via_scalar[i].estimates.size());
+    for (std::size_t j = 0; j < via_batch[i].estimates.size(); ++j) {
+      EXPECT_DOUBLE_EQ(via_batch[i].estimates[j].value,
+                       via_scalar[i].estimates[j].value)
+          << "request " << i << " sink " << j;
+      EXPECT_DOUBLE_EQ(via_batch[i].estimates[j].diagnostics.mcse,
+                       via_scalar[i].estimates[j].diagnostics.mcse)
+          << "request " << i << " sink " << j;
+    }
+  }
+}
+
+TEST(QueryEngine, DuplicateSourcesDedupedBeforeFanOut) {
+  const PointIcm model = SmallRandomModel(43, 10, 24);
+  auto bank = SampleBank::Create(model, FastBank(600), 14);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank);
+  const auto generation = bank->Acquire();
+
+  // {2, 2, 2} canonicalizes to {2}: the two queries share one frontier
+  // scan and agree with the deduplicated query run alone.
+  QueryRequest noisy = FlowQuery(2, 7);
+  noisy.sources = {2, 2, 2};
+  const std::vector<QueryResult> results =
+      engine.AnswerBatch(*generation, {noisy, FlowQuery(2, 7)});
+  EXPECT_TRUE(results[0].frontier_shared);
+  EXPECT_TRUE(results[1].frontier_shared);
+  ASSERT_TRUE(results[0].status.ok());
+  EXPECT_DOUBLE_EQ(results[0].estimates[0].value,
+                   results[1].estimates[0].value);
+}
+
+TEST(QueryEngine, OutOfRangeSourceFailsWithDescriptiveStatus) {
+  // An out-of-range endpoint must surface as a per-query Status the caller
+  // can read, never reach the BFS workspaces' IF_CHECK aborts.
+  const PointIcm model = SmallRandomModel(47, 8, 16);
+  auto bank = SampleBank::Create(model, FastBank(200), 8);
+  ASSERT_TRUE(bank.ok());
+  QueryEngine engine = MakeEngine(*bank);
+
+  QueryRequest bad_source = FlowQuery(0, 5);
+  bad_source.sources = {0, 888};
+  const std::vector<QueryResult> results =
+      engine.AnswerBatch(*bank->Acquire(), {bad_source});
+  EXPECT_EQ(results[0].status.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(results[0].status.message().find("888"), std::string::npos);
+  EXPECT_NE(results[0].status.message().find("source"), std::string::npos);
+}
+
+TEST(SampleBank, EdgeMajorPlaneMatchesRowsIncludingRaggedTail) {
+  // The transposed plane must agree bit-for-bit with the packed rows:
+  // bit s of BlockEdgeWords(b)[e] is EdgeActive(b·64+s, e), and lanes past
+  // the final ragged row stay zero. 34 per chain × 3 chains = 102 rows →
+  // blocks of 64 and 38.
+  const PointIcm model = SmallRandomModel(53, 10, 24);
+  auto bank = SampleBank::Create(model, FastBank(100, 3), 16);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  ASSERT_EQ(generation->num_rows(), 102u);
+  ASSERT_EQ(generation->num_blocks(), 2u);
+  EXPECT_EQ(generation->BlockLaneMask(0), ~std::uint64_t{0});
+  EXPECT_EQ(generation->BlockLaneMask(1),
+            (std::uint64_t{1} << (102 - 64)) - 1);
+  for (std::size_t b = 0; b < generation->num_blocks(); ++b) {
+    const std::uint64_t* words = generation->BlockEdgeWords(b);
+    const std::uint64_t lanes = generation->BlockLaneMask(b);
+    for (EdgeId e = 0; e < generation->num_edges(); ++e) {
+      ASSERT_EQ(words[e] & ~lanes, 0u) << "block " << b << " edge " << e;
+      for (std::size_t s = 0; s < 64; ++s) {
+        const std::size_t row = b * 64 + s;
+        if (row >= generation->num_rows()) break;
+        ASSERT_EQ((words[e] >> s) & 1,
+                  generation->EdgeActive(row, e) ? 1u : 0u)
+            << "block " << b << " lane " << s << " edge " << e;
+      }
+    }
+  }
+}
+
+TEST(SampleBank, RefreshAndRebuildUnderConcurrentEdgeMajorReaders) {
+  // Generations are immutable after publish: readers holding a generation
+  // scan its edge-major plane while the bank refreshes and rebuilds
+  // underneath them. Run under TSan (the CI tsan job matches "Bank") this
+  // proves the plane needs no locking beyond the publish pointer swap.
+  const PointIcm model = SmallRandomModel(59, 10, 24);
+  auto bank = SampleBank::Create(model, FastBank(150, 3), 18);
+  ASSERT_TRUE(bank.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto generation = bank->Acquire();
+        for (std::size_t b = 0; b < generation->num_blocks(); ++b) {
+          const std::uint64_t* words = generation->BlockEdgeWords(b);
+          const std::uint64_t lanes = generation->BlockLaneMask(b);
+          for (EdgeId e = 0; e < generation->num_edges(); ++e) {
+            // The plane always agrees with the rows of *this* generation.
+            for (std::size_t s = 0; s < 64; ++s) {
+              const std::size_t row = b * 64 + s;
+              if (row >= generation->num_rows()) break;
+              const bool bit = ((words[e] >> s) & 1) != 0;
+              if (bit != generation->EdgeActive(row, e)) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+            if ((words[e] & ~lanes) != 0) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    bank->Refresh();
+    ASSERT_TRUE(bank->Rebuild(model, /*model_epoch=*/2 + i).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_GE(bank->Acquire()->id(), 7u);
 }
 
 // -------------------------------------------- estimator agreement properties

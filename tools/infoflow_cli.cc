@@ -320,6 +320,7 @@ int CmdQuery(Flags& flags) {
   if (!model.ok()) return Fail(model.status());
   MultiChainOptions options;
   options.num_chains = std::max<std::size_t>(1, chains);
+  options.use_batch_reachability = !flags.GetBool("scalar-reachability");
   options.mh.burn_in = 4 * model->graph().num_edges();
   options.mh.thinning =
       std::max<std::size_t>(8, model->graph().num_edges() / 8);
@@ -409,6 +410,10 @@ int CmdServe(Flags& flags) {
   server_options.engine.min_conditional_rows =
       flags.GetInt("min-conditional-rows", 32);
   server_options.engine.num_threads = flags.GetInt("threads", 0);
+  // Escape hatch: answer row scans one BFS per row over the packed rows
+  // instead of 64 rows per pass over the edge-major plane.
+  server_options.engine.use_batch_reachability =
+      !flags.GetBool("scalar-reachability");
 
   // Streaming ingestion: --ingest enables the serve-connection verb,
   // --ingest-from additionally tails a file/FIFO side channel.
@@ -537,9 +542,12 @@ int Usage() {
       "                      [--method joint-bayes|goyal|saito-em|filtered]\n"
       "  query               --model m --source U --sink V [--given \"a>b c!>d\"]\n"
       "                      [--samples N] [--chains K] [--seed S] [--progress]\n"
+      "                      [--scalar-reachability] (one BFS per sample)\n"
       "  serve               --model m [--bank-states N] [--chains K]\n"
       "                      [--socket path.sock] [--max-batch B]\n"
       "                      [--refresh-ms T] [--min-conditional-rows F]\n"
+      "                      [--scalar-reachability] (one BFS per bank row\n"
+      "                      instead of 64 rows per bit-parallel pass)\n"
       "                      [--seed S] (bank + rebuild chain seeds)\n"
       "                      (NDJSON queries on stdin -> responses on stdout)\n"
       "    streaming:        [--ingest] ({\"ingest\":\"<record>\"} lines on the\n"
