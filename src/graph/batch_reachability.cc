@@ -53,25 +53,48 @@ void BatchReachabilityWorkspace::Run(const DirectedGraph& graph,
 std::uint64_t BatchReachabilityWorkspace::RunUntil(
     const DirectedGraph& graph, const std::vector<NodeId>& sources,
     const std::uint64_t* edge_words, NodeId target, std::uint64_t lane_mask) {
+  Begin(graph);
+  for (const NodeId s : sources) {
+    Seed(s, lane_mask);
+  }
+  return Finish(edge_words, target, lane_mask);
+}
+
+void BatchReachabilityWorkspace::Begin(const DirectedGraph& graph) {
   IF_CHECK_EQ(reached_.size(), graph.num_nodes());
   if (&graph != bound_graph_) BindGraph(graph);
-  WallTimer timer;
   // Restore the between-runs invariant — reached_/propagated_ are zero
   // everywhere except the previous run's touched set, so clearing that set
-  // (not all n words) resets the workspace.
+  // (not all n words) resets the workspace. Frontier bits are cleared for
+  // the touched set too, covering seeds from an abandoned Begin/Seed
+  // sequence (a finished run always leaves the bitmaps empty).
   for (const NodeId v : touched_) {
     reached_[v] = 0;
     propagated_[v] = 0;
+    frontier_bits_[v >> 6] = 0;
   }
   touched_.clear();
   std::fill(ever_bits_.begin(), ever_bits_.end(), 0);
+}
 
-  for (const NodeId s : sources) {
-    IF_CHECK(s < graph.num_nodes()) << "source " << s << " out of range";
-    reached_[s] = lane_mask;
-    frontier_bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
-    ever_bits_[s >> 6] |= std::uint64_t{1} << (s & 63);
+void BatchReachabilityWorkspace::Seed(NodeId v, std::uint64_t lanes) {
+  IF_CHECK(v < reached_.size()) << "seed " << v << " out of range";
+  const std::uint64_t merged = reached_[v] | lanes;
+  if (merged == reached_[v] && (ever_bits_[v >> 6] >> (v & 63) & 1) != 0) {
+    return;  // nothing new to propagate
   }
+  reached_[v] = merged;
+  frontier_bits_[v >> 6] |= std::uint64_t{1} << (v & 63);
+  ever_bits_[v >> 6] |= std::uint64_t{1} << (v & 63);
+}
+
+void BatchReachabilityWorkspace::Propagate(const std::uint64_t* edge_words) {
+  (void)Finish(edge_words, kInvalidNode, 0);
+}
+
+std::uint64_t BatchReachabilityWorkspace::Finish(
+    const std::uint64_t* edge_words, NodeId target, std::uint64_t lane_mask) {
+  WallTimer timer;
   std::uint64_t frontier_words = 0;
   std::uint64_t target_mask = target != kInvalidNode ? reached_[target] : 0;
   const std::size_t num_words = frontier_bits_.size();
@@ -130,7 +153,9 @@ std::uint64_t BatchReachabilityWorkspace::RunUntil(
   // Touched set = every node whose mask ever grew (sources included).
   // Every growth passes through next_bits_ at a round boundary, so
   // ever_bits_ covers it; extracting here keeps the hot loop free of the
-  // first-touch branch and push_back.
+  // first-touch branch and push_back. ever_bits_ accumulates across
+  // repeated Propagate calls, so rebuild the list from scratch each time.
+  touched_.clear();
   for (std::size_t wi = 0; wi < num_words; ++wi) {
     std::uint64_t bits = ever_bits_[wi];
     const NodeId base = static_cast<NodeId>(wi << 6);

@@ -68,6 +68,25 @@ class BatchReachabilityWorkspace {
                          const std::uint64_t* edge_words, NodeId target,
                          std::uint64_t lane_mask = ~std::uint64_t{0});
 
+  /// \brief Incremental interface, for callers that interleave propagation
+  /// with externally delivered lane masks (the sharded router's cut-edge
+  /// frontier exchange): `Begin` resets the workspace, then any sequence of
+  /// `Seed`/`Propagate` calls grows the reached masks monotonically —
+  /// lanes handed across a shard boundary are Seeded at the receiving node
+  /// and the next Propagate continues from exactly that delta instead of
+  /// recomputing the fixpoint from scratch. Every Begin/Seed sequence must
+  /// end with a Propagate before the workspace is reused.
+  ///
+  /// Run(g, srcs, words, lanes) ≡ Begin(g); Seed(s, lanes) ∀s; Propagate().
+  void Begin(const DirectedGraph& graph);
+
+  /// Adds `lanes` to `v`'s reached mask and queues the delta for the next
+  /// Propagate. A no-op when the mask already covers `lanes`.
+  void Seed(NodeId v, std::uint64_t lanes);
+
+  /// Propagates every pending Seed delta to fixpoint over `edge_words`.
+  void Propagate(const std::uint64_t* edge_words);
+
   /// Samples (bits) in which `v` was reached by the last run; 0 when v was
   /// never touched.
   std::uint64_t ReachedMask(NodeId v) const { return reached_[v]; }
@@ -85,6 +104,12 @@ class BatchReachabilityWorkspace {
   /// Flattens `graph`'s adjacency into first_edge_/dst_ (see below). Called
   /// lazily by Run whenever a different graph instance is passed.
   void BindGraph(const DirectedGraph& graph);
+
+  /// The shared fixpoint loop behind RunUntil and Propagate: drains the
+  /// frontier (early-exiting once `target` saturates `lane_mask`), clears
+  /// the frontier bitmaps, and re-extracts touched_ from ever_bits_.
+  std::uint64_t Finish(const std::uint64_t* edge_words, NodeId target,
+                       std::uint64_t lane_mask);
 
   /// Per-node reached masks. Between runs every entry is zero except the
   /// last run's touched set (ReachedMask reads this directly); each run

@@ -1,0 +1,309 @@
+#include "serve/partition.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <queue>
+#include <unordered_map>
+
+#include "stats/rng.h"
+#include "util/check.h"
+
+namespace infoflow {
+namespace {
+
+/// Binary search of the ghost suffix (ascending parent ids) of a shard's
+/// node_to_parent map; returns the local id or kInvalidNode.
+NodeId GhostLocal(const ShardGraph& shard, NodeId parent) {
+  const auto first = shard.node_to_parent.begin() + shard.num_owned;
+  const auto it = std::lower_bound(first, shard.node_to_parent.end(), parent);
+  if (it == shard.node_to_parent.end() || *it != parent) return kInvalidNode;
+  return static_cast<NodeId>(it - shard.node_to_parent.begin());
+}
+
+}  // namespace
+
+NodeId GraphPartition::LocalInShard(NodeId parent, std::uint32_t shard) const {
+  IF_CHECK(parent < shard_of.size()) << "parent node out of range";
+  IF_CHECK(shard < num_shards) << "shard out of range";
+  if (shard_of[parent] == shard) return local_of[parent];
+  return GhostLocal(shards[shard], parent);
+}
+
+Result<GraphPartition> PartitionGraph(const DirectedGraph& graph,
+                                      std::uint32_t num_shards,
+                                      std::uint64_t seed) {
+  const NodeId n = graph.num_nodes();
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (num_shards > n) {
+    return Status::InvalidArgument("cannot cut ", n, " nodes into ",
+                                   num_shards, " shards");
+  }
+
+  GraphPartition part;
+  part.num_shards = num_shards;
+  part.shard_of.assign(n, num_shards);  // num_shards = unassigned sentinel
+  part.local_of.assign(n, kInvalidNode);
+
+  // --- Assign nodes to shards: BFS-grown communities balanced by owned
+  // edge weight. A shard owns the in-edges of its nodes (dst-ownership), so
+  // weight(v) = indeg(v) + 1; the +1 spreads isolated nodes evenly.
+  std::vector<std::uint64_t> weight(n);
+  std::uint64_t total_weight = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    weight[v] = static_cast<std::uint64_t>(graph.InDegree(v)) + 1;
+    total_weight += weight[v];
+  }
+  Rng rng(seed);
+  std::vector<NodeId> pool(n);  // candidate start nodes, compacted lazily
+  for (NodeId v = 0; v < n; ++v) pool[v] = v;
+  std::queue<NodeId> frontier;
+  NodeId num_assigned = 0;
+  std::uint64_t weight_assigned = 0;
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    const std::uint32_t shards_left = num_shards - s;
+    const std::uint64_t target =
+        (total_weight - weight_assigned + shards_left - 1) / shards_left;
+    // Every shard after this one still needs a node of its own.
+    const NodeId assign_cap = n - (shards_left - 1);
+    std::uint64_t shard_weight = 0;
+    while (num_assigned < assign_cap &&
+           (shard_weight == 0 || shard_weight < target)) {
+      NodeId v = kInvalidNode;
+      while (!frontier.empty()) {
+        const NodeId u = frontier.front();
+        frontier.pop();
+        if (part.shard_of[u] == num_shards) {
+          v = u;
+          break;
+        }
+      }
+      if (v == kInvalidNode) {
+        // BFS exhausted the component (or the shard is empty): restart from
+        // a seeded-random unassigned node, compacting the pool as assigned
+        // nodes surface. Deterministic: same seed, same draw sequence.
+        while (v == kInvalidNode) {
+          const auto idx = static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(pool.size()) - 1));
+          const NodeId cand = pool[idx];
+          pool[idx] = pool.back();
+          pool.pop_back();
+          if (part.shard_of[cand] == num_shards) v = cand;
+        }
+      }
+      part.shard_of[v] = s;
+      ++num_assigned;
+      shard_weight += weight[v];
+      weight_assigned += weight[v];
+      // Grow over the undirected adjacency: a neighbor in either direction
+      // shares edges with v, so pulling it in keeps those edges intra-shard.
+      for (const EdgeId e : graph.OutEdges(v)) {
+        const NodeId w = graph.edge(e).dst;
+        if (part.shard_of[w] == num_shards) frontier.push(w);
+      }
+      for (const EdgeId e : graph.InEdges(v)) {
+        const NodeId w = graph.edge(e).src;
+        if (part.shard_of[w] == num_shards) frontier.push(w);
+      }
+    }
+    // Leftover frontier belongs to no shard in particular; drain it so the
+    // next shard starts fresh from its own random seed node.
+    while (!frontier.empty()) frontier.pop();
+  }
+  // The last shard may have hit its weight target with nodes left over
+  // (rounding); sweep the stragglers into it.
+  for (NodeId v = 0; v < n; ++v) {
+    if (part.shard_of[v] == num_shards) part.shard_of[v] = num_shards - 1;
+  }
+
+  // --- Owned locals: ascending parent id within each shard.
+  part.shards.resize(num_shards);
+  for (NodeId v = 0; v < n; ++v) {
+    ShardGraph& shard = part.shards[part.shard_of[v]];
+    part.local_of[v] = shard.num_owned++;
+    shard.node_to_parent.push_back(v);
+  }
+
+  // --- Cut edges and ghost sets. Ghosts per shard are collected in
+  // ascending parent id (edge scan order is ascending src), deduplicated.
+  std::vector<std::vector<NodeId>> ghosts(num_shards);
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& edge = graph.edge(e);
+    const std::uint32_t src_shard = part.shard_of[edge.src];
+    const std::uint32_t dst_shard = part.shard_of[edge.dst];
+    if (src_shard == dst_shard) continue;
+    part.cut_edges.push_back(CutEdge{e, src_shard, dst_shard});
+    std::vector<NodeId>& g = ghosts[dst_shard];
+    if (g.empty() || g.back() != edge.src) g.push_back(edge.src);
+  }
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    std::sort(ghosts[s].begin(), ghosts[s].end());
+    ghosts[s].erase(std::unique(ghosts[s].begin(), ghosts[s].end()),
+                    ghosts[s].end());
+    part.shards[s].node_to_parent.insert(part.shards[s].node_to_parent.end(),
+                                         ghosts[s].begin(), ghosts[s].end());
+  }
+
+  // --- Ghost-target CSR over parent ids: which shards hold a ghost of v.
+  part.ghost_first.assign(n + 1, 0);
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    for (const NodeId v : ghosts[s]) ++part.ghost_first[v + 1];
+  }
+  for (NodeId v = 0; v < n; ++v) part.ghost_first[v + 1] += part.ghost_first[v];
+  part.ghost_targets.resize(part.ghost_first[n]);
+  part.ghost_locals.resize(part.ghost_first[n]);
+  std::vector<EdgeId> fill(part.ghost_first.begin(), part.ghost_first.end());
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    for (NodeId i = 0; i < ghosts[s].size(); ++i) {
+      const NodeId v = ghosts[s][i];
+      part.ghost_targets[fill[v]] = s;
+      part.ghost_locals[fill[v]] = part.shards[s].num_owned + i;
+      ++fill[v];
+    }
+  }
+
+  // --- Build each shard graph: all parent edges whose dst is owned, over
+  // owned + ghost locals. GraphBuilder re-sorts edges lexicographically by
+  // local ids; edge_to_parent is recovered afterwards through the parent's
+  // FindEdge, so the map matches the *built* edge order.
+  for (std::uint32_t s = 0; s < num_shards; ++s) {
+    ShardGraph& shard = part.shards[s];
+    GraphBuilder builder(static_cast<NodeId>(shard.node_to_parent.size()));
+    for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+      const Edge& edge = graph.edge(e);
+      if (part.shard_of[edge.dst] != s) continue;
+      const NodeId lsrc = part.shard_of[edge.src] == s
+                              ? part.local_of[edge.src]
+                              : GhostLocal(shard, edge.src);
+      IF_CHECK(lsrc != kInvalidNode) << "cut-edge source has no ghost";
+      Status status = builder.AddEdge(lsrc, part.local_of[edge.dst]);
+      if (!status.ok()) return status;
+    }
+    shard.graph = std::move(builder).Build();
+    shard.edge_to_parent.resize(shard.graph.num_edges());
+    for (EdgeId le = 0; le < shard.graph.num_edges(); ++le) {
+      const Edge& ledge = shard.graph.edge(le);
+      const EdgeId pe = graph.FindEdge(shard.node_to_parent[ledge.src],
+                                       shard.node_to_parent[ledge.dst]);
+      IF_CHECK(pe != kInvalidEdge) << "shard edge missing in parent";
+      shard.edge_to_parent[le] = pe;
+    }
+  }
+  return part;
+}
+
+Status ValidatePartition(const DirectedGraph& graph,
+                         const GraphPartition& partition) {
+  const NodeId n = graph.num_nodes();
+  if (partition.num_shards == 0 ||
+      partition.shards.size() != partition.num_shards) {
+    return Status::Internal("shard count mismatch");
+  }
+  if (partition.shard_of.size() != n || partition.local_of.size() != n) {
+    return Status::Internal("node map size mismatch");
+  }
+  // Every node owned exactly once, with a consistent local id.
+  std::vector<NodeId> owned_count(partition.num_shards, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t s = partition.shard_of[v];
+    if (s >= partition.num_shards) {
+      return Status::Internal("node ", v, " assigned to invalid shard ", s);
+    }
+    const ShardGraph& shard = partition.shards[s];
+    const NodeId local = partition.local_of[v];
+    if (local >= shard.num_owned || shard.node_to_parent[local] != v) {
+      return Status::Internal("node ", v, " local id inconsistent");
+    }
+    ++owned_count[s];
+  }
+  for (std::uint32_t s = 0; s < partition.num_shards; ++s) {
+    if (owned_count[s] != partition.shards[s].num_owned) {
+      return Status::Internal("shard ", s, " owned count mismatch");
+    }
+    if (owned_count[s] == 0) return Status::Internal("shard ", s, " empty");
+  }
+  // Every parent edge in exactly one shard graph — the dst owner's — and
+  // every cut edge in the cut table exactly once.
+  std::vector<std::uint8_t> edge_seen(graph.num_edges(), 0);
+  for (std::uint32_t s = 0; s < partition.num_shards; ++s) {
+    const ShardGraph& shard = partition.shards[s];
+    if (shard.edge_to_parent.size() != shard.graph.num_edges()) {
+      return Status::Internal("shard ", s, " edge map size mismatch");
+    }
+    for (EdgeId le = 0; le < shard.graph.num_edges(); ++le) {
+      const EdgeId pe = shard.edge_to_parent[le];
+      if (pe >= graph.num_edges()) {
+        return Status::Internal("shard ", s, " maps to bad parent edge");
+      }
+      if (edge_seen[pe]++ != 0) {
+        return Status::Internal("parent edge ", pe, " in two shards");
+      }
+      const Edge& ledge = shard.graph.edge(le);
+      const Edge& pedge = graph.edge(pe);
+      if (shard.node_to_parent[ledge.src] != pedge.src ||
+          shard.node_to_parent[ledge.dst] != pedge.dst ||
+          partition.shard_of[pedge.dst] != s) {
+        return Status::Internal("parent edge ", pe, " misplaced in shard ", s);
+      }
+    }
+  }
+  std::vector<std::uint8_t> cut_seen(graph.num_edges(), 0);
+  for (const CutEdge& cut : partition.cut_edges) {
+    const Edge& pedge = graph.edge(cut.parent_edge);
+    if (partition.shard_of[pedge.src] != cut.src_shard ||
+        partition.shard_of[pedge.dst] != cut.dst_shard ||
+        cut.src_shard == cut.dst_shard || cut_seen[cut.parent_edge]++ != 0) {
+      return Status::Internal("cut table entry for edge ", cut.parent_edge,
+                              " inconsistent");
+    }
+  }
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const Edge& pedge = graph.edge(e);
+    const bool is_cut =
+        partition.shard_of[pedge.src] != partition.shard_of[pedge.dst];
+    if (edge_seen[e] != 1) {
+      return Status::Internal("parent edge ", e, " not covered");
+    }
+    if (cut_seen[e] != (is_cut ? 1 : 0)) {
+      return Status::Internal("cut table misses or over-counts edge ", e);
+    }
+  }
+  // Ghost CSR agrees with the shard graphs' ghost suffixes.
+  if (partition.ghost_first.size() != n + 1 ||
+      partition.ghost_targets.size() != partition.ghost_first[n] ||
+      partition.ghost_locals.size() != partition.ghost_first[n]) {
+    return Status::Internal("ghost CSR size mismatch");
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (EdgeId i = partition.ghost_first[v]; i < partition.ghost_first[v + 1];
+         ++i) {
+      const std::uint32_t s = partition.ghost_targets[i];
+      if (s >= partition.num_shards ||
+          partition.LocalInShard(v, s) == kInvalidNode ||
+          partition.LocalInShard(v, s) < partition.shards[s].num_owned ||
+          partition.ghost_locals[i] != partition.LocalInShard(v, s)) {
+        return Status::Internal("ghost target list for node ", v, " bad");
+      }
+    }
+  }
+  // And conversely every ghost is listed for its parent node.
+  for (std::uint32_t s = 0; s < partition.num_shards; ++s) {
+    const ShardGraph& shard = partition.shards[s];
+    for (NodeId l = shard.num_owned; l < shard.node_to_parent.size(); ++l) {
+      const NodeId v = shard.node_to_parent[l];
+      bool listed = false;
+      for (EdgeId i = partition.ghost_first[v];
+           i < partition.ghost_first[v + 1] && !listed; ++i) {
+        listed = partition.ghost_targets[i] == s;
+      }
+      if (!listed) {
+        return Status::Internal("ghost of node ", v, " in shard ", s,
+                                " missing from CSR");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace infoflow

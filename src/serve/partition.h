@@ -1,0 +1,96 @@
+/// \file partition.h
+/// \brief Greedy edge-balanced graph partitioner for the sharded serve tier.
+///
+/// The serve path replays Eq. 5 reachability over the whole graph for every
+/// query; to spread that work over shards the graph is split into K node
+/// communities. Partitioning is **dst-owned with ghost sources**: every
+/// parent edge lives in exactly one shard — the shard that owns its
+/// destination — and a shard's local graph contains its owned nodes plus
+/// *ghost* copies of foreign nodes that feed a cut edge. Because a node's
+/// in-edges are all materialized in its owner shard, the owner's reached
+/// mask for that node is authoritative; the router only has to hand owner
+/// masks to ghost copies (one exchange per boundary node, not per cut
+/// edge) and every edge is relaxed exactly once per fixpoint round.
+///
+/// Communities are grown by BFS over the undirected adjacency from
+/// seeded-random start nodes, balanced by edge weight (in-degree, since a
+/// shard's work is proportional to the edges it owns). The result is fully
+/// deterministic under a fixed seed, which the differential shard-vs-single
+/// tests rely on.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace infoflow {
+
+/// \brief One shard's local graph plus the correspondence to the parent.
+struct ShardGraph {
+  /// Local graph: owned nodes first (local ids [0, num_owned), ascending
+  /// parent id), then ghost copies of foreign cut-edge sources (ascending
+  /// parent id). Edges are exactly the parent edges whose dst is owned.
+  DirectedGraph graph;
+  /// Local node id -> parent node id (owned prefix + ghost suffix).
+  std::vector<NodeId> node_to_parent;
+  /// Local edge id -> parent edge id. The shard plane is gathered through
+  /// this map from the parent bank's edge-major plane.
+  std::vector<EdgeId> edge_to_parent;
+  /// Number of owned (non-ghost) locals; locals >= num_owned are ghosts.
+  NodeId num_owned = 0;
+};
+
+/// \brief One cut edge: a parent edge whose src and dst live in different
+/// shards. Kept for observability and the partition property tests; the
+/// router itself exchanges per-node masks via GraphPartition::ghost_targets.
+struct CutEdge {
+  EdgeId parent_edge = kInvalidEdge;
+  std::uint32_t src_shard = 0;
+  std::uint32_t dst_shard = 0;
+};
+
+/// \brief A K-way partition of a parent graph into ShardGraphs.
+struct GraphPartition {
+  std::uint32_t num_shards = 0;
+  /// Parent node id -> owning shard.
+  std::vector<std::uint32_t> shard_of;
+  /// Parent node id -> local id within its owning shard.
+  std::vector<NodeId> local_of;
+  /// Per-shard local graphs with ghost copies of cut-edge sources.
+  std::vector<ShardGraph> shards;
+  /// All parent edges crossing a shard boundary.
+  std::vector<CutEdge> cut_edges;
+  /// CSR over parent node ids: ghost_targets[ghost_first[v] ..
+  /// ghost_first[v+1]) lists the shards holding a ghost copy of v, and
+  /// ghost_locals[i] is the ghost's local id inside ghost_targets[i]. After
+  /// a shard's propagation round the router walks its touched *owned* nodes
+  /// and delivers new lanes to each listed ghost.
+  std::vector<EdgeId> ghost_first;
+  std::vector<std::uint32_t> ghost_targets;
+  std::vector<NodeId> ghost_locals;
+
+  /// Local id of parent node v inside shard s: the owned local when s owns
+  /// v, the ghost local when s holds a ghost of v, kInvalidNode otherwise.
+  NodeId LocalInShard(NodeId parent, std::uint32_t shard) const;
+};
+
+/// \brief Partitions `graph` into `num_shards` edge-balanced communities.
+///
+/// Deterministic under `seed`. num_shards == 1 yields the identity
+/// partition (one shard, no ghosts, empty cut table) — the N=1 degeneracy
+/// the serve tier's single-engine fallback relies on. Fails when
+/// num_shards is 0 or exceeds the node count.
+Result<GraphPartition> PartitionGraph(const DirectedGraph& graph,
+                                      std::uint32_t num_shards,
+                                      std::uint64_t seed);
+
+/// \brief Structural self-check: every node in exactly one shard, every
+/// parent edge in exactly one shard graph (dst-owned), ghosts consistent
+/// with the cut table. Returns the first violation found.
+Status ValidatePartition(const DirectedGraph& graph,
+                         const GraphPartition& partition);
+
+}  // namespace infoflow

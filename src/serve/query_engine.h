@@ -166,16 +166,6 @@ class QueryEngine {
   std::vector<ReachabilityWorkspace> workspaces_;
   /// Scratch bit-parallel workspace per worker task index (batch path).
   std::vector<BatchReachabilityWorkspace> batch_workspaces_;
-
-  obs::Counter* metric_batches_;
-  obs::Counter* metric_requests_;
-  obs::Counter* metric_rows_scanned_;
-  obs::Counter* metric_frontier_merged_;
-  obs::Counter* metric_deadline_exceeded_;
-  obs::Counter* metric_conditional_floor_;
-  obs::Histogram* metric_batch_size_;
-  obs::Histogram* metric_group_size_;
-  obs::Histogram* metric_latency_ms_;
 };
 
 }  // namespace infoflow::serve

@@ -1,0 +1,394 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/query_plan.h"
+#include "serve/transport.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace infoflow::serve {
+namespace {
+
+/// \brief BlockOps over the shard views: per-block reachability is the
+/// cut-edge frontier-exchange fixpoint described in router.h.
+class ShardedOps final : public BlockOps {
+ public:
+  ShardedOps(const GraphPartition& partition,
+             const std::vector<std::shared_ptr<const ShardView>>& views,
+             std::vector<std::vector<BatchReachabilityWorkspace>>& scratch)
+      : partition_(partition),
+        views_(views),
+        scratch_(scratch),
+        dirty_(scratch.size(),
+               std::vector<std::uint8_t>(partition.num_shards, 0)),
+        src_(scratch.size(), std::vector<NodeId>(1)),
+        tallies_(scratch.size()) {}
+
+  /// Registry counters are contended atomics; workers tally locally and
+  /// the batch flushes once here.
+  ~ShardedOps() override {
+    Tally total;
+    for (const Tally& tally : tallies_) {
+      total.cut_words += tally.cut_words;
+      total.rounds += tally.rounds;
+    }
+    obs::GetCounter("router.cut_frontier_words").Increment(total.cut_words);
+    obs::GetCounter("router.exchange_rounds_total").Increment(total.rounds);
+  }
+
+  std::uint64_t BlockConditions(std::size_t worker, std::size_t block,
+                                const FlowConditions& conditions,
+                                std::uint64_t lanes) override {
+    auto& ws = scratch_[worker];
+    std::vector<NodeId>& src = src_[worker];
+    if (partition_.num_shards == 1) {
+      // N=1 degeneracy: the identity partition makes this exactly the
+      // single engine's per-block loop, early exits included.
+      for (const FlowConstraint& c : conditions) {
+        if (lanes == 0) break;
+        src[0] = c.source;
+        const std::uint64_t reached =
+            ws[0].RunUntil(partition_.shards[0].graph, src,
+                           views_[0]->BlockWords(block), c.sink, lanes);
+        lanes = c.must_flow ? reached : lanes & ~reached;
+      }
+      return lanes;
+    }
+    for (const FlowConstraint& c : conditions) {
+      if (lanes == 0) break;
+      src[0] = c.source;
+      // The single engine's RunUntil early-exits once the sink's mask
+      // saturates `lanes`; running the exchange to its full fixpoint
+      // instead reads the same final mask (saturation only stops work the
+      // answer no longer depends on), so the lane narrowing is identical.
+      Exchange(worker, block, src, lanes);
+      const std::uint64_t reached = OwnerMask(ws, c.sink);
+      lanes = c.must_flow ? reached : lanes & ~reached;
+    }
+    return lanes;
+  }
+
+  void BlockReach(std::size_t worker, std::size_t block,
+                  const std::vector<NodeId>& sources, std::uint64_t lanes,
+                  const std::vector<NodeId>& sinks,
+                  std::uint64_t* out) override {
+    auto& ws = scratch_[worker];
+    if (partition_.num_shards == 1) {
+      ws[0].Run(partition_.shards[0].graph, sources,
+                views_[0]->BlockWords(block), lanes);
+      for (std::size_t s = 0; s < sinks.size(); ++s) {
+        out[s] = ws[0].ReachedMask(sinks[s]);
+      }
+      return;
+    }
+    Exchange(worker, block, sources, lanes);
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+      out[s] = OwnerMask(ws, sinks[s]);
+    }
+  }
+
+ private:
+  struct Tally {
+    std::uint64_t cut_words = 0;
+    std::uint64_t rounds = 0;
+  };
+
+  /// A node's authoritative mask lives in its owner shard (all its
+  /// in-edges are materialized there).
+  std::uint64_t OwnerMask(std::vector<BatchReachabilityWorkspace>& ws,
+                          NodeId v) const {
+    return ws[partition_.shard_of[v]].ReachedMask(partition_.local_of[v]);
+  }
+
+  /// Runs the per-shard propagation / cut-frontier exchange loop for one
+  /// block until no shard has pending lanes. Monotone mask growth makes
+  /// the fixpoint unique, so sweep order cannot affect the result.
+  void Exchange(std::size_t worker, std::size_t block,
+                const std::vector<NodeId>& sources, std::uint64_t lanes) {
+    std::vector<BatchReachabilityWorkspace>& ws = scratch_[worker];
+    const GraphPartition& p = partition_;
+    const std::uint32_t num_shards = p.num_shards;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      ws[s].Begin(p.shards[s].graph);
+    }
+    std::vector<std::uint8_t>& dirty = dirty_[worker];
+    std::fill(dirty.begin(), dirty.end(), 0);
+    // A source is seeded at its owner and at every ghost copy: its
+    // out-edges with a foreign dst live in the dst's shard and relax from
+    // the ghost.
+    for (const NodeId v : sources) {
+      ws[p.shard_of[v]].Seed(p.local_of[v], lanes);
+      dirty[p.shard_of[v]] = 1;
+      for (EdgeId i = p.ghost_first[v]; i < p.ghost_first[v + 1]; ++i) {
+        ws[p.ghost_targets[i]].Seed(p.ghost_locals[i], lanes);
+        dirty[p.ghost_targets[i]] = 1;
+      }
+    }
+    std::uint64_t delivered = 0;
+    std::uint64_t rounds = 0;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      ++rounds;
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        if (dirty[s] == 0) continue;
+        dirty[s] = 0;
+        progressed = true;
+        ws[s].Propagate(views_[s]->BlockWords(block));
+        // Deliver every touched owned node's mask to its ghost copies;
+        // the receiving shard continues from exactly the fresh lanes.
+        const ShardGraph& shard = p.shards[s];
+        for (const NodeId lv : ws[s].TouchedNodes()) {
+          if (lv >= shard.num_owned) continue;
+          const NodeId v = shard.node_to_parent[lv];
+          EdgeId gi = p.ghost_first[v];
+          const EdgeId gend = p.ghost_first[v + 1];
+          if (gi == gend) continue;
+          const std::uint64_t mask = ws[s].ReachedMask(lv);
+          for (; gi < gend; ++gi) {
+            const std::uint32_t gs = p.ghost_targets[gi];
+            const std::uint64_t fresh =
+                mask & ~ws[gs].ReachedMask(p.ghost_locals[gi]);
+            if (fresh == 0) continue;
+            ws[gs].Seed(p.ghost_locals[gi], fresh);
+            dirty[gs] = 1;
+            ++delivered;
+          }
+        }
+      }
+    }
+    tallies_[worker].cut_words += delivered;
+    tallies_[worker].rounds += rounds;
+  }
+
+  const GraphPartition& partition_;
+  const std::vector<std::shared_ptr<const ShardView>>& views_;
+  std::vector<std::vector<BatchReachabilityWorkspace>>& scratch_;
+  /// Per-worker scratch, hoisted out of the per-block hot path.
+  std::vector<std::vector<std::uint8_t>> dirty_;
+  std::vector<std::vector<NodeId>> src_;
+  std::vector<Tally> tallies_;
+};
+
+/// write(2) loop that cannot raise SIGPIPE on sockets (MSG_NOSIGNAL, with
+/// a plain-write fallback for pipes — CLI installs SIG_IGN for those).
+bool WriteAllQuiet(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t put = send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (put < 0 && errno == ENOTSOCK) {
+      put = write(fd, data.data() + off, data.size() - off);
+    }
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+/// A serialized NDJSON error response for `line`, echoing its request id
+/// when the line parses.
+std::string ErrorResponseFor(const std::string& line, const Status& status) {
+  auto request = ParseRequestLine(line);
+  if (!request.ok()) return SerializeParseError(status);
+  QueryResult result;
+  result.status = status;
+  return SerializeResult(*request, result);
+}
+
+}  // namespace
+
+ShardedQueryEngine::ShardedQueryEngine(
+    std::shared_ptr<const DirectedGraph> graph, std::shared_ptr<ShardSet> shards,
+    QueryEngineOptions options)
+    : graph_(std::move(graph)),
+      shards_(std::move(shards)),
+      options_(options),
+      pool_(std::make_unique<ThreadPool>(options.num_threads)) {
+  const GraphPartition& p = shards_->partition();
+  scratch_.reserve(pool_->size());
+  for (std::size_t t = 0; t < pool_->size(); ++t) {
+    std::vector<BatchReachabilityWorkspace> per_shard;
+    per_shard.reserve(p.num_shards);
+    for (const ShardGraph& shard : p.shards) {
+      per_shard.emplace_back(shard.graph);
+    }
+    scratch_.push_back(std::move(per_shard));
+  }
+}
+
+Result<ShardedQueryEngine> ShardedQueryEngine::Create(
+    std::shared_ptr<const DirectedGraph> graph, std::shared_ptr<ShardSet> shards,
+    QueryEngineOptions options) {
+  IF_CHECK(graph != nullptr) << "null graph";
+  IF_CHECK(shards != nullptr) << "null shard set";
+  IF_RETURN_NOT_OK(options.Validate());
+  if (shards->partition().shard_of.size() != graph->num_nodes()) {
+    return Status::InvalidArgument(
+        "partition covers ", shards->partition().shard_of.size(),
+        " nodes but the graph has ", graph->num_nodes());
+  }
+  return ShardedQueryEngine(std::move(graph), std::move(shards), options);
+}
+
+std::vector<QueryResult> ShardedQueryEngine::AnswerBatch(
+    const BankGeneration& bank, const std::vector<QueryRequest>& requests) {
+  // One consistent cut across shards: all views belong to bank.id(), so a
+  // refresh landing mid-batch cannot mix generations between shards.
+  const std::vector<std::shared_ptr<const ShardView>> views =
+      shards_->AcquireAll(bank);
+  ShardedOps ops(shards_->partition(), views, scratch_);
+  QueryPlanOptions plan;
+  plan.min_conditional_rows = options_.min_conditional_rows;
+  plan.rows_per_task = options_.rows_per_task;
+  return RunQueryPlan(*graph_, bank, requests, plan, *pool_, ops);
+}
+
+struct ProcessRouter::Child {
+  int fd = -1;
+  std::unique_ptr<LineReader> reader;
+  bool alive = true;
+};
+
+ProcessRouter::ProcessRouter(std::vector<int> child_fds, Options options)
+    : options_(options) {
+  IF_CHECK(!child_fds.empty()) << "router needs at least one child";
+  children_.reserve(child_fds.size());
+  for (const int fd : child_fds) {
+    Child child;
+    child.fd = fd;
+    child.reader = std::make_unique<LineReader>(fd);
+    children_.push_back(std::move(child));
+  }
+}
+
+ProcessRouter::~ProcessRouter() {
+  for (Child& child : children_) {
+    if (child.fd >= 0) close(child.fd);
+  }
+}
+
+std::size_t ProcessRouter::num_live_children() const {
+  std::size_t live = 0;
+  for (const Child& child : children_) {
+    if (child.alive) ++live;
+  }
+  return live;
+}
+
+std::vector<std::string> ProcessRouter::RouteBatch(
+    const std::vector<std::string>& lines) {
+  obs::GetCounter("router.proc_batches_total").Increment();
+  WallTimer timer;
+  std::vector<std::string> responses(lines.size());
+  // Round-robin assignment over the live children, continuing where the
+  // previous batch left off so single-line batches still spread.
+  std::vector<std::vector<std::size_t>> assigned(children_.size());
+  for (std::size_t j = 0; j < lines.size(); ++j) {
+    std::size_t probe = 0;
+    for (; probe < children_.size(); ++probe) {
+      const std::size_t k = (next_child_ + probe) % children_.size();
+      if (children_[k].alive) {
+        assigned[k].push_back(j);
+        next_child_ = (k + 1) % children_.size();
+        break;
+      }
+    }
+    if (probe == children_.size()) {
+      responses[j] = ErrorResponseFor(
+          lines[j], Status::IOError("no shard children alive"));
+    }
+  }
+  // Write every child its lines first, then collect: children crunch their
+  // slices concurrently while the router drains them one by one.
+  for (std::size_t k = 0; k < children_.size(); ++k) {
+    if (assigned[k].empty() || !children_[k].alive) continue;
+    std::string blob;
+    for (const std::size_t j : assigned[k]) {
+      blob += lines[j];
+      blob += '\n';
+    }
+    if (!WriteAllQuiet(children_[k].fd, blob)) {
+      children_[k].alive = false;
+      for (const std::size_t j : assigned[k]) {
+        responses[j] = ErrorResponseFor(
+            lines[j], Status::IOError("shard child ", k,
+                                      " rejected the batch (broken pipe): ",
+                                      std::strerror(errno)));
+      }
+    }
+  }
+  for (std::size_t k = 0; k < children_.size(); ++k) {
+    if (assigned[k].empty() || !children_[k].alive) continue;
+    for (std::size_t a = 0; a < assigned[k].size(); ++a) {
+      const std::size_t j = assigned[k][a];
+      std::string line;
+      bool ok;
+      bool timed_out = false;
+      if (options_.child_timeout_ms > 0.0) {
+        const double left = options_.child_timeout_ms - timer.Millis();
+        ok = children_[k].reader->NextLineWithin(line, left, timed_out);
+      } else {
+        ok = children_[k].reader->NextLine(line);
+      }
+      if (ok) {
+        responses[j] = std::move(line);
+        continue;
+      }
+      // EOF mid-batch (the child died) or deadline expiry (the response
+      // stream can no longer be trusted to stay aligned): fail this and
+      // every later line assigned to the child, descriptively.
+      children_[k].alive = false;
+      obs::GetCounter("router.child_failures_total").Increment();
+      const Status status =
+          timed_out
+              ? Status::DeadlineExceeded("shard child ", k, " exceeded the ",
+                                         options_.child_timeout_ms,
+                                         " ms router deadline mid-batch")
+              : Status::IOError("shard child ", k, " died mid-batch");
+      for (; a < assigned[k].size(); ++a) {
+        responses[assigned[k][a]] = ErrorResponseFor(lines[assigned[k][a]],
+                                                     status);
+      }
+      break;
+    }
+  }
+  return responses;
+}
+
+Status ProcessRouter::Serve(int in_fd, int out_fd) {
+  LineReader reader(in_fd);
+  std::string line;
+  std::vector<std::string> lines;
+  while (reader.NextLine(line)) {
+    lines.clear();
+    lines.push_back(std::move(line));
+    while (lines.size() < options_.max_batch && reader.TryNextLine(line)) {
+      lines.push_back(std::move(line));
+    }
+    const std::vector<std::string> responses = RouteBatch(lines);
+    std::string out;
+    for (const std::string& response : responses) {
+      out += response;
+      out += '\n';
+    }
+    if (!WriteAllQuiet(out_fd, out)) {
+      return Status::IOError("short write to fd ", out_fd, ": ",
+                             std::strerror(errno));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace infoflow::serve

@@ -1,0 +1,125 @@
+/// \file router.h
+/// \brief The serve tier's routing layer: split query work across shards
+/// and merge the answers.
+///
+/// Two routers live here. **ShardedQueryEngine** is the in-process one: it
+/// runs the shared batch skeleton (serve/query_plan.h) with per-block ops
+/// that propagate reached masks inside every shard's local graph and hand
+/// new lanes across shard boundaries at cut edges — each owned node that
+/// gains lanes delivers its mask to its ghost copies (partition.h's
+/// ghost-target CSR), and the per-shard BFS continues from exactly that
+/// delta (BatchReachabilityWorkspace's incremental Seed/Propagate) until no
+/// shard has pending work. At the fixpoint every node's owner mask equals
+/// the whole-graph BFS mask, so estimates, effective_rows and chain
+/// diagnostics are **bit-identical** to the single engine — with N=1 the
+/// loop degenerates to one Propagate and no exchange.
+///
+/// **ProcessRouter** is the shared-nothing variant: each shard is a child
+/// process running a full replica (same seed → same bank rows → identical
+/// answers) behind the unchanged NDJSON protocol; the router round-robins
+/// request lines across children, reassembles responses in input order,
+/// and turns a dead or stalled child into descriptive per-query error
+/// lines instead of a hang.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/batch_reachability.h"
+#include "graph/graph.h"
+#include "serve/query_engine.h"
+#include "serve/sample_bank.h"
+#include "serve/shard_engine.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace infoflow::serve {
+
+/// \brief Answers query batches by per-shard bit-parallel replay with
+/// cut-edge frontier exchange. Drop-in for QueryEngine::AnswerBatch.
+///
+/// Thread-safety: like QueryEngine, one thread drives an instance at a
+/// time (per-worker scratch); the ShardSet is shared and thread-safe.
+class ShardedQueryEngine {
+ public:
+  /// `graph` is the parent graph the partition was cut from. The engine
+  /// always uses batch (bit-parallel) reachability;
+  /// `options.use_batch_reachability` is ignored.
+  static Result<ShardedQueryEngine> Create(
+      std::shared_ptr<const DirectedGraph> graph,
+      std::shared_ptr<ShardSet> shards, QueryEngineOptions options);
+
+  /// See QueryEngine::AnswerBatch — same contract, same results bit for
+  /// bit (the differential suite in tests/test_shard.cc holds us to it).
+  std::vector<QueryResult> AnswerBatch(
+      const BankGeneration& bank, const std::vector<QueryRequest>& requests);
+
+  std::uint32_t num_shards() const { return shards_->num_shards(); }
+  std::size_t num_threads() const { return pool_->size(); }
+  const ShardSet& shard_set() const { return *shards_; }
+
+ private:
+  ShardedQueryEngine(std::shared_ptr<const DirectedGraph> graph,
+                     std::shared_ptr<ShardSet> shards,
+                     QueryEngineOptions options);
+
+  std::shared_ptr<const DirectedGraph> graph_;
+  std::shared_ptr<ShardSet> shards_;
+  QueryEngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  /// scratch_[worker][shard]: one bit-parallel workspace per shard per pool
+  /// worker (workers partition blocks, shards exchange within a block).
+  std::vector<std::vector<BatchReachabilityWorkspace>> scratch_;
+};
+
+/// \brief Round-robin NDJSON fan-out over shard child processes.
+///
+/// The router owns nothing about queries: it forwards raw request lines to
+/// children (full replicas listening on the fds handed in), reads one
+/// response line per request line, and reassembles them in input order.
+/// Children that die (EOF/write error) or stall past the per-batch
+/// deadline get their in-flight lines answered with descriptive error
+/// responses and are excluded from later batches.
+class ProcessRouter {
+ public:
+  struct Options {
+    /// Max request lines folded into one fan-out round.
+    std::size_t max_batch = 64;
+    /// Per-batch child response deadline; 0 → wait forever.
+    double child_timeout_ms = 0.0;
+  };
+
+  /// `child_fds` are connected stream sockets (or pipe pairs) to shard
+  /// children speaking the serve NDJSON protocol. The router closes them
+  /// on destruction.
+  ProcessRouter(std::vector<int> child_fds, Options options);
+  ~ProcessRouter();
+  ProcessRouter(const ProcessRouter&) = delete;
+  ProcessRouter& operator=(const ProcessRouter&) = delete;
+
+  /// \brief Bridges `in_fd` to `out_fd` through the children until EOF on
+  /// `in_fd`: greedy-batches request lines (like Server::ServeFd), fans
+  /// each batch out round-robin, merges responses in input order. Fails
+  /// only when no child is left alive or the output fd breaks.
+  Status Serve(int in_fd, int out_fd);
+
+  /// \brief One fan-out round: routes `lines` across the live children and
+  /// returns exactly one response line per input line, in order. Dead or
+  /// stalled children yield serialized error responses echoing each
+  /// affected line's request id. Exposed for the fault-path tests.
+  std::vector<std::string> RouteBatch(const std::vector<std::string>& lines);
+
+  /// Children still considered alive.
+  std::size_t num_live_children() const;
+
+ private:
+  struct Child;
+  std::vector<Child> children_;
+  Options options_;
+  std::size_t next_child_ = 0;
+};
+
+}  // namespace infoflow::serve

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <optional>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -15,97 +16,14 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "serve/partition.h"
 #include "serve/protocol.h"
+#include "serve/router.h"
+#include "serve/transport.h"
 #include "util/check.h"
 #include "util/timer.h"
 
 namespace infoflow::serve {
-namespace {
-
-/// Buffered line reader over a POSIX fd.
-class LineReader {
- public:
-  explicit LineReader(int fd) : fd_(fd) {}
-
-  /// Blocking: pops the next line (without '\n'); false at EOF. A final
-  /// unterminated line is still delivered.
-  bool NextLine(std::string& line) {
-    while (true) {
-      if (PopBufferedLine(line)) return true;
-      if (eof_) {
-        if (buffer_.empty()) return false;
-        line = std::move(buffer_);
-        buffer_.clear();
-        return true;
-      }
-      FillOnce();
-    }
-  }
-
-  /// Non-blocking: pops a line only if one is already buffered or the fd
-  /// has readable data that completes one; false otherwise (never blocks
-  /// past a single read of already-available bytes).
-  bool TryNextLine(std::string& line) {
-    if (PopBufferedLine(line)) return true;
-    while (!eof_ && Readable()) {
-      FillOnce();
-      if (PopBufferedLine(line)) return true;
-    }
-    if (eof_ && !buffer_.empty()) {
-      line = std::move(buffer_);
-      buffer_.clear();
-      return true;
-    }
-    return false;
-  }
-
- private:
-  bool PopBufferedLine(std::string& line) {
-    const std::size_t pos = buffer_.find('\n');
-    if (pos == std::string::npos) return false;
-    line.assign(buffer_, 0, pos);
-    buffer_.erase(0, pos + 1);
-    return true;
-  }
-
-  bool Readable() const {
-    pollfd pfd{fd_, POLLIN, 0};
-    return poll(&pfd, 1, 0) > 0;
-  }
-
-  void FillOnce() {
-    char chunk[65536];
-    ssize_t got;
-    do {
-      got = read(fd_, chunk, sizeof(chunk));
-    } while (got < 0 && errno == EINTR);
-    if (got <= 0) {
-      eof_ = true;  // EOF or unrecoverable error: drain and stop.
-      return;
-    }
-    buffer_.append(chunk, static_cast<std::size_t>(got));
-  }
-
-  int fd_;
-  std::string buffer_;
-  bool eof_ = false;
-};
-
-/// Writes all of `data`, retrying partial writes; false on error.
-bool WriteAll(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t put = write(fd, data.data() + off, data.size() - off);
-    if (put < 0) {
-      if (errno == EINTR) continue;
-      return false;
-    }
-    off += static_cast<std::size_t>(put);
-  }
-  return true;
-}
-
-}  // namespace
 
 struct Server::Background {
   std::atomic<bool> stopping{false};
@@ -143,13 +61,29 @@ Status ServerOptions::Validate() const {
   if (!socket_path.empty() && socket_path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     return Status::InvalidArgument("socket path too long: ", socket_path);
   }
+  if (num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be positive");
+  }
   return engine.Validate();
 }
 
 Result<Server> Server::Create(SampleBank bank, ServerOptions options) {
   IF_RETURN_NOT_OK(options.Validate());
   IF_RETURN_NOT_OK(options.engine.Validate());
-  return Server(std::move(bank), std::move(options));
+  Server server(std::move(bank), std::move(options));
+  if (server.options_.num_shards > 1) {
+    auto partition = PartitionGraph(
+        *server.bank_.graph_ptr(),
+        static_cast<std::uint32_t>(server.options_.num_shards),
+        server.options_.partition_seed);
+    IF_RETURN_NOT_OK(partition.status());
+    server.shard_set_ = std::make_shared<ShardSet>(
+        std::make_shared<const GraphPartition>(std::move(*partition)));
+    // Warm every shard's view of the boot generation, mirroring the
+    // refresh/rebuild fan-out — the first batch should not pay K gathers.
+    server.shard_set_->Prime(*server.bank_.Acquire());
+  }
+  return server;
 }
 
 Server::Server(SampleBank bank, ServerOptions options)
@@ -175,8 +109,23 @@ Server::~Server() {
 }
 
 Status Server::ServeFd(int in_fd, int out_fd) {
-  auto engine = QueryEngine::Create(bank_.graph_ptr(), options_.engine);
-  if (!engine.ok()) return engine.status();
+  // N=1 degeneracy: without a shard set this is exactly the pre-sharding
+  // single-engine path — the router layer is never even constructed.
+  std::optional<Result<QueryEngine>> single;
+  std::optional<Result<ShardedQueryEngine>> sharded;
+  if (shard_set_ == nullptr) {
+    single.emplace(QueryEngine::Create(bank_.graph_ptr(), options_.engine));
+    if (!single->ok()) return single->status();
+  } else {
+    sharded.emplace(ShardedQueryEngine::Create(bank_.graph_ptr(), shard_set_,
+                                               options_.engine));
+    if (!sharded->ok()) return sharded->status();
+  }
+  const auto answer = [&](const BankGeneration& generation,
+                          const std::vector<QueryRequest>& requests) {
+    return single.has_value() ? (*single)->AnswerBatch(generation, requests)
+                              : (*sharded)->AnswerBatch(generation, requests);
+  };
   LineReader reader(in_fd);
   std::string line;
   std::vector<std::string> lines;
@@ -240,8 +189,7 @@ Status Server::ServeFd(int in_fd, int out_fd) {
 
     if (!requests.empty()) {
       const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
-      const std::vector<QueryResult> results =
-          engine->AnswerBatch(*generation, requests);
+      const std::vector<QueryResult> results = answer(*generation, requests);
       for (std::size_t k = 0; k < requests.size(); ++k) {
         responses[request_line[k]] = SerializeResult(requests[k], results[k]);
       }
@@ -308,7 +256,12 @@ void Server::RebuildLoop() {
       epoch = std::move(bg.pending_epoch);
       bg.pending_epoch = nullptr;
     }
-    (void)bank_.Rebuild(epoch->model, epoch->id);
+    if (bank_.Rebuild(epoch->model, epoch->id).ok() &&
+        shard_set_ != nullptr) {
+      // Fan the new generation out to every shard view before queries can
+      // hit it — one publish, K consistent gathers, no torn generation.
+      shard_set_->Prime(*bank_.Acquire());
+    }
   }
 }
 
@@ -381,6 +334,7 @@ void Server::RefreshLoop() {
       continue;
     }
     bank_.Refresh();
+    if (shard_set_ != nullptr) shard_set_->Prime(*bank_.Acquire());
     next = std::chrono::steady_clock::now() + interval;
   }
 }

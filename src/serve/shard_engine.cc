@@ -1,0 +1,65 @@
+#include "serve/shard_engine.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace infoflow::serve {
+
+std::shared_ptr<const ShardView> ShardEngine::AcquireView(
+    const BankGeneration& bank) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (current_ != nullptr && current_->generation() == bank.id()) {
+      return current_;
+    }
+  }
+  // Gather outside the lock: concurrent first-acquirers may race to build
+  // the same view, but publication is a pointer swap and losers' copies are
+  // simply dropped — readers never wait on a gather.
+  WallTimer timer;
+  const std::size_t num_blocks = bank.num_blocks();
+  const std::size_t m = shard_->graph.num_edges();
+  auto view = std::shared_ptr<ShardView>(new ShardView(bank.id(), m));
+  view->plane_.resize(num_blocks * m);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    const std::uint64_t* parent = bank.BlockEdgeWords(b);
+    std::uint64_t* out = view->plane_.data() + b * m;
+    for (std::size_t le = 0; le < m; ++le) {
+      out[le] = parent[shard_->edge_to_parent[le]];
+    }
+  }
+  obs::GetCounter("shard.views_built_total").Increment();
+  obs::GetHistogram("shard.view_gather_ms",
+                    {0.01, 0.1, 0.5, 2.5, 10.0, 50.0, 250.0})
+      .Record(timer.Millis());
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Publish unless someone already published this (or a newer) generation.
+  if (current_ == nullptr || current_->generation() < bank.id()) {
+    current_ = view;
+  }
+  return current_->generation() == bank.id() ? current_ : view;
+}
+
+ShardSet::ShardSet(std::shared_ptr<const GraphPartition> partition)
+    : partition_(std::move(partition)) {
+  IF_CHECK(partition_ != nullptr) << "null partition";
+  engines_.reserve(partition_->num_shards);
+  for (const ShardGraph& shard : partition_->shards) {
+    engines_.push_back(std::make_unique<ShardEngine>(shard));
+  }
+}
+
+std::vector<std::shared_ptr<const ShardView>> ShardSet::AcquireAll(
+    const BankGeneration& bank) {
+  std::vector<std::shared_ptr<const ShardView>> views;
+  views.reserve(engines_.size());
+  for (const auto& engine : engines_) {
+    views.push_back(engine->AcquireView(bank));
+  }
+  return views;
+}
+
+}  // namespace infoflow::serve

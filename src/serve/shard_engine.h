@@ -1,0 +1,106 @@
+/// \file shard_engine.h
+/// \brief Per-shard bank views with generation-swap (RCU) discipline.
+///
+/// Each shard answers reachability over its own local graph
+/// (serve/partition.h), which needs the bank's edge-major plane *gathered*
+/// into the shard's local edge order: shard plane word [b·m_s + le] =
+/// parent plane word [b·M + edge_to_parent[le]]. A ShardView is that
+/// gathered plane for one BankGeneration — immutable once built, published
+/// by shared_ptr swap exactly like the bank's own generations, so readers
+/// holding an old view are never invalidated and a query batch that
+/// acquired generation g sees every shard's plane for g (no torn
+/// generation across shards).
+///
+/// Because every shard view is a projection of ONE global bank (the same
+/// seeded chains the single-engine path reads), shard-merged answers can be
+/// bit-identical to the single engine — per-shard independent banks could
+/// not be, since MH proposals index edges globally. The shared-nothing
+/// variant (full replica per child process, serve/router.h) instead relies
+/// on same-seed determinism of the whole bank.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "serve/partition.h"
+#include "serve/sample_bank.h"
+#include "util/status.h"
+
+namespace infoflow::serve {
+
+/// \brief One shard's gathered edge-major plane for one bank generation.
+class ShardView {
+ public:
+  /// Generation id the plane was gathered from.
+  std::uint64_t generation() const { return generation_; }
+
+  /// Edge-major words of block `b` in shard-local edge order (m_s words).
+  const std::uint64_t* BlockWords(std::size_t b) const {
+    return plane_.data() + b * num_edges_;
+  }
+
+ private:
+  friend class ShardEngine;
+  ShardView(std::uint64_t generation, std::size_t num_edges)
+      : generation_(generation), num_edges_(num_edges) {}
+
+  std::uint64_t generation_;
+  std::size_t num_edges_;
+  std::vector<std::uint64_t> plane_;
+};
+
+/// \brief Owns one shard's current view; thread-safe view acquisition.
+///
+/// AcquireView is called per query batch (cheap pointer copy when the
+/// generation is unchanged) and eagerly by ShardSet::Prime when the server
+/// publishes a refresh/rebuild — the epoch fan-out that keeps a new
+/// generation from paying its gather cost on the first query's latency.
+class ShardEngine {
+ public:
+  /// `shard` must outlive the engine (it is owned by the GraphPartition the
+  /// ShardSet holds).
+  explicit ShardEngine(const ShardGraph& shard) : shard_(&shard) {}
+
+  /// The shard's local graph and maps.
+  const ShardGraph& shard() const { return *shard_; }
+
+  /// \brief Returns the view of `bank`'s rows, gathering (and publishing)
+  /// it if this generation has not been seen yet. Never invalidates views
+  /// other readers still hold.
+  std::shared_ptr<const ShardView> AcquireView(const BankGeneration& bank);
+
+ private:
+  const ShardGraph* shard_;
+  std::mutex mutex_;
+  std::shared_ptr<const ShardView> current_;
+};
+
+/// \brief The partition plus one ShardEngine per shard — what a sharded
+/// server shares between its connections.
+class ShardSet {
+ public:
+  /// Builds the per-shard engines over `partition` (taken by shared_ptr so
+  /// routers and tests can inspect the maps).
+  explicit ShardSet(std::shared_ptr<const GraphPartition> partition);
+
+  const GraphPartition& partition() const { return *partition_; }
+  std::uint32_t num_shards() const { return partition_->num_shards; }
+
+  /// Views of every shard for `bank`'s generation, index = shard id.
+  std::vector<std::shared_ptr<const ShardView>> AcquireAll(
+      const BankGeneration& bank);
+
+  /// \brief Epoch fan-out: eagerly gathers every shard's view of `bank` so
+  /// a freshly published generation (refresh or drift rebuild) is warm on
+  /// all shards before the next query batch arrives.
+  void Prime(const BankGeneration& bank) { (void)AcquireAll(bank); }
+
+ private:
+  std::shared_ptr<const GraphPartition> partition_;
+  std::vector<std::unique_ptr<ShardEngine>> engines_;
+};
+
+}  // namespace infoflow::serve

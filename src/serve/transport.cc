@@ -1,0 +1,112 @@
+#include "serve/transport.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <utility>
+
+#include <poll.h>
+#include <unistd.h>
+
+namespace infoflow::serve {
+
+bool LineReader::NextLine(std::string& line) {
+  while (true) {
+    if (PopBufferedLine(line)) return true;
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    FillOnce();
+  }
+}
+
+bool LineReader::TryNextLine(std::string& line) {
+  if (PopBufferedLine(line)) return true;
+  while (!eof_ && Readable()) {
+    FillOnce();
+    if (PopBufferedLine(line)) return true;
+  }
+  if (eof_ && !buffer_.empty()) {
+    line = std::move(buffer_);
+    buffer_.clear();
+    return true;
+  }
+  return false;
+}
+
+bool LineReader::NextLineWithin(std::string& line, double deadline_ms,
+                                bool& timed_out) {
+  timed_out = false;
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double, std::milli>(
+                             std::max(deadline_ms, 0.0)));
+  while (true) {
+    if (PopBufferedLine(line)) return true;
+    if (eof_) {
+      if (buffer_.empty()) return false;
+      line = std::move(buffer_);
+      buffer_.clear();
+      return true;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) {
+      timed_out = true;
+      return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = poll(&pfd, 1, static_cast<int>(left.count()) + 1);
+    if (ready < 0 && errno == EINTR) continue;
+    if (ready <= 0) {
+      timed_out = true;
+      return false;
+    }
+    FillOnce();
+  }
+}
+
+bool LineReader::PopBufferedLine(std::string& line) {
+  const std::size_t pos = buffer_.find('\n');
+  if (pos == std::string::npos) return false;
+  line.assign(buffer_, 0, pos);
+  buffer_.erase(0, pos + 1);
+  return true;
+}
+
+bool LineReader::Readable() const {
+  pollfd pfd{fd_, POLLIN, 0};
+  return poll(&pfd, 1, 0) > 0;
+}
+
+void LineReader::FillOnce() {
+  char chunk[65536];
+  ssize_t got;
+  do {
+    got = read(fd_, chunk, sizeof(chunk));
+  } while (got < 0 && errno == EINTR);
+  if (got <= 0) {
+    eof_ = true;  // EOF or unrecoverable error: drain and stop.
+    return;
+  }
+  buffer_.append(chunk, static_cast<std::size_t>(got));
+}
+
+bool WriteAll(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t put = write(fd, data.data() + off, data.size() - off);
+    if (put < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(put);
+  }
+  return true;
+}
+
+}  // namespace infoflow::serve

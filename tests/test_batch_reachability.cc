@@ -181,6 +181,83 @@ TEST(BatchReachability, NoStateLeaksBetweenReusedRuns) {
   }
 }
 
+TEST(BatchReachability, IncrementalMatchesOneShotRun) {
+  Rng rng(31);
+  for (int trial = 0; trial < 8; ++trial) {
+    const DirectedGraph g = UniformRandomGraph(30, 90, rng);
+    const SampledBlock block = RandomBlock(g, rng, 0.25);
+    const std::vector<NodeId> sources{static_cast<NodeId>(trial % 30),
+                                      static_cast<NodeId>((trial * 7) % 30)};
+    BatchReachabilityWorkspace oneshot(g);
+    oneshot.Run(g, sources, block.edge_words.data());
+    BatchReachabilityWorkspace inc(g);
+    inc.Begin(g);
+    for (const NodeId s : sources) inc.Seed(s, ~std::uint64_t{0});
+    inc.Propagate(block.edge_words.data());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(inc.ReachedMask(v), oneshot.ReachedMask(v))
+          << "trial " << trial << " node " << v;
+    }
+    ASSERT_EQ(inc.TouchedNodes(), oneshot.TouchedNodes()) << "trial " << trial;
+  }
+}
+
+TEST(BatchReachability, InterleavedSeedsReachTheJointFixpoint) {
+  // Seeding in several rounds with a Propagate between each — the sharded
+  // router's cut-edge exchange pattern — must land on the same fixpoint as
+  // one Run with all seeds, including when later seeds only add lanes a
+  // node already partially holds.
+  Rng rng(37);
+  for (int trial = 0; trial < 8; ++trial) {
+    const DirectedGraph g = UniformRandomGraph(30, 90, rng);
+    const SampledBlock block = RandomBlock(g, rng, 0.25);
+    const NodeId a = static_cast<NodeId>(trial % 30);
+    const NodeId b = static_cast<NodeId>((trial * 11 + 3) % 30);
+    BatchReachabilityWorkspace oneshot(g);
+    oneshot.Run(g, {a, b}, block.edge_words.data());
+    BatchReachabilityWorkspace inc(g);
+    inc.Begin(g);
+    inc.Seed(a, 0x00000000FFFFFFFFull);
+    inc.Propagate(block.edge_words.data());
+    inc.Seed(b, ~std::uint64_t{0});
+    inc.Propagate(block.edge_words.data());
+    inc.Seed(a, ~std::uint64_t{0});  // upgrade the first seed's lanes
+    inc.Propagate(block.edge_words.data());
+    // Re-seeding lanes a node already holds is a no-op.
+    inc.Seed(b, 0xFF);
+    inc.Propagate(block.edge_words.data());
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_EQ(inc.ReachedMask(v), oneshot.ReachedMask(v))
+          << "trial " << trial << " node " << v;
+    }
+    ASSERT_EQ(inc.TouchedNodes(), oneshot.TouchedNodes()) << "trial " << trial;
+  }
+}
+
+TEST(BatchReachability, BeginResetsAnAbandonedSeedSequence) {
+  const DirectedGraph g = Chain();
+  std::vector<std::uint64_t> none(g.num_edges(), 0);
+  BatchReachabilityWorkspace ws(g);
+  // Seed without propagating, then start over: the abandoned seeds must not
+  // leak into the next run's masks or frontier.
+  ws.Begin(g);
+  ws.Seed(0, ~std::uint64_t{0});
+  ws.Seed(3, ~std::uint64_t{0});
+  ws.Propagate(none.data());
+  ws.Begin(g);
+  ws.Seed(2, 0b1);
+  ws.Propagate(none.data());
+  EXPECT_EQ(ws.ReachedMask(0), 0u);
+  EXPECT_EQ(ws.ReachedMask(3), 0u);
+  EXPECT_EQ(ws.ReachedMask(2), 0b1u);
+  ASSERT_EQ(ws.TouchedNodes().size(), 1u);
+  // A normal Run after incremental use starts clean too.
+  std::vector<std::uint64_t> all(g.num_edges(), ~std::uint64_t{0});
+  ws.Run(g, {1}, all.data());
+  EXPECT_EQ(ws.ReachedMask(3), ~std::uint64_t{0});
+  EXPECT_EQ(ws.ReachedMask(0), 0u);
+}
+
 TEST(BatchReachability, AccumulateReachedCountsTalliesSpreadPerLane) {
   const DirectedGraph g = Chain();
   // Lane 0: no edges. Lane 1: 0->1 only. Lane 2: 0->1, 1->2, 2->3.

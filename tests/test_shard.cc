@@ -1,0 +1,711 @@
+/// Tests for the sharded serve tier: the partitioner's structural
+/// properties, the shard-vs-single differential suite (bit-identical
+/// estimates and diagnostics for every shard count), the epoch fan-out to
+/// shard views under concurrency, and the ProcessRouter's fault paths.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+
+#include "graph/generators.h"
+#include "serve/partition.h"
+#include "serve/query_engine.h"
+#include "serve/router.h"
+#include "serve/sample_bank.h"
+#include "serve/server.h"
+#include "serve/shard_engine.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+namespace infoflow::serve {
+namespace {
+
+std::shared_ptr<const DirectedGraph> Share(DirectedGraph g) {
+  return std::make_shared<const DirectedGraph>(std::move(g));
+}
+
+PointIcm SmallRandomModel(std::uint64_t seed, NodeId nodes, EdgeId edges) {
+  Rng rng(seed);
+  auto g = Share(UniformRandomGraph(nodes, edges, rng));
+  std::vector<double> probs(g->num_edges());
+  for (double& p : probs) p = rng.Uniform(0.1, 0.9);
+  return PointIcm(g, probs);
+}
+
+/// The fig6-family graph at test scale: the same uniform random topology
+/// the serve throughput bench partitions, small enough for a fast bank.
+PointIcm Fig6Model(std::uint64_t seed = 7) {
+  return SmallRandomModel(seed, 120, 300);
+}
+
+BankOptions FastBank(std::size_t states, std::size_t chains = 4) {
+  BankOptions options;
+  options.num_states = states;
+  options.chain.num_chains = chains;
+  options.chain.mh.burn_in = 1200;
+  options.chain.mh.thinning = 4;
+  return options;
+}
+
+const std::uint32_t kShardCounts[] = {1, 2, 4, 7};
+
+std::shared_ptr<ShardSet> MakeShardSet(const DirectedGraph& graph,
+                                       std::uint32_t num_shards,
+                                       std::uint64_t seed = 5) {
+  auto partition = PartitionGraph(graph, num_shards, seed);
+  EXPECT_TRUE(partition.ok()) << partition.status();
+  EXPECT_TRUE(ValidatePartition(graph, *partition).ok());
+  return std::make_shared<ShardSet>(
+      std::make_shared<const GraphPartition>(std::move(*partition)));
+}
+
+ShardedQueryEngine MakeSharded(const SampleBank& bank,
+                               std::uint32_t num_shards,
+                               QueryEngineOptions options = {}) {
+  auto engine = ShardedQueryEngine::Create(
+      bank.graph_ptr(), MakeShardSet(*bank.graph_ptr(), num_shards), options);
+  EXPECT_TRUE(engine.ok()) << engine.status();
+  return std::move(engine).ValueOrDie();
+}
+
+/// A batch exercising all four query types — flow, community, joint,
+/// conditional (both polarities) — plus conditional failure paths.
+std::vector<QueryRequest> AllKindsBatch(const PointIcm& model) {
+  const DirectedGraph& graph = model.graph();
+  const Edge& e0 = graph.edge(0);
+  const Edge& e1 = graph.edge(graph.num_edges() / 2);
+  std::vector<QueryRequest> batch;
+
+  QueryRequest flow;
+  flow.id = "flow";
+  flow.kind = QueryKind::kFlow;
+  flow.sources = {e0.src};
+  flow.sinks = {e1.dst};
+  batch.push_back(flow);
+
+  QueryRequest community;
+  community.id = "community";
+  community.kind = QueryKind::kCommunity;
+  community.sources = {e0.src, e1.src};
+  community.sinks = {e0.dst, e1.dst, graph.num_nodes() - 1};
+  batch.push_back(community);
+
+  QueryRequest joint;
+  joint.id = "joint";
+  joint.kind = QueryKind::kJoint;
+  joint.flows = {{e0.src, e0.dst, true}, {e1.src, e1.dst, true}};
+  batch.push_back(joint);
+
+  // Conditioning on flow along an existing edge keeps a healthy fraction
+  // of rows; the negated constraint exercises the lanes &= ~reached path.
+  QueryRequest conditional;
+  conditional.id = "conditional";
+  conditional.kind = QueryKind::kFlow;
+  conditional.sources = {e1.src};
+  conditional.sinks = {e1.dst};
+  conditional.given = {{e0.src, e0.dst, true}};
+  batch.push_back(conditional);
+
+  QueryRequest negated = conditional;
+  negated.id = "negated";
+  negated.given = {{e0.src, e0.dst, false}};
+  batch.push_back(negated);
+
+  QueryRequest contradiction = conditional;
+  contradiction.id = "contradiction";
+  contradiction.given = {{e0.src, e0.dst, true}, {e0.src, e0.dst, false}};
+  batch.push_back(contradiction);
+
+  return batch;
+}
+
+/// Bitwise equality of two result sets: estimates, diagnostics, row
+/// accounting, and failure statuses must all match exactly.
+void ExpectIdenticalResults(const std::vector<QueryResult>& expected,
+                            const std::vector<QueryResult>& actual,
+                            const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (std::size_t q = 0; q < expected.size(); ++q) {
+    SCOPED_TRACE(label + " query " + std::to_string(q));
+    const QueryResult& want = expected[q];
+    const QueryResult& got = actual[q];
+    EXPECT_EQ(want.status.code(), got.status.code());
+    EXPECT_EQ(want.status.message(), got.status.message());
+    EXPECT_EQ(want.effective_rows, got.effective_rows);
+    EXPECT_EQ(want.total_rows, got.total_rows);
+    EXPECT_EQ(want.generation, got.generation);
+    ASSERT_EQ(want.estimates.size(), got.estimates.size());
+    for (std::size_t s = 0; s < want.estimates.size(); ++s) {
+      SCOPED_TRACE("sink " + std::to_string(s));
+      EXPECT_EQ(want.estimates[s].sink, got.estimates[s].sink);
+      EXPECT_DOUBLE_EQ(want.estimates[s].value, got.estimates[s].value);
+      EXPECT_DOUBLE_EQ(want.estimates[s].diagnostics.mcse,
+                       got.estimates[s].diagnostics.mcse);
+      EXPECT_DOUBLE_EQ(want.estimates[s].diagnostics.ess,
+                       got.estimates[s].diagnostics.ess);
+      EXPECT_DOUBLE_EQ(want.estimates[s].diagnostics.rhat,
+                       got.estimates[s].diagnostics.rhat);
+    }
+  }
+}
+
+// -------------------------------------------------------- ShardPartition
+
+TEST(ShardPartition, IsATruePartitionForEveryShardCount) {
+  // Every node in exactly one shard, every edge either intra-shard or in
+  // the cut table, ghosts consistent — ValidatePartition checks the full
+  // structure; the explicit sums below restate the headline properties.
+  for (const std::uint64_t graph_seed : {3u, 19u}) {
+    Rng rng(graph_seed);
+    const DirectedGraph graph = UniformRandomGraph(60, 180, rng);
+    for (const std::uint32_t n : kShardCounts) {
+      SCOPED_TRACE("graph seed " + std::to_string(graph_seed) + ", " +
+                   std::to_string(n) + " shards");
+      auto partition = PartitionGraph(graph, n, /*seed=*/11);
+      ASSERT_TRUE(partition.ok()) << partition.status();
+      const Status valid = ValidatePartition(graph, *partition);
+      EXPECT_TRUE(valid.ok()) << valid;
+
+      NodeId owned = 0;
+      EdgeId local_edges = 0;
+      for (const ShardGraph& shard : partition->shards) {
+        owned += shard.num_owned;
+        local_edges += shard.graph.num_edges();
+      }
+      EXPECT_EQ(owned, graph.num_nodes());
+      // dst-ownership: every parent edge lives in exactly one shard.
+      EXPECT_EQ(local_edges, graph.num_edges());
+      for (const CutEdge& cut : partition->cut_edges) {
+        const Edge& edge = graph.edge(cut.parent_edge);
+        EXPECT_EQ(partition->shard_of[edge.src], cut.src_shard);
+        EXPECT_EQ(partition->shard_of[edge.dst], cut.dst_shard);
+        EXPECT_NE(cut.src_shard, cut.dst_shard);
+      }
+    }
+  }
+}
+
+TEST(ShardPartition, DeterministicUnderAFixedSeed) {
+  Rng rng(23);
+  const DirectedGraph graph = UniformRandomGraph(80, 240, rng);
+  for (const std::uint32_t n : kShardCounts) {
+    auto first = PartitionGraph(graph, n, /*seed=*/42);
+    auto second = PartitionGraph(graph, n, /*seed=*/42);
+    ASSERT_TRUE(first.ok() && second.ok());
+    EXPECT_EQ(first->shard_of, second->shard_of) << n << " shards";
+    EXPECT_EQ(first->local_of, second->local_of);
+    ASSERT_EQ(first->cut_edges.size(), second->cut_edges.size());
+    for (std::size_t i = 0; i < first->cut_edges.size(); ++i) {
+      EXPECT_EQ(first->cut_edges[i].parent_edge,
+                second->cut_edges[i].parent_edge);
+    }
+    EXPECT_EQ(first->ghost_targets, second->ghost_targets);
+  }
+}
+
+TEST(ShardPartition, SingleShardIsTheIdentityPartition) {
+  Rng rng(5);
+  const DirectedGraph graph = UniformRandomGraph(40, 100, rng);
+  auto partition = PartitionGraph(graph, 1, /*seed=*/1);
+  ASSERT_TRUE(partition.ok());
+  ASSERT_EQ(partition->shards.size(), 1u);
+  const ShardGraph& shard = partition->shards[0];
+  EXPECT_EQ(shard.num_owned, graph.num_nodes());
+  EXPECT_TRUE(partition->cut_edges.empty());
+  EXPECT_TRUE(partition->ghost_targets.empty());
+  ASSERT_EQ(shard.edge_to_parent.size(), graph.num_edges());
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    EXPECT_EQ(shard.edge_to_parent[e], e);
+  }
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) {
+    EXPECT_EQ(shard.node_to_parent[v], v);
+    EXPECT_EQ(partition->local_of[v], v);
+  }
+}
+
+TEST(ShardPartition, RejectsDegenerateShardCounts) {
+  Rng rng(9);
+  const DirectedGraph graph = UniformRandomGraph(10, 30, rng);
+  EXPECT_FALSE(PartitionGraph(graph, 0, 1).ok());
+  EXPECT_FALSE(PartitionGraph(graph, 11, 1).ok());
+  EXPECT_TRUE(PartitionGraph(graph, 10, 1).ok());
+}
+
+// ----------------------------------------------------- ShardDifferential
+
+TEST(ShardDifferential, AllQueryKindsBitIdenticalAcrossShardCounts) {
+  // The tentpole guarantee: for every shard count, all four query types
+  // return bit-identical estimates, effective_rows, and R-hat/ESS/MCSE to
+  // the single-engine path over the same bank rows.
+  const PointIcm fig6 = Fig6Model();
+  const PointIcm random = SmallRandomModel(17, 30, 80);
+  for (const PointIcm* model : {&fig6, &random}) {
+    auto bank = SampleBank::Create(*model, FastBank(192), /*seed=*/42);
+    ASSERT_TRUE(bank.ok()) << bank.status();
+    const auto generation = bank->Acquire();
+    const std::vector<QueryRequest> batch = AllKindsBatch(*model);
+
+    auto single = QueryEngine::Create(bank->graph_ptr(), QueryEngineOptions{});
+    ASSERT_TRUE(single.ok());
+    const std::vector<QueryResult> expected =
+        single->AnswerBatch(*generation, batch);
+    ASSERT_TRUE(expected[0].status.ok()) << expected[0].status;
+    // The contradictory conditional must fail identically everywhere.
+    ASSERT_FALSE(expected[5].status.ok());
+
+    for (const std::uint32_t n : kShardCounts) {
+      ShardedQueryEngine sharded = MakeSharded(*bank, n);
+      ExpectIdenticalResults(expected,
+                             sharded.AnswerBatch(*generation, batch),
+                             std::to_string(n) + " shards");
+    }
+  }
+}
+
+TEST(ShardDifferential, RaggedTailLanesMatchAcrossShardCounts) {
+  // 100 states over 3 chains -> 102 rows: the last 64-row block has only
+  // 38 live lanes, so the exchange must respect BlockLaneMask survivor
+  // lanes exactly (conditionals narrow them further).
+  const PointIcm model = Fig6Model(29);
+  auto bank = SampleBank::Create(model, FastBank(100, 3), /*seed=*/8);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  ASSERT_NE(generation->num_rows() % 64, 0u);
+  const std::vector<QueryRequest> batch = AllKindsBatch(model);
+
+  auto single = QueryEngine::Create(bank->graph_ptr(), QueryEngineOptions{});
+  ASSERT_TRUE(single.ok());
+  const std::vector<QueryResult> expected =
+      single->AnswerBatch(*generation, batch);
+  for (const std::uint32_t n : kShardCounts) {
+    ShardedQueryEngine sharded = MakeSharded(*bank, n);
+    ExpectIdenticalResults(expected, sharded.AnswerBatch(*generation, batch),
+                           std::to_string(n) + " shards (ragged)");
+  }
+}
+
+TEST(ShardDifferential, ConditionalFloorFailsIdentically) {
+  // A floor above the bank size trips the survivor floor on every
+  // conditional — the sharded path must produce the same code and message.
+  const PointIcm model = SmallRandomModel(31, 20, 50);
+  auto bank = SampleBank::Create(model, FastBank(64), /*seed=*/3);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  QueryEngineOptions options;
+  options.min_conditional_rows = 4096;
+
+  QueryRequest conditional;
+  conditional.id = "floored";
+  conditional.sources = {model.graph().edge(0).src};
+  conditional.sinks = {model.graph().edge(0).dst};
+  conditional.given = {{model.graph().edge(1).src,
+                        model.graph().edge(1).dst, true}};
+
+  auto single = QueryEngine::Create(bank->graph_ptr(), options);
+  ASSERT_TRUE(single.ok());
+  const std::vector<QueryResult> expected =
+      single->AnswerBatch(*generation, {conditional});
+  ASSERT_FALSE(expected[0].status.ok());
+
+  for (const std::uint32_t n : {2u, 4u}) {
+    ShardedQueryEngine sharded = MakeSharded(*bank, n, options);
+    ExpectIdenticalResults(expected,
+                           sharded.AnswerBatch(*generation, {conditional}),
+                           std::to_string(n) + " shards (floor)");
+  }
+}
+
+TEST(ShardDifferential, TracksBankRefreshGenerations) {
+  // Sharded answers follow generation swaps: refresh, re-answer, and the
+  // sharded engine must match the single engine on the *new* rows.
+  const PointIcm model = SmallRandomModel(37, 24, 60);
+  auto bank = SampleBank::Create(model, FastBank(128), /*seed=*/6);
+  ASSERT_TRUE(bank.ok());
+  const std::vector<QueryRequest> batch = AllKindsBatch(model);
+  auto single = QueryEngine::Create(bank->graph_ptr(), QueryEngineOptions{});
+  ASSERT_TRUE(single.ok());
+  ShardedQueryEngine sharded = MakeSharded(*bank, 4);
+
+  const auto first = bank->Acquire();
+  ExpectIdenticalResults(single->AnswerBatch(*first, batch),
+                         sharded.AnswerBatch(*first, batch), "generation 1");
+  bank->Refresh();
+  const auto second = bank->Acquire();
+  ASSERT_EQ(second->id(), 2u);
+  ExpectIdenticalResults(single->AnswerBatch(*second, batch),
+                         sharded.AnswerBatch(*second, batch), "generation 2");
+  // The old generation's views are still answerable (RCU discipline).
+  ExpectIdenticalResults(single->AnswerBatch(*first, batch),
+                         sharded.AnswerBatch(*first, batch),
+                         "generation 1 after refresh");
+}
+
+// ---------------------------------------------------------- ShardEngine
+
+TEST(ShardEngineViews, GatherTheParentPlaneExactly) {
+  const PointIcm model = SmallRandomModel(13, 20, 48);
+  auto bank = SampleBank::Create(model, FastBank(100, 3), /*seed=*/2);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  auto shards = MakeShardSet(*bank->graph_ptr(), 3);
+  const auto views = shards->AcquireAll(*generation);
+  ASSERT_EQ(views.size(), 3u);
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    const ShardGraph& shard = shards->partition().shards[s];
+    EXPECT_EQ(views[s]->generation(), generation->id());
+    for (std::size_t b = 0; b < generation->num_blocks(); ++b) {
+      const std::uint64_t* parent = generation->BlockEdgeWords(b);
+      const std::uint64_t* local = views[s]->BlockWords(b);
+      for (EdgeId le = 0; le < shard.graph.num_edges(); ++le) {
+        ASSERT_EQ(local[le], parent[shard.edge_to_parent[le]])
+            << "shard " << s << " block " << b << " edge " << le;
+      }
+    }
+  }
+}
+
+TEST(ShardEngineViews, ConcurrentAcquireNeverTearsAGeneration) {
+  // Readers acquire views for the generation they hold while the bank
+  // refreshes underneath: every view must match the requested generation
+  // (the TSan job runs this suite to prove the publish is race-free).
+  const PointIcm model = SmallRandomModel(47, 16, 40);
+  auto bank = SampleBank::Create(model, FastBank(64, 2), /*seed=*/4);
+  ASSERT_TRUE(bank.ok());
+  auto shards = MakeShardSet(*bank->graph_ptr(), 4);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto generation = bank->Acquire();
+        for (const auto& view : shards->AcquireAll(*generation)) {
+          ASSERT_EQ(view->generation(), generation->id());
+        }
+      }
+    });
+  }
+  for (int i = 0; i < 3; ++i) {
+    bank->Refresh();
+    shards->Prime(*bank->Acquire());
+  }
+  stop.store(true);
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(bank->Acquire()->id(), 4u);
+}
+
+// ---------------------------------------------------------- ShardServer
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+/// One ServeFd conversation over pipes (the test_serve.cc pattern).
+std::string RoundTrip(Server& server, const std::string& input) {
+  int in_pipe[2];
+  int out_pipe[2];
+  EXPECT_EQ(pipe(in_pipe), 0);
+  EXPECT_EQ(pipe(out_pipe), 0);
+  EXPECT_EQ(write(in_pipe[1], input.data(), input.size()),
+            static_cast<ssize_t>(input.size()));
+  close(in_pipe[1]);
+  const Status status = server.ServeFd(in_pipe[0], out_pipe[1]);
+  EXPECT_TRUE(status.ok()) << status;
+  close(in_pipe[0]);
+  close(out_pipe[1]);
+  std::string output;
+  char chunk[4096];
+  ssize_t got;
+  while ((got = read(out_pipe[0], chunk, sizeof(chunk))) > 0) {
+    output.append(chunk, static_cast<std::size_t>(got));
+  }
+  close(out_pipe[0]);
+  return output;
+}
+
+Server MakeShardedServer(const PointIcm& model, ServerOptions options) {
+  auto bank = SampleBank::Create(model, FastBank(128), /*seed=*/14);
+  EXPECT_TRUE(bank.ok());
+  auto server = Server::Create(std::move(bank).ValueOrDie(), options);
+  EXPECT_TRUE(server.ok()) << server.status();
+  return std::move(server).ValueOrDie();
+}
+
+TEST(ShardServer, AnswersIdenticallyToTheSingleEnginePath) {
+  const PointIcm model = SmallRandomModel(41, 20, 50);
+  const std::string input =
+      "{\"id\":\"a\",\"source\":0,\"sink\":5}\n"
+      "{\"id\":\"b\",\"sources\":[0,1],\"sinks\":[5,7]}\n"
+      "not json\n";
+  ServerOptions single_options;
+  Server single = MakeShardedServer(model, single_options);
+  ServerOptions sharded_options;
+  sharded_options.num_shards = 4;
+  Server sharded = MakeShardedServer(model, sharded_options);
+  ASSERT_NE(sharded.shard_set(), nullptr);
+  EXPECT_EQ(single.shard_set(), nullptr);
+  // Byte-identical NDJSON, not just numerically close.
+  EXPECT_EQ(RoundTrip(single, input), RoundTrip(sharded, input));
+}
+
+TEST(ShardServer, RefreshFansOutToEveryShardViewUnderConcurrency) {
+  // Background refresh publishes new generations while connections answer
+  // batches; every shard's view must follow without a torn generation
+  // (this suite runs under TSan in CI).
+  const PointIcm model = SmallRandomModel(43, 16, 40);
+  ServerOptions options;
+  options.num_shards = 3;
+  options.refresh_interval_ms = 1.0;
+  Server server = MakeShardedServer(model, options);
+  ASSERT_TRUE(server.Start().ok());
+  std::vector<std::thread> clients;
+  std::atomic<int> answered{0};
+  for (int t = 0; t < 3; ++t) {
+    clients.emplace_back([&server, &answered] {
+      for (int i = 0; i < 4; ++i) {
+        const std::string output = RoundTrip(
+            server,
+            "{\"id\":\"x\",\"source\":0,\"sink\":5}\n"
+            "{\"id\":\"y\",\"source\":1,\"sink\":7,\"given\":\"0>5\"}\n");
+        const std::vector<std::string> lines = SplitLines(output);
+        ASSERT_EQ(lines.size(), 2u);
+        for (const std::string& line : lines) {
+          auto parsed = ParseJson(line);
+          ASSERT_TRUE(parsed.ok()) << line;
+          ASSERT_GE(parsed->Find("generation")->AsNumber(), 1.0);
+        }
+        answered.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  // Hold the door open until at least one background refresh has landed
+  // (the clients can outrun the first 1 ms tick on a fast machine).
+  WallTimer waited;
+  while (server.bank().Acquire()->id() == 1u && waited.Millis() < 5000.0) {
+    std::this_thread::yield();
+  }
+  server.Stop();
+  EXPECT_EQ(answered.load(), 12);
+  // Stop drained the refresher; the fan-out left every shard's view at
+  // the bank's final generation.
+  const auto generation = server.bank().Acquire();
+  EXPECT_GT(generation->id(), 1u);
+  for (const auto& view : server.shard_set()->AcquireAll(*generation)) {
+    EXPECT_EQ(view->generation(), generation->id());
+  }
+}
+
+TEST(ShardServer, StopQuiescesShardedBackgroundWorkInOrder) {
+  const PointIcm model = SmallRandomModel(53, 12, 30);
+  ServerOptions options;
+  options.num_shards = 2;
+  options.refresh_interval_ms = 0.5;
+  options.socket_path = testing::TempDir() + "/infoflow_shard_test.sock";
+  Server server = MakeShardedServer(model, options);
+  ASSERT_TRUE(server.Start().ok());
+  const std::string output =
+      RoundTrip(server, "{\"id\":\"q\",\"source\":0,\"sink\":3}\n");
+  EXPECT_FALSE(output.empty());
+  server.Stop();
+  server.Stop();  // idempotent
+  // The engine tier still answers after Stop (only background work ends).
+  const std::string after =
+      RoundTrip(server, "{\"id\":\"r\",\"source\":0,\"sink\":3}\n");
+  auto parsed = ParseJson(SplitLines(after).at(0));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("ok")->AsBool());
+}
+
+TEST(ShardServer, ValidatesShardOptions) {
+  ServerOptions zero;
+  zero.num_shards = 0;
+  EXPECT_FALSE(zero.Validate().ok());
+  // More shards than nodes must fail at Create, not crash the partitioner.
+  const PointIcm model = SmallRandomModel(59, 8, 20);
+  auto bank = SampleBank::Create(model, FastBank(32, 2), 1);
+  ASSERT_TRUE(bank.ok());
+  ServerOptions too_many;
+  too_many.num_shards = 9;
+  EXPECT_FALSE(
+      Server::Create(std::move(bank).ValueOrDie(), too_many).ok());
+}
+
+// ---------------------------------------------------------- ShardRouter
+
+/// An in-process "shard child": a real Server draining one socketpair end
+/// via ServeFd until the router closes its side.
+struct ChildHarness {
+  std::unique_ptr<Server> server;
+  std::thread thread;
+  int router_fd = -1;
+
+  static ChildHarness Spawn(const PointIcm& model) {
+    ChildHarness child;
+    int sv[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    child.router_fd = sv[0];
+    auto bank = SampleBank::Create(model, FastBank(64, 2), /*seed=*/14);
+    EXPECT_TRUE(bank.ok());
+    auto server = Server::Create(std::move(bank).ValueOrDie(), {});
+    EXPECT_TRUE(server.ok());
+    child.server = std::make_unique<Server>(std::move(server).ValueOrDie());
+    child.thread = std::thread([s = child.server.get(), fd = sv[1]] {
+      (void)s->ServeFd(fd, fd);
+      close(fd);
+    });
+    return child;
+  }
+
+  void Join() {
+    if (thread.joinable()) thread.join();
+  }
+};
+
+TEST(ShardRouter, MergesRoundRobinResponsesInInputOrder) {
+  const PointIcm model = SmallRandomModel(41, 10, 24);
+  ChildHarness a = ChildHarness::Spawn(model);
+  ChildHarness b = ChildHarness::Spawn(model);
+  {
+    ProcessRouter router({a.router_fd, b.router_fd}, {});
+    const std::vector<std::string> lines = {
+        "{\"id\":\"q0\",\"source\":0,\"sink\":5}",
+        "{\"id\":\"q1\",\"source\":1,\"sink\":6}",
+        "garbage line",
+        "{\"id\":\"q3\",\"sources\":[0,1],\"sinks\":[5,7]}",
+        "{\"id\":\"q4\",\"source\":2,\"sink\":8}",
+    };
+    const std::vector<std::string> responses = router.RouteBatch(lines);
+    ASSERT_EQ(responses.size(), lines.size());
+    for (std::size_t j = 0; j < responses.size(); ++j) {
+      auto parsed = ParseJson(responses[j]);
+      ASSERT_TRUE(parsed.ok()) << responses[j];
+      if (j == 2) {
+        EXPECT_TRUE(parsed->Find("id")->is_null());
+        EXPECT_FALSE(parsed->Find("ok")->AsBool());
+      } else {
+        EXPECT_EQ(parsed->Find("id")->AsString(),
+                  "q" + std::to_string(j));
+        EXPECT_TRUE(parsed->Find("ok")->AsBool());
+      }
+    }
+    EXPECT_EQ(router.num_live_children(), 2u);
+  }
+  a.Join();
+  b.Join();
+}
+
+TEST(ShardRouter, DeadChildYieldsDescriptiveErrorsNotAHang) {
+  const PointIcm model = SmallRandomModel(41, 10, 24);
+  ChildHarness live = ChildHarness::Spawn(model);
+  // The dying "child": accepts the batch, then closes without answering.
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::thread dying([fd = sv[1]] {
+    char buffer[256];
+    (void)!read(fd, buffer, sizeof(buffer));
+    close(fd);
+  });
+  {
+    ProcessRouter router({live.router_fd, sv[0]}, {});
+    const std::vector<std::string> lines = {
+        "{\"id\":\"q0\",\"source\":0,\"sink\":5}",
+        "{\"id\":\"q1\",\"source\":1,\"sink\":6}",
+        "{\"id\":\"q2\",\"source\":2,\"sink\":7}",
+        "{\"id\":\"q3\",\"source\":3,\"sink\":8}",
+    };
+    const std::vector<std::string> responses = router.RouteBatch(lines);
+    ASSERT_EQ(responses.size(), 4u);
+    std::size_t failed = 0;
+    for (std::size_t j = 0; j < responses.size(); ++j) {
+      auto parsed = ParseJson(responses[j]);
+      ASSERT_TRUE(parsed.ok()) << responses[j];
+      EXPECT_EQ(parsed->Find("id")->AsString(), "q" + std::to_string(j));
+      if (!parsed->Find("ok")->AsBool()) {
+        ++failed;
+        const std::string message =
+            parsed->Find("error")->Find("message")->AsString();
+        EXPECT_NE(message.find("shard child"), std::string::npos) << message;
+        EXPECT_NE(message.find("died mid-batch"), std::string::npos)
+            << message;
+      }
+    }
+    EXPECT_EQ(failed, 2u);  // the dead child's round-robin share
+    EXPECT_EQ(router.num_live_children(), 1u);
+    // Later batches exclude the dead child and keep answering.
+    const std::vector<std::string> retry =
+        router.RouteBatch({"{\"id\":\"q4\",\"source\":0,\"sink\":5}"});
+    auto parsed = ParseJson(retry.at(0));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_TRUE(parsed->Find("ok")->AsBool());
+  }
+  live.Join();
+  dying.join();
+}
+
+TEST(ShardRouter, DeadlineBindsOnAStalledChild) {
+  // The child reads its lines and never answers: the router must return
+  // within its deadline with descriptive errors, not hang the batch.
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::thread stalled([fd = sv[1]] {
+    char buffer[256];
+    while (read(fd, buffer, sizeof(buffer)) > 0) {
+    }
+    close(fd);
+  });
+  WallTimer timer;
+  {
+    ProcessRouter::Options options;
+    options.child_timeout_ms = 100.0;
+    ProcessRouter router({sv[0]}, options);
+    const std::vector<std::string> responses = router.RouteBatch(
+        {"{\"id\":\"q0\",\"source\":0,\"sink\":5}",
+         "{\"id\":\"q1\",\"source\":1,\"sink\":6}"});
+    ASSERT_EQ(responses.size(), 2u);
+    for (const std::string& response : responses) {
+      auto parsed = ParseJson(response);
+      ASSERT_TRUE(parsed.ok()) << response;
+      EXPECT_FALSE(parsed->Find("ok")->AsBool());
+      EXPECT_EQ(parsed->Find("error")->Find("code")->AsString(),
+                "deadline-exceeded");
+      EXPECT_NE(parsed->Find("error")->Find("message")->AsString().find(
+                    "router deadline"),
+                std::string::npos);
+    }
+    EXPECT_EQ(router.num_live_children(), 0u);
+    // With no child left the router still answers every line.
+    const std::vector<std::string> drained =
+        router.RouteBatch({"{\"id\":\"q2\",\"source\":0,\"sink\":5}"});
+    auto parsed = ParseJson(drained.at(0));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_FALSE(parsed->Find("ok")->AsBool());
+    EXPECT_NE(parsed->Find("error")->Find("message")->AsString().find(
+                  "no shard children alive"),
+              std::string::npos);
+  }
+  EXPECT_LT(timer.Millis(), 5000.0);
+  stalled.join();
+}
+
+}  // namespace
+}  // namespace infoflow::serve

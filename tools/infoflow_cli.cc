@@ -32,8 +32,15 @@
 /// successful run; `query --progress` streams live throughput and R-hat to
 /// stderr.
 
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <cerrno>
+#include <csignal>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <set>
@@ -45,6 +52,7 @@
 #include "core/mh_sampler.h"
 #include "core/multi_chain.h"
 #include "core/serialization.h"
+#include "serve/router.h"
 #include "serve/sample_bank.h"
 #include "serve/server.h"
 #include "stream/ingestor.h"
@@ -111,6 +119,12 @@ class Flags {
   double GetDouble(const std::string& key, double fallback) {
     const std::string raw = Get(key, FormatDouble(fallback, 17));
     return std::strtod(raw.c_str(), nullptr);
+  }
+
+  /// Overrides a flag programmatically (the --shard-procs fork path
+  /// rewrites the child's configuration before re-dispatching serve).
+  void Set(const std::string& key, std::string value) {
+    values_.insert_or_assign(key, std::move(value));
   }
 
   Result<std::string> Require(const std::string& key) {
@@ -384,10 +398,82 @@ int CmdQuery(Flags& flags) {
 }
 
 // ------------------------------------------------------------------ serve
+
+int CmdServe(Flags& flags);  // children re-enter it after the fork
+
+/// Shared-nothing multi-process serving: forks `shard_procs` children
+/// BEFORE any thread exists, each building a full bank replica (same model,
+/// same --seed → bit-identical rows and answers) and serving the NDJSON
+/// protocol on its end of a socketpair; the parent runs a ProcessRouter
+/// bridging stdin/stdout. Children never refresh (replicas must not
+/// diverge) and ingest is rejected up front for the same reason.
+int ServeShardProcs(Flags& flags, std::size_t shard_procs) {
+  if (flags.GetBool("ingest") || !flags.Get("ingest-from", "").empty()) {
+    return Fail(Status::InvalidArgument(
+        "--shard-procs is shared-nothing (round-robin over replicas); "
+        "streamed evidence would reach only one replica — use in-process "
+        "--shards with --ingest instead"));
+  }
+  if (flags.GetDouble("refresh-ms", 0.0) != 0.0) {
+    return Fail(Status::InvalidArgument(
+        "--refresh-ms would let shard replicas drift apart; --shard-procs "
+        "serves the boot generation only"));
+  }
+  signal(SIGPIPE, SIG_IGN);
+  std::vector<int> child_fds;
+  std::vector<pid_t> children;
+  for (std::size_t k = 0; k < shard_procs; ++k) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      return Fail(Status::IOError("socketpair(): ", std::strerror(errno)));
+    }
+    const pid_t pid = fork();
+    if (pid < 0) return Fail(Status::IOError("fork(): ", std::strerror(errno)));
+    if (pid == 0) {
+      // Child: full replica with the socketpair as its stdio — CmdServe's
+      // foreground ServeStdio loop then speaks NDJSON to the router and
+      // exits when the router closes its end.
+      close(sv[0]);
+      for (const int fd : child_fds) close(fd);
+      dup2(sv[1], 0);
+      dup2(sv[1], 1);
+      if (sv[1] > 1) close(sv[1]);
+      flags.Set("shards", "1");  // a replica is itself unsharded
+      const int code = CmdServe(flags);
+      std::fflush(nullptr);
+      std::_Exit(code);
+    }
+    close(sv[1]);
+    child_fds.push_back(sv[0]);
+    children.push_back(pid);
+  }
+  serve::ProcessRouter::Options router_options;
+  router_options.max_batch = flags.GetInt("max-batch", 64);
+  router_options.child_timeout_ms = flags.GetDouble("shard-timeout-ms", 0.0);
+  Status status;
+  {
+    serve::ProcessRouter router(std::move(child_fds), router_options);
+    status = router.Serve(0, 1);
+    // Router destruction closes the child fds → each replica's serve loop
+    // sees EOF and exits; reap them so no zombies outlive the command.
+  }
+  for (const pid_t pid : children) {
+    int wstatus = 0;
+    (void)waitpid(pid, &wstatus, 0);
+  }
+  if (!status.ok()) return Fail(status);
+  return 0;
+}
+
 int CmdServe(Flags& flags) {
   auto model_path = flags.Require("model");
   if (!model_path.ok()) return Fail(model_path.status());
   const std::uint64_t seed = flags.GetInt("seed", 1);
+  const std::size_t shard_procs = flags.GetInt("shard-procs", 0);
+  if (shard_procs > 0) {
+    flags.Set("shard-procs", "0");  // children take the in-process path
+    return ServeShardProcs(flags, shard_procs);
+  }
 
   auto model = LoadAnyModel(*model_path);
   if (!model.ok()) return Fail(model.status());
@@ -407,6 +493,8 @@ int CmdServe(Flags& flags) {
   server_options.socket_path = flags.Get("socket", "");
   server_options.refresh_interval_ms = flags.GetDouble("refresh-ms", 0.0);
   server_options.drift_threshold = flags.GetDouble("drift-threshold", 0.0);
+  server_options.num_shards = flags.GetInt("shards", 1);
+  server_options.partition_seed = flags.GetInt("partition-seed", 7);
   server_options.engine.min_conditional_rows =
       flags.GetInt("min-conditional-rows", 32);
   server_options.engine.num_threads = flags.GetInt("threads", 0);
@@ -550,6 +638,13 @@ int Usage() {
       "                      instead of 64 rows per bit-parallel pass)\n"
       "                      [--seed S] (bank + rebuild chain seeds)\n"
       "                      (NDJSON queries on stdin -> responses on stdout)\n"
+      "    sharding:         [--shards N] (partition the graph, one engine\n"
+      "                      per shard, bit-identical answers; N=1 is the\n"
+      "                      plain single-engine path)\n"
+      "                      [--partition-seed S] [--shard-procs P] (fork P\n"
+      "                      full-replica child processes, round-robin NDJSON\n"
+      "                      routing; excludes --ingest/--refresh-ms)\n"
+      "                      [--shard-timeout-ms T] (per-batch child deadline)\n"
       "    streaming:        [--ingest] ({\"ingest\":\"<record>\"} lines on the\n"
       "                      connection) [--ingest-from path] (tail a file or\n"
       "                      FIFO of evidence lines) [--ingest-format\n"
