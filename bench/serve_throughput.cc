@@ -40,6 +40,7 @@
 #include "bench_util.h"
 #include "core/multi_chain.h"
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "serve/partition.h"
 #include "serve/query_engine.h"
 #include "serve/router.h"
@@ -296,6 +297,9 @@ int Run(const BenchArgs& args) {
   doc["seed"] = static_cast<double>(args.seed);
   doc["hardware_threads"] =
       static_cast<double>(std::thread::hardware_concurrency());
+  // Which build flavor produced these numbers: CI diffs a metrics-on run
+  // against an INFOFLOW_NO_METRICS run to gate observability overhead.
+  doc["metrics_enabled"] = obs::MetricsEnabled();
   doc["results"] = JsonValue(std::move(records));
   doc["shard_sweep"] = JsonValue(std::move(shard_records));
   const std::string json = JsonValue(std::move(doc)).Dump();

@@ -54,7 +54,131 @@ void AppendDouble(std::ostringstream& out, double value) {
   }
 }
 
+/// Prometheus metric names allow [a-zA-Z0-9_:] with a non-digit lead; the
+/// registry's dotted names (serve.query.latency_ms.flow) map onto that by
+/// replacing every other byte with '_'.
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  if (name.empty() || (name.front() >= '0' && name.front() <= '9')) {
+    out += '_';
+  }
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  return out;
+}
+
+/// Prometheus sample values must not be empty and render inf/nan as
+/// +Inf/-Inf/NaN.
+void AppendPrometheusDouble(std::ostringstream& out, double value) {
+  if (std::isnan(value)) {
+    out << "NaN";
+  } else if (std::isinf(value)) {
+    out << (value > 0 ? "+Inf" : "-Inf");
+  } else {
+    out << value;
+  }
+}
+
 }  // namespace
+
+double HistogramSnapshot::Quantile(double q) const {
+  if (total == 0 || counts.empty()) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Target rank in [1, total]; walk the cumulative counts to the bucket
+  // holding it, then interpolate linearly inside that bucket.
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const std::uint64_t before = cumulative;
+    cumulative += counts[i];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i >= bounds.size()) {
+      // Overflow bucket: no upper edge to interpolate toward.
+      return bounds.empty() ? 0.0 : bounds.back();
+    }
+    const double upper = bounds[i];
+    const double lower = i == 0 ? 0.0 : bounds[i - 1];
+    const double within =
+        (rank - static_cast<double>(before)) / static_cast<double>(counts[i]);
+    return lower + (upper - lower) * std::min(1.0, std::max(0.0, within));
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+void HistogramSnapshot::Merge(const HistogramSnapshot& other) {
+  if (other.counts.empty()) return;
+  if (counts.empty() && bounds.empty()) {
+    *this = other;
+    return;
+  }
+  if (bounds != other.bounds || counts.size() != other.counts.size()) return;
+  for (std::size_t i = 0; i < counts.size(); ++i) counts[i] += other.counts[i];
+  total += other.total;
+  sum += other.sum;
+}
+
+std::vector<double> LogBuckets(double lo, double hi, std::size_t per_decade) {
+  if (!(lo > 0.0)) lo = 1e-3;
+  if (!(hi > lo)) hi = lo * 10.0;
+  if (per_decade == 0) per_decade = 1;
+  const double ratio = std::pow(10.0, 1.0 / static_cast<double>(per_decade));
+  std::vector<double> bounds;
+  double edge = lo;
+  bounds.push_back(edge);
+  // Multiplicative stepping keeps edges exact-ish; stop one step past hi so
+  // hi itself is always covered by a finite bucket.
+  while (edge < hi && bounds.size() < 512) {
+    edge *= ratio;
+    bounds.push_back(edge);
+  }
+  return bounds;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& [name, value] : counters) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " counter\n";
+    out << pname << " " << value << "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " gauge\n";
+    out << pname << " ";
+    AppendPrometheusDouble(out, value);
+    out << "\n";
+  }
+  for (const auto& [name, hist] : histograms) {
+    const std::string pname = PrometheusName(name);
+    out << "# TYPE " << pname << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < hist.counts.size(); ++i) {
+      cumulative += hist.counts[i];
+      out << pname << "_bucket{le=\"";
+      if (i < hist.bounds.size()) {
+        AppendPrometheusDouble(out, hist.bounds[i]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    if (hist.counts.empty()) {
+      out << pname << "_bucket{le=\"+Inf\"} 0\n";
+    }
+    out << pname << "_sum ";
+    AppendPrometheusDouble(out, hist.sum);
+    out << "\n";
+    out << pname << "_count " << hist.total << "\n";
+  }
+  return out.str();
+}
 
 std::string MetricsSnapshot::ToJson() const {
   std::ostringstream out;

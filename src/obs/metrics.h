@@ -64,7 +64,30 @@ struct HistogramSnapshot {
   double Mean() const {
     return total == 0 ? 0.0 : sum / static_cast<double>(total);
   }
+
+  /// \brief Estimated q-quantile (q in [0,1], clamped) by linear
+  /// interpolation within the bucket holding the target rank. The first
+  /// bucket interpolates from 0; ranks landing in the overflow bucket
+  /// return `bounds.back()` (the histogram cannot see past it). 0 when
+  /// empty. With log-spaced buckets (see `LogBuckets`) the relative error
+  /// is bounded by the bucket ratio.
+  double Quantile(double q) const;
+
+  /// \brief Adds another snapshot's counts/sum into this one. Requires
+  /// identical bounds; if `*this` is empty (no bounds) it adopts the
+  /// other's shape. Mismatched bounds are ignored (merge of differently
+  /// bucketed histograms is undefined). This is how per-shard or
+  /// per-replica latency histograms roll up into a fleet view.
+  void Merge(const HistogramSnapshot& other);
 };
+
+/// \brief Log-spaced histogram bounds covering [lo, hi] with
+/// `per_decade` buckets per power of ten — the latency-histogram shape:
+/// constant *relative* quantile error across orders of magnitude.
+/// `lo`/`hi` are clamped to be positive and ordered; the result is
+/// strictly increasing and ends at or above `hi`.
+std::vector<double> LogBuckets(double lo, double hi,
+                               std::size_t per_decade = 4);
 
 /// \brief A point-in-time copy of every registered metric.
 struct MetricsSnapshot {
@@ -79,6 +102,13 @@ struct MetricsSnapshot {
   /// Flat CSV: kind,name,field,value — one row per counter/gauge and per
   /// histogram bucket (field = "le_<bound>" / "le_inf") plus sum and count.
   std::string ToCsv() const;
+
+  /// \brief Prometheus text exposition (version 0.0.4): `# TYPE` comment
+  /// per metric, counters as `name value`, gauges likewise, histograms as
+  /// cumulative `name_bucket{le="..."}` series ending in `le="+Inf"` plus
+  /// `name_sum` / `name_count`. Metric names are sanitized to
+  /// `[a-zA-Z_:][a-zA-Z0-9_:]*` (every other byte becomes '_').
+  std::string ToPrometheus() const;
 };
 
 #ifndef INFOFLOW_NO_METRICS

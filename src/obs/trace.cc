@@ -9,6 +9,8 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace infoflow::obs {
 namespace {
 
@@ -28,6 +30,18 @@ struct TraceEvent {
   const char* name;
   std::uint64_t begin_ns;
   std::uint64_t end_ns;
+  std::uint64_t query_id;
+};
+
+/// A span adopted from another process (shard replica): the name is owned
+/// and pid/tid/timestamps are taken verbatim from the child's export.
+struct ImportedEvent {
+  std::string name;
+  std::uint32_t pid;
+  std::uint32_t tid;
+  double ts_us;
+  double dur_us;
+  std::uint64_t query_id;
 };
 
 /// One recording thread's ring. The owning thread writes under `mutex`
@@ -46,6 +60,8 @@ struct TraceState {
   std::mutex registry_mutex;
   /// shared_ptr keeps buffers alive after their thread exits.
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  /// Spans merged in from shard replicas, also under registry_mutex.
+  std::vector<ImportedEvent> imported;
 };
 
 TraceState& State() {
@@ -66,17 +82,21 @@ ThreadBuffer& LocalBuffer() {
 }
 
 void RecordEvent(const char* name, std::uint64_t begin_ns,
-                 std::uint64_t end_ns) {
+                 std::uint64_t end_ns, std::uint64_t query_id) {
   ThreadBuffer& buffer = LocalBuffer();
   const std::size_t capacity =
       State().capacity.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(buffer.mutex);
   if (buffer.events.size() < capacity) {
-    buffer.events.push_back({name, begin_ns, end_ns});
+    buffer.events.push_back({name, begin_ns, end_ns, query_id});
   } else if (!buffer.events.empty()) {
-    buffer.events[buffer.next] = {name, begin_ns, end_ns};
+    buffer.events[buffer.next] = {name, begin_ns, end_ns, query_id};
     buffer.next = (buffer.next + 1) % buffer.events.size();
     ++buffer.dropped;
+    // Overwrites are otherwise silent truncation of the export; surface
+    // them as a counter an operator can alert on.
+    static Counter& dropped_total = GetCounter("trace.dropped_spans_total");
+    dropped_total.Increment();
   }
 }
 
@@ -106,6 +126,7 @@ void Tracing::Clear() {
     buffer->next = 0;
     buffer->dropped = 0;
   }
+  state.imported.clear();
 }
 
 std::uint64_t Tracing::DroppedEvents() {
@@ -119,14 +140,27 @@ std::uint64_t Tracing::DroppedEvents() {
   return total;
 }
 
+namespace {
+
+void AppendEscaped(std::ostringstream& out, const char* text) {
+  for (const char* c = text; *c != '\0'; ++c) {
+    if (*c == '"' || *c == '\\') out << '\\';
+    out << *c;
+  }
+}
+
+}  // namespace
+
 std::string Tracing::ExportChromeJson() {
   TraceState& state = State();
   // Copy the buffer list so per-buffer locks are not held under the
   // registry lock longer than needed.
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::vector<ImportedEvent> imported;
   {
     std::lock_guard<std::mutex> lock(state.registry_mutex);
     buffers = state.buffers;
+    imported = state.imported;
   }
   std::ostringstream out;
   out.precision(17);
@@ -140,29 +174,63 @@ std::string Tracing::ExportChromeJson() {
       // Span names are compile-time literals (identifier-ish); escape the
       // two JSON-significant characters anyway.
       out << "{\"name\":\"";
-      for (const char* c = event.name; *c != '\0'; ++c) {
-        if (*c == '"' || *c == '\\') out << '\\';
-        out << *c;
-      }
+      AppendEscaped(out, event.name);
       out << "\",\"cat\":\"infoflow\",\"ph\":\"X\",\"pid\":1,\"tid\":"
           << buffer->tid << ",\"ts\":"
           << static_cast<double>(event.begin_ns - 1) / 1000.0 << ",\"dur\":"
-          << static_cast<double>(event.end_ns - event.begin_ns) / 1000.0
-          << "}";
+          << static_cast<double>(event.end_ns - event.begin_ns) / 1000.0;
+      if (event.query_id != 0) {
+        out << ",\"args\":{\"query_id\":" << event.query_id << "}";
+      }
+      out << "}";
     }
+  }
+  for (const ImportedEvent& event : imported) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"name\":\"";
+    AppendEscaped(out, event.name.c_str());
+    out << "\",\"cat\":\"infoflow\",\"ph\":\"X\",\"pid\":" << event.pid
+        << ",\"tid\":" << event.tid << ",\"ts\":" << event.ts_us
+        << ",\"dur\":" << event.dur_us;
+    if (event.query_id != 0) {
+      out << ",\"args\":{\"query_id\":" << event.query_id << "}";
+    }
+    out << "}";
   }
   out << "]}";
   return out.str();
 }
 
-TraceSpan::TraceSpan(const char* name) : name_(name), begin_ns_(0) {
+std::uint64_t Tracing::NowNanos() { return NowNs(); }
+
+void Tracing::EmitSpan(const char* name, std::uint64_t begin_ns,
+                       std::uint64_t end_ns, std::uint64_t query_id) {
+  if (!IsEnabled()) return;
+  if (begin_ns == 0) begin_ns = 1;
+  if (end_ns < begin_ns) end_ns = begin_ns;
+  RecordEvent(name, begin_ns, end_ns, query_id);
+}
+
+void Tracing::ImportSpan(const std::string& name, std::uint32_t pid,
+                         std::uint32_t tid, double ts_us, double dur_us,
+                         std::uint64_t query_id) {
+  TraceState& state = State();
+  std::lock_guard<std::mutex> lock(state.registry_mutex);
+  state.imported.push_back({name, pid, tid, ts_us, dur_us, query_id});
+}
+
+TraceSpan::TraceSpan(const char* name) : TraceSpan(name, 0) {}
+
+TraceSpan::TraceSpan(const char* name, std::uint64_t query_id)
+    : name_(name), begin_ns_(0), query_id_(query_id) {
   if (Tracing::IsEnabled()) begin_ns_ = NowNs();
 }
 
 TraceSpan::~TraceSpan() {
   if (begin_ns_ == 0) return;
   if (!Tracing::IsEnabled()) return;  // disabled mid-span: drop it
-  RecordEvent(name_, begin_ns_, NowNs());
+  RecordEvent(name_, begin_ns_, NowNs(), query_id_);
 }
 
 }  // namespace infoflow::obs

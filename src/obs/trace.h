@@ -58,7 +58,25 @@ class Tracing {
   /// \brief All retained events as a Chrome trace JSON object
   /// (`{"traceEvents": [...]}`, "X" complete events, microsecond
   /// timestamps relative to process start, one tid per recording thread).
+  /// Events carrying a nonzero query id export an `"args":{"query_id":N}`
+  /// object so one query's spans form a selectable tree in the viewer.
   static std::string ExportChromeJson();
+
+  /// Nanoseconds since the trace epoch (never 0). Pair with EmitSpan to
+  /// record a span whose lifetime does not fit a C++ scope.
+  static std::uint64_t NowNanos();
+
+  /// Records a completed span on the calling thread's ring. `name` must be
+  /// a string literal (the pointer is stored). No-op while disabled.
+  static void EmitSpan(const char* name, std::uint64_t begin_ns,
+                       std::uint64_t end_ns, std::uint64_t query_id = 0);
+
+  /// Adopts a span exported by another process (a `--shard-procs` replica)
+  /// into this process's trace under the given pid/tid. The name is copied.
+  /// Imported spans survive until Clear() and export alongside local ones.
+  static void ImportSpan(const std::string& name, std::uint32_t pid,
+                         std::uint32_t tid, double ts_us, double dur_us,
+                         std::uint64_t query_id);
 };
 
 /// \brief RAII span: records [construction, destruction) under `name`.
@@ -66,6 +84,8 @@ class TraceSpan {
  public:
   /// `name` must outlive the trace export (use a string literal).
   explicit TraceSpan(const char* name);
+  /// Same, stamping the span with a query id (0 = unattributed).
+  TraceSpan(const char* name, std::uint64_t query_id);
   ~TraceSpan();
 
   TraceSpan(const TraceSpan&) = delete;
@@ -76,6 +96,7 @@ class TraceSpan {
   /// 0 when tracing was disabled at construction (the destructor then
   /// records nothing).
   std::uint64_t begin_ns_;
+  std::uint64_t query_id_;
 };
 
 #else  // INFOFLOW_NO_METRICS
@@ -88,11 +109,17 @@ class Tracing {
   static void Clear() {}
   static std::uint64_t DroppedEvents() { return 0; }
   static std::string ExportChromeJson() { return "{\"traceEvents\":[]}"; }
+  static std::uint64_t NowNanos() { return 0; }
+  static void EmitSpan(const char*, std::uint64_t, std::uint64_t,
+                       std::uint64_t = 0) {}
+  static void ImportSpan(const std::string&, std::uint32_t, std::uint32_t,
+                         double, double, std::uint64_t) {}
 };
 
 class TraceSpan {
  public:
   explicit TraceSpan(const char*) {}
+  TraceSpan(const char*, std::uint64_t) {}
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 };

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <atomic>
 #include <cmath>
 #include <utility>
 
@@ -63,6 +64,92 @@ bool IsIngestRequest(const JsonValue& json) {
   return json.is_object() && json.Find("ingest") != nullptr;
 }
 
+bool IsAdminRequest(const JsonValue& json) {
+  return json.is_object() &&
+         (json.Find("stats") != nullptr || json.Find("health") != nullptr ||
+          json.Find("trace") != nullptr);
+}
+
+Result<AdminRequest> ParseAdminRequest(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  AdminRequest request;
+  if (const JsonValue* id = json.Find("id")) {
+    if (!id->is_string()) {
+      return Status::InvalidArgument("'id' must be a string");
+    }
+    request.id = id->AsString();
+  }
+  const JsonValue* stats = json.Find("stats");
+  const JsonValue* health = json.Find("health");
+  const JsonValue* trace = json.Find("trace");
+  const int verbs = (stats != nullptr) + (health != nullptr) +
+                    (trace != nullptr);
+  if (verbs != 1) {
+    return Status::InvalidArgument(
+        "admin request must carry exactly one of 'stats' | 'health' | "
+        "'trace'");
+  }
+  if (stats != nullptr) {
+    request.verb = AdminRequest::Verb::kStats;
+    return request;
+  }
+  if (health != nullptr) {
+    request.verb = AdminRequest::Verb::kHealth;
+    return request;
+  }
+  if (!trace->is_object()) {
+    return Status::InvalidArgument(
+        "'trace' must be an object like {\"enable\":true} or "
+        "{\"export\":true}");
+  }
+  const JsonValue* enable = trace->Find("enable");
+  const JsonValue* export_flag = trace->Find("export");
+  if ((enable != nullptr) == (export_flag != nullptr)) {
+    return Status::InvalidArgument(
+        "'trace' takes exactly one of 'enable' (bool) or 'export' (true)");
+  }
+  if (export_flag != nullptr) {
+    if (!export_flag->is_bool() || !export_flag->AsBool()) {
+      return Status::InvalidArgument("'trace.export' must be true");
+    }
+    request.verb = AdminRequest::Verb::kTraceExport;
+    return request;
+  }
+  if (!enable->is_bool()) {
+    return Status::InvalidArgument("'trace.enable' must be a boolean");
+  }
+  request.verb = enable->AsBool() ? AdminRequest::Verb::kTraceEnable
+                                  : AdminRequest::Verb::kTraceDisable;
+  if (const JsonValue* capacity = trace->Find("events_per_thread")) {
+    if (!capacity->is_number() || capacity->AsNumber() < 1 ||
+        capacity->AsNumber() != std::floor(capacity->AsNumber())) {
+      return Status::InvalidArgument(
+          "'trace.events_per_thread' must be a positive integer");
+    }
+    request.trace_capacity = static_cast<std::size_t>(capacity->AsNumber());
+  }
+  return request;
+}
+
+std::string SerializeAdminError(const AdminRequest& request,
+                                const Status& status) {
+  JsonValue::Object response;
+  response["id"] = request.id;
+  response["ok"] = false;
+  JsonValue::Object error;
+  error["code"] = StatusCodeName(status.code());
+  error["message"] = status.message();
+  response["error"] = std::move(error);
+  return JsonValue(std::move(response)).Dump();
+}
+
+std::uint64_t MintQueryId() {
+  static std::atomic<std::uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
 Result<IngestRequest> ParseIngestRequest(const JsonValue& json) {
   if (!json.is_object()) {
     return Status::InvalidArgument("request must be a JSON object");
@@ -118,6 +205,18 @@ Result<QueryRequest> ParseRequest(const JsonValue& json) {
       return Status::InvalidArgument("'id' must be a string");
     }
     request.id = id->AsString();
+  }
+
+  // An upstream router (the --shard-procs parent) stamps the query id it
+  // minted into the forwarded line so replica spans join the same tree.
+  if (const JsonValue* query_id = json.Find("query_id")) {
+    if (!query_id->is_number() || query_id->AsNumber() < 0 ||
+        query_id->AsNumber() != std::floor(query_id->AsNumber())) {
+      return Status::InvalidArgument(
+          "'query_id' must be a non-negative integer");
+    }
+    request.query_id = static_cast<std::uint64_t>(query_id->AsNumber());
+    request.query_id_provided = true;
   }
 
   auto sources = ParseNodeList(json, "source", "sources");
@@ -186,6 +285,13 @@ std::string SerializeResult(const QueryRequest& request,
                             const QueryResult& result) {
   JsonValue::Object response;
   response["id"] = request.id;
+  // Only a query_id the client itself put on the wire is echoed: a
+  // server-minted one is observability plumbing (trace spans, slow-query
+  // log), and echoing it would break the byte-identical guarantee between
+  // otherwise-identical runs whose mint counters differ.
+  if (request.query_id_provided && request.query_id != 0) {
+    response["query_id"] = static_cast<double>(request.query_id);
+  }
   if (!result.status.ok()) {
     response["ok"] = false;
     JsonValue::Object error;

@@ -28,6 +28,8 @@
 
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -66,6 +68,47 @@ std::string SerializeIngestAck(const IngestRequest& request,
 /// failure, or ingestion not enabled on this daemon).
 std::string SerializeIngestError(const IngestRequest& request,
                                  const Status& status);
+
+/// \brief One live-introspection verb on the serve connection:
+///
+/// \code{.json}
+///   {"id":"s1","stats":true}
+///   {"id":"h1","health":true}
+///   {"id":"t1","trace":{"enable":true,"events_per_thread":4096}}
+///   {"id":"t2","trace":{"enable":false}}
+///   {"id":"t3","trace":{"export":true}}
+/// \endcode
+///
+/// `stats` answers with the metrics snapshot embedded as JSON plus a
+/// Prometheus text exposition; `health` with bank generation / model epoch /
+/// shard liveness / queue depth; `trace` arms, disarms, or exports the span
+/// ring buffers of the running daemon.
+struct AdminRequest {
+  enum class Verb { kStats, kHealth, kTraceEnable, kTraceDisable,
+                    kTraceExport };
+  /// Caller-assigned id echoed in the response.
+  std::string id;
+  Verb verb = Verb::kStats;
+  /// Ring capacity for kTraceEnable; 0 = keep the default.
+  std::size_t trace_capacity = 0;
+};
+
+/// True when the (already-parsed) request object is an admin verb (has a
+/// "stats", "health", or "trace" member) rather than a query.
+bool IsAdminRequest(const JsonValue& json);
+
+/// \brief Parses one admin verb object.
+Result<AdminRequest> ParseAdminRequest(const JsonValue& json);
+
+/// \brief Error line for a malformed or unsupported admin verb.
+std::string SerializeAdminError(const AdminRequest& request,
+                                const Status& status);
+
+/// \brief Process-wide monotonic query-id mint (first id is 1). The serve
+/// boundary stamps every query that arrives without one, so each request's
+/// spans — parse, plan, shard replay, merge — share an id across threads
+/// and (via `--shard-procs` forwarding) across processes.
+std::uint64_t MintQueryId();
 
 /// \brief Parses one request object (already-parsed JSON). Range checks
 /// against the graph happen later, in QueryEngine::AnswerBatch.

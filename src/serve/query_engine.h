@@ -71,6 +71,15 @@ const char* QueryKindName(QueryKind kind);
 struct QueryRequest {
   /// Caller-assigned id echoed in the response (protocol correlation).
   std::string id;
+  /// Daemon-minted per-query trace id (serve/MintQueryId); 0 = unstamped.
+  /// Every TraceSpan in the query's lifetime carries it, including spans
+  /// recorded in `--shard-procs` replica processes.
+  std::uint64_t query_id = 0;
+  /// True when the wire request carried `query_id` explicitly (client or
+  /// upstream router); only then is it echoed in the response — minted ids
+  /// are internal, so identical runs stay byte-identical regardless of
+  /// where the process-global mint counter happens to sit.
+  bool query_id_provided = false;
   QueryKind kind = QueryKind::kFlow;
   /// Source set (kFlow/kCommunity). Multi-source models the omnipotent
   /// external world standing alongside a user (§V-D).
@@ -114,6 +123,20 @@ struct QueryResult {
   /// True when this query's row scan was merged with another query's
   /// (shared source frontier + conditioning set).
   bool frontier_shared = false;
+  /// Wall-clock of the batch this query was answered in, milliseconds
+  /// (batch attribution: every member of a batch reports the batch's
+  /// latency). Feeds the slow-query log and latency histograms.
+  double latency_ms = 0.0;
+  /// Cut-frontier exchange rounds of the batch (sharded engines; 0 on the
+  /// single engine). Batch attribution, like latency_ms.
+  std::uint64_t exchange_rounds = 0;
+  /// Cut-frontier words delivered to ghosts during the batch (sharded
+  /// engines; 0 on the single engine). Batch attribution.
+  std::uint64_t cut_frontier_words = 0;
+  /// Per-shard replay wall-clock of the batch, milliseconds (CPU-time
+  /// summed across workers; empty on the single engine). Batch
+  /// attribution; feeds the slow-query log's shard timings.
+  std::vector<double> shard_replay_ms;
 };
 
 /// \brief Engine tuning.

@@ -17,6 +17,23 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Per-query-kind latency instruments: a log-bucketed histogram (constant
+/// relative quantile error from 50 µs to 10 s) plus p50/p95/p99 gauges
+/// refreshed from it after every batch that answers that kind.
+struct KindLatency {
+  obs::Histogram* hist;
+  obs::Gauge* p50;
+  obs::Gauge* p95;
+  obs::Gauge* p99;
+};
+
+KindLatency MakeKindLatency(const char* kind) {
+  const std::string base = std::string("serve.query.latency_ms.") + kind;
+  return {&obs::GetHistogram(base, obs::LogBuckets(0.05, 10000.0, 3)),
+          &obs::GetGauge(base + ".p50"), &obs::GetGauge(base + ".p95"),
+          &obs::GetGauge(base + ".p99")};
+}
+
 /// The serve.query.* instruments, shared by every engine flavor so a
 /// sharded server's dashboards read the same series as a single one.
 struct PlanMetrics {
@@ -37,6 +54,10 @@ struct PlanMetrics {
   obs::Histogram* latency_ms = &obs::GetHistogram(
       "serve.query.latency_ms",
       {0.1, 0.5, 2.5, 10.0, 50.0, 250.0, 1000.0, 5000.0});
+  /// Indexed by static_cast<std::size_t>(QueryKind).
+  KindLatency kind_latency[3] = {MakeKindLatency("flow"),
+                                 MakeKindLatency("community"),
+                                 MakeKindLatency("joint")};
 
   static PlanMetrics& Get() {
     static PlanMetrics metrics;
@@ -145,7 +166,16 @@ std::vector<QueryResult> RunQueryPlan(
     const DirectedGraph& graph, const BankGeneration& bank,
     const std::vector<QueryRequest>& requests, const QueryPlanOptions& options,
     ThreadPool& pool, BlockOps& ops) {
-  obs::TraceSpan span("serve/answer_batch");
+  // The batch span carries the first stamped query id so a one-query batch
+  // (the common interactive case) traces as a single connected tree.
+  std::uint64_t batch_query_id = 0;
+  for (const QueryRequest& request : requests) {
+    if (request.query_id != 0) {
+      batch_query_id = request.query_id;
+      break;
+    }
+  }
+  obs::TraceSpan span("serve/answer_batch", batch_query_id);
   WallTimer timer;
   PlanMetrics& metrics = PlanMetrics::Get();
   const Clock::time_point entry = Clock::now();
@@ -228,6 +258,8 @@ std::vector<QueryResult> RunQueryPlan(
       std::max<std::size_t>(1, options.rows_per_task / 64);
 
   for (GivenSet& set : given_sets) {
+    obs::TraceSpan mask_span("serve/plan/given_mask", batch_query_id);
+    ops.BeginGroup(batch_query_id);
     std::atomic<bool> expired{false};
     std::vector<std::size_t> partial(num_tasks, 0);
     ParallelFor(pool, num_tasks, [&](std::size_t t) {
@@ -314,6 +346,11 @@ std::vector<QueryResult> RunQueryPlan(
 
   // --- Scan each group's rows in parallel.
   for (ScanGroup& group : groups) {
+    const std::uint64_t group_query_id =
+        group.members.empty() ? batch_query_id
+                              : requests[group.members.front()].query_id;
+    obs::TraceSpan group_span("serve/plan/scan_group", group_query_id);
+    ops.BeginGroup(group_query_id);
     metrics.group_size->Record(static_cast<double>(group.members.size()));
     if (group.members.size() > 1) {
       metrics.frontier_merged->Increment(group.members.size() - 1);
@@ -355,6 +392,7 @@ std::vector<QueryResult> RunQueryPlan(
   }
 
   // --- Assemble per-request estimates with chain diagnostics.
+  obs::TraceSpan assemble_span("serve/plan/assemble", batch_query_id);
   const std::size_t num_chains = bank.num_chains();
   for (const ScanGroup& group : groups) {
     const std::uint64_t* mask = group.given_index == kUnconditional
@@ -410,7 +448,31 @@ std::vector<QueryResult> RunQueryPlan(
     }
   }
 
-  metrics.latency_ms->Record(timer.Millis());
+  // --- Stamp batch-level cost onto every result and refresh the per-kind
+  // latency quantile gauges.
+  const BlockOps::BatchStats batch_stats = ops.CollectBatchStats();
+  const double batch_ms = timer.Millis();
+  for (QueryResult& result : results) {
+    result.latency_ms = batch_ms;
+    result.exchange_rounds = batch_stats.exchange_rounds;
+    result.cut_frontier_words = batch_stats.cut_frontier_words;
+    result.shard_replay_ms = batch_stats.shard_replay_ms;
+  }
+  metrics.latency_ms->Record(batch_ms);
+  if constexpr (obs::MetricsEnabled()) {
+    bool seen[3] = {false, false, false};
+    for (const QueryRequest& request : requests) {
+      const auto k = static_cast<std::size_t>(request.kind);
+      if (k >= 3 || seen[k]) continue;
+      seen[k] = true;
+      metrics.kind_latency[k].hist->Record(batch_ms);
+      const obs::HistogramSnapshot snap =
+          metrics.kind_latency[k].hist->Snapshot();
+      metrics.kind_latency[k].p50->Set(snap.Quantile(0.50));
+      metrics.kind_latency[k].p95->Set(snap.Quantile(0.95));
+      metrics.kind_latency[k].p99->Set(snap.Quantile(0.99));
+    }
+  }
   return results;
 }
 

@@ -37,6 +37,26 @@ class BlockOps {
  public:
   virtual ~BlockOps() = default;
 
+  /// \brief What one batch cost beyond row scans — the sharded engine
+  /// reports its cut-frontier exchange work here; the single engine has
+  /// none. Stamped onto every result of the batch (batch attribution).
+  struct BatchStats {
+    std::uint64_t exchange_rounds = 0;
+    std::uint64_t cut_frontier_words = 0;
+    /// Per-shard replay wall-clock summed over workers, milliseconds;
+    /// empty on the single engine.
+    std::vector<double> shard_replay_ms;
+  };
+
+  /// Called once before each scan group's parallel row scan, with the
+  /// query id attributed to that scan (0 when unstamped). Engines use it
+  /// to tag per-shard replay spans; the default ignores it.
+  virtual void BeginGroup(std::uint64_t query_id) { (void)query_id; }
+
+  /// Called once after all scans of a batch; returns (and resets) the
+  /// batch's accumulated stats. The default reports nothing.
+  virtual BatchStats CollectBatchStats() { return {}; }
+
   /// Lanes of `block` (restricted to `lanes`) whose rows satisfy every
   /// condition: the blockwise conditional indicator I(x, C) of Eq. 7–8.
   virtual std::uint64_t BlockConditions(std::size_t worker, std::size_t block,

@@ -9,6 +9,7 @@
 #include <unistd.h>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/protocol.h"
 #include "serve/query_plan.h"
 #include "serve/transport.h"
@@ -31,18 +32,60 @@ class ShardedOps final : public BlockOps {
         dirty_(scratch.size(),
                std::vector<std::uint8_t>(partition.num_shards, 0)),
         src_(scratch.size(), std::vector<NodeId>(1)),
-        tallies_(scratch.size()) {}
+        tallies_(scratch.size()) {
+    if constexpr (obs::MetricsEnabled()) {
+      batch_begin_ns_ = obs::Tracing::NowNanos();
+    }
+  }
 
   /// Registry counters are contended atomics; workers tally locally and
-  /// the batch flushes once here.
+  /// the batch flushes once here (CollectBatchStats normally drains the
+  /// tallies first, leaving this a no-op backstop).
   ~ShardedOps() override {
-    Tally total;
-    for (const Tally& tally : tallies_) {
-      total.cut_words += tally.cut_words;
-      total.rounds += tally.rounds;
+    const BlockOps::BatchStats total = Drain();
+    obs::GetCounter("router.cut_frontier_words")
+        .Increment(total.cut_frontier_words);
+    obs::GetCounter("router.exchange_rounds_total")
+        .Increment(total.exchange_rounds);
+  }
+
+  void BeginGroup(std::uint64_t query_id) override {
+    current_query_id_ = query_id;
+  }
+
+  /// Flushes the per-shard replay time into `router.shard_replay_ms.<s>`
+  /// histograms (log buckets) with p50/p95/p99 gauges, emits one
+  /// "router/shard_replay" span per shard carrying the batch's query id,
+  /// and returns the exchange totals for result stamping.
+  BlockOps::BatchStats CollectBatchStats() override {
+    BlockOps::BatchStats stats = Drain();
+    obs::GetCounter("router.cut_frontier_words")
+        .Increment(stats.cut_frontier_words);
+    obs::GetCounter("router.exchange_rounds_total")
+        .Increment(stats.exchange_rounds);
+    if constexpr (obs::MetricsEnabled()) {
+      for (std::size_t s = 0; s < stats.shard_replay_ms.size(); ++s) {
+        const std::string base =
+            "router.shard_replay_ms." + std::to_string(s);
+        obs::Histogram& hist =
+            obs::GetHistogram(base, obs::LogBuckets(0.01, 10000.0, 3));
+        hist.Record(stats.shard_replay_ms[s]);
+        const obs::HistogramSnapshot snap = hist.Snapshot();
+        obs::GetGauge(base + ".p50").Set(snap.Quantile(0.50));
+        obs::GetGauge(base + ".p95").Set(snap.Quantile(0.95));
+        obs::GetGauge(base + ".p99").Set(snap.Quantile(0.99));
+        // Position is approximate (per-shard work interleaves across
+        // workers); duration is the accumulated replay time.
+        if (obs::Tracing::IsEnabled()) {
+          obs::Tracing::ImportSpan(
+              "shard/replay/" + std::to_string(s), 1,
+              1000 + static_cast<std::uint32_t>(s),
+              static_cast<double>(batch_begin_ns_ - 1) / 1000.0,
+              stats.shard_replay_ms[s] * 1000.0, current_query_id_);
+        }
+      }
     }
-    obs::GetCounter("router.cut_frontier_words").Increment(total.cut_words);
-    obs::GetCounter("router.exchange_rounds_total").Increment(total.rounds);
+    return stats;
   }
 
   std::uint64_t BlockConditions(std::size_t worker, std::size_t block,
@@ -53,6 +96,7 @@ class ShardedOps final : public BlockOps {
     if (partition_.num_shards == 1) {
       // N=1 degeneracy: the identity partition makes this exactly the
       // single engine's per-block loop, early exits included.
+      const std::uint64_t begin_ns = ReplayClock();
       for (const FlowConstraint& c : conditions) {
         if (lanes == 0) break;
         src[0] = c.source;
@@ -61,6 +105,7 @@ class ShardedOps final : public BlockOps {
                            views_[0]->BlockWords(block), c.sink, lanes);
         lanes = c.must_flow ? reached : lanes & ~reached;
       }
+      AccumulateReplay(worker, 0, begin_ns);
       return lanes;
     }
     for (const FlowConstraint& c : conditions) {
@@ -83,8 +128,10 @@ class ShardedOps final : public BlockOps {
                   std::uint64_t* out) override {
     auto& ws = scratch_[worker];
     if (partition_.num_shards == 1) {
+      const std::uint64_t begin_ns = ReplayClock();
       ws[0].Run(partition_.shards[0].graph, sources,
                 views_[0]->BlockWords(block), lanes);
+      AccumulateReplay(worker, 0, begin_ns);
       for (std::size_t s = 0; s < sinks.size(); ++s) {
         out[s] = ws[0].ReachedMask(sinks[s]);
       }
@@ -100,7 +147,51 @@ class ShardedOps final : public BlockOps {
   struct Tally {
     std::uint64_t cut_words = 0;
     std::uint64_t rounds = 0;
+    /// Replay nanoseconds per shard (sized lazily on first use).
+    std::vector<std::uint64_t> shard_ns;
   };
+
+  /// One clock read bracketing a whole per-block replay — noise next to
+  /// the BFS itself, and compiled out entirely under INFOFLOW_NO_METRICS.
+  static std::uint64_t ReplayClock() {
+    if constexpr (obs::MetricsEnabled()) {
+      return obs::Tracing::NowNanos();
+    } else {
+      return 0;
+    }
+  }
+
+  void AccumulateReplay(std::size_t worker, std::size_t shard,
+                        std::uint64_t begin_ns) {
+    if constexpr (obs::MetricsEnabled()) {
+      Tally& tally = tallies_[worker];
+      if (tally.shard_ns.empty()) {
+        tally.shard_ns.assign(partition_.num_shards, 0);
+      }
+      tally.shard_ns[shard] += obs::Tracing::NowNanos() - begin_ns;
+    } else {
+      (void)worker;
+      (void)shard;
+      (void)begin_ns;
+    }
+  }
+
+  /// Moves the per-worker tallies into one BatchStats, zeroing them so a
+  /// second drain (the destructor backstop) reports nothing.
+  BlockOps::BatchStats Drain() {
+    BlockOps::BatchStats stats;
+    stats.shard_replay_ms.assign(partition_.num_shards, 0.0);
+    for (Tally& tally : tallies_) {
+      stats.cut_frontier_words += tally.cut_words;
+      stats.exchange_rounds += tally.rounds;
+      for (std::size_t s = 0; s < tally.shard_ns.size(); ++s) {
+        stats.shard_replay_ms[s] +=
+            static_cast<double>(tally.shard_ns[s]) / 1e6;
+      }
+      tally = Tally{};
+    }
+    return stats;
+  }
 
   /// A node's authoritative mask lives in its owner shard (all its
   /// in-edges are materialized there).
@@ -143,6 +234,7 @@ class ShardedOps final : public BlockOps {
         if (dirty[s] == 0) continue;
         dirty[s] = 0;
         progressed = true;
+        const std::uint64_t begin_ns = ReplayClock();
         ws[s].Propagate(views_[s]->BlockWords(block));
         // Deliver every touched owned node's mask to its ghost copies;
         // the receiving shard continues from exactly the fresh lanes.
@@ -164,6 +256,7 @@ class ShardedOps final : public BlockOps {
             ++delivered;
           }
         }
+        AccumulateReplay(worker, s, begin_ns);
       }
     }
     tallies_[worker].cut_words += delivered;
@@ -177,6 +270,12 @@ class ShardedOps final : public BlockOps {
   std::vector<std::vector<std::uint8_t>> dirty_;
   std::vector<std::vector<NodeId>> src_;
   std::vector<Tally> tallies_;
+  /// Query id of the scan group currently running (set by BeginGroup from
+  /// the plan-driving thread, between parallel scans).
+  std::uint64_t current_query_id_ = 0;
+  /// Trace-epoch timestamp of batch entry, anchoring the synthetic
+  /// per-shard replay spans.
+  std::uint64_t batch_begin_ns_ = 1;
 };
 
 /// write(2) loop that cannot raise SIGPIPE on sockets (MSG_NOSIGNAL, with
@@ -287,15 +386,193 @@ std::size_t ProcessRouter::num_live_children() const {
   return live;
 }
 
+void ProcessRouter::MarkChildDead(std::size_t k) {
+  if (!children_[k].alive) return;
+  children_[k].alive = false;
+  obs::GetCounter("router.child_failures_total").Increment();
+  obs::GetCounter("router.child_failures_total.replica" + std::to_string(k))
+      .Increment();
+}
+
+std::vector<std::string> ProcessRouter::Broadcast(const std::string& line) {
+  std::vector<std::string> responses(children_.size());
+  for (std::size_t k = 0; k < children_.size(); ++k) {
+    if (!children_[k].alive) continue;
+    if (!WriteAllQuiet(children_[k].fd, line + "\n")) MarkChildDead(k);
+  }
+  WallTimer timer;
+  for (std::size_t k = 0; k < children_.size(); ++k) {
+    if (!children_[k].alive) continue;
+    std::string response;
+    bool ok;
+    bool timed_out = false;
+    if (options_.child_timeout_ms > 0.0) {
+      const double left = options_.child_timeout_ms - timer.Millis();
+      ok = children_[k].reader->NextLineWithin(response, left, timed_out);
+    } else {
+      ok = children_[k].reader->NextLine(response);
+    }
+    if (ok) {
+      responses[k] = std::move(response);
+    } else {
+      MarkChildDead(k);
+    }
+  }
+  return responses;
+}
+
+std::string ProcessRouter::MergedTraceExport() {
+  if (obs::Tracing::IsEnabled()) {
+    const std::vector<std::string> exports =
+        Broadcast("{\"id\":\"__trace__\",\"trace\":{\"export\":true}}");
+    for (std::size_t k = 0; k < exports.size(); ++k) {
+      if (exports[k].empty()) continue;
+      auto json = ParseJson(exports[k]);
+      if (!json.ok()) continue;
+      const JsonValue* trace = json->Find("trace");
+      if (trace == nullptr) continue;
+      const JsonValue* events = trace->Find("traceEvents");
+      if (events == nullptr || !events->is_array()) continue;
+      // Replica k's spans re-home to pid k+2 (the router itself is pid 1);
+      // tid and timestamps carry over — each process has its own trace
+      // epoch, so cross-process alignment is approximate by design.
+      for (const JsonValue& event : events->AsArray()) {
+        const JsonValue* name = event.Find("name");
+        const JsonValue* tid = event.Find("tid");
+        const JsonValue* ts = event.Find("ts");
+        const JsonValue* dur = event.Find("dur");
+        if (name == nullptr || !name->is_string() || ts == nullptr ||
+            !ts->is_number() || dur == nullptr || !dur->is_number()) {
+          continue;
+        }
+        std::uint64_t query_id = 0;
+        if (const JsonValue* args = event.Find("args")) {
+          if (const JsonValue* qid = args->Find("query_id")) {
+            if (qid->is_number() && qid->AsNumber() >= 0) {
+              query_id = static_cast<std::uint64_t>(qid->AsNumber());
+            }
+          }
+        }
+        obs::Tracing::ImportSpan(
+            name->AsString(), static_cast<std::uint32_t>(k + 2),
+            tid != nullptr && tid->is_number()
+                ? static_cast<std::uint32_t>(tid->AsNumber())
+                : 0,
+            ts->AsNumber(), dur->AsNumber(), query_id);
+      }
+    }
+  }
+  return obs::Tracing::ExportChromeJson();
+}
+
+std::string ProcessRouter::HandleAdminLine(const std::string& line) {
+  auto json = ParseJson(line);
+  if (!json.ok()) return SerializeParseError(json.status());
+  auto request = ParseAdminRequest(*json);
+  if (!request.ok()) {
+    return SerializeAdminError(AdminRequest{}, request.status());
+  }
+  JsonValue::Object response;
+  response["id"] = request->id;
+  response["ok"] = true;
+  switch (request->verb) {
+    case AdminRequest::Verb::kStats: {
+      const obs::MetricsSnapshot snap =
+          obs::MetricsRegistry::Global().Snapshot();
+      auto stats = ParseJson(snap.ToJson());
+      IF_CHECK(stats.ok()) << "metrics snapshot must serialize as JSON";
+      response["stats"] = std::move(*stats);
+      response["prometheus"] = snap.ToPrometheus();
+      break;
+    }
+    case AdminRequest::Verb::kHealth: {
+      JsonValue::Object health;
+      health["role"] = "router";
+      health["num_replicas"] = static_cast<double>(children_.size());
+      health["num_live_replicas"] = static_cast<double>(num_live_children());
+      JsonValue::Array replicas;
+      // Dead replicas stay listed (alive:false) so exclusion after a
+      // child death is visible to the scraper, not silently elided.
+      for (std::size_t k = 0; k < children_.size(); ++k) {
+        JsonValue::Object replica;
+        replica["replica"] = static_cast<double>(k);
+        replica["alive"] = children_[k].alive;
+        replicas.push_back(std::move(replica));
+      }
+      health["replicas"] = std::move(replicas);
+      // Per-replica health rides along so one verb answers both layers.
+      const std::vector<std::string> child_health =
+          Broadcast("{\"id\":\"__health__\",\"health\":true}");
+      JsonValue::Array details;
+      for (const std::string& entry : child_health) {
+        if (entry.empty()) {
+          details.push_back(JsonValue());
+          continue;
+        }
+        auto parsed = ParseJson(entry);
+        details.push_back(parsed.ok() ? std::move(*parsed) : JsonValue());
+      }
+      health["replica_health"] = std::move(details);
+      response["health"] = std::move(health);
+      break;
+    }
+    case AdminRequest::Verb::kTraceEnable:
+      obs::Tracing::Enable(request->trace_capacity != 0
+                               ? request->trace_capacity
+                               : std::size_t{1} << 14);
+      Broadcast(line);
+      response["trace"] = "enabled";
+      break;
+    case AdminRequest::Verb::kTraceDisable:
+      obs::Tracing::Disable();
+      Broadcast(line);
+      response["trace"] = "disabled";
+      break;
+    case AdminRequest::Verb::kTraceExport: {
+      auto exported = ParseJson(MergedTraceExport());
+      IF_CHECK(exported.ok()) << "trace export must serialize as JSON";
+      response["trace"] = std::move(*exported);
+      break;
+    }
+  }
+  return JsonValue(std::move(response)).Dump();
+}
+
 std::vector<std::string> ProcessRouter::RouteBatch(
     const std::vector<std::string>& lines) {
   obs::GetCounter("router.proc_batches_total").Increment();
   WallTimer timer;
   std::vector<std::string> responses(lines.size());
+  // Preprocess: admin verbs are answered by the router itself (the only
+  // place replica liveness is known); query lines arriving without a
+  // query_id get one minted and injected so replica spans join the same
+  // trace tree. Unparseable lines are forwarded untouched — a child
+  // serializes the parse error exactly as before.
+  std::vector<std::string> routed(lines);
+  std::vector<char> handled(lines.size(), 0);
+  std::uint64_t batch_query_id = 0;
+  for (std::size_t j = 0; j < lines.size(); ++j) {
+    auto json = ParseJson(lines[j]);
+    if (!json.ok() || !json->is_object()) continue;
+    if (IsAdminRequest(*json)) {
+      responses[j] = HandleAdminLine(lines[j]);
+      handled[j] = 1;
+      continue;
+    }
+    if (IsIngestRequest(*json)) continue;
+    if (json->Find("query_id") == nullptr) {
+      const std::uint64_t query_id = MintQueryId();
+      if (batch_query_id == 0) batch_query_id = query_id;
+      json->MutableObject()["query_id"] = static_cast<double>(query_id);
+      routed[j] = json->Dump();
+    }
+  }
+  obs::TraceSpan span("router/route_batch", batch_query_id);
   // Round-robin assignment over the live children, continuing where the
   // previous batch left off so single-line batches still spread.
   std::vector<std::vector<std::size_t>> assigned(children_.size());
   for (std::size_t j = 0; j < lines.size(); ++j) {
+    if (handled[j] != 0) continue;
     std::size_t probe = 0;
     for (; probe < children_.size(); ++probe) {
       const std::size_t k = (next_child_ + probe) % children_.size();
@@ -307,7 +584,7 @@ std::vector<std::string> ProcessRouter::RouteBatch(
     }
     if (probe == children_.size()) {
       responses[j] = ErrorResponseFor(
-          lines[j], Status::IOError("no shard children alive"));
+          routed[j], Status::IOError("no shard children alive"));
     }
   }
   // Write every child its lines first, then collect: children crunch their
@@ -316,16 +593,16 @@ std::vector<std::string> ProcessRouter::RouteBatch(
     if (assigned[k].empty() || !children_[k].alive) continue;
     std::string blob;
     for (const std::size_t j : assigned[k]) {
-      blob += lines[j];
+      blob += routed[j];
       blob += '\n';
     }
     if (!WriteAllQuiet(children_[k].fd, blob)) {
-      children_[k].alive = false;
+      MarkChildDead(k);
       for (const std::size_t j : assigned[k]) {
         responses[j] = ErrorResponseFor(
-            lines[j], Status::IOError("shard child ", k,
-                                      " rejected the batch (broken pipe): ",
-                                      std::strerror(errno)));
+            routed[j], Status::IOError("shard child ", k,
+                                       " rejected the batch (broken pipe): ",
+                                       std::strerror(errno)));
       }
     }
   }
@@ -349,8 +626,7 @@ std::vector<std::string> ProcessRouter::RouteBatch(
       // EOF mid-batch (the child died) or deadline expiry (the response
       // stream can no longer be trusted to stay aligned): fail this and
       // every later line assigned to the child, descriptively.
-      children_[k].alive = false;
-      obs::GetCounter("router.child_failures_total").Increment();
+      MarkChildDead(k);
       const Status status =
           timed_out
               ? Status::DeadlineExceeded("shard child ", k, " exceeded the ",
@@ -358,7 +634,7 @@ std::vector<std::string> ProcessRouter::RouteBatch(
                                          " ms router deadline mid-batch")
               : Status::IOError("shard child ", k, " died mid-batch");
       for (; a < assigned[k].size(); ++a) {
-        responses[assigned[k][a]] = ErrorResponseFor(lines[assigned[k][a]],
+        responses[assigned[k][a]] = ErrorResponseFor(routed[assigned[k][a]],
                                                      status);
       }
       break;
@@ -368,7 +644,7 @@ std::vector<std::string> ProcessRouter::RouteBatch(
 }
 
 Status ProcessRouter::Serve(int in_fd, int out_fd) {
-  LineReader reader(in_fd);
+  LineReader reader(in_fd, options_.interrupt);
   std::string line;
   std::vector<std::string> lines;
   while (reader.NextLine(line)) {

@@ -23,6 +23,7 @@
 
 #pragma once
 
+#include <csignal>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -90,6 +91,10 @@ class ProcessRouter {
     std::size_t max_batch = 64;
     /// Per-batch child response deadline; 0 → wait forever.
     double child_timeout_ms = 0.0;
+    /// When set, Serve treats `*interrupt != 0` as EOF on its input (the
+    /// CLI's SIGTERM/SIGINT flag) so a signalled router still writes its
+    /// shutdown-time observability artifacts.
+    const volatile std::sig_atomic_t* interrupt = nullptr;
   };
 
   /// `child_fds` are connected stream sockets (or pipe pairs) to shard
@@ -110,13 +115,40 @@ class ProcessRouter {
   /// returns exactly one response line per input line, in order. Dead or
   /// stalled children yield serialized error responses echoing each
   /// affected line's request id. Exposed for the fault-path tests.
+  ///
+  /// Observability hooks: query lines arriving without a `query_id` get
+  /// one minted and injected before forwarding, so replica-side spans join
+  /// the router's trace tree; admin verbs ({"stats"}, {"health"},
+  /// {"trace":...}) are answered by the router itself — `health` reports
+  /// per-replica liveness (dead children stay listed, alive:false), and
+  /// trace enable/disable/export fan out to every live replica.
   std::vector<std::string> RouteBatch(const std::vector<std::string>& lines);
+
+  /// \brief Sends one line to every live child and reads one response line
+  /// each, positionally (dead or failing children yield ""). Used for
+  /// trace fan-out; exposed for tests.
+  std::vector<std::string> Broadcast(const std::string& line);
+
+  /// \brief Chrome-trace JSON of the router process's spans merged with
+  /// every live replica's exported spans (replica k's events re-homed to
+  /// pid k+2). Answers {"trace":{"export":true}} and the CLI's
+  /// shutdown-time --trace-json artifact.
+  std::string MergedTraceExport();
 
   /// Children still considered alive.
   std::size_t num_live_children() const;
 
  private:
   struct Child;
+
+  /// Marks child k dead and bumps both the aggregate and the per-replica
+  /// failure counters (`router.child_failures_total` and
+  /// `router.child_failures_total.replica<k>`).
+  void MarkChildDead(std::size_t k);
+
+  /// Answers one admin verb line locally (see RouteBatch).
+  std::string HandleAdminLine(const std::string& line);
+
   std::vector<Child> children_;
   Options options_;
   std::size_t next_child_ = 0;

@@ -1,11 +1,14 @@
 #include "serve/server.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <optional>
 #include <condition_variable>
 #include <cstring>
+#include <fstream>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -16,11 +19,13 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include "obs/trace.h"
 #include "serve/partition.h"
 #include "serve/protocol.h"
 #include "serve/router.h"
 #include "serve/transport.h"
 #include "util/check.h"
+#include "util/json.h"
 #include "util/timer.h"
 
 namespace infoflow::serve {
@@ -46,6 +51,14 @@ struct Server::Background {
   /// thread have been quiesced, so an epoch published by a late ingest
   /// line is still drained (the guarantee Stop() documents).
   bool rebuild_stop = false;
+
+  /// Periodic metrics-snapshot writer (the CLI's --stats-every).
+  std::thread stats_thread;
+  /// Slow-query log sink, opened lazily on the first slow query so tests
+  /// (and stdio daemons) need no Start() for it; connections share it.
+  std::mutex slow_mutex;
+  std::ofstream slow_out;
+  bool slow_open_failed = false;
 };
 
 Status ServerOptions::Validate() const {
@@ -63,6 +76,20 @@ Status ServerOptions::Validate() const {
   }
   if (num_shards == 0) {
     return Status::InvalidArgument("num_shards must be positive");
+  }
+  if (stats_interval_ms < 0.0) {
+    return Status::InvalidArgument("stats_interval_ms must be >= 0");
+  }
+  if (stats_interval_ms > 0.0 && stats_path.empty()) {
+    return Status::InvalidArgument(
+        "stats_interval_ms needs stats_path (the snapshot destination)");
+  }
+  if (slow_query_ms < 0.0) {
+    return Status::InvalidArgument("slow_query_ms must be >= 0");
+  }
+  if (slow_query_ms > 0.0 && slow_query_path.empty()) {
+    return Status::InvalidArgument(
+        "slow_query_ms needs slow_query_path (the NDJSON log destination)");
   }
   return engine.Validate();
 }
@@ -96,6 +123,9 @@ Server::Server(SampleBank bank, ServerOptions options)
       metric_ingest_lines_(&obs::GetCounter("serve.server.ingest_lines_total")),
       metric_rebuilds_triggered_(
           &obs::GetCounter("serve.server.rebuilds_triggered_total")),
+      metric_admin_requests_(
+          &obs::GetCounter("serve.server.admin_requests_total")),
+      metric_slow_queries_(&obs::GetCounter("serve.slow_queries_total")),
       metric_qps_(&obs::GetGauge("serve.server.queries_per_s")),
       metric_batch_lines_(&obs::GetHistogram(
           "serve.server.batch_lines",
@@ -126,7 +156,7 @@ Status Server::ServeFd(int in_fd, int out_fd) {
     return single.has_value() ? (*single)->AnswerBatch(generation, requests)
                               : (*sharded)->AnswerBatch(generation, requests);
   };
-  LineReader reader(in_fd);
+  LineReader reader(in_fd, options_.interrupt);
   std::string line;
   std::vector<std::string> lines;
   while (reader.NextLine(line)) {
@@ -151,6 +181,14 @@ Status Server::ServeFd(int in_fd, int out_fd) {
       auto json = ParseJson(lines[j]);
       if (!json.ok()) {
         responses[j] = SerializeParseError(json.status());
+        continue;
+      }
+      if (IsAdminRequest(*json)) {
+        metric_admin_requests_->Increment();
+        auto admin = ParseAdminRequest(*json);
+        responses[j] = admin.ok() ? HandleAdmin(*admin)
+                                  : SerializeAdminError(AdminRequest{},
+                                                        admin.status());
         continue;
       }
       if (IsIngestRequest(*json)) {
@@ -183,6 +221,10 @@ Status Server::ServeFd(int in_fd, int out_fd) {
         responses[j] = SerializeParseError(request.status());
         continue;
       }
+      // Queries arriving without an id (the normal case — a --shard-procs
+      // router injects one before forwarding) get theirs minted here, at
+      // the protocol boundary.
+      if (request->query_id == 0) request->query_id = MintQueryId();
       request_line.push_back(j);
       requests.push_back(std::move(*request));
     }
@@ -193,6 +235,7 @@ Status Server::ServeFd(int in_fd, int out_fd) {
       for (std::size_t k = 0; k < requests.size(); ++k) {
         responses[request_line[k]] = SerializeResult(requests[k], results[k]);
       }
+      LogSlowQueries(requests, results);
     }
 
     std::string out;
@@ -215,6 +258,144 @@ Status Server::ServeFd(int in_fd, int out_fd) {
     bank_.GenerationAgeSeconds();  // refreshes the age gauge
   }
   return Status::OK();
+}
+
+std::string Server::HandleAdmin(const AdminRequest& request) {
+  JsonValue::Object response;
+  response["id"] = request.id;
+  response["ok"] = true;
+  switch (request.verb) {
+    case AdminRequest::Verb::kStats: {
+      const obs::MetricsSnapshot snap =
+          obs::MetricsRegistry::Global().Snapshot();
+      auto stats = ParseJson(snap.ToJson());
+      IF_CHECK(stats.ok()) << "metrics snapshot must serialize as JSON";
+      response["stats"] = std::move(*stats);
+      response["prometheus"] = snap.ToPrometheus();
+      break;
+    }
+    case AdminRequest::Verb::kHealth: {
+      JsonValue::Object health;
+      health["role"] = shard_set_ == nullptr ? "server" : "sharded-server";
+      const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
+      health["generation"] = static_cast<double>(generation->id());
+      health["generation_age_s"] = bank_.GenerationAgeSeconds();
+      health["model_epoch"] = static_cast<double>(generation->model_epoch());
+      health["rows"] = static_cast<double>(generation->num_rows());
+      health["num_shards"] = static_cast<double>(options_.num_shards);
+      JsonValue::Object ingest;
+      ingest["enabled"] = ingestor_ != nullptr;
+      if (ingestor_ != nullptr) {
+        ingest["epoch"] =
+            static_cast<double>(ingestor_->CurrentEpoch()->id);
+        ingest["absorbed_total"] =
+            static_cast<double>(ingestor_->absorbed());
+        ingest["rejected_total"] =
+            static_cast<double>(ingestor_->rejected());
+        ingest["queue_depth"] =
+            static_cast<double>(ingestor_->queue_depth());
+      }
+      health["ingest"] = std::move(ingest);
+      response["health"] = std::move(health);
+      break;
+    }
+    case AdminRequest::Verb::kTraceEnable:
+      obs::Tracing::Enable(request.trace_capacity != 0
+                               ? request.trace_capacity
+                               : std::size_t{1} << 14);
+      response["trace"] = "enabled";
+      break;
+    case AdminRequest::Verb::kTraceDisable:
+      obs::Tracing::Disable();
+      response["trace"] = "disabled";
+      break;
+    case AdminRequest::Verb::kTraceExport: {
+      auto exported = ParseJson(obs::Tracing::ExportChromeJson());
+      IF_CHECK(exported.ok()) << "trace export must serialize as JSON";
+      response["trace"] = std::move(*exported);
+      break;
+    }
+  }
+  return JsonValue(std::move(response)).Dump();
+}
+
+void Server::LogSlowQueries(const std::vector<QueryRequest>& requests,
+                            const std::vector<QueryResult>& results) {
+  if (options_.slow_query_ms <= 0.0) return;
+  Background& bg = *background_;
+  for (std::size_t k = 0; k < requests.size(); ++k) {
+    const QueryResult& result = results[k];
+    const bool deadline =
+        result.status.code() == StatusCode::kDeadlineExceeded;
+    if (result.latency_ms < options_.slow_query_ms && !deadline) continue;
+    metric_slow_queries_->Increment();
+    JsonValue::Object record;
+    record["ts_ms"] = static_cast<double>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    record["query_id"] = static_cast<double>(requests[k].query_id);
+    record["id"] = requests[k].id;
+    record["kind"] = QueryKindName(requests[k].kind);
+    record["ok"] = result.status.ok();
+    if (!result.status.ok()) {
+      record["error_code"] = StatusCodeName(result.status.code());
+    }
+    record["latency_ms"] = result.latency_ms;
+    record["generation"] = static_cast<double>(result.generation);
+    record["model_epoch"] = static_cast<double>(result.model_epoch);
+    record["total_rows"] = static_cast<double>(result.total_rows);
+    record["effective_rows"] = static_cast<double>(result.effective_rows);
+    record["exchange_rounds"] = static_cast<double>(result.exchange_rounds);
+    record["cut_frontier_words"] =
+        static_cast<double>(result.cut_frontier_words);
+    JsonValue::Array shard_ms;
+    for (const double ms : result.shard_replay_ms) shard_ms.push_back(ms);
+    record["shard_replay_ms"] = std::move(shard_ms);
+    double rhat_max = 0.0;
+    for (const SinkEstimate& est : result.estimates) {
+      rhat_max = std::max(rhat_max, est.diagnostics.rhat);
+    }
+    record["rhat_max"] = rhat_max;
+    const std::string line = JsonValue(std::move(record)).Dump();
+    std::lock_guard<std::mutex> lock(bg.slow_mutex);
+    if (!bg.slow_out.is_open() && !bg.slow_open_failed) {
+      bg.slow_out.open(options_.slow_query_path, std::ios::app);
+      // A bad path must not take the serve loop down; note it once.
+      bg.slow_open_failed = !bg.slow_out.is_open();
+    }
+    if (bg.slow_out.is_open()) {
+      bg.slow_out << line << '\n';
+      bg.slow_out.flush();
+    }
+  }
+}
+
+void Server::WriteStatsSnapshot() {
+  const std::string tmp = options_.stats_path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out.is_open()) return;
+    out << obs::MetricsRegistry::Global().Snapshot().ToJson() << '\n';
+  }
+  std::rename(tmp.c_str(), options_.stats_path.c_str());
+}
+
+void Server::StatsLoop() {
+  Background& bg = *background_;
+  const auto interval =
+      std::chrono::duration<double, std::milli>(options_.stats_interval_ms);
+  auto next = std::chrono::steady_clock::now() + interval;
+  while (!bg.stopping.load()) {
+    if (std::chrono::steady_clock::now() < next) {
+      // Sleep in short slices so Stop() is prompt.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      continue;
+    }
+    WriteStatsSnapshot();
+    next = std::chrono::steady_clock::now() + interval;
+  }
+  // Stop() writes the final snapshot after joining us.
 }
 
 void Server::AttachIngestor(
@@ -300,6 +481,9 @@ Status Server::Start() {
   if (ingestor_ != nullptr) {
     bg.rebuild_thread = std::thread([this] { RebuildLoop(); });
   }
+  if (options_.stats_interval_ms > 0.0) {
+    bg.stats_thread = std::thread([this] { StatsLoop(); });
+  }
   return Status::OK();
 }
 
@@ -355,6 +539,11 @@ void Server::Stop() {
   }
   if (bg.accept_thread.joinable()) bg.accept_thread.join();
   if (bg.refresh_thread.joinable()) bg.refresh_thread.join();
+  if (bg.stats_thread.joinable()) bg.stats_thread.join();
+  // Final snapshot so the artifact reflects every line served, even on a
+  // daemon that never ran the periodic writer (stats_path without
+  // --stats-every).
+  if (!options_.stats_path.empty()) WriteStatsSnapshot();
   std::vector<std::thread> connections;
   {
     std::lock_guard<std::mutex> lock(bg.connections_mutex);

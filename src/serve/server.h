@@ -17,9 +17,11 @@
 
 #pragma once
 
+#include <csignal>
 #include <cstddef>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "serve/query_engine.h"
@@ -29,6 +31,8 @@
 #include "util/status.h"
 
 namespace infoflow::serve {
+
+struct AdminRequest;  // protocol.h
 
 /// \brief Daemon tuning.
 struct ServerOptions {
@@ -52,6 +56,22 @@ struct ServerOptions {
   std::uint64_t partition_seed = 7;
   /// Per-connection query-engine tuning.
   QueryEngineOptions engine;
+  /// Period of the background metrics-snapshot writer (the CLI's
+  /// `--stats-every`); 0 → no periodic writer. Requires stats_path.
+  double stats_interval_ms = 0.0;
+  /// File the periodic writer (and Stop()) writes the metrics snapshot
+  /// JSON to, atomically via rename.
+  std::string stats_path;
+  /// Queries whose batch latency reaches this many milliseconds (or that
+  /// die on a deadline) are appended to the slow-query log; 0 → off.
+  /// Requires slow_query_path. Schema documented in README.
+  double slow_query_ms = 0.0;
+  /// NDJSON file the slow-query log appends to (opened lazily).
+  std::string slow_query_path;
+  /// When set, serve loops treat `*interrupt != 0` as EOF on their input:
+  /// the CLI points this at its SIGTERM/SIGINT flag so a signalled daemon
+  /// unwinds cleanly and still writes its metrics artifacts.
+  const volatile std::sig_atomic_t* interrupt = nullptr;
 
   /// Validates the option values.
   Status Validate() const;
@@ -120,6 +140,19 @@ class Server {
   void AcceptLoop();
   void RefreshLoop();
   void RebuildLoop();
+  void StatsLoop();
+
+  /// Writes the current metrics snapshot to options_.stats_path (tmp +
+  /// rename, so scrapers never read a torn file).
+  void WriteStatsSnapshot();
+
+  /// Answers one parsed admin verb ({"stats"} / {"health"} / {"trace"}).
+  std::string HandleAdmin(const AdminRequest& request);
+
+  /// Appends one NDJSON record per slow (or deadline-dead) result to the
+  /// slow-query log; no-op unless options_.slow_query_ms > 0.
+  void LogSlowQueries(const std::vector<QueryRequest>& requests,
+                      const std::vector<QueryResult>& results);
 
   /// Epoch-callback target: queues `epoch` for the rebuild worker.
   void RequestRebuild(std::shared_ptr<const stream::ModelEpoch> epoch);
@@ -141,6 +174,8 @@ class Server {
   obs::Counter* metric_connections_;
   obs::Counter* metric_ingest_lines_;
   obs::Counter* metric_rebuilds_triggered_;
+  obs::Counter* metric_admin_requests_;
+  obs::Counter* metric_slow_queries_;
   obs::Gauge* metric_qps_;
   obs::Histogram* metric_batch_lines_;
 };

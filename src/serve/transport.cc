@@ -19,6 +19,24 @@ bool LineReader::NextLine(std::string& line) {
       buffer_.clear();
       return true;
     }
+    if (interrupt_ != nullptr) {
+      // Poll in short slices so a raised flag reads as EOF instead of
+      // leaving the loop parked in read(2) past the signal.
+      while (!Readable()) {
+        if (Interrupted()) {
+          eof_ = true;
+          break;
+        }
+        pollfd pfd{fd_, POLLIN, 0};
+        const int ready = poll(&pfd, 1, 100);
+        if (ready > 0) break;
+        if (ready < 0 && errno != EINTR) {
+          eof_ = true;
+          break;
+        }
+      }
+      if (eof_) continue;
+    }
     FillOnce();
   }
 }

@@ -12,6 +12,7 @@
 
 #pragma once
 
+#include <csignal>
 #include <string>
 
 namespace infoflow::serve {
@@ -19,7 +20,13 @@ namespace infoflow::serve {
 /// \brief Buffered line reader over a POSIX fd.
 class LineReader {
  public:
-  explicit LineReader(int fd) : fd_(fd) {}
+  /// When `interrupt` is non-null, blocking reads poll in short slices and
+  /// treat `*interrupt != 0` as EOF — the serve daemon points this at its
+  /// SIGTERM/SIGINT flag so a signal unwinds the loop instead of leaving it
+  /// parked in read(2).
+  explicit LineReader(int fd,
+                      const volatile std::sig_atomic_t* interrupt = nullptr)
+      : fd_(fd), interrupt_(interrupt) {}
 
   /// Blocking: pops the next line (without '\n'); false at EOF. A final
   /// unterminated line is still delivered.
@@ -43,7 +50,11 @@ class LineReader {
   /// One read(2) into the buffer; flips eof_ at end-of-stream or error.
   void FillOnce();
 
+  /// True when the interrupt flag (if any) has been raised.
+  bool Interrupted() const { return interrupt_ != nullptr && *interrupt_ != 0; }
+
   int fd_;
+  const volatile std::sig_atomic_t* interrupt_ = nullptr;
   std::string buffer_;
   bool eof_ = false;
 };

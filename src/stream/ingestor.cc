@@ -129,8 +129,12 @@ Status StreamIngestor::StartFeed(const std::string& path) {
     return Status::NotFound("cannot open feed '", path,
                             "': ", std::strerror(errno));
   }
-  queue_ = std::make_shared<EvidenceQueue>(options_.queue_capacity,
-                                           options_.queue_policy);
+  {
+    // queue_ is also snapshotted by queue_depth() from serve threads.
+    std::lock_guard<std::mutex> lock(trainer_mutex_);
+    queue_ = std::make_shared<EvidenceQueue>(options_.queue_capacity,
+                                             options_.queue_policy);
+  }
   feed_ = std::make_unique<EvidenceStream>(fd, options_.format, graph_,
                                            queue_);
   consumer_ = std::thread([this] { ConsumeLoop(); });
@@ -159,7 +163,10 @@ void StreamIngestor::StopFeed() {
   feed_->Stop();  // closes the queue; the consumer drains and exits
   if (consumer_.joinable()) consumer_.join();
   feed_.reset();
-  queue_.reset();
+  {
+    std::lock_guard<std::mutex> lock(trainer_mutex_);
+    queue_.reset();
+  }
 }
 
 std::shared_ptr<const ModelEpoch> StreamIngestor::CurrentEpoch() const {
@@ -180,6 +187,15 @@ std::uint64_t StreamIngestor::absorbed() const {
 std::uint64_t StreamIngestor::rejected() const {
   std::lock_guard<std::mutex> lock(trainer_mutex_);
   return rejected_;
+}
+
+std::size_t StreamIngestor::queue_depth() const {
+  std::shared_ptr<EvidenceQueue> queue;
+  {
+    std::lock_guard<std::mutex> lock(trainer_mutex_);
+    queue = queue_;
+  }
+  return queue == nullptr ? 0 : queue->Depth();
 }
 
 }  // namespace infoflow::stream

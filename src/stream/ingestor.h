@@ -119,6 +119,10 @@ class StreamIngestor {
   /// Records rejected (parse or validation) over the lifetime.
   std::uint64_t rejected() const;
 
+  /// Feed-queue depth snapshot (racy by design, like EvidenceQueue::Depth);
+  /// 0 when no feed is attached. The serve `health` verb reports this.
+  std::size_t queue_depth() const;
+
   const IngestorOptions& options() const { return options_; }
 
  private:

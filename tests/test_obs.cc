@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <cstdlib>
@@ -401,6 +402,193 @@ TEST(Tracing, RingOverwritesOldestAndCountsDrops) {
   EXPECT_EQ(kept, 4u);
   Tracing::Clear();
   EXPECT_EQ(Tracing::DroppedEvents(), 0u);
+}
+
+TEST(Tracing, RingOverwritesBumpTheDroppedSpansCounter) {
+  Tracing::Clear();
+  // The registry is process-global: assert the delta, not the absolute.
+  const std::uint64_t before = GetCounter("trace.dropped_spans_total").Value();
+  Tracing::Enable(/*events_per_thread=*/2);
+  for (int i = 0; i < 7; ++i) {
+    TraceSpan span("test/drop_counter");
+  }
+  Tracing::Disable();
+  const std::uint64_t after = GetCounter("trace.dropped_spans_total").Value();
+  EXPECT_EQ(after - before, 5u);  // 7 spans into a 2-slot ring
+  Tracing::Clear();
+}
+
+TEST(Tracing, SpansExportTheirQueryIdAsArgs) {
+  Tracing::Clear();
+  Tracing::Enable();
+  {
+    TraceSpan tagged("test/with_query_id", /*query_id=*/42);
+    TraceSpan untagged("test/without_query_id");
+  }
+  Tracing::Disable();
+  MiniJson::Value root;
+  ASSERT_TRUE(MiniJson::Parse(Tracing::ExportChromeJson(), &root));
+  bool saw_tagged = false, saw_untagged = false;
+  for (const MiniJson::Value& event : root.object.at("traceEvents").array) {
+    const std::string& name = event.object.at("name").string;
+    if (name == "test/with_query_id") {
+      saw_tagged = true;
+      ASSERT_TRUE(event.object.contains("args"));
+      EXPECT_EQ(event.object.at("args").object.at("query_id").number, 42.0);
+    }
+    if (name == "test/without_query_id") {
+      saw_untagged = true;
+      // query_id 0 means "unstamped" and must not clutter the export.
+      EXPECT_FALSE(event.object.contains("args"));
+    }
+  }
+  EXPECT_TRUE(saw_tagged);
+  EXPECT_TRUE(saw_untagged);
+  Tracing::Clear();
+}
+
+TEST(Tracing, ImportedSpansKeepTheirPidTidAndQueryId) {
+  Tracing::Clear();
+  Tracing::Enable();
+  Tracing::ImportSpan("replica/span", /*pid=*/3, /*tid=*/17, /*ts_us=*/5.0,
+                      /*dur_us=*/2.5, /*query_id=*/9);
+  Tracing::Disable();
+  MiniJson::Value root;
+  ASSERT_TRUE(MiniJson::Parse(Tracing::ExportChromeJson(), &root));
+  bool found = false;
+  for (const MiniJson::Value& event : root.object.at("traceEvents").array) {
+    if (event.object.at("name").string != "replica/span") continue;
+    found = true;
+    EXPECT_EQ(event.object.at("pid").number, 3.0);
+    EXPECT_EQ(event.object.at("tid").number, 17.0);
+    EXPECT_EQ(event.object.at("ts").number, 5.0);
+    EXPECT_EQ(event.object.at("dur").number, 2.5);
+    EXPECT_EQ(event.object.at("args").object.at("query_id").number, 9.0);
+  }
+  EXPECT_TRUE(found);
+  Tracing::Clear();
+  // Clear drops imported events along with the ring buffers.
+  EXPECT_EQ(Tracing::ExportChromeJson().find("replica/span"),
+            std::string::npos);
+}
+
+// ----------------------------------------------------- quantiles and merging
+
+TEST(HistogramSnapshot, QuantileInterpolatesWithinBuckets) {
+  HistogramSnapshot snap;
+  snap.bounds = {10.0, 20.0};
+  snap.counts = {10, 10, 0};
+  snap.total = 20;
+  // Ranks 1..10 live in [0, 10], ranks 11..20 in (10, 20]: the median sits
+  // exactly at the first bound and p75 halfway up the second bucket.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.75), 15.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(1.0), 20.0);
+  // The first bucket interpolates from 0.
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.25), 5.0);
+}
+
+TEST(HistogramSnapshot, QuantileEdgeCases) {
+  HistogramSnapshot empty;
+  EXPECT_EQ(empty.Quantile(0.5), 0.0);
+  HistogramSnapshot overflow;
+  overflow.bounds = {1.0};
+  overflow.counts = {0, 5};  // everything above the last bound
+  overflow.total = 5;
+  // Overflow mass has no upper edge; the last finite bound is the best
+  // (conservative) answer.
+  EXPECT_DOUBLE_EQ(overflow.Quantile(0.99), 1.0);
+  // Out-of-range q clamps instead of misbehaving.
+  EXPECT_DOUBLE_EQ(overflow.Quantile(-1.0), overflow.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(overflow.Quantile(2.0), overflow.Quantile(1.0));
+}
+
+TEST(HistogramSnapshot, MergeAddsCountsAndIgnoresMismatchedBounds) {
+  HistogramSnapshot a;
+  a.bounds = {1.0, 2.0};
+  a.counts = {1, 2, 3};
+  a.total = 6;
+  a.sum = 9.0;
+  HistogramSnapshot b = a;
+  b.counts = {4, 0, 1};
+  b.total = 5;
+  b.sum = 4.0;
+  a.Merge(b);
+  EXPECT_EQ(a.counts, (std::vector<std::uint64_t>{5, 2, 4}));
+  EXPECT_EQ(a.total, 11u);
+  EXPECT_DOUBLE_EQ(a.sum, 13.0);
+  // Mismatched bounds cannot be combined meaningfully; Merge leaves the
+  // receiver untouched.
+  HistogramSnapshot other;
+  other.bounds = {7.0};
+  other.counts = {1, 1};
+  other.total = 2;
+  a.Merge(other);
+  EXPECT_EQ(a.total, 11u);
+  // Merging into an empty snapshot adopts the other wholesale.
+  HistogramSnapshot fresh;
+  fresh.Merge(a);
+  EXPECT_EQ(fresh.total, 11u);
+  EXPECT_EQ(fresh.bounds, a.bounds);
+}
+
+TEST(LogBuckets, CoversTheRangeGeometrically) {
+  const std::vector<double> edges = LogBuckets(0.1, 1000.0, 1);
+  // One edge per decade from 0.1 until the range is covered.
+  ASSERT_GE(edges.size(), 5u);
+  EXPECT_DOUBLE_EQ(edges[0], 0.1);
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_NEAR(edges[i] / edges[i - 1], 10.0, 1e-9);
+  }
+  EXPECT_GE(edges.back(), 1000.0);
+  // Finer per-decade resolution shrinks the ratio accordingly.
+  const std::vector<double> fine = LogBuckets(1.0, 10.0, 4);
+  ASSERT_GE(fine.size(), 4u);
+  EXPECT_NEAR(fine[1] / fine[0], std::pow(10.0, 0.25), 1e-9);
+}
+
+// -------------------------------------------------------- Prometheus export
+
+TEST(MetricsSnapshot, ToPrometheusEmitsWellFormedExposition) {
+  MetricsSnapshot snap;
+  snap.counters["serve.query.count"] = 7;
+  snap.gauges["serve.query.latency_ms.flow.p99"] = 12.5;
+  HistogramSnapshot hist;
+  hist.bounds = {1.0, 2.0};
+  hist.counts = {3, 1, 2};
+  hist.total = 6;
+  hist.sum = 11.0;
+  snap.histograms["serve.latency"] = hist;
+  const std::string text = snap.ToPrometheus();
+  // Dotted registry names map to the [a-zA-Z0-9_:] charset.
+  EXPECT_NE(text.find("# TYPE serve_query_count counter"), std::string::npos);
+  EXPECT_NE(text.find("serve_query_count 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE serve_query_latency_ms_flow_p99 gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_query_latency_ms_flow_p99 12.5"),
+            std::string::npos);
+  // Histogram buckets are cumulative with a closing +Inf, sum and count.
+  EXPECT_NE(text.find("# TYPE serve_latency histogram"), std::string::npos);
+  EXPECT_NE(text.find("serve_latency_bucket{le=\"1\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("serve_latency_bucket{le=\"2\"} 4"), std::string::npos);
+  EXPECT_NE(text.find("serve_latency_bucket{le=\"+Inf\"} 6"),
+            std::string::npos);
+  EXPECT_NE(text.find("serve_latency_sum 11"), std::string::npos);
+  EXPECT_NE(text.find("serve_latency_count 6"), std::string::npos);
+  // Every line is either a comment or "name[{labels}] value".
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    char* parse_end = nullptr;
+    std::strtod(line.c_str() + space + 1, &parse_end);
+    EXPECT_EQ(*parse_end, '\0') << line;
+  }
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <type_traits>
 
@@ -18,9 +19,11 @@ namespace infoflow::obs {
 namespace {
 
 // The zero-overhead contract, checked at compile time: the stub span holds
-// no state, and MetricsEnabled() is a constant-false that `if constexpr`
-// can prune whole instrumentation blocks with.
+// no state (including via the query_id-tagging constructor), and
+// MetricsEnabled() is a constant-false that `if constexpr` can prune whole
+// instrumentation blocks with.
 static_assert(std::is_empty_v<TraceSpan>);
+static_assert(std::is_constructible_v<TraceSpan, const char*, std::uint64_t>);
 static_assert(!MetricsEnabled());
 
 TEST(ObsDisabled, CountersAreInert) {
@@ -61,9 +64,31 @@ TEST(ObsDisabled, TracingIsInertAndExportsValidEmptyJson) {
   Tracing::Enable();
   EXPECT_FALSE(Tracing::IsEnabled());
   { TraceSpan span("disabled/span"); }
+  { TraceSpan tagged("disabled/tagged", /*query_id=*/42); }
+  Tracing::ImportSpan("disabled/imported", 2, 7, 1.0, 2.0, 9);
+  Tracing::EmitSpan("disabled/emitted", 1, 2, 3);
+  EXPECT_EQ(Tracing::NowNanos(), 0u);
   Tracing::Disable();
   EXPECT_EQ(Tracing::DroppedEvents(), 0u);
   EXPECT_EQ(Tracing::ExportChromeJson(), "{\"traceEvents\":[]}");
+}
+
+TEST(ObsDisabled, QuantileHelpersStayLinkedAndDefined) {
+  // HistogramSnapshot and its math are real in both builds (the stub
+  // registry just never fills one in); p50/p95/p99 derivation must not
+  // vanish under NO_METRICS.
+  HistogramSnapshot snap;
+  EXPECT_EQ(snap.Quantile(0.5), 0.0);
+  snap.bounds = {10.0};
+  snap.counts = {4, 0};
+  snap.total = 4;
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 5.0);
+  HistogramSnapshot other;
+  other.Merge(snap);
+  EXPECT_EQ(other.total, 4u);
+  EXPECT_GE(LogBuckets(0.1, 100.0, 2).size(), 6u);
+  const MetricsSnapshot empty = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(empty.ToPrometheus(), "");
 }
 
 }  // namespace

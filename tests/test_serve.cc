@@ -8,7 +8,11 @@
 
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <string>
 #include <thread>
@@ -794,6 +798,240 @@ TEST(Server, ValidatesOptions) {
   negative.refresh_interval_ms = -1.0;
   EXPECT_FALSE(negative.Validate().ok());
   EXPECT_TRUE(ServerOptions{}.Validate().ok());
+}
+
+TEST(Server, ValidatesObservabilityOptions) {
+  ServerOptions stats_without_path;
+  stats_without_path.stats_interval_ms = 100.0;
+  EXPECT_FALSE(stats_without_path.Validate().ok());
+  stats_without_path.stats_path = "/tmp/stats.json";
+  EXPECT_TRUE(stats_without_path.Validate().ok());
+
+  ServerOptions negative_stats;
+  negative_stats.stats_interval_ms = -1.0;
+  EXPECT_FALSE(negative_stats.Validate().ok());
+
+  ServerOptions slow_without_path;
+  slow_without_path.slow_query_ms = 5.0;
+  EXPECT_FALSE(slow_without_path.Validate().ok());
+  slow_without_path.slow_query_path = "/tmp/slow.ndjson";
+  EXPECT_TRUE(slow_without_path.Validate().ok());
+
+  ServerOptions negative_slow;
+  negative_slow.slow_query_ms = -1.0;
+  EXPECT_FALSE(negative_slow.Validate().ok());
+}
+
+TEST(Server, AdminStatsVerbAnswersInlineWithPrometheusText) {
+  const PointIcm model = SmallRandomModel(47, 10, 24);
+  // One line per batch: the admin verb must observe the query before it.
+  ServerOptions options;
+  options.max_batch = 1;
+  Server server = MakeServer(model, options);
+  const std::string output = RoundTrip(
+      server,
+      "{\"id\":\"q1\",\"source\":0,\"sink\":5}\n"
+      "{\"id\":\"st\",\"stats\":true}\n");
+  const std::vector<std::string> lines = SplitLines(output);
+  ASSERT_EQ(lines.size(), 2u);
+
+  auto stats = ParseJson(lines[1]);
+  ASSERT_TRUE(stats.ok()) << lines[1];
+  EXPECT_EQ(stats->Find("id")->AsString(), "st");
+  EXPECT_TRUE(stats->Find("ok")->AsBool());
+  const JsonValue* snapshot = stats->Find("stats");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_NE(snapshot->Find("counters"), nullptr);
+  EXPECT_NE(snapshot->Find("gauges"), nullptr);
+  EXPECT_NE(snapshot->Find("histograms"), nullptr);
+
+  const JsonValue* prometheus = stats->Find("prometheus");
+  ASSERT_NE(prometheus, nullptr);
+  const std::string exposition = prometheus->AsString();
+  if (obs::MetricsEnabled()) {
+    // The query answered above must already be visible in the scrape,
+    // including the per-kind latency quantile gauges.
+    EXPECT_NE(exposition.find("# TYPE"), std::string::npos);
+    EXPECT_NE(exposition.find("serve_query_latency_ms_flow_p50"),
+              std::string::npos);
+    EXPECT_NE(exposition.find("serve_query_latency_ms_flow_p99"),
+              std::string::npos);
+    // Every non-comment line is `name[{labels}] value` with a finite value.
+    for (const std::string& line : SplitLines(exposition)) {
+      if (line.empty() || line[0] == '#') continue;
+      const std::size_t space = line.rfind(' ');
+      ASSERT_NE(space, std::string::npos) << line;
+      char* end = nullptr;
+      const double value = std::strtod(line.c_str() + space + 1, &end);
+      EXPECT_EQ(*end, '\0') << line;
+      EXPECT_TRUE(std::isfinite(value)) << line;
+    }
+  } else {
+    EXPECT_EQ(exposition, "");
+  }
+}
+
+TEST(Server, AdminHealthVerbReportsBankAndIngestState) {
+  const PointIcm model = SmallRandomModel(48, 10, 24);
+  Server server = MakeServer(model);
+  const std::string output =
+      RoundTrip(server, "{\"id\":\"he\",\"health\":true}\n");
+  auto health_line = ParseJson(SplitLines(output).at(0));
+  ASSERT_TRUE(health_line.ok()) << output;
+  EXPECT_EQ(health_line->Find("id")->AsString(), "he");
+  EXPECT_TRUE(health_line->Find("ok")->AsBool());
+  const JsonValue* health = health_line->Find("health");
+  ASSERT_NE(health, nullptr);
+  EXPECT_EQ(health->Find("role")->AsString(), "server");
+  EXPECT_GE(health->Find("generation")->AsNumber(), 1.0);
+  EXPECT_GE(health->Find("generation_age_s")->AsNumber(), 0.0);
+  EXPECT_GE(health->Find("model_epoch")->AsNumber(), 1.0);
+  EXPECT_GT(health->Find("rows")->AsNumber(), 0.0);
+  EXPECT_EQ(health->Find("num_shards")->AsNumber(), 1.0);
+  const JsonValue* ingest = health->Find("ingest");
+  ASSERT_NE(ingest, nullptr);
+  EXPECT_FALSE(ingest->Find("enabled")->AsBool());
+}
+
+TEST(Server, AdminTraceVerbsArmExportAndDisarm) {
+  const PointIcm model = SmallRandomModel(49, 10, 24);
+  // One line per batch so arm → query → export happen in sequence rather
+  // than being folded into a single greedy batch.
+  ServerOptions options;
+  options.max_batch = 1;
+  Server server = MakeServer(model, options);
+  const std::string output = RoundTrip(
+      server,
+      "{\"id\":\"t1\",\"trace\":{\"enable\":true,\"events_per_thread\":64}}\n"
+      "{\"id\":\"q1\",\"source\":0,\"sink\":5}\n"
+      "{\"id\":\"t2\",\"trace\":{\"export\":true}}\n"
+      "{\"id\":\"t3\",\"trace\":{\"enable\":false}}\n");
+  const std::vector<std::string> lines = SplitLines(output);
+  ASSERT_EQ(lines.size(), 4u);
+
+  auto enabled = ParseJson(lines[0]);
+  ASSERT_TRUE(enabled.ok());
+  EXPECT_EQ(enabled->Find("trace")->AsString(), "enabled");
+
+  auto exported = ParseJson(lines[2]);
+  ASSERT_TRUE(exported.ok());
+  const JsonValue* trace = exported->Find("trace");
+  ASSERT_NE(trace, nullptr);
+  const JsonValue* events = trace->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  if (obs::MetricsEnabled()) {
+    // The query answered between arm and export left spans in the ring,
+    // all tagged with the same server-minted query id.
+    EXPECT_FALSE(events->AsArray().empty());
+    bool saw_query_id = false;
+    for (const JsonValue& event : events->AsArray()) {
+      const JsonValue* args = event.Find("args");
+      if (args != nullptr && args->Find("query_id") != nullptr) {
+        saw_query_id = true;
+        EXPECT_GE(args->Find("query_id")->AsNumber(), 1.0);
+      }
+    }
+    EXPECT_TRUE(saw_query_id);
+  } else {
+    EXPECT_TRUE(events->AsArray().empty());
+  }
+
+  auto disabled = ParseJson(lines[3]);
+  ASSERT_TRUE(disabled.ok());
+  EXPECT_EQ(disabled->Find("trace")->AsString(), "disabled");
+}
+
+TEST(Server, EchoesQueryIdOnlyWhenTheClientSentOne) {
+  const PointIcm model = SmallRandomModel(50, 10, 24);
+  Server server = MakeServer(model);
+  const std::string output = RoundTrip(
+      server,
+      "{\"id\":\"a\",\"source\":0,\"sink\":5,\"query_id\":77}\n"
+      "{\"id\":\"b\",\"source\":0,\"sink\":5}\n");
+  const std::vector<std::string> lines = SplitLines(output);
+  ASSERT_EQ(lines.size(), 2u);
+
+  auto with_id = ParseJson(lines[0]);
+  ASSERT_TRUE(with_id.ok());
+  ASSERT_NE(with_id->Find("query_id"), nullptr);
+  EXPECT_EQ(with_id->Find("query_id")->AsNumber(), 77.0);
+
+  // Server-minted ids are internal (trace + slow log only): echoing them
+  // would make responses depend on process-global mint state and break
+  // byte-identical replays.
+  auto without_id = ParseJson(lines[1]);
+  ASSERT_TRUE(without_id.ok());
+  EXPECT_TRUE(without_id->Find("ok")->AsBool());
+  EXPECT_EQ(without_id->Find("query_id"), nullptr);
+}
+
+TEST(Server, SlowQueryLogAppendsStructuredRecords) {
+  const PointIcm model = SmallRandomModel(51, 10, 24);
+  const std::string log_path =
+      testing::TempDir() + "/infoflow_slow_query_test.ndjson";
+  std::remove(log_path.c_str());
+  ServerOptions options;
+  options.slow_query_ms = 1e-6;  // Every query qualifies as slow.
+  options.slow_query_path = log_path;
+  Server server = MakeServer(model, options);
+  const std::string output = RoundTrip(
+      server,
+      "{\"id\":\"a\",\"source\":0,\"sink\":5,\"query_id\":123}\n"
+      "{\"id\":\"b\",\"sources\":[0,1],\"sinks\":[5,7]}\n");
+  ASSERT_EQ(SplitLines(output).size(), 2u);
+
+  std::ifstream log(log_path);
+  ASSERT_TRUE(log.good()) << log_path;
+  std::vector<std::string> records;
+  std::string line;
+  while (std::getline(log, line)) records.push_back(line);
+  ASSERT_EQ(records.size(), 2u);
+
+  auto first = ParseJson(records[0]);
+  ASSERT_TRUE(first.ok()) << records[0];
+  EXPECT_EQ(first->Find("id")->AsString(), "a");
+  EXPECT_EQ(first->Find("query_id")->AsNumber(), 123.0);
+  EXPECT_EQ(first->Find("kind")->AsString(), "flow");
+  EXPECT_TRUE(first->Find("ok")->AsBool());
+  EXPECT_GE(first->Find("latency_ms")->AsNumber(), 0.0);
+  EXPECT_GE(first->Find("ts_ms")->AsNumber(), 1.0);
+  EXPECT_GE(first->Find("generation")->AsNumber(), 1.0);
+  EXPECT_GE(first->Find("model_epoch")->AsNumber(), 1.0);
+  EXPECT_GT(first->Find("total_rows")->AsNumber(), 0.0);
+  EXPECT_GT(first->Find("effective_rows")->AsNumber(), 0.0);
+  ASSERT_NE(first->Find("rhat_max"), nullptr);
+
+  // The second request arrived without a query_id: the mint stamps one,
+  // and the slow log records it even though the response does not.
+  auto second = ParseJson(records[1]);
+  ASSERT_TRUE(second.ok()) << records[1];
+  EXPECT_EQ(second->Find("id")->AsString(), "b");
+  EXPECT_GE(second->Find("query_id")->AsNumber(), 1.0);
+
+  std::remove(log_path.c_str());
+}
+
+TEST(Server, StopWritesTheStatsSnapshot) {
+  const PointIcm model = SmallRandomModel(52, 10, 24);
+  const std::string stats_path =
+      testing::TempDir() + "/infoflow_stats_test.json";
+  std::remove(stats_path.c_str());
+  ServerOptions options;
+  options.stats_path = stats_path;
+  Server server = MakeServer(model, options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Stop();
+
+  std::ifstream stats_file(stats_path);
+  ASSERT_TRUE(stats_file.good()) << stats_path;
+  std::string contents((std::istreambuf_iterator<char>(stats_file)),
+                       std::istreambuf_iterator<char>());
+  auto snapshot = ParseJson(contents);
+  ASSERT_TRUE(snapshot.ok()) << contents;
+  EXPECT_NE(snapshot->Find("counters"), nullptr);
+  EXPECT_NE(snapshot->Find("gauges"), nullptr);
+  EXPECT_NE(snapshot->Find("histograms"), nullptr);
+  std::remove(stats_path.c_str());
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -17,6 +18,7 @@
 #include <sys/socket.h>
 
 #include "graph/generators.h"
+#include "obs/metrics.h"
 #include "serve/partition.h"
 #include "serve/query_engine.h"
 #include "serve/router.h"
@@ -625,6 +627,10 @@ TEST(ShardRouter, DeadChildYieldsDescriptiveErrorsNotAHang) {
     (void)!read(fd, buffer, sizeof(buffer));
     close(fd);
   });
+  const std::uint64_t failures_before =
+      obs::GetCounter("router.child_failures_total").Value();
+  const std::uint64_t replica1_before =
+      obs::GetCounter("router.child_failures_total.replica1").Value();
   {
     ProcessRouter router({live.router_fd, sv[0]}, {});
     const std::vector<std::string> lines = {
@@ -644,13 +650,26 @@ TEST(ShardRouter, DeadChildYieldsDescriptiveErrorsNotAHang) {
         ++failed;
         const std::string message =
             parsed->Find("error")->Find("message")->AsString();
-        EXPECT_NE(message.find("shard child"), std::string::npos) << message;
+        // The error names the replica that died, not just "a child".
+        EXPECT_NE(message.find("shard child 1"), std::string::npos)
+            << message;
         EXPECT_NE(message.find("died mid-batch"), std::string::npos)
             << message;
       }
     }
     EXPECT_EQ(failed, 2u);  // the dead child's round-robin share
     EXPECT_EQ(router.num_live_children(), 1u);
+    if (obs::MetricsEnabled()) {
+      // Counter deltas (the registry is process-global): one death, one
+      // bump on the aggregate and on the per-replica series.
+      EXPECT_EQ(obs::GetCounter("router.child_failures_total").Value() -
+                    failures_before,
+                1u);
+      EXPECT_EQ(
+          obs::GetCounter("router.child_failures_total.replica1").Value() -
+              replica1_before,
+          1u);
+    }
     // Later batches exclude the dead child and keep answering.
     const std::vector<std::string> retry =
         router.RouteBatch({"{\"id\":\"q4\",\"source\":0,\"sink\":5}"});
@@ -705,6 +724,88 @@ TEST(ShardRouter, DeadlineBindsOnAStalledChild) {
   }
   EXPECT_LT(timer.Millis(), 5000.0);
   stalled.join();
+}
+
+TEST(ShardRouter, HealthVerbKeepsDeadReplicasVisible) {
+  const PointIcm model = SmallRandomModel(41, 10, 24);
+  ChildHarness live = ChildHarness::Spawn(model);
+  // Replica 1 dies on first contact, as in the dead-child test above.
+  int sv[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  std::thread dying([fd = sv[1]] {
+    char buffer[256];
+    (void)!read(fd, buffer, sizeof(buffer));
+    close(fd);
+  });
+  {
+    ProcessRouter router({live.router_fd, sv[0]}, {});
+    (void)router.RouteBatch({"{\"id\":\"q0\",\"source\":0,\"sink\":5}",
+                             "{\"id\":\"q1\",\"source\":1,\"sink\":6}"});
+    ASSERT_EQ(router.num_live_children(), 1u);
+
+    const std::vector<std::string> responses =
+        router.RouteBatch({"{\"id\":\"h\",\"health\":true}"});
+    ASSERT_EQ(responses.size(), 1u);
+    auto parsed = ParseJson(responses[0]);
+    ASSERT_TRUE(parsed.ok()) << responses[0];
+    EXPECT_EQ(parsed->Find("id")->AsString(), "h");
+    EXPECT_TRUE(parsed->Find("ok")->AsBool());
+    const JsonValue* health = parsed->Find("health");
+    ASSERT_NE(health, nullptr);
+    EXPECT_EQ(health->Find("role")->AsString(), "router");
+    EXPECT_EQ(health->Find("num_replicas")->AsNumber(), 2.0);
+    EXPECT_EQ(health->Find("num_live_replicas")->AsNumber(), 1.0);
+
+    // The dead replica stays listed with alive:false — exclusion must be
+    // visible to a scraper, not silently elided from the roster.
+    const JsonValue::Array& replicas = health->Find("replicas")->AsArray();
+    ASSERT_EQ(replicas.size(), 2u);
+    EXPECT_TRUE(replicas[0].Find("alive")->AsBool());
+    EXPECT_EQ(replicas[1].Find("replica")->AsNumber(), 1.0);
+    EXPECT_FALSE(replicas[1].Find("alive")->AsBool());
+
+    // Per-replica health: the live child answers as a server, the dead
+    // slot is null.
+    const JsonValue::Array& details =
+        health->Find("replica_health")->AsArray();
+    ASSERT_EQ(details.size(), 2u);
+    ASSERT_FALSE(details[0].is_null());
+    EXPECT_EQ(details[0].Find("health")->Find("role")->AsString(), "server");
+    EXPECT_TRUE(details[1].is_null());
+  }
+  live.Join();
+  dying.join();
+}
+
+TEST(ShardRouter, InjectsQueryIdsThatReplicasEchoBack) {
+  const PointIcm model = SmallRandomModel(41, 10, 24);
+  ChildHarness child = ChildHarness::Spawn(model);
+  {
+    ProcessRouter router({child.router_fd}, {});
+    const std::vector<std::string> responses = router.RouteBatch({
+        "{\"id\":\"q0\",\"source\":0,\"sink\":5}",
+        "{\"id\":\"q1\",\"source\":1,\"sink\":6}",
+        "{\"id\":\"q2\",\"source\":2,\"sink\":7,\"query_id\":500}",
+    });
+    ASSERT_EQ(responses.size(), 3u);
+    // Lines arriving without a query_id get one minted and injected by the
+    // router; since the id is then on the replica's wire, the replica
+    // echoes it — so the trace tree and the client agree on the id.
+    auto r0 = ParseJson(responses[0]);
+    auto r1 = ParseJson(responses[1]);
+    auto r2 = ParseJson(responses[2]);
+    ASSERT_TRUE(r0.ok() && r1.ok() && r2.ok());
+    ASSERT_NE(r0->Find("query_id"), nullptr);
+    ASSERT_NE(r1->Find("query_id"), nullptr);
+    EXPECT_GE(r0->Find("query_id")->AsNumber(), 1.0);
+    EXPECT_GE(r1->Find("query_id")->AsNumber(), 1.0);
+    EXPECT_NE(r0->Find("query_id")->AsNumber(),
+              r1->Find("query_id")->AsNumber());
+    // A client-supplied id passes through untouched.
+    ASSERT_NE(r2->Find("query_id"), nullptr);
+    EXPECT_EQ(r2->Find("query_id")->AsNumber(), 500.0);
+  }
+  child.Join();
 }
 
 }  // namespace

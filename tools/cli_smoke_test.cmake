@@ -56,3 +56,31 @@ file(READ ${WORK_DIR}/metrics.csv metrics_csv)
 if(NOT metrics_csv MATCHES "kind,name,field,value")
   message(FATAL_ERROR "metrics.csv is missing its header")
 endif()
+
+# Regression: a SIGTERM'd serve daemon must still flush --metrics-json
+# (the signal handlers read as EOF in the serve loop, so the daemon
+# unwinds cleanly instead of dying with its artifacts unwritten).
+if(UNIX)
+  file(REMOVE ${WORK_DIR}/serve_metrics.json)
+  execute_process(
+    COMMAND sh -c "sleep 30 | '${CLI}' serve --model '${WORK_DIR}/model.bicm' \
+--bank-states 64 --chains 2 --burn-in 200 --thinning 4 \
+--metrics-json '${WORK_DIR}/serve_metrics.json' & pid=$!; \
+sleep 3; kill -TERM $pid; wait $pid"
+    RESULT_VARIABLE serve_code)
+  if(NOT serve_code EQUAL 0)
+    message(FATAL_ERROR "SIGTERM'd serve exited with ${serve_code}")
+  endif()
+  if(NOT EXISTS ${WORK_DIR}/serve_metrics.json)
+    message(FATAL_ERROR "SIGTERM'd serve did not flush --metrics-json")
+  endif()
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    file(READ ${WORK_DIR}/serve_metrics.json serve_metrics_json)
+    string(JSON n_counters ERROR_VARIABLE json_error
+           LENGTH "${serve_metrics_json}" counters)
+    if(json_error)
+      message(FATAL_ERROR
+              "serve_metrics.json is not valid JSON: ${json_error}")
+    endif()
+  endif()
+endif()

@@ -401,6 +401,24 @@ int CmdQuery(Flags& flags) {
 
 int CmdServe(Flags& flags);  // children re-enter it after the fork
 
+/// Raised by SIGTERM/SIGINT; the serve loops poll it and read it as EOF,
+/// so a signalled daemon unwinds cleanly and still writes --metrics-json /
+/// --trace-json artifacts.
+volatile std::sig_atomic_t g_serve_interrupt = 0;
+
+void HandleServeSignal(int) { g_serve_interrupt = 1; }
+
+/// Installs the handlers WITHOUT SA_RESTART: a read(2) parked on stdin
+/// returns EINTR, the LineReader notices the flag, and the loop exits.
+void InstallServeSignalHandlers() {
+  struct sigaction sa {};
+  sa.sa_handler = HandleServeSignal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  sigaction(SIGTERM, &sa, nullptr);
+  sigaction(SIGINT, &sa, nullptr);
+}
+
 /// Shared-nothing multi-process serving: forks `shard_procs` children
 /// BEFORE any thread exists, each building a full bank replica (same model,
 /// same --seed → bit-identical rows and answers) and serving the NDJSON
@@ -438,7 +456,13 @@ int ServeShardProcs(Flags& flags, std::size_t shard_procs) {
       dup2(sv[1], 0);
       dup2(sv[1], 1);
       if (sv[1] > 1) close(sv[1]);
-      flags.Set("shards", "1");  // a replica is itself unsharded
+      // A replica keeps the parent's --shards flag: each child may itself
+      // run the in-process sharded engine, so router spans, shard replay
+      // spans, and replica spans all join one query_id-keyed trace tree.
+      // Periodic writers are router-side concerns — P replicas rewriting
+      // the same artifact paths would clobber each other.
+      flags.Set("stats-every", "0");
+      flags.Set("slow-query-ms", "0");
       const int code = CmdServe(flags);
       std::fflush(nullptr);
       std::_Exit(code);
@@ -450,10 +474,18 @@ int ServeShardProcs(Flags& flags, std::size_t shard_procs) {
   serve::ProcessRouter::Options router_options;
   router_options.max_batch = flags.GetInt("max-batch", 64);
   router_options.child_timeout_ms = flags.GetDouble("shard-timeout-ms", 0.0);
+  router_options.interrupt = &g_serve_interrupt;
+  InstallServeSignalHandlers();
   Status status;
   {
     serve::ProcessRouter router(std::move(child_fds), router_options);
     status = router.Serve(0, 1);
+    if (status.ok() && !flags.Get("trace-json", "").empty()) {
+      // Pull every replica's spans into the router's trace state before
+      // the children go away; Main's --trace-json write then exports the
+      // merged per-query span tree.
+      (void)router.MergedTraceExport();
+    }
     // Router destruction closes the child fds → each replica's serve loop
     // sees EOF and exits; reap them so no zombies outlive the command.
   }
@@ -474,6 +506,10 @@ int CmdServe(Flags& flags) {
     flags.Set("shard-procs", "0");  // children take the in-process path
     return ServeShardProcs(flags, shard_procs);
   }
+  // Catch SIGTERM/SIGINT from the start: a signal during bank warm-up is
+  // remembered and read as EOF once the serve loop begins, so a signalled
+  // daemon always unwinds cleanly and writes its observability artifacts.
+  InstallServeSignalHandlers();
 
   auto model = LoadAnyModel(*model_path);
   if (!model.ok()) return Fail(model.status());
@@ -502,6 +538,24 @@ int CmdServe(Flags& flags) {
   // instead of 64 rows per pass over the edge-major plane.
   server_options.engine.use_batch_reachability =
       !flags.GetBool("scalar-reachability");
+  // --stats-every refreshes the --metrics-json artifact periodically while
+  // the daemon runs (atomically, via rename), instead of only at exit.
+  server_options.stats_interval_ms = flags.GetDouble("stats-every", 0.0);
+  if (server_options.stats_interval_ms > 0.0) {
+    server_options.stats_path = flags.Get("metrics-json", "");
+    if (server_options.stats_path.empty()) {
+      return Fail(Status::InvalidArgument(
+          "--stats-every needs --metrics-json (the snapshot destination)"));
+    }
+  }
+  server_options.slow_query_ms = flags.GetDouble("slow-query-ms", 0.0);
+  server_options.slow_query_path = flags.Get("slow-query-log", "");
+  if (server_options.slow_query_ms > 0.0 &&
+      server_options.slow_query_path.empty()) {
+    return Fail(Status::InvalidArgument(
+        "--slow-query-ms needs --slow-query-log (the NDJSON destination)"));
+  }
+  server_options.interrupt = &g_serve_interrupt;
 
   // Streaming ingestion: --ingest enables the serve-connection verb,
   // --ingest-from additionally tails a file/FIFO side channel.
@@ -553,7 +607,9 @@ int CmdServe(Flags& flags) {
     std::fprintf(stderr, "serve: tailing evidence feed %s\n",
                  ingest_from.c_str());
   }
-  // Foreground loop: NDJSON batches on stdin/stdout until EOF.
+  // Foreground loop: NDJSON batches on stdin/stdout until EOF (or
+  // SIGTERM/SIGINT, which the reader converts into a clean EOF so the
+  // observability artifacts below still get written).
   status = server->ServeStdio();
   // Order matters: the feed flush may publish a final epoch whose drift
   // queues one last rebuild, which Stop() drains before returning — so the
@@ -652,13 +708,22 @@ int Usage() {
       "                      [--epoch-every N] [--drift-threshold T]\n"
       "                      [--queue-capacity C]\n"
       "                      [--queue-policy park|drop-newest|drop-oldest]\n"
+      "    observability:    [--stats-every T] (rewrite --metrics-json every\n"
+      "                      T ms while serving) [--slow-query-ms T]\n"
+      "                      [--slow-query-log P] (append an NDJSON record\n"
+      "                      per slow or deadline-dead query)\n"
+      "                      admin verbs on the connection: {\"stats\":true}\n"
+      "                      {\"health\":true} {\"trace\":{\"enable\":true|false}}\n"
+      "                      {\"trace\":{\"export\":true}}\n"
       "  impact              --model m --source U [--cascades N]\n"
       "  info                --model m\n"
       "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n"
       "observability (any command, written after a successful run):\n"
       "  --metrics-json P    dump the metrics registry snapshot as JSON\n"
       "  --metrics-csv P     same snapshot as CSV\n"
-      "  --trace-json P      record spans; dump chrome://tracing JSON\n");
+      "  --trace-json P      record spans; dump chrome://tracing JSON\n"
+      "                      (serve --shard-procs merges replica spans into\n"
+      "                      one query_id-keyed tree)\n");
   return 2;
 }
 
