@@ -14,17 +14,29 @@ Status InfluenceMaxOptions::Validate(const DirectedGraph& graph) const {
   if (simulations == 0) {
     return Status::InvalidArgument("simulations must be positive");
   }
-  const std::size_t candidate_count =
-      candidates.empty() ? graph.num_nodes() : candidates.size();
-  if (num_seeds > candidate_count) {
-    return Status::InvalidArgument("cannot pick ", num_seeds, " seeds from ",
-                                   candidate_count, " candidates");
-  }
   for (NodeId c : candidates) {
     if (c >= graph.num_nodes()) {
       return Status::OutOfRange("candidate ", c, " out of range; n=",
                                 graph.num_nodes());
     }
+  }
+  // Count *distinct* candidates: a duplicated entry is one candidate, not
+  // two, and the greedy loop must never ask for more seeds than the
+  // deduplicated pool can supply.
+  std::size_t candidate_count = graph.num_nodes();
+  if (!candidates.empty()) {
+    std::vector<bool> seen(graph.num_nodes(), false);
+    candidate_count = 0;
+    for (NodeId c : candidates) {
+      if (!seen[c]) {
+        seen[c] = true;
+        ++candidate_count;
+      }
+    }
+  }
+  if (num_seeds > candidate_count) {
+    return Status::InvalidArgument("cannot pick ", num_seeds, " seeds from ",
+                                   candidate_count, " distinct candidates");
   }
   return Status::OK();
 }
@@ -46,10 +58,21 @@ Result<InfluenceMaxResult> MaximizeInfluence(
   const DirectedGraph& graph = model.graph();
   IF_RETURN_NOT_OK(options.Validate(graph));
 
-  std::vector<NodeId> candidates = options.candidates;
-  if (candidates.empty()) {
+  // Deduplicate (first occurrence wins): a repeated candidate would pay a
+  // second round-0 evaluation and could even be selected twice — its stale
+  // duplicate entry keeps the solo gain as an upper bound.
+  std::vector<NodeId> candidates;
+  if (options.candidates.empty()) {
     candidates.resize(graph.num_nodes());
     for (NodeId v = 0; v < graph.num_nodes(); ++v) candidates[v] = v;
+  } else {
+    std::vector<bool> seen(graph.num_nodes(), false);
+    for (NodeId c : options.candidates) {
+      if (!seen[c]) {
+        seen[c] = true;
+        candidates.push_back(c);
+      }
+    }
   }
 
   InfluenceMaxResult result;

@@ -1,0 +1,218 @@
+#include "seedmax/rr_index.h"
+
+#include <bit>
+#include <utility>
+
+#include "graph/batch_reachability.h"
+#include "obs/metrics.h"
+#include "util/check.h"
+#include "util/timer.h"
+
+namespace infoflow::seedmax {
+namespace {
+
+struct IndexMetrics {
+  obs::Counter* builds = &obs::GetCounter("seedmax.sketch.builds_total");
+  obs::Counter* postings =
+      &obs::GetCounter("seedmax.sketch.postings_total");
+  obs::Counter* reverse_passes =
+      &obs::GetCounter("seedmax.sketch.reverse_passes_total");
+  obs::Histogram* build_ms = &obs::GetHistogram(
+      "seedmax.sketch.build_ms", obs::LogBuckets(0.05, 10000.0, 3));
+  obs::Gauge* generation = &obs::GetGauge("seedmax.index.generation");
+
+  static IndexMetrics& Get() {
+    static IndexMetrics metrics;
+    return metrics;
+  }
+};
+
+}  // namespace
+
+ReversedGraphView ReversedGraphView::Build(
+    std::shared_ptr<const DirectedGraph> graph) {
+  ReversedGraphView view;
+  view.parent_ = std::move(graph);
+  const DirectedGraph& parent = *view.parent_;
+  GraphBuilder builder(parent.num_nodes());
+  for (const Edge& edge : parent.edges()) {
+    builder.AddEdge(edge.dst, edge.src).CheckOK();
+  }
+  view.reversed_ = std::move(builder).Build();
+  // Both graphs order edge ids by (src, dst) lexicographically, so the
+  // correspondence is a pure permutation recovered by endpoint lookup.
+  view.to_parent_.resize(view.reversed_.num_edges());
+  for (EdgeId re = 0; re < view.reversed_.num_edges(); ++re) {
+    const Edge& edge = view.reversed_.edge(re);
+    const EdgeId pe = parent.FindEdge(edge.dst, edge.src);
+    IF_CHECK(pe != kInvalidEdge) << "transpose lost an edge";
+    view.to_parent_[re] = pe;
+  }
+  return view;
+}
+
+void ReversedGraphView::GatherBlock(const std::uint64_t* parent_words,
+                                    std::uint64_t* reversed_words) const {
+  const std::size_t m = to_parent_.size();
+  for (std::size_t re = 0; re < m; ++re) {
+    reversed_words[re] = parent_words[to_parent_[re]];
+  }
+}
+
+Result<RrSketchSet> RrSketchSet::Build(
+    const ReversedGraphView& view, const serve::BankGeneration& generation,
+    const RrBuildOptions& options) {
+  const DirectedGraph& parent = view.parent();
+  const NodeId n = parent.num_nodes();
+  if (generation.num_edges() != parent.num_edges()) {
+    return Status::InvalidArgument(
+        "bank generation has ", generation.num_edges(),
+        " edges but the graph has ", parent.num_edges());
+  }
+
+  // Resolve the target universe (all nodes unless restricted).
+  std::vector<NodeId> targets = options.targets;
+  if (targets.empty()) {
+    targets.resize(n);
+    for (NodeId v = 0; v < n; ++v) targets[v] = v;
+  } else {
+    std::vector<bool> seen(n, false);
+    for (const NodeId t : targets) {
+      if (t >= n) {
+        return Status::OutOfRange("target node ", t, " not in graph with ",
+                                  n, " nodes");
+      }
+      if (seen[t]) {
+        return Status::InvalidArgument("duplicate target node ", t);
+      }
+      seen[t] = true;
+    }
+  }
+
+  WallTimer timer;
+  const std::size_t num_blocks = generation.num_blocks();
+
+  // Eq. 7–8 lane narrowing: run each constraint on the *forward* graph and
+  // keep only the surviving I(x, C) lanes, exactly as the conditional
+  // query path does — sketches over dead lanes would bias the estimate.
+  std::vector<std::uint64_t> lane(num_blocks);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    lane[b] = generation.BlockLaneMask(b);
+  }
+  std::size_t effective_rows = generation.num_rows();
+  if (!options.given.empty()) {
+    IF_RETURN_NOT_OK(ValidateConditions(parent, options.given));
+    BatchReachabilityWorkspace forward(parent);
+    effective_rows = 0;
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      for (const FlowConstraint& c : options.given) {
+        if (lane[b] == 0) break;
+        const std::uint64_t reached =
+            forward.RunUntil(parent, {c.source}, generation.BlockEdgeWords(b),
+                             c.sink, lane[b]);
+        lane[b] = c.must_flow ? reached : lane[b] & ~reached;
+      }
+      effective_rows += static_cast<std::size_t>(std::popcount(lane[b]));
+    }
+    if (effective_rows < options.min_conditional_rows) {
+      return Status::FailedPrecondition(
+          "conditional seed selection: only ", effective_rows, " of ",
+          generation.num_rows(),
+          " bank rows satisfy the conditions (floor ",
+          options.min_conditional_rows, ")");
+    }
+  }
+
+  RrSketchSet set;
+  set.generation_ = generation.id();
+  set.model_epoch_ = generation.model_epoch();
+  set.universe_ = targets.size();
+  set.num_groups_ = targets.size() * num_blocks;
+  set.total_rows_ = generation.num_rows();
+  set.effective_rows_ = effective_rows;
+  set.conditioned_ = !options.given.empty();
+  set.num_sketches_ =
+      static_cast<std::uint64_t>(effective_rows) * targets.size();
+
+  // Reverse passes: gather the block's plane into transposed edge order
+  // once, then one Begin/Seed/Propagate pass per target answers "who
+  // reaches t" for all 64 rows of the block simultaneously.
+  IndexMetrics& metrics = IndexMetrics::Get();
+  const DirectedGraph& reversed = view.reversed();
+  BatchReachabilityWorkspace workspace(reversed);
+  std::vector<std::uint64_t> reversed_words(parent.num_edges());
+  struct NodePosting {
+    NodeId node;
+    RrPosting posting;
+  };
+  std::vector<NodePosting> raw;
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    if (lane[b] == 0) continue;  // no surviving rows in this block
+    view.GatherBlock(generation.BlockEdgeWords(b), reversed_words.data());
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      workspace.Begin(reversed);
+      workspace.Seed(targets[ti], lane[b]);
+      workspace.Propagate(reversed_words.data());
+      metrics.reverse_passes->Increment();
+      const auto group =
+          static_cast<std::uint32_t>(ti * num_blocks + b);
+      for (const NodeId u : workspace.TouchedNodes()) {
+        raw.push_back({u, {group, workspace.ReachedMask(u)}});
+      }
+    }
+  }
+
+  // Counting sort the (node, group, lanes) triples into a CSR keyed by
+  // node — the layout the selector's gain loop walks sequentially.
+  set.offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const NodePosting& np : raw) ++set.offsets_[np.node + 1];
+  for (std::size_t v = 1; v <= n; ++v) set.offsets_[v] += set.offsets_[v - 1];
+  set.postings_.resize(raw.size());
+  std::vector<std::size_t> cursor(set.offsets_.begin(),
+                                  set.offsets_.end() - 1);
+  for (const NodePosting& np : raw) {
+    set.postings_[cursor[np.node]++] = np.posting;
+  }
+
+  metrics.builds->Increment();
+  metrics.postings->Increment(raw.size());
+  metrics.build_ms->Record(timer.Millis());
+  metrics.generation->Set(static_cast<double>(generation.id()));
+  return set;
+}
+
+RrIndex::RrIndex(std::shared_ptr<const DirectedGraph> graph)
+    : view_(ReversedGraphView::Build(std::move(graph))) {}
+
+Result<std::shared_ptr<const RrSketchSet>> RrIndex::Acquire(
+    const serve::BankGeneration& generation) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (current_ != nullptr && current_->generation() == generation.id()) {
+      return current_;
+    }
+  }
+  // Build outside the lock: inversion is the expensive step and concurrent
+  // readers of the previous set must not stall behind it.
+  auto built = RrSketchSet::Build(view_, generation);
+  IF_RETURN_NOT_OK(built.status());
+  auto set = std::make_shared<const RrSketchSet>(std::move(*built));
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A racing builder may have published the same (or a newer) generation;
+  // keep the newest — generations only move forward.
+  if (current_ == nullptr || current_->generation() <= set->generation()) {
+    current_ = set;
+  }
+  ever_built_ = true;
+  return current_->generation() == generation.id() ? current_ : set;
+}
+
+void RrIndex::Prime(const serve::BankGeneration& generation) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!ever_built_) return;
+  }
+  (void)Acquire(generation);
+}
+
+}  // namespace infoflow::seedmax

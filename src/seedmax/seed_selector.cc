@@ -1,0 +1,169 @@
+#include "seedmax/seed_selector.h"
+
+#include <bit>
+#include <cmath>
+#include <queue>
+
+#include "obs/metrics.h"
+
+namespace infoflow::seedmax {
+namespace {
+
+struct SelectMetrics {
+  obs::Counter* selections =
+      &obs::GetCounter("seedmax.select.selections_total");
+  obs::Counter* evaluations =
+      &obs::GetCounter("seedmax.select.evaluations_total");
+  obs::Counter* prune_hits =
+      &obs::GetCounter("seedmax.select.prune_hits_total");
+  obs::Counter* popcount_words =
+      &obs::GetCounter("seedmax.select.popcount_words_total");
+
+  static SelectMetrics& Get() {
+    static SelectMetrics metrics;
+    return metrics;
+  }
+};
+
+/// CELF queue entry: `gain` is exact when computed in round `round`, an
+/// upper bound (submodularity) in any later round.
+struct Entry {
+  std::uint64_t gain;
+  NodeId node;
+  std::size_t round;
+};
+
+struct EntryLess {
+  bool operator()(const Entry& a, const Entry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.node > b.node;  // deterministic: smaller id wins ties
+  }
+};
+
+}  // namespace
+
+Status SeedMaxOptions::Validate(std::size_t num_nodes) const {
+  if (num_seeds == 0) {
+    return Status::InvalidArgument("num_seeds must be positive");
+  }
+  for (const NodeId c : candidates) {
+    if (c >= num_nodes) {
+      return Status::OutOfRange("candidate node ", c,
+                                " not in graph with ", num_nodes, " nodes");
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<NodeId> SeedMaxResult::seeds() const {
+  std::vector<NodeId> out;
+  out.reserve(picks.size());
+  for (const SeedPick& pick : picks) out.push_back(pick.node);
+  return out;
+}
+
+Result<SeedMaxResult> SelectSeeds(const RrSketchSet& sketches,
+                                  const SeedMaxOptions& options) {
+  IF_RETURN_NOT_OK(options.Validate(sketches.num_nodes()));
+
+  // Dedupe the candidate pool (every node when unrestricted).
+  std::vector<NodeId> candidates;
+  if (options.candidates.empty()) {
+    candidates.resize(sketches.num_nodes());
+    for (NodeId v = 0; v < candidates.size(); ++v) candidates[v] = v;
+  } else {
+    std::vector<bool> seen(sketches.num_nodes(), false);
+    for (const NodeId c : options.candidates) {
+      if (!seen[c]) {
+        seen[c] = true;
+        candidates.push_back(c);
+      }
+    }
+  }
+  if (options.num_seeds > candidates.size()) {
+    return Status::InvalidArgument("num_seeds (", options.num_seeds,
+                                   ") exceeds the ", candidates.size(),
+                                   " distinct candidates");
+  }
+
+  SelectMetrics& metrics = SelectMetrics::Get();
+  SeedMaxResult result;
+  result.generation = sketches.generation();
+  result.model_epoch = sketches.model_epoch();
+  result.num_sketches = sketches.num_sketches();
+  result.universe = sketches.universe();
+  result.total_rows = sketches.total_rows();
+  result.effective_rows = sketches.effective_rows();
+
+  std::vector<std::uint64_t> covered(sketches.num_groups(), 0);
+  const auto gain_of = [&](NodeId u) {
+    const auto postings = sketches.Postings(u);
+    std::uint64_t gain = 0;
+    for (const RrPosting& p : postings) {
+      gain += static_cast<std::uint64_t>(
+          std::popcount(p.lanes & ~covered[p.group]));
+    }
+    metrics.popcount_words->Increment(postings.size());
+    ++result.evaluations;
+    return gain;
+  };
+
+  // Round 0 evaluates every candidate once (coverage is empty, so the
+  // posting walk needs no masking — but gain_of keeps one code path).
+  std::priority_queue<Entry, std::vector<Entry>, EntryLess> queue;
+  for (const NodeId u : candidates) {
+    queue.push({gain_of(u), u, 0});
+  }
+
+  const double r_total = static_cast<double>(sketches.num_sketches());
+  const double scale = static_cast<double>(sketches.universe());
+  std::uint64_t covered_total = 0;
+  while (result.picks.size() < options.num_seeds) {
+    Entry top = queue.top();
+    queue.pop();
+    if (top.round != result.picks.size()) {
+      // Stale upper bound: recompute against the current coverage. If the
+      // fresh gain still dominates the best remaining upper bound, the
+      // greedy choice is settled — no other candidate can beat it.
+      top.gain = gain_of(top.node);
+      top.round = result.picks.size();
+      if (!queue.empty() && top.gain < queue.top().gain) {
+        queue.push(top);
+        continue;
+      }
+      if (!queue.empty()) {
+        ++result.prune_hits;
+        metrics.prune_hits->Increment();
+      }
+    }
+    // Apply the pick: fold its lanes into the coverage.
+    std::uint64_t marginal = 0;
+    for (const RrPosting& p : sketches.Postings(top.node)) {
+      marginal += static_cast<std::uint64_t>(
+          std::popcount(p.lanes & ~covered[p.group]));
+      covered[p.group] |= p.lanes;
+    }
+    covered_total += marginal;
+    metrics.selections->Increment();
+
+    SeedPick pick;
+    pick.node = top.node;
+    pick.marginal_coverage = marginal;
+    const double p_hat =
+        r_total > 0 ? static_cast<double>(covered_total) / r_total : 0.0;
+    pick.spread = scale * p_hat;
+    pick.mcse = r_total > 0
+                    ? scale * std::sqrt(p_hat * (1.0 - p_hat) / r_total)
+                    : 0.0;
+    result.picks.push_back(pick);
+  }
+
+  if (!result.picks.empty()) {
+    result.spread = result.picks.back().spread;
+    result.mcse = result.picks.back().mcse;
+  }
+  metrics.evaluations->Increment(result.evaluations);
+  return result;
+}
+
+}  // namespace infoflow::seedmax

@@ -145,6 +145,107 @@ std::string SerializeAdminError(const AdminRequest& request,
   return JsonValue(std::move(response)).Dump();
 }
 
+bool IsTopkRequest(const JsonValue& json) {
+  return json.is_object() && json.Find("topk") != nullptr;
+}
+
+Result<TopkRequest> ParseTopkRequest(const JsonValue& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("request must be a JSON object");
+  }
+  TopkRequest request;
+  if (const JsonValue* id = json.Find("id")) {
+    if (!id->is_string()) {
+      return Status::InvalidArgument("'id' must be a string");
+    }
+    request.id = id->AsString();
+  }
+  if (const JsonValue* query_id = json.Find("query_id")) {
+    if (!query_id->is_number() || query_id->AsNumber() < 0 ||
+        query_id->AsNumber() != std::floor(query_id->AsNumber())) {
+      return Status::InvalidArgument(
+          "'query_id' must be a non-negative integer");
+    }
+    request.query_id = static_cast<std::uint64_t>(query_id->AsNumber());
+    request.query_id_provided = true;
+  }
+  const JsonValue* k = json.Find("topk");
+  if (k == nullptr || !k->is_number() || k->AsNumber() < 1 ||
+      k->AsNumber() != std::floor(k->AsNumber())) {
+    return Status::InvalidArgument(
+        "'topk' must be a positive integer (the seed-set size)");
+  }
+  request.k = static_cast<std::size_t>(k->AsNumber());
+  auto candidates = ParseNodeList(json, "candidate", "candidates");
+  if (!candidates.ok()) return candidates.status();
+  request.candidates = std::move(*candidates);
+  if (const JsonValue* community = json.Find("community")) {
+    if (!community->is_array()) {
+      return Status::InvalidArgument("'community' must be an array");
+    }
+    for (const JsonValue& entry : community->AsArray()) {
+      auto id = ParseNodeId(entry, "community");
+      if (!id.ok()) return id.status();
+      request.community.push_back(*id);
+    }
+  }
+  auto given = ParseConditionsField(json, "given");
+  if (!given.ok()) return given.status();
+  request.given = std::move(*given);
+  return request;
+}
+
+std::string SerializeTopkResult(const TopkRequest& request,
+                                const seedmax::SeedMaxResult& result) {
+  JsonValue::Object response;
+  response["id"] = request.id;
+  // Like SerializeResult: only a client-provided query_id is echoed, so
+  // responses stay byte-identical between runs whose mint counters differ.
+  if (request.query_id_provided && request.query_id != 0) {
+    response["query_id"] = static_cast<double>(request.query_id);
+  }
+  response["ok"] = true;
+  response["kind"] = "topk";
+  response["generation"] = static_cast<double>(result.generation);
+  response["model_epoch"] = static_cast<double>(result.model_epoch);
+  response["total_rows"] = static_cast<double>(result.total_rows);
+  response["effective_rows"] = static_cast<double>(result.effective_rows);
+  response["universe"] = static_cast<double>(result.universe);
+  response["sketches"] = static_cast<double>(result.num_sketches);
+  response["evaluations"] = static_cast<double>(result.evaluations);
+  response["prune_hits"] = static_cast<double>(result.prune_hits);
+  JsonValue::Array seeds;
+  seeds.reserve(result.picks.size());
+  for (const seedmax::SeedPick& pick : result.picks) {
+    JsonValue::Object entry;
+    entry["node"] = static_cast<double>(pick.node);
+    entry["marginal_coverage"] =
+        static_cast<double>(pick.marginal_coverage);
+    entry["spread"] = pick.spread;
+    entry["mcse"] = pick.mcse;
+    seeds.push_back(std::move(entry));
+  }
+  response["seeds"] = std::move(seeds);
+  response["spread"] = result.spread;
+  response["mcse"] = result.mcse;
+  return JsonValue(std::move(response)).Dump();
+}
+
+std::string SerializeTopkError(const TopkRequest& request,
+                               const Status& status) {
+  JsonValue::Object response;
+  response["id"] = request.id;
+  if (request.query_id_provided && request.query_id != 0) {
+    response["query_id"] = static_cast<double>(request.query_id);
+  }
+  response["ok"] = false;
+  JsonValue::Object error;
+  error["code"] = StatusCodeName(status.code());
+  error["message"] = status.message();
+  response["error"] = std::move(error);
+  return JsonValue(std::move(response)).Dump();
+}
+
 std::uint64_t MintQueryId() {
   static std::atomic<std::uint64_t> next{1};
   return next.fetch_add(1, std::memory_order_relaxed);

@@ -33,6 +33,7 @@
 #include <string>
 #include <string_view>
 
+#include "seedmax/seed_selector.h"
 #include "serve/query_engine.h"
 #include "util/json.h"
 #include "util/status.h"
@@ -103,6 +104,56 @@ Result<AdminRequest> ParseAdminRequest(const JsonValue& json);
 /// \brief Error line for a malformed or unsupported admin verb.
 std::string SerializeAdminError(const AdminRequest& request,
                                 const Status& status);
+
+/// \brief One top-k seed-selection request on the serve connection
+/// (seedmax/: greedy max-coverage over the bank's reverse-reachable
+/// sketches):
+///
+/// \code{.json}
+///   {"id":"m1","topk":3}
+///   {"id":"m2","topk":2,"candidates":[0,1,2],"community":[7,8,9],
+///    "given":"0>3"}
+/// \endcode
+///
+/// `topk` is the seed-set size k; `candidates` restricts eligible seeds;
+/// `community` restricts the spread universe (constrained
+/// flow-maximization: seeds maximize expected reach *into* the listed
+/// nodes); `given` conditions the underlying pseudo-states (Eq. 7–8,
+/// same grammar as query conditioning). Answered with the seed picks,
+/// their running unbiased spread estimates and MCSE, and the sketch
+/// provenance (generation, sketch count, CELF evaluation/prune counters).
+struct TopkRequest {
+  /// Caller-assigned id echoed in the response.
+  std::string id;
+  /// Request-level trace id (minted at the boundary when absent; echoed
+  /// only when the client provided one — same discipline as queries).
+  std::uint64_t query_id = 0;
+  bool query_id_provided = false;
+  /// Seed-set size k.
+  std::size_t k = 1;
+  /// Eligible seeds (empty: every node).
+  std::vector<NodeId> candidates;
+  /// Spread universe (empty: every node).
+  std::vector<NodeId> community;
+  /// Eq. 7–8 conditioning of the pseudo-states.
+  FlowConditions given;
+};
+
+/// True when the (already-parsed) request object is a top-k seed
+/// selection (has a "topk" member) rather than a query.
+bool IsTopkRequest(const JsonValue& json);
+
+/// \brief Parses one top-k request ("topk" must be a positive integer).
+Result<TopkRequest> ParseTopkRequest(const JsonValue& json);
+
+/// \brief Response line for a completed selection (without newline).
+std::string SerializeTopkResult(const TopkRequest& request,
+                                const seedmax::SeedMaxResult& result);
+
+/// \brief Error line for a failed selection (validation, conditional
+/// floor, out-of-range nodes).
+std::string SerializeTopkError(const TopkRequest& request,
+                               const Status& status);
 
 /// \brief Process-wide monotonic query-id mint (first id is 1). The serve
 /// boundary stamps every query that arrives without one, so each request's

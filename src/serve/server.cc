@@ -110,6 +110,10 @@ Result<Server> Server::Create(SampleBank bank, ServerOptions options) {
     // refresh/rebuild fan-out — the first batch should not pay K gathers.
     server.shard_set_->Prime(*server.bank_.Acquire());
   }
+  // The reversed view is cheap (one transpose); sketch sets are built
+  // lazily on the first {"topk":...} request and re-primed on publishes.
+  server.rr_index_ =
+      std::make_shared<seedmax::RrIndex>(server.bank_.graph_ptr());
   return server;
 }
 
@@ -125,6 +129,8 @@ Server::Server(SampleBank bank, ServerOptions options)
           &obs::GetCounter("serve.server.rebuilds_triggered_total")),
       metric_admin_requests_(
           &obs::GetCounter("serve.server.admin_requests_total")),
+      metric_topk_requests_(
+          &obs::GetCounter("serve.server.topk_requests_total")),
       metric_slow_queries_(&obs::GetCounter("serve.slow_queries_total")),
       metric_qps_(&obs::GetGauge("serve.server.queries_per_s")),
       metric_batch_lines_(&obs::GetHistogram(
@@ -189,6 +195,19 @@ Status Server::ServeFd(int in_fd, int out_fd) {
         responses[j] = admin.ok() ? HandleAdmin(*admin)
                                   : SerializeAdminError(AdminRequest{},
                                                         admin.status());
+        continue;
+      }
+      if (IsTopkRequest(*json)) {
+        metric_topk_requests_->Increment();
+        auto topk = ParseTopkRequest(*json);
+        if (!topk.ok()) {
+          responses[j] = SerializeParseError(topk.status());
+          continue;
+        }
+        // Same boundary discipline as queries: a request arriving without
+        // a query_id gets one minted here so its spans share a trace tree.
+        if (topk->query_id == 0) topk->query_id = MintQueryId();
+        responses[j] = HandleTopk(*topk);
         continue;
       }
       if (IsIngestRequest(*json)) {
@@ -258,6 +277,64 @@ Status Server::ServeFd(int in_fd, int out_fd) {
     bank_.GenerationAgeSeconds();  // refreshes the age gauge
   }
   return Status::OK();
+}
+
+std::string Server::HandleTopk(const TopkRequest& request) {
+  // The topk kind gets the same latency instruments as flow / community /
+  // joint: a log-bucketed histogram plus p50/p95/p99 gauges refreshed per
+  // request (see serve/query_plan.cc's MakeKindLatency).
+  struct TopkLatency {
+    obs::Histogram* hist = &obs::GetHistogram(
+        "serve.query.latency_ms.topk", obs::LogBuckets(0.05, 10000.0, 3));
+    obs::Gauge* p50 = &obs::GetGauge("serve.query.latency_ms.topk.p50");
+    obs::Gauge* p95 = &obs::GetGauge("serve.query.latency_ms.topk.p95");
+    obs::Gauge* p99 = &obs::GetGauge("serve.query.latency_ms.topk.p99");
+  };
+  static TopkLatency latency;
+
+  WallTimer timer;
+  obs::TraceSpan span("serve/topk", request.query_id);
+  const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
+  const auto outcome = [&]() -> Result<seedmax::SeedMaxResult> {
+    std::shared_ptr<const seedmax::RrSketchSet> sketches;
+    if (request.community.empty() && request.given.empty()) {
+      // The default universe reuses (or builds and publishes) the cached
+      // generation-keyed sketch set.
+      auto acquired = rr_index_->Acquire(*generation);
+      IF_RETURN_NOT_OK(acquired.status());
+      sketches = std::move(*acquired);
+    } else {
+      // Community / conditioned universes are request-specific: build an
+      // ad-hoc sketch set against the same generation (the reversed view
+      // and gathered planes amortize the inversion's fixed costs).
+      obs::TraceSpan build_span("seedmax/build_sketches", request.query_id);
+      seedmax::RrBuildOptions build;
+      build.targets = request.community;
+      build.given = request.given;
+      build.min_conditional_rows = options_.engine.min_conditional_rows;
+      auto built =
+          seedmax::RrSketchSet::Build(rr_index_->view(), *generation, build);
+      IF_RETURN_NOT_OK(built.status());
+      sketches =
+          std::make_shared<const seedmax::RrSketchSet>(std::move(*built));
+    }
+    obs::TraceSpan select_span("seedmax/select_seeds", request.query_id);
+    seedmax::SeedMaxOptions options;
+    options.num_seeds = request.k;
+    options.candidates = request.candidates;
+    return seedmax::SelectSeeds(*sketches, options);
+  }();
+
+  const double ms = timer.Millis();
+  if constexpr (obs::MetricsEnabled()) {
+    latency.hist->Record(ms);
+    const obs::HistogramSnapshot snap = latency.hist->Snapshot();
+    latency.p50->Set(snap.Quantile(0.50));
+    latency.p95->Set(snap.Quantile(0.95));
+    latency.p99->Set(snap.Quantile(0.99));
+  }
+  return outcome.ok() ? SerializeTopkResult(request, *outcome)
+                      : SerializeTopkError(request, outcome.status());
 }
 
 std::string Server::HandleAdmin(const AdminRequest& request) {
@@ -437,11 +514,14 @@ void Server::RebuildLoop() {
       epoch = std::move(bg.pending_epoch);
       bg.pending_epoch = nullptr;
     }
-    if (bank_.Rebuild(epoch->model, epoch->id).ok() &&
-        shard_set_ != nullptr) {
+    if (bank_.Rebuild(epoch->model, epoch->id).ok()) {
       // Fan the new generation out to every shard view before queries can
       // hit it — one publish, K consistent gathers, no torn generation.
-      shard_set_->Prime(*bank_.Acquire());
+      // The sketch index re-primes the same way, so streamed evidence
+      // deterministically invalidates stale reverse-reachable sketches.
+      const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
+      if (shard_set_ != nullptr) shard_set_->Prime(*generation);
+      rr_index_->Prime(*generation);
     }
   }
 }
@@ -518,7 +598,11 @@ void Server::RefreshLoop() {
       continue;
     }
     bank_.Refresh();
-    if (shard_set_ != nullptr) shard_set_->Prime(*bank_.Acquire());
+    {
+      const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
+      if (shard_set_ != nullptr) shard_set_->Prime(*generation);
+      rr_index_->Prime(*generation);
+    }
     next = std::chrono::steady_clock::now() + interval;
   }
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "seedmax/rr_index.h"
 #include "serve/query_engine.h"
 #include "serve/sample_bank.h"
 #include "serve/shard_engine.h"
@@ -33,6 +34,7 @@
 namespace infoflow::serve {
 
 struct AdminRequest;  // protocol.h
+struct TopkRequest;   // protocol.h
 
 /// \brief Daemon tuning.
 struct ServerOptions {
@@ -134,6 +136,14 @@ class Server {
 
   const ServerOptions& options() const { return options_; }
 
+  /// The reverse-reachable sketch index behind the {"topk":...} verb.
+  /// Lazily inverts the bank's current generation on the first top-k
+  /// request; refresh / drift-rebuild publishes re-prime it (only once a
+  /// sketch set was ever built) so streamed evidence invalidates sketches.
+  const std::shared_ptr<seedmax::RrIndex>& rr_index() const {
+    return rr_index_;
+  }
+
  private:
   Server(SampleBank bank, ServerOptions options);
 
@@ -149,6 +159,11 @@ class Server {
   /// Answers one parsed admin verb ({"stats"} / {"health"} / {"trace"}).
   std::string HandleAdmin(const AdminRequest& request);
 
+  /// Answers one parsed {"topk":...} seed-selection request against the
+  /// current bank generation (cached sketches for the unconstrained case,
+  /// an ad-hoc conditioned/community build otherwise).
+  std::string HandleTopk(const TopkRequest& request);
+
   /// Appends one NDJSON record per slow (or deadline-dead) result to the
   /// slow-query log; no-op unless options_.slow_query_ms > 0.
   void LogSlowQueries(const std::vector<QueryRequest>& requests,
@@ -162,6 +177,8 @@ class Server {
   /// Partition + per-shard view caches, shared by every connection's
   /// router; null in single-engine mode.
   std::shared_ptr<ShardSet> shard_set_;
+  /// Sketch cache for top-k seed selection; shared with connections.
+  std::shared_ptr<seedmax::RrIndex> rr_index_;
   std::shared_ptr<stream::StreamIngestor> ingestor_;
 
   /// Thread state lives behind a pointer so the server stays movable
@@ -175,6 +192,7 @@ class Server {
   obs::Counter* metric_ingest_lines_;
   obs::Counter* metric_rebuilds_triggered_;
   obs::Counter* metric_admin_requests_;
+  obs::Counter* metric_topk_requests_;
   obs::Counter* metric_slow_queries_;
   obs::Gauge* metric_qps_;
   obs::Histogram* metric_batch_lines_;

@@ -114,6 +114,32 @@ TEST(MaximizeInfluence, RespectsCandidateRestriction) {
   EXPECT_TRUE(result->seeds[0] == 1 || result->seeds[0] == 2);
 }
 
+TEST(MaximizeInfluence, DuplicateCandidatesAreDeduplicated) {
+  // Two disjoint certain stars; the candidate list repeats hub 0 three
+  // times. Without dedup the duplicates inflate round-0 evaluations and a
+  // stale duplicate entry can select hub 0 twice, wasting the second seed.
+  GraphBuilder b(10);
+  for (NodeId v = 1; v < 5; ++v) b.AddEdge(0, v).CheckOK();
+  for (NodeId v = 6; v < 10; ++v) b.AddEdge(5, v).CheckOK();
+  PointIcm model = PointIcm::Constant(Share(std::move(b).Build()), 1.0);
+  InfluenceMaxOptions opt;
+  opt.num_seeds = 2;
+  opt.simulations = 50;
+  opt.candidates = {0, 0, 5, 0, 5};
+  Rng rng(11);
+  auto result = MaximizeInfluence(model, opt, rng);
+  ASSERT_TRUE(result.ok());
+  std::vector<NodeId> seeds = result->seeds;
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<NodeId>{0, 5}));
+  // Round 0 must evaluate each *distinct* candidate exactly once.
+  EXPECT_LE(result->evaluations, 4u);
+
+  // And num_seeds is checked against the distinct pool, not the raw list.
+  opt.num_seeds = 3;
+  EXPECT_FALSE(MaximizeInfluence(model, opt, rng).ok());
+}
+
 TEST(MaximizeInfluence, OptionValidation) {
   GraphBuilder b(3);
   b.AddEdge(0, 1).CheckOK();

@@ -25,6 +25,7 @@
 #include "core/mh_sampler.h"
 #include "core/multi_chain.h"
 #include "graph/generators.h"
+#include "seedmax/seed_selector.h"
 #include "serve/protocol.h"
 #include "serve/query_engine.h"
 #include "serve/sample_bank.h"
@@ -678,6 +679,88 @@ TEST(Protocol, SerializesResultsAndErrors) {
   EXPECT_TRUE(parse_error->Find("id")->is_null());
 }
 
+TEST(Protocol, TopkRequestsParseWithAllFields) {
+  auto json = ParseJson(
+      R"({"id":"m1","topk":3,"candidates":[0,1,2],"community":[5,6],)"
+      R"("given":"0>1","query_id":9})");
+  ASSERT_TRUE(json.ok());
+  EXPECT_TRUE(IsTopkRequest(*json));
+  auto query = ParseJson(R"({"id":"q","source":0,"sink":1})");
+  ASSERT_TRUE(query.ok());
+  EXPECT_FALSE(IsTopkRequest(*query));
+
+  auto request = ParseTopkRequest(*json);
+  ASSERT_TRUE(request.ok()) << request.status();
+  EXPECT_EQ(request->id, "m1");
+  EXPECT_EQ(request->k, 3u);
+  EXPECT_EQ(request->candidates, (std::vector<NodeId>{0, 1, 2}));
+  EXPECT_EQ(request->community, (std::vector<NodeId>{5, 6}));
+  ASSERT_EQ(request->given.size(), 1u);
+  EXPECT_TRUE(request->query_id_provided);
+  EXPECT_EQ(request->query_id, 9u);
+
+  for (const char* bad :
+       {R"({"topk":0})", R"({"topk":-2})", R"({"topk":1.5})",
+        R"({"topk":"three"})", R"({"topk":2,"candidates":[-1]})",
+        R"({"topk":2,"community":0})", R"({"topk":2,"given":"x>y"})"}) {
+    auto line = ParseJson(bad);
+    ASSERT_TRUE(line.ok());
+    EXPECT_TRUE(IsTopkRequest(*line)) << bad;
+    EXPECT_FALSE(ParseTopkRequest(*line).ok()) << bad;
+  }
+}
+
+TEST(Protocol, TopkSerializersEchoIdAndProvenance) {
+  TopkRequest request;
+  request.id = "m1";
+  request.query_id = 9;
+  request.query_id_provided = true;
+  seedmax::SeedMaxResult result;
+  result.picks = {{4, 120, 3.5, 0.10}, {2, 60, 5.0, 0.12}};
+  result.spread = 5.0;
+  result.mcse = 0.12;
+  result.evaluations = 7;
+  result.prune_hits = 1;
+  result.generation = 2;
+  result.model_epoch = 1;
+  result.num_sketches = 640;
+  result.universe = 10;
+  result.total_rows = 64;
+  result.effective_rows = 64;
+
+  auto line = ParseJson(SerializeTopkResult(request, result));
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->Find("id")->AsString(), "m1");
+  EXPECT_TRUE(line->Find("ok")->AsBool());
+  EXPECT_EQ(line->Find("kind")->AsString(), "topk");
+  EXPECT_DOUBLE_EQ(line->Find("query_id")->AsNumber(), 9.0);
+  EXPECT_DOUBLE_EQ(line->Find("generation")->AsNumber(), 2.0);
+  EXPECT_DOUBLE_EQ(line->Find("sketches")->AsNumber(), 640.0);
+  EXPECT_DOUBLE_EQ(line->Find("universe")->AsNumber(), 10.0);
+  EXPECT_DOUBLE_EQ(line->Find("prune_hits")->AsNumber(), 1.0);
+  const auto& seeds = line->Find("seeds")->AsArray();
+  ASSERT_EQ(seeds.size(), 2u);
+  EXPECT_DOUBLE_EQ(seeds[0].Find("node")->AsNumber(), 4.0);
+  EXPECT_DOUBLE_EQ(seeds[0].Find("marginal_coverage")->AsNumber(), 120.0);
+  EXPECT_DOUBLE_EQ(seeds[1].Find("spread")->AsNumber(), 5.0);
+  EXPECT_DOUBLE_EQ(line->Find("spread")->AsNumber(), 5.0);
+
+  // A mint-stamped (not client-provided) id is never echoed.
+  request.query_id_provided = false;
+  auto unstamped = ParseJson(SerializeTopkResult(request, result));
+  ASSERT_TRUE(unstamped.ok());
+  EXPECT_EQ(unstamped->Find("query_id"), nullptr);
+
+  request.query_id_provided = true;
+  auto error = ParseJson(SerializeTopkError(
+      request, Status::FailedPrecondition("below the conditional floor")));
+  ASSERT_TRUE(error.ok());
+  EXPECT_FALSE(error->Find("ok")->AsBool());
+  EXPECT_EQ(error->Find("error")->Find("code")->AsString(),
+            "failed-precondition");
+  EXPECT_DOUBLE_EQ(error->Find("query_id")->AsNumber(), 9.0);
+}
+
 // ----------------------------------------------------------------- server
 
 /// Runs one ServeFd conversation over pipes: writes `input`, closes, and
@@ -963,6 +1046,61 @@ TEST(Server, EchoesQueryIdOnlyWhenTheClientSentOne) {
   ASSERT_TRUE(without_id.ok());
   EXPECT_TRUE(without_id->Find("ok")->AsBool());
   EXPECT_EQ(without_id->Find("query_id"), nullptr);
+}
+
+TEST(Server, TopkVerbMatchesDirectSelectionOverTheSameBank) {
+  const PointIcm model = SmallRandomModel(53, 12, 30);
+  Server server = MakeServer(model);
+  const std::string output = RoundTrip(
+      server,
+      "{\"id\":\"m1\",\"topk\":2,\"query_id\":31}\n"
+      "{\"id\":\"m2\",\"topk\":2,\"community\":[3,4,5]}\n"
+      "{\"id\":\"bad\",\"topk\":0}\n");
+  const std::vector<std::string> lines = SplitLines(output);
+  ASSERT_EQ(lines.size(), 3u);
+
+  auto m1 = ParseJson(lines[0]);
+  ASSERT_TRUE(m1.ok());
+  EXPECT_EQ(m1->Find("id")->AsString(), "m1");
+  EXPECT_TRUE(m1->Find("ok")->AsBool());
+  EXPECT_EQ(m1->Find("kind")->AsString(), "topk");
+  EXPECT_DOUBLE_EQ(m1->Find("query_id")->AsNumber(), 31.0);
+  const auto& picks = m1->Find("seeds")->AsArray();
+  ASSERT_EQ(picks.size(), 2u);
+
+  // The served answer must match a direct selection over the same bank
+  // generation exactly — same seeds, same spread estimate.
+  auto generation = server.bank().Acquire();
+  auto sketches = server.rr_index()->Acquire(*generation);
+  ASSERT_TRUE(sketches.ok()) << sketches.status();
+  seedmax::SeedMaxOptions options;
+  options.num_seeds = 2;
+  auto direct = seedmax::SelectSeeds(**sketches, options);
+  ASSERT_TRUE(direct.ok()) << direct.status();
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_DOUBLE_EQ(picks[i].Find("node")->AsNumber(),
+                     static_cast<double>(direct->picks[i].node));
+    EXPECT_DOUBLE_EQ(picks[i].Find("spread")->AsNumber(),
+                     direct->picks[i].spread);
+  }
+  EXPECT_DOUBLE_EQ(m1->Find("spread")->AsNumber(), direct->spread);
+  EXPECT_DOUBLE_EQ(m1->Find("sketches")->AsNumber(),
+                   static_cast<double>(direct->num_sketches));
+
+  // Community-constrained request: universe shrinks to the community.
+  auto m2 = ParseJson(lines[1]);
+  ASSERT_TRUE(m2.ok());
+  EXPECT_TRUE(m2->Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(m2->Find("universe")->AsNumber(), 3.0);
+  EXPECT_LE(m2->Find("spread")->AsNumber(), 3.0 + 1e-12);
+
+  // Malformed k: rejected on the parse path with a null id.
+  auto bad = ParseJson(lines[2]);
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(bad->Find("ok")->AsBool());
+  EXPECT_TRUE(bad->Find("id")->is_null());
+  EXPECT_EQ(bad->Find("error")->Find("code")->AsString(),
+            "invalid-argument");
 }
 
 TEST(Server, SlowQueryLogAppendsStructuredRecords) {

@@ -844,6 +844,54 @@ TEST(ServeIngest, IngestThenQuerySeesRebuiltEpoch) {
                    1.0 / 3.0);
 }
 
+TEST(ServeIngest, DriftRebuildInvalidatesTopkSketches) {
+  // Round trip for the seedmax publish hook: a top-k answer pins the
+  // sketch cache to the current generation/model epoch; streamed evidence
+  // that triggers a drift rebuild must re-prime the index so the next
+  // top-k answers from the rebuilt rows, not stale sketches.
+  auto g = Diamond();
+  const PointIcm initial = PointIcm::Constant(g, 0.5);
+  auto bank = serve::SampleBank::Create(initial, FastBank(), 3);
+  ASSERT_TRUE(bank.ok());
+  serve::ServerOptions options;
+  options.drift_threshold = 0.0;  // any drift triggers a rebuild
+  auto server = serve::Server::Create(std::move(bank).ValueOrDie(), options);
+  ASSERT_TRUE(server.ok());
+  auto ingestor =
+      std::make_shared<StreamIngestor>(g, initial, FastIngest(/*every=*/2));
+  server->AttachIngestor(ingestor);
+  ASSERT_TRUE(server->Start().ok());
+
+  const std::string before =
+      RoundTrip(*server, R"({"id":"m1","topk":2})" "\n");
+  auto first = ParseJson(SplitLines(before)[0]);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(first->Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(first->Find("model_epoch")->AsNumber(), 1.0);
+  const double generation_before = first->Find("generation")->AsNumber();
+
+  // Two evidence lines publish epoch 2; Stop() drains the queued rebuild.
+  RoundTrip(*server,
+            R"({"id":"e1","ingest":"0|0 1|0>1"})" "\n"
+            R"({"id":"e2","ingest":"0|0 2|0>2"})" "\n");
+  server->Stop();
+  ASSERT_EQ(server->bank().model_epoch(), 2u);
+
+  const std::string after =
+      RoundTrip(*server, R"({"id":"m2","topk":2})" "\n");
+  auto second = ParseJson(SplitLines(after)[0]);
+  ASSERT_TRUE(second.ok());
+  ASSERT_TRUE(second->Find("ok")->AsBool());
+  EXPECT_DOUBLE_EQ(second->Find("model_epoch")->AsNumber(), 2.0);
+  EXPECT_GT(second->Find("generation")->AsNumber(), generation_before);
+
+  // The rebuild's Prime left the index warm: acquiring the current
+  // generation directly returns sketches already on the rebuilt epoch.
+  auto sketches = server->rr_index()->Acquire(*server->bank().Acquire());
+  ASSERT_TRUE(sketches.ok()) << sketches.status();
+  EXPECT_EQ((*sketches)->model_epoch(), 2u);
+}
+
 TEST(ServeIngest, StopQuiescesTheFeedAndDrainsItsRebuild) {
   auto g = Diamond();
   const PointIcm initial = PointIcm::Constant(g, 0.5);

@@ -20,6 +20,13 @@ run(query --model ${WORK_DIR}/model.bicm --source 0 --sink 3 --samples 2000)
 run(query --model ${WORK_DIR}/model.bicm --source 0 --sink 3
     --given "0>1" --samples 2000)
 run(impact --model ${WORK_DIR}/model.bicm --source 0 --cascades 500)
+run(maximize --model ${WORK_DIR}/model.bicm --k 2
+    --bank-states 512 --seed 11)
+run(maximize --model ${WORK_DIR}/model.bicm --k 2
+    --candidates "0,1,2,3" --community "4,5,6" --given "0!>1"
+    --bank-states 512 --seed 11)
+run(maximize --model ${WORK_DIR}/model.bicm --k 2 --monte-carlo
+    --simulations 200 --seed 11)
 
 # Observability artifacts: run a query with every export flag and check the
 # files appear and hold well-formed JSON (string(JSON) needs CMake >= 3.19).

@@ -13,6 +13,9 @@
 ///                       sample bank, then answers newline-delimited JSON
 ///                       query batches on stdin/stdout (and optionally a
 ///                       Unix socket) with amortized per-query cost
+///   maximize            top-k seed selection (§I's marketing question):
+///                       bank-backed reverse-reachable sketch coverage by
+///                       default, --monte-carlo for fresh-simulation CELF
 ///   impact              spread-size distribution for a source
 ///   info                describe a model file
 ///   parse-tweets        raw tweet CSV -> attributed evidence (the §IV-B
@@ -49,9 +52,12 @@
 #include <vector>
 
 #include "core/impact.h"
+#include "core/influence_max.h"
 #include "core/mh_sampler.h"
 #include "core/multi_chain.h"
 #include "core/serialization.h"
+#include "seedmax/rr_index.h"
+#include "seedmax/seed_selector.h"
 #include "serve/router.h"
 #include "serve/sample_bank.h"
 #include "serve/server.h"
@@ -620,6 +626,131 @@ int CmdServe(Flags& flags) {
   return 0;
 }
 
+// --------------------------------------------------------------- maximize
+
+/// Parses a comma-separated node-id list flag like "0,3,17"; empty → empty.
+Result<std::vector<NodeId>> ParseNodeListFlag(const std::string& text,
+                                              const char* flag) {
+  std::vector<NodeId> nodes;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    if (text[pos] == ',' || text[pos] == ' ') {
+      ++pos;
+      continue;
+    }
+    char* end = nullptr;
+    const unsigned long value = std::strtoul(text.c_str() + pos, &end, 10);
+    if (end == text.c_str() + pos) {
+      return Status::InvalidArgument("--", flag,
+                                     ": expected a comma-separated node "
+                                     "list, got '", text, "'");
+    }
+    nodes.push_back(static_cast<NodeId>(value));
+    pos = static_cast<std::size_t>(end - text.c_str());
+  }
+  return nodes;
+}
+
+int CmdMaximize(Flags& flags) {
+  auto model_path = flags.Require("model");
+  if (!model_path.ok()) return Fail(model_path.status());
+  const std::size_t k = flags.GetInt("k", 3);
+  const std::uint64_t seed = flags.GetInt("seed", 1);
+  auto model = LoadAnyModel(*model_path);
+  if (!model.ok()) return Fail(model.status());
+  auto candidates = ParseNodeListFlag(flags.Get("candidates", ""),
+                                      "candidates");
+  if (!candidates.ok()) return Fail(candidates.status());
+
+  if (flags.GetBool("monte-carlo")) {
+    // The pre-bank reference path: CELF over fresh cascade simulations.
+    InfluenceMaxOptions options;
+    options.num_seeds = k;
+    options.simulations = flags.GetInt("simulations", 500);
+    options.candidates = *candidates;
+    Rng rng(seed);
+    WallTimer timer;
+    auto result = MaximizeInfluence(*model, options, rng);
+    if (!result.ok()) return Fail(result.status());
+    std::printf(
+        "selected %zu seeds (monte-carlo CELF, %zu simulations/estimate, "
+        "%zu evaluations, %.1f ms)\n",
+        result->seeds.size(), options.simulations, result->evaluations,
+        timer.Millis());
+    for (std::size_t i = 0; i < result->seeds.size(); ++i) {
+      std::printf("  %zu. node %u   spread %.3f\n", i + 1,
+                  result->seeds[i], result->expected_spread[i]);
+    }
+    return 0;
+  }
+
+  // Bank-backed default: invert retained pseudo-states into RR sketches
+  // and run CELF as popcount max-coverage — no fresh simulation.
+  auto community = ParseNodeListFlag(flags.Get("community", ""),
+                                     "community");
+  if (!community.ok()) return Fail(community.status());
+  auto given = ParseFlowConditions(flags.Get("given", ""));
+  if (!given.ok()) return Fail(given.status());
+
+  const std::size_t num_edges = model->graph().num_edges();
+  serve::BankOptions bank_options;
+  bank_options.num_states = flags.GetInt("bank-states", 2048);
+  bank_options.chain.num_chains =
+      std::max<std::size_t>(1, flags.GetInt("chains", 4));
+  bank_options.chain.num_threads = flags.GetInt("threads", 0);
+  bank_options.chain.mh.burn_in = flags.GetInt("burn-in", 4 * num_edges);
+  bank_options.chain.mh.thinning =
+      flags.GetInt("thinning", std::max<std::size_t>(8, num_edges / 8));
+  WallTimer warmup;
+  auto bank = serve::SampleBank::Create(*model, bank_options, seed);
+  if (!bank.ok()) return Fail(bank.status());
+  const std::shared_ptr<const serve::BankGeneration> generation =
+      bank->Acquire();
+  std::fprintf(stderr, "maximize: bank ready — %zu rows in %.1f ms\n",
+               generation->num_rows(), warmup.Millis());
+
+  WallTimer sketch_timer;
+  seedmax::RrIndex index(bank->graph_ptr());
+  std::shared_ptr<const seedmax::RrSketchSet> sketches;
+  if (community->empty() && given->empty()) {
+    auto acquired = index.Acquire(*generation);
+    if (!acquired.ok()) return Fail(acquired.status());
+    sketches = std::move(*acquired);
+  } else {
+    seedmax::RrBuildOptions build;
+    build.targets = std::move(*community);
+    build.given = std::move(*given);
+    build.min_conditional_rows = flags.GetInt("min-conditional-rows", 32);
+    auto built = seedmax::RrSketchSet::Build(index.view(), *generation,
+                                             build);
+    if (!built.ok()) return Fail(built.status());
+    sketches =
+        std::make_shared<const seedmax::RrSketchSet>(std::move(*built));
+  }
+  const double sketch_ms = sketch_timer.Millis();
+
+  seedmax::SeedMaxOptions options;
+  options.num_seeds = k;
+  options.candidates = std::move(*candidates);
+  WallTimer select_timer;
+  auto result = seedmax::SelectSeeds(*sketches, options);
+  if (!result.ok()) return Fail(result.status());
+  std::printf(
+      "selected %zu seeds (bank-sketch backend: %llu RR sketches over %zu "
+      "rows, sketch build %.1f ms, select %.1f ms, %zu evaluations, %zu "
+      "prune hits)\n",
+      result->picks.size(),
+      static_cast<unsigned long long>(result->num_sketches),
+      result->effective_rows, sketch_ms, select_timer.Millis(),
+      result->evaluations, result->prune_hits);
+  for (std::size_t i = 0; i < result->picks.size(); ++i) {
+    const seedmax::SeedPick& pick = result->picks[i];
+    std::printf("  %zu. node %u   spread %.3f ± %.3f\n", i + 1, pick.node,
+                pick.spread, pick.mcse);
+  }
+  return 0;
+}
+
 // ----------------------------------------------------------------- impact
 int CmdImpact(Flags& flags) {
   auto model_path = flags.Require("model");
@@ -715,6 +846,17 @@ int Usage() {
       "                      admin verbs on the connection: {\"stats\":true}\n"
       "                      {\"health\":true} {\"trace\":{\"enable\":true|false}}\n"
       "                      {\"trace\":{\"export\":true}}\n"
+      "  maximize            --model m [--k K] (top-k seed selection: invert\n"
+      "                      the sample bank into reverse-reachable sketches,\n"
+      "                      CELF max-coverage by popcount)\n"
+      "                      [--bank-states N] [--chains C] [--seed S]\n"
+      "                      [--candidates \"0,1,2\"] (eligible seeds)\n"
+      "                      [--community \"7,8,9\"] (maximize reach into these\n"
+      "                      nodes) [--given \"a>b c!>d\"] (condition the\n"
+      "                      pseudo-states, Eq. 7-8)\n"
+      "                      [--min-conditional-rows F]\n"
+      "                      [--monte-carlo] (fresh-simulation CELF instead of\n"
+      "                      the bank) [--simulations N]\n"
       "  impact              --model m --source U [--cascades N]\n"
       "  info                --model m\n"
       "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n"
@@ -744,6 +886,7 @@ int Dispatch(const std::string& command, Flags& flags) {
   if (command == "train-unattributed") return CmdTrainUnattributed(flags);
   if (command == "query") return CmdQuery(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "maximize") return CmdMaximize(flags);
   if (command == "impact") return CmdImpact(flags);
   if (command == "info") return CmdInfo(flags);
   return Usage();
