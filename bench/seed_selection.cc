@@ -32,6 +32,7 @@
 #include "serve/sample_bank.h"
 #include "stats/rng.h"
 #include "util/json.h"
+#include "util/thread_pool.h"
 
 namespace infoflow::bench {
 namespace {
@@ -82,6 +83,27 @@ int Run(const BenchArgs& args) {
   const seedmax::ReversedGraphView view =
       seedmax::ReversedGraphView::Build(bank->graph_ptr());
 
+  // The production build is parallel across 64-row blocks (RrIndex always
+  // passes its pool); the serial wall is timed once for the record so the
+  // committed baseline shows the parallelization win.
+  ThreadPool sketch_pool;
+  double build_serial_s = 0.0;
+  {
+    std::shared_ptr<const seedmax::RrSketchSet> serial_set;
+    build_serial_s = TimeBest(reps, [&] {
+      auto built = seedmax::RrSketchSet::Build(view, *generation);
+      if (built.ok()) {
+        serial_set = std::make_shared<const seedmax::RrSketchSet>(
+            std::move(*built));
+      }
+    });
+    if (serial_set == nullptr) {
+      std::fprintf(stderr, "serial sketch build failed\n");
+      return 1;
+    }
+  }
+  std::printf("sketch build (serial reference): %.3f s\n", build_serial_s);
+
   CsvWriter csv({"k", "mc_s", "sketch_build_s", "sketch_select_s",
                  "speedup", "mc_spread", "sketch_spread"});
   JsonValue::Array records;
@@ -106,8 +128,11 @@ int Run(const BenchArgs& args) {
     // bank path) even though a serving daemon amortizes it across
     // requests: the gated ratio is the conservative cold-cache one.
     std::shared_ptr<const seedmax::RrSketchSet> sketches;
+    seedmax::RrBuildOptions build_options;
+    build_options.pool = &sketch_pool;
     const double build_s = TimeBest(reps, [&] {
-      auto built = seedmax::RrSketchSet::Build(view, *generation);
+      auto built = seedmax::RrSketchSet::Build(view, *generation,
+                                               build_options);
       if (built.ok()) {
         sketches = std::make_shared<const seedmax::RrSketchSet>(
             std::move(*built));
@@ -165,6 +190,7 @@ int Run(const BenchArgs& args) {
   doc["nodes"] = static_cast<double>(nodes);
   doc["edges"] = static_cast<double>(edges);
   doc["bank_rows"] = static_cast<double>(generation->num_rows());
+  doc["sketch_build_serial_s"] = build_serial_s;
   doc["simulations"] = static_cast<double>(simulations);
   doc["quick"] = args.quick;
   doc["seed"] = static_cast<double>(args.seed);

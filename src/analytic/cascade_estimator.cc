@@ -1,0 +1,339 @@
+#include "analytic/cascade_estimator.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "util/check.h"
+
+namespace infoflow::analytic {
+namespace {
+
+/// \brief The query's reachable subgraph, explored once per call: BFS
+/// discovery order (sources first), the spanning discovery edge per node,
+/// and the relevant edge list (see feasibility.h for "relevant").
+struct Subgraph {
+  std::vector<NodeId> order;
+  std::vector<bool> reachable;
+  std::vector<bool> is_source;
+  std::size_t num_sources = 0;
+  std::vector<EdgeId> relevant;
+  /// discovery[v] = the edge that first reached v (kInvalidEdge for
+  /// sources and unreachable nodes). In the tree-exact regime this is v's
+  /// *only* reachable in-edge; in the loopy regime it spans the
+  /// marginal-matched tree.
+  std::vector<EdgeId> discovery;
+};
+
+Subgraph Explore(const DirectedGraph& graph,
+                 std::span<const NodeId> sources) {
+  const NodeId n = graph.num_nodes();
+  Subgraph sub;
+  sub.reachable.assign(n, false);
+  sub.is_source.assign(n, false);
+  sub.discovery.assign(n, kInvalidEdge);
+  for (const NodeId s : sources) {
+    if (sub.is_source[s]) continue;
+    sub.is_source[s] = true;
+    sub.reachable[s] = true;
+    sub.order.push_back(s);
+    ++sub.num_sources;
+  }
+  // True BFS (index queue) so discovery edges form a breadth-first
+  // spanning forest — deterministic regardless of regime.
+  for (std::size_t head = 0; head < sub.order.size(); ++head) {
+    const NodeId u = sub.order[head];
+    for (const EdgeId e : graph.OutEdges(u)) {
+      const NodeId v = graph.edge(e).dst;
+      if (!sub.is_source[v]) sub.relevant.push_back(e);
+      if (!sub.reachable[v]) {
+        sub.reachable[v] = true;
+        sub.discovery[v] = e;
+        sub.order.push_back(v);
+      }
+    }
+  }
+  return sub;
+}
+
+Status ValidateInputs(const DirectedGraph& graph,
+                      std::span<const double> probs,
+                      std::span<const NodeId> sources) {
+  if (probs.size() != graph.num_edges()) {
+    return Status::InvalidArgument("edge-probability span has ", probs.size(),
+                                   " entries but the graph has ",
+                                   graph.num_edges(), " edges");
+  }
+  if (sources.empty()) {
+    return Status::InvalidArgument("need at least one source");
+  }
+  for (const NodeId s : sources) {
+    if (s >= graph.num_nodes()) {
+      return Status::OutOfRange("source node ", s, " not in graph with ",
+                                graph.num_nodes(), " nodes");
+    }
+  }
+  return Status::OK();
+}
+
+/// Picks the regime for `report`, or a descriptive refusal.
+Result<AnalyticMethod> PickMethod(const FeasibilityReport& report,
+                                  const AnalyticOptions& options) {
+  if (report.tree_like) return AnalyticMethod::kTreeExact;
+  if (report.enumerable) return AnalyticMethod::kEnumeration;
+  if (!options.require_exact && report.feasible) {
+    return AnalyticMethod::kLoopy;
+  }
+  return Status::FailedPrecondition(
+      "analytic estimator refused: the reachable subgraph has ",
+      report.reachable_nodes, " nodes and ", report.relevant_edges,
+      " relevant edges, of which ", report.excess_edges,
+      " are excess (ratio ", report.excess_ratio, ") — not locally ",
+      "tree-like",
+      options.require_exact
+          ? " and no exact regime applies (auto dispatch requires one)"
+          : " and denser than max_excess_ratio allows",
+      "; answer this query with the sampling/bank backend (Eq. 5 replay)");
+}
+
+/// \brief Loopy activation marginals: monotone Gauss–Seidel sweeps of
+/// a(v) = 1 − Π_{(u,v) relevant} (1 − a(u)·p_uv) in BFS order. Exact on
+/// forests (one sweep suffices); the independence approximation otherwise.
+std::vector<double> LoopyMarginals(const DirectedGraph& graph,
+                                   std::span<const double> probs,
+                                   const Subgraph& sub,
+                                   const AnalyticOptions& options) {
+  std::vector<double> a(graph.num_nodes(), 0.0);
+  for (const NodeId v : sub.order) {
+    if (sub.is_source[v]) a[v] = 1.0;
+  }
+  for (std::size_t sweep = 0; sweep < options.max_loopy_sweeps; ++sweep) {
+    double delta = 0.0;
+    for (const NodeId v : sub.order) {
+      if (sub.is_source[v]) continue;
+      double miss = 1.0;
+      for (const EdgeId e : graph.InEdges(v)) {
+        const NodeId u = graph.edge(e).src;
+        if (sub.reachable[u]) miss *= 1.0 - a[u] * probs[e];
+      }
+      const double next = 1.0 - miss;
+      delta = std::max(delta, next - a[v]);
+      a[v] = next;
+    }
+    if (delta <= options.loopy_tolerance) break;
+  }
+  return a;
+}
+
+/// \brief Runs `fn(weight, reached, activated_count)` for every assignment
+/// of the relevant edges — Eq. 5 evaluated exactly over the subgraph.
+/// `reached` is indexed by position in sub.order; count includes sources.
+template <typename Fn>
+void EnumerateSubworlds(const DirectedGraph& graph,
+                        std::span<const double> probs, const Subgraph& sub,
+                        Fn&& fn) {
+  const std::size_t m = sub.relevant.size();
+  IF_CHECK(m < 63) << "enumeration regime over " << m << " edges";
+  const std::size_t n_local = sub.order.size();
+  std::vector<std::size_t> local(graph.num_nodes(), 0);
+  for (std::size_t i = 0; i < n_local; ++i) local[sub.order[i]] = i;
+  // Local adjacency: (src-local → (dst-local, relevant-edge index)).
+  std::vector<std::vector<std::pair<std::size_t, std::size_t>>> adj(n_local);
+  for (std::size_t i = 0; i < m; ++i) {
+    const Edge& edge = graph.edge(sub.relevant[i]);
+    adj[local[edge.src]].push_back({local[edge.dst], i});
+  }
+  std::vector<char> reached(n_local, 0);
+  std::vector<std::size_t> stack;
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << m); ++mask) {
+    double weight = 1.0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double p = probs[sub.relevant[i]];
+      weight *= ((mask >> i) & 1) != 0 ? p : 1.0 - p;
+    }
+    if (weight == 0.0) continue;
+    std::fill(reached.begin(), reached.end(), 0);
+    stack.clear();
+    for (std::size_t i = 0; i < sub.num_sources; ++i) {
+      reached[i] = 1;  // sources lead sub.order
+      stack.push_back(i);
+    }
+    std::size_t count = sub.num_sources;
+    while (!stack.empty()) {
+      const std::size_t u = stack.back();
+      stack.pop_back();
+      for (const auto& [v, i] : adj[u]) {
+        if (((mask >> i) & 1) != 0 && reached[v] == 0) {
+          reached[v] = 1;
+          ++count;
+          stack.push_back(v);
+        }
+      }
+    }
+    fn(weight, reached, count);
+  }
+}
+
+/// \brief Subtree convolution over the discovery forest: node v joins its
+/// parent's subtree with probability `weight(v)`, and the subtree-size PMF
+/// composes by convolution (children independent — exact on the tree-exact
+/// regime, the marginal-matched approximation on the loopy one). Returns
+/// the root's size PMF (index = activated node count including the root).
+template <typename WeightFn>
+std::vector<double> SubtreePmf(const DirectedGraph& graph, const Subgraph& sub,
+                               NodeId root, WeightFn&& weight) {
+  const std::size_t n_local = sub.order.size();
+  std::vector<std::size_t> local(graph.num_nodes(), 0);
+  for (std::size_t i = 0; i < n_local; ++i) local[sub.order[i]] = i;
+  // pmf[i][k] = Pr[node sub.order[i]'s subtree activates exactly k nodes |
+  // the node itself is active]; initialized to "the node alone".
+  std::vector<std::vector<double>> pmf(n_local, std::vector<double>{0.0, 1.0});
+  // Reverse BFS order processes every child before its parent; folding a
+  // child releases its PMF, so peak memory tracks the live path, not the
+  // whole tree.
+  for (std::size_t i = n_local; i-- > 1;) {
+    const NodeId v = sub.order[i];
+    const std::size_t pi = local[graph.edge(sub.discovery[v]).src];
+    const double w = weight(v);
+    std::vector<double>& child = pmf[i];
+    std::vector<double>& conv = pmf[pi];
+    std::vector<double> merged(conv.size() + child.size() - 1, 0.0);
+    for (std::size_t a = 0; a < conv.size(); ++a) {
+      const double ca = conv[a];
+      if (ca == 0.0) continue;
+      merged[a] += ca * (1.0 - w);
+      for (std::size_t k = 1; k < child.size(); ++k) {
+        merged[a + k] += ca * w * child[k];
+      }
+    }
+    conv = std::move(merged);
+    std::vector<double>().swap(child);
+  }
+  return std::move(pmf[local[root]]);
+}
+
+}  // namespace
+
+const char* AnalyticMethodName(AnalyticMethod method) {
+  switch (method) {
+    case AnalyticMethod::kTreeExact:
+      return "tree-exact";
+    case AnalyticMethod::kEnumeration:
+      return "enumeration";
+    case AnalyticMethod::kLoopy:
+      return "loopy";
+  }
+  return "unknown";
+}
+
+double CascadePmf::Mean() const {
+  double mean = 0.0;
+  for (std::size_t k = 0; k < impact.size(); ++k) {
+    mean += static_cast<double>(k) * impact[k];
+  }
+  return mean;
+}
+
+Result<ReachAnswer> ReachProbabilities(const DirectedGraph& graph,
+                                       std::span<const double> probs,
+                                       std::span<const NodeId> sources,
+                                       const AnalyticOptions& options) {
+  IF_RETURN_NOT_OK(ValidateInputs(graph, probs, sources));
+  ReachAnswer answer;
+  answer.report = AssessFeasibility(graph, sources, options.feasibility);
+  auto method = PickMethod(answer.report, options);
+  IF_RETURN_NOT_OK(method.status());
+  answer.method = *method;
+
+  const Subgraph sub = Explore(graph, sources);
+  answer.probability.assign(graph.num_nodes(), 0.0);
+  for (const NodeId v : sub.order) {
+    if (sub.is_source[v]) answer.probability[v] = 1.0;
+  }
+
+  switch (answer.method) {
+    case AnalyticMethod::kTreeExact:
+      // Unique source→v paths: the probability telescopes down the
+      // discovery forest (parents precede children in BFS order).
+      for (const NodeId v : sub.order) {
+        if (sub.is_source[v]) continue;
+        const EdgeId e = sub.discovery[v];
+        answer.probability[v] =
+            answer.probability[graph.edge(e).src] * probs[e];
+      }
+      break;
+    case AnalyticMethod::kEnumeration: {
+      std::vector<double> acc(sub.order.size(), 0.0);
+      EnumerateSubworlds(
+          graph, probs, sub,
+          [&](double weight, const std::vector<char>& reached,
+              std::size_t /*count*/) {
+            for (std::size_t i = 0; i < reached.size(); ++i) {
+              if (reached[i] != 0) acc[i] += weight;
+            }
+          });
+      for (std::size_t i = 0; i < sub.order.size(); ++i) {
+        answer.probability[sub.order[i]] = acc[i];
+      }
+      break;
+    }
+    case AnalyticMethod::kLoopy:
+      answer.probability = LoopyMarginals(graph, probs, sub, options);
+      break;
+  }
+  return answer;
+}
+
+Result<CascadePmf> CascadeSizePmf(const DirectedGraph& graph,
+                                  std::span<const double> probs,
+                                  NodeId source,
+                                  const AnalyticOptions& options) {
+  const NodeId sources[1] = {source};
+  IF_RETURN_NOT_OK(ValidateInputs(graph, probs, sources));
+  CascadePmf out;
+  out.report = AssessFeasibility(graph, sources, options.feasibility);
+  auto method = PickMethod(out.report, options);
+  IF_RETURN_NOT_OK(method.status());
+  out.method = *method;
+
+  const Subgraph sub = Explore(graph, {sources, 1});
+  std::vector<double> size_pmf;  // index = activated count incl. source
+  switch (out.method) {
+    case AnalyticMethod::kTreeExact:
+      // Every relevant edge is a discovery edge (unique in-edges), so the
+      // subtree convolution over the discovery tree is exact.
+      size_pmf = SubtreePmf(graph, sub, source, [&](NodeId v) {
+        return probs[sub.discovery[v]];
+      });
+      break;
+    case AnalyticMethod::kEnumeration: {
+      std::vector<double> acc(sub.order.size() + 1, 0.0);
+      EnumerateSubworlds(graph, probs, sub,
+                         [&](double weight, const std::vector<char>&,
+                             std::size_t count) { acc[count] += weight; });
+      size_pmf = std::move(acc);
+      break;
+    }
+    case AnalyticMethod::kLoopy: {
+      // Marginal-matched spanning tree: choosing the tree-edge weight
+      // a(v)/a(parent) makes every node's tree marginal telescope to its
+      // loopy fixpoint marginal, so the PMF mean equals Σ a(v); the shape
+      // assumes tree dependence (see report.expected_error).
+      const std::vector<double> a = LoopyMarginals(graph, probs, sub, options);
+      size_pmf = SubtreePmf(graph, sub, source, [&](NodeId v) {
+        const double parent = a[graph.edge(sub.discovery[v]).src];
+        return parent > 0.0 ? std::min(1.0, a[v] / parent) : 0.0;
+      });
+      break;
+    }
+  }
+
+  // Impact excludes the always-active source: shift by one.
+  out.impact.assign(size_pmf.size() > 1 ? size_pmf.size() - 1 : 1, 0.0);
+  for (std::size_t k = 1; k < size_pmf.size(); ++k) {
+    out.impact[k - 1] = size_pmf[k];
+  }
+  return out;
+}
+
+}  // namespace infoflow::analytic

@@ -1,0 +1,60 @@
+#include "analytic/feasibility.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace infoflow::analytic {
+
+FeasibilityReport AssessFeasibility(const DirectedGraph& graph,
+                                    std::span<const NodeId> sources,
+                                    const FeasibilityOptions& options) {
+  FeasibilityReport report;
+  const NodeId n = graph.num_nodes();
+  std::vector<bool> reachable(n, false);
+  std::vector<bool> is_source(n, false);
+  std::vector<NodeId> frontier;
+  for (const NodeId s : sources) {
+    IF_CHECK(s < n) << "source " << s << " out of range";
+    if (is_source[s]) continue;  // duplicate
+    is_source[s] = true;
+    ++report.reachable_sources;
+    reachable[s] = true;
+    frontier.push_back(s);
+  }
+
+  // Structural BFS: every edge leaving a reachable node is relevant unless
+  // it re-enters a source (sources are active by fiat, see header).
+  while (!frontier.empty()) {
+    const NodeId u = frontier.back();
+    frontier.pop_back();
+    for (const EdgeId e : graph.OutEdges(u)) {
+      const NodeId v = graph.edge(e).dst;
+      if (!is_source[v]) ++report.relevant_edges;
+      if (!reachable[v]) {
+        reachable[v] = true;
+        frontier.push_back(v);
+      }
+    }
+  }
+  report.reachable_nodes =
+      static_cast<std::size_t>(std::count(reachable.begin(), reachable.end(),
+                                          true));
+
+  const std::size_t spanning =
+      report.reachable_nodes - report.reachable_sources;
+  report.excess_edges = report.relevant_edges - spanning;
+  report.excess_ratio =
+      static_cast<double>(report.excess_edges) /
+      static_cast<double>(std::max<std::size_t>(1, report.relevant_edges));
+  report.tree_like = report.excess_edges == 0;
+  report.enumerable = report.relevant_edges <= options.max_enumeration_edges;
+  report.feasible = report.tree_like || report.enumerable ||
+                    report.excess_ratio <= options.max_excess_ratio;
+  report.expected_error =
+      (report.tree_like || report.enumerable) ? 0.0 : report.excess_ratio;
+  return report;
+}
+
+}  // namespace infoflow::analytic

@@ -1,0 +1,83 @@
+/// \file feasibility.h
+/// \brief Structural tree-likeness scoring for the analytic backend.
+///
+/// The message-passing / subtree-convolution estimator
+/// (analytic/cascade_estimator.h) is *exact* only when the subgraph a query
+/// actually touches — the nodes reachable from its source set — is a forest
+/// rooted at the sources: every reachable non-source node owns exactly one
+/// reachable in-edge, so activation events along distinct branches are
+/// independent and products/convolutions compose without error (Burkholz &
+/// Quackenbush's locally-tree-like regime; the same structural condition
+/// under which the paper's Eq. 2 exclude-set recursion is exact).
+///
+/// AssessFeasibility is the cheap scorer the BackendDispatcher consults
+/// before committing a query to the analytic path: one structural BFS (no
+/// probabilities, no convolutions) classifies the reachable subgraph as
+///   - tree-like       → analytic answers are exact,
+///   - enumerable      → small enough for exact pseudo-state enumeration,
+///   - loopy-feasible  → the independence-approximation fallback applies,
+///     with `expected_error` reporting the heuristic error budget,
+///   - infeasible      → the estimator refuses (dense multi-path structure;
+///     callers fall back to MH + bank replay, Eq. 5).
+
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "graph/graph.h"
+
+namespace infoflow::analytic {
+
+/// \brief Thresholds for the feasibility classification.
+struct FeasibilityOptions {
+  /// Reachable subgraphs with at most this many relevant edges are answered
+  /// by exact pseudo-state enumeration even when loopy (2^m states; keep
+  /// well under core/exact_flow.h's kMaxEnumerationEdges).
+  std::size_t max_enumeration_edges = 20;
+  /// Largest tolerated excess-edge ratio for the loopy fallback: above it
+  /// the estimator refuses rather than return an unbounded approximation.
+  double max_excess_ratio = 0.25;
+};
+
+/// \brief What one structural BFS learned about a query's subgraph.
+struct FeasibilityReport {
+  /// Nodes reachable from the source set (sources included).
+  std::size_t reachable_nodes = 0;
+  /// Sources that are in range of the graph (multi-source queries).
+  std::size_t reachable_sources = 0;
+  /// Relevant edges: (u, v) with u reachable and v not a source — the only
+  /// edges that can influence a cascade from the sources (an edge *into* a
+  /// source never changes anything, the source is active by fiat).
+  std::size_t relevant_edges = 0;
+  /// relevant_edges − (reachable_nodes − reachable_sources): 0 iff every
+  /// reachable non-source node has exactly one reachable in-edge, i.e. the
+  /// reachable subgraph is a forest rooted at the sources (acyclicity is
+  /// implied: a cycle's nodes could only be entered through their unique
+  /// in-edge, which would lie on the cycle — unreachable from the sources).
+  std::size_t excess_edges = 0;
+  /// excess_edges / max(1, relevant_edges) — the fraction of edges creating
+  /// multi-path correlations the tree factorization cannot represent.
+  double excess_ratio = 0.0;
+  /// Forest rooted at the sources: analytic answers are exact.
+  bool tree_like = false;
+  /// Small enough for exact enumeration regardless of topology.
+  bool enumerable = false;
+  /// tree_like || enumerable || excess_ratio <= max_excess_ratio.
+  bool feasible = false;
+  /// Heuristic error budget of the answer the estimator would return: 0 for
+  /// the two exact regimes, excess_ratio for the loopy fallback (the
+  /// independence approximation's bias grows with the shared-path density;
+  /// tests/test_analytic.cc spot-checks the calibration).
+  double expected_error = 0.0;
+};
+
+/// \brief Classifies the subgraph reachable from `sources` (all must be
+/// < graph.num_nodes(); duplicates are harmless). Pure structure — no edge
+/// probabilities are consulted, so the score is valid for any model over
+/// the same topology and cheap enough to run per query.
+FeasibilityReport AssessFeasibility(const DirectedGraph& graph,
+                                    std::span<const NodeId> sources,
+                                    const FeasibilityOptions& options = {});
+
+}  // namespace infoflow::analytic

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cmath>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/batch_reachability.h"
@@ -87,6 +88,27 @@ ImpactDistribution SimulateImpact(const PointIcm& model, NodeId source,
       out.Record(reached[l] - 1);
     }
   }
+  return out;
+}
+
+double ImpactPmf::Mean() const {
+  double mean = 0.0;
+  for (std::size_t k = 0; k < probs.size(); ++k) {
+    mean += static_cast<double>(k) * probs[k];
+  }
+  return mean;
+}
+
+Result<ImpactPmf> AnalyticImpact(const PointIcm& model, NodeId source,
+                                 const analytic::AnalyticOptions& options) {
+  auto result = analytic::CascadeSizePmf(model.graph(), model.probs(), source,
+                                         options);
+  IF_RETURN_NOT_OK(result.status());
+  analytic::CascadePmf pmf = std::move(result).ValueOrDie();
+  ImpactPmf out;
+  out.probs = std::move(pmf.impact);
+  out.method = pmf.method;
+  out.report = pmf.report;
   return out;
 }
 

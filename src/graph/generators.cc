@@ -89,6 +89,27 @@ DirectedGraph PreferentialAttachmentGraph(NodeId num_nodes,
   return std::move(builder).Build();
 }
 
+DirectedGraph RandomTreeGraph(NodeId num_nodes, std::size_t max_children,
+                              Rng& rng) {
+  IF_CHECK(num_nodes >= 2) << "need at least two nodes, got " << num_nodes;
+  GraphBuilder builder(num_nodes);
+  // eligible holds every node whose fanout is still below the cap; one
+  // uniform draw per newcomer keeps the shape unbiased among bounded trees.
+  std::vector<NodeId> eligible{0};
+  std::vector<std::size_t> fanout(num_nodes, 0);
+  for (NodeId v = 1; v < num_nodes; ++v) {
+    const std::size_t slot = rng.NextBounded(eligible.size());
+    const NodeId parent = eligible[slot];
+    builder.AddEdge(parent, v).CheckOK();
+    if (max_children != 0 && ++fanout[parent] >= max_children) {
+      eligible[slot] = eligible.back();
+      eligible.pop_back();
+    }
+    eligible.push_back(v);
+  }
+  return std::move(builder).Build();
+}
+
 DirectedGraph StarFragment(std::size_t num_parents) {
   IF_CHECK(num_parents >= 1) << "star fragment needs at least one parent";
   const auto sink = static_cast<NodeId>(num_parents);

@@ -37,4 +37,13 @@ DirectedGraph PreferentialAttachmentGraph(NodeId num_nodes,
 /// 0..k-1 each with a single edge into sink node k.
 DirectedGraph StarFragment(std::size_t num_parents);
 
+/// \brief Random recursive tree, edges directed root (node 0) → leaves.
+///
+/// Each node v >= 1 attaches under a uniformly random earlier node whose
+/// fanout is still below `max_children` (0 = unbounded). The result has
+/// exactly n − 1 edges and no undirected cycles — the shape on which the
+/// analytic subtree-convolution backend is exact (src/analytic/).
+DirectedGraph RandomTreeGraph(NodeId num_nodes, std::size_t max_children,
+                              Rng& rng);
+
 }  // namespace infoflow

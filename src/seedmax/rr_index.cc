@@ -1,6 +1,8 @@
 #include "seedmax/rr_index.h"
 
+#include <algorithm>
 #include <bit>
+#include <cstring>
 #include <utility>
 
 #include "graph/batch_reachability.h"
@@ -17,6 +19,8 @@ struct IndexMetrics {
       &obs::GetCounter("seedmax.sketch.postings_total");
   obs::Counter* reverse_passes =
       &obs::GetCounter("seedmax.sketch.reverse_passes_total");
+  obs::Counter* blocks_reused =
+      &obs::GetCounter("seedmax.sketch.blocks_reused_total");
   obs::Histogram* build_ms = &obs::GetHistogram(
       "seedmax.sketch.build_ms", obs::LogBuckets(0.05, 10000.0, 3));
   obs::Gauge* generation = &obs::GetGauge("seedmax.index.generation");
@@ -134,31 +138,140 @@ Result<RrSketchSet> RrSketchSet::Build(
   set.num_sketches_ =
       static_cast<std::uint64_t>(effective_rows) * targets.size();
 
-  // Reverse passes: gather the block's plane into transposed edge order
-  // once, then one Begin/Seed/Propagate pass per target answers "who
-  // reaches t" for all 64 rows of the block simultaneously.
+  // Incremental reuse plan: a block whose edge-major plane is bit-identical
+  // to the previously indexed generation's would run the exact same reverse
+  // passes, so its postings can be lifted from the previous set. Only the
+  // default build shape qualifies (unconditioned, all-node universe, same
+  // graph and row count) — anything else diffs against the wrong lanes.
   IndexMetrics& metrics = IndexMetrics::Get();
+  const std::size_t num_targets = targets.size();
+  const bool can_reuse =
+      options.previous != nullptr && options.previous_rows != nullptr &&
+      options.given.empty() && options.targets.empty() &&
+      !options.previous->conditioned() &&
+      options.previous->universe() == num_targets &&
+      options.previous->num_groups() == num_targets * num_blocks &&
+      options.previous->total_rows() == generation.num_rows() &&
+      options.previous_rows->num_edges() == generation.num_edges() &&
+      options.previous_rows->num_rows() == generation.num_rows();
+  std::vector<std::uint8_t> fresh(num_blocks, 1);
+  std::size_t reused_blocks = 0;
+  if (can_reuse) {
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      if (std::memcmp(generation.BlockEdgeWords(b),
+                      options.previous_rows->BlockEdgeWords(b),
+                      generation.num_edges() * sizeof(std::uint64_t)) == 0) {
+        fresh[b] = 0;
+        ++reused_blocks;
+      }
+    }
+    metrics.blocks_reused->Increment(reused_blocks);
+  }
+
+  // Reverse passes over the fresh blocks: gather the block's plane into
+  // transposed edge order once, then one Begin/Seed/Propagate pass per
+  // target answers "who reaches t" for all 64 rows of the block
+  // simultaneously. Blocks are independent, so they fan out over the pool
+  // when one is supplied — each worker task owns its own workspace and
+  // gathered plane and fills per-block posting vectors, which the merge
+  // below concatenates in block order (bit-identical to the serial loop;
+  // TouchedNodes is ascending either way).
   const DirectedGraph& reversed = view.reversed();
-  BatchReachabilityWorkspace workspace(reversed);
-  std::vector<std::uint64_t> reversed_words(parent.num_edges());
   struct NodePosting {
     NodeId node;
     RrPosting posting;
   };
-  std::vector<NodePosting> raw;
-  for (std::size_t b = 0; b < num_blocks; ++b) {
-    if (lane[b] == 0) continue;  // no surviving rows in this block
-    view.GatherBlock(generation.BlockEdgeWords(b), reversed_words.data());
-    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+  std::vector<std::vector<NodePosting>> block_raw(num_blocks);
+  const auto build_block = [&](BatchReachabilityWorkspace& workspace,
+                               std::uint64_t* reversed_words,
+                               std::size_t b) {
+    if (fresh[b] == 0 || lane[b] == 0) return;
+    view.GatherBlock(generation.BlockEdgeWords(b), reversed_words);
+    std::vector<NodePosting>& out = block_raw[b];
+    for (std::size_t ti = 0; ti < num_targets; ++ti) {
       workspace.Begin(reversed);
       workspace.Seed(targets[ti], lane[b]);
-      workspace.Propagate(reversed_words.data());
+      workspace.Propagate(reversed_words);
       metrics.reverse_passes->Increment();
-      const auto group =
-          static_cast<std::uint32_t>(ti * num_blocks + b);
+      const auto group = static_cast<std::uint32_t>(ti * num_blocks + b);
       for (const NodeId u : workspace.TouchedNodes()) {
-        raw.push_back({u, {group, workspace.ReachedMask(u)}});
+        out.push_back({u, {group, workspace.ReachedMask(u)}});
       }
+    }
+  };
+  if (options.pool != nullptr && options.pool->size() > 1 && num_blocks > 1) {
+    // A few chunks per worker for balance (block costs vary with how many
+    // lanes survive); each chunk amortizes one workspace + plane buffer.
+    const std::size_t num_chunks =
+        std::min(num_blocks, options.pool->size() * 4);
+    const std::size_t per_chunk = (num_blocks + num_chunks - 1) / num_chunks;
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      const std::size_t begin = c * per_chunk;
+      const std::size_t end = std::min(num_blocks, begin + per_chunk);
+      if (begin >= end) break;
+      options.pool->Submit([&, begin, end] {
+        BatchReachabilityWorkspace workspace(reversed);
+        std::vector<std::uint64_t> reversed_words(parent.num_edges());
+        for (std::size_t b = begin; b < end; ++b) {
+          build_block(workspace, reversed_words.data(), b);
+        }
+      });
+    }
+    options.pool->Wait();
+  } else {
+    BatchReachabilityWorkspace workspace(reversed);
+    std::vector<std::uint64_t> reversed_words(parent.num_edges());
+    for (std::size_t b = 0; b < num_blocks; ++b) {
+      build_block(workspace, reversed_words.data(), b);
+    }
+  }
+
+  // Lift the reused blocks' postings out of the previous set's node-major
+  // CSR into the raw (block, target, node) order the merge expects: a
+  // stable counting sort by (block, target) key over an ascending node
+  // scan reproduces exactly what the reverse passes would have emitted.
+  std::vector<NodePosting> reused;
+  std::vector<std::size_t> key_offsets;
+  if (reused_blocks > 0) {
+    const RrSketchSet& prev = *options.previous;
+    key_offsets.assign(num_blocks * num_targets + 1, 0);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const RrPosting& p : prev.Postings(u)) {
+        const std::size_t b = p.group % num_blocks;
+        if (fresh[b] != 0) continue;
+        ++key_offsets[b * num_targets + p.group / num_blocks + 1];
+      }
+    }
+    for (std::size_t k = 1; k < key_offsets.size(); ++k) {
+      key_offsets[k] += key_offsets[k - 1];
+    }
+    reused.resize(key_offsets.back());
+    std::vector<std::size_t> cursor(key_offsets.begin(),
+                                    key_offsets.end() - 1);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const RrPosting& p : prev.Postings(u)) {
+        const std::size_t b = p.group % num_blocks;
+        if (fresh[b] != 0) continue;
+        reused[cursor[b * num_targets + p.group / num_blocks]++] = {u, p};
+      }
+    }
+  }
+
+  // Merge in block order: fresh blocks contribute their just-built
+  // postings, reused blocks their lifted segment.
+  std::size_t total = reused.size();
+  for (const std::vector<NodePosting>& br : block_raw) total += br.size();
+  std::vector<NodePosting> raw;
+  raw.reserve(total);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    if (fresh[b] != 0) {
+      raw.insert(raw.end(), block_raw[b].begin(), block_raw[b].end());
+    } else {
+      raw.insert(raw.end(),
+                 reused.begin() + static_cast<std::ptrdiff_t>(
+                                      key_offsets[b * num_targets]),
+                 reused.begin() + static_cast<std::ptrdiff_t>(
+                                      key_offsets[(b + 1) * num_targets]));
     }
   }
 
@@ -181,20 +294,34 @@ Result<RrSketchSet> RrSketchSet::Build(
   return set;
 }
 
-RrIndex::RrIndex(std::shared_ptr<const DirectedGraph> graph)
-    : view_(ReversedGraphView::Build(std::move(graph))) {}
+RrIndex::RrIndex(std::shared_ptr<const DirectedGraph> graph,
+                 std::size_t num_threads)
+    : view_(ReversedGraphView::Build(std::move(graph))),
+      pool_(num_threads) {}
 
 Result<std::shared_ptr<const RrSketchSet>> RrIndex::Acquire(
-    const serve::BankGeneration& generation) {
+    std::shared_ptr<const serve::BankGeneration> generation) {
+  std::shared_ptr<const RrSketchSet> previous;
+  std::shared_ptr<const serve::BankGeneration> previous_rows;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (current_ != nullptr && current_->generation() == generation.id()) {
+    if (current_ != nullptr && current_->generation() == generation->id()) {
       return current_;
     }
+    previous = current_;
+    previous_rows = indexed_rows_;
   }
   // Build outside the lock: inversion is the expensive step and concurrent
-  // readers of the previous set must not stall behind it.
-  auto built = RrSketchSet::Build(view_, generation);
+  // readers of the previous set must not stall behind it. The previous
+  // set + rows are the incremental diff base — unchanged blocks reuse
+  // their postings.
+  RrBuildOptions options;
+  options.pool = &pool_;
+  if (previous != nullptr && previous_rows != nullptr) {
+    options.previous = previous.get();
+    options.previous_rows = previous_rows.get();
+  }
+  auto built = RrSketchSet::Build(view_, *generation, options);
   IF_RETURN_NOT_OK(built.status());
   auto set = std::make_shared<const RrSketchSet>(std::move(*built));
   std::lock_guard<std::mutex> lock(mutex_);
@@ -202,17 +329,20 @@ Result<std::shared_ptr<const RrSketchSet>> RrIndex::Acquire(
   // keep the newest — generations only move forward.
   if (current_ == nullptr || current_->generation() <= set->generation()) {
     current_ = set;
+    indexed_rows_ = std::move(generation);
+    ever_built_ = true;
+    return current_;
   }
   ever_built_ = true;
-  return current_->generation() == generation.id() ? current_ : set;
+  return current_->generation() == set->generation() ? current_ : set;
 }
 
-void RrIndex::Prime(const serve::BankGeneration& generation) {
+void RrIndex::Prime(std::shared_ptr<const serve::BankGeneration> generation) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!ever_built_) return;
   }
-  (void)Acquire(generation);
+  (void)Acquire(std::move(generation));
 }
 
 }  // namespace infoflow::seedmax

@@ -46,6 +46,7 @@
 #include "graph/graph.h"
 #include "serve/sample_bank.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace infoflow::seedmax {
 
@@ -96,6 +97,8 @@ struct RrPosting {
   std::uint64_t lanes;
 };
 
+class RrSketchSet;  // below
+
 /// \brief Sketch-build tuning.
 struct RrBuildOptions {
   /// Spread universe: RR sketches are rooted at every listed target (the
@@ -111,6 +114,22 @@ struct RrBuildOptions {
   /// Minimum surviving rows for a conditioned build — mirrors the query
   /// engine's conditional floor so estimates never silently degenerate.
   std::size_t min_conditional_rows = 32;
+  /// Worker pool for the reverse passes, parallel across 64-row blocks
+  /// (each worker owns its own BFS workspace and gathered plane); null →
+  /// serial. Per-block postings are merged back in block order, so the
+  /// built set is bit-identical to a serial build.
+  ThreadPool* pool = nullptr;
+  /// \brief Incremental rebuild (the RrIndex refresh path): blocks whose
+  /// edge-major planes are bit-identical between `previous_rows` and the
+  /// new generation reuse `previous`'s postings instead of re-running
+  /// their reverse passes — MH chains that moved few rows between
+  /// generations only pay for the blocks that actually changed. Both must
+  /// be set together, and reuse only engages for the default build shape
+  /// (unconditioned, all-node targets, same graph, same row count); any
+  /// mismatch silently falls back to a full build. The result is
+  /// bit-identical to a from-scratch build either way.
+  const RrSketchSet* previous = nullptr;
+  const serve::BankGeneration* previous_rows = nullptr;
 };
 
 /// \brief An immutable set of RR sketches for one bank generation.
@@ -173,17 +192,26 @@ class RrSketchSet {
 /// readers holding an old set are never invalidated.
 class RrIndex {
  public:
-  /// Builds the reversed view once; sketch sets are built lazily.
-  explicit RrIndex(std::shared_ptr<const DirectedGraph> graph);
+  /// Builds the reversed view once and spins the sketch-build worker pool
+  /// (0 → hardware concurrency); sketch sets are built lazily.
+  explicit RrIndex(std::shared_ptr<const DirectedGraph> graph,
+                   std::size_t num_threads = 0);
 
   /// The shared reversed view (for ad-hoc constrained builds).
   const ReversedGraphView& view() const { return view_; }
 
+  /// The sketch-build worker pool (for ad-hoc constrained builds, which
+  /// parallelize across blocks exactly like the cached default build).
+  ThreadPool& pool() { return pool_; }
+
   /// \brief The default (all-targets, unconditioned) sketch set for
   /// `generation`, building and publishing it if this generation has not
-  /// been seen yet.
+  /// been seen yet. The generation handle is retained alongside the
+  /// published set so the *next* build can diff block planes against it
+  /// and reuse the postings of unchanged blocks (at most one extra
+  /// generation is kept alive at a time).
   Result<std::shared_ptr<const RrSketchSet>> Acquire(
-      const serve::BankGeneration& generation);
+      std::shared_ptr<const serve::BankGeneration> generation);
 
   /// \brief Epoch fan-out hook, called by the server next to
   /// ShardSet::Prime when a refresh or drift rebuild publishes: eagerly
@@ -191,12 +219,16 @@ class RrIndex {
   /// a daemon that never served a top-k query does not pay sketch builds
   /// on every refresh, while one that did keeps its index warm (and
   /// streamed evidence deterministically invalidates stale sketches).
-  void Prime(const serve::BankGeneration& generation);
+  void Prime(std::shared_ptr<const serve::BankGeneration> generation);
 
  private:
   ReversedGraphView view_;
+  ThreadPool pool_;
   std::mutex mutex_;
   std::shared_ptr<const RrSketchSet> current_;
+  /// The rows current_ was inverted from — the diff base of the next
+  /// incremental build.
+  std::shared_ptr<const serve::BankGeneration> indexed_rows_;
   bool ever_built_ = false;
 };
 

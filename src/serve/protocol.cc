@@ -341,6 +341,17 @@ Result<QueryRequest> ParseRequest(const JsonValue& json) {
     request.timeout_ms = timeout->AsNumber();
   }
 
+  // Backend: absent → the engine default (the daemon's --backend flag).
+  if (const JsonValue* backend = json.Find("backend")) {
+    if (!backend->is_string()) {
+      return Status::InvalidArgument(
+          "'backend' must be a string (auto | analytic | bank)");
+    }
+    auto parsed = ParseQueryBackend(backend->AsString());
+    if (!parsed.ok()) return parsed.status();
+    request.backend = *parsed;
+  }
+
   // Kind: explicit when present, inferred from the fields otherwise.
   if (const JsonValue* kind = json.Find("kind")) {
     if (!kind->is_string()) {
@@ -403,6 +414,9 @@ std::string SerializeResult(const QueryRequest& request,
   }
   response["ok"] = true;
   response["kind"] = QueryKindName(request.kind);
+  // Which estimator actually answered (never "auto"): "bank" for the
+  // classic Eq. 5 replay, "analytic" for the sampling-free path.
+  response["backend"] = QueryBackendName(result.backend);
   response["generation"] = static_cast<double>(result.generation);
   response["model_epoch"] = static_cast<double>(result.model_epoch);
   response["total_rows"] = static_cast<double>(result.total_rows);

@@ -39,9 +39,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "analytic/cascade_estimator.h"
 #include "core/flow_query.h"
 #include "graph/batch_reachability.h"
 #include "graph/graph.h"
@@ -66,6 +69,28 @@ enum class QueryKind {
 
 /// The canonical lower-case name ("flow" / "community" / "joint").
 const char* QueryKindName(QueryKind kind);
+
+/// \brief Which estimator answers a query.
+///
+/// `kBank` is the classic Eq. 5 replay over retained MH rows; `kAnalytic`
+/// is the sampling-free message-passing estimator (analytic/
+/// cascade_estimator.h); `kAuto` lets the BackendDispatcher route per
+/// query — analytic only when the query is unconditional, non-joint, and
+/// its reachable subgraph admits an *exact* analytic regime (tree-like or
+/// enumerable), bank replay otherwise. Conditioning (Eq. 7–8) and joint
+/// queries always go to the bank: their estimators are row filters by
+/// construction.
+enum class QueryBackend {
+  kAuto,
+  kAnalytic,
+  kBank,
+};
+
+/// The canonical lower-case name ("auto" / "analytic" / "bank").
+const char* QueryBackendName(QueryBackend backend);
+
+/// Parses a backend name; fails descriptively on anything else.
+Result<QueryBackend> ParseQueryBackend(std::string_view name);
 
 /// \brief One flow query.
 struct QueryRequest {
@@ -92,6 +117,11 @@ struct QueryRequest {
   FlowConditions given;
   /// Per-query deadline in milliseconds from batch entry; 0 → none.
   double timeout_ms = 0.0;
+  /// Requested backend; absent → the engine's default_backend. Explicit
+  /// kAnalytic fails descriptively when the query is ineligible (joint,
+  /// conditional) or the subgraph is not tree-like enough; kAuto never
+  /// fails for backend reasons — it falls back to the bank.
+  std::optional<QueryBackend> backend;
 };
 
 /// \brief One sink's estimate with its convergence evidence.
@@ -137,6 +167,13 @@ struct QueryResult {
   /// summed across workers; empty on the single engine). Batch
   /// attribution; feeds the slow-query log's shard timings.
   std::vector<double> shard_replay_ms;
+  /// Which estimator actually answered (never kAuto): kAnalytic when the
+  /// dispatcher took the sampling-free path, kBank for row replay. Stamped
+  /// into the serve NDJSON response, trace spans, and the slow-query log.
+  QueryBackend backend = QueryBackend::kBank;
+  /// The analytic regime used when backend == kAnalytic (tree-exact /
+  /// enumeration / loopy); meaningless otherwise.
+  analytic::AnalyticMethod analytic_method = analytic::AnalyticMethod::kTreeExact;
 };
 
 /// \brief Engine tuning.
@@ -153,9 +190,56 @@ struct QueryEngineOptions {
   /// one-BFS-per-row reference path — the `--scalar-reachability` escape
   /// hatch; results are bit-identical either way.
   bool use_batch_reachability = true;
+  /// Backend for requests that don't carry one. kBank preserves the
+  /// classic replay-everything behavior; the serve daemon's `--backend`
+  /// flag and the CLI's `--backend` override it.
+  QueryBackend default_backend = QueryBackend::kBank;
+  /// Tuning for the analytic estimator (feasibility thresholds, loopy
+  /// sweep budget). `require_exact` is ignored: the dispatcher forces it
+  /// per query (true under kAuto, false under explicit kAnalytic).
+  analytic::AnalyticOptions analytic;
 
   /// Validates the option values.
   Status Validate() const;
+};
+
+/// \brief Routes queries between the analytic estimator and bank replay.
+///
+/// Shared by QueryEngine and ShardedQueryEngine so single- and sharded-
+/// process deployments answer identically (bit-for-bit, which
+/// tests/test_shard.cc asserts): the dispatcher partitions a batch into
+/// analytically-answered results and bank-bound requests, the caller runs
+/// its own replay machinery over the latter, and `Merge` re-interleaves.
+class BackendDispatcher {
+ public:
+  explicit BackendDispatcher(const DirectedGraph& graph,
+                             const QueryEngineOptions& options)
+      : graph_(&graph), options_(&options) {}
+
+  /// \brief Answers every analytically-routed request in `requests`;
+  /// returns the indices of the requests the caller must replay against
+  /// bank rows (in original order). `results` must be pre-sized to
+  /// requests.size(); entries for analytic answers (success or
+  /// explicit-backend failure) are filled, bank-bound entries untouched.
+  std::vector<std::size_t> Partition(const BankGeneration& bank,
+                                     const std::vector<QueryRequest>& requests,
+                                     std::vector<QueryResult>& results) const;
+
+  /// Scatters the caller's bank replay results (aligned with the index
+  /// vector Partition returned) back into the full result vector and
+  /// stamps every result's backend counter.
+  static void Merge(const std::vector<std::size_t>& bank_indices,
+                    std::vector<QueryResult>&& bank_results,
+                    std::vector<QueryResult>& results);
+
+ private:
+  /// Answers one analytic-eligible query; sets `result` and returns true,
+  /// or returns false when the query must go to the bank (kAuto fallback).
+  bool TryAnalytic(const BankGeneration& bank, const QueryRequest& request,
+                   QueryBackend backend, QueryResult& result) const;
+
+  const DirectedGraph* graph_;
+  const QueryEngineOptions* options_;
 };
 
 /// \brief Answers query batches against BankGeneration rows.

@@ -343,6 +343,13 @@ Result<ShardedQueryEngine> ShardedQueryEngine::Create(
 
 std::vector<QueryResult> ShardedQueryEngine::AnswerBatch(
     const BankGeneration& bank, const std::vector<QueryRequest>& requests) {
+  // The exact dispatch the single engine runs (same class, same options),
+  // so shard-vs-single answers stay byte-identical per backend: analytic
+  // answers never touch the shard machinery at all.
+  std::vector<QueryResult> results(requests.size());
+  BackendDispatcher dispatcher(*graph_, options_);
+  const std::vector<std::size_t> bank_indices =
+      dispatcher.Partition(bank, requests, results);
   // One consistent cut across shards: all views belong to bank.id(), so a
   // refresh landing mid-batch cannot mix generations between shards.
   const std::vector<std::shared_ptr<const ShardView>> views =
@@ -351,7 +358,23 @@ std::vector<QueryResult> ShardedQueryEngine::AnswerBatch(
   QueryPlanOptions plan;
   plan.min_conditional_rows = options_.min_conditional_rows;
   plan.rows_per_task = options_.rows_per_task;
-  return RunQueryPlan(*graph_, bank, requests, plan, *pool_, ops);
+  if (bank_indices.size() == requests.size()) {
+    BackendDispatcher::Merge(bank_indices,
+                             RunQueryPlan(*graph_, bank, requests, plan,
+                                          *pool_, ops),
+                             results);
+    return results;
+  }
+  std::vector<QueryRequest> bank_requests;
+  bank_requests.reserve(bank_indices.size());
+  for (const std::size_t j : bank_indices) {
+    bank_requests.push_back(requests[j]);
+  }
+  BackendDispatcher::Merge(bank_indices,
+                           RunQueryPlan(*graph_, bank, bank_requests, plan,
+                                        *pool_, ops),
+                           results);
+  return results;
 }
 
 struct ProcessRouter::Child {

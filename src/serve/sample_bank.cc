@@ -75,6 +75,7 @@ Result<SampleBank> SampleBank::Create(PointIcm model, BankOptions options,
       std::make_unique<MultiChainSampler>(std::move(engine).ValueOrDie()),
       std::move(graph), options);
   bank.model_.emplace(std::move(kept));
+  bank.model_shared_ = std::make_shared<const PointIcm>(*bank.model_);
   bank.base_seed_ = seed;
   bank.current_ = bank.Fill(/*id=*/1, /*model_epoch=*/1);
   bank.age_.Restart();
@@ -115,6 +116,7 @@ std::shared_ptr<const BankGeneration> SampleBank::Fill(
   auto generation = std::make_shared<BankGeneration>(
       BankGeneration(id, model_epoch, graph_->num_edges(),
                      engine_->num_chains(), rows_per_chain));
+  generation->model_ptr_ = model_shared_;
   const std::size_t words_per_row = generation->words_per_row_;
   std::uint64_t* words = generation->words_.data();
   // ForEachSample runs the visitor on the worker owning each chain; rows are
@@ -186,6 +188,7 @@ Status SampleBank::Rebuild(PointIcm model, std::uint64_t model_epoch) {
   engine_ = std::make_unique<MultiChainSampler>(
       std::move(engine).ValueOrDie());
   model_.emplace(std::move(kept));
+  model_shared_ = std::make_shared<const PointIcm>(*model_);
   model_epoch_ = model_epoch;
   const std::uint64_t next_id = Acquire()->id() + 1;
   std::shared_ptr<const BankGeneration> next = Fill(next_id, model_epoch);

@@ -126,6 +126,13 @@ class BankGeneration {
   /// The chain row `r` was drawn by (rows are chain-major).
   std::size_t ChainOfRow(std::size_t r) const { return r / rows_per_chain_; }
 
+  /// \brief The model the rows were drawn from — the generation-consistent
+  /// snapshot the analytic query backend computes against (answers from one
+  /// generation always use the model that produced its rows, even while a
+  /// drift rebuild is publishing a newer epoch). Never null for bank-filled
+  /// generations.
+  const PointIcm* model() const { return model_ptr_.get(); }
+
   /// Unpacks row `r` into a byte-per-edge PseudoState (tests, debugging).
   PseudoState UnpackRow(std::size_t r) const;
 
@@ -146,6 +153,8 @@ class BankGeneration {
   /// the generation is published).
   void BuildEdgeMajor();
 
+  /// The epoch's model, shared with the owning bank (see model()).
+  std::shared_ptr<const PointIcm> model_ptr_;
   /// Row-major packed bits: words_[r·words_per_row + w].
   std::vector<std::uint64_t> words_;
   /// Edge-major packed bits: edge_major_[b·num_edges + e] bit s = edge e's
@@ -217,6 +226,9 @@ class SampleBank {
   /// rebuild validation); optional only because PointIcm lacks a default
   /// constructor — set at Create, never empty afterwards.
   std::optional<PointIcm> model_;
+  /// The same model as a shared snapshot, stamped onto every generation
+  /// Fill publishes (guarded by engine_mutex_ like model_).
+  std::shared_ptr<const PointIcm> model_shared_;
   /// The Create seed; Rebuild derives per-epoch chain seeds from it.
   std::uint64_t base_seed_ = 0;
   /// Model epoch of the current chains.

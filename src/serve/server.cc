@@ -300,7 +300,7 @@ std::string Server::HandleTopk(const TopkRequest& request) {
     if (request.community.empty() && request.given.empty()) {
       // The default universe reuses (or builds and publishes) the cached
       // generation-keyed sketch set.
-      auto acquired = rr_index_->Acquire(*generation);
+      auto acquired = rr_index_->Acquire(generation);
       IF_RETURN_NOT_OK(acquired.status());
       sketches = std::move(*acquired);
     } else {
@@ -312,6 +312,7 @@ std::string Server::HandleTopk(const TopkRequest& request) {
       build.targets = request.community;
       build.given = request.given;
       build.min_conditional_rows = options_.engine.min_conditional_rows;
+      build.pool = &rr_index_->pool();
       auto built =
           seedmax::RrSketchSet::Build(rr_index_->view(), *generation, build);
       IF_RETURN_NOT_OK(built.status());
@@ -414,6 +415,7 @@ void Server::LogSlowQueries(const std::vector<QueryRequest>& requests,
     record["query_id"] = static_cast<double>(requests[k].query_id);
     record["id"] = requests[k].id;
     record["kind"] = QueryKindName(requests[k].kind);
+    record["backend"] = QueryBackendName(result.backend);
     record["ok"] = result.status.ok();
     if (!result.status.ok()) {
       record["error_code"] = StatusCodeName(result.status.code());
@@ -521,7 +523,7 @@ void Server::RebuildLoop() {
       // deterministically invalidates stale reverse-reachable sketches.
       const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
       if (shard_set_ != nullptr) shard_set_->Prime(*generation);
-      rr_index_->Prime(*generation);
+      rr_index_->Prime(generation);
     }
   }
 }
@@ -601,7 +603,7 @@ void Server::RefreshLoop() {
     {
       const std::shared_ptr<const BankGeneration> generation = bank_.Acquire();
       if (shard_set_ != nullptr) shard_set_->Prime(*generation);
-      rr_index_->Prime(*generation);
+      rr_index_->Prime(generation);
     }
     next = std::chrono::steady_clock::now() + interval;
   }

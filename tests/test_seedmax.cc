@@ -458,14 +458,14 @@ TEST(RrIndex, CachesPerGenerationAndPrimeIsLazyUntilFirstUse) {
 
   // Prime before any Acquire is a no-op: a daemon that never serves top-k
   // must not pay sketch builds on refresh.
-  index.Prime(*bank.Acquire());
+  index.Prime(bank.Acquire());
   if constexpr (obs::MetricsEnabled()) {
     EXPECT_EQ(builds.Value(), builds_before);
   }
 
-  auto first = index.Acquire(*bank.Acquire());
+  auto first = index.Acquire(bank.Acquire());
   ASSERT_TRUE(first.ok()) << first.status();
-  auto second = index.Acquire(*bank.Acquire());
+  auto second = index.Acquire(bank.Acquire());
   ASSERT_TRUE(second.ok());
   EXPECT_EQ(first->get(), second->get());  // cached, not rebuilt
   if constexpr (obs::MetricsEnabled()) {
@@ -477,11 +477,11 @@ TEST(RrIndex, CachesPerGenerationAndPrimeIsLazyUntilFirstUse) {
   bank.Refresh();
   const auto generation = bank.Acquire();
   EXPECT_EQ(generation->id(), 2u);
-  index.Prime(*generation);
+  index.Prime(generation);
   if constexpr (obs::MetricsEnabled()) {
     EXPECT_EQ(builds.Value(), builds_before + 2);
   }
-  auto primed = index.Acquire(*generation);
+  auto primed = index.Acquire(generation);
   ASSERT_TRUE(primed.ok());
   EXPECT_EQ((*primed)->generation(), 2u);
   if constexpr (obs::MetricsEnabled()) {
@@ -496,7 +496,7 @@ TEST(RrIndex, RepublishUnderConcurrentTopkReaders) {
   const PointIcm model = SmallRandomModel(47, 12, 30);
   serve::SampleBank bank = MakeBank(model, 128, /*seed=*/8, /*chains=*/2);
   RrIndex index(bank.graph_ptr());
-  ASSERT_TRUE(index.Acquire(*bank.Acquire()).ok());
+  ASSERT_TRUE(index.Acquire(bank.Acquire()).ok());
 
   std::atomic<bool> stop{false};
   std::atomic<std::size_t> selections{0};
@@ -505,7 +505,7 @@ TEST(RrIndex, RepublishUnderConcurrentTopkReaders) {
     readers.emplace_back([&] {
       while (!stop.load(std::memory_order_relaxed)) {
         const auto generation = bank.Acquire();
-        auto sketches = index.Acquire(*generation);
+        auto sketches = index.Acquire(generation);
         ASSERT_TRUE(sketches.ok()) << sketches.status();
         SeedMaxOptions options;
         options.num_seeds = 2;
@@ -520,14 +520,111 @@ TEST(RrIndex, RepublishUnderConcurrentTopkReaders) {
   }
   for (int i = 0; i < 8; ++i) {
     bank.Refresh();
-    index.Prime(*bank.Acquire());
+    index.Prime(bank.Acquire());
   }
   stop.store(true);
   for (std::thread& t : readers) t.join();
   EXPECT_GT(selections.load(), 0u);
-  auto final_set = index.Acquire(*bank.Acquire());
+  auto final_set = index.Acquire(bank.Acquire());
   ASSERT_TRUE(final_set.ok());
   EXPECT_EQ((*final_set)->generation(), 9u);
+}
+
+// ------------------------------------------- parallel + incremental builds
+
+/// Full structural equality of two sketch sets: same accounting, and the
+/// same postings (group, lanes) in the same order at every node.
+void ExpectSketchSetsIdentical(const RrSketchSet& a, const RrSketchSet& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  EXPECT_EQ(a.universe(), b.universe());
+  EXPECT_EQ(a.num_sketches(), b.num_sketches());
+  EXPECT_EQ(a.num_groups(), b.num_groups());
+  EXPECT_EQ(a.effective_rows(), b.effective_rows());
+  for (NodeId u = 0; u < a.num_nodes(); ++u) {
+    const auto pa = a.Postings(u);
+    const auto pb = b.Postings(u);
+    ASSERT_EQ(pa.size(), pb.size()) << "node " << u;
+    for (std::size_t i = 0; i < pa.size(); ++i) {
+      EXPECT_EQ(pa[i].group, pb[i].group) << "node " << u << " posting " << i;
+      EXPECT_EQ(pa[i].lanes, pb[i].lanes) << "node " << u << " posting " << i;
+    }
+  }
+}
+
+TEST(RrSketchSet, ParallelBuildIsBitIdenticalToSerial) {
+  const PointIcm model = SmallRandomModel(61, 14, 36);
+  serve::SampleBank bank = MakeBank(model, 300, /*seed=*/62);
+  const auto generation = bank.Acquire();
+  const ReversedGraphView view = ReversedGraphView::Build(bank.graph_ptr());
+
+  auto serial = RrSketchSet::Build(view, *generation);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+
+  ThreadPool pool(3);
+  RrBuildOptions parallel_options;
+  parallel_options.pool = &pool;
+  auto parallel = RrSketchSet::Build(view, *generation, parallel_options);
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+  ExpectSketchSetsIdentical(*serial, *parallel);
+
+  // Conditioned builds parallelize over the same block partition; the
+  // narrowed lane masks must survive the merge identically.
+  RrBuildOptions conditioned;
+  conditioned.given = {{model.graph().edge(0).src,
+                        model.graph().edge(0).dst, true}};
+  conditioned.min_conditional_rows = 1;
+  auto cond_serial = RrSketchSet::Build(view, *generation, conditioned);
+  ASSERT_TRUE(cond_serial.ok()) << cond_serial.status();
+  conditioned.pool = &pool;
+  auto cond_parallel = RrSketchSet::Build(view, *generation, conditioned);
+  ASSERT_TRUE(cond_parallel.ok()) << cond_parallel.status();
+  ExpectSketchSetsIdentical(*cond_serial, *cond_parallel);
+}
+
+TEST(RrSketchSet, ReusedBlocksReconstructTheExactPostings) {
+  // Same generation as both diff base and build input: every block's edge
+  // plane matches, so the entire set must come out of the counting-sort
+  // lift — and be bit-identical to the scratch build it replaces.
+  const PointIcm model = SmallRandomModel(63, 12, 30);
+  serve::SampleBank bank = MakeBank(model, 256, /*seed=*/64);
+  const auto generation = bank.Acquire();
+  const ReversedGraphView view = ReversedGraphView::Build(bank.graph_ptr());
+
+  auto scratch = RrSketchSet::Build(view, *generation);
+  ASSERT_TRUE(scratch.ok()) << scratch.status();
+
+  const obs::Counter& reused =
+      obs::GetCounter("seedmax.sketch.blocks_reused_total");
+  const std::uint64_t reused_before = reused.Value();
+  RrBuildOptions incremental;
+  incremental.previous = &*scratch;
+  incremental.previous_rows = generation.get();
+  auto lifted = RrSketchSet::Build(view, *generation, incremental);
+  ASSERT_TRUE(lifted.ok()) << lifted.status();
+  ExpectSketchSetsIdentical(*scratch, *lifted);
+  if constexpr (obs::MetricsEnabled()) {
+    const std::size_t num_blocks = (generation->num_rows() + 63) / 64;
+    EXPECT_EQ(reused.Value(), reused_before + num_blocks);
+  }
+}
+
+TEST(RrIndex, AcquireAfterRefreshIsBitIdenticalToScratchBuild) {
+  // The end-to-end incremental path: the index diffs the new generation
+  // against the one it last inverted and lifts unchanged blocks. Whatever
+  // fraction is reused, the published set must equal a scratch build.
+  const PointIcm model = SmallRandomModel(65, 12, 30);
+  serve::SampleBank bank = MakeBank(model, 256, /*seed=*/66);
+  RrIndex index(bank.graph_ptr(), /*num_threads=*/2);
+  ASSERT_TRUE(index.Acquire(bank.Acquire()).ok());
+
+  bank.Refresh();
+  const auto generation = bank.Acquire();
+  auto incremental = index.Acquire(generation);
+  ASSERT_TRUE(incremental.ok()) << incremental.status();
+  const ReversedGraphView view = ReversedGraphView::Build(bank.graph_ptr());
+  auto scratch = RrSketchSet::Build(view, *generation);
+  ASSERT_TRUE(scratch.ok()) << scratch.status();
+  ExpectSketchSetsIdentical(*scratch, **incremental);
 }
 
 }  // namespace

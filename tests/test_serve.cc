@@ -1071,7 +1071,7 @@ TEST(Server, TopkVerbMatchesDirectSelectionOverTheSameBank) {
   // The served answer must match a direct selection over the same bank
   // generation exactly — same seeds, same spread estimate.
   auto generation = server.bank().Acquire();
-  auto sketches = server.rr_index()->Acquire(*generation);
+  auto sketches = server.rr_index()->Acquire(generation);
   ASSERT_TRUE(sketches.ok()) << sketches.status();
   seedmax::SeedMaxOptions options;
   options.num_seeds = 2;

@@ -887,7 +887,7 @@ TEST(ServeIngest, DriftRebuildInvalidatesTopkSketches) {
 
   // The rebuild's Prime left the index warm: acquiring the current
   // generation directly returns sketches already on the rebuilt epoch.
-  auto sketches = server->rr_index()->Acquire(*server->bank().Acquire());
+  auto sketches = server->rr_index()->Acquire(server->bank().Acquire());
   ASSERT_TRUE(sketches.ok()) << sketches.status();
   EXPECT_EQ((*sketches)->model_epoch(), 2u);
 }

@@ -172,9 +172,19 @@ int CmdSimulate(Flags& flags) {
   auto out_dir = flags.Require("out-dir");
   if (!out_dir.ok()) return Fail(out_dir.status());
 
+  const std::string topology = flags.Get("topology", "pref");
+
   Rng rng(seed);
-  auto graph = std::make_shared<const DirectedGraph>(
-      PreferentialAttachmentGraph(users, 3, 0.25, rng));
+  DirectedGraph topo;
+  if (topology == "pref") {
+    topo = PreferentialAttachmentGraph(users, 3, 0.25, rng);
+  } else if (topology == "tree") {
+    topo = RandomTreeGraph(users, 4, rng);
+  } else {
+    return Fail(Status::InvalidArgument("unknown topology '", topology,
+                                        "'; expected pref or tree"));
+  }
+  auto graph = std::make_shared<const DirectedGraph>(std::move(topo));
   std::vector<double> probs(graph->num_edges());
   for (double& p : probs) p = rng.Uniform(0.02, 0.3);
   const PointIcm truth(graph, probs);
@@ -335,9 +345,55 @@ int CmdQuery(Flags& flags) {
   const bool progress = flags.GetBool("progress");
   auto conditions = ParseFlowConditions(flags.Get("given", ""));
   if (!conditions.ok()) return Fail(conditions.status());
+  auto backend = serve::ParseQueryBackend(flags.Get("backend", "bank"));
+  if (!backend.ok()) return Fail(backend.status());
 
   auto model = LoadAnyModel(*model_path);
   if (!model.ok()) return Fail(model.status());
+
+  // --backend analytic / auto: the sampling-free message-passing estimator
+  // (src/analytic/) answers unconditional queries directly from the edge
+  // probabilities. Auto falls back to sampling unless the reachable
+  // subgraph admits an exact analytic regime; explicit analytic fails
+  // descriptively instead of silently sampling.
+  if (*backend != serve::QueryBackend::kBank) {
+    if (!conditions->empty()) {
+      if (*backend == serve::QueryBackend::kAnalytic) {
+        return Fail(Status::FailedPrecondition(
+            "--backend analytic cannot answer conditioned queries: "
+            "conditioning (Eq. 7-8) is a filter over retained rows -- use "
+            "--backend bank"));
+      }
+    } else {
+      if (source >= model->graph().num_nodes() ||
+          sink >= model->graph().num_nodes()) {
+        return Fail(Status::OutOfRange("source/sink out of range for ",
+                                       model->graph().num_nodes(),
+                                       " nodes"));
+      }
+      analytic::AnalyticOptions analytic_options;
+      analytic_options.require_exact =
+          *backend == serve::QueryBackend::kAuto;
+      const std::vector<NodeId> sources{source};
+      auto answer = analytic::ReachProbabilities(
+          model->graph(), model->probs(), sources, analytic_options);
+      if (answer.ok()) {
+        std::printf(
+            "Pr[%u ~> %u] = %.5f   (analytic backend, %s regime, expected "
+            "error %.3g)\n",
+            source, sink, answer->probability[sink],
+            analytic::AnalyticMethodName(answer->method),
+            answer->report.expected_error);
+        return 0;
+      }
+      if (*backend == serve::QueryBackend::kAnalytic) {
+        return Fail(answer.status());
+      }
+      std::fprintf(stderr, "auto backend: %s; answering by sampling\n",
+                   answer.status().message().c_str());
+    }
+  }
+
   MultiChainOptions options;
   options.num_chains = std::max<std::size_t>(1, chains);
   options.use_batch_reachability = !flags.GetBool("scalar-reachability");
@@ -544,6 +600,12 @@ int CmdServe(Flags& flags) {
   // instead of 64 rows per pass over the edge-major plane.
   server_options.engine.use_batch_reachability =
       !flags.GetBool("scalar-reachability");
+  // Default backend for wire requests that don't name one; per-request
+  // "backend" fields override it.
+  auto default_backend =
+      serve::ParseQueryBackend(flags.Get("backend", "bank"));
+  if (!default_backend.ok()) return Fail(default_backend.status());
+  server_options.engine.default_backend = *default_backend;
   // --stats-every refreshes the --metrics-json artifact periodically while
   // the daemon runs (atomically, via rename), instead of only at exit.
   server_options.stats_interval_ms = flags.GetDouble("stats-every", 0.0);
@@ -713,7 +775,7 @@ int CmdMaximize(Flags& flags) {
   seedmax::RrIndex index(bank->graph_ptr());
   std::shared_ptr<const seedmax::RrSketchSet> sketches;
   if (community->empty() && given->empty()) {
-    auto acquired = index.Acquire(*generation);
+    auto acquired = index.Acquire(generation);
     if (!acquired.ok()) return Fail(acquired.status());
     sketches = std::move(*acquired);
   } else {
@@ -721,6 +783,7 @@ int CmdMaximize(Flags& flags) {
     build.targets = std::move(*community);
     build.given = std::move(*given);
     build.min_conditional_rows = flags.GetInt("min-conditional-rows", 32);
+    build.pool = &index.pool();
     auto built = seedmax::RrSketchSet::Build(index.view(), *generation,
                                              build);
     if (!built.ok()) return Fail(built.status());
@@ -758,8 +821,40 @@ int CmdImpact(Flags& flags) {
   const auto source = static_cast<NodeId>(flags.GetInt("source", 0));
   const std::size_t cascades = flags.GetInt("cascades", 10000);
   const std::uint64_t seed = flags.GetInt("seed", 1);
+  auto backend = serve::ParseQueryBackend(flags.Get("backend", "bank"));
+  if (!backend.ok()) return Fail(backend.status());
   auto model = LoadAnyModel(*model_path);
   if (!model.ok()) return Fail(model.status());
+  if (source >= model->graph().num_nodes()) {
+    return Fail(Status::OutOfRange("source out of range for ",
+                                   model->graph().num_nodes(), " nodes"));
+  }
+
+  // --backend analytic / auto: fig 4's histogram as an exact PMF by
+  // subtree convolution (core/impact.h AnalyticImpact) — no cascades
+  // simulated at all. Auto falls back to simulation unless the reachable
+  // subgraph admits an exact regime.
+  if (*backend != serve::QueryBackend::kBank) {
+    analytic::AnalyticOptions analytic_options;
+    analytic_options.require_exact = *backend == serve::QueryBackend::kAuto;
+    auto pmf = AnalyticImpact(*model, source, analytic_options);
+    if (pmf.ok()) {
+      std::printf("impact of %u (analytic backend, %s regime): mean %.2f\n",
+                  source, analytic::AnalyticMethodName(pmf->method),
+                  pmf->Mean());
+      for (std::size_t k = 0; k < pmf->probs.size() && k <= 20; ++k) {
+        std::string bar(static_cast<std::size_t>(pmf->probs[k] * 50), '#');
+        std::printf("%4zu %-50s %.4f\n", k, bar.c_str(), pmf->probs[k]);
+      }
+      return 0;
+    }
+    if (*backend == serve::QueryBackend::kAnalytic) {
+      return Fail(pmf.status());
+    }
+    std::fprintf(stderr, "auto backend: %s; answering by simulation\n",
+                 pmf.status().message().c_str());
+  }
+
   Rng rng(seed);
   const ImpactDistribution dist =
       SimulateImpact(*model, source, cascades, rng);
@@ -812,10 +907,15 @@ int Usage() {
       "commands:\n"
       "  simulate            --out-dir D [--users N] [--messages M]\n"
       "                      [--tag-objects K] [--seed S]\n"
+      "                      [--topology pref|tree] (tree = random recursive\n"
+      "                      tree, the analytic backend's exact regime)\n"
       "  train-attributed    --graph truth.picm --evidence e.att --out m.bicm\n"
       "  train-unattributed  --graph truth.picm --traces t.utr --out m.picm\n"
       "                      [--method joint-bayes|goyal|saito-em|filtered]\n"
       "  query               --model m --source U --sink V [--given \"a>b c!>d\"]\n"
+      "                      [--backend auto|analytic|bank] (analytic = the\n"
+      "                      sampling-free message-passing estimator; auto\n"
+      "                      picks it only when exact on the subgraph)\n"
       "                      [--samples N] [--chains K] [--seed S] [--progress]\n"
       "                      [--scalar-reachability] (one BFS per sample)\n"
       "  serve               --model m [--bank-states N] [--chains K]\n"
@@ -824,6 +924,8 @@ int Usage() {
       "                      [--scalar-reachability] (one BFS per bank row\n"
       "                      instead of 64 rows per bit-parallel pass)\n"
       "                      [--seed S] (bank + rebuild chain seeds)\n"
+      "                      [--backend auto|analytic|bank] (default backend\n"
+      "                      for requests without a \"backend\" field)\n"
       "                      (NDJSON queries on stdin -> responses on stdout)\n"
       "    sharding:         [--shards N] (partition the graph, one engine\n"
       "                      per shard, bit-identical answers; N=1 is the\n"
@@ -858,6 +960,8 @@ int Usage() {
       "                      [--monte-carlo] (fresh-simulation CELF instead of\n"
       "                      the bank) [--simulations N]\n"
       "  impact              --model m --source U [--cascades N]\n"
+      "                      [--backend auto|analytic|bank] (analytic = exact\n"
+      "                      PMF by subtree convolution, no cascades)\n"
       "  info                --model m\n"
       "  parse-tweets        --tweets t.csv --graph truth.picm --out e.att\n"
       "observability (any command, written after a successful run):\n"
