@@ -1,23 +1,30 @@
 /// \file query_throughput.cc
 /// \brief Raw reachability-replay throughput: scalar one-BFS-per-row vs
-/// bit-parallel 64-rows-per-pass, across graph sizes.
+/// bit-parallel replay at 64/256/512 lanes, across graph sizes.
 ///
 /// This is the microbench under the serving numbers: it strips away
 /// sampling, conditioning and batching and times only the Eq. 5 inner loop
 /// — "given R retained pseudo-states, how fast can the indicator
 /// I(source ⤳ sink, x) be evaluated for all of them?". Rows are synthetic
 /// Bernoulli edge draws (density 0.5), packed row-major for the scalar
-/// path and transposed into the edge-major plane (bit_transpose.h) for
-/// the batch path, exactly as serve/SampleBank stores a generation.
+/// path, transposed into the edge-major plane (bit_transpose.h) for the
+/// 64-lane path, and interleaved into 4/8-word strips (strip_plane.h) for
+/// the 256/512-lane paths — exactly the layouts serve/SampleBank holds.
+/// Every path's per-row hit counts must agree exactly; a divergence fails
+/// the bench.
 ///
 /// Emits BENCH_query.json (in --csv <dir> when given, else the working
 /// directory) with one record per graph size: rows/s through each path,
-/// the `reach_speedup` ratio, and the transpose cost of building the
-/// plane. The checked-in copy at the repo root is the baseline the docs
-/// quote.
+/// per-width `reach_speedup_{64,256,512}` ratios over scalar (plus
+/// `reach_speedup`, the speedup at the width `--lanes auto` would pick),
+/// and the transpose/interleave costs of building the planes. The
+/// checked-in copy at the repo root is the baseline the docs quote, and
+/// CI's lane-width gate asserts 512-lane ≥ 1.5× over 64-lane on the quick
+/// shape from this file's output.
 
 #include <cstdio>
 #include <memory>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -25,6 +32,9 @@
 #include "graph/bit_transpose.h"
 #include "graph/generators.h"
 #include "graph/reachability.h"
+#include "graph/strip_plane.h"
+#include "graph/strip_reachability.h"
+#include "obs/metrics.h"
 #include "stats/rng.h"
 #include "util/json.h"
 
@@ -91,8 +101,10 @@ int Run(const BenchArgs& args) {
   Rng rng(args.seed);
   const std::vector<SizePoint> sizes =
       args.quick ? std::vector<SizePoint>{{500, 1250}, {2000, 5000}}
-                 : std::vector<SizePoint>{
-                       {1000, 2500}, {4000, 10000}, {16000, 40000}};
+                 : std::vector<SizePoint>{{1000, 2500},
+                                          {4000, 10000},
+                                          {6000, 14000},
+                                          {16000, 40000}};
   const std::size_t num_rows = args.quick ? 1024 : 4096;
   // Matches the serve model's mean activation probability (probs are
   // uniform on [0.05, 0.95] there), keeping the replay supercritical.
@@ -100,11 +112,13 @@ int Run(const BenchArgs& args) {
   const int reps = args.quick ? 2 : 3;
 
   CsvWriter csv({"nodes", "edges", "rows", "scalar_rows_per_s",
-                 "batch_rows_per_s", "reach_speedup", "transpose_ms"});
+                 "batch_rows_per_s", "lanes256_rows_per_s",
+                 "lanes512_rows_per_s", "reach_speedup", "transpose_ms"});
   JsonValue::Array records;
-  std::printf("%7s %7s %6s | %16s %16s %9s | %12s\n", "nodes", "edges",
-              "rows", "scalar rows/s", "batch rows/s", "speedup",
-              "transpose ms");
+  double gate_512_over_64 = 0.0;
+  std::printf("%7s %7s %6s | %14s %14s %14s %14s | %7s\n", "nodes", "edges",
+              "rows", "scalar rows/s", "64-lane", "256-lane", "512-lane",
+              "512/64");
   for (const SizePoint& size : sizes) {
     const DirectedGraph graph =
         UniformRandomGraph(size.nodes, size.edges, rng);
@@ -165,19 +179,82 @@ int Run(const BenchArgs& args) {
       return 1;
     }
 
+    // The multi-word strip paths: interleave the edge-major plane into
+    // W-word strips once (the cost SampleBank::AcquireStripPlane pays and
+    // caches per generation), then replay through the runtime-width
+    // workspace with RunUntil, exactly as the serve engine does.
+    const auto block_lane_mask = [&](std::size_t b) {
+      const std::size_t rows = std::min<std::size_t>(64, set.num_rows - b * 64);
+      return rows >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rows) - 1;
+    };
+    double strip_s[2] = {0.0, 0.0};
+    double interleave_ms[2] = {0.0, 0.0};
+    for (std::size_t i = 0; i < 2; ++i) {
+      const unsigned width = i == 0 ? 4 : 8;
+      WallTimer interleave_timer;
+      const StripPlane plane = BuildStripPlane(
+          width, graph.num_edges(), set.num_blocks(),
+          [&](std::size_t b) {
+            return set.edge_major.data() + b * graph.num_edges();
+          },
+          block_lane_mask);
+      interleave_ms[i] = interleave_timer.Seconds() * 1e3;
+      auto workspace = StripWorkspace::Create(width, graph);
+      std::size_t strip_hits = 0;
+      std::uint64_t target_mask[kMaxStripWords];
+      strip_s[i] = TimeBest(reps, [&] {
+        strip_hits = 0;
+        for (std::size_t q = 0; q < kPairs; ++q) {
+          sources[0] = panel_src[q];
+          for (std::size_t s = 0; s < plane.num_strips; ++s) {
+            workspace->RunUntil(graph, sources, plane.StripWords(s),
+                                panel_sink[q], plane.StripLaneMask(s),
+                                target_mask);
+            for (unsigned w = 0; w < width; ++w) {
+              strip_hits +=
+                  static_cast<std::size_t>(std::popcount(target_mask[w]));
+            }
+          }
+        }
+      });
+      if (strip_hits != scalar_hits) {
+        std::fprintf(stderr,
+                     "hit-count divergence: scalar %zu %u-lane strips %zu\n",
+                     scalar_hits, width * 64, strip_hits);
+        return 1;
+      }
+    }
+
     const double replayed = static_cast<double>(set.num_rows * kPairs);
     const double scalar_rows_per_s = replayed / scalar_s;
     const double batch_rows_per_s = replayed / batch_s;
-    const double reach_speedup = scalar_s / batch_s;
+    const double lanes256_rows_per_s = replayed / strip_s[0];
+    const double lanes512_rows_per_s = replayed / strip_s[1];
+    const unsigned auto_words = ResolveStripWords(
+        LaneWidth::kAuto, set.num_rows, size.nodes, size.edges);
+    // The headline ratio follows the width `--lanes auto` picks for this
+    // row count — what the serve daemon actually runs.
+    const double reach_speedup =
+        auto_words == 8   ? scalar_s / strip_s[1]
+        : auto_words == 4 ? scalar_s / strip_s[0]
+                          : scalar_s / batch_s;
+    const double ratio_512_over_64 = batch_s / strip_s[1];
+    // The CI gate reads the smallest (first) shape: that's the one whose
+    // working set is L2-resident at every width, where wide strips must
+    // win. Bigger shapes print their honest (possibly < 1×) ratios above —
+    // there `--lanes auto` steps back down, so they don't gate.
+    if (gate_512_over_64 == 0.0) gate_512_over_64 = ratio_512_over_64;
     const double transpose_ms = set.transpose_s * 1e3;
-    std::printf("%7u %7u %6zu | %16.0f %16.0f %8.1fx | %12.2f\n", size.nodes,
-                size.edges, set.num_rows, scalar_rows_per_s,
-                batch_rows_per_s, reach_speedup, transpose_ms);
+    std::printf("%7u %7u %6zu | %14.0f %14.0f %14.0f %14.0f | %6.2fx\n",
+                size.nodes, size.edges, set.num_rows, scalar_rows_per_s,
+                batch_rows_per_s, lanes256_rows_per_s, lanes512_rows_per_s,
+                ratio_512_over_64);
     csv.AppendNumericRow({static_cast<double>(size.nodes),
                           static_cast<double>(size.edges),
                           static_cast<double>(set.num_rows),
-                          scalar_rows_per_s, batch_rows_per_s, reach_speedup,
-                          transpose_ms});
+                          scalar_rows_per_s, batch_rows_per_s,
+                          lanes256_rows_per_s, lanes512_rows_per_s,
+                          reach_speedup, transpose_ms});
 
     JsonValue::Object record;
     record["nodes"] = static_cast<double>(size.nodes);
@@ -187,8 +264,16 @@ int Run(const BenchArgs& args) {
         static_cast<double>(scalar_hits) / replayed;
     record["scalar_rows_per_s"] = scalar_rows_per_s;
     record["batch_rows_per_s"] = batch_rows_per_s;
+    record["lanes256_rows_per_s"] = lanes256_rows_per_s;
+    record["lanes512_rows_per_s"] = lanes512_rows_per_s;
     record["reach_speedup"] = reach_speedup;
+    record["reach_speedup_64"] = scalar_s / batch_s;
+    record["reach_speedup_256"] = scalar_s / strip_s[0];
+    record["reach_speedup_512"] = scalar_s / strip_s[1];
+    record["strip_width"] = static_cast<double>(64 * auto_words);
     record["transpose_ms"] = transpose_ms;
+    record["interleave256_ms"] = interleave_ms[0];
+    record["interleave512_ms"] = interleave_ms[1];
     records.push_back(JsonValue(std::move(record)));
   }
 
@@ -198,6 +283,9 @@ int Run(const BenchArgs& args) {
   doc["edge_density"] = density;
   doc["quick"] = args.quick;
   doc["seed"] = static_cast<double>(args.seed);
+  doc["hardware_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+  doc["metrics_enabled"] = obs::MetricsEnabled();
   doc["results"] = JsonValue(std::move(records));
   const std::string json = JsonValue(std::move(doc)).Dump();
   const std::string path = args.WantCsv() ? args.csv_dir + "/BENCH_query.json"
@@ -211,9 +299,13 @@ int Run(const BenchArgs& args) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
     return 1;
   }
-  std::printf("shape: one bit-parallel pass answers 64 rows, so the win "
-              "approaches 64x minus frontier bookkeeping; early exit keeps "
-              "both paths sublinear when the sink is close to the source.\n");
+  std::printf("lane-width verdict: 512-lane strips %.2fx over 64-lane on "
+              "the smallest (cache-resident) shape (CI gate: >= 1.5x)\n",
+              gate_512_over_64);
+  std::printf("shape: one bit-parallel pass answers 64 rows per plane word, "
+              "so widening to 8-word strips amortizes the frontier "
+              "bookkeeping over 512 rows; early exit keeps every path "
+              "sublinear when the sink is close to the source.\n");
   args.MaybeWriteCsv(csv, "query_throughput.csv");
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace infoflow {
@@ -34,6 +35,22 @@ inline void Transpose64x64(std::uint64_t m[64]) {
       m[i + shift] ^= t;
     }
     mask ^= mask << (shift >> 1);
+  }
+}
+
+/// \brief Scatters one 64-sample block's edge-major plane into word slot
+/// `w` of a `width`-word strip-major plane: `strip_words[e*width + w] =
+/// block_plane[e]`.
+///
+/// The strip layout (strip_plane.h) interleaves the words of `width`
+/// consecutive blocks per edge, so the W-lane BFS loads one edge's whole
+/// strip with a single contiguous read. No bit-level work is needed beyond
+/// the per-block Transpose64x64 above — widening is a word gather.
+inline void ScatterBlockIntoStrip(const std::uint64_t* block_plane,
+                                  std::size_t num_edges, unsigned width,
+                                  unsigned w, std::uint64_t* strip_words) {
+  for (std::size_t e = 0; e < num_edges; ++e) {
+    strip_words[e * width + w] = block_plane[e];
   }
 }
 

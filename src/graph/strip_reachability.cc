@@ -1,0 +1,110 @@
+#include "graph/strip_reachability.h"
+
+#include <string>
+
+#include "graph/strip_reachability_inl.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+const char* LaneWidthName(LaneWidth lanes) {
+  switch (lanes) {
+    case LaneWidth::kAuto:
+      return "auto";
+    case LaneWidth::k64:
+      return "64";
+    case LaneWidth::k256:
+      return "256";
+    case LaneWidth::k512:
+      return "512";
+  }
+  return "unknown";
+}
+
+Result<LaneWidth> ParseLaneWidth(std::string_view name) {
+  if (name == "auto") return LaneWidth::kAuto;
+  if (name == "64") return LaneWidth::k64;
+  if (name == "256") return LaneWidth::k256;
+  if (name == "512") return LaneWidth::k512;
+  return Status::InvalidArgument("unknown lane width \"", std::string(name),
+                                 "\"; expected 64, 256, 512, or auto");
+}
+
+unsigned ResolveStripWords(LaneWidth lanes, std::size_t num_rows,
+                           std::size_t num_nodes, std::size_t num_edges) {
+  switch (lanes) {
+    case LaneWidth::k64:
+      return 1;
+    case LaneWidth::k256:
+      return 4;
+    case LaneWidth::k512:
+      return 8;
+    case LaneWidth::kAuto:
+      break;
+  }
+  // Widest strip the batch fills: a half-empty strip would pay W words per
+  // edge for dead lanes, so only step up when the rows cover it.
+  unsigned words = 1;
+  if (num_rows >= 512) {
+    words = 8;
+  } else if (num_rows >= 256) {
+    words = 4;
+  }
+  // Cache cap (see header): per width-word the replay streams the node
+  // state (reached + propagated) plus one strip of the edge plane —
+  // (2n + m)·8 bytes. Once that spills L2 the wide strip's fewer-revisits
+  // win inverts into a per-visit latency loss, so step back down.
+  if (num_nodes != 0 || num_edges != 0) {
+    const std::size_t bytes_per_word = (2 * num_nodes + num_edges) * 8;
+    while (words > 1 && bytes_per_word * words > kStripWorkingSetBudget) {
+      words = words == 8 ? 4 : 1;
+    }
+  }
+  return words;
+}
+
+#if defined(INFOFLOW_STRIP_AVX2)
+std::unique_ptr<StripWorkspace> CreateAvx2StripWorkspace(
+    unsigned width_words, const DirectedGraph& graph);
+#endif
+#if defined(INFOFLOW_STRIP_AVX512)
+std::unique_ptr<StripWorkspace> CreateAvx512StripWorkspace(
+    unsigned width_words, const DirectedGraph& graph);
+#endif
+
+std::unique_ptr<StripWorkspace> StripWorkspace::Create(
+    unsigned width_words, const DirectedGraph& graph) {
+  IF_CHECK(width_words == 1 || width_words == 4 || width_words == 8)
+      << "unsupported strip width " << width_words;
+  // Widest ISA variant the running CPU supports, falling through to the
+  // always-compiled generic instantiation. Every variant computes
+  // bit-identical masks (pinned by the differential suite), so the pick
+  // only affects speed. W=1 has no vector body — the single word is
+  // narrower than any vector granule — so it always takes the generic path.
+  if (width_words > 1) {
+#if defined(INFOFLOW_STRIP_AVX512)
+    if (width_words == 8 && __builtin_cpu_supports("avx512f")) {
+      return CreateAvx512StripWorkspace(width_words, graph);
+    }
+#endif
+#if defined(INFOFLOW_STRIP_AVX2)
+    if (__builtin_cpu_supports("avx2")) {
+      return CreateAvx2StripWorkspace(width_words, graph);
+    }
+#endif
+  }
+  switch (width_words) {
+    case 1:
+      return std::make_unique<StripReachabilityWorkspace<1>>(graph);
+    case 4:
+      return std::make_unique<StripReachabilityWorkspace<4>>(graph);
+    default:
+      return std::make_unique<StripReachabilityWorkspace<8>>(graph);
+  }
+}
+
+template class StripReachabilityWorkspace<1, kIsaGeneric>;
+template class StripReachabilityWorkspace<4, kIsaGeneric>;
+template class StripReachabilityWorkspace<8, kIsaGeneric>;
+
+}  // namespace infoflow

@@ -1,0 +1,33 @@
+/// \file strip_reachability_avx2.cc
+/// \brief AVX2-tagged strip workspace instantiations.
+///
+/// This translation unit is compiled with -mavx2 (gated by CMake's
+/// check_cxx_compiler_flag and the INFOFLOW_STRIP_AVX2 define), so the
+/// StripOps<W, kIsaAvx2> kernel bodies here use 256-bit granules. Only the
+/// factory below may be called from generic code — StripWorkspace::Create
+/// guards it with __builtin_cpu_supports("avx2") so these instructions
+/// never execute on a CPU without them.
+
+#include "graph/strip_reachability_inl.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+template class StripReachabilityWorkspace<4, kIsaAvx2>;
+template class StripReachabilityWorkspace<8, kIsaAvx2>;
+
+std::unique_ptr<StripWorkspace> CreateAvx2StripWorkspace(
+    unsigned width_words, const DirectedGraph& graph) {
+  switch (width_words) {
+    case 4:
+      return std::make_unique<StripReachabilityWorkspace<4, kIsaAvx2>>(graph);
+    case 8:
+      return std::make_unique<StripReachabilityWorkspace<8, kIsaAvx2>>(graph);
+    default:
+      break;
+  }
+  IF_CHECK(false) << "no AVX2 strip variant for width " << width_words;
+  return nullptr;
+}
+
+}  // namespace infoflow

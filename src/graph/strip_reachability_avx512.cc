@@ -1,0 +1,24 @@
+/// \file strip_reachability_avx512.cc
+/// \brief AVX-512-tagged strip workspace instantiation.
+///
+/// Compiled with -mavx512f (gated by CMake's check_cxx_compiler_flag and
+/// the INFOFLOW_STRIP_AVX512 define): the StripOps<8, kIsaAvx512> kernels
+/// here run one 512-bit granule per strip. Only the 8-word width gets a
+/// dedicated AVX-512 variant — a 4-word strip is a single 256-bit granule,
+/// which the AVX2 unit already covers. StripWorkspace::Create guards the
+/// factory with __builtin_cpu_supports("avx512f").
+
+#include "graph/strip_reachability_inl.h"
+#include "util/check.h"
+
+namespace infoflow {
+
+template class StripReachabilityWorkspace<8, kIsaAvx512>;
+
+std::unique_ptr<StripWorkspace> CreateAvx512StripWorkspace(
+    unsigned width_words, const DirectedGraph& graph) {
+  IF_CHECK_EQ(width_words, 8u) << "no AVX-512 strip variant for this width";
+  return std::make_unique<StripReachabilityWorkspace<8, kIsaAvx512>>(graph);
+}
+
+}  // namespace infoflow

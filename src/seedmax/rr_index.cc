@@ -6,6 +6,8 @@
 #include <utility>
 
 #include "graph/batch_reachability.h"
+#include "graph/strip_plane.h"
+#include "graph/strip_reachability.h"
 #include "obs/metrics.h"
 #include "util/check.h"
 #include "util/timer.h"
@@ -60,6 +62,17 @@ void ReversedGraphView::GatherBlock(const std::uint64_t* parent_words,
   const std::size_t m = to_parent_.size();
   for (std::size_t re = 0; re < m; ++re) {
     reversed_words[re] = parent_words[to_parent_[re]];
+  }
+}
+
+void ReversedGraphView::GatherStrip(const std::uint64_t* parent_strip,
+                                    unsigned width,
+                                    std::uint64_t* reversed_strip) const {
+  const std::size_t m = to_parent_.size();
+  for (std::size_t re = 0; re < m; ++re) {
+    std::memcpy(reversed_strip + re * width,
+                parent_strip + std::size_t{to_parent_[re]} * width,
+                width * sizeof(std::uint64_t));
   }
 }
 
@@ -182,6 +195,79 @@ Result<RrSketchSet> RrSketchSet::Build(
     RrPosting posting;
   };
   std::vector<std::vector<NodePosting>> block_raw(num_blocks);
+  // Replay width: strips of W consecutive blocks share one reverse pass
+  // when the bank is deep enough (graph/strip_reachability.h), so the
+  // sketch build consumes 64·W rows per BFS. W=1 keeps the classic
+  // per-block loop. Per-word results equal the per-block fixpoints, and
+  // postings are emitted per block in the same (target, node) order, so
+  // the built set is bit-identical at every width.
+  const unsigned strip_words =
+      ResolveStripWords(LaneWidth::kAuto, generation.num_rows(),
+                        reversed.num_nodes(), reversed.num_edges());
+  if (strip_words > 1) {
+    std::shared_ptr<const StripPlane> strip_plane =
+        generation.AcquireStripPlane(strip_words);
+    const std::size_t num_strips = strip_plane->num_strips;
+    const auto build_strip = [&](StripWorkspace& workspace,
+                                 std::uint64_t* reversed_strip,
+                                 std::size_t s) {
+      const std::size_t b0 = s * strip_words;
+      // Reused and lane-dead blocks ride along with zero lane words: their
+      // masks stay zero, so they emit nothing — exactly a skip.
+      std::uint64_t strip_lanes[kMaxStripWords] = {};
+      std::uint64_t live = 0;
+      for (unsigned w = 0; w < strip_words && b0 + w < num_blocks; ++w) {
+        if (fresh[b0 + w] != 0) strip_lanes[w] = lane[b0 + w];
+        live |= strip_lanes[w];
+      }
+      if (live == 0) return;
+      view.GatherStrip(strip_plane->StripWords(s), strip_words,
+                       reversed_strip);
+      for (std::size_t ti = 0; ti < num_targets; ++ti) {
+        workspace.Begin(reversed);
+        workspace.Seed(targets[ti], strip_lanes);
+        workspace.Propagate(reversed_strip);
+        metrics.reverse_passes->Increment();
+        for (const NodeId u : workspace.TouchedNodes()) {
+          const std::uint64_t* mask = workspace.ReachedMask(u);
+          for (unsigned w = 0; w < strip_words; ++w) {
+            if (mask[w] == 0) continue;
+            const auto group =
+                static_cast<std::uint32_t>(ti * num_blocks + b0 + w);
+            block_raw[b0 + w].push_back({u, {group, mask[w]}});
+          }
+        }
+      }
+    };
+    if (options.pool != nullptr && options.pool->size() > 1 &&
+        num_strips > 1) {
+      const std::size_t num_chunks =
+          std::min(num_strips, options.pool->size() * 4);
+      const std::size_t per_chunk =
+          (num_strips + num_chunks - 1) / num_chunks;
+      for (std::size_t c = 0; c < num_chunks; ++c) {
+        const std::size_t begin = c * per_chunk;
+        const std::size_t end = std::min(num_strips, begin + per_chunk);
+        if (begin >= end) break;
+        options.pool->Submit([&, begin, end] {
+          auto workspace = StripWorkspace::Create(strip_words, reversed);
+          std::vector<std::uint64_t> reversed_strip(parent.num_edges() *
+                                                    strip_words);
+          for (std::size_t s = begin; s < end; ++s) {
+            build_strip(*workspace, reversed_strip.data(), s);
+          }
+        });
+      }
+      options.pool->Wait();
+    } else {
+      auto workspace = StripWorkspace::Create(strip_words, reversed);
+      std::vector<std::uint64_t> reversed_strip(parent.num_edges() *
+                                                strip_words);
+      for (std::size_t s = 0; s < num_strips; ++s) {
+        build_strip(*workspace, reversed_strip.data(), s);
+      }
+    }
+  } else {
   const auto build_block = [&](BatchReachabilityWorkspace& workspace,
                                std::uint64_t* reversed_words,
                                std::size_t b) {
@@ -224,6 +310,7 @@ Result<RrSketchSet> RrSketchSet::Build(
     for (std::size_t b = 0; b < num_blocks; ++b) {
       build_block(workspace, reversed_words.data(), b);
     }
+  }
   }
 
   // Lift the reused blocks' postings out of the previous set's node-major

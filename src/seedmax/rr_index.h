@@ -80,6 +80,12 @@ class ReversedGraphView {
   void GatherBlock(const std::uint64_t* parent_words,
                    std::uint64_t* reversed_words) const;
 
+  /// Strip variant: gathers one strip-major strip (`width` words per edge,
+  /// see graph/strip_plane.h) into reversed edge order —
+  /// out[re·width + w] = in[ParentEdge(re)·width + w].
+  void GatherStrip(const std::uint64_t* parent_strip, unsigned width,
+                   std::uint64_t* reversed_strip) const;
+
  private:
   std::shared_ptr<const DirectedGraph> parent_;
   DirectedGraph reversed_;

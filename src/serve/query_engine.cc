@@ -29,18 +29,26 @@ bool RowSatisfies(const DirectedGraph& graph, const std::uint64_t* row,
 
 /// The single-graph BlockOps: every block's 64 rows are answered directly
 /// over the bank's plane (batch path) or its packed rows (scalar reference
-/// path), one BFS workspace per pool worker.
+/// path), one BFS workspace per pool worker. When the batch resolved a
+/// multi-word lane width, `strip_plane` is the bank's interleaved W-word
+/// plane and the Strip* hooks replay whole strips through the per-worker
+/// StripWorkspaces; at 64 lanes it is null and the per-block hooks run
+/// byte-for-byte as before.
 class SingleGraphOps final : public BlockOps {
  public:
   SingleGraphOps(const DirectedGraph& graph, const BankGeneration& bank,
                  bool batch_bfs,
                  std::vector<ReachabilityWorkspace>& workspaces,
-                 std::vector<BatchReachabilityWorkspace>& batch_workspaces)
+                 std::vector<BatchReachabilityWorkspace>& batch_workspaces,
+                 const StripPlane* strip_plane,
+                 std::vector<std::unique_ptr<StripWorkspace>>* strip_workspaces)
       : graph_(graph),
         bank_(bank),
         batch_bfs_(batch_bfs),
         workspaces_(workspaces),
-        batch_workspaces_(batch_workspaces) {}
+        batch_workspaces_(batch_workspaces),
+        strip_plane_(strip_plane),
+        strip_workspaces_(strip_workspaces) {}
 
   std::uint64_t BlockConditions(std::size_t worker, std::size_t block,
                                 const FlowConditions& conditions,
@@ -98,12 +106,59 @@ class SingleGraphOps final : public BlockOps {
     }
   }
 
+  unsigned StripWords() const override {
+    return strip_plane_ != nullptr ? strip_plane_->width : 1;
+  }
+
+  void StripConditions(std::size_t worker, std::size_t strip,
+                       const FlowConditions& conditions,
+                       std::uint64_t* lanes) override {
+    if (strip_plane_ == nullptr) {
+      BlockOps::StripConditions(worker, strip, conditions, lanes);
+      return;
+    }
+    const unsigned wn = strip_plane_->width;
+    StripWorkspace& ws = *(*strip_workspaces_)[worker];
+    std::vector<NodeId> src(1);
+    std::uint64_t reached[kMaxStripWords];
+    for (const FlowConstraint& c : conditions) {
+      std::uint64_t live = 0;
+      for (unsigned w = 0; w < wn; ++w) live |= lanes[w];
+      if (live == 0) break;
+      src[0] = c.source;
+      ws.RunUntil(graph_, src, strip_plane_->StripWords(strip), c.sink,
+                  lanes, reached);
+      for (unsigned w = 0; w < wn; ++w) {
+        lanes[w] = c.must_flow ? reached[w] : lanes[w] & ~reached[w];
+      }
+    }
+  }
+
+  void StripReach(std::size_t worker, std::size_t strip,
+                  const std::vector<NodeId>& sources,
+                  const std::uint64_t* lanes, const std::vector<NodeId>& sinks,
+                  std::uint64_t* out) override {
+    if (strip_plane_ == nullptr) {
+      BlockOps::StripReach(worker, strip, sources, lanes, sinks, out);
+      return;
+    }
+    const unsigned wn = strip_plane_->width;
+    StripWorkspace& ws = *(*strip_workspaces_)[worker];
+    ws.Run(graph_, sources, strip_plane_->StripWords(strip), lanes);
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+      const std::uint64_t* mask = ws.ReachedMask(sinks[s]);
+      for (unsigned w = 0; w < wn; ++w) out[s * wn + w] = mask[w];
+    }
+  }
+
  private:
   const DirectedGraph& graph_;
   const BankGeneration& bank_;
   const bool batch_bfs_;
   std::vector<ReachabilityWorkspace>& workspaces_;
   std::vector<BatchReachabilityWorkspace>& batch_workspaces_;
+  const StripPlane* strip_plane_;
+  std::vector<std::unique_ptr<StripWorkspace>>* strip_workspaces_;
 };
 
 }  // namespace
@@ -271,6 +326,8 @@ QueryEngine::QueryEngine(std::shared_ptr<const DirectedGraph> graph,
     workspaces_.emplace_back(*graph_);
     batch_workspaces_.emplace_back(*graph_);
   }
+  // Strip workspaces stay null until a batch resolves a multi-word width.
+  strip_workspaces_.resize(pool_->size());
 }
 
 Status QueryEngine::ValidateRequest(const QueryRequest& request) const {
@@ -283,8 +340,27 @@ std::vector<QueryResult> QueryEngine::AnswerBatch(
   BackendDispatcher dispatcher(*graph_, options_);
   const std::vector<std::size_t> bank_indices =
       dispatcher.Partition(bank, requests, results);
+  // Resolve the replay width against this generation's row count; the
+  // W-word strip plane is interleaved lazily on first acquisition and
+  // cached on the generation, so later batches pay nothing.
+  std::shared_ptr<const StripPlane> strip_plane;
+  if (options_.use_batch_reachability) {
+    const unsigned strip_words =
+        ResolveStripWords(options_.lanes, bank.num_rows(),
+                          graph_->num_nodes(), graph_->num_edges());
+    if (strip_words > 1) {
+      strip_plane = bank.AcquireStripPlane(strip_words);
+      for (auto& ws : strip_workspaces_) {
+        if (ws == nullptr || ws->words() != strip_words) {
+          ws = StripWorkspace::Create(strip_words, *graph_);
+        }
+      }
+    }
+    obs::GetGauge("reach.strip_width").Set(64.0 * strip_words);
+  }
   SingleGraphOps ops(*graph_, bank, options_.use_batch_reachability,
-                     workspaces_, batch_workspaces_);
+                     workspaces_, batch_workspaces_, strip_plane.get(),
+                     &strip_workspaces_);
   QueryPlanOptions plan;
   plan.min_conditional_rows = options_.min_conditional_rows;
   plan.rows_per_task = options_.rows_per_task;

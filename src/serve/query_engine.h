@@ -49,6 +49,7 @@
 #include "graph/batch_reachability.h"
 #include "graph/graph.h"
 #include "graph/reachability.h"
+#include "graph/strip_reachability.h"
 #include "obs/metrics.h"
 #include "serve/sample_bank.h"
 #include "stats/convergence.h"
@@ -190,6 +191,13 @@ struct QueryEngineOptions {
   /// one-BFS-per-row reference path — the `--scalar-reachability` escape
   /// hatch; results are bit-identical either way.
   bool use_batch_reachability = true;
+  /// Replay lane width for the batch path (`--lanes {64,256,512,auto}`).
+  /// k64 keeps the classic one-word BatchReachabilityWorkspace; k256/k512
+  /// replay 4/8-word strips (graph/strip_reachability.h) so one BFS pass
+  /// answers 256/512 rows; kAuto picks the widest strip the bank fills.
+  /// Results are bit-identical at every width (differentially tested).
+  /// Ignored on the scalar reference path.
+  LaneWidth lanes = LaneWidth::kAuto;
   /// Backend for requests that don't carry one. kBank preserves the
   /// classic replay-everything behavior; the serve daemon's `--backend`
   /// flag and the CLI's `--backend` override it.
@@ -273,6 +281,10 @@ class QueryEngine {
   std::vector<ReachabilityWorkspace> workspaces_;
   /// Scratch bit-parallel workspace per worker task index (batch path).
   std::vector<BatchReachabilityWorkspace> batch_workspaces_;
+  /// Scratch multi-word strip workspace per worker (batch path at 256/512
+  /// lanes). Lazily created at the batch's resolved width and recreated
+  /// only when a later batch resolves a different width.
+  std::vector<std::unique_ptr<StripWorkspace>> strip_workspaces_;
 };
 
 }  // namespace infoflow::serve

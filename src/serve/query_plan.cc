@@ -6,6 +6,7 @@
 #include <chrono>
 #include <utility>
 
+#include "graph/strip_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "stats/convergence.h"
@@ -244,18 +245,22 @@ std::vector<QueryResult> RunQueryPlan(
     given_of[i] = g;
   }
 
-  // Workers partition whole blocks, so mask/indicator words are never
-  // shared between tasks — the scalar path writes single bits into the
-  // same words the batch path fills 64 at a time.
+  // Workers partition whole strips of W consecutive blocks (W = 1 for the
+  // per-block engines), so mask/indicator words are never shared between
+  // tasks — the scalar path writes single bits into the same words the
+  // batch path fills 64·W at a time.
+  const unsigned strip_words = std::max(1u, ops.StripWords());
+  IF_CHECK_LE(strip_words, kMaxStripWords);
+  const std::size_t num_strips = (num_blocks + strip_words - 1) / strip_words;
   const std::size_t num_tasks = pool.size();
   const auto task_range = [&](std::size_t t) {
-    const std::size_t per = (num_blocks + num_tasks - 1) / num_tasks;
-    const std::size_t begin = std::min(t * per, num_blocks);
+    const std::size_t per = (num_strips + num_tasks - 1) / num_tasks;
+    const std::size_t begin = std::min(t * per, num_strips);
     return std::pair<std::size_t, std::size_t>(
-        begin, std::min(begin + per, num_blocks));
+        begin, std::min(begin + per, num_strips));
   };
-  const std::size_t blocks_per_check =
-      std::max<std::size_t>(1, options.rows_per_task / 64);
+  const std::size_t strips_per_check = std::max<std::size_t>(
+      1, options.rows_per_task / (std::size_t{64} * strip_words));
 
   for (GivenSet& set : given_sets) {
     obs::TraceSpan mask_span("serve/plan/given_mask", batch_query_id);
@@ -265,17 +270,25 @@ std::vector<QueryResult> RunQueryPlan(
     ParallelFor(pool, num_tasks, [&](std::size_t t) {
       const auto [begin, end] = task_range(t);
       std::size_t count = 0;
-      for (std::size_t b = begin; b < end; ++b) {
-        if ((b - begin) % blocks_per_check == 0 &&
+      std::uint64_t lanes[kMaxStripWords];
+      for (std::size_t s = begin; s < end; ++s) {
+        if ((s - begin) % strips_per_check == 0 &&
             (expired.load(std::memory_order_relaxed) ||
              Clock::now() > set.deadline)) {
           expired.store(true, std::memory_order_relaxed);
           return;
         }
-        const std::uint64_t word =
-            ops.BlockConditions(t, b, set.conditions, bank.BlockLaneMask(b));
-        set.mask[b] = word;
-        count += static_cast<std::size_t>(std::popcount(word));
+        const std::size_t b0 = s * strip_words;
+        const std::size_t bn =
+            std::min<std::size_t>(strip_words, num_blocks - b0);
+        for (std::size_t w = 0; w < strip_words; ++w) {
+          lanes[w] = w < bn ? bank.BlockLaneMask(b0 + w) : 0;
+        }
+        ops.StripConditions(t, s, set.conditions, lanes);
+        for (std::size_t w = 0; w < bn; ++w) {
+          set.mask[b0 + w] = lanes[w];
+          count += static_cast<std::size_t>(std::popcount(lanes[w]));
+        }
       }
       partial[t] = count;
     });
@@ -364,25 +377,42 @@ std::vector<QueryResult> RunQueryPlan(
     std::atomic<bool> expired{false};
     ParallelFor(pool, num_tasks, [&](std::size_t t) {
       const auto [begin, end] = task_range(t);
-      std::vector<std::uint64_t> out(group.sinks.size());
-      for (std::size_t b = begin; b < end; ++b) {
-        if ((b - begin) % blocks_per_check == 0 &&
+      std::vector<std::uint64_t> out(group.sinks.size() * strip_words);
+      std::uint64_t lanes[kMaxStripWords];
+      for (std::size_t s = begin; s < end; ++s) {
+        if ((s - begin) % strips_per_check == 0 &&
             (expired.load(std::memory_order_relaxed) ||
              Clock::now() > group.deadline)) {
           expired.store(true, std::memory_order_relaxed);
           return;
         }
-        // Conditional scans only visit the surviving lanes; a block with
-        // no survivors is skipped outright.
-        const std::uint64_t lanes =
-            mask != nullptr ? mask[b] : bank.BlockLaneMask(b);
-        if (lanes == 0) continue;
+        // Conditional scans only visit the surviving lanes; a strip with
+        // no survivors in any of its blocks is skipped outright (dead
+        // blocks inside a live strip ride along with all-zero lane words
+        // and contribute all-zero indicators, exactly like a skip).
+        const std::size_t b0 = s * strip_words;
+        const std::size_t bn =
+            std::min<std::size_t>(strip_words, num_blocks - b0);
+        std::uint64_t any = 0;
+        for (std::size_t w = 0; w < strip_words; ++w) {
+          lanes[w] = w < bn ? (mask != nullptr ? mask[b0 + w]
+                                               : bank.BlockLaneMask(b0 + w))
+                            : 0;
+          any |= lanes[w];
+        }
+        if (any == 0) continue;
         if (group.joint) {
-          group.indicators[b] = ops.BlockConditions(t, b, group.flows, lanes);
+          ops.StripConditions(t, s, group.flows, lanes);
+          for (std::size_t w = 0; w < bn; ++w) {
+            group.indicators[b0 + w] = lanes[w];
+          }
         } else {
-          ops.BlockReach(t, b, group.sources, lanes, group.sinks, out.data());
-          for (std::size_t s = 0; s < group.sinks.size(); ++s) {
-            group.indicators[s * num_blocks + b] = out[s];
+          ops.StripReach(t, s, group.sources, lanes, group.sinks, out.data());
+          for (std::size_t c = 0; c < group.sinks.size(); ++c) {
+            for (std::size_t w = 0; w < bn; ++w) {
+              group.indicators[c * num_blocks + b0 + w] =
+                  out[c * strip_words + w];
+            }
           }
         }
       }

@@ -71,6 +71,34 @@ class BlockOps {
                           std::uint64_t lanes,
                           const std::vector<NodeId>& sinks,
                           std::uint64_t* out) = 0;
+
+  /// \brief 64-row blocks answered per reachability pass. Engines replaying
+  /// multi-word strips (graph/strip_reachability.h) return the strip width
+  /// W; the plan then iterates strips of W consecutive blocks and calls the
+  /// Strip* hooks below, so one BFS amortizes over 64·W rows. The default
+  /// (1) keeps the per-block iteration byte-for-byte.
+  virtual unsigned StripWords() const { return 1; }
+
+  /// Strip variant of BlockConditions. `lanes` is an in/out span of
+  /// StripWords() words covering blocks [strip·W, strip·W+W) in block
+  /// order (words past the bank's last block are zero); on return each
+  /// word holds its block's surviving lanes. The default forwards the
+  /// single block of a width-1 strip.
+  virtual void StripConditions(std::size_t worker, std::size_t strip,
+                               const FlowConditions& conditions,
+                               std::uint64_t* lanes) {
+    lanes[0] = BlockConditions(worker, strip, conditions, lanes[0]);
+  }
+
+  /// Strip variant of BlockReach: writes out[s·W + w] = the lanes of block
+  /// strip·W+w in which sinks[s] is reached.
+  virtual void StripReach(std::size_t worker, std::size_t strip,
+                          const std::vector<NodeId>& sources,
+                          const std::uint64_t* lanes,
+                          const std::vector<NodeId>& sinks,
+                          std::uint64_t* out) {
+    BlockReach(worker, strip, sources, lanes[0], sinks, out);
+  }
 };
 
 /// \brief The skeleton knobs, mirrored from QueryEngineOptions so both

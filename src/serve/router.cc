@@ -23,12 +23,24 @@ namespace {
 /// cut-edge frontier-exchange fixpoint described in router.h.
 class ShardedOps final : public BlockOps {
  public:
+  /// `strip_planes`/`strip_scratch` are non-null only when the batch
+  /// resolved a multi-word width (strip_words > 1): strip_planes[s] is
+  /// shard s's interleaved W-word plane and strip_scratch[worker][s] its
+  /// per-worker workspace, and the Strip* hooks run the same cut-edge
+  /// exchange with every lane mask widened to a W-word span.
   ShardedOps(const GraphPartition& partition,
              const std::vector<std::shared_ptr<const ShardView>>& views,
-             std::vector<std::vector<BatchReachabilityWorkspace>>& scratch)
+             std::vector<std::vector<BatchReachabilityWorkspace>>& scratch,
+             const std::vector<std::shared_ptr<const StripPlane>>* strip_planes,
+             std::vector<std::vector<std::unique_ptr<StripWorkspace>>>*
+                 strip_scratch,
+             unsigned strip_words)
       : partition_(partition),
         views_(views),
         scratch_(scratch),
+        strip_planes_(strip_planes),
+        strip_scratch_(strip_scratch),
+        strip_words_(strip_words),
         dirty_(scratch.size(),
                std::vector<std::uint8_t>(partition.num_shards, 0)),
         src_(scratch.size(), std::vector<NodeId>(1)),
@@ -143,6 +155,69 @@ class ShardedOps final : public BlockOps {
     }
   }
 
+  unsigned StripWords() const override { return strip_words_; }
+
+  void StripConditions(std::size_t worker, std::size_t strip,
+                       const FlowConditions& conditions,
+                       std::uint64_t* lanes) override {
+    if (strip_words_ == 1) {
+      BlockOps::StripConditions(worker, strip, conditions, lanes);
+      return;
+    }
+    const unsigned wn = strip_words_;
+    auto& ws = (*strip_scratch_)[worker];
+    std::vector<NodeId>& src = src_[worker];
+    std::uint64_t reached[kMaxStripWords];
+    for (const FlowConstraint& c : conditions) {
+      std::uint64_t live = 0;
+      for (unsigned w = 0; w < wn; ++w) live |= lanes[w];
+      if (live == 0) break;
+      src[0] = c.source;
+      if (partition_.num_shards == 1) {
+        const std::uint64_t begin_ns = ReplayClock();
+        ws[0]->RunUntil(partition_.shards[0].graph, src,
+                        (*strip_planes_)[0]->StripWords(strip), c.sink,
+                        lanes, reached);
+        AccumulateReplay(worker, 0, begin_ns);
+      } else {
+        StripExchange(worker, strip, src, lanes);
+        const std::uint64_t* mask = OwnerStripMask(ws, c.sink);
+        for (unsigned w = 0; w < wn; ++w) reached[w] = mask[w];
+      }
+      for (unsigned w = 0; w < wn; ++w) {
+        lanes[w] = c.must_flow ? reached[w] : lanes[w] & ~reached[w];
+      }
+    }
+  }
+
+  void StripReach(std::size_t worker, std::size_t strip,
+                  const std::vector<NodeId>& sources,
+                  const std::uint64_t* lanes, const std::vector<NodeId>& sinks,
+                  std::uint64_t* out) override {
+    if (strip_words_ == 1) {
+      BlockOps::StripReach(worker, strip, sources, lanes, sinks, out);
+      return;
+    }
+    const unsigned wn = strip_words_;
+    auto& ws = (*strip_scratch_)[worker];
+    if (partition_.num_shards == 1) {
+      const std::uint64_t begin_ns = ReplayClock();
+      ws[0]->Run(partition_.shards[0].graph, sources,
+                 (*strip_planes_)[0]->StripWords(strip), lanes);
+      AccumulateReplay(worker, 0, begin_ns);
+      for (std::size_t s = 0; s < sinks.size(); ++s) {
+        const std::uint64_t* mask = ws[0]->ReachedMask(sinks[s]);
+        for (unsigned w = 0; w < wn; ++w) out[s * wn + w] = mask[w];
+      }
+      return;
+    }
+    StripExchange(worker, strip, sources, lanes);
+    for (std::size_t s = 0; s < sinks.size(); ++s) {
+      const std::uint64_t* mask = OwnerStripMask(ws, sinks[s]);
+      for (unsigned w = 0; w < wn; ++w) out[s * wn + w] = mask[w];
+    }
+  }
+
  private:
   struct Tally {
     std::uint64_t cut_words = 0;
@@ -198,6 +273,11 @@ class ShardedOps final : public BlockOps {
   std::uint64_t OwnerMask(std::vector<BatchReachabilityWorkspace>& ws,
                           NodeId v) const {
     return ws[partition_.shard_of[v]].ReachedMask(partition_.local_of[v]);
+  }
+
+  const std::uint64_t* OwnerStripMask(
+      std::vector<std::unique_ptr<StripWorkspace>>& ws, NodeId v) const {
+    return ws[partition_.shard_of[v]]->ReachedMask(partition_.local_of[v]);
   }
 
   /// Runs the per-shard propagation / cut-frontier exchange loop for one
@@ -263,9 +343,81 @@ class ShardedOps final : public BlockOps {
     tallies_[worker].rounds += rounds;
   }
 
+  /// Exchange() with every lane mask widened to a strip_words_-word span:
+  /// an owned node that gains lanes in any word of the strip delivers the
+  /// per-word fresh delta to its ghost copies. Same unique fixpoint (OR is
+  /// monotone per word), so shard answers stay bit-identical to the
+  /// single engine at every width.
+  void StripExchange(std::size_t worker, std::size_t strip,
+                     const std::vector<NodeId>& sources,
+                     const std::uint64_t* lanes) {
+    auto& ws = (*strip_scratch_)[worker];
+    const GraphPartition& p = partition_;
+    const std::uint32_t num_shards = p.num_shards;
+    const unsigned wn = strip_words_;
+    for (std::uint32_t s = 0; s < num_shards; ++s) {
+      ws[s]->Begin(p.shards[s].graph);
+    }
+    std::vector<std::uint8_t>& dirty = dirty_[worker];
+    std::fill(dirty.begin(), dirty.end(), 0);
+    for (const NodeId v : sources) {
+      ws[p.shard_of[v]]->Seed(p.local_of[v], lanes);
+      dirty[p.shard_of[v]] = 1;
+      for (EdgeId i = p.ghost_first[v]; i < p.ghost_first[v + 1]; ++i) {
+        ws[p.ghost_targets[i]]->Seed(p.ghost_locals[i], lanes);
+        dirty[p.ghost_targets[i]] = 1;
+      }
+    }
+    std::uint64_t delivered = 0;
+    std::uint64_t rounds = 0;
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      ++rounds;
+      for (std::uint32_t s = 0; s < num_shards; ++s) {
+        if (dirty[s] == 0) continue;
+        dirty[s] = 0;
+        progressed = true;
+        const std::uint64_t begin_ns = ReplayClock();
+        ws[s]->Propagate((*strip_planes_)[s]->StripWords(strip));
+        const ShardGraph& shard = p.shards[s];
+        for (const NodeId lv : ws[s]->TouchedNodes()) {
+          if (lv >= shard.num_owned) continue;
+          const NodeId v = shard.node_to_parent[lv];
+          EdgeId gi = p.ghost_first[v];
+          const EdgeId gend = p.ghost_first[v + 1];
+          if (gi == gend) continue;
+          const std::uint64_t* mask = ws[s]->ReachedMask(lv);
+          for (; gi < gend; ++gi) {
+            const std::uint32_t gs = p.ghost_targets[gi];
+            const std::uint64_t* ghost = ws[gs]->ReachedMask(p.ghost_locals[gi]);
+            std::uint64_t fresh[kMaxStripWords];
+            std::uint64_t any = 0;
+            for (unsigned w = 0; w < wn; ++w) {
+              fresh[w] = mask[w] & ~ghost[w];
+              any |= fresh[w];
+            }
+            if (any == 0) continue;
+            ws[gs]->Seed(p.ghost_locals[gi], fresh);
+            dirty[gs] = 1;
+            // Tally actual words carried, so the cut-traffic counter stays
+            // comparable across widths.
+            delivered += wn;
+          }
+        }
+        AccumulateReplay(worker, s, begin_ns);
+      }
+    }
+    tallies_[worker].cut_words += delivered;
+    tallies_[worker].rounds += rounds;
+  }
+
   const GraphPartition& partition_;
   const std::vector<std::shared_ptr<const ShardView>>& views_;
   std::vector<std::vector<BatchReachabilityWorkspace>>& scratch_;
+  const std::vector<std::shared_ptr<const StripPlane>>* strip_planes_;
+  std::vector<std::vector<std::unique_ptr<StripWorkspace>>>* strip_scratch_;
+  const unsigned strip_words_;
   /// Per-worker scratch, hoisted out of the per-block hot path.
   std::vector<std::vector<std::uint8_t>> dirty_;
   std::vector<std::vector<NodeId>> src_;
@@ -325,6 +477,9 @@ ShardedQueryEngine::ShardedQueryEngine(
     }
     scratch_.push_back(std::move(per_shard));
   }
+  // Strip scratch stays null until a batch resolves a multi-word width.
+  strip_scratch_.resize(pool_->size());
+  for (auto& per_shard : strip_scratch_) per_shard.resize(p.num_shards);
 }
 
 Result<ShardedQueryEngine> ShardedQueryEngine::Create(
@@ -354,7 +509,34 @@ std::vector<QueryResult> ShardedQueryEngine::AnswerBatch(
   // refresh landing mid-batch cannot mix generations between shards.
   const std::vector<std::shared_ptr<const ShardView>> views =
       shards_->AcquireAll(bank);
-  ShardedOps ops(shards_->partition(), views, scratch_);
+  // Resolve the replay width exactly like the single engine (same options,
+  // same bank, and the *parent* graph's size for the kAuto cache cap — not
+  // the smaller per-shard subgraphs — so every shard count lands on the
+  // same width) and shard-vs-single answers compare strips to strips at
+  // every --lanes setting.
+  const unsigned strip_words =
+      ResolveStripWords(options_.lanes, bank.num_rows(), graph_->num_nodes(),
+                        graph_->num_edges());
+  std::vector<std::shared_ptr<const StripPlane>> strip_planes;
+  if (strip_words > 1) {
+    strip_planes.reserve(views.size());
+    for (const auto& view : views) {
+      strip_planes.push_back(view->AcquireStripPlane(strip_words, bank));
+    }
+    const GraphPartition& p = shards_->partition();
+    for (auto& per_shard : strip_scratch_) {
+      for (std::size_t s = 0; s < per_shard.size(); ++s) {
+        if (per_shard[s] == nullptr || per_shard[s]->words() != strip_words) {
+          per_shard[s] = StripWorkspace::Create(strip_words,
+                                                p.shards[s].graph);
+        }
+      }
+    }
+  }
+  obs::GetGauge("reach.strip_width").Set(64.0 * strip_words);
+  ShardedOps ops(shards_->partition(), views, scratch_,
+                 strip_words > 1 ? &strip_planes : nullptr,
+                 strip_words > 1 ? &strip_scratch_ : nullptr, strip_words);
   QueryPlanOptions plan;
   plan.min_conditional_rows = options_.min_conditional_rows;
   plan.rows_per_task = options_.rows_per_task;

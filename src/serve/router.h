@@ -31,6 +31,7 @@
 
 #include "graph/batch_reachability.h"
 #include "graph/graph.h"
+#include "graph/strip_reachability.h"
 #include "serve/query_engine.h"
 #include "serve/sample_bank.h"
 #include "serve/shard_engine.h"
@@ -74,6 +75,11 @@ class ShardedQueryEngine {
   /// scratch_[worker][shard]: one bit-parallel workspace per shard per pool
   /// worker (workers partition blocks, shards exchange within a block).
   std::vector<std::vector<BatchReachabilityWorkspace>> scratch_;
+  /// strip_scratch_[worker][shard]: multi-word strip workspaces for batches
+  /// that resolve 256/512 lanes — the cut-edge exchange then hands W-word
+  /// lane spans across shard boundaries. Lazily created at the resolved
+  /// width, recreated only when a later batch resolves a different width.
+  std::vector<std::vector<std::unique_ptr<StripWorkspace>>> strip_scratch_;
 };
 
 /// \brief Round-robin NDJSON fan-out over shard child processes.

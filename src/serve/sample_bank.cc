@@ -26,7 +26,8 @@ BankGeneration::BankGeneration(std::uint64_t id, std::uint64_t model_epoch,
       num_chains_(num_chains),
       rows_per_chain_(rows_per_chain),
       num_rows_(num_chains * rows_per_chain),
-      words_(num_rows_ * words_per_row_, 0) {}
+      words_(num_rows_ * words_per_row_, 0),
+      strip_mutex_(std::make_unique<std::mutex>()) {}
 
 void BankGeneration::BuildEdgeMajor() {
   edge_major_.assign(num_blocks() * num_edges_, 0);
@@ -48,6 +49,32 @@ void BankGeneration::BuildEdgeMajor() {
       for (std::size_t j = 0; j < cols; ++j) plane[e0 + j] = tile[j];
     }
   }
+}
+
+std::shared_ptr<const StripPlane> BankGeneration::AcquireStripPlane(
+    unsigned width) const {
+  IF_CHECK(width == 4 || width == 8) << "unsupported strip width " << width;
+  const std::size_t slot = width == 4 ? 0 : 1;
+  {
+    std::lock_guard<std::mutex> lock(*strip_mutex_);
+    if (strip_planes_[slot]) return strip_planes_[slot];
+  }
+  // Interleave outside the lock; two first readers may race a duplicate
+  // build and the publish keeps one winner — the same keep-one discipline
+  // as ShardEngine::AcquireView, and the plane is pure function of the
+  // immutable edge-major plane either way.
+  obs::TraceSpan span("serve/bank_strip_interleave");
+  WallTimer timer;
+  auto plane = std::make_shared<const StripPlane>(BuildStripPlane(
+      width, num_edges_, num_blocks(),
+      [this](std::size_t b) { return BlockEdgeWords(b); },
+      [this](std::size_t b) { return BlockLaneMask(b); }));
+  obs::GetHistogram("serve.bank.strip_interleave_ms",
+                    {0.1, 0.5, 2.5, 10.0, 50.0, 250.0, 1000.0})
+      .Record(timer.Millis());
+  std::lock_guard<std::mutex> lock(*strip_mutex_);
+  if (!strip_planes_[slot]) strip_planes_[slot] = std::move(plane);
+  return strip_planes_[slot];
 }
 
 PseudoState BankGeneration::UnpackRow(std::size_t r) const {

@@ -51,6 +51,7 @@
 #include "core/icm.h"
 #include "core/multi_chain.h"
 #include "graph/reachability.h"
+#include "graph/strip_plane.h"
 #include "obs/metrics.h"
 #include "util/status.h"
 #include "util/timer.h"
@@ -123,6 +124,21 @@ class BankGeneration {
     return edge_major_.data() + b * num_edges_;
   }
 
+  /// \brief Strip-major plane for `width`-word strips (width ∈ {4, 8}; the
+  /// 64-lane path reads BlockEdgeWords directly). Word
+  /// `[(s·num_edges + e)·width + w]` is block s·width+w's word e, so one
+  /// StripReachabilityWorkspace pass replays 64·width rows.
+  ///
+  /// Built lazily on first use by interleaving the per-block edge-major
+  /// plane (a word gather — no new bit transpose) and cached per width for
+  /// the generation's lifetime: the plane is immutable after publish and
+  /// handed out by shared_ptr swap under an internal mutex, so every query
+  /// engine sharing this generation re-uses one plane instead of
+  /// re-interleaving per width choice, and readers keep their plane across
+  /// concurrent Refresh generations (same RCU discipline as the generation
+  /// itself). Thread-safe.
+  std::shared_ptr<const StripPlane> AcquireStripPlane(unsigned width) const;
+
   /// The chain row `r` was drawn by (rows are chain-major).
   std::size_t ChainOfRow(std::size_t r) const { return r / rows_per_chain_; }
 
@@ -160,6 +176,13 @@ class BankGeneration {
   /// Edge-major packed bits: edge_major_[b·num_edges + e] bit s = edge e's
   /// activity in row 64·b + s.
   std::vector<std::uint64_t> edge_major_;
+
+  /// Lazily built strip planes, slot 0 → width 4, slot 1 → width 8 (see
+  /// AcquireStripPlane). The mutex lives behind unique_ptr so the
+  /// generation stays movable during construction; each cached plane costs
+  /// another edge_major_-sized footprint, paid only for widths served.
+  mutable std::unique_ptr<std::mutex> strip_mutex_;
+  mutable std::shared_ptr<const StripPlane> strip_planes_[2];
 };
 
 /// \brief Owner of the chains and the current generation.

@@ -8,6 +8,29 @@
 
 namespace infoflow::serve {
 
+std::shared_ptr<const StripPlane> ShardView::AcquireStripPlane(
+    unsigned width, const BankGeneration& bank) const {
+  IF_CHECK(width == 4 || width == 8) << "unsupported strip width " << width;
+  IF_CHECK_EQ(bank.id(), generation_)
+      << "strip plane requested against a different generation";
+  const std::size_t slot = width == 4 ? 0 : 1;
+  {
+    std::lock_guard<std::mutex> lock(strip_mutex_);
+    if (strip_planes_[slot]) return strip_planes_[slot];
+  }
+  WallTimer timer;
+  auto plane = std::make_shared<const StripPlane>(BuildStripPlane(
+      width, num_edges_, bank.num_blocks(),
+      [this](std::size_t b) { return BlockWords(b); },
+      [&bank](std::size_t b) { return bank.BlockLaneMask(b); }));
+  obs::GetHistogram("shard.strip_interleave_ms",
+                    {0.1, 0.5, 2.5, 10.0, 50.0, 250.0, 1000.0})
+      .Record(timer.Millis());
+  std::lock_guard<std::mutex> lock(strip_mutex_);
+  if (!strip_planes_[slot]) strip_planes_[slot] = std::move(plane);
+  return strip_planes_[slot];
+}
+
 std::shared_ptr<const ShardView> ShardEngine::AcquireView(
     const BankGeneration& bank) {
   {

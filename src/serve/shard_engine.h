@@ -25,6 +25,7 @@
 #include <mutex>
 #include <vector>
 
+#include "graph/strip_plane.h"
 #include "serve/partition.h"
 #include "serve/sample_bank.h"
 #include "util/status.h"
@@ -42,6 +43,15 @@ class ShardView {
     return plane_.data() + b * num_edges_;
   }
 
+  /// \brief The W-word strip-major interleave of this view's gathered
+  /// plane (width ∈ {4, 8}), for multi-word replay over the shard's local
+  /// graph. Interleaved lazily on first acquisition and cached per width
+  /// with the same keep-one-winner publish as the bank's own
+  /// AcquireStripPlane; `bank` must be the generation this view was
+  /// gathered from (it supplies the ragged-tail lane masks). Thread-safe.
+  std::shared_ptr<const StripPlane> AcquireStripPlane(
+      unsigned width, const BankGeneration& bank) const;
+
  private:
   friend class ShardEngine;
   ShardView(std::uint64_t generation, std::size_t num_edges)
@@ -50,6 +60,9 @@ class ShardView {
   std::uint64_t generation_;
   std::size_t num_edges_;
   std::vector<std::uint64_t> plane_;
+  /// Lazily interleaved strip planes, slot 0 → W=4, slot 1 → W=8.
+  mutable std::mutex strip_mutex_;
+  mutable std::shared_ptr<const StripPlane> strip_planes_[2];
 };
 
 /// \brief Owns one shard's current view; thread-safe view acquisition.

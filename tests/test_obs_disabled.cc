@@ -48,6 +48,25 @@ TEST(ObsDisabled, HistogramsAreInert) {
   EXPECT_EQ(h.Snapshot().total, 0u);
 }
 
+TEST(ObsDisabled, StripReplayInstrumentsAreInert) {
+  // The lane-width instruments the strip workspaces and engines register
+  // (reach.strip_width gauge, per-width reach.batch_blocks.<W> counters,
+  // reach.strip_latency_us histogram) must compile down to the same inert
+  // stubs as every other metric.
+  Gauge& width = GetGauge("reach.strip_width");
+  width.Set(512.0);
+  EXPECT_EQ(width.Value(), 0.0);
+  for (const char* name : {"reach.batch_blocks.64", "reach.batch_blocks.256",
+                           "reach.batch_blocks.512"}) {
+    Counter& c = GetCounter(name);
+    c.Increment();
+    EXPECT_EQ(c.Value(), 0u) << name;
+  }
+  Histogram& latency = GetHistogram("reach.strip_latency_us", {1.0, 5.0});
+  latency.Record(3.0);
+  EXPECT_EQ(latency.Snapshot().total, 0u);
+}
+
 TEST(ObsDisabled, SnapshotIsEmptyButSerializes) {
   GetCounter("disabled.snap").Increment(5);
   const MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();

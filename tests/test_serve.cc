@@ -382,6 +382,71 @@ TEST(QueryEngine, BatchAndScalarReachabilityAgreeBitForBit) {
   }
 }
 
+TEST(QueryEngine, LaneWidthsAgreeBitForBitIncludingConditionals) {
+  // Widening the replay past 64 lanes must be invisible in the answers:
+  // engines pinned to 64, 256, and 512 lanes (and auto, which picks 512
+  // here) return the scalar engine's doubles exactly, across every query
+  // kind. 150 per chain × 4 chains = 600 rows: ≥512 so auto steps up to
+  // 8-word strips, 600 mod 64 = 24 so the tail block is ragged, and the
+  // second strip carries dead blocks past the bank (10 blocks over strips
+  // of 8).
+  const PointIcm model = SmallRandomModel(61, 12, 30);
+  auto bank = SampleBank::Create(model, FastBank(600), 77);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  ASSERT_GE(generation->num_rows(), 512u);
+  ASSERT_NE(generation->num_rows() % 64, 0u);
+
+  QueryRequest community;
+  community.kind = QueryKind::kCommunity;
+  community.sources = {0, 3};
+  community.sinks = {5, 8, 11};
+  QueryRequest joint;
+  joint.kind = QueryKind::kJoint;
+  joint.flows = {{0, 5, true}, {1, 8, false}};
+  QueryRequest conditional = FlowQuery(0, 9);
+  conditional.given = {EdgeConstraint(model)};
+  QueryRequest forbid_conditional = FlowQuery(2, 7);
+  forbid_conditional.given = {EdgeConstraint(model), {0, 11, false}};
+  const std::vector<QueryRequest> requests = {FlowQuery(0, 9), community,
+                                              joint, conditional,
+                                              forbid_conditional};
+
+  QueryEngineOptions scalar_options;
+  scalar_options.use_batch_reachability = false;
+  scalar_options.min_conditional_rows = 4;
+  QueryEngine scalar = MakeEngine(*bank, scalar_options);
+  const std::vector<QueryResult> reference =
+      scalar.AnswerBatch(*generation, requests);
+
+  for (const LaneWidth lanes :
+       {LaneWidth::k64, LaneWidth::k256, LaneWidth::k512, LaneWidth::kAuto}) {
+    QueryEngineOptions options;
+    options.min_conditional_rows = 4;
+    options.lanes = lanes;
+    QueryEngine engine = MakeEngine(*bank, options);
+    const std::vector<QueryResult> results =
+        engine.AnswerBatch(*generation, requests);
+    ASSERT_EQ(results.size(), reference.size());
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      ASSERT_EQ(results[i].status.code(), reference[i].status.code())
+          << LaneWidthName(lanes) << " request " << i;
+      if (!results[i].status.ok()) continue;
+      EXPECT_EQ(results[i].effective_rows, reference[i].effective_rows)
+          << LaneWidthName(lanes) << " request " << i;
+      ASSERT_EQ(results[i].estimates.size(), reference[i].estimates.size());
+      for (std::size_t j = 0; j < results[i].estimates.size(); ++j) {
+        EXPECT_DOUBLE_EQ(results[i].estimates[j].value,
+                         reference[i].estimates[j].value)
+            << LaneWidthName(lanes) << " request " << i << " sink " << j;
+        EXPECT_DOUBLE_EQ(results[i].estimates[j].diagnostics.mcse,
+                         reference[i].estimates[j].diagnostics.mcse)
+            << LaneWidthName(lanes) << " request " << i << " sink " << j;
+      }
+    }
+  }
+}
+
 TEST(QueryEngine, DuplicateSourcesDedupedBeforeFanOut) {
   const PointIcm model = SmallRandomModel(43, 10, 24);
   auto bank = SampleBank::Create(model, FastBank(600), 14);
@@ -495,6 +560,67 @@ TEST(SampleBank, RefreshAndRebuildUnderConcurrentEdgeMajorReaders) {
   for (std::thread& r : readers) r.join();
   EXPECT_EQ(failures.load(), 0u);
   EXPECT_GE(bank->Acquire()->id(), 7u);
+}
+
+TEST(SampleBank, StripPlaneAcquireUnderConcurrentRefreshMatchesBlocks) {
+  // AcquireStripPlane lazily interleaves and publishes per (generation,
+  // width) with a keep-one-winner swap. Readers racing on first acquisition
+  // while the bank refreshes and rebuilds underneath must always see a
+  // plane that matches their own generation's edge-major blocks word for
+  // word, with zero words and lane masks past the bank's last block. Run
+  // under TSan (the CI tsan job matches "Bank") this proves the lazy build
+  // publishes safely.
+  const PointIcm model = SmallRandomModel(67, 10, 24);
+  auto bank = SampleBank::Create(model, FastBank(150, 3), 23);
+  ASSERT_TRUE(bank.ok());
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> failures{0};
+  std::vector<std::thread> readers;
+  readers.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&, t] {
+      const unsigned width = t % 2 == 0 ? 4 : 8;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto generation = bank->Acquire();
+        const auto plane = generation->AcquireStripPlane(width);
+        if (plane->width != width ||
+            plane->num_blocks != generation->num_blocks()) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        for (std::size_t s = 0; s < plane->num_strips; ++s) {
+          const std::uint64_t* words = plane->StripWords(s);
+          const std::uint64_t* lanes = plane->StripLaneMask(s);
+          for (unsigned w = 0; w < width; ++w) {
+            const std::size_t b = s * width + w;
+            if (b >= generation->num_blocks()) {
+              if (lanes[w] != 0) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+              }
+              continue;
+            }
+            if (lanes[w] != generation->BlockLaneMask(b)) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+            }
+            const std::uint64_t* block = generation->BlockEdgeWords(b);
+            for (EdgeId e = 0; e < generation->num_edges(); ++e) {
+              if (words[e * width + w] != block[e]) {
+                failures.fetch_add(1, std::memory_order_relaxed);
+              }
+            }
+          }
+        }
+      }
+    });
+  }
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    bank->Refresh();
+    ASSERT_TRUE(bank->Rebuild(model, /*model_epoch=*/2 + i).ok());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0u);
 }
 
 // -------------------------------------------- estimator agreement properties

@@ -295,6 +295,43 @@ TEST(ShardDifferential, RaggedTailLanesMatchAcrossShardCounts) {
   }
 }
 
+TEST(ShardDifferential, LaneWidthsBitIdenticalAcrossShardCounts) {
+  // Widening the replay to 256/512-lane strips must not perturb the
+  // shard exchange: every (shard count × lane width) combination answers
+  // identically to the single-engine 64-lane path. 150 per chain × 4
+  // chains = 600 rows: ≥512 so auto steps up to 8-word strips and the
+  // tail block is ragged (600 mod 64 = 24), so cut-edge deliveries carry
+  // W-word spans with dead tail words.
+  const PointIcm model = Fig6Model(31);
+  auto bank = SampleBank::Create(model, FastBank(600), /*seed=*/19);
+  ASSERT_TRUE(bank.ok());
+  const auto generation = bank->Acquire();
+  ASSERT_GE(generation->num_rows(), 512u);
+  ASSERT_NE(generation->num_rows() % 64, 0u);
+  const std::vector<QueryRequest> batch = AllKindsBatch(model);
+
+  QueryEngineOptions narrow;
+  narrow.lanes = LaneWidth::k64;
+  auto single = QueryEngine::Create(bank->graph_ptr(), narrow);
+  ASSERT_TRUE(single.ok());
+  const std::vector<QueryResult> expected =
+      single->AnswerBatch(*generation, batch);
+
+  for (const std::uint32_t n : {1u, 2u, 4u}) {
+    for (const LaneWidth lanes :
+         {LaneWidth::k64, LaneWidth::k256, LaneWidth::k512,
+          LaneWidth::kAuto}) {
+      QueryEngineOptions options;
+      options.lanes = lanes;
+      ShardedQueryEngine sharded = MakeSharded(*bank, n, options);
+      ExpectIdenticalResults(expected,
+                             sharded.AnswerBatch(*generation, batch),
+                             std::to_string(n) + " shards, " +
+                                 LaneWidthName(lanes) + " lanes");
+    }
+  }
+}
+
 TEST(ShardDifferential, ConditionalFloorFailsIdentically) {
   // A floor above the bank size trips the survivor floor on every
   // conditional — the sharded path must produce the same code and message.

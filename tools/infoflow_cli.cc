@@ -600,6 +600,12 @@ int CmdServe(Flags& flags) {
   // instead of 64 rows per pass over the edge-major plane.
   server_options.engine.use_batch_reachability =
       !flags.GetBool("scalar-reachability");
+  // Replay lane width: 64 keeps the classic one-word path, 256/512 replay
+  // 4/8-word strips, auto picks the widest strip the bank fills. Answers
+  // are bit-identical at every width.
+  auto lanes = ParseLaneWidth(flags.Get("lanes", "auto"));
+  if (!lanes.ok()) return Fail(lanes.status());
+  server_options.engine.lanes = *lanes;
   // Default backend for wire requests that don't name one; per-request
   // "backend" fields override it.
   auto default_backend =
@@ -923,6 +929,10 @@ int Usage() {
       "                      [--refresh-ms T] [--min-conditional-rows F]\n"
       "                      [--scalar-reachability] (one BFS per bank row\n"
       "                      instead of 64 rows per bit-parallel pass)\n"
+      "                      [--lanes 64|256|512|auto] (rows per replay pass:\n"
+      "                      256/512 run 4/8-word reachability strips; auto\n"
+      "                      picks the widest strip the bank fills; answers\n"
+      "                      are bit-identical at every width)\n"
       "                      [--seed S] (bank + rebuild chain seeds)\n"
       "                      [--backend auto|analytic|bank] (default backend\n"
       "                      for requests without a \"backend\" field)\n"
